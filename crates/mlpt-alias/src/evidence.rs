@@ -1,0 +1,268 @@
+//! Per-address evidence: IP-ID series, fingerprints, MPLS labels.
+//!
+//! "Some of the basic data required by these techniques is collected as
+//! part of basic MDA-Lite Paris Traceroute probing: IP IDs that are used
+//! by the MBT; the TTLs of 'indirect probing' reply packets that are used
+//! by Network Fingerprinting; and the MPLS labels that appear in reply
+//! packets." (Sec. 4.1). [`EvidenceBase`] accumulates exactly that —
+//! seeded from a trace's [`mlpt_core::ProbeLog`] "for free", then extended
+//! by the explicit probing rounds.
+
+use crate::series::IpIdSample;
+use mlpt_core::prober::{DirectObservation, ProbeLog, ProbeObservation};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// The initial-TTL fingerprint of an interface: inferred initial TTL of
+/// its ICMP error replies and (once a direct probe has been sent) of its
+/// echo replies. `None` components are simply not yet measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// Inferred initial TTL of Time Exceeded replies.
+    pub indirect_initial_ttl: Option<u8>,
+    /// Inferred initial TTL of Echo replies.
+    pub direct_initial_ttl: Option<u8>,
+}
+
+impl Fingerprint {
+    /// True if two fingerprints definitely disagree (some component known
+    /// on both sides and different) — negative alias evidence.
+    pub fn conflicts(&self, other: &Fingerprint) -> bool {
+        let indirect = match (self.indirect_initial_ttl, other.indirect_initial_ttl) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        };
+        let direct = match (self.direct_initial_ttl, other.direct_initial_ttl) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        };
+        indirect || direct
+    }
+}
+
+/// Infers the initial TTL a reply was sent with from its received TTL:
+/// the smallest conventional initial value (32, 64, 128, 255) at or above
+/// what arrived.
+pub fn infer_initial_ttl(reply_ttl: u8) -> u8 {
+    for initial in [32u8, 64, 128, 255] {
+        if reply_ttl <= initial {
+            return initial;
+        }
+    }
+    255
+}
+
+/// MPLS label evidence for one interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MplsEvidence {
+    /// No label ever seen.
+    #[default]
+    None,
+    /// A label seen, constant across all replies so far.
+    Stable(u32),
+    /// Labels observed to vary: unusable for alias resolution (Sec. 4.1).
+    Unstable,
+}
+
+impl MplsEvidence {
+    fn observe(&mut self, label: u32) {
+        *self = match *self {
+            MplsEvidence::None => MplsEvidence::Stable(label),
+            MplsEvidence::Stable(prev) if prev == label => MplsEvidence::Stable(label),
+            _ => MplsEvidence::Unstable,
+        };
+    }
+
+    /// True when both sides carry stable labels that differ (negative
+    /// evidence) .
+    pub fn conflicts(&self, other: &MplsEvidence) -> bool {
+        matches!(
+            (self, other),
+            (MplsEvidence::Stable(a), MplsEvidence::Stable(b)) if a != b
+        )
+    }
+
+    /// True when both sides carry the same stable label (positive
+    /// evidence: "it is highly likely that these two interfaces belong to
+    /// the same router").
+    pub fn matches(&self, other: &MplsEvidence) -> bool {
+        matches!(
+            (self, other),
+            (MplsEvidence::Stable(a), MplsEvidence::Stable(b)) if a == b
+        )
+    }
+}
+
+/// Everything known about one interface address.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AddressEvidence {
+    /// Indirect (ICMP error) IP-ID samples, timestamp-sorted.
+    pub indirect_series: Vec<IpIdSample>,
+    /// Direct (echo reply) IP-ID samples, timestamp-sorted.
+    pub direct_series: Vec<IpIdSample>,
+    /// Initial-TTL fingerprint.
+    pub fingerprint: Fingerprint,
+    /// MPLS label evidence.
+    pub mpls: MplsEvidence,
+    /// Direct probes sent that went unanswered (MIDAR's 60.5 %
+    /// inconclusive cause: unresponsive to direct probing).
+    pub unanswered_direct: u32,
+}
+
+/// Evidence for a group of candidate addresses (typically one hop).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceBase {
+    map: BTreeMap<Ipv4Addr, AddressEvidence>,
+}
+
+impl EvidenceBase {
+    /// Creates an empty base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evidence for one address (created on first touch).
+    pub fn entry(&mut self, addr: Ipv4Addr) -> &mut AddressEvidence {
+        self.map.entry(addr).or_default()
+    }
+
+    /// Read access to one address's evidence.
+    pub fn get(&self, addr: Ipv4Addr) -> Option<&AddressEvidence> {
+        self.map.get(&addr)
+    }
+
+    /// Addresses with any evidence.
+    pub fn addresses(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Ingests one indirect observation.
+    pub fn add_indirect(&mut self, obs: &ProbeObservation, probe_ip_id: u16) {
+        let e = self.entry(obs.responder);
+        e.indirect_series.push(IpIdSample {
+            timestamp: obs.timestamp,
+            ip_id: obs.ip_id,
+            probe_ip_id,
+        });
+        e.fingerprint.indirect_initial_ttl = Some(infer_initial_ttl(obs.reply_ttl));
+        if let Some(entry) = obs.mpls.first() {
+            e.mpls.observe(entry.label);
+        }
+    }
+
+    /// Ingests one direct observation.
+    pub fn add_direct(&mut self, obs: &DirectObservation) {
+        let e = self.entry(obs.target);
+        e.direct_series.push(IpIdSample {
+            timestamp: obs.timestamp,
+            ip_id: obs.ip_id,
+            probe_ip_id: obs.probe_ip_id,
+        });
+        e.fingerprint.direct_initial_ttl = Some(infer_initial_ttl(obs.reply_ttl));
+    }
+
+    /// Notes an unanswered direct probe to `addr`.
+    pub fn add_direct_timeout(&mut self, addr: Ipv4Addr) {
+        self.entry(addr).unanswered_direct += 1;
+    }
+
+    /// Seeds a base from a trace's probe log, restricted to `candidates`
+    /// — the Round 0 data that comes "for free" with the trace.
+    pub fn from_log(log: &ProbeLog, candidates: &BTreeSet<Ipv4Addr>) -> Self {
+        let mut base = Self::new();
+        for obs in &log.indirect {
+            if candidates.contains(&obs.responder) {
+                // The trace prober stamps sequence numbers as probe IP IDs;
+                // indirect echo behaviour is not modelled, so 0 is a safe
+                // non-matching placeholder for the probe's own ID here.
+                base.add_indirect(obs, 0);
+            }
+        }
+        for obs in &log.direct {
+            if candidates.contains(&obs.target) {
+                base.add_direct(obs);
+            }
+        }
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_initial_ttl_classes() {
+        assert_eq!(infer_initial_ttl(30), 32);
+        assert_eq!(infer_initial_ttl(32), 32);
+        assert_eq!(infer_initial_ttl(60), 64);
+        assert_eq!(infer_initial_ttl(120), 128);
+        assert_eq!(infer_initial_ttl(250), 255);
+        assert_eq!(infer_initial_ttl(255), 255);
+    }
+
+    #[test]
+    fn fingerprint_conflicts() {
+        let a = Fingerprint {
+            indirect_initial_ttl: Some(255),
+            direct_initial_ttl: Some(64),
+        };
+        let b = Fingerprint {
+            indirect_initial_ttl: Some(255),
+            direct_initial_ttl: Some(128),
+        };
+        assert!(a.conflicts(&b));
+        let c = Fingerprint {
+            indirect_initial_ttl: Some(255),
+            direct_initial_ttl: None,
+        };
+        assert!(!a.conflicts(&c), "unknown components cannot conflict");
+        assert!(!a.conflicts(&a));
+    }
+
+    #[test]
+    fn mpls_evidence_lifecycle() {
+        let mut e = MplsEvidence::None;
+        e.observe(100);
+        assert_eq!(e, MplsEvidence::Stable(100));
+        e.observe(100);
+        assert_eq!(e, MplsEvidence::Stable(100));
+        e.observe(200);
+        assert_eq!(e, MplsEvidence::Unstable);
+    }
+
+    #[test]
+    fn mpls_conflict_and_match() {
+        let a = MplsEvidence::Stable(1);
+        let b = MplsEvidence::Stable(2);
+        let c = MplsEvidence::Stable(1);
+        assert!(a.conflicts(&b));
+        assert!(a.matches(&c));
+        assert!(!a.conflicts(&MplsEvidence::None));
+        assert!(!a.matches(&MplsEvidence::Unstable));
+    }
+
+    #[test]
+    fn evidence_base_accumulates() {
+        use mlpt_core::prober::ProbeObservation;
+        use mlpt_wire::FlowId;
+        let addr: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        let mut base = EvidenceBase::new();
+        let obs = ProbeObservation {
+            flow: FlowId(1),
+            ttl: 3,
+            responder: addr,
+            at_destination: false,
+            ip_id: 500,
+            reply_ttl: 252,
+            mpls: vec![],
+            timestamp: 10,
+        };
+        base.add_indirect(&obs, 0);
+        let e = base.get(addr).unwrap();
+        assert_eq!(e.indirect_series.len(), 1);
+        assert_eq!(e.fingerprint.indirect_initial_ttl, Some(255));
+        assert_eq!(e.fingerprint.direct_initial_ttl, None);
+    }
+}

@@ -1,0 +1,262 @@
+//! Multilevel MDA-Lite Paris Traceroute (MMLPT).
+//!
+//! The paper's third contribution: "for the first time, a Traceroute tool
+//! that provides a router-level view of multipath routes" (Sec. 4). The
+//! multilevel tracer runs MDA-Lite, then — hop by hop, among the
+//! addresses found at that hop, since "the aliases of a given router are
+//! to be found among the addresses found at a given hop" — applies the
+//! alias-resolution rounds and collapses the IP-level topology to the
+//! router level.
+
+use crate::evidence::EvidenceBase;
+use crate::resolver::AliasPartition;
+use crate::rounds::{run_rounds, RoundReport, RoundsConfig};
+use mlpt_core::config::TraceConfig;
+use mlpt_core::mda_lite::trace_mda_lite;
+use mlpt_core::prober::{Prober, TransportProber};
+use mlpt_core::trace::Trace;
+use mlpt_topo::router::collapse;
+use mlpt_topo::{MultipathTopology, RouterMap};
+use mlpt_wire::transport::PacketTransport;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Configuration for a multilevel trace.
+#[derive(Debug, Clone)]
+pub struct MultilevelConfig {
+    /// The underlying MDA-Lite trace configuration.
+    pub trace: TraceConfig,
+    /// The alias-resolution protocol configuration.
+    pub rounds: RoundsConfig,
+}
+
+impl MultilevelConfig {
+    /// Creates a configuration with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            trace: TraceConfig::new(seed),
+            rounds: RoundsConfig::default(),
+        }
+    }
+}
+
+/// Result of a multilevel trace: the IP-level trace plus router-level
+/// inference.
+#[derive(Debug, Clone)]
+pub struct MultilevelTrace {
+    /// The underlying IP-level multipath trace.
+    pub trace: Trace,
+    /// Per-hop round reports (only hops with ≥ 2 candidate addresses).
+    pub hop_reports: BTreeMap<u8, Vec<RoundReport>>,
+    /// Final alias sets merged across hops.
+    pub router_map: RouterMap,
+    /// Probes spent on alias resolution (beyond the trace itself).
+    pub alias_probes: u64,
+    /// The discovered IP-level topology (None if destination unreached).
+    pub ip_topology: Option<MultipathTopology>,
+    /// The router-level topology after collapsing alias sets.
+    pub router_topology: Option<MultipathTopology>,
+}
+
+impl MultilevelTrace {
+    /// Final partition for one hop, if alias resolution ran there.
+    pub fn final_partition(&self, ttl: u8) -> Option<&AliasPartition> {
+        self.hop_reports
+            .get(&ttl)
+            .and_then(|r| r.last())
+            .map(|r| &r.partition)
+    }
+
+    /// Sizes of all identified routers (the Fig. 12 metric).
+    pub fn router_sizes(&self) -> Vec<usize> {
+        self.router_map.router_sizes()
+    }
+}
+
+/// Runs Multilevel MDA-Lite Paris Traceroute over a packet transport.
+pub fn trace_multilevel<T: PacketTransport>(
+    prober: &mut TransportProber<T>,
+    config: &MultilevelConfig,
+) -> MultilevelTrace {
+    let trace = trace_mda_lite(prober, &config.trace);
+    let after_trace = prober.probes_sent();
+
+    let destination = trace.destination;
+    let mut hop_reports: BTreeMap<u8, Vec<RoundReport>> = BTreeMap::new();
+    let mut hop_maps: Vec<RouterMap> = Vec::new();
+
+    for ttl in 1..=trace.discovery.max_observed_ttl() {
+        let candidates: BTreeSet<Ipv4Addr> = trace
+            .discovery
+            .vertices_at(ttl)
+            .iter()
+            .copied()
+            .filter(|&a| a != destination && !mlpt_topo::is_star(a))
+            .collect();
+        if candidates.len() < 2 {
+            continue;
+        }
+        let mut base = EvidenceBase::from_log(prober.log(), &candidates);
+        let reports = run_rounds(prober, &trace, &candidates, &mut base, &config.rounds);
+        if let Some(last) = reports.last() {
+            hop_maps.push(last.partition.to_router_map());
+        }
+        hop_reports.insert(ttl, reports);
+    }
+
+    // An address can appear at several hops; transitive closure merges
+    // the per-hop verdicts exactly as the survey's aggregation does.
+    let router_map = RouterMap::aggregate(&hop_maps);
+    let alias_probes = prober.probes_sent() - after_trace;
+
+    let ip_topology = trace.to_topology();
+    let router_topology = ip_topology
+        .as_ref()
+        .map(|topo| collapse(topo, &router_map));
+
+    MultilevelTrace {
+        trace,
+        hop_reports,
+        router_map,
+        alias_probes,
+        ip_topology,
+        router_topology,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpt_sim::{RouterProfile, SimNetwork};
+    use mlpt_topo::diamond::{all_diamond_metrics, find_diamonds};
+    use mlpt_topo::graph::addr;
+    use mlpt_topo::RouterId;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    /// 1-4-1 diamond; middle interfaces pair into two routers.
+    fn grouped() -> (MultipathTopology, RouterMap) {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1), addr(1, 2), addr(1, 3)]);
+        b.add_hop([addr(2, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_unmeshed(1);
+        let topo = b.build().unwrap();
+        let routers = RouterMap::from_alias_sets([
+            vec![addr(1, 0), addr(1, 1)],
+            vec![addr(1, 2), addr(1, 3)],
+        ]);
+        (topo, routers)
+    }
+
+    #[test]
+    fn multilevel_resolves_and_collapses() {
+        let (topo, routers) = grouped();
+        let net = SimNetwork::builder(topo.clone())
+            .routers(routers.clone())
+            .seed(21)
+            .build();
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let result = trace_multilevel(&mut prober, &MultilevelConfig::new(21));
+
+        // IP level: 4-wide diamond.
+        let ip = result.ip_topology.as_ref().unwrap();
+        assert_eq!(ip.hop(1).len(), 4);
+
+        // Router level: collapsed to 2-wide.
+        let router = result.router_topology.as_ref().unwrap();
+        assert_eq!(router.hop(1).len(), 2, "four interfaces → two routers");
+
+        // Ground truth agreement.
+        assert!(result.router_map.are_aliases(addr(1, 0), addr(1, 1)));
+        assert!(result.router_map.are_aliases(addr(1, 2), addr(1, 3)));
+        assert!(!result.router_map.are_aliases(addr(1, 1), addr(1, 2)));
+
+        // The diamond narrowed but did not disappear.
+        let before = all_diamond_metrics(ip).pop().unwrap();
+        let after = all_diamond_metrics(router).pop().unwrap();
+        assert_eq!(before.max_width, 4);
+        assert_eq!(after.max_width, 2);
+
+        assert!(result.alias_probes > 0);
+        assert_eq!(result.router_sizes(), vec![2, 2]);
+    }
+
+    #[test]
+    fn single_router_hop_dissolves_diamond() {
+        // All four middle interfaces belong to one router: the router-level
+        // view must be a straight path (Table 3's "one path" case).
+        let (topo, _) = grouped();
+        let routers = RouterMap::from_alias_sets([vec![
+            addr(1, 0),
+            addr(1, 1),
+            addr(1, 2),
+            addr(1, 3),
+        ]]);
+        let net = SimNetwork::builder(topo.clone())
+            .routers(routers)
+            .seed(33)
+            .build();
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let result = trace_multilevel(&mut prober, &MultilevelConfig::new(33));
+        let router = result.router_topology.as_ref().unwrap();
+        assert!(find_diamonds(router).is_empty(), "diamond must dissolve");
+    }
+
+    #[test]
+    fn singleton_routers_preserve_diamond() {
+        // Every interface its own router (simulator default): the
+        // router-level view equals the IP-level view.
+        let (topo, _) = grouped();
+        let net = SimNetwork::builder(topo.clone()).seed(44).build();
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let result = trace_multilevel(&mut prober, &MultilevelConfig::new(44));
+        let ip = result.ip_topology.as_ref().unwrap();
+        let router = result.router_topology.as_ref().unwrap();
+        assert_eq!(ip.hop(1).len(), router.hop(1).len());
+    }
+
+    #[test]
+    fn mpls_labels_alone_group_constant_id_routers() {
+        use mlpt_sim::{IpIdProfile, MplsProfile};
+        // Constant-zero IP IDs everywhere (MBT helpless), but stable MPLS
+        // labels distinguish the two routers.
+        let (topo, routers) = grouped();
+        let profile_a = RouterProfile {
+            ipid: IpIdProfile::constant_zero(),
+            mpls: Some(MplsProfile { label: 111, stable: true }),
+            ..RouterProfile::well_behaved()
+        };
+        let profile_b = RouterProfile {
+            ipid: IpIdProfile::constant_zero(),
+            mpls: Some(MplsProfile { label: 222, stable: true }),
+            ..RouterProfile::well_behaved()
+        };
+        let net = SimNetwork::builder(topo.clone())
+            .routers(routers)
+            .profile(RouterId(0), profile_a)
+            .profile(RouterId(1), profile_b)
+            .seed(55)
+            .build();
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let result = trace_multilevel(&mut prober, &MultilevelConfig::new(55));
+        assert!(result.router_map.are_aliases(addr(1, 0), addr(1, 1)));
+        assert!(result.router_map.are_aliases(addr(1, 2), addr(1, 3)));
+        assert!(!result.router_map.are_aliases(addr(1, 0), addr(1, 2)));
+    }
+
+    #[test]
+    fn hop_reports_cover_multi_vertex_hops_only() {
+        let (topo, routers) = grouped();
+        let net = SimNetwork::builder(topo.clone())
+            .routers(routers)
+            .seed(66)
+            .build();
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let result = trace_multilevel(&mut prober, &MultilevelConfig::new(66));
+        assert!(result.hop_reports.contains_key(&2));
+        assert!(!result.hop_reports.contains_key(&1), "single-vertex hop");
+        assert_eq!(result.hop_reports[&2].len(), 11, "rounds 0..=10");
+    }
+}

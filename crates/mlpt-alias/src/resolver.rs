@@ -1,0 +1,427 @@
+//! Combining evidence into alias sets.
+//!
+//! MMLPT follows "the MBT's set-based schema for alias identification"
+//! (Sec. 4.1): candidate addresses at a hop form sets that probing
+//! evidence refines. Pairs are judged from three sources — MBT, initial
+//! TTL fingerprints and MPLS labels — and a deterministic union-find
+//! respecting negative evidence produces the partition. Each resulting
+//! multi-address set is then given one of the paper's three outcomes:
+//! accepted as a router, rejected, or "unable to determine".
+
+use crate::evidence::EvidenceBase;
+use crate::mbt::{test_pair, MbtParams, PairCompatibility};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Verdict for one pair of addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairVerdict {
+    /// Positive evidence they share a router (MBT-compatible, or matching
+    /// stable MPLS labels).
+    Alias,
+    /// Weak positive evidence only: the MBT can never conclude for these
+    /// addresses (constant / random / echoed IP IDs) but their complete
+    /// signatures agree, so the set-based schema keeps them together —
+    /// the paper's false-positive mechanism (Sec. 4.1).
+    WeakAlias,
+    /// Definitive evidence they do not (MBT violation, fingerprint or
+    /// label conflict).
+    NotAlias,
+    /// Nothing conclusive either way.
+    Undetermined,
+}
+
+/// Which probing method's IP-ID series the MBT should consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeriesSource {
+    /// Time Exceeded replies (MMLPT's indirect probing).
+    Indirect,
+    /// Echo replies (MIDAR-style direct probing).
+    Direct,
+}
+
+/// Judges one pair from the accumulated evidence.
+pub fn judge_pair(
+    base: &EvidenceBase,
+    a: Ipv4Addr,
+    b: Ipv4Addr,
+    source: SeriesSource,
+    params: &MbtParams,
+) -> PairVerdict {
+    let (Some(ea), Some(eb)) = (base.get(a), base.get(b)) else {
+        return PairVerdict::Undetermined;
+    };
+
+    // Signature-based negative evidence first: cheap and decisive.
+    if ea.fingerprint.conflicts(&eb.fingerprint) {
+        return PairVerdict::NotAlias;
+    }
+    if ea.mpls.conflicts(&eb.mpls) {
+        return PairVerdict::NotAlias;
+    }
+
+    let (sa, sb) = match source {
+        SeriesSource::Indirect => (&ea.indirect_series, &eb.indirect_series),
+        SeriesSource::Direct => (&ea.direct_series, &eb.direct_series),
+    };
+    match test_pair(sa, sb, params) {
+        PairCompatibility::Incompatible => PairVerdict::NotAlias,
+        PairCompatibility::Compatible => PairVerdict::Alias,
+        PairCompatibility::Unknown => {
+            // Matching stable MPLS labels carry a merge on their own
+            // (Sec. 4.1: "highly likely … same router").
+            if ea.mpls.matches(&eb.mpls) {
+                return PairVerdict::Alias;
+            }
+            // Signature fallback: when the MBT can never conclude (both
+            // series permanently unusable — constant, random or echoing
+            // IDs) but the *complete* fingerprints agree, the addresses
+            // stay together. This is exactly the paper's false-positive
+            // mechanism: "routers having identical fingerprints and MPLS
+            // signatures alongside a lack of sufficient MBT probing"
+            // (Sec. 4.1). Note the direct fingerprint component only
+            // exists from Round 1 on, which is part of why Round 0 recall
+            // trails Round 10 (Fig. 5).
+            let unusable_for_good = |e: &crate::evidence::AddressEvidence| {
+                let class = crate::series::classify_series(
+                    match source {
+                        SeriesSource::Indirect => &e.indirect_series,
+                        SeriesSource::Direct => &e.direct_series,
+                    },
+                    params.velocity_bound,
+                    params.slack,
+                );
+                matches!(
+                    class,
+                    crate::series::SeriesClass::Constant(_)
+                        | crate::series::SeriesClass::EchoesProbe
+                        | crate::series::SeriesClass::NonMonotonic
+                )
+            };
+            let complete = |e: &crate::evidence::AddressEvidence| {
+                e.fingerprint.indirect_initial_ttl.is_some()
+                    && e.fingerprint.direct_initial_ttl.is_some()
+            };
+            if unusable_for_good(ea)
+                && unusable_for_good(eb)
+                && complete(ea)
+                && complete(eb)
+                && ea.fingerprint == eb.fingerprint
+            {
+                PairVerdict::WeakAlias
+            } else {
+                PairVerdict::Undetermined
+            }
+        }
+    }
+}
+
+/// A partition of candidate addresses into alias sets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AliasPartition {
+    sets: Vec<BTreeSet<Ipv4Addr>>,
+}
+
+impl AliasPartition {
+    /// The alias sets, singletons included, deterministically ordered.
+    pub fn sets(&self) -> &[BTreeSet<Ipv4Addr>] {
+        &self.sets
+    }
+
+    /// Only the multi-address sets — the "routers" the tool identifies.
+    pub fn routers(&self) -> impl Iterator<Item = &BTreeSet<Ipv4Addr>> {
+        self.sets.iter().filter(|s| s.len() >= 2)
+    }
+
+    /// True if `a` and `b` ended up in the same set.
+    pub fn same_set(&self, a: Ipv4Addr, b: Ipv4Addr) -> bool {
+        self.sets.iter().any(|s| s.contains(&a) && s.contains(&b))
+    }
+
+    /// All unordered alias pairs asserted by this partition.
+    pub fn pairs(&self) -> BTreeSet<(Ipv4Addr, Ipv4Addr)> {
+        let mut out = BTreeSet::new();
+        for set in &self.sets {
+            let v: Vec<Ipv4Addr> = set.iter().copied().collect();
+            for i in 0..v.len() {
+                for j in i + 1..v.len() {
+                    out.insert((v[i], v[j]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts to the topology-level router map.
+    pub fn to_router_map(&self) -> mlpt_topo::RouterMap {
+        mlpt_topo::RouterMap::from_alias_sets(
+            self.routers().map(|s| s.iter().copied().collect::<Vec<_>>()),
+        )
+    }
+}
+
+/// Pairwise precision/recall of `candidate` against `reference` — how
+/// Fig. 5 scores each round against Round 10.
+pub fn precision_recall(candidate: &AliasPartition, reference: &AliasPartition) -> (f64, f64) {
+    let cp = candidate.pairs();
+    let rp = reference.pairs();
+    let tp = cp.intersection(&rp).count() as f64;
+    let precision = if cp.is_empty() { 1.0 } else { tp / cp.len() as f64 };
+    let recall = if rp.is_empty() { 1.0 } else { tp / rp.len() as f64 };
+    (precision, recall)
+}
+
+/// Builds the partition over `candidates`: union-find over `Alias` pairs,
+/// refusing merges that would place a `NotAlias` pair in one set (the
+/// deterministic analogue of the MBT's split-refine loop).
+pub fn resolve(
+    base: &EvidenceBase,
+    candidates: &BTreeSet<Ipv4Addr>,
+    source: SeriesSource,
+    params: &MbtParams,
+) -> AliasPartition {
+    let addrs: Vec<Ipv4Addr> = candidates.iter().copied().collect();
+    let index: BTreeMap<Ipv4Addr, usize> =
+        addrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+
+    // Pair verdicts.
+    let n = addrs.len();
+    let mut alias_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut conflict = vec![BTreeSet::<usize>::new(); n];
+    let mut weak_pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            match judge_pair(base, addrs[i], addrs[j], source, params) {
+                PairVerdict::Alias => alias_pairs.push((i, j)),
+                PairVerdict::WeakAlias => weak_pairs.push((i, j)),
+                PairVerdict::NotAlias => {
+                    conflict[i].insert(j);
+                    conflict[j].insert(i);
+                }
+                PairVerdict::Undetermined => {}
+            }
+        }
+    }
+    // Strong merges first, then weak ones — a weak merge never overrides
+    // structure the strong evidence established.
+    alias_pairs.extend(weak_pairs);
+
+    // Union-find with conflict awareness.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut members: Vec<BTreeSet<usize>> = (0..n).map(|i| BTreeSet::from([i])).collect();
+
+    for (i, j) in alias_pairs {
+        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+        if ri == rj {
+            continue;
+        }
+        // A merge is blocked if any cross pair conflicts.
+        let blocked = members[ri]
+            .iter()
+            .any(|&x| members[rj].iter().any(|&y| conflict[x].contains(&y)));
+        if blocked {
+            continue;
+        }
+        let (keep, absorb) = if members[ri].len() >= members[rj].len() {
+            (ri, rj)
+        } else {
+            (rj, ri)
+        };
+        parent[absorb] = keep;
+        let moved = std::mem::take(&mut members[absorb]);
+        members[keep].extend(moved);
+    }
+
+    let mut sets: Vec<BTreeSet<Ipv4Addr>> = Vec::new();
+    let mut seen_roots = BTreeMap::new();
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let entry = seen_roots.entry(root).or_insert_with(|| {
+            sets.push(BTreeSet::new());
+            sets.len() - 1
+        });
+        sets[*entry].insert(addrs[i]);
+    }
+    let _ = index;
+    sets.sort();
+    AliasPartition { sets }
+}
+
+/// One method's judgement of a *given* candidate set (used for the
+/// Table 2 cross-tool comparison): Accept if every pair is positively
+/// compatible, Reject if any pair has definitive negative evidence,
+/// Unable otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SetVerdict {
+    /// The set holds together under this method's evidence.
+    Accept,
+    /// Some pair in the set is definitively not aliased.
+    Reject,
+    /// The method cannot determine membership for at least one address.
+    Unable,
+}
+
+/// Judges a candidate set under one series source.
+pub fn judge_set(
+    base: &EvidenceBase,
+    set: &BTreeSet<Ipv4Addr>,
+    source: SeriesSource,
+    params: &MbtParams,
+) -> SetVerdict {
+    let addrs: Vec<Ipv4Addr> = set.iter().copied().collect();
+    let mut any_unknown = false;
+    for i in 0..addrs.len() {
+        for j in i + 1..addrs.len() {
+            match judge_pair(base, addrs[i], addrs[j], source, params) {
+                PairVerdict::NotAlias => return SetVerdict::Reject,
+                // A weak (signature-only) pair is not a validation: the
+                // method is unable to confirm the set (the paper's
+                // constant-IP-ID inconclusive case).
+                PairVerdict::Undetermined | PairVerdict::WeakAlias => any_unknown = true,
+                PairVerdict::Alias => {}
+            }
+        }
+    }
+    if any_unknown {
+        SetVerdict::Unable
+    } else {
+        SetVerdict::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::IpIdSample;
+
+    fn addr(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    fn sample(t: u64, id: u16) -> IpIdSample {
+        IpIdSample {
+            timestamp: t,
+            ip_id: id,
+            probe_ip_id: 0xFFFF,
+        }
+    }
+
+    /// Two addresses on one shared counter, one on an independent counter.
+    fn three_address_base() -> (EvidenceBase, BTreeSet<Ipv4Addr>) {
+        let mut base = EvidenceBase::new();
+        // Shared counter ~4/tick: A at t=0,3,6...; B at t=1,4,7...
+        for i in 0..10u64 {
+            base.entry(addr(1)).indirect_series.push(sample(3 * i, (100 + 12 * i) as u16));
+            base.entry(addr(2)).indirect_series.push(sample(3 * i + 1, (104 + 12 * i) as u16));
+            base.entry(addr(3)).indirect_series.push(sample(3 * i + 2, (40_000u64 + 12 * i) as u16));
+        }
+        for a in [addr(1), addr(2), addr(3)] {
+            base.entry(a).fingerprint.indirect_initial_ttl = Some(255);
+        }
+        let candidates = BTreeSet::from([addr(1), addr(2), addr(3)]);
+        (base, candidates)
+    }
+
+    #[test]
+    fn resolve_groups_shared_counter() {
+        let (base, candidates) = three_address_base();
+        let partition = resolve(&base, &candidates, SeriesSource::Indirect, &MbtParams::default());
+        assert!(partition.same_set(addr(1), addr(2)));
+        assert!(!partition.same_set(addr(1), addr(3)));
+        assert_eq!(partition.routers().count(), 1);
+    }
+
+    #[test]
+    fn fingerprint_conflict_blocks_merge() {
+        let (mut base, candidates) = three_address_base();
+        base.entry(addr(2)).fingerprint.indirect_initial_ttl = Some(64);
+        let partition = resolve(&base, &candidates, SeriesSource::Indirect, &MbtParams::default());
+        assert!(!partition.same_set(addr(1), addr(2)));
+    }
+
+    #[test]
+    fn mpls_labels_merge_without_series() {
+        use crate::evidence::MplsEvidence;
+        let mut base = EvidenceBase::new();
+        base.entry(addr(1)).mpls = MplsEvidence::Stable(500);
+        base.entry(addr(2)).mpls = MplsEvidence::Stable(500);
+        base.entry(addr(3)).mpls = MplsEvidence::Stable(600);
+        let candidates = BTreeSet::from([addr(1), addr(2), addr(3)]);
+        let partition = resolve(&base, &candidates, SeriesSource::Indirect, &MbtParams::default());
+        assert!(partition.same_set(addr(1), addr(2)));
+        assert!(!partition.same_set(addr(1), addr(3)));
+    }
+
+    #[test]
+    fn pairs_and_precision_recall() {
+        let p1 = AliasPartition {
+            sets: vec![
+                BTreeSet::from([addr(1), addr(2), addr(3)]),
+                BTreeSet::from([addr(4)]),
+            ],
+        };
+        let p2 = AliasPartition {
+            sets: vec![
+                BTreeSet::from([addr(1), addr(2)]),
+                BTreeSet::from([addr(3)]),
+                BTreeSet::from([addr(4)]),
+            ],
+        };
+        // p1 asserts 3 pairs, p2 asserts 1 pair (1,2).
+        let (precision, recall) = precision_recall(&p1, &p2);
+        assert!((precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((recall - 1.0).abs() < 1e-12);
+        let (precision, recall) = precision_recall(&p2, &p1);
+        assert!((precision - 1.0).abs() < 1e-12);
+        assert!((recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn judge_set_verdicts() {
+        let (base, _) = three_address_base();
+        let params = MbtParams::default();
+        assert_eq!(
+            judge_set(&base, &BTreeSet::from([addr(1), addr(2)]), SeriesSource::Indirect, &params),
+            SetVerdict::Accept
+        );
+        assert_eq!(
+            judge_set(&base, &BTreeSet::from([addr(1), addr(3)]), SeriesSource::Indirect, &params),
+            SetVerdict::Reject
+        );
+        // Direct series absent: unable.
+        assert_eq!(
+            judge_set(&base, &BTreeSet::from([addr(1), addr(2)]), SeriesSource::Direct, &params),
+            SetVerdict::Unable
+        );
+    }
+
+    #[test]
+    fn conflict_blocks_transitive_merge() {
+        // A~B alias, B~C alias, A–C conflict: C must not join {A, B}.
+        let mut base = EvidenceBase::new();
+        // Shared counter evidence for A+B and B+C via interleaving; but
+        // give A and C conflicting fingerprints.
+        for i in 0..10u64 {
+            base.entry(addr(1)).indirect_series.push(sample(4 * i, (100 + 8 * i) as u16));
+            base.entry(addr(2)).indirect_series.push(sample(4 * i + 1, (102 + 8 * i) as u16));
+            base.entry(addr(3)).indirect_series.push(sample(4 * i + 2, (104 + 8 * i) as u16));
+        }
+        base.entry(addr(1)).fingerprint.indirect_initial_ttl = Some(255);
+        base.entry(addr(3)).fingerprint.indirect_initial_ttl = Some(64);
+        let candidates = BTreeSet::from([addr(1), addr(2), addr(3)]);
+        let partition = resolve(&base, &candidates, SeriesSource::Indirect, &MbtParams::default());
+        assert!(!partition.same_set(addr(1), addr(3)), "conflict must hold");
+        // B joins exactly one of them (deterministically).
+        let with_b = partition.same_set(addr(1), addr(2)) || partition.same_set(addr(2), addr(3));
+        assert!(with_b);
+    }
+}

@@ -1,0 +1,333 @@
+//! The Round 0–10 alias-resolution probing protocol (Sec. 4.2).
+//!
+//! "Round 0 is based on just the data obtained through MDA-Lite Paris
+//! Traceroute, with no additional probing. … Round 1 adds one direct
+//! probe to each of the IP addresses at a given hop, in order to provide
+//! more complete Network Fingerprinting signatures. It also is the first
+//! round of MBT probing, attempting to elicit 30 replies per address.
+//! Each subsequent round through to Round 10 consists of an additional 30
+//! indirect probes per address."
+//!
+//! [`run_rounds`] implements that protocol for either probing method —
+//! indirect (MMLPT's own) or direct (the MIDAR-style comparator of
+//! Table 2) — interleaving the per-address probes so the IP-ID samples
+//! properly alternate for the MBT.
+
+use crate::evidence::EvidenceBase;
+use crate::mbt::MbtParams;
+use crate::resolver::{resolve, AliasPartition, SeriesSource};
+use mlpt_core::prober::Prober;
+use mlpt_core::trace::Trace;
+use mlpt_wire::FlowId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Which probing style elicits the MBT's IP-ID samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeMethod {
+    /// TTL-limited UDP probes eliciting Time Exceeded (MMLPT).
+    Indirect,
+    /// ICMP echo probes eliciting Echo Reply (MIDAR-style).
+    Direct,
+}
+
+impl ProbeMethod {
+    /// The series the resolver should consult for this method.
+    pub fn series_source(self) -> SeriesSource {
+        match self {
+            ProbeMethod::Indirect => SeriesSource::Indirect,
+            ProbeMethod::Direct => SeriesSource::Direct,
+        }
+    }
+}
+
+/// Protocol configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundsConfig {
+    /// Number of probing rounds after Round 0 (the paper uses 10).
+    pub rounds: u32,
+    /// Replies attempted per address per round (the paper uses 30).
+    pub replies_per_round: u32,
+    /// Probing method for the MBT series.
+    pub method: ProbeMethod,
+    /// MBT parameters.
+    pub mbt: MbtParams,
+}
+
+impl Default for RoundsConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 10,
+            replies_per_round: 30,
+            method: ProbeMethod::Indirect,
+            mbt: MbtParams::default(),
+        }
+    }
+}
+
+/// Outcome of one round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round number (0 = trace data only).
+    pub round: u32,
+    /// The alias partition computed after this round.
+    pub partition: AliasPartition,
+    /// Alias-resolution probes sent *so far* (cumulative, excluding the
+    /// trace's own probes).
+    pub cumulative_probes: u64,
+}
+
+/// How to elicit an indirect reply from a specific interface: a flow known
+/// to reach it and the TTL at which it answers, harvested from the trace.
+fn indirect_targets(trace: &Trace, candidates: &BTreeSet<Ipv4Addr>) -> BTreeMap<Ipv4Addr, (Vec<FlowId>, u8)> {
+    let mut map = BTreeMap::new();
+    for ttl in 1..=trace.discovery.max_observed_ttl() {
+        for &addr in trace.discovery.vertices_at(ttl) {
+            if candidates.contains(&addr) && !map.contains_key(&addr) {
+                let flows: Vec<FlowId> = trace
+                    .discovery
+                    .flows_reaching(ttl, addr)
+                    .into_iter()
+                    .collect();
+                if !flows.is_empty() {
+                    map.insert(addr, (flows, ttl));
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Runs the protocol over one candidate set (typically the addresses of
+/// one hop). `base` must already hold the Round 0 evidence (seed it with
+/// [`EvidenceBase::from_log`]); reports are returned for rounds
+/// 0 ..= `config.rounds`.
+pub fn run_rounds<P: Prober>(
+    prober: &mut P,
+    trace: &Trace,
+    candidates: &BTreeSet<Ipv4Addr>,
+    base: &mut EvidenceBase,
+    config: &RoundsConfig,
+) -> Vec<RoundReport> {
+    let source = config.method.series_source();
+    let targets = indirect_targets(trace, candidates);
+    let mut reports = Vec::with_capacity(config.rounds as usize + 1);
+    let mut probes: u64 = 0;
+
+    // Round 0: trace data only.
+    reports.push(RoundReport {
+        round: 0,
+        partition: resolve(base, candidates, source, &config.mbt),
+        cumulative_probes: 0,
+    });
+
+    let mut flow_cursor: BTreeMap<Ipv4Addr, usize> = BTreeMap::new();
+    for round in 1..=config.rounds {
+        // Round 1 completes fingerprints with one direct probe each.
+        if round == 1 {
+            for &addr in candidates {
+                probes += 1;
+                match prober.direct_probe(addr) {
+                    Some(obs) => base.add_direct(&obs),
+                    None => base.add_direct_timeout(addr),
+                }
+            }
+        }
+
+        // One MBT round: `replies_per_round` probes per address,
+        // interleaved address by address so the samples alternate.
+        for _rep in 0..config.replies_per_round {
+            for &addr in candidates {
+                match config.method {
+                    ProbeMethod::Indirect => {
+                        let Some((flows, ttl)) = targets.get(&addr) else {
+                            continue; // no flow known to reach it
+                        };
+                        let cursor = flow_cursor.entry(addr).or_insert(0);
+                        let flow = flows[*cursor % flows.len()];
+                        *cursor += 1;
+                        probes += 1;
+                        if let Some(obs) = prober.probe(flow, *ttl) {
+                            base.add_indirect(&obs, 0);
+                        }
+                    }
+                    ProbeMethod::Direct => {
+                        probes += 1;
+                        match prober.direct_probe(addr) {
+                            Some(obs) => base.add_direct(&obs),
+                            None => base.add_direct_timeout(addr),
+                        }
+                    }
+                }
+            }
+        }
+
+        reports.push(RoundReport {
+            round,
+            partition: resolve(base, candidates, source, &config.mbt),
+            cumulative_probes: probes,
+        });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::EvidenceBase;
+    use crate::resolver::precision_recall;
+    use mlpt_core::prelude::*;
+    use mlpt_sim::{IpIdProfile, RouterProfile, SimNetwork};
+    use mlpt_topo::graph::addr;
+    use mlpt_topo::{MultipathTopology, RouterId, RouterMap};
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    /// 1-4-1 diamond where interfaces {0,1} share router A and {2,3}
+    /// share router B.
+    fn grouped_topology() -> (MultipathTopology, RouterMap) {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1), addr(1, 2), addr(1, 3)]);
+        b.add_hop([addr(2, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_unmeshed(1);
+        let topo = b.build().unwrap();
+        let routers = RouterMap::from_alias_sets([
+            vec![addr(1, 0), addr(1, 1)],
+            vec![addr(1, 2), addr(1, 3)],
+        ]);
+        (topo, routers)
+    }
+
+    fn run(
+        profile_a: RouterProfile,
+        profile_b: RouterProfile,
+        method: ProbeMethod,
+        seed: u64,
+    ) -> Vec<RoundReport> {
+        let (topo, routers) = grouped_topology();
+        let net = SimNetwork::builder(topo.clone())
+            .routers(routers)
+            .profile(RouterId(0), profile_a)
+            .profile(RouterId(1), profile_b)
+            .seed(seed)
+            .build();
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let trace = trace_mda_lite(&mut prober, &TraceConfig::new(seed));
+        let candidates: BTreeSet<Ipv4Addr> = trace.vertices_at(2).iter().copied().collect();
+        assert_eq!(candidates.len(), 4, "trace must find all four interfaces");
+        let mut base = EvidenceBase::from_log(prober.log(), &candidates);
+        let config = RoundsConfig { method, ..RoundsConfig::default() };
+        run_rounds(&mut prober, &trace, &candidates, &mut base, &config)
+    }
+
+    #[test]
+    fn indirect_rounds_find_true_aliases() {
+        let reports = run(
+            RouterProfile::well_behaved(),
+            RouterProfile::well_behaved(),
+            ProbeMethod::Indirect,
+            7,
+        );
+        assert_eq!(reports.len(), 11);
+        let final_partition = &reports.last().unwrap().partition;
+        assert!(final_partition.same_set(addr(1, 0), addr(1, 1)));
+        assert!(final_partition.same_set(addr(1, 2), addr(1, 3)));
+        assert!(!final_partition.same_set(addr(1, 0), addr(1, 2)));
+        assert_eq!(final_partition.routers().count(), 2);
+    }
+
+    #[test]
+    fn probes_accumulate_monotonically() {
+        let reports = run(
+            RouterProfile::well_behaved(),
+            RouterProfile::well_behaved(),
+            ProbeMethod::Indirect,
+            3,
+        );
+        assert_eq!(reports[0].cumulative_probes, 0);
+        for w in reports.windows(2) {
+            assert!(w[1].cumulative_probes > w[0].cumulative_probes);
+        }
+        // Round 1: 4 direct + 30×4 indirect; rounds 2-10: 30×4 each.
+        let last = reports.last().unwrap().cumulative_probes;
+        assert_eq!(last, 4 + 10 * 30 * 4);
+    }
+
+    #[test]
+    fn later_rounds_refine_toward_final() {
+        let reports = run(
+            RouterProfile::well_behaved(),
+            RouterProfile::well_behaved(),
+            ProbeMethod::Indirect,
+            11,
+        );
+        let reference = &reports.last().unwrap().partition;
+        let (p1, _r1) = precision_recall(&reports[1].partition, reference);
+        let (p10, r10) = precision_recall(reference, reference);
+        assert_eq!((p10, r10), (1.0, 1.0));
+        assert!(p1 > 0.0);
+    }
+
+    #[test]
+    fn constant_zero_ids_fall_back_to_signatures() {
+        let reports = run(
+            RouterProfile {
+                ipid: IpIdProfile::constant_zero(),
+                ..RouterProfile::well_behaved()
+            },
+            RouterProfile {
+                ipid: IpIdProfile::constant_zero(),
+                ..RouterProfile::well_behaved()
+            },
+            ProbeMethod::Indirect,
+            5,
+        );
+        // Round 0: fingerprints incomplete (no direct probe yet) and the
+        // MBT helpless → nothing asserted.
+        let round0 = &reports[0].partition;
+        assert_eq!(round0.routers().count(), 0, "round 0 must stay apart");
+        // Final round: identical complete signatures with permanently
+        // unusable counters keep the whole hop together — the paper's
+        // documented false-positive mechanism for constant IP IDs.
+        let final_partition = &reports.last().unwrap().partition;
+        assert!(final_partition.same_set(addr(1, 0), addr(1, 1)));
+        assert!(final_partition.same_set(addr(1, 1), addr(1, 2)));
+    }
+
+    #[test]
+    fn per_interface_counters_reject_indirect_but_accept_direct() {
+        // The Table 2 phenomenon: per-interface counters for Time
+        // Exceeded, router-wide for Echo Reply.
+        let profile = RouterProfile {
+            ipid: IpIdProfile::per_interface_indirect(2, 3),
+            ..RouterProfile::well_behaved()
+        };
+        let indirect = run(profile, profile, ProbeMethod::Indirect, 9);
+        let direct = run(profile, profile, ProbeMethod::Direct, 9);
+        let ind_final = &indirect.last().unwrap().partition;
+        let dir_final = &direct.last().unwrap().partition;
+        assert!(
+            !ind_final.same_set(addr(1, 0), addr(1, 1)),
+            "indirect MBT must split per-interface counters"
+        );
+        assert!(
+            dir_final.same_set(addr(1, 0), addr(1, 1)),
+            "direct MBT sees the shared router-wide counter"
+        );
+        assert!(!dir_final.same_set(addr(1, 1), addr(1, 2)));
+    }
+
+    #[test]
+    fn unresponsive_direct_leaves_direct_method_unable() {
+        let profile = RouterProfile {
+            responds_to_direct: false,
+            ..RouterProfile::well_behaved()
+        };
+        let direct = run(profile, profile, ProbeMethod::Direct, 13);
+        let final_partition = &direct.last().unwrap().partition;
+        assert_eq!(final_partition.routers().count(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Alias-resolution cost: MBT pair tests, partition building, and a full
+//! multilevel trace over the packet path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mlpt_alias::evidence::EvidenceBase;
+use mlpt_alias::mbt::{merged_monotonic, MbtParams};
+use mlpt_alias::multilevel::{trace_multilevel, MultilevelConfig};
+use mlpt_alias::resolver::{resolve, SeriesSource};
+use mlpt_alias::series::IpIdSample;
+use mlpt_core::prelude::*;
+use mlpt_sim::SimNetwork;
+use mlpt_topo::graph::addr;
+use mlpt_topo::{MultipathTopology, RouterMap};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+fn series(base: u16, step: u16, offset: u64, n: usize) -> Vec<IpIdSample> {
+    (0..n)
+        .map(|i| IpIdSample {
+            timestamp: offset + 2 * i as u64,
+            ip_id: base.wrapping_add(step * i as u16),
+            probe_ip_id: 0xFFFF,
+        })
+        .collect()
+}
+
+fn wide_evidence(width: usize) -> (EvidenceBase, BTreeSet<Ipv4Addr>) {
+    let mut base = EvidenceBase::new();
+    let mut candidates = BTreeSet::new();
+    for i in 0..width {
+        let a = addr(1, i);
+        candidates.insert(a);
+        // Pairs (2i, 2i+1) share counters.
+        let counter_base = (i / 2 * 9000) as u16;
+        base.entry(a).indirect_series = series(counter_base, 4, (i % 2) as u64, 30);
+        base.entry(a).fingerprint.indirect_initial_ttl = Some(255);
+    }
+    (base, candidates)
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("mbt/merged_monotonic_30x30", |b| {
+        let a = series(100, 4, 0, 30);
+        let bb = series(102, 4, 1, 30);
+        let params = MbtParams::default();
+        b.iter(|| black_box(merged_monotonic(black_box(&a), black_box(&bb), &params)));
+    });
+
+    for width in [8usize, 24, 48] {
+        c.bench_function(&format!("resolver/partition_width_{width}"), |b| {
+            let (base, candidates) = wide_evidence(width);
+            let params = MbtParams::default();
+            b.iter(|| {
+                black_box(resolve(
+                    black_box(&base),
+                    &candidates,
+                    SeriesSource::Indirect,
+                    &params,
+                ))
+            });
+        });
+    }
+
+    c.bench_function("multilevel/trace_1-6-1", |b| {
+        let mut builder = MultipathTopology::builder();
+        builder.add_hop([addr(0, 0)]);
+        builder.add_hop((0..6).map(|i| addr(1, i)));
+        builder.add_hop([addr(2, 0)]);
+        builder.connect_unmeshed(0);
+        builder.connect_unmeshed(1);
+        let topo = builder.build().unwrap();
+        let truth = RouterMap::from_alias_sets([
+            vec![addr(1, 0), addr(1, 1)],
+            vec![addr(1, 2), addr(1, 3)],
+            vec![addr(1, 4), addr(1, 5)],
+        ]);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let net = SimNetwork::builder(topo.clone())
+                .routers(truth.clone())
+                .seed(seed)
+                .build();
+            let mut prober =
+                TransportProber::new(net, Ipv4Addr::new(192, 0, 2, 1), topo.destination());
+            black_box(trace_multilevel(&mut prober, &MultilevelConfig::new(seed)))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

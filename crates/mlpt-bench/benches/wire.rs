@@ -1,0 +1,75 @@
+//! Wire-substrate throughput: every probe of every experiment pays these
+//! costs, so they bound the whole harness's speed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mlpt_wire::checksum::internet_checksum;
+use mlpt_wire::icmp::{IcmpExtensions, IcmpMessage, MplsLabelStackEntry};
+use mlpt_wire::ipv4::Ipv4Header;
+use mlpt_wire::probe::{build_udp_probe, parse_reply, parse_udp_probe, ProbePacket};
+use mlpt_wire::FlowId;
+use std::net::Ipv4Addr;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+const DST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 9);
+const ROUTER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+
+fn probe() -> ProbePacket {
+    ProbePacket {
+        source: SRC,
+        destination: DST,
+        flow: FlowId(77),
+        ttl: 7,
+        sequence: 4242,
+    }
+}
+
+fn reply_bytes(with_mpls: bool) -> Vec<u8> {
+    let quoted = build_udp_probe(&probe())[..28].to_vec();
+    let extensions = if with_mpls {
+        IcmpExtensions {
+            mpls_stack: vec![MplsLabelStackEntry::new(16001, 0, true, 255)],
+        }
+    } else {
+        IcmpExtensions::default()
+    };
+    let icmp = IcmpMessage::TimeExceeded { quoted, extensions }.emit();
+    let ip = Ipv4Header::new(ROUTER, SRC, 1, 250, 999, icmp.len());
+    let mut packet = Vec::new();
+    packet.extend_from_slice(&ip.emit());
+    packet.extend_from_slice(&icmp);
+    packet
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("wire/build_udp_probe", |b| {
+        let p = probe();
+        b.iter(|| black_box(build_udp_probe(black_box(&p))));
+    });
+
+    c.bench_function("wire/parse_udp_probe", |b| {
+        let bytes = build_udp_probe(&probe());
+        b.iter(|| black_box(parse_udp_probe(black_box(&bytes)).unwrap()));
+    });
+
+    c.bench_function("wire/parse_reply_plain", |b| {
+        let bytes = reply_bytes(false);
+        b.iter(|| black_box(parse_reply(black_box(&bytes)).unwrap()));
+    });
+
+    c.bench_function("wire/parse_reply_mpls", |b| {
+        let bytes = reply_bytes(true);
+        b.iter(|| black_box(parse_reply(black_box(&bytes)).unwrap()));
+    });
+
+    c.bench_function("wire/internet_checksum_1500B", |b| {
+        let data: Vec<u8> = (0..1500u32).map(|i| (i * 31 % 251) as u8).collect();
+        b.iter(|| black_box(internet_checksum(black_box(&data))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! The experiment harness CLI: regenerates every table and figure.
+//!
+//! ```text
+//! experiments <id> [--scale small|medium|paper] [--out DIR]
+//! experiments all  [--scale ...]
+//! experiments list
+//! ```
+
+use mlpt_bench::experiments::{self, ALL_IDS};
+use mlpt_bench::Scale;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let id = args[0].as_str();
+    if id == "list" {
+        println!("experiments: {}", ALL_IDS.join(", "));
+        println!("ablations:   ablation-phi, ablation-faults, ablation-stopping, ablation-weighted");
+        println!("meta:        all");
+        return;
+    }
+
+    let mut scale = Scale::Medium;
+    let mut out_dir: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("invalid --scale (small|medium|paper)");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let Some(results) = experiments::run(id, scale) else {
+        eprintln!("unknown experiment id: {id} (try `experiments list`)");
+        std::process::exit(2);
+    };
+
+    for result in &results {
+        println!("================================================================");
+        println!("experiment {} @ scale {scale}", result.id);
+        println!("================================================================");
+        println!("{}", result.text);
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            let path = format!("{dir}/{}-{scale}.json", result.id);
+            let mut file = std::fs::File::create(&path).expect("create result file");
+            let payload = serde_json::json!({
+                "experiment": result.id,
+                "scale": scale.to_string(),
+                "data": result.json,
+            });
+            file.write_all(serde_json::to_string_pretty(&payload).unwrap().as_bytes())
+                .expect("write result file");
+            println!("[written {path}]");
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: experiments <id|all|list> [--scale small|medium|paper] [--out DIR]");
+}

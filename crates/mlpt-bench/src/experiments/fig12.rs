@@ -1,0 +1,75 @@
+//! Experiment `fig12`: router sizes (Sec. 5.2).
+//!
+//! "68% of the routers had a size of 2 and 97% had a size of 10 or less.
+//! We found 1 distinct router with more than 50 interfaces, and 5 such
+//! routers when we aggregated the address sets."
+
+use super::ExperimentResult;
+use crate::render::{cdf_row, f3, table};
+use crate::Scale;
+use mlpt_stats::EmpiricalCdf;
+use mlpt_survey::{run_router_survey, InternetConfig, RouterSurveyConfig, SyntheticInternet};
+use serde_json::json;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let internet = SyntheticInternet::new(InternetConfig::default());
+    let config = RouterSurveyConfig {
+        scenarios: scale.router_survey_scenarios(),
+        with_direct_comparison: false,
+        ..RouterSurveyConfig::default()
+    };
+    let report = run_router_survey(&internet, &config);
+
+    let distinct = EmpiricalCdf::from_iter(
+        report.router_sizes_distinct.iter().map(|&s| s as f64),
+    );
+    let aggregated = EmpiricalCdf::from_iter(
+        report.router_sizes_aggregated.iter().map(|&s| s as f64),
+    );
+    let grid = [2.0, 3.0, 5.0, 10.0, 20.0, 50.0, 100.0];
+    let rows = vec![
+        cdf_row("distinct", &distinct, &grid),
+        cdf_row("aggregated", &aggregated, &grid),
+    ];
+    let mut headers: Vec<String> = vec!["population".into()];
+    headers.extend(grid.iter().map(|x| format!("size<={x}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let over50_distinct = report.router_sizes_distinct.iter().filter(|&&s| s > 50).count();
+    let over50_aggregated = report
+        .router_sizes_aggregated
+        .iter()
+        .filter(|&&s| s > 50)
+        .count();
+
+    let mut text = format!(
+        "Fig. 12: router sizes; {} distinct routers, {} aggregated routers\n\n",
+        distinct.len(),
+        aggregated.len()
+    );
+    text.push_str(&table(&header_refs, &rows));
+    if !distinct.is_empty() {
+        text.push_str(&format!(
+            "\nSize-2 share (distinct): {} (paper: 0.68). Share <= 10: {} (paper: 0.97).\n\
+             Routers with > 50 interfaces: distinct {} (paper: 1), aggregated {} (paper: 5).\n",
+            f3(distinct.fraction_at_or_below(2.0)),
+            f3(distinct.fraction_at_or_below(10.0)),
+            over50_distinct,
+            over50_aggregated,
+        ));
+    }
+
+    ExperimentResult {
+        id: "fig12",
+        json: json!({
+            "distinct_cdf": distinct.evaluate_on(&grid),
+            "aggregated_cdf": aggregated.evaluate_on(&grid),
+            "size2_share": if distinct.is_empty() { 0.0 } else { distinct.fraction_at_or_below(2.0) },
+            "over50_distinct": over50_distinct,
+            "over50_aggregated": over50_aggregated,
+            "paper": {"size2": 0.68, "le10": 0.97, "over50_distinct": 1, "over50_aggregated": 5},
+        }),
+        text,
+    }
+}

@@ -1,0 +1,63 @@
+//! Experiment `fig2`: the probability of failing to detect meshing.
+//!
+//! Fig. 2 plots CDFs, over the meshed hop pairs found in the survey, of
+//! the probability (Eq. 1) that the MDA-Lite's φ = 2 meshing test misses
+//! the meshing. The paper reads off: ≤ 0.1 for 70 % of meshed hop pairs
+//! and ≤ 0.25 for 95 %.
+
+use super::ExperimentResult;
+use crate::render::{cdf_row, f3, table};
+use crate::Scale;
+use mlpt_stats::EmpiricalCdf;
+use mlpt_survey::{run_ip_survey, InternetConfig, IpSurveyConfig, SyntheticInternet};
+use serde_json::json;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let internet = SyntheticInternet::new(InternetConfig::default());
+    let config = IpSurveyConfig {
+        scenarios: scale.ip_survey_scenarios(),
+        ..IpSurveyConfig::default()
+    };
+    let report = run_ip_survey(&internet, &config);
+
+    let measured = EmpiricalCdf::new(report.meshing_miss_measured.clone());
+    let distinct = EmpiricalCdf::new(report.meshing_miss_distinct.clone());
+
+    let grid = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0];
+    let rows = vec![
+        cdf_row("measured", &measured, &grid),
+        cdf_row("distinct", &distinct, &grid),
+    ];
+    let mut headers: Vec<String> = vec!["population".into()];
+    headers.extend(grid.iter().map(|x| format!("P<= {x}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut text = format!(
+        "Fig. 2: CDF of P(miss meshing) with phi = 2 over meshed hop pairs\n\
+         ({} meshed pairs measured, {} distinct)\n\n",
+        measured.len(),
+        distinct.len()
+    );
+    text.push_str(&table(&header_refs, &rows));
+    if !measured.is_empty() {
+        text.push_str(&format!(
+            "\nShare of meshed hop pairs with miss probability <= 0.1: {} (paper: ~0.70)\n\
+             Share with miss probability <= 0.25: {} (paper: ~0.95)\n",
+            f3(measured.fraction_at_or_below(0.1)),
+            f3(measured.fraction_at_or_below(0.25)),
+        ));
+    }
+
+    ExperimentResult {
+        id: "fig2",
+        json: json!({
+            "measured_pairs": measured.len(),
+            "distinct_pairs": distinct.len(),
+            "measured_cdf": measured.evaluate_on(&grid),
+            "distinct_cdf": distinct.evaluate_on(&grid),
+            "paper": {"p_le_0.1": 0.70, "p_le_0.25": 0.95},
+        }),
+        text,
+    }
+}

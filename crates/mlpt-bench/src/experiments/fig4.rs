@@ -1,0 +1,110 @@
+//! Experiments `fig4` and `table1`: the five-way comparison over
+//! diamond-bearing traces (Sec. 2.4.2).
+//!
+//! Fig. 4 plots CDFs of per-trace vertex / edge / packet ratios of each
+//! alternative against a first MDA run; Table 1 aggregates the same
+//! quantities over the whole dataset. The paper's Table 1:
+//!
+//! ```text
+//!                  Vertices  Edges  Packets
+//! MDA 2            0.998     0.999  1.005
+//! MDA-Lite φ=2     1.002     1.007  0.696
+//! MDA-Lite φ=4     1.004     1.005  0.711
+//! Single flow ID   0.537     0.201  0.040
+//! ```
+
+use super::ExperimentResult;
+use crate::render::{cdf_row, f3, table};
+use crate::Scale;
+use mlpt_survey::evaluation::{Variant, VARIANTS};
+use mlpt_survey::{evaluate_scenarios, EvaluationConfig, EvaluationOutcome, InternetConfig, SyntheticInternet};
+use serde_json::json;
+
+fn evaluate(scale: Scale) -> EvaluationOutcome {
+    let internet = SyntheticInternet::new(InternetConfig::default());
+    let config = EvaluationConfig {
+        scenarios: scale.evaluation_scenarios(),
+        ..EvaluationConfig::default()
+    };
+    evaluate_scenarios(&internet, &config)
+}
+
+/// Fig. 4: the three ratio CDFs.
+pub fn run_fig4(scale: Scale) -> ExperimentResult {
+    let out = evaluate(scale);
+    let grid = [0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 1.0, 1.01, 1.1, 10.0, 100.0];
+    let mut headers: Vec<String> = vec!["variant".into()];
+    headers.extend(grid.iter().map(|x| format!("r<={x}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut text = format!(
+        "Fig. 4: CDFs of ratios vs first MDA over {} diamond-bearing traces\n",
+        out.measured_traces
+    );
+    let mut payload = serde_json::Map::new();
+    for (metric, select) in [
+        ("vertex ratio", 0usize),
+        ("edge ratio", 1),
+        ("packet ratio", 2),
+    ] {
+        let mut rows = Vec::new();
+        for variant in VARIANTS {
+            let cdf = out.cdf(variant, |r| match select {
+                0 => r.vertices,
+                1 => r.edges,
+                _ => r.packets,
+            });
+            rows.push(cdf_row(variant.label(), &cdf, &grid));
+            payload.insert(
+                format!("{}_{}", variant.label().replace(' ', "_"), select),
+                json!(cdf.evaluate_on(&grid)),
+            );
+        }
+        text.push_str(&format!("\n--- {metric} ---\n"));
+        text.push_str(&table(&header_refs, &rows));
+    }
+
+    ExperimentResult {
+        id: "fig4",
+        json: serde_json::Value::Object(payload),
+        text,
+    }
+}
+
+/// Table 1: aggregate-topology ratios.
+pub fn run_table1(scale: Scale) -> ExperimentResult {
+    let out = evaluate(scale);
+    let paper = [
+        (Variant::SecondMda, (0.998, 0.999, 1.005)),
+        (Variant::MdaLitePhi2, (1.002, 1.007, 0.696)),
+        (Variant::MdaLitePhi4, (1.004, 1.005, 0.711)),
+        (Variant::SingleFlow, (0.537, 0.201, 0.040)),
+    ];
+    let mut rows = Vec::new();
+    let mut payload = serde_json::Map::new();
+    for (variant, (pv, pe, pp)) in paper {
+        let (v, e, p) = out.aggregate_of(variant);
+        rows.push(vec![
+            variant.label().to_string(),
+            format!("{} (paper {})", f3(v), f3(pv)),
+            format!("{} (paper {})", f3(e), f3(pe)),
+            format!("{} (paper {})", f3(p), f3(pp)),
+        ]);
+        payload.insert(
+            variant.label().replace(' ', "_"),
+            json!({"vertices": v, "edges": e, "packets": p,
+                   "paper": {"vertices": pv, "edges": pe, "packets": pp}}),
+        );
+    }
+    let mut text = format!(
+        "Table 1: aggregated ratios vs first MDA over {} traces\n\n",
+        out.measured_traces
+    );
+    text.push_str(&table(&["variant", "vertices", "edges", "packets"], &rows));
+
+    ExperimentResult {
+        id: "table1",
+        json: serde_json::Value::Object(payload),
+        text,
+    }
+}

@@ -1,0 +1,78 @@
+//! One module per paper artifact. Every experiment returns an
+//! [`ExperimentResult`]: an identifier, the printed text (the same
+//! rows/series the paper reports), and a JSON value for archival.
+
+pub mod ablations;
+pub mod fakeroute;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig12;
+pub mod surveys;
+pub mod table2;
+pub mod table3;
+
+use crate::Scale;
+use serde_json::Value;
+
+/// The outcome of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id (`fig4`, `table1`, ...).
+    pub id: &'static str,
+    /// Human-readable rendering.
+    pub text: String,
+    /// Machine-readable payload.
+    pub json: Value,
+}
+
+/// All experiment ids in presentation order.
+pub const ALL_IDS: [&str; 16] = [
+    "fig1", "fig2", "fig3", "fig4", "table1", "fakeroute", "fig5", "table2", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "table3", "fig13",
+];
+
+/// Runs one experiment by id (fig13 also covers fig14; fig4 also covers
+/// table1's inputs, but table1 prints its own view).
+pub fn run(id: &str, scale: Scale) -> Option<Vec<ExperimentResult>> {
+    match id {
+        "fig1" => Some(vec![fig1::run(scale)]),
+        "fig2" => Some(vec![fig2::run(scale)]),
+        "fig3" => Some(vec![fig3::run(scale)]),
+        "fig4" => Some(vec![fig4::run_fig4(scale)]),
+        "table1" => Some(vec![fig4::run_table1(scale)]),
+        "fakeroute" => Some(vec![fakeroute::run(scale)]),
+        "fig5" => Some(vec![fig5::run(scale)]),
+        "table2" => Some(vec![table2::run(scale)]),
+        "fig7" => Some(vec![surveys::run_fig7(scale)]),
+        "fig8" => Some(vec![surveys::run_fig8(scale)]),
+        "fig9" => Some(vec![surveys::run_fig9(scale)]),
+        "fig10" => Some(vec![surveys::run_fig10(scale)]),
+        "fig11" => Some(vec![surveys::run_fig11(scale)]),
+        "fig12" => Some(vec![fig12::run(scale)]),
+        "table3" => Some(vec![table3::run_table3(scale)]),
+        "fig13" | "fig14" => Some(vec![table3::run_fig13_14(scale)]),
+        "ablation-phi" => Some(vec![ablations::run_phi(scale)]),
+        "ablation-faults" => Some(vec![ablations::run_faults(scale)]),
+        "ablation-stopping" => Some(vec![ablations::run_stopping(scale)]),
+        "ablation-weighted" => Some(vec![ablations::run_weighted(scale)]),
+        "all" => {
+            let mut out = Vec::new();
+            for id in ALL_IDS {
+                out.extend(run(id, scale).expect("known id"));
+            }
+            for id in [
+                "ablation-phi",
+                "ablation-faults",
+                "ablation-stopping",
+                "ablation-weighted",
+            ] {
+                out.extend(run(id, scale).expect("known id"));
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,254 @@
+//! Experiments `fig7`–`fig11`: the IP-level survey distributions
+//! (Sec. 5.1).
+
+use super::ExperimentResult;
+use crate::render::{cdf_row, f3, pct, table};
+use crate::Scale;
+use mlpt_stats::Histogram;
+use mlpt_survey::{run_ip_survey, InternetConfig, IpSurveyConfig, IpSurveyReport, SyntheticInternet};
+use serde_json::json;
+use std::sync::OnceLock;
+
+/// The survey is shared by five figures; run it once per scale.
+fn survey(scale: Scale) -> &'static IpSurveyReport {
+    static SMALL: OnceLock<IpSurveyReport> = OnceLock::new();
+    static MEDIUM: OnceLock<IpSurveyReport> = OnceLock::new();
+    static PAPER: OnceLock<IpSurveyReport> = OnceLock::new();
+    let cell = match scale {
+        Scale::Small => &SMALL,
+        Scale::Medium => &MEDIUM,
+        Scale::Paper => &PAPER,
+    };
+    cell.get_or_init(|| {
+        let internet = SyntheticInternet::new(InternetConfig::default());
+        let config = IpSurveyConfig {
+            scenarios: scale.ip_survey_scenarios(),
+            ..IpSurveyConfig::default()
+        };
+        run_ip_survey(&internet, &config)
+    })
+}
+
+fn histogram_rows(h: &Histogram, values: &[u64]) -> Vec<String> {
+    values.iter().map(|&v| f3(h.portion(v))).collect()
+}
+
+/// Fig. 7: width asymmetry distributions.
+pub fn run_fig7(scale: Scale) -> ExperimentResult {
+    let report = survey(scale);
+    let (measured, distinct) = report.asymmetry_histograms();
+    let values = [0u64, 1, 2, 3, 5, 10, 17, 20, 50];
+    let mut headers: Vec<String> = vec!["population".into()];
+    headers.extend(values.iter().map(|v| format!("asym={v}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows = vec![
+        {
+            let mut r = vec!["measured".to_string()];
+            r.extend(histogram_rows(&measured, &values));
+            r
+        },
+        {
+            let mut r = vec!["distinct".to_string()];
+            r.extend(histogram_rows(&distinct, &values));
+            r
+        },
+    ];
+    let (zm, zd) = report.zero_asymmetry_share();
+    let mut text = format!(
+        "Fig. 7: max width asymmetry over {} measured / {} distinct diamonds\n\n",
+        report.diamonds.measured_count(),
+        report.diamonds.distinct_count()
+    );
+    text.push_str(&table(&header_refs, &rows));
+    text.push_str(&format!(
+        "\nZero-asymmetry share: measured {} distinct {} (paper: 89% both)\n",
+        pct(zm),
+        pct(zd)
+    ));
+    ExperimentResult {
+        id: "fig7",
+        json: json!({
+            "zero_share_measured": zm,
+            "zero_share_distinct": zd,
+            "paper_zero_share": 0.89,
+        }),
+        text,
+    }
+}
+
+/// Fig. 8: max probability difference among asymmetric unmeshed diamonds.
+pub fn run_fig8(scale: Scale) -> ExperimentResult {
+    let report = survey(scale);
+    let (measured, distinct) = report.probability_difference_cdfs();
+    let grid = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9];
+    let rows = vec![
+        cdf_row("measured", &measured, &grid),
+        cdf_row("distinct", &distinct, &grid),
+    ];
+    let mut headers: Vec<String> = vec!["population".into()];
+    headers.extend(grid.iter().map(|x| format!("d<={x}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut text = format!(
+        "Fig. 8: max probability difference, asymmetric unmeshed diamonds\n\
+         ({} measured, {} distinct)\n\n",
+        measured.len(),
+        distinct.len()
+    );
+    text.push_str(&table(&header_refs, &rows));
+    if !measured.is_empty() {
+        text.push_str(&format!(
+            "\nShare <= 0.25: measured {} (paper: 0.90); share <= 0.5: {} (paper: 0.99)\n",
+            f3(measured.fraction_at_or_below(0.25)),
+            f3(measured.fraction_at_or_below(0.5)),
+        ));
+    }
+    ExperimentResult {
+        id: "fig8",
+        json: json!({
+            "measured": measured.evaluate_on(&grid),
+            "distinct": distinct.evaluate_on(&grid),
+            "paper": {"le_0.25_measured": 0.90, "le_0.5": 0.99},
+        }),
+        text,
+    }
+}
+
+/// Fig. 9: ratio of meshed hops over meshed diamonds.
+pub fn run_fig9(scale: Scale) -> ExperimentResult {
+    let report = survey(scale);
+    let (measured, distinct) = report.meshed_ratio_cdfs();
+    let grid = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8];
+    let rows = vec![
+        cdf_row("measured", &measured, &grid),
+        cdf_row("distinct", &distinct, &grid),
+    ];
+    let mut headers: Vec<String> = vec!["population".into()];
+    headers.extend(grid.iter().map(|x| format!("r<={x}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut text = format!(
+        "Fig. 9: ratio of meshed hops over meshed diamonds ({} measured, {} distinct)\n\n",
+        measured.len(),
+        distinct.len()
+    );
+    text.push_str(&table(&header_refs, &rows));
+    if !measured.is_empty() {
+        text.push_str(&format!(
+            "\nShare of meshed diamonds with ratio <= 0.4: {} (paper: >0.80)\n",
+            f3(measured.fraction_at_or_below(0.4))
+        ));
+    }
+    ExperimentResult {
+        id: "fig9",
+        json: json!({
+            "measured": measured.evaluate_on(&grid),
+            "distinct": distinct.evaluate_on(&grid),
+            "paper": {"le_0.4": 0.80},
+        }),
+        text,
+    }
+}
+
+/// Fig. 10: max length and max width distributions.
+pub fn run_fig10(scale: Scale) -> ExperimentResult {
+    let report = survey(scale);
+    let (ml, dl, mw, dw) = report.length_width_histograms();
+    let lengths = [2u64, 3, 4, 5, 7, 10, 15];
+    let widths = [2u64, 4, 8, 16, 28, 40, 48, 56, 96];
+
+    let mut text = format!(
+        "Fig. 10: max length / max width over {} measured, {} distinct diamonds\n",
+        report.diamonds.measured_count(),
+        report.diamonds.distinct_count()
+    );
+    let mut headers: Vec<String> = vec!["lengths".into()];
+    headers.extend(lengths.iter().map(|v| format!("L={v}")));
+    let hr: Vec<&str> = headers.iter().map(String::as_str).collect();
+    text.push('\n');
+    text.push_str(&table(
+        &hr,
+        &[
+            {
+                let mut r = vec!["measured".to_string()];
+                r.extend(histogram_rows(&ml, &lengths));
+                r
+            },
+            {
+                let mut r = vec!["distinct".to_string()];
+                r.extend(histogram_rows(&dl, &lengths));
+                r
+            },
+        ],
+    ));
+    let mut headers: Vec<String> = vec!["widths".into()];
+    headers.extend(widths.iter().map(|v| format!("W={v}")));
+    let hr: Vec<&str> = headers.iter().map(String::as_str).collect();
+    text.push('\n');
+    text.push_str(&table(
+        &hr,
+        &[
+            {
+                let mut r = vec!["measured".to_string()];
+                r.extend(histogram_rows(&mw, &widths));
+                r
+            },
+            {
+                let mut r = vec!["distinct".to_string()];
+                r.extend(histogram_rows(&dw, &widths));
+                r
+            },
+        ],
+    ));
+    text.push_str(&format!(
+        "\nLength-2 share: measured {} (paper: ~0.48). Max width seen: {} (paper: 96).\n\
+         Width peaks above the tail floor: {:?} (paper: peaks at 48 and 56).\n",
+        f3(ml.portion(2)),
+        mw.max_value().unwrap_or(0),
+        mw.peaks(0.0005),
+    ));
+    ExperimentResult {
+        id: "fig10",
+        json: json!({
+            "length2_share_measured": ml.portion(2),
+            "max_width": mw.max_value(),
+            "width_peaks": mw.peaks(0.0005),
+            "paper": {"length2": 0.48, "max_width": 96, "peaks": [48, 56]},
+        }),
+        text,
+    }
+}
+
+/// Fig. 11: joint (max length, max width) distributions.
+pub fn run_fig11(scale: Scale) -> ExperimentResult {
+    let report = survey(scale);
+    let (measured, distinct) = report.joint_length_width();
+    let simplest_m = measured.portion(2, 2);
+    let simplest_d = distinct.portion(2, 2);
+    let mut text = format!(
+        "Fig. 11: joint (max length, max width); {} measured / {} distinct diamonds\n\n",
+        measured.total(),
+        distinct.total()
+    );
+    text.push_str(&format!(
+        "Simplest diamond (L=2, W=2): measured {} distinct {} (paper: 24.2% / 27.4%)\n",
+        pct(simplest_m),
+        pct(simplest_d)
+    ));
+    text.push_str("\nTop measured cells (length, width, portion):\n");
+    let mut cells: Vec<((u64, u64), u64)> = measured.cells().collect();
+    cells.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    for ((l, w), c) in cells.into_iter().take(12) {
+        text.push_str(&format!(
+            "  L={l:<3} W={w:<3} {}\n",
+            f3(c as f64 / measured.total() as f64)
+        ));
+    }
+    ExperimentResult {
+        id: "fig11",
+        json: json!({
+            "simplest_measured": simplest_m,
+            "simplest_distinct": simplest_d,
+            "paper": {"simplest_measured": 0.242, "simplest_distinct": 0.274},
+        }),
+        text,
+    }
+}

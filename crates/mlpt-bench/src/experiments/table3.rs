@@ -1,0 +1,143 @@
+//! Experiments `table3` and `fig13`/`fig14`: the effect of alias
+//! resolution on diamonds (Sec. 5.2).
+//!
+//! Table 3 (fractions of unique diamonds): no change 0.579, single
+//! smaller diamond 0.355, multiple smaller diamonds 0.006, one path
+//! 0.058 — "some degree of router resolution takes place on 41.9% of
+//! unique diamonds". Fig. 13: the max-width peak at 48 survives
+//! resolution, the peak at 56 disappears. Fig. 14: the joint
+//! before/after widths of diamonds that changed.
+
+use super::ExperimentResult;
+use crate::render::{f3, pct, table};
+use crate::Scale;
+use mlpt_survey::{
+    run_router_survey, InternetConfig, ResolutionCase, RouterSurveyConfig, RouterSurveyReport,
+    SyntheticInternet,
+};
+use serde_json::json;
+use std::sync::OnceLock;
+
+fn survey(scale: Scale) -> &'static RouterSurveyReport {
+    static SMALL: OnceLock<RouterSurveyReport> = OnceLock::new();
+    static MEDIUM: OnceLock<RouterSurveyReport> = OnceLock::new();
+    static PAPER: OnceLock<RouterSurveyReport> = OnceLock::new();
+    let cell = match scale {
+        Scale::Small => &SMALL,
+        Scale::Medium => &MEDIUM,
+        Scale::Paper => &PAPER,
+    };
+    cell.get_or_init(|| {
+        let internet = SyntheticInternet::new(InternetConfig::default());
+        let config = RouterSurveyConfig {
+            scenarios: scale.router_survey_scenarios(),
+            with_direct_comparison: false,
+            ..RouterSurveyConfig::default()
+        };
+        run_router_survey(&internet, &config)
+    })
+}
+
+/// Table 3.
+pub fn run_table3(scale: Scale) -> ExperimentResult {
+    let report = survey(scale);
+    let cases = [
+        (ResolutionCase::NoChange, 0.579),
+        (ResolutionCase::SingleSmaller, 0.355),
+        (ResolutionCase::MultipleSmaller, 0.006),
+        (ResolutionCase::OnePath, 0.058),
+    ];
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|&(case, paper)| {
+            vec![
+                case.label().to_string(),
+                f3(report.resolution_portion(case)),
+                f3(paper),
+            ]
+        })
+        .collect();
+    let total: u64 = report.resolution_counts.values().sum();
+    let mut text = format!(
+        "Table 3: effect of alias resolution on {} unique diamonds\n\n",
+        total
+    );
+    text.push_str(&table(&["case", "measured", "paper"], &rows));
+    text.push_str(&format!(
+        "\nSome resolution on {} of unique diamonds (paper: 41.9%)\n",
+        pct(report.some_resolution_portion())
+    ));
+    ExperimentResult {
+        id: "table3",
+        json: json!({
+            "unique_diamonds": total,
+            "portions": cases.iter().map(|&(c, paper)| json!({
+                "case": c.label(),
+                "measured": report.resolution_portion(c),
+                "paper": paper,
+            })).collect::<Vec<_>>(),
+            "some_resolution": report.some_resolution_portion(),
+            "paper_some_resolution": 0.419,
+        }),
+        text,
+    }
+}
+
+/// Figs. 13 & 14.
+pub fn run_fig13_14(scale: Scale) -> ExperimentResult {
+    let report = survey(scale);
+    let widths = [2u64, 4, 8, 16, 28, 40, 48, 56, 96];
+    let before = &report.width_before;
+    let after = &report.width_after;
+
+    let mut rows = Vec::new();
+    for &w in &widths {
+        rows.push(vec![
+            format!("W={w}"),
+            f3(before.portion(w)),
+            f3(after.portion(w)),
+        ]);
+    }
+    let mut text = format!(
+        "Fig. 13: max width of unique diamonds before ({}) and after ({}) alias resolution\n\n",
+        before.total(),
+        after.total()
+    );
+    text.push_str(&table(&["width", "IP level", "router level"], &rows));
+    text.push_str(&format!(
+        "\nPortion at width 48: before {} after {} (paper: peak persists)\n\
+         Portion at width 56: before {} after {} (paper: peak disappears)\n",
+        f3(before.portion(48)),
+        f3(after.portion(48)),
+        f3(before.portion(56)),
+        f3(after.portion(56)),
+    ));
+
+    text.push_str(&format!(
+        "\nFig. 14: joint (before, after) widths for the {} diamonds that changed\n",
+        report.width_change.total()
+    ));
+    let mut cells: Vec<((u64, u64), u64)> = report.width_change.cells().collect();
+    cells.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    for ((b, a), c) in cells.into_iter().take(12) {
+        text.push_str(&format!("  before={b:<3} after={a:<3} count={c}\n"));
+    }
+    text.push_str(&format!(
+        "Changed diamonds strictly narrower: {} of {}\n",
+        report.width_change.below_diagonal(),
+        report.width_change.total()
+    ));
+
+    ExperimentResult {
+        id: "fig13",
+        json: json!({
+            "width48_before": before.portion(48),
+            "width48_after": after.portion(48),
+            "width56_before": before.portion(56),
+            "width56_after": after.portion(56),
+            "changed": report.width_change.total(),
+            "narrower": report.width_change.below_diagonal(),
+        }),
+        text,
+    }
+}

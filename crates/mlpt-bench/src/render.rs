@@ -1,0 +1,90 @@
+//! Plain-text rendering helpers for experiment output.
+
+/// Renders a table with a header row; columns are left-aligned and padded
+/// to the widest cell.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+    out.push_str(&"-".repeat(total.saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 4 decimal places.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Renders an ASCII CDF sparkline: fraction at-or-below each grid value.
+pub fn cdf_row(label: &str, cdf: &mlpt_stats::EmpiricalCdf, grid: &[f64]) -> Vec<String> {
+    let mut row = vec![label.to_string()];
+    for &x in grid {
+        row.push(f3(cdf.fraction_at_or_below(x)));
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let out = table(
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["b".into(), "1234".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.69642), "0.696");
+        assert_eq!(f4(0.03125), "0.0312");
+        assert_eq!(pct(0.579), "57.9%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        let _ = table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Experiment scale presets.
+//!
+//! The paper's evaluation dataset is 10 000 source-destination pairs
+//! (Sec. 2.4.2) and its Fakeroute validation 50 samples × 1000 runs
+//! (Sec. 3). `Scale::Paper` reproduces those sizes; `Scale::Small` keeps
+//! every experiment's structure but shrinks populations so the whole
+//! battery runs in seconds (used by integration tests and quick looks);
+//! `Scale::Medium` is the default for `experiments all`.
+
+use serde::{Deserialize, Serialize};
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Seconds-scale: structure checks and CI.
+    Small,
+    /// Minutes-scale: stable shapes (default).
+    Medium,
+    /// The paper's population sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Parses a CLI token.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Scenarios for the evaluation dataset (Fig. 4 / Table 1).
+    pub fn evaluation_scenarios(self) -> usize {
+        match self {
+            Scale::Small => 150,
+            Scale::Medium => 1_500,
+            Scale::Paper => 10_000,
+        }
+    }
+
+    /// Scenarios for the IP-level survey (Figs. 2, 7–11).
+    pub fn ip_survey_scenarios(self) -> usize {
+        match self {
+            Scale::Small => 300,
+            Scale::Medium => 3_000,
+            Scale::Paper => 40_000,
+        }
+    }
+
+    /// Scenarios for the router-level survey (Figs. 5, 12–14, Tables 2–3).
+    pub fn router_survey_scenarios(self) -> usize {
+        match self {
+            Scale::Small => 60,
+            Scale::Medium => 400,
+            Scale::Paper => 3_000,
+        }
+    }
+
+    /// Fakeroute validation: (samples, runs per sample).
+    pub fn fakeroute_shape(self) -> (usize, usize) {
+        match self {
+            Scale::Small => (10, 200),
+            Scale::Medium => (25, 500),
+            Scale::Paper => (50, 1_000),
+        }
+    }
+
+    /// Runs per topology for the Fig. 3 simulation curves.
+    pub fn fig3_runs(self) -> usize {
+        match self {
+            Scale::Small => 10,
+            Scale::Medium => 30,
+            Scale::Paper => 30,
+        }
+    }
+
+    /// Runs for the Fig. 1 probe-accounting averages.
+    pub fn fig1_runs(self) -> usize {
+        match self {
+            Scale::Small => 30,
+            Scale::Medium => 200,
+            Scale::Paper => 1_000,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Small => write!(f, "small"),
+            Scale::Medium => write!(f, "medium"),
+            Scale::Paper => write!(f, "paper"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_tokens() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        assert_eq!(Scale::Paper.evaluation_scenarios(), 10_000);
+        assert_eq!(Scale::Paper.fakeroute_shape(), (50, 1_000));
+        assert_eq!(Scale::Paper.fig3_runs(), 30);
+    }
+
+    #[test]
+    fn scales_ordered() {
+        assert!(Scale::Small.evaluation_scenarios() < Scale::Medium.evaluation_scenarios());
+        assert!(Scale::Medium.evaluation_scenarios() < Scale::Paper.evaluation_scenarios());
+    }
+}

@@ -1,0 +1,78 @@
+//! Shared trace configuration.
+
+use crate::stopping::StoppingPoints;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by all tracing algorithms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Stopping points n_k controlling per-hop/per-vertex probing.
+    pub stopping: StoppingPoints,
+    /// Largest TTL probed before giving up on reaching the destination.
+    pub max_ttl: u8,
+    /// Hard cap on probes sent by one trace: a run that hits it reports
+    /// `budget_exhausted` rather than looping forever (e.g. when node
+    /// control hunts flows through a vertex that per-packet balancing
+    /// keeps moving).
+    pub probe_budget: u64,
+    /// Cap on probes spent hunting flow IDs for one vertex during a single
+    /// node-control episode.
+    pub node_control_attempts: u64,
+    /// MDA-Lite meshing-test effort φ ≥ 2 (Sec. 2.3.2): flow IDs generated
+    /// per vertex when testing a hop pair for meshing.
+    pub phi: u32,
+    /// Seed for the trace's own randomness (flow ID draws).
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// Defaults: 95 % stopping points, φ = 2.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            stopping: StoppingPoints::mda95(),
+            max_ttl: 40,
+            probe_budget: 1_000_000,
+            node_control_attempts: 50_000,
+            phi: 2,
+            seed,
+        }
+    }
+
+    /// Replaces the stopping points.
+    pub fn with_stopping(mut self, stopping: StoppingPoints) -> Self {
+        self.stopping = stopping;
+        self
+    }
+
+    /// Sets the meshing-test effort φ.
+    pub fn with_phi(mut self, phi: u32) -> Self {
+        assert!(phi >= 2, "the meshing test requires phi >= 2");
+        self.phi = phi;
+        self
+    }
+
+    /// Sets the probe budget.
+    pub fn with_probe_budget(mut self, budget: u64) -> Self {
+        self.probe_budget = budget;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = TraceConfig::new(1);
+        assert_eq!(c.phi, 2);
+        assert_eq!(c.stopping.n(1), 6);
+        assert!(c.probe_budget > 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi >= 2")]
+    fn phi_lower_bound() {
+        let _ = TraceConfig::new(1).with_phi(1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-packet load-balancer detection.
+//!
+//! The MDA model assumes there is no per-packet load balancing
+//! (assumption 2, Sec. 2.1); Augustin et al.'s 2011 survey found it rare,
+//! and the paper omits the classic per-packet checks from both MDA and
+//! MDA-Lite. This module restores the check as an optional pre-flight: a
+//! hop is per-packet balanced exactly when repeating the *same* flow
+//! identifier yields different responders, which per-flow balancing can
+//! never do.
+
+use crate::prober::Prober;
+use mlpt_wire::FlowId;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// Result of a per-packet check at one TTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerPacketReport {
+    /// TTL checked.
+    pub ttl: u8,
+    /// Distinct responders seen for the constant flow.
+    pub responders: BTreeSet<Ipv4Addr>,
+    /// Probes sent by the check.
+    pub probes_sent: u64,
+}
+
+impl PerPacketReport {
+    /// True if the hop balances per packet (flow identity was violated).
+    pub fn is_per_packet(&self) -> bool {
+        self.responders.len() > 1
+    }
+}
+
+/// Sends `samples` probes with the same flow at `ttl`; flow-stable hops
+/// answer from one interface every time.
+pub fn check_per_packet<P: Prober>(
+    prober: &mut P,
+    flow: FlowId,
+    ttl: u8,
+    samples: u32,
+) -> PerPacketReport {
+    let mut responders = BTreeSet::new();
+    let mut sent = 0u64;
+    for _ in 0..samples {
+        sent += 1;
+        if let Some(obs) = prober.probe(flow, ttl) {
+            responders.insert(obs.responder);
+        }
+    }
+    PerPacketReport {
+        ttl,
+        responders,
+        probes_sent: sent,
+    }
+}
+
+/// Checks every TTL up to `max_ttl` (or until the destination answers);
+/// returns the TTLs where per-packet balancing was detected.
+pub fn scan_per_packet<P: Prober>(prober: &mut P, flow: FlowId, max_ttl: u8, samples: u32) -> Vec<u8> {
+    let mut detected = Vec::new();
+    for ttl in 1..=max_ttl {
+        let report = check_per_packet(prober, flow, ttl, samples);
+        if report.is_per_packet() {
+            detected.push(ttl);
+        }
+        // Stop at the destination.
+        if let Some(obs) = prober.probe(flow, ttl) {
+            if obs.at_destination {
+                break;
+            }
+        }
+    }
+    detected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::TransportProber;
+    use mlpt_sim::{BalanceMode, SimNetwork};
+    use mlpt_topo::canonical;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    #[test]
+    fn per_flow_network_not_flagged() {
+        let topo = canonical::max_length_2();
+        let net = SimNetwork::new(topo.clone(), 5);
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let report = check_per_packet(&mut prober, FlowId(1), 2, 16);
+        assert!(!report.is_per_packet());
+        assert_eq!(report.probes_sent, 16);
+    }
+
+    #[test]
+    fn per_packet_network_flagged() {
+        let topo = canonical::max_length_2();
+        let net = SimNetwork::builder(topo.clone())
+            .mode(BalanceMode::PerPacket)
+            .seed(5)
+            .build();
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let report = check_per_packet(&mut prober, FlowId(1), 2, 16);
+        assert!(report.is_per_packet());
+    }
+
+    #[test]
+    fn scan_reports_balanced_ttls_only() {
+        let topo = canonical::max_length_2();
+        let net = SimNetwork::builder(topo.clone())
+            .mode(BalanceMode::PerPacket)
+            .seed(5)
+            .build();
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let detected = scan_per_packet(&mut prober, FlowId(1), 3, 16);
+        // Only the 28-wide middle hop (ttl 2) can vary.
+        assert_eq!(detected, vec![2]);
+    }
+}

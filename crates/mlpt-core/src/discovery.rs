@@ -1,0 +1,373 @@
+//! Shared discovery state: what a trace has learned so far.
+//!
+//! Both the MDA and the MDA-Lite accumulate the same kind of evidence —
+//! "flow f probed at TTL t was answered by interface a" — and derive
+//! everything else from it: the vertices at each hop, the flow→vertex maps
+//! node control relies on, and the edges (a flow observed at consecutive
+//! TTLs witnesses an edge between the two responding interfaces).
+//! [`Discovery`] is that evidence base; the algorithms differ only in how
+//! they decide which probe to send next.
+
+use mlpt_wire::FlowId;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Evidence accumulated by a trace in progress.
+#[derive(Debug, Clone, Default)]
+pub struct Discovery {
+    /// Per hop index (ttl - 1): vertex → flows observed reaching it.
+    hops: Vec<BTreeMap<Ipv4Addr, BTreeSet<FlowId>>>,
+    /// Discovery order of vertices per hop (stable iteration for
+    /// deterministic algorithms).
+    hop_order: Vec<Vec<Ipv4Addr>>,
+    /// Flow → (ttl → responder): each flow's observed path.
+    flow_paths: HashMap<FlowId, BTreeMap<u8, Ipv4Addr>>,
+    /// Flows probed at each ttl (whether or not answered).
+    probed_at: HashMap<u8, BTreeSet<FlowId>>,
+    /// Probes sent per hop index (for the paper's per-hop accounting).
+    probes_per_hop: Vec<u64>,
+    /// Every flow ID ever used.
+    used_flows: BTreeSet<FlowId>,
+    /// Smallest TTL at which the destination answered.
+    destination_ttl: Option<u8>,
+}
+
+impl Discovery {
+    /// Fresh, empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_hop(&mut self, index: usize) {
+        while self.hops.len() <= index {
+            self.hops.push(BTreeMap::new());
+            self.hop_order.push(Vec::new());
+            self.probes_per_hop.push(0);
+        }
+    }
+
+    /// Notes that a probe was *sent* at `ttl` with `flow` (counted even if
+    /// it goes unanswered).
+    pub fn note_probe_sent(&mut self, flow: FlowId, ttl: u8) {
+        assert!(ttl >= 1);
+        self.ensure_hop(usize::from(ttl - 1));
+        self.probes_per_hop[usize::from(ttl - 1)] += 1;
+        self.probed_at.entry(ttl).or_default().insert(flow);
+        self.used_flows.insert(flow);
+    }
+
+    /// Records a successful observation.
+    pub fn record(&mut self, flow: FlowId, ttl: u8, responder: Ipv4Addr, at_destination: bool) {
+        assert!(ttl >= 1);
+        let h = usize::from(ttl - 1);
+        self.ensure_hop(h);
+        let entry = self.hops[h].entry(responder).or_insert_with(|| {
+            self.hop_order[h].push(responder);
+            BTreeSet::new()
+        });
+        entry.insert(flow);
+        self.flow_paths.entry(flow).or_default().insert(ttl, responder);
+        if at_destination {
+            self.destination_ttl = Some(match self.destination_ttl {
+                Some(t) => t.min(ttl),
+                None => ttl,
+            });
+        }
+    }
+
+    /// Number of hops with any recorded state.
+    pub fn num_hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Vertices discovered at `ttl`, in discovery order.
+    pub fn vertices_at(&self, ttl: u8) -> &[Ipv4Addr] {
+        let h = usize::from(ttl.saturating_sub(1));
+        self.hop_order.get(h).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Flows observed reaching `vertex` at `ttl`.
+    pub fn flows_reaching(&self, ttl: u8, vertex: Ipv4Addr) -> BTreeSet<FlowId> {
+        let h = usize::from(ttl.saturating_sub(1));
+        self.hops
+            .get(h)
+            .and_then(|m| m.get(&vertex))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The vertex `flow` was observed to reach at `ttl`, if known.
+    pub fn flow_vertex(&self, ttl: u8, flow: FlowId) -> Option<Ipv4Addr> {
+        self.flow_paths.get(&flow).and_then(|p| p.get(&ttl)).copied()
+    }
+
+    /// True if `flow` was already probed at `ttl`.
+    pub fn flow_probed_at(&self, ttl: u8, flow: FlowId) -> bool {
+        self.probed_at.get(&ttl).is_some_and(|s| s.contains(&flow))
+    }
+
+    /// Probes sent at `ttl` so far.
+    pub fn probes_at(&self, ttl: u8) -> u64 {
+        let h = usize::from(ttl.saturating_sub(1));
+        self.probes_per_hop.get(h).copied().unwrap_or(0)
+    }
+
+    /// Total probes noted across hops.
+    pub fn total_probes(&self) -> u64 {
+        self.probes_per_hop.iter().sum()
+    }
+
+    /// Smallest TTL where the destination answered, if reached.
+    pub fn destination_ttl(&self) -> Option<u8> {
+        self.destination_ttl
+    }
+
+    /// Largest TTL at which any vertex was recorded (0 if none).
+    pub fn max_observed_ttl(&self) -> u8 {
+        for (h, order) in self.hop_order.iter().enumerate().rev() {
+            if !order.is_empty() {
+                return (h + 1) as u8;
+            }
+        }
+        0
+    }
+
+    /// All flows ever used.
+    pub fn used_flows(&self) -> &BTreeSet<FlowId> {
+        &self.used_flows
+    }
+
+    /// Node-control accounting: over flows *probed* at `ttl` whose vertex
+    /// at `ttl - 1` is `parent`, returns (probes sent, distinct successors
+    /// observed). This is the per-vertex state the MDA's stopping rule
+    /// applies to.
+    pub fn probes_via(&self, parent: Ipv4Addr, ttl: u8) -> (u64, BTreeSet<Ipv4Addr>) {
+        assert!(ttl >= 2, "probes_via needs a previous hop");
+        let mut sent = 0u64;
+        let mut successors = BTreeSet::new();
+        if let Some(probed) = self.probed_at.get(&ttl) {
+            for &f in probed {
+                if self.flow_vertex(ttl - 1, f) == Some(parent) {
+                    sent += 1;
+                    if let Some(v) = self.flow_vertex(ttl, f) {
+                        successors.insert(v);
+                    }
+                }
+            }
+        }
+        (sent, successors)
+    }
+
+    /// Flows probed at `ttl` (answered or not).
+    pub fn probed_flows_at(&self, ttl: u8) -> BTreeSet<FlowId> {
+        self.probed_at.get(&ttl).cloned().unwrap_or_default()
+    }
+
+    /// Successor map between `ttl` and `ttl + 1` derived from flows
+    /// observed at both: vertex at `ttl` → set of vertices at `ttl + 1`.
+    pub fn edges_from(&self, ttl: u8) -> BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>> {
+        let mut edges: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>> = BTreeMap::new();
+        for path in self.flow_paths.values() {
+            if let (Some(&from), Some(&to)) = (path.get(&ttl), path.get(&(ttl + 1))) {
+                edges.entry(from).or_default().insert(to);
+            }
+        }
+        edges
+    }
+
+    /// Predecessor map between `ttl` and `ttl + 1`: vertex at `ttl + 1` →
+    /// set of vertices at `ttl`.
+    pub fn reverse_edges_from(&self, ttl: u8) -> BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>> {
+        let mut edges: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>> = BTreeMap::new();
+        for path in self.flow_paths.values() {
+            if let (Some(&from), Some(&to)) = (path.get(&ttl), path.get(&(ttl + 1))) {
+                edges.entry(to).or_default().insert(from);
+            }
+        }
+        edges
+    }
+
+    /// Total distinct edges witnessed across all hop pairs.
+    pub fn total_edges(&self) -> usize {
+        let mut count = 0usize;
+        let max_ttl = self.hops.len() as u8;
+        for ttl in 1..max_ttl {
+            count += self
+                .edges_from(ttl)
+                .values()
+                .map(BTreeSet::len)
+                .sum::<usize>();
+        }
+        count
+    }
+
+    /// Total vertices discovered across hops (destination and duplicates
+    /// at different hops each count as topological vertices).
+    pub fn total_vertices(&self) -> usize {
+        self.hop_order.iter().map(Vec::len).sum()
+    }
+
+    /// Flows observed reaching any vertex at `ttl`, in discovery order of
+    /// their vertices — the MDA-Lite's preferred reuse order ("one flow
+    /// identifier from each of the vertices … then additional
+    /// previously-used flow identifiers").
+    pub fn reuse_queue(&self, ttl: u8) -> Vec<FlowId> {
+        let mut queue = Vec::new();
+        let mut enqueued: BTreeSet<FlowId> = BTreeSet::new();
+        let vertices = self.vertices_at(ttl);
+        // Round-robin across vertices: first one flow per vertex, then
+        // seconds, and so on.
+        let per_vertex: Vec<Vec<FlowId>> = vertices
+            .iter()
+            .map(|&v| self.flows_reaching(ttl, v).into_iter().collect())
+            .collect();
+        let max_len = per_vertex.iter().map(Vec::len).max().unwrap_or(0);
+        for round in 0..max_len {
+            for flows in &per_vertex {
+                if let Some(&f) = flows.get(round) {
+                    if enqueued.insert(f) {
+                        queue.push(f);
+                    }
+                }
+            }
+        }
+        queue
+    }
+}
+
+/// Allocator handing out previously unused flow identifiers, seeded and
+/// deterministic.
+#[derive(Debug)]
+pub struct FlowAllocator {
+    rng: ChaCha8Rng,
+    handed_out: BTreeSet<FlowId>,
+}
+
+impl FlowAllocator {
+    /// Creates an allocator with its own stream of randomness.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5EED_F10E_5EED_F10E),
+            handed_out: BTreeSet::new(),
+        }
+    }
+
+    /// Draws a fresh flow ID never handed out before.
+    ///
+    /// # Panics
+    /// Panics if the 16-bit flow space is exhausted (65 536 flows —
+    /// far beyond any trace's needs; a trace that hungry is a bug).
+    pub fn fresh(&mut self) -> FlowId {
+        assert!(
+            self.handed_out.len() < usize::from(u16::MAX),
+            "flow space exhausted"
+        );
+        loop {
+            let candidate = FlowId(self.rng.gen());
+            if self.handed_out.insert(candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    /// Marks externally used flows as taken (when resuming from existing
+    /// state).
+    pub fn reserve<I: IntoIterator<Item = FlowId>>(&mut self, flows: I) {
+        self.handed_out.extend(flows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpt_topo::graph::addr;
+
+    #[test]
+    fn record_and_query() {
+        let mut d = Discovery::new();
+        d.note_probe_sent(FlowId(1), 1);
+        d.record(FlowId(1), 1, addr(0, 0), false);
+        d.note_probe_sent(FlowId(2), 1);
+        d.record(FlowId(2), 1, addr(0, 0), false);
+        assert_eq!(d.vertices_at(1), &[addr(0, 0)]);
+        assert_eq!(d.flows_reaching(1, addr(0, 0)).len(), 2);
+        assert_eq!(d.probes_at(1), 2);
+        assert_eq!(d.flow_vertex(1, FlowId(1)), Some(addr(0, 0)));
+        assert_eq!(d.flow_vertex(2, FlowId(1)), None);
+        assert!(d.flow_probed_at(1, FlowId(1)));
+        assert!(!d.flow_probed_at(2, FlowId(1)));
+    }
+
+    #[test]
+    fn edges_from_flow_paths() {
+        let mut d = Discovery::new();
+        for (flow, v1, v2) in [
+            (FlowId(1), addr(1, 0), addr(2, 0)),
+            (FlowId(2), addr(1, 0), addr(2, 1)),
+            (FlowId(3), addr(1, 1), addr(2, 1)),
+        ] {
+            d.record(flow, 1, v1, false);
+            d.record(flow, 2, v2, false);
+        }
+        let edges = d.edges_from(1);
+        assert_eq!(edges[&addr(1, 0)], BTreeSet::from([addr(2, 0), addr(2, 1)]));
+        assert_eq!(edges[&addr(1, 1)], BTreeSet::from([addr(2, 1)]));
+        let rev = d.reverse_edges_from(1);
+        assert_eq!(rev[&addr(2, 1)], BTreeSet::from([addr(1, 0), addr(1, 1)]));
+        assert_eq!(d.total_edges(), 3);
+        assert_eq!(d.total_vertices(), 4);
+    }
+
+    #[test]
+    fn destination_ttl_minimum() {
+        let mut d = Discovery::new();
+        d.record(FlowId(1), 5, addr(5, 0), true);
+        d.record(FlowId(2), 4, addr(5, 0), true);
+        assert_eq!(d.destination_ttl(), Some(4));
+    }
+
+    #[test]
+    fn reuse_queue_round_robin() {
+        let mut d = Discovery::new();
+        // Vertex A discovered first with flows 1, 3; vertex B with flow 2.
+        d.record(FlowId(1), 2, addr(1, 0), false);
+        d.record(FlowId(2), 2, addr(1, 1), false);
+        d.record(FlowId(3), 2, addr(1, 0), false);
+        let queue = d.reuse_queue(2);
+        // One per vertex first (A's lowest flow, then B's), then the rest.
+        assert_eq!(queue, vec![FlowId(1), FlowId(2), FlowId(3)]);
+    }
+
+    #[test]
+    fn allocator_unique_and_deterministic() {
+        let mut a = FlowAllocator::new(9);
+        let mut b = FlowAllocator::new(9);
+        let fa: Vec<FlowId> = (0..100).map(|_| a.fresh()).collect();
+        let fb: Vec<FlowId> = (0..100).map(|_| b.fresh()).collect();
+        assert_eq!(fa, fb);
+        let unique: BTreeSet<_> = fa.iter().collect();
+        assert_eq!(unique.len(), fa.len());
+    }
+
+    #[test]
+    fn allocator_respects_reservations() {
+        let mut a = FlowAllocator::new(1);
+        let f = FlowId(12345);
+        a.reserve([f]);
+        for _ in 0..1000 {
+            assert_ne!(a.fresh(), f);
+        }
+    }
+
+    #[test]
+    fn probes_counted_even_unanswered() {
+        let mut d = Discovery::new();
+        d.note_probe_sent(FlowId(9), 3);
+        assert_eq!(d.probes_at(3), 1);
+        assert!(d.vertices_at(3).is_empty());
+        assert_eq!(d.total_probes(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Core algorithms of Multilevel MDA-Lite Paris Traceroute.
+//!
+//! This crate implements the paper's route-tracing algorithms over any
+//! byte-level [`mlpt_wire::PacketTransport`]:
+//!
+//! * [`stopping`] — the failure-controlled stopping points n_k
+//!   (Veitch et al.), with the exact inclusion–exclusion rule and the
+//!   paper's Table 1 preset.
+//! * [`mda`] — the classic Multipath Detection Algorithm with node
+//!   control.
+//! * [`mda_lite`] — MDA-Lite: hop-by-hop discovery, deterministic edge
+//!   completion, the φ-probe meshing test, the width-asymmetry test, and
+//!   switchover to the full MDA.
+//! * [`single_flow`] — Paris traceroute with a single flow identifier
+//!   (the RIPE Atlas baseline).
+//! * [`prober`] — the probe/observe interface and its packet-building
+//!   implementation, plus the observation log that feeds alias
+//!   resolution.
+//! * [`discovery`] / [`trace`] — the evidence base shared by the
+//!   algorithms and the trace result type with topology conversion.
+//! * [`detect`] — per-packet load-balancer detection (an extension the
+//!   paper's model assumes away; Sec. 2.1 assumption 2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mlpt_core::prelude::*;
+//! use mlpt_sim::SimNetwork;
+//! use mlpt_topo::canonical;
+//!
+//! let topology = canonical::fig1_unmeshed();
+//! let destination = topology.destination();
+//! let network = SimNetwork::new(topology, 42);
+//! let mut prober = TransportProber::new(network, "192.0.2.1".parse().unwrap(), destination);
+//! let trace = trace_mda_lite(&mut prober, &TraceConfig::new(42));
+//! assert!(trace.reached_destination);
+//! assert_eq!(trace.vertices_at(2).len(), 4); // the four load-balanced interfaces
+//! ```
+
+pub mod config;
+pub mod detect;
+pub mod discovery;
+pub mod mda;
+pub mod mda_lite;
+pub mod prober;
+pub mod report;
+pub mod single_flow;
+pub mod stopping;
+pub mod trace;
+
+pub use config::TraceConfig;
+pub use discovery::{Discovery, FlowAllocator};
+pub use mda::trace_mda;
+pub use mda_lite::trace_mda_lite;
+pub use prober::{DirectObservation, ProbeLog, ProbeObservation, Prober, TransportProber};
+pub use report::TraceReport;
+pub use single_flow::trace_single_flow;
+pub use stopping::StoppingPoints;
+pub use trace::{Algorithm, SwitchReason, Trace};
+
+/// Convenient glob import for downstream users.
+pub mod prelude {
+    pub use crate::config::TraceConfig;
+    pub use crate::mda::trace_mda;
+    pub use crate::mda_lite::trace_mda_lite;
+    pub use crate::prober::{Prober, TransportProber};
+    pub use crate::single_flow::trace_single_flow;
+    pub use crate::stopping::StoppingPoints;
+    pub use crate::trace::{Algorithm, SwitchReason, Trace};
+    pub use mlpt_wire::FlowId;
+}

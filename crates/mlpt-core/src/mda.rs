@@ -1,0 +1,423 @@
+//! The Multipath Detection Algorithm (MDA) with node control.
+//!
+//! The MDA "proceeds vertex by vertex, employing node control to seek the
+//! successors to each vertex individually" (Sec. 2.3). For each vertex `u`
+//! at hop `t−1` it sends probes *via* `u` to hop `t` — which requires flow
+//! identifiers known to reach `u` — until the stopping rule n_k fires for
+//! the number of successors found through `u`. When `u` runs out of known
+//! flows, *node control* generates fresh flow IDs and probes them at hop
+//! `t−1` until enough land on `u` — the Multiple Coupon Collector cost the
+//! paper calls δ.
+//!
+//! The paper's worked example (Sec. 2.1, Veitch Table 1 values) emerges
+//! from this implementation probe for probe: the unmeshed 1-4-2-1 diamond
+//! costs 11·n₁ + δ probes, the meshed one 8·n₂ + 3·n₁ + δ′.
+
+use crate::config::TraceConfig;
+use crate::discovery::{Discovery, FlowAllocator};
+use crate::prober::Prober;
+use crate::trace::{Algorithm, Trace};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// Budget bookkeeping shared by the algorithm stages.
+pub(crate) struct RunCtx {
+    pub(crate) probes_used: u64,
+    pub(crate) budget: u64,
+}
+
+impl RunCtx {
+    pub(crate) fn new(budget: u64) -> Self {
+        Self {
+            probes_used: 0,
+            budget,
+        }
+    }
+
+    /// Accounts for one probe; false when the budget is exhausted.
+    pub(crate) fn spend(&mut self) -> bool {
+        if self.probes_used >= self.budget {
+            return false;
+        }
+        self.probes_used += 1;
+        true
+    }
+
+    pub(crate) fn exhausted(&self) -> bool {
+        self.probes_used >= self.budget
+    }
+}
+
+/// Sends one probe and records the outcome in the discovery state.
+pub(crate) fn send_probe<P: Prober>(
+    prober: &mut P,
+    state: &mut Discovery,
+    ctx: &mut RunCtx,
+    flow: mlpt_wire::FlowId,
+    ttl: u8,
+) -> bool {
+    if !ctx.spend() {
+        return false;
+    }
+    state.note_probe_sent(flow, ttl);
+    if let Some(obs) = prober.probe(flow, ttl) {
+        state.record(flow, ttl, obs.responder, obs.at_destination);
+    }
+    true
+}
+
+/// True once every vertex known at `ttl` is the destination (and at least
+/// one is): the trace has converged.
+pub(crate) fn converged(state: &Discovery, destination: Ipv4Addr, ttl: u8) -> bool {
+    let vs = state.vertices_at(ttl);
+    !vs.is_empty() && vs.iter().all(|&v| v == destination)
+}
+
+/// Hop discovery without node control: probe with the given flow-reuse
+/// preference, then fresh flows, until the stopping rule fires on the
+/// number of distinct vertices at the hop. Used by the MDA when the
+/// previous hop holds a single vertex (all flows pass through it, so node
+/// control is vacuous) and by MDA-Lite at every hop.
+pub(crate) fn discover_hop_uniform<P: Prober>(
+    prober: &mut P,
+    state: &mut Discovery,
+    flows: &mut FlowAllocator,
+    config: &TraceConfig,
+    ctx: &mut RunCtx,
+    ttl: u8,
+    reuse: &[mlpt_wire::FlowId],
+) {
+    let mut reuse_iter = reuse.iter().copied();
+    loop {
+        let k = state.vertices_at(ttl).len();
+        let sent = state.probes_at(ttl);
+        if config.stopping.should_stop(k.max(1), sent) {
+            // k == 0 with n(1) probes spent: a silent hop; the rule for a
+            // single hypothetical vertex applies.
+            break;
+        }
+        let flow = reuse_iter
+            .by_ref()
+            .find(|&f| !state.flow_probed_at(ttl, f))
+            .unwrap_or_else(|| flows.fresh());
+        if !send_probe(prober, state, ctx, flow, ttl) {
+            break;
+        }
+    }
+}
+
+/// Node control: hunts for a fresh flow identifier that reaches `parent`
+/// at `ttl`, probing new flows at `ttl` until one lands (bounded by
+/// `node_control_attempts` and the global budget). Probes spent here are
+/// charged to hop `ttl`, and any new vertices they reveal are recorded —
+/// this is where the paper's δ overhead comes from.
+fn hunt_flow_via<P: Prober>(
+    prober: &mut P,
+    state: &mut Discovery,
+    flows: &mut FlowAllocator,
+    config: &TraceConfig,
+    ctx: &mut RunCtx,
+    parent: Ipv4Addr,
+    ttl: u8,
+) -> Option<mlpt_wire::FlowId> {
+    for _ in 0..config.node_control_attempts {
+        let flow = flows.fresh();
+        if !send_probe(prober, state, ctx, flow, ttl) {
+            return None;
+        }
+        if state.flow_vertex(ttl, flow) == Some(parent) {
+            return Some(flow);
+        }
+    }
+    None
+}
+
+/// Finds all successors of `parent` (a vertex at `ttl - 1`) by probing hop
+/// `ttl` via `parent` under the stopping rule.
+fn process_vertex<P: Prober>(
+    prober: &mut P,
+    state: &mut Discovery,
+    flows: &mut FlowAllocator,
+    config: &TraceConfig,
+    ctx: &mut RunCtx,
+    parent: Ipv4Addr,
+    ttl: u8,
+) {
+    loop {
+        let (sent_via, successors) = state.probes_via(parent, ttl);
+        let k = successors.len();
+        if config.stopping.should_stop(k.max(1), sent_via) {
+            break;
+        }
+        // A flow known to reach the parent and not yet probed at this ttl.
+        let candidate = state
+            .flows_reaching(ttl - 1, parent)
+            .into_iter()
+            .find(|&f| !state.flow_probed_at(ttl, f));
+        let flow = match candidate {
+            Some(f) => f,
+            None => match hunt_flow_via(prober, state, flows, config, ctx, parent, ttl - 1) {
+                Some(f) => f,
+                None => break, // budget/attempts exhausted: give up on parent
+            },
+        };
+        if !send_probe(prober, state, ctx, flow, ttl) {
+            break;
+        }
+    }
+}
+
+/// Runs the MDA over (possibly pre-populated) discovery state.
+///
+/// Returns true if the probe budget ran out. This entry point is shared
+/// with MDA-Lite's switchover: the full MDA resumes over everything the
+/// Lite pass already learned.
+pub(crate) fn run_mda<P: Prober>(
+    prober: &mut P,
+    state: &mut Discovery,
+    flows: &mut FlowAllocator,
+    config: &TraceConfig,
+    ctx: &mut RunCtx,
+) {
+    let destination = prober.destination();
+    flows.reserve(state.used_flows().iter().copied());
+
+    for ttl in 1..=config.max_ttl {
+        if converged(state, destination, ttl.saturating_sub(1).max(1)) && ttl > 1 {
+            break;
+        }
+        let parents: Vec<Ipv4Addr> = if ttl == 1 {
+            Vec::new()
+        } else {
+            state.vertices_at(ttl - 1).to_vec()
+        };
+        let single_parent = ttl == 1 || parents.len() <= 1;
+        if single_parent {
+            // All flows pass through the same point: plain stopping rule.
+            let reuse: Vec<mlpt_wire::FlowId> = if ttl == 1 {
+                Vec::new()
+            } else {
+                state.reuse_queue(ttl - 1)
+            };
+            discover_hop_uniform(prober, state, flows, config, ctx, ttl, &reuse);
+        } else {
+            // Vertex-by-vertex with node control; new vertices discovered
+            // at ttl-1 by the hunts join the worklist.
+            let mut processed: BTreeSet<Ipv4Addr> = BTreeSet::new();
+            loop {
+                let pending: Vec<Ipv4Addr> = state
+                    .vertices_at(ttl - 1)
+                    .iter()
+                    .copied()
+                    .filter(|v| !processed.contains(v) && *v != destination)
+                    .collect();
+                if pending.is_empty() || ctx.exhausted() {
+                    break;
+                }
+                for parent in pending {
+                    process_vertex(prober, state, flows, config, ctx, parent, ttl);
+                    processed.insert(parent);
+                }
+            }
+        }
+        if converged(state, destination, ttl) {
+            break;
+        }
+        if ctx.exhausted() {
+            break;
+        }
+    }
+}
+
+/// Traces the multipath topology towards the prober's destination with the
+/// full MDA.
+pub fn trace_mda<P: Prober>(prober: &mut P, config: &TraceConfig) -> Trace {
+    let mut state = Discovery::new();
+    let mut flows = FlowAllocator::new(config.seed);
+    let mut ctx = RunCtx::new(config.probe_budget);
+    let before = prober.probes_sent();
+    run_mda(prober, &mut state, &mut flows, config, &mut ctx);
+    let destination = prober.destination();
+    Trace {
+        algorithm: Algorithm::Mda,
+        destination,
+        reached_destination: state.destination_ttl().is_some(),
+        probes_sent: prober.probes_sent() - before,
+        switched: None,
+        budget_exhausted: ctx.exhausted(),
+        discovery: state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::TransportProber;
+    use crate::stopping::StoppingPoints;
+    use mlpt_sim::SimNetwork;
+    use mlpt_topo::{canonical, MultipathTopology};
+    use std::net::Ipv4Addr;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    fn run_on(topo: &MultipathTopology, seed: u64) -> Trace {
+        let net = SimNetwork::new(topo.clone(), seed);
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let config = TraceConfig::new(seed ^ 0xAA);
+        trace_mda(&mut prober, &config)
+    }
+
+    /// Discovery soundness + completeness against ground truth.
+    fn assert_complete(topo: &MultipathTopology, trace: &Trace) {
+        assert!(trace.reached_destination);
+        let discovered = trace.to_topology().expect("reached destination");
+        assert_eq!(
+            discovered.num_hops(),
+            topo.num_hops(),
+            "hop count mismatch"
+        );
+        for i in 0..topo.num_hops() {
+            let want: BTreeSet<Ipv4Addr> = topo.hop(i).iter().copied().collect();
+            let got: BTreeSet<Ipv4Addr> = discovered.hop(i).iter().copied().collect();
+            assert_eq!(got, want, "hop {i} vertex mismatch");
+        }
+        let want_edges: BTreeSet<_> = topo.edges().collect();
+        let got_edges: BTreeSet<_> = discovered.edges().collect();
+        assert_eq!(got_edges, want_edges, "edge set mismatch");
+    }
+
+    #[test]
+    fn discovers_simplest_diamond() {
+        let topo = canonical::simplest_diamond();
+        // Seeds giving full discovery dominate (failure prob 3%): try one.
+        let trace = run_on(&topo, 3);
+        assert_complete(&topo, &trace);
+    }
+
+    #[test]
+    fn discovers_fig1_unmeshed() {
+        let topo = canonical::fig1_unmeshed();
+        let trace = run_on(&topo, 5);
+        assert_complete(&topo, &trace);
+    }
+
+    #[test]
+    fn discovers_fig1_meshed() {
+        let topo = canonical::fig1_meshed();
+        let trace = run_on(&topo, 5);
+        assert_complete(&topo, &trace);
+    }
+
+    #[test]
+    fn discovers_symmetric() {
+        let topo = canonical::symmetric();
+        let trace = run_on(&topo, 11);
+        assert_complete(&topo, &trace);
+    }
+
+    #[test]
+    fn no_false_discoveries_ever() {
+        // Soundness: every vertex and edge reported must exist in truth,
+        // for any seed, even when discovery is incomplete.
+        let topo = canonical::asymmetric();
+        for seed in 0..5u64 {
+            let trace = run_on(&topo, seed);
+            for ttl in 1..=topo.num_hops() as u8 {
+                for &v in trace.vertices_at(ttl) {
+                    assert!(
+                        topo.contains(usize::from(ttl - 1), v),
+                        "seed {seed}: phantom vertex {v} at ttl {ttl}"
+                    );
+                }
+                let edges = trace.discovery.edges_from(ttl);
+                for (from, tos) in edges {
+                    for to in tos {
+                        assert!(
+                            topo.successors(usize::from(ttl - 1), from).contains(&to),
+                            "seed {seed}: phantom edge {from}->{to}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_probe_accounting_unmeshed() {
+        // With Veitch Table 1 stopping points, the unmeshed 1-4-2-1 diamond
+        // costs 11·n1 + δ = 99 + δ probes (Sec. 2.1). δ is the coupon-
+        // collector overhead — small but positive in expectation.
+        let topo = canonical::fig1_unmeshed();
+        let mut total = 0u64;
+        let runs = 20;
+        for seed in 0..runs {
+            let net = SimNetwork::new(topo.clone(), seed);
+            let mut prober = TransportProber::new(net, SRC, topo.destination());
+            let config =
+                TraceConfig::new(seed).with_stopping(StoppingPoints::veitch_table1());
+            let trace = trace_mda(&mut prober, &config);
+            total += trace.probes_sent;
+        }
+        let mean = total as f64 / runs as f64;
+        assert!(
+            (99.0..135.0).contains(&mean),
+            "mean probes {mean}, expected 99 + δ"
+        );
+    }
+
+    #[test]
+    fn paper_probe_accounting_meshed() {
+        // Meshed diamond: 8·n2 + 3·n1 + δ' = 163 + δ'.
+        let topo = canonical::fig1_meshed();
+        let mut total = 0u64;
+        let runs = 20;
+        for seed in 0..runs {
+            let net = SimNetwork::new(topo.clone(), seed);
+            let mut prober = TransportProber::new(net, SRC, topo.destination());
+            let config =
+                TraceConfig::new(seed).with_stopping(StoppingPoints::veitch_table1());
+            let trace = trace_mda(&mut prober, &config);
+            total += trace.probes_sent;
+        }
+        let mean = total as f64 / runs as f64;
+        assert!(
+            (163.0..210.0).contains(&mean),
+            "mean probes {mean}, expected 163 + δ'"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let topo = canonical::meshed();
+        let net = SimNetwork::new(topo.clone(), 1);
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let config = TraceConfig::new(1).with_probe_budget(50);
+        let trace = trace_mda(&mut prober, &config);
+        assert!(trace.budget_exhausted);
+        assert!(trace.probes_sent <= 51);
+    }
+
+    #[test]
+    fn empirical_failure_rate_matches_analytic() {
+        // The MDA run through the real packet path must fail at the
+        // analytic rate on the simplest diamond (0.03125 for 95% table).
+        let topo = canonical::simplest_diamond();
+        let runs = 600u64;
+        let mut failures = 0u64;
+        for seed in 0..runs {
+            let trace = run_on(&topo, seed);
+            let complete = trace.total_vertices() == topo.total_vertices()
+                && trace.total_edges() == topo.total_edges();
+            if !complete {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / runs as f64;
+        assert!(
+            (rate - 0.03125).abs() < 0.02,
+            "failure rate {rate} vs analytic 0.03125"
+        );
+    }
+
+    use std::collections::BTreeSet;
+}

@@ -1,0 +1,457 @@
+//! MDA-Lite: hop-by-hop multipath discovery with opportunistic escalation.
+//!
+//! "The MDA-Lite … reserves node control for particular cases and proceeds
+//! hop by hop in the general case" (Sec. 2.3). Per hop it:
+//!
+//! 1. **Discovers vertices** with the plain stopping rule, reusing flow
+//!    identifiers from the previous hop first (one per vertex, then the
+//!    rest, then fresh ones) — no node control.
+//! 2. **Completes edges deterministically** (Sec. 2.3.1): any vertex at
+//!    the previous hop without an identified successor gets one forward
+//!    probe with a flow known to reach it; any vertex at the current hop
+//!    without an identified predecessor gets one backward probe with a
+//!    flow that discovered it.
+//! 3. **Tests for meshing** (Sec. 2.3.2) when both hops are multi-vertex:
+//!    φ flow identifiers per vertex are gathered on the wider hop (a
+//!    light, bounded form of node control) and traced to the narrower hop;
+//!    any degree ≥ 2 reveals meshing.
+//! 4. **Tests for width asymmetry** (Sec. 2.3.3): unequal successor counts
+//!    at the earlier hop or predecessor counts at the later hop.
+//!
+//! Either detection *switches over to the full MDA*, which resumes over
+//! everything already learned — matching the paper's observation that a
+//! switched run enjoys no probe economy.
+
+use crate::config::TraceConfig;
+use crate::discovery::{Discovery, FlowAllocator};
+use crate::mda::{converged, discover_hop_uniform, run_mda, send_probe, RunCtx};
+use crate::prober::Prober;
+use crate::trace::{Algorithm, SwitchReason, Trace};
+use mlpt_wire::FlowId;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// Traces the multipath topology with MDA-Lite (switching to the full MDA
+/// when meshing or non-uniformity is detected).
+pub fn trace_mda_lite<P: Prober>(prober: &mut P, config: &TraceConfig) -> Trace {
+    let mut state = Discovery::new();
+    let mut flows = FlowAllocator::new(config.seed);
+    let mut ctx = RunCtx::new(config.probe_budget);
+    let destination = prober.destination();
+    let before = prober.probes_sent();
+
+    let mut switched: Option<SwitchReason> = None;
+
+    'hops: for ttl in 1..=config.max_ttl {
+        // 1. Vertex discovery at this hop, no node control.
+        let reuse: Vec<FlowId> = if ttl == 1 {
+            Vec::new()
+        } else {
+            state.reuse_queue(ttl - 1)
+        };
+        discover_hop_uniform(prober, &mut state, &mut flows, config, &mut ctx, ttl, &reuse);
+        if ctx.exhausted() {
+            break;
+        }
+
+        if ttl >= 2 {
+            // 2. Deterministic edge completion between ttl-1 and ttl.
+            complete_edges(prober, &mut state, &mut ctx, ttl);
+            if ctx.exhausted() {
+                break;
+            }
+
+            let prev_multi = state.vertices_at(ttl - 1).len() >= 2;
+            let curr_multi = state.vertices_at(ttl).len() >= 2;
+
+            // 3. Meshing test on adjacent multi-vertex hops.
+            if prev_multi && curr_multi {
+                let meshed =
+                    meshing_test(prober, &mut state, &mut flows, config, &mut ctx, ttl);
+                if meshed {
+                    switched = Some(SwitchReason::MeshingDetected { ttl: ttl - 1 });
+                    break 'hops;
+                }
+            }
+
+            // 4. Width-asymmetry (non-uniformity) test.
+            if pair_is_asymmetric(&state, ttl) {
+                switched = Some(SwitchReason::AsymmetryDetected { ttl: ttl - 1 });
+                break 'hops;
+            }
+        }
+
+        if converged(&state, destination, ttl) {
+            break;
+        }
+    }
+
+    if switched.is_some() && !ctx.exhausted() {
+        // Escalate: the full MDA resumes over the accumulated evidence.
+        run_mda(prober, &mut state, &mut flows, config, &mut ctx);
+    }
+
+    Trace {
+        algorithm: Algorithm::MdaLite,
+        destination,
+        reached_destination: state.destination_ttl().is_some(),
+        probes_sent: prober.probes_sent() - before,
+        switched,
+        budget_exhausted: ctx.exhausted(),
+        discovery: state,
+    }
+}
+
+/// Deterministic edge completion (Sec. 2.3.1). Forward probes give
+/// successors to successor-less vertices at `ttl - 1`; backward probes
+/// give predecessors to predecessor-less vertices at `ttl`. Covers all
+/// three width cases of the paper (fewer / more / equal).
+fn complete_edges<P: Prober>(
+    prober: &mut P,
+    state: &mut Discovery,
+    ctx: &mut RunCtx,
+    ttl: u8,
+) {
+    // Bounded fixpoint: a completion probe can itself reveal a new vertex
+    // (evidence the hop discovery missed one); re-completing is cheap and
+    // deterministic.
+    for _round in 0..4 {
+        let edges = state.edges_from(ttl - 1);
+        let rev = state.reverse_edges_from(ttl - 1);
+
+        let mut work: Vec<(FlowId, u8)> = Vec::new();
+
+        // Forward: vertex at ttl-1 without successor.
+        for &u in state.vertices_at(ttl - 1) {
+            if edges.get(&u).is_none_or(BTreeSet::is_empty) {
+                if let Some(&f) = state
+                    .flows_reaching(ttl - 1, u)
+                    .iter()
+                    .find(|&&f| !state.flow_probed_at(ttl, f))
+                {
+                    work.push((f, ttl));
+                }
+            }
+        }
+        // Backward: vertex at ttl without predecessor.
+        for &v in state.vertices_at(ttl) {
+            if rev.get(&v).is_none_or(BTreeSet::is_empty) {
+                if let Some(&f) = state
+                    .flows_reaching(ttl, v)
+                    .iter()
+                    .find(|&&f| !state.flow_probed_at(ttl - 1, f))
+                {
+                    work.push((f, ttl - 1));
+                }
+            }
+        }
+
+        if work.is_empty() {
+            return;
+        }
+        for (flow, at) in work {
+            if !send_probe(prober, state, ctx, flow, at) {
+                return;
+            }
+        }
+    }
+}
+
+/// The meshing test (Sec. 2.3.2). Traces from the hop with more vertices
+/// towards the hop with fewer (forward from `ttl - 1` when it is at least
+/// as wide; backward from `ttl` otherwise), with φ flow identifiers per
+/// vertex on the traced-from hop. Detection: any out-degree ≥ 2 when
+/// tracing forward, any in-degree ≥ 2 when tracing backward.
+fn meshing_test<P: Prober>(
+    prober: &mut P,
+    state: &mut Discovery,
+    flows: &mut FlowAllocator,
+    config: &TraceConfig,
+    ctx: &mut RunCtx,
+    ttl: u8,
+) -> bool {
+    let wider_prev = state.vertices_at(ttl - 1).len() >= state.vertices_at(ttl).len();
+    let (from_ttl, to_ttl) = if wider_prev {
+        (ttl - 1, ttl)
+    } else {
+        (ttl, ttl - 1)
+    };
+
+    // Gather φ flows per vertex on the traced-from hop (light node
+    // control: draw fresh flows and probe them at from_ttl until each
+    // vertex holds φ, bounded).
+    let vertices: Vec<Ipv4Addr> = state.vertices_at(from_ttl).to_vec();
+    let phi = config.phi as usize;
+    let mut attempts = 0u64;
+    loop {
+        let deficient: Vec<Ipv4Addr> = vertices
+            .iter()
+            .copied()
+            .filter(|&v| state.flows_reaching(from_ttl, v).len() < phi)
+            .collect();
+        if deficient.is_empty() {
+            break;
+        }
+        attempts += 1;
+        if attempts > config.node_control_attempts {
+            break;
+        }
+        let flow = flows.fresh();
+        if !send_probe(prober, state, ctx, flow, from_ttl) {
+            break;
+        }
+    }
+
+    // Send φ flows of each vertex to the other hop.
+    for &v in &vertices {
+        let vflows: Vec<FlowId> = state
+            .flows_reaching(from_ttl, v)
+            .into_iter()
+            .take(phi)
+            .collect();
+        for f in vflows {
+            if !state.flow_probed_at(to_ttl, f)
+                && !send_probe(prober, state, ctx, f, to_ttl) {
+                    return false;
+                }
+        }
+    }
+
+    // Detection over all accumulated evidence.
+    let earlier = from_ttl.min(to_ttl);
+    if wider_prev {
+        // Forward tracing: out-degree ≥ 2 at the earlier hop.
+        state
+            .edges_from(earlier)
+            .values()
+            .any(|succs| succs.len() >= 2)
+    } else {
+        // Backward tracing: in-degree ≥ 2 at the later hop.
+        state
+            .reverse_edges_from(earlier)
+            .values()
+            .any(|preds| preds.len() >= 2)
+    }
+}
+
+/// Width-asymmetry test (Sec. 2.3.3): "if the number of successors is not
+/// identical for every vertex at hop i or if the number of predecessors is
+/// not identical for every vertex at hop i + 1, the diamond has width
+/// asymmetry and is considered to be non-uniform".
+fn pair_is_asymmetric(state: &Discovery, ttl: u8) -> bool {
+    let edges = state.edges_from(ttl - 1);
+    let rev = state.reverse_edges_from(ttl - 1);
+
+    let succ_counts: Vec<usize> = state
+        .vertices_at(ttl - 1)
+        .iter()
+        .map(|v| edges.get(v).map_or(0, BTreeSet::len))
+        .collect();
+    let pred_counts: Vec<usize> = state
+        .vertices_at(ttl)
+        .iter()
+        .map(|v| rev.get(v).map_or(0, BTreeSet::len))
+        .collect();
+
+    let uneven = |counts: &[usize]| {
+        counts
+            .iter()
+            .filter(|&&c| c > 0) // vertices with no evidence don't testify
+            .collect::<BTreeSet<_>>()
+            .len()
+            > 1
+    };
+    uneven(&succ_counts) || uneven(&pred_counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::TransportProber;
+    use crate::stopping::StoppingPoints;
+    use mlpt_sim::SimNetwork;
+    use mlpt_topo::{canonical, MultipathTopology};
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    fn run_on(topo: &MultipathTopology, seed: u64) -> Trace {
+        let net = SimNetwork::new(topo.clone(), seed);
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let config = TraceConfig::new(seed ^ 0x55);
+        trace_mda_lite(&mut prober, &config)
+    }
+
+    fn assert_complete(topo: &MultipathTopology, trace: &Trace) {
+        let discovered = trace.to_topology().expect("reached destination");
+        assert_eq!(discovered.num_hops(), topo.num_hops());
+        for i in 0..topo.num_hops() {
+            let want: BTreeSet<Ipv4Addr> = topo.hop(i).iter().copied().collect();
+            let got: BTreeSet<Ipv4Addr> = discovered.hop(i).iter().copied().collect();
+            assert_eq!(got, want, "hop {i} vertex mismatch");
+        }
+        let want_edges: BTreeSet<_> = topo.edges().collect();
+        let got_edges: BTreeSet<_> = discovered.edges().collect();
+        assert_eq!(got_edges, want_edges, "edge mismatch");
+    }
+
+    #[test]
+    fn discovers_simplest_diamond_without_switching() {
+        let topo = canonical::simplest_diamond();
+        let trace = run_on(&topo, 4);
+        assert!(trace.switched.is_none());
+        assert_complete(&topo, &trace);
+    }
+
+    #[test]
+    fn discovers_fig1_unmeshed_without_switching() {
+        let topo = canonical::fig1_unmeshed();
+        let trace = run_on(&topo, 6);
+        assert!(trace.switched.is_none(), "unmeshed uniform: no switch");
+        assert_complete(&topo, &trace);
+    }
+
+    #[test]
+    fn max_length_2_no_meshing_test_possible() {
+        // Single multi-vertex hop: no adjacent multi-vertex pair, so no
+        // meshing test and no switch — the case where MDA-Lite shines.
+        let topo = canonical::max_length_2();
+        let trace = run_on(&topo, 8);
+        assert!(trace.switched.is_none());
+        assert_complete(&topo, &trace);
+    }
+
+    #[test]
+    fn symmetric_no_switch() {
+        let topo = canonical::symmetric();
+        let trace = run_on(&topo, 10);
+        assert!(trace.switched.is_none(), "got {:?}", trace.switched);
+        assert_complete(&topo, &trace);
+    }
+
+    #[test]
+    fn meshed_fig1_switches_on_meshing() {
+        let topo = canonical::fig1_meshed();
+        let trace = run_on(&topo, 3);
+        assert!(
+            matches!(trace.switched, Some(SwitchReason::MeshingDetected { .. })),
+            "got {:?}",
+            trace.switched
+        );
+        assert_complete(&topo, &trace);
+    }
+
+    #[test]
+    fn asymmetric_switches_on_asymmetry() {
+        let topo = canonical::asymmetric();
+        let trace = run_on(&topo, 2);
+        assert!(
+            trace.switched.is_some(),
+            "asymmetric diamond must trigger a switch"
+        );
+    }
+
+    #[test]
+    fn lite_cheaper_than_mda_on_uniform_unmeshed() {
+        // The headline claim: on uniform unmeshed diamonds MDA-Lite uses
+        // significantly fewer probes while discovering the same topology.
+        let topo = canonical::max_length_2();
+        let mut lite_total = 0u64;
+        let mut mda_total = 0u64;
+        for seed in 0..10u64 {
+            let net = SimNetwork::new(topo.clone(), seed);
+            let mut p = TransportProber::new(net, SRC, topo.destination());
+            let config = TraceConfig::new(seed);
+            lite_total += trace_mda_lite(&mut p, &config).probes_sent;
+
+            let net = SimNetwork::new(topo.clone(), seed);
+            let mut p = TransportProber::new(net, SRC, topo.destination());
+            mda_total += crate::mda::trace_mda(&mut p, &config).probes_sent;
+        }
+        assert!(
+            (lite_total as f64) < 0.8 * mda_total as f64,
+            "lite {lite_total} vs mda {mda_total}"
+        );
+    }
+
+    #[test]
+    fn paper_probe_accounting_lite() {
+        // Sec. 2.3.1: with Veitch Table 1, vertex discovery on the Fig. 1
+        // diamonds costs n4 + n2 + 2·n1 = 68 probes (plus edge completion
+        // and the meshing test, which the paper accounts separately).
+        let topo = canonical::fig1_unmeshed();
+        let mut totals = Vec::new();
+        for seed in 0..20u64 {
+            let net = SimNetwork::new(topo.clone(), seed);
+            let mut p = TransportProber::new(net, SRC, topo.destination());
+            let config = TraceConfig::new(seed)
+                .with_stopping(StoppingPoints::veitch_table1());
+            let trace = trace_mda_lite(&mut p, &config);
+            if trace.switched.is_none() {
+                totals.push(trace.probes_sent);
+            }
+        }
+        assert!(!totals.is_empty());
+        let mean = totals.iter().sum::<u64>() as f64 / totals.len() as f64;
+        // 68 discovery probes + bounded meshing-test and edge overhead.
+        assert!(
+            (68.0..100.0).contains(&mean),
+            "mean lite probes {mean}, expected 68 + small overhead"
+        );
+    }
+
+    #[test]
+    fn no_false_discoveries_ever() {
+        let topo = canonical::meshed();
+        for seed in 0..3u64 {
+            let trace = run_on(&topo, seed);
+            for ttl in 1..=topo.num_hops() as u8 {
+                for &v in trace.vertices_at(ttl) {
+                    assert!(
+                        topo.contains(usize::from(ttl - 1), v),
+                        "phantom vertex {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meshed_switch_recovers_near_full_topology() {
+        // The 48-wide meshed diamond has ~100 vertices with two successors
+        // each, so even the full MDA misses a few edges with the 95 %
+        // stopping points (per-vertex failure 0.03 compounds). The paper's
+        // claim is the *switch* plus near-complete discovery, not
+        // perfection.
+        let topo = canonical::meshed();
+        let trace = run_on(&topo, 1);
+        assert!(trace.switched.is_some());
+        let discovered = trace.to_topology().expect("reached destination");
+        // All vertices found (every vertex has two chances via its two
+        // predecessors).
+        for i in 0..topo.num_hops() {
+            let want: BTreeSet<Ipv4Addr> = topo.hop(i).iter().copied().collect();
+            let got: BTreeSet<Ipv4Addr> = discovered.hop(i).iter().copied().collect();
+            assert_eq!(got, want, "hop {i} vertex mismatch");
+        }
+        // Edges: at least 97 % discovered, none invented.
+        let want_edges: BTreeSet<_> = topo.edges().collect();
+        let mut witnessed: BTreeSet<(usize, Ipv4Addr, Ipv4Addr)> = BTreeSet::new();
+        for ttl in 1..topo.num_hops() as u8 {
+            for (from, tos) in trace.discovery.edges_from(ttl) {
+                for to in tos {
+                    witnessed.insert((usize::from(ttl - 1), from, to));
+                }
+            }
+        }
+        assert!(
+            witnessed.is_subset(&want_edges),
+            "phantom edges discovered"
+        );
+        assert!(
+            witnessed.len() as f64 >= 0.97 * want_edges.len() as f64,
+            "only {}/{} edges discovered",
+            witnessed.len(),
+            want_edges.len()
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Paris traceroute with a single flow identifier.
+//!
+//! The baseline the paper compares against (Sec. 2.4.2): "one with just a
+//! single flow ID, the way Paris Traceroute is currently implemented on
+//! the RIPE Atlas infrastructure". One probe per TTL, all with the same
+//! flow identifier, so the trace follows exactly one load-balanced path
+//! and discovers one vertex and one edge per hop.
+
+use crate::config::TraceConfig;
+use crate::discovery::Discovery;
+use crate::prober::Prober;
+use crate::trace::{Algorithm, Trace};
+use mlpt_wire::FlowId;
+
+/// Traces a single path using one flow identifier.
+pub fn trace_single_flow<P: Prober>(prober: &mut P, config: &TraceConfig, flow: FlowId) -> Trace {
+    let mut state = Discovery::new();
+    let destination = prober.destination();
+    let before = prober.probes_sent();
+
+    for ttl in 1..=config.max_ttl {
+        state.note_probe_sent(flow, ttl);
+        if let Some(obs) = prober.probe(flow, ttl) {
+            state.record(flow, ttl, obs.responder, obs.at_destination);
+            if obs.at_destination {
+                break;
+            }
+        }
+    }
+
+    Trace {
+        algorithm: Algorithm::SingleFlow,
+        destination,
+        reached_destination: state.destination_ttl().is_some(),
+        probes_sent: prober.probes_sent() - before,
+        switched: None,
+        budget_exhausted: false,
+        discovery: state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::TransportProber;
+    use mlpt_sim::SimNetwork;
+    use mlpt_topo::canonical;
+    use std::net::Ipv4Addr;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    #[test]
+    fn traces_one_path() {
+        let topo = canonical::fig1_unmeshed();
+        let net = SimNetwork::new(topo.clone(), 7);
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let config = TraceConfig::new(7);
+        let trace = trace_single_flow(&mut prober, &config, FlowId(5));
+        assert!(trace.reached_destination);
+        // One vertex per hop.
+        for ttl in 1..=topo.num_hops() as u8 {
+            assert_eq!(trace.vertices_at(ttl).len(), 1, "ttl {ttl}");
+        }
+        // Exactly one probe per hop.
+        assert_eq!(trace.probes_sent, topo.num_hops() as u64);
+    }
+
+    #[test]
+    fn discovers_fraction_of_wide_hop() {
+        let topo = canonical::max_length_2();
+        let net = SimNetwork::new(topo.clone(), 7);
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let config = TraceConfig::new(7);
+        let trace = trace_single_flow(&mut prober, &config, FlowId(5));
+        // 1 of 28 middle vertices: heavy undercount, tiny probe bill.
+        assert_eq!(trace.total_vertices(), 3);
+        assert_eq!(trace.probes_sent, 3);
+    }
+
+    #[test]
+    fn stable_flow_stable_path() {
+        let topo = canonical::meshed();
+        let a = {
+            let net = SimNetwork::new(topo.clone(), 3);
+            let mut p = TransportProber::new(net, SRC, topo.destination());
+            trace_single_flow(&mut p, &TraceConfig::new(1), FlowId(9))
+        };
+        let b = {
+            let net = SimNetwork::new(topo.clone(), 3);
+            let mut p = TransportProber::new(net, SRC, topo.destination());
+            trace_single_flow(&mut p, &TraceConfig::new(2), FlowId(9))
+        };
+        for ttl in 1..=topo.num_hops() as u8 {
+            assert_eq!(a.vertices_at(ttl), b.vertices_at(ttl));
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Trace results: what a completed run reports.
+//!
+//! [`Trace`] bundles the discovery evidence with run metadata (algorithm,
+//! probe cost, whether MDA-Lite switched to the full MDA and why), and
+//! converts the evidence into a [`MultipathTopology`] for diamond
+//! analysis, with star placeholders for unresponsive hops as the survey
+//! requires (Sec. 5).
+
+use crate::discovery::Discovery;
+use mlpt_topo::{star_address, MultipathTopology, TopologyBuilder};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// Which algorithm produced a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Classic MDA with full node control.
+    Mda,
+    /// MDA-Lite (possibly switched to MDA mid-run).
+    MdaLite,
+    /// Paris traceroute with a single flow identifier.
+    SingleFlow,
+}
+
+/// Why an MDA-Lite run escalated to the full MDA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchReason {
+    /// The meshing test found a hop pair with degree ≥ 2 (Sec. 2.3.2).
+    MeshingDetected {
+        /// TTL of the earlier hop of the meshed pair.
+        ttl: u8,
+    },
+    /// Width asymmetry found after edge discovery (Sec. 2.3.3).
+    AsymmetryDetected {
+        /// TTL of the earlier hop of the asymmetric pair.
+        ttl: u8,
+    },
+}
+
+/// A completed multipath trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Algorithm that produced this trace.
+    pub algorithm: Algorithm,
+    /// The destination traced towards.
+    pub destination: Ipv4Addr,
+    /// Whether the destination answered.
+    pub reached_destination: bool,
+    /// Total probe packets sent (the paper's cost metric).
+    pub probes_sent: u64,
+    /// For MDA-Lite: the switchover that occurred, if any.
+    pub switched: Option<SwitchReason>,
+    /// True if the run stopped because the probe budget was exhausted.
+    pub budget_exhausted: bool,
+    /// The raw evidence (vertices, flows, edges per hop).
+    pub discovery: Discovery,
+}
+
+impl Trace {
+    /// Vertices discovered at `ttl` (excluding star placeholders, which
+    /// are only synthesised during topology conversion).
+    pub fn vertices_at(&self, ttl: u8) -> &[Ipv4Addr] {
+        self.discovery.vertices_at(ttl)
+    }
+
+    /// Total discovered vertices (all hops through the destination hop).
+    pub fn total_vertices(&self) -> usize {
+        self.discovery.total_vertices()
+    }
+
+    /// Total witnessed edges.
+    pub fn total_edges(&self) -> usize {
+        self.discovery.total_edges()
+    }
+
+    /// The TTL at which the destination finally answered, if reached.
+    pub fn destination_ttl(&self) -> Option<u8> {
+        self.discovery.destination_ttl()
+    }
+
+    /// Set of all discovered interface addresses.
+    pub fn all_addresses(&self) -> BTreeSet<Ipv4Addr> {
+        let mut set = BTreeSet::new();
+        for ttl in 1..=self.discovery.max_observed_ttl() {
+            set.extend(self.discovery.vertices_at(ttl).iter().copied());
+        }
+        set
+    }
+
+    /// Converts the evidence into a validated topology for diamond
+    /// analysis.
+    ///
+    /// * Hops past the destination TTL are dropped; the final hop is the
+    ///   destination alone.
+    /// * A hop with no responses becomes a star placeholder vertex.
+    /// * Vertices the evidence leaves unconnected (possible under heavy
+    ///   loss or budget exhaustion) are linked through the only vertex of
+    ///   an adjacent single-vertex hop when sound, or to the first vertex
+    ///   of the adjacent hop as a last resort; lossless complete runs
+    ///   never need either.
+    ///
+    /// Returns `None` if the destination was never reached (no convergence
+    /// point — the survey discards such traces as non-exploitable).
+    pub fn to_topology(&self) -> Option<MultipathTopology> {
+        self.destination_ttl()?;
+        let max_ttl = self.discovery.max_observed_ttl();
+        // Final hop must hold exactly the destination; if the last observed
+        // hop still mixes other vertices (truncated run), synthesise one
+        // more hop for the destination.
+        let last_is_clean = self.discovery.vertices_at(max_ttl) == [self.destination];
+        let final_ttl = if last_is_clean { max_ttl } else { max_ttl + 1 };
+
+        let mut b = TopologyBuilder::default();
+        let mut hop_vertices: Vec<Vec<Ipv4Addr>> = Vec::new();
+        for ttl in 1..final_ttl {
+            let mut vs: Vec<Ipv4Addr> =
+                self.discovery.vertices_at(ttl).to_vec();
+            if vs.is_empty() {
+                vs.push(star_address(ttl));
+            }
+            hop_vertices.push(vs);
+        }
+        hop_vertices.push(vec![self.destination]);
+
+        for vs in &hop_vertices {
+            b.add_hop(vs.iter().copied());
+        }
+
+        // Witnessed edges.
+        let mut has_succ: Vec<BTreeSet<Ipv4Addr>> = vec![BTreeSet::new(); hop_vertices.len()];
+        let mut has_pred: Vec<BTreeSet<Ipv4Addr>> = vec![BTreeSet::new(); hop_vertices.len()];
+        for ttl in 1..final_ttl {
+            let h = usize::from(ttl - 1);
+            for (from, tos) in self.discovery.edges_from(ttl) {
+                if !hop_vertices[h].contains(&from) {
+                    continue;
+                }
+                for to in tos {
+                    if hop_vertices[h + 1].contains(&to) {
+                        b.add_edge(h, from, to);
+                        has_succ[h].insert(from);
+                        has_pred[h + 1].insert(to);
+                    }
+                }
+            }
+        }
+
+        // Stars and stragglers: complete connectivity. Sound when the
+        // adjacent hop is a single vertex (all flows pass through it);
+        // otherwise the first vertex stands in — this only triggers for
+        // runs truncated by loss or budget.
+        for h in 0..hop_vertices.len() {
+            if h + 1 < hop_vertices.len() {
+                for &v in hop_vertices[h].clone().iter() {
+                    if !has_succ[h].contains(&v) {
+                        let to = hop_vertices[h + 1][0];
+                        b.add_edge(h, v, to);
+                        has_succ[h].insert(v);
+                        has_pred[h + 1].insert(to);
+                    }
+                }
+            }
+            if h > 0 {
+                for &v in hop_vertices[h].clone().iter() {
+                    if !has_pred[h].contains(&v) {
+                        let from = hop_vertices[h - 1][0];
+                        b.add_edge(h - 1, from, v);
+                        has_pred[h].insert(v);
+                        has_succ[h - 1].insert(from);
+                    }
+                }
+            }
+        }
+
+        b.build().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpt_topo::graph::addr;
+    use mlpt_wire::FlowId;
+
+    fn simple_trace() -> Trace {
+        let mut d = Discovery::new();
+        // TTL 1: single vertex; TTL 2: two; TTL 3: destination.
+        let dst = addr(9, 9);
+        for (flow, path) in [
+            (FlowId(1), vec![addr(0, 0), addr(1, 0), dst]),
+            (FlowId(2), vec![addr(0, 0), addr(1, 1), dst]),
+        ] {
+            for (i, &v) in path.iter().enumerate() {
+                let ttl = (i + 1) as u8;
+                d.note_probe_sent(flow, ttl);
+                d.record(flow, ttl, v, v == dst);
+            }
+        }
+        Trace {
+            algorithm: Algorithm::Mda,
+            destination: dst,
+            reached_destination: true,
+            probes_sent: 6,
+            switched: None,
+            budget_exhausted: false,
+            discovery: d,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let t = simple_trace();
+        assert_eq!(t.total_vertices(), 4);
+        assert_eq!(t.total_edges(), 4);
+        assert_eq!(t.destination_ttl(), Some(3));
+    }
+
+    #[test]
+    fn to_topology_roundtrip() {
+        let t = simple_trace();
+        let topo = t.to_topology().unwrap();
+        assert_eq!(topo.num_hops(), 3);
+        assert_eq!(topo.hop(1).len(), 2);
+        assert_eq!(topo.destination(), addr(9, 9));
+        assert_eq!(topo.total_edges(), 4);
+    }
+
+    #[test]
+    fn unreached_destination_yields_none() {
+        let mut d = Discovery::new();
+        d.record(FlowId(1), 1, addr(0, 0), false);
+        let t = Trace {
+            algorithm: Algorithm::SingleFlow,
+            destination: addr(9, 9),
+            reached_destination: false,
+            probes_sent: 1,
+            switched: None,
+            budget_exhausted: false,
+            discovery: d,
+        };
+        assert!(t.to_topology().is_none());
+    }
+
+    #[test]
+    fn silent_hop_becomes_star() {
+        let mut d = Discovery::new();
+        let dst = addr(9, 9);
+        // TTL 1 observed; TTL 2 silent (probe sent, no reply); TTL 3 dest.
+        d.note_probe_sent(FlowId(1), 1);
+        d.record(FlowId(1), 1, addr(0, 0), false);
+        d.note_probe_sent(FlowId(1), 2);
+        d.note_probe_sent(FlowId(1), 3);
+        d.record(FlowId(1), 3, dst, true);
+        let t = Trace {
+            algorithm: Algorithm::SingleFlow,
+            destination: dst,
+            reached_destination: true,
+            probes_sent: 3,
+            switched: None,
+            budget_exhausted: false,
+            discovery: d,
+        };
+        let topo = t.to_topology().unwrap();
+        assert_eq!(topo.num_hops(), 3);
+        assert!(mlpt_topo::is_star(topo.hop(1)[0]));
+        // Star is wired through.
+        assert_eq!(topo.out_degree(0, addr(0, 0)), 1);
+        assert_eq!(topo.in_degree(2, dst), 1);
+    }
+
+    #[test]
+    fn early_destination_appearance_preserved() {
+        // One flow reaches the destination at TTL 2, another at TTL 3.
+        let mut d = Discovery::new();
+        let dst = addr(9, 9);
+        d.record(FlowId(1), 1, addr(0, 0), false);
+        d.record(FlowId(2), 1, addr(0, 0), false);
+        d.record(FlowId(1), 2, dst, true);
+        d.record(FlowId(2), 2, addr(1, 0), false);
+        d.record(FlowId(2), 3, dst, true);
+        let t = Trace {
+            algorithm: Algorithm::Mda,
+            destination: dst,
+            reached_destination: true,
+            probes_sent: 5,
+            switched: None,
+            budget_exhausted: false,
+            discovery: d,
+        };
+        let topo = t.to_topology().unwrap();
+        assert_eq!(topo.num_hops(), 3);
+        // Destination appears at hop 1 (ttl 2) *and* as the final hop.
+        assert!(topo.hop(1).contains(&dst));
+        assert_eq!(topo.hop(2), &[dst]);
+    }
+
+    #[test]
+    fn all_addresses_collects() {
+        let t = simple_trace();
+        let addrs = t.all_addresses();
+        assert!(addrs.contains(&addr(0, 0)));
+        assert!(addrs.contains(&addr(1, 0)));
+        assert!(addrs.contains(&addr(1, 1)));
+        assert!(addrs.contains(&addr(9, 9)));
+    }
+}

@@ -1,0 +1,203 @@
+//! The load-balancing decision function.
+//!
+//! The MDA model assumes (Sec. 2.1) that load balancing is *per-flow*
+//! (assumption 2: flow IDs steer probes deterministically) and
+//! *uniform-at-random across successors* (assumption 3). [`FlowHasher`]
+//! realises both: a vertex's next hop is chosen by a strong 64-bit mix of
+//! `(seed, hop, vertex, flow)`, giving each flow an independent,
+//! uniformly distributed, but stable choice.
+//!
+//! [`BalanceMode`] also provides the two deviations the paper discusses:
+//! per-packet balancing (rare in practice, but the reason the MDA checks
+//! flow stability) and per-destination balancing (indistinguishable from
+//! plain routing for a single destination). Weighted (non-uniform)
+//! balancing supports the paper's future-work item on uneven load
+//! balancing.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// How a load balancer classifies packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BalanceMode {
+    /// Hash on the flow identifier: same flow → same path (default).
+    PerFlow,
+    /// Hash on a per-packet nonce: every packet re-rolls the dice.
+    PerPacket,
+    /// Hash on the destination only: all probes to one destination take
+    /// one path.
+    PerDestination,
+}
+
+/// Deterministic uniform hashing for balancing decisions.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowHasher {
+    seed: u64,
+}
+
+impl FlowHasher {
+    /// Creates a hasher; distinct seeds give statistically independent
+    /// balancing universes.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// SplitMix64 finaliser: a full-avalanche 64-bit mixer.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Raw 64-bit decision value for a balancing point.
+    ///
+    /// `nonce` is zero for per-flow mode; per-packet mode passes a packet
+    /// counter; per-destination mode passes a hash of the destination in
+    /// place of the flow.
+    pub fn decision(&self, hop: usize, vertex: Ipv4Addr, selector: u64, nonce: u64) -> u64 {
+        let v = u32::from(vertex) as u64;
+        let mut h = self.seed;
+        h = Self::mix(h ^ (hop as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        h = Self::mix(h ^ v.wrapping_mul(0x9FB2_1C65_1E98_DF25));
+        h = Self::mix(h ^ selector);
+        if nonce != 0 {
+            h = Self::mix(h ^ nonce.rotate_left(17));
+        }
+        h
+    }
+
+    /// Uniform choice among `n` successors.
+    pub fn choose(&self, hop: usize, vertex: Ipv4Addr, selector: u64, nonce: u64, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Multiply-shift avoids modulo bias for small n.
+        let h = self.decision(hop, vertex, selector, nonce);
+        ((u128::from(h) * n as u128) >> 64) as usize
+    }
+
+    /// Weighted choice among successors with the given weights.
+    pub fn choose_weighted(
+        &self,
+        hop: usize,
+        vertex: Ipv4Addr,
+        selector: u64,
+        nonce: u64,
+        weights: &[u32],
+    ) -> usize {
+        debug_assert!(!weights.is_empty());
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        debug_assert!(total > 0, "weights must not all be zero");
+        let h = self.decision(hop, vertex, selector, nonce);
+        let mut point = ((u128::from(h) * u128::from(total)) >> 64) as u64;
+        for (i, &w) in weights.iter().enumerate() {
+            let w = u64::from(w);
+            if point < w {
+                return i;
+            }
+            point -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 0);
+
+    #[test]
+    fn per_flow_stability() {
+        let h = FlowHasher::new(42);
+        for flow in 0..100u64 {
+            let a = h.choose(3, V, flow, 0, 4);
+            let b = h.choose(3, V, flow, 0, 4);
+            assert_eq!(a, b, "same flow must always take the same branch");
+        }
+    }
+
+    #[test]
+    fn choices_in_range() {
+        let h = FlowHasher::new(7);
+        for flow in 0..1000u64 {
+            for n in 1..=6 {
+                assert!(h.choose(1, V, flow, 0, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn uniformity_over_flows() {
+        // Assumption 3 of the MDA model: each successor must be reached by
+        // ~1/n of the flow space.
+        let h = FlowHasher::new(123);
+        let n = 4;
+        let trials = 40_000u64;
+        let mut counts = [0u64; 4];
+        for flow in 0..trials {
+            counts[h.choose(2, V, flow, 0, n)] += 1;
+        }
+        let expected = trials as f64 / n as f64;
+        for &c in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "deviation {dev} too large: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn independence_across_vertices() {
+        // Flows taking branch 0 at one vertex must still split evenly at
+        // another vertex — balancers act independently (assumption 5).
+        let h = FlowHasher::new(99);
+        let v2 = Ipv4Addr::new(10, 2, 0, 0);
+        let mut counts = [0u64; 2];
+        let mut picked = 0u64;
+        for flow in 0..40_000u64 {
+            if h.choose(1, V, flow, 0, 2) == 0 {
+                picked += 1;
+                counts[h.choose(2, v2, flow, 0, 2)] += 1;
+            }
+        }
+        let expected = picked as f64 / 2.0;
+        for &c in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "conditional deviation {dev}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn per_packet_nonce_changes_choice() {
+        let h = FlowHasher::new(5);
+        let mut seen = std::collections::BTreeSet::new();
+        for nonce in 1..=64u64 {
+            seen.insert(h.choose(1, V, 7, nonce, 8));
+        }
+        assert!(seen.len() > 1, "per-packet mode must vary the path");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FlowHasher::new(1);
+        let b = FlowHasher::new(2);
+        let differs = (0..64u64).any(|f| a.choose(1, V, f, 0, 16) != b.choose(1, V, f, 0, 16));
+        assert!(differs);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let h = FlowHasher::new(11);
+        let weights = [3u32, 1];
+        let mut counts = [0u64; 2];
+        for flow in 0..40_000u64 {
+            counts[h.choose_weighted(1, V, flow, 0, &weights)] += 1;
+        }
+        let ratio = counts[0] as f64 / (counts[0] + counts[1]) as f64;
+        assert!((ratio - 0.75).abs() < 0.02, "weighted ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_single_bucket() {
+        let h = FlowHasher::new(11);
+        assert_eq!(h.choose_weighted(0, V, 1, 0, &[5]), 0);
+    }
+}

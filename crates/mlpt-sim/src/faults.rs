@@ -1,0 +1,199 @@
+//! Fault injection.
+//!
+//! The MDA's idealised model assumes every probe receives a response
+//! (assumption 4). The paper's future-work list (Sec. 7, item 2) calls for
+//! a simulator that can violate that assumption — in particular ICMP rate
+//! limiting, "one common cause of a lack of replies". [`FaultPlan`]
+//! injects:
+//!
+//! * probabilistic probe loss (the forward packet vanishes),
+//! * probabilistic reply loss (the ICMP reply vanishes),
+//! * per-router ICMP rate limiting via a token bucket.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of injected faults. The default plan injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability a probe is dropped before reaching any router.
+    pub probe_loss: f64,
+    /// Probability a generated reply is dropped on the way back.
+    pub reply_loss: f64,
+    /// ICMP rate limit: token bucket capacity per router
+    /// (None = unlimited).
+    pub icmp_bucket_capacity: Option<u32>,
+    /// Tokens refilled per clock tick.
+    pub icmp_tokens_per_tick: f64,
+}
+
+impl FaultPlan {
+    /// No faults at all: the MDA's ideal world.
+    pub fn none() -> Self {
+        Self {
+            probe_loss: 0.0,
+            reply_loss: 0.0,
+            icmp_bucket_capacity: None,
+            icmp_tokens_per_tick: 0.0,
+        }
+    }
+
+    /// Uniform random loss on both directions.
+    pub fn with_loss(probe_loss: f64, reply_loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&probe_loss));
+        assert!((0.0..=1.0).contains(&reply_loss));
+        Self {
+            probe_loss,
+            reply_loss,
+            ..Self::none()
+        }
+    }
+
+    /// ICMP rate limiting: each router may emit at most `capacity` replies
+    /// in a burst, refilling at `tokens_per_tick`.
+    pub fn with_rate_limit(capacity: u32, tokens_per_tick: f64) -> Self {
+        assert!(capacity > 0);
+        assert!(tokens_per_tick >= 0.0);
+        Self {
+            icmp_bucket_capacity: Some(capacity),
+            icmp_tokens_per_tick: tokens_per_tick,
+            ..Self::none()
+        }
+    }
+
+    /// True if this plan can suppress packets at all.
+    pub fn is_lossy(&self) -> bool {
+        self.probe_loss > 0.0 || self.reply_loss > 0.0 || self.icmp_bucket_capacity.is_some()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Runtime state of fault injection (token buckets per router).
+#[derive(Debug, Default)]
+pub struct FaultState {
+    buckets: HashMap<u32, Bucket>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last_tick: u64,
+}
+
+impl FaultState {
+    /// Creates fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rolls the probe-loss dice.
+    pub fn drop_probe<R: Rng>(&self, plan: &FaultPlan, rng: &mut R) -> bool {
+        plan.probe_loss > 0.0 && rng.gen::<f64>() < plan.probe_loss
+    }
+
+    /// Rolls the reply-loss dice.
+    pub fn drop_reply<R: Rng>(&self, plan: &FaultPlan, rng: &mut R) -> bool {
+        plan.reply_loss > 0.0 && rng.gen::<f64>() < plan.reply_loss
+    }
+
+    /// Asks the router's ICMP token bucket for permission to reply.
+    pub fn allow_icmp(&mut self, plan: &FaultPlan, router: u32, now: u64) -> bool {
+        let Some(capacity) = plan.icmp_bucket_capacity else {
+            return true;
+        };
+        let bucket = self.buckets.entry(router).or_insert(Bucket {
+            tokens: f64::from(capacity),
+            last_tick: now,
+        });
+        let elapsed = now.saturating_sub(bucket.last_tick) as f64;
+        bucket.tokens = (bucket.tokens + elapsed * plan.icmp_tokens_per_tick)
+            .min(f64::from(capacity));
+        bucket.last_tick = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_faults_never_drop() {
+        let plan = FaultPlan::none();
+        let mut state = FaultState::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in 0..100 {
+            assert!(!state.drop_probe(&plan, &mut rng));
+            assert!(!state.drop_reply(&plan, &mut rng));
+            assert!(state.allow_icmp(&plan, 1, t));
+        }
+        assert!(!plan.is_lossy());
+    }
+
+    #[test]
+    fn loss_rates_are_respected() {
+        let plan = FaultPlan::with_loss(0.3, 0.0);
+        let state = FaultState::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let drops = (0..20_000)
+            .filter(|_| state.drop_probe(&plan, &mut rng))
+            .count();
+        let rate = drops as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed loss {rate}");
+        assert!(plan.is_lossy());
+    }
+
+    #[test]
+    fn token_bucket_exhausts_and_refills() {
+        let plan = FaultPlan::with_rate_limit(3, 0.5);
+        let mut state = FaultState::new();
+        // Burst at t=0: 3 allowed, 4th denied.
+        assert!(state.allow_icmp(&plan, 1, 0));
+        assert!(state.allow_icmp(&plan, 1, 0));
+        assert!(state.allow_icmp(&plan, 1, 0));
+        assert!(!state.allow_icmp(&plan, 1, 0));
+        // After 2 ticks, one token has refilled.
+        assert!(state.allow_icmp(&plan, 1, 2));
+        assert!(!state.allow_icmp(&plan, 1, 2));
+    }
+
+    #[test]
+    fn buckets_are_per_router() {
+        let plan = FaultPlan::with_rate_limit(1, 0.0);
+        let mut state = FaultState::new();
+        assert!(state.allow_icmp(&plan, 1, 0));
+        assert!(!state.allow_icmp(&plan, 1, 0));
+        // Router 2 has its own bucket.
+        assert!(state.allow_icmp(&plan, 2, 0));
+    }
+
+    #[test]
+    fn bucket_caps_at_capacity() {
+        let plan = FaultPlan::with_rate_limit(2, 10.0);
+        let mut state = FaultState::new();
+        assert!(state.allow_icmp(&plan, 1, 0));
+        // Long idle: refill must cap at 2, not accumulate unboundedly.
+        assert!(state.allow_icmp(&plan, 1, 1000));
+        assert!(state.allow_icmp(&plan, 1, 1000));
+        assert!(!state.allow_icmp(&plan, 1, 1000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_loss_probability_rejected() {
+        let _ = FaultPlan::with_loss(1.5, 0.0);
+    }
+}

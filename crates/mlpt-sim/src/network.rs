@@ -1,0 +1,730 @@
+//! The simulated network: probe bytes in, reply bytes out.
+//!
+//! [`SimNetwork`] is the in-process equivalent of Fakeroute's
+//! libnetfilter-queue capture loop: a tool hands it a complete probe
+//! datagram; the simulator parses the header fields (flow identifier and
+//! TTL, exactly as Fakeroute does with libtins), walks the packet through
+//! the topology's load balancers, and crafts a complete ICMP reply — Time
+//! Exceeded from an intermediate interface, Port Unreachable from the
+//! destination, or Echo Reply for direct probes.
+//!
+//! All randomness is seeded; two simulators constructed with the same
+//! arguments behave identically.
+
+use crate::balance::{BalanceMode, FlowHasher};
+use crate::faults::{FaultPlan, FaultState};
+use crate::router::{IpIdEngine, ReplyClass, RouterProfile};
+use mlpt_topo::{MultipathTopology, RouterId, RouterMap};
+use mlpt_wire::icmp::{IcmpExtensions, IcmpMessage, MplsLabelStackEntry, CODE_PORT_UNREACHABLE};
+use mlpt_wire::ipv4::{Ipv4Header, PROTO_ICMP, PROTO_UDP};
+use mlpt_wire::probe::parse_udp_probe;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+pub use mlpt_wire::transport::PacketTransport;
+
+/// Traffic counters maintained by the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounters {
+    /// Probes received from the tool.
+    pub probes_received: u64,
+    /// Probes dropped by injected loss.
+    pub probes_lost: u64,
+    /// Replies generated.
+    pub replies_sent: u64,
+    /// Replies suppressed by rate limiting.
+    pub replies_rate_limited: u64,
+    /// Replies dropped by injected loss.
+    pub replies_lost: u64,
+}
+
+/// Builder for [`SimNetwork`].
+pub struct SimNetworkBuilder {
+    topology: MultipathTopology,
+    routers: RouterMap,
+    profiles: HashMap<RouterId, RouterProfile>,
+    default_profile: RouterProfile,
+    mode: BalanceMode,
+    faults: FaultPlan,
+    weights: HashMap<(usize, Ipv4Addr), Vec<u32>>,
+    seed: u64,
+}
+
+impl SimNetworkBuilder {
+    /// Starts a builder over a topology. By default every interface is its
+    /// own router, balancing is per-flow and uniform, no faults.
+    pub fn new(topology: MultipathTopology) -> Self {
+        Self {
+            topology,
+            routers: RouterMap::new(),
+            profiles: HashMap::new(),
+            default_profile: RouterProfile::well_behaved(),
+            mode: BalanceMode::PerFlow,
+            faults: FaultPlan::none(),
+            weights: HashMap::new(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the ground-truth alias map (interfaces grouped into routers).
+    pub fn routers(mut self, routers: RouterMap) -> Self {
+        self.routers = routers;
+        self
+    }
+
+    /// Overrides the behavioural profile of one router.
+    pub fn profile(mut self, router: RouterId, profile: RouterProfile) -> Self {
+        self.profiles.insert(router, profile);
+        self
+    }
+
+    /// Sets the profile used by routers without an explicit override.
+    pub fn default_profile(mut self, profile: RouterProfile) -> Self {
+        self.default_profile = profile;
+        self
+    }
+
+    /// Sets the balancing mode.
+    pub fn mode(mut self, mode: BalanceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets non-uniform balancing weights for a vertex. Weights align with
+    /// the vertex's successors in ascending address order.
+    pub fn weights(mut self, hop: usize, vertex: Ipv4Addr, weights: Vec<u32>) -> Self {
+        assert_eq!(
+            self.topology.successors(hop, vertex).len(),
+            weights.len(),
+            "weights must match successor count"
+        );
+        self.weights.insert((hop, vertex), weights);
+        self
+    }
+
+    /// Sets the seed controlling every stochastic choice.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the simulator.
+    pub fn build(self) -> SimNetwork {
+        // Assign router ids: explicit map first, then fresh singleton ids.
+        let mut next_id = self
+            .routers
+            .alias_sets()
+            .keys()
+            .map(|r| r.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let mut assignment: HashMap<Ipv4Addr, RouterId> = HashMap::new();
+        let mut full_map = self.routers.clone();
+        for addr in self.topology.all_addresses() {
+            let id = match self.routers.router_of(addr) {
+                Some(id) => id,
+                None => {
+                    let id = RouterId(next_id);
+                    next_id += 1;
+                    full_map.assign(addr, id);
+                    id
+                }
+            };
+            assignment.insert(addr, id);
+        }
+
+        // Distance (in hops) of each address from the source: first hop
+        // where it appears, + 1. Used for reply TTL computation.
+        let mut distance: HashMap<Ipv4Addr, usize> = HashMap::new();
+        for i in 0..self.topology.num_hops() {
+            for &a in self.topology.hop(i) {
+                distance.entry(a).or_insert(i + 1);
+            }
+        }
+
+        SimNetwork {
+            hasher: FlowHasher::new(self.seed),
+            rng: ChaCha8Rng::seed_from_u64(self.seed ^ 0xF1E2_D3C4_B5A6_9788),
+            topology: self.topology,
+            router_of: assignment,
+            ground_truth: full_map,
+            profiles: self.profiles,
+            default_profile: self.default_profile,
+            mode: self.mode,
+            faults: self.faults,
+            fault_state: FaultState::new(),
+            ipid: IpIdEngine::new(),
+            weights: self.weights,
+            distance,
+            clock: 0,
+            packet_counter: 0,
+            counters: TrafficCounters::default(),
+        }
+    }
+}
+
+/// The simulated network (see module docs).
+pub struct SimNetwork {
+    topology: MultipathTopology,
+    router_of: HashMap<Ipv4Addr, RouterId>,
+    ground_truth: RouterMap,
+    profiles: HashMap<RouterId, RouterProfile>,
+    default_profile: RouterProfile,
+    hasher: FlowHasher,
+    mode: BalanceMode,
+    faults: FaultPlan,
+    fault_state: FaultState,
+    ipid: IpIdEngine,
+    weights: HashMap<(usize, Ipv4Addr), Vec<u32>>,
+    distance: HashMap<Ipv4Addr, usize>,
+    rng: ChaCha8Rng,
+    clock: u64,
+    packet_counter: u64,
+    counters: TrafficCounters,
+}
+
+impl SimNetwork {
+    /// Convenience: a default-configured simulator over a topology.
+    pub fn new(topology: MultipathTopology, seed: u64) -> Self {
+        SimNetworkBuilder::new(topology).seed(seed).build()
+    }
+
+    /// Starts a full builder.
+    pub fn builder(topology: MultipathTopology) -> SimNetworkBuilder {
+        SimNetworkBuilder::new(topology)
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &MultipathTopology {
+        &self.topology
+    }
+
+    /// Ground-truth alias map (every interface assigned to its router).
+    pub fn ground_truth_routers(&self) -> &RouterMap {
+        &self.ground_truth
+    }
+
+    /// Traffic counters so far.
+    pub fn counters(&self) -> TrafficCounters {
+        self.counters
+    }
+
+    /// Resets traffic counters (not clocks or counter state).
+    pub fn reset_counters(&mut self) {
+        self.counters = TrafficCounters::default();
+    }
+
+    /// Current virtual clock (ticks; one tick per injected packet).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the virtual clock without sending a packet — lets IP-ID
+    /// counters drift, as in the gaps between MBT rounds.
+    pub fn advance_clock(&mut self, ticks: u64) {
+        self.clock += ticks;
+    }
+
+    /// Profile of the router owning `addr`.
+    fn profile_of(&self, router: RouterId) -> &RouterProfile {
+        self.profiles.get(&router).unwrap_or(&self.default_profile)
+    }
+
+    /// The balancing selector for a probe per the configured mode.
+    fn selector(&self, flow: u64, destination: Ipv4Addr) -> (u64, u64) {
+        match self.mode {
+            BalanceMode::PerFlow => (flow, 0),
+            BalanceMode::PerPacket => (flow, self.packet_counter.max(1)),
+            BalanceMode::PerDestination => (u64::from(u32::from(destination)), 0),
+        }
+    }
+
+    /// Walks a flow to the vertex at hop index `target_hop`.
+    /// Returns the vertex reached (which answers TTL `target_hop + 1`).
+    fn walk(&mut self, flow: u64, nonce: u64, destination: Ipv4Addr, target_hop: usize) -> Ipv4Addr {
+        // Entry: the source balances over hop-0 vertices.
+        let entry = self.topology.hop(0);
+        let mut current = if entry.len() == 1 {
+            entry[0]
+        } else {
+            entry[self
+                .hasher
+                .choose(usize::MAX, Ipv4Addr::UNSPECIFIED, flow, nonce, entry.len())]
+        };
+        let _ = destination;
+        for i in 0..target_hop {
+            let succs = self.topology.successors(i, current);
+            debug_assert!(!succs.is_empty(), "validated topology");
+            let succ_list: Vec<Ipv4Addr> = succs.iter().copied().collect();
+            let idx = match self.weights.get(&(i, current)) {
+                Some(w) => self.hasher.choose_weighted(i, current, flow, nonce, w),
+                None => self.hasher.choose(i, current, flow, nonce, succ_list.len()),
+            };
+            current = succ_list[idx];
+        }
+        current
+    }
+
+    /// Handles a UDP probe: returns the reply datagram, if any.
+    fn handle_udp(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
+        let probe = parse_udp_probe(packet).ok()?;
+        if probe.destination != self.topology.destination() {
+            return None; // not routed by this simulation
+        }
+        if probe.ttl == 0 {
+            return None;
+        }
+        let (flow_sel, nonce) = self.selector(u64::from(probe.flow.value()), probe.destination);
+
+        let last_hop = self.topology.num_hops() - 1;
+        let target_hop = usize::from(probe.ttl - 1).min(last_hop);
+        let responder = self.walk(flow_sel, nonce, probe.destination, target_hop);
+
+        let reached_destination = target_hop == last_hop;
+        let router = self.router_of[&responder];
+        let profile = *self.profile_of(router);
+
+        // Rate limiting applies to all ICMP generation.
+        if !self.fault_state.allow_icmp(&self.faults, router.0, self.clock) {
+            self.counters.replies_rate_limited += 1;
+            return None;
+        }
+
+        // IP-ID stamping; an unresponsive indirect class means an
+        // anonymous router (never replies to expired probes).
+        let ip_id = self.ipid.sample(
+            &mut self.rng,
+            router.0,
+            responder,
+            &profile.ipid,
+            ReplyClass::Indirect,
+            probe.sequence,
+            self.clock,
+        )?;
+
+        // Quote the probe: IP header + 8 payload bytes, with the TTL field
+        // rewritten to 1 as a real router quotes the expired datagram
+        // (checksum left stale; tools parse quotes leniently).
+        let mut quoted = packet[..28.min(packet.len())].to_vec();
+        if quoted.len() > 8 {
+            quoted[8] = 1;
+        }
+
+        let extensions = self.mpls_extensions(&profile);
+        let icmp = if reached_destination {
+            IcmpMessage::DestinationUnreachable {
+                code: CODE_PORT_UNREACHABLE,
+                quoted,
+                extensions,
+            }
+        } else {
+            IcmpMessage::TimeExceeded { quoted, extensions }
+        };
+
+        let hop_distance = (target_hop + 1) as u8;
+        let reply_ttl = profile.initial_ttl_indirect.saturating_sub(hop_distance);
+        Some(self.emit_reply(responder, probe.source, reply_ttl, ip_id, icmp))
+    }
+
+    /// Handles a direct (echo) probe addressed to an interface.
+    fn handle_echo(&mut self, packet: &[u8], header: &Ipv4Header, ihl: usize) -> Option<Vec<u8>> {
+        let msg = IcmpMessage::parse(&packet[ihl..]).ok()?;
+        let IcmpMessage::EchoRequest {
+            identifier,
+            sequence,
+            payload,
+        } = msg
+        else {
+            return None;
+        };
+        let target = header.destination;
+        let router = *self.router_of.get(&target)?;
+        let profile = *self.profile_of(router);
+        if !profile.responds_to_direct {
+            return None;
+        }
+        if !self.fault_state.allow_icmp(&self.faults, router.0, self.clock) {
+            self.counters.replies_rate_limited += 1;
+            return None;
+        }
+        let ip_id = self.ipid.sample(
+            &mut self.rng,
+            router.0,
+            target,
+            &profile.ipid,
+            ReplyClass::Direct,
+            header.identification,
+            self.clock,
+        )?;
+        let reply = IcmpMessage::EchoReply {
+            identifier,
+            sequence,
+            payload,
+        };
+        let hop_distance = self.distance.get(&target).copied().unwrap_or(1) as u8;
+        let reply_ttl = profile.initial_ttl_direct.saturating_sub(hop_distance);
+        Some(self.emit_reply(target, header.source, reply_ttl, ip_id, reply))
+    }
+
+    /// Builds MPLS extensions for a router, if it sits in a tunnel.
+    fn mpls_extensions(&mut self, profile: &RouterProfile) -> IcmpExtensions {
+        match profile.mpls {
+            None => IcmpExtensions::default(),
+            Some(mpls) => {
+                let label = if mpls.stable {
+                    mpls.label
+                } else {
+                    self.rng.gen_range(16..(1 << 20))
+                };
+                IcmpExtensions {
+                    mpls_stack: vec![MplsLabelStackEntry::new(label, 0, true, 255)],
+                }
+            }
+        }
+    }
+
+    /// Assembles the reply datagram bytes.
+    fn emit_reply(
+        &mut self,
+        from: Ipv4Addr,
+        to: Ipv4Addr,
+        ttl: u8,
+        ip_id: u16,
+        icmp: IcmpMessage,
+    ) -> Vec<u8> {
+        let icmp_bytes = icmp.emit();
+        let ip = Ipv4Header::new(from, to, PROTO_ICMP, ttl, ip_id, icmp_bytes.len());
+        let mut packet = Vec::with_capacity(20 + icmp_bytes.len());
+        packet.extend_from_slice(&ip.emit());
+        packet.extend_from_slice(&icmp_bytes);
+        packet
+    }
+}
+
+impl PacketTransport for SimNetwork {
+    fn now(&self) -> u64 {
+        self.clock
+    }
+
+    fn send_packet(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
+        self.clock += 1;
+        self.packet_counter += 1;
+        self.counters.probes_received += 1;
+
+        if self.fault_state.drop_probe(&self.faults, &mut self.rng) {
+            self.counters.probes_lost += 1;
+            return None;
+        }
+
+        let (header, ihl) = Ipv4Header::parse(packet).ok()?;
+        let reply = match header.protocol {
+            PROTO_UDP => self.handle_udp(packet),
+            PROTO_ICMP => self.handle_echo(packet, &header, ihl),
+            _ => None,
+        }?;
+
+        if self.fault_state.drop_reply(&self.faults, &mut self.rng) {
+            self.counters.replies_lost += 1;
+            return None;
+        }
+        self.counters.replies_sent += 1;
+        Some(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpt_topo::canonical;
+    use mlpt_topo::graph::addr;
+    use mlpt_wire::probe::{build_echo_probe, build_udp_probe, parse_reply, ProbePacket, ReplyKind};
+    use mlpt_wire::FlowId;
+    use std::collections::BTreeSet;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    fn probe(flow: u16, ttl: u8, dst: Ipv4Addr) -> Vec<u8> {
+        build_udp_probe(&ProbePacket {
+            source: SRC,
+            destination: dst,
+            flow: FlowId(flow),
+            ttl,
+            sequence: flow.wrapping_mul(7),
+        })
+    }
+
+    #[test]
+    fn ttl1_reveals_first_hop() {
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        let mut net = SimNetwork::new(topo, 1);
+        let reply = net.send_packet(&probe(0, 1, dst)).unwrap();
+        let parsed = parse_reply(&reply).unwrap();
+        assert_eq!(parsed.kind, ReplyKind::TimeExceeded);
+        assert_eq!(parsed.responder, addr(0, 0));
+        assert_eq!(parsed.probe_flow, Some(FlowId(0)));
+    }
+
+    #[test]
+    fn destination_answers_port_unreachable() {
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        let mut net = SimNetwork::new(topo, 1);
+        for ttl in [3u8, 4, 30] {
+            let reply = net.send_packet(&probe(5, ttl, dst)).unwrap();
+            let parsed = parse_reply(&reply).unwrap();
+            assert_eq!(parsed.kind, ReplyKind::PortUnreachable);
+            assert_eq!(parsed.responder, dst);
+        }
+    }
+
+    #[test]
+    fn middle_hop_splits_flows() {
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        let mut net = SimNetwork::new(topo, 3);
+        let mut seen = BTreeSet::new();
+        for flow in 0..64u16 {
+            let reply = net.send_packet(&probe(flow, 2, dst)).unwrap();
+            let parsed = parse_reply(&reply).unwrap();
+            seen.insert(parsed.responder);
+        }
+        assert_eq!(
+            seen,
+            BTreeSet::from([addr(1, 0), addr(1, 1)]),
+            "both load-balanced interfaces must be observable"
+        );
+    }
+
+    #[test]
+    fn per_flow_routing_is_stable() {
+        let topo = canonical::fig1_unmeshed();
+        let dst = topo.destination();
+        let mut net = SimNetwork::new(topo, 9);
+        for flow in 0..32u16 {
+            let a = parse_reply(&net.send_packet(&probe(flow, 2, dst)).unwrap())
+                .unwrap()
+                .responder;
+            let b = parse_reply(&net.send_packet(&probe(flow, 2, dst)).unwrap())
+                .unwrap()
+                .responder;
+            assert_eq!(a, b, "flow {flow} must be stable");
+        }
+    }
+
+    #[test]
+    fn flow_paths_respect_edges() {
+        // Walk each flow hop by hop; consecutive responders must be joined
+        // by a topology edge.
+        let topo = canonical::fig1_meshed();
+        let dst = topo.destination();
+        let mut net = SimNetwork::new(topo.clone(), 5);
+        for flow in 0..48u16 {
+            let mut path = Vec::new();
+            for ttl in 1..=topo.num_hops() as u8 {
+                let reply = net.send_packet(&probe(flow, ttl, dst)).unwrap();
+                path.push(parse_reply(&reply).unwrap().responder);
+            }
+            for (i, pair) in path.windows(2).enumerate() {
+                assert!(
+                    topo.successors(i, pair[0]).contains(&pair[1]),
+                    "flow {flow}: hop {i} edge {:?}->{:?} not in topology",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_packet_mode_varies_path() {
+        let topo = canonical::max_length_2();
+        let dst = topo.destination();
+        let mut net = SimNetwork::builder(topo)
+            .mode(BalanceMode::PerPacket)
+            .seed(2)
+            .build();
+        let mut seen = BTreeSet::new();
+        for _ in 0..40 {
+            let reply = net.send_packet(&probe(1, 2, dst)).unwrap();
+            seen.insert(parse_reply(&reply).unwrap().responder);
+        }
+        assert!(seen.len() > 3, "per-packet balancing must vary: {seen:?}");
+    }
+
+    #[test]
+    fn per_destination_mode_single_path() {
+        let topo = canonical::max_length_2();
+        let dst = topo.destination();
+        let mut net = SimNetwork::builder(topo)
+            .mode(BalanceMode::PerDestination)
+            .seed(2)
+            .build();
+        let mut seen = BTreeSet::new();
+        for flow in 0..40u16 {
+            let reply = net.send_packet(&probe(flow, 2, dst)).unwrap();
+            seen.insert(parse_reply(&reply).unwrap().responder);
+        }
+        assert_eq!(seen.len(), 1, "per-destination ignores the flow ID");
+    }
+
+    #[test]
+    fn reply_ttl_encodes_distance() {
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        let mut net = SimNetwork::new(topo, 1);
+        let r1 = parse_reply(&net.send_packet(&probe(0, 1, dst)).unwrap()).unwrap();
+        let r2 = parse_reply(&net.send_packet(&probe(0, 2, dst)).unwrap()).unwrap();
+        // Default initial TTL 255: hop 1 replies with 254, hop 2 with 253.
+        assert_eq!(r1.reply_ttl, 254);
+        assert_eq!(r2.reply_ttl, 253);
+    }
+
+    #[test]
+    fn echo_probe_gets_reply_with_counter() {
+        let topo = canonical::simplest_diamond();
+        let target = addr(1, 0);
+        let mut net = SimNetwork::new(topo, 1);
+        let req = build_echo_probe(SRC, target, 0xBEEF, 1, 64);
+        let reply = net.send_packet(&req).unwrap();
+        let parsed = parse_reply(&reply).unwrap();
+        assert_eq!(parsed.kind, ReplyKind::EchoReply);
+        assert_eq!(parsed.responder, target);
+        assert_eq!(parsed.echo, Some((0xBEEF, 1)));
+    }
+
+    #[test]
+    fn echo_to_unknown_address_unanswered() {
+        let topo = canonical::simplest_diamond();
+        let mut net = SimNetwork::new(topo, 1);
+        let req = build_echo_probe(SRC, Ipv4Addr::new(8, 8, 8, 8), 1, 1, 64);
+        assert!(net.send_packet(&req).is_none());
+    }
+
+    #[test]
+    fn unresponsive_to_direct_profile() {
+        let topo = canonical::simplest_diamond();
+        let target = addr(1, 0);
+        let routers = RouterMap::from_alias_sets([vec![target]]);
+        let profile = RouterProfile {
+            responds_to_direct: false,
+            ..RouterProfile::well_behaved()
+        };
+        let mut net = SimNetwork::builder(topo)
+            .routers(routers)
+            .profile(RouterId(0), profile)
+            .seed(1)
+            .build();
+        let req = build_echo_probe(SRC, target, 1, 1, 64);
+        assert!(net.send_packet(&req).is_none());
+        // Indirect probing still works.
+        let dst = net.topology().destination();
+        assert!(net.send_packet(&probe(0, 1, dst)).is_some());
+    }
+
+    #[test]
+    fn mpls_label_attached() {
+        let topo = canonical::simplest_diamond();
+        let target = addr(1, 0);
+        let routers = RouterMap::from_alias_sets([vec![target, addr(1, 1)]]);
+        let profile = RouterProfile {
+            mpls: Some(crate::router::MplsProfile {
+                label: 16001,
+                stable: true,
+            }),
+            ..RouterProfile::well_behaved()
+        };
+        let dst = topo.destination();
+        let mut net = SimNetwork::builder(topo)
+            .routers(routers)
+            .profile(RouterId(0), profile)
+            .seed(1)
+            .build();
+        // Find a flow reaching the labelled interface at TTL 2.
+        let mut found = false;
+        for flow in 0..32u16 {
+            let reply = net.send_packet(&probe(flow, 2, dst)).unwrap();
+            let parsed = parse_reply(&reply).unwrap();
+            if parsed.responder == target {
+                assert_eq!(parsed.mpls_stack.len(), 1);
+                assert_eq!(parsed.mpls_stack[0].label, 16001);
+                found = true;
+                break;
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn probe_loss_produces_none() {
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        let mut net = SimNetwork::builder(topo)
+            .faults(FaultPlan::with_loss(1.0, 0.0))
+            .seed(1)
+            .build();
+        assert!(net.send_packet(&probe(0, 1, dst)).is_none());
+        assert_eq!(net.counters().probes_lost, 1);
+    }
+
+    #[test]
+    fn rate_limit_suppresses_bursts() {
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        // Capacity 2, no refill: the first hop router answers twice.
+        let mut net = SimNetwork::builder(topo)
+            .faults(FaultPlan::with_rate_limit(2, 0.0))
+            .seed(1)
+            .build();
+        assert!(net.send_packet(&probe(0, 1, dst)).is_some());
+        assert!(net.send_packet(&probe(1, 1, dst)).is_some());
+        assert!(net.send_packet(&probe(2, 1, dst)).is_none());
+        assert_eq!(net.counters().replies_rate_limited, 1);
+    }
+
+    #[test]
+    fn wrong_destination_unanswered() {
+        let topo = canonical::simplest_diamond();
+        let mut net = SimNetwork::new(topo, 1);
+        assert!(net
+            .send_packet(&probe(0, 1, Ipv4Addr::new(1, 2, 3, 4)))
+            .is_none());
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let t1 = canonical::fig1_meshed();
+        let dst = t1.destination();
+        let mut a = SimNetwork::new(t1.clone(), 77);
+        let mut b = SimNetwork::new(t1, 77);
+        for flow in 0..64u16 {
+            for ttl in 1..=4u8 {
+                assert_eq!(
+                    a.send_packet(&probe(flow, ttl, dst)),
+                    b.send_packet(&probe(flow, ttl, dst))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quoted_probe_recoverable_through_reply() {
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        let mut net = SimNetwork::new(topo, 1);
+        let reply = net.send_packet(&probe(42, 1, dst)).unwrap();
+        let parsed = parse_reply(&reply).unwrap();
+        assert_eq!(parsed.probe_flow, Some(FlowId(42)));
+        assert_eq!(parsed.probe_sequence, Some(42u16.wrapping_mul(7)));
+        assert_eq!(parsed.quoted_ttl, Some(1), "quote carries expired TTL");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests on the simulator: routing correctness for arbitrary
+//! probes against arbitrary topologies.
+
+use mlpt_sim::{BalanceMode, SimNetwork};
+use mlpt_topo::graph::addr;
+use mlpt_topo::{MultipathTopology, TopologyBuilder};
+use mlpt_wire::probe::{build_udp_probe, parse_reply, ProbePacket, ReplyKind};
+use mlpt_wire::transport::PacketTransport;
+use mlpt_wire::FlowId;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+fn arb_topology() -> impl Strategy<Value = MultipathTopology> {
+    proptest::collection::vec(1usize..=8, 1..7).prop_map(|mut widths| {
+        widths.insert(0, 1);
+        widths.push(1);
+        let mut b = TopologyBuilder::default();
+        for (h, &w) in widths.iter().enumerate() {
+            b.add_hop((0..w).map(|i| addr(h, i)));
+        }
+        for h in 0..widths.len() - 1 {
+            b.connect_unmeshed(h);
+        }
+        b.build().expect("valid")
+    })
+}
+
+fn probe(flow: u16, ttl: u8, dst: Ipv4Addr) -> Vec<u8> {
+    build_udp_probe(&ProbePacket {
+        source: SRC,
+        destination: dst,
+        flow: FlowId(flow),
+        ttl,
+        sequence: flow,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every reply comes from a vertex at the probed hop; destination
+    /// probes yield Port Unreachable; flows are stable.
+    #[test]
+    fn routing_respects_topology(
+        topo in arb_topology(),
+        seed in any::<u64>(),
+        flows in proptest::collection::vec(any::<u16>(), 1..12),
+    ) {
+        let dst = topo.destination();
+        let mut net = SimNetwork::new(topo.clone(), seed);
+        for &flow in &flows {
+            for ttl in 1..=topo.num_hops() as u8 {
+                let reply = net.send_packet(&probe(flow, ttl, dst)).expect("lossless");
+                let parsed = parse_reply(&reply).expect("valid reply bytes");
+                let hop = usize::from(ttl - 1);
+                prop_assert!(
+                    topo.contains(hop, parsed.responder),
+                    "ttl {ttl} answered by {} not at hop {hop}",
+                    parsed.responder
+                );
+                if hop == topo.num_hops() - 1 {
+                    prop_assert_eq!(parsed.kind, ReplyKind::PortUnreachable);
+                } else {
+                    prop_assert_eq!(parsed.kind, ReplyKind::TimeExceeded);
+                }
+                prop_assert_eq!(parsed.probe_flow, Some(FlowId(flow)));
+            }
+        }
+    }
+
+    /// A flow's responders at consecutive TTLs always form a true edge —
+    /// per-flow path consistency, the property the MDA depends on.
+    #[test]
+    fn per_flow_paths_are_walks(topo in arb_topology(), seed in any::<u64>(), flow in any::<u16>()) {
+        let dst = topo.destination();
+        let mut net = SimNetwork::new(topo.clone(), seed);
+        let mut prev: Option<Ipv4Addr> = None;
+        for ttl in 1..=topo.num_hops() as u8 {
+            let reply = net.send_packet(&probe(flow, ttl, dst)).expect("lossless");
+            let responder = parse_reply(&reply).unwrap().responder;
+            if let Some(p) = prev {
+                prop_assert!(
+                    topo.successors(usize::from(ttl - 2), p).contains(&responder),
+                    "{p} -> {responder} not an edge"
+                );
+            }
+            prev = Some(responder);
+        }
+    }
+
+    /// Per-destination balancing: all flows take the same path.
+    #[test]
+    fn per_destination_is_flow_blind(topo in arb_topology(), seed in any::<u64>()) {
+        let dst = topo.destination();
+        let mut net = SimNetwork::builder(topo.clone())
+            .mode(BalanceMode::PerDestination)
+            .seed(seed)
+            .build();
+        for ttl in 1..=topo.num_hops() as u8 {
+            let mut responders = std::collections::BTreeSet::new();
+            for flow in 0..8u16 {
+                let reply = net.send_packet(&probe(flow, ttl, dst)).expect("lossless");
+                responders.insert(parse_reply(&reply).unwrap().responder);
+            }
+            prop_assert_eq!(responders.len(), 1, "ttl {}", ttl);
+        }
+    }
+
+    /// Determinism: identical seeds and probe sequences yield identical
+    /// byte-for-byte replies.
+    #[test]
+    fn determinism(topo in arb_topology(), seed in any::<u64>(), flows in proptest::collection::vec(any::<u16>(), 1..8)) {
+        let dst = topo.destination();
+        let mut a = SimNetwork::new(topo.clone(), seed);
+        let mut b = SimNetwork::new(topo.clone(), seed);
+        for &flow in &flows {
+            for ttl in 1..=topo.num_hops() as u8 {
+                prop_assert_eq!(
+                    a.send_packet(&probe(flow, ttl, dst)),
+                    b.send_packet(&probe(flow, ttl, dst))
+                );
+            }
+        }
+    }
+
+    /// Garbage input never panics the simulator and never elicits a reply
+    /// that fails to parse.
+    #[test]
+    fn garbage_tolerance(topo in arb_topology(), bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut net = SimNetwork::new(topo, 1);
+        if let Some(reply) = net.send_packet(&bytes) {
+            prop_assert!(parse_reply(&reply).is_ok());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Mean and confidence-interval estimation.
+//!
+//! Section 3 of the paper validates Fakeroute by running the MDA 1000 times
+//! to obtain one sample failure rate, collecting 50 such samples, and
+//! reporting "a 0.03206 mean of failure, with a 95% confidence interval of
+//! size 0.00156". This module provides exactly that computation: a normal
+//! (z-based) confidence interval over sample means, which is appropriate
+//! since each sample is itself an average of many Bernoulli trials.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval (mean ± half_width).
+    pub half_width: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Total width of the interval (the paper reports this "size").
+    pub fn size(&self) -> f64 {
+        2.0 * self.half_width
+    }
+
+    /// True if the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.low() && x <= self.high()
+    }
+}
+
+/// Two-sided z critical value for the given confidence level.
+///
+/// Supports the levels used throughout the workspace; extend as needed.
+fn z_value(level: f64) -> f64 {
+    // Values from the standard normal quantile function.
+    match level {
+        l if (l - 0.90).abs() < 1e-9 => 1.6448536269514722,
+        l if (l - 0.95).abs() < 1e-9 => 1.9599639845400545,
+        l if (l - 0.99).abs() < 1e-9 => 2.5758293035489004,
+        _ => panic!("unsupported confidence level {level}; use 0.90, 0.95 or 0.99"),
+    }
+}
+
+/// Computes the sample mean and a z-based confidence interval at `level`.
+///
+/// # Panics
+/// Panics on an empty sample set or an unsupported level.
+pub fn mean_confidence_interval(samples: &[f64], level: f64) -> ConfidenceInterval {
+    assert!(!samples.is_empty(), "confidence interval of empty sample set");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+    } else {
+        0.0
+    };
+    let std_err = (var / n as f64).sqrt();
+    ConfidenceInterval {
+        mean,
+        half_width: z_value(level) * std_err,
+        level,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_samples_zero_width() {
+        let ci = mean_confidence_interval(&[0.5, 0.5, 0.5, 0.5], 0.95);
+        assert_eq!(ci.mean, 0.5);
+        assert_eq!(ci.half_width, 0.0);
+        assert!(ci.contains(0.5));
+        assert!(!ci.contains(0.6));
+    }
+
+    #[test]
+    fn known_example() {
+        // Samples 1..=5: mean 3, sample variance 2.5, stderr sqrt(0.5).
+        let samples: Vec<f64> = (1..=5).map(|x| x as f64).collect();
+        let ci = mean_confidence_interval(&samples, 0.95);
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        let expected_hw = 1.9599639845400545 * (2.5f64 / 5.0).sqrt();
+        assert!((ci.half_width - expected_hw).abs() < 1e-12);
+        assert!((ci.size() - 2.0 * expected_hw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let samples: Vec<f64> = (0..20).map(|x| (x % 5) as f64).collect();
+        let ci90 = mean_confidence_interval(&samples, 0.90);
+        let ci99 = mean_confidence_interval(&samples, 0.99);
+        assert!(ci99.half_width > ci90.half_width);
+        assert_eq!(ci90.mean, ci99.mean);
+    }
+
+    #[test]
+    fn single_sample_degenerate() {
+        let ci = mean_confidence_interval(&[0.25], 0.95);
+        assert_eq!(ci.mean, 0.25);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.n, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported confidence level")]
+    fn bad_level_panics() {
+        let _ = mean_confidence_interval(&[1.0], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = mean_confidence_interval(&[], 0.95);
+    }
+}

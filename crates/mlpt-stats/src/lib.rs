@@ -1,0 +1,23 @@
+//! Statistics substrate for the `mlpt` workspace.
+//!
+//! The paper's evaluation is presented almost entirely through empirical
+//! distributions: CDFs of discovery ratios (Fig. 4), CDFs of failure
+//! probabilities (Fig. 2), log-scale histograms of diamond metrics
+//! (Figs. 7, 10, 13), joint heat maps (Figs. 11, 14), and mean ± confidence
+//! interval summaries (Sec. 3). This crate provides those primitives so the
+//! survey and benchmark crates can express each figure as data series.
+//!
+//! Everything here is deterministic and allocation-conscious; nothing in
+//! this crate depends on the rest of the workspace.
+
+pub mod cdf;
+pub mod confidence;
+pub mod histogram;
+pub mod joint;
+pub mod summary;
+
+pub use cdf::EmpiricalCdf;
+pub use confidence::{mean_confidence_interval, ConfidenceInterval};
+pub use histogram::{Histogram, PortionHistogram};
+pub use joint::JointHistogram;
+pub use summary::{RatioSummary, Summary};

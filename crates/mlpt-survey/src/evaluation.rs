@@ -1,0 +1,297 @@
+//! The five-way algorithm comparison (Sec. 2.4.2: Fig. 4 and Table 1).
+//!
+//! "For each of these, we ran five variants of Paris Traceroute
+//! successively: two with the MDA; one with the MDA-Lite and φ = 2; one
+//! with the MDA-Lite and φ = 4; and one with just a single flow ID. …
+//! For each topology, the first run with the MDA serves as the basis for
+//! comparing the other algorithms. We calculate the ratio of vertices
+//! discovered, edges discovered, and packets sent."
+
+use crate::generator::SyntheticInternet;
+use crate::parallel::ordered_parallel_map;
+use mlpt_core::prelude::*;
+use mlpt_stats::{EmpiricalCdf, RatioSummary};
+use serde::{Deserialize, Serialize};
+
+/// Which of the five runs a ratio series belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Second MDA run (the variability baseline).
+    SecondMda,
+    /// MDA-Lite with φ = 2.
+    MdaLitePhi2,
+    /// MDA-Lite with φ = 4.
+    MdaLitePhi4,
+    /// Single flow identifier.
+    SingleFlow,
+}
+
+/// All variants in presentation order.
+pub const VARIANTS: [Variant; 4] = [
+    Variant::SecondMda,
+    Variant::MdaLitePhi2,
+    Variant::MdaLitePhi4,
+    Variant::SingleFlow,
+];
+
+impl Variant {
+    /// Human-readable label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::SecondMda => "Second MDA",
+            Variant::MdaLitePhi2 => "MDA-Lite 2",
+            Variant::MdaLitePhi4 => "MDA-Lite 4",
+            Variant::SingleFlow => "Single flow ID",
+        }
+    }
+}
+
+/// Per-trace discovery ratios of one variant against the first MDA run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRatios {
+    /// Vertices(variant) / Vertices(first MDA).
+    pub vertices: f64,
+    /// Edges(variant) / Edges(first MDA).
+    pub edges: f64,
+    /// Packets(variant) / Packets(first MDA).
+    pub packets: f64,
+}
+
+/// Raw counts of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunCounts {
+    /// Vertices discovered.
+    pub vertices: u64,
+    /// Edges discovered.
+    pub edges: u64,
+    /// Probe packets sent.
+    pub packets: u64,
+}
+
+/// Configuration of the evaluation campaign.
+#[derive(Debug, Clone)]
+pub struct EvaluationConfig {
+    /// Scenarios to consider (only diamond-bearing ones are measured,
+    /// mirroring the paper's "pairs … for which diamonds had been
+    /// discovered").
+    pub scenarios: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Seed for the tracing side.
+    pub trace_seed: u64,
+}
+
+impl Default for EvaluationConfig {
+    fn default() -> Self {
+        Self {
+            scenarios: 500,
+            workers: crate::parallel::default_workers(),
+            trace_seed: 0xE7A1,
+        }
+    }
+}
+
+/// Results: per-variant ratio series (Fig. 4) and aggregate ratios
+/// (Table 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvaluationOutcome {
+    /// Diamond-bearing traces measured.
+    pub measured_traces: usize,
+    /// Per-variant per-trace ratio records, in variant order
+    /// (SecondMda, MdaLitePhi2, MdaLitePhi4, SingleFlow).
+    pub ratios: Vec<Vec<TraceRatios>>,
+    /// Table 1 aggregates: Σvariant / ΣfirstMda for vertices, edges,
+    /// packets, same variant order.
+    pub aggregates: Vec<(f64, f64, f64)>,
+}
+
+impl EvaluationOutcome {
+    /// Ratio records for one variant.
+    pub fn ratios_of(&self, variant: Variant) -> &[TraceRatios] {
+        let idx = VARIANTS.iter().position(|&v| v == variant).expect("known");
+        &self.ratios[idx]
+    }
+
+    /// Fig. 4 CDF for one variant and metric selector.
+    pub fn cdf<F: Fn(&TraceRatios) -> f64>(&self, variant: Variant, f: F) -> EmpiricalCdf {
+        EmpiricalCdf::from_iter(self.ratios_of(variant).iter().map(f))
+    }
+
+    /// Table 1 row for one variant: (vertices, edges, packets).
+    pub fn aggregate_of(&self, variant: Variant) -> (f64, f64, f64) {
+        let idx = VARIANTS.iter().position(|&v| v == variant).expect("known");
+        self.aggregates[idx]
+    }
+}
+
+fn counts(trace: &Trace) -> RunCounts {
+    // Count over the completed topology rather than raw flow witnesses:
+    // a hop behind a single vertex determines its edges without needing a
+    // flow observed at both TTLs (the MDA routinely leaves those edges
+    // implicit, the MDA-Lite's completion step makes them explicit — the
+    // topologies are the same and must count the same).
+    match trace.to_topology() {
+        Some(topo) => {
+            let vertices = topo
+                .hops()
+                .iter()
+                .flatten()
+                .filter(|a| !mlpt_topo::is_star(**a))
+                .count() as u64;
+            RunCounts {
+                vertices,
+                edges: topo.total_edges() as u64,
+                packets: trace.probes_sent,
+            }
+        }
+        None => RunCounts {
+            vertices: trace.total_vertices() as u64,
+            edges: trace.total_edges() as u64,
+            packets: trace.probes_sent,
+        },
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        if a == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Runs the five variants over every diamond-bearing scenario.
+pub fn evaluate_scenarios(
+    internet: &SyntheticInternet,
+    config: &EvaluationConfig,
+) -> EvaluationOutcome {
+    /// First-MDA counts plus each variant's counts, or None if the
+    /// scenario carried no diamond.
+    type PerScenario = Option<(RunCounts, [RunCounts; 4])>;
+
+    let rows: Vec<PerScenario> = ordered_parallel_map(config.scenarios, config.workers, |id| {
+        let scenario = internet.scenario(id);
+        if !scenario.has_diamond {
+            return None;
+        }
+        let base_seed = config.trace_seed ^ (id as u64).wrapping_mul(0xD1B5_4A32);
+        let run = |variant: usize| -> Trace {
+            // Each run sees the same network conditions (same network
+            // seed) but uses its own flow randomness, like back-to-back
+            // runs on a stable network.
+            let net = scenario.build_network(base_seed);
+            let mut prober =
+                TransportProber::new(net, scenario.source, scenario.topology.destination());
+            let cfg = TraceConfig::new(base_seed.wrapping_add(1 + variant as u64));
+            match variant {
+                0 | 1 => trace_mda(&mut prober, &cfg),
+                2 => trace_mda_lite(&mut prober, &cfg.with_phi(2)),
+                3 => trace_mda_lite(&mut prober, &cfg.with_phi(4)),
+                _ => trace_single_flow(&mut prober, &cfg, FlowId(0)),
+            }
+        };
+        let first = counts(&run(0));
+        let variants = [
+            counts(&run(1)),
+            counts(&run(2)),
+            counts(&run(3)),
+            counts(&run(4)),
+        ];
+        Some((first, variants))
+    });
+
+    let mut ratios: Vec<Vec<TraceRatios>> = vec![Vec::new(); 4];
+    let mut aggregates: Vec<(RatioSummary, RatioSummary, RatioSummary)> =
+        vec![Default::default(); 4];
+    let mut measured_traces = 0usize;
+    for row in rows.into_iter().flatten() {
+        measured_traces += 1;
+        let (first, variants) = row;
+        for (i, v) in variants.iter().enumerate() {
+            ratios[i].push(TraceRatios {
+                vertices: ratio(v.vertices, first.vertices),
+                edges: ratio(v.edges, first.edges),
+                packets: ratio(v.packets, first.packets),
+            });
+            aggregates[i].0.record(v.vertices as f64, first.vertices as f64);
+            aggregates[i].1.record(v.edges as f64, first.edges as f64);
+            aggregates[i].2.record(v.packets as f64, first.packets as f64);
+        }
+    }
+
+    EvaluationOutcome {
+        measured_traces,
+        ratios,
+        aggregates: aggregates
+            .into_iter()
+            .map(|(v, e, p)| (v.ratio(), e.ratio(), p.ratio()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::InternetConfig;
+
+    fn small_eval() -> EvaluationOutcome {
+        let internet = SyntheticInternet::new(InternetConfig::with_seed(9));
+        let config = EvaluationConfig {
+            scenarios: 60,
+            workers: 4,
+            trace_seed: 5,
+        };
+        evaluate_scenarios(&internet, &config)
+    }
+
+    #[test]
+    fn discovery_parity_and_packet_savings() {
+        let out = small_eval();
+        assert!(out.measured_traces > 20);
+
+        // Table 1 shape: MDA-Lite within a few percent of the MDA on
+        // vertices/edges, and clearly cheaper in packets.
+        let (v2, e2, p2) = out.aggregate_of(Variant::SecondMda);
+        let (vl, el, pl) = out.aggregate_of(Variant::MdaLitePhi2);
+        let (vs, es, ps) = out.aggregate_of(Variant::SingleFlow);
+
+        assert!((v2 - 1.0).abs() < 0.05, "second MDA vertices {v2}");
+        assert!((e2 - 1.0).abs() < 0.05, "second MDA edges {e2}");
+        assert!((p2 - 1.0).abs() < 0.15, "second MDA packets {p2}");
+
+        assert!((vl - 1.0).abs() < 0.06, "lite vertices {vl}");
+        assert!((el - 1.0).abs() < 0.08, "lite edges {el}");
+        assert!(pl < 0.9, "lite packets must be cheaper: {pl}");
+
+        assert!(vs < 0.8, "single flow discovers far fewer vertices: {vs}");
+        assert!(es < 0.6, "single flow discovers far fewer edges: {es}");
+        assert!(ps < 0.12, "single flow sends a tiny fraction: {ps}");
+    }
+
+    #[test]
+    fn phi4_similar_to_phi2() {
+        let out = small_eval();
+        let (v2, e2, p2) = out.aggregate_of(Variant::MdaLitePhi2);
+        let (v4, e4, p4) = out.aggregate_of(Variant::MdaLitePhi4);
+        assert!((v2 - v4).abs() < 0.03);
+        assert!((e2 - e4).abs() < 0.04);
+        // φ = 4 spends slightly more on the meshing test.
+        assert!(p4 >= p2 * 0.95);
+    }
+
+    #[test]
+    fn cdfs_have_full_population() {
+        let out = small_eval();
+        for variant in VARIANTS {
+            let cdf = out.cdf(variant, |r| r.packets);
+            assert_eq!(cdf.len(), out.measured_traces);
+        }
+        // Single-flow packet ratios concentrate near zero.
+        let single = out.cdf(Variant::SingleFlow, |r| r.packets);
+        assert!(single.quantile(0.9) < 0.2);
+    }
+}

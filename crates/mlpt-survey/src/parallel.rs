@@ -1,0 +1,110 @@
+//! Deterministic fork-join over scenario indices.
+//!
+//! Survey runs process thousands of independent scenarios; this helper
+//! fans indices out over a fixed number of worker threads (crossbeam
+//! scoped threads) and returns results *in index order*, so parallel runs
+//! are bit-identical to sequential ones.
+
+/// Maps `f` over `0..count` using `workers` threads, preserving order.
+///
+/// `f` must be `Sync` (it is called concurrently from several threads) and
+/// is given the scenario index.
+pub fn ordered_parallel_map<T, F>(count: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(workers >= 1);
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(count);
+    if workers == 1 {
+        return (0..count).map(f).collect();
+    }
+
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slot_ptr = SlotVec(slots.as_mut_ptr());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = f(i);
+                // Safety: each index i is claimed exactly once via the
+                // atomic counter, so no two threads write the same slot,
+                // and the vector outlives the scope.
+                unsafe {
+                    slot_ptr.write(i, value);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index processed"))
+        .collect()
+}
+
+/// Shareable raw pointer to the slot vector (safe by the exclusive-index
+/// argument above).
+struct SlotVec<T>(*mut Option<T>);
+unsafe impl<T: Send> Sync for SlotVec<T> {}
+unsafe impl<T: Send> Send for SlotVec<T> {}
+
+impl<T> SlotVec<T> {
+    unsafe fn write(&self, index: usize, value: T) {
+        unsafe { *self.0.add(index) = Some(value) };
+    }
+}
+
+/// A sensible worker count for survey workloads.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = ordered_parallel_map(100, 8, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential() {
+        let seq = ordered_parallel_map(50, 1, |i| i * i);
+        let par = ordered_parallel_map(50, 7, |i| i * i);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = ordered_parallel_map(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(ordered_parallel_map(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn heavy_closure_state() {
+        // Closures may capture shared read-only state.
+        let table: Vec<u64> = (0..1000).map(|i| i as u64 * 7).collect();
+        let out = ordered_parallel_map(1000, 6, |i| table[i] + 1);
+        assert_eq!(out[999], 999 * 7 + 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! The paper's canonical topologies.
+//!
+//! Sec. 2.1 walks the MDA through two 1-4-2-1 diamonds (Fig. 1); Sec. 2.4.1
+//! simulates MDA-Lite vs MDA on four topologies found in real traces; and
+//! Sec. 3 validates Fakeroute on the simplest possible diamond. This module
+//! reconstructs all of them. Where the paper gives only summary statistics
+//! (hop counts, widths, asymmetry), the construction is chosen to match all
+//! the stated properties and is verified by tests against the metrics
+//! module.
+
+use crate::graph::{addr, MultipathTopology};
+
+/// The simplest possible diamond (Sec. 3): divergence, two vertices,
+/// convergence. Analytic MDA failure probability with the 95 % stopping
+/// points is `(1/2)^(n1 - 1) = 0.03125`.
+pub fn simplest_diamond() -> MultipathTopology {
+    let mut b = MultipathTopology::builder();
+    b.add_hop([addr(0, 0)]);
+    b.add_hop([addr(1, 0), addr(1, 1)]);
+    b.add_hop([addr(2, 0)]);
+    b.connect_unmeshed(0);
+    b.connect_unmeshed(1);
+    b.build().expect("static topology")
+}
+
+/// Fig. 1's unmeshed diamond: divergence, four vertices, two vertices,
+/// convergence, with each hop-2 vertex having exactly one successor.
+pub fn fig1_unmeshed() -> MultipathTopology {
+    let mut b = MultipathTopology::builder();
+    b.add_hop([addr(0, 0)]);
+    b.add_hop([addr(1, 0), addr(1, 1), addr(1, 2), addr(1, 3)]);
+    b.add_hop([addr(2, 0), addr(2, 1)]);
+    b.add_hop([addr(3, 0)]);
+    b.connect_unmeshed(0);
+    b.add_edge(1, addr(1, 0), addr(2, 0));
+    b.add_edge(1, addr(1, 1), addr(2, 0));
+    b.add_edge(1, addr(1, 2), addr(2, 1));
+    b.add_edge(1, addr(1, 3), addr(2, 1));
+    b.connect_unmeshed(2);
+    b.build().expect("static topology")
+}
+
+/// Fig. 1's meshed diamond: same hops, but every hop-2 vertex has both
+/// hop-3 vertices as successors.
+pub fn fig1_meshed() -> MultipathTopology {
+    let mut b = MultipathTopology::builder();
+    b.add_hop([addr(0, 0)]);
+    b.add_hop([addr(1, 0), addr(1, 1), addr(1, 2), addr(1, 3)]);
+    b.add_hop([addr(2, 0), addr(2, 1)]);
+    b.add_hop([addr(3, 0)]);
+    b.connect_unmeshed(0);
+    b.connect_full(1);
+    b.connect_unmeshed(2);
+    b.build().expect("static topology")
+}
+
+/// Sec. 2.4.1 "max length 2" diamond (trace pl2.prakinf.tu-ilmenau.de →
+/// 83.167.65.184): a divergence point, a 28-vertex hop, a convergence
+/// point. Nearly half of surveyed diamonds have max length 2; this is a
+/// particularly wide example.
+pub fn max_length_2() -> MultipathTopology {
+    let mut b = MultipathTopology::builder();
+    b.add_hop([addr(0, 0)]);
+    b.add_hop((0..28).map(|i| addr(1, i)));
+    b.add_hop([addr(2, 0)]);
+    b.connect_unmeshed(0);
+    b.connect_unmeshed(1);
+    b.build().expect("static topology")
+}
+
+/// Sec. 2.4.1 "symmetric" diamond (ple1.cesnet.cz → 203.195.189.3): three
+/// multi-vertex hops with at most 10 vertices, no meshing, fully uniform.
+/// Constructed as 1 → 5 → 10 → 5 → 1 with even unmeshed fan-out/fan-in.
+pub fn symmetric() -> MultipathTopology {
+    let mut b = MultipathTopology::builder();
+    b.add_hop([addr(0, 0)]);
+    b.add_hop((0..5).map(|i| addr(1, i)));
+    b.add_hop((0..10).map(|i| addr(2, i)));
+    b.add_hop((0..5).map(|i| addr(3, i)));
+    b.add_hop([addr(4, 0)]);
+    b.connect_unmeshed(0);
+    // 5 -> 10: vertex i fans to 2i, 2i+1 (out-degree 2, in-degree 1).
+    for i in 0..5 {
+        b.add_edge(1, addr(1, i), addr(2, 2 * i));
+        b.add_edge(1, addr(1, i), addr(2, 2 * i + 1));
+    }
+    // 10 -> 5: vertices 2i, 2i+1 converge on i (out-degree 1, in-degree 2).
+    for i in 0..5 {
+        b.add_edge(2, addr(2, 2 * i), addr(3, i));
+        b.add_edge(2, addr(2, 2 * i + 1), addr(3, i));
+    }
+    b.connect_unmeshed(3);
+    b.build().expect("static topology")
+}
+
+/// Sec. 2.4.1 "asymmetric" diamond (kulcha.mimuw.edu.pl → 61.6.250.1):
+/// nine multi-vertex hops, at most 19 vertices at a hop, width asymmetry
+/// 17, unmeshed. If MDA-Lite detects the asymmetry it must switch to the
+/// full MDA.
+///
+/// Construction: widths 1, 2, 19, 16, 12, 8, 6, 4, 3, 2, 1. The 2 → 19
+/// expansion is maximally uneven (successor counts 18 vs 1 → asymmetry
+/// 17); every contraction keeps out-degree 1, so no hop pair is meshed.
+pub fn asymmetric() -> MultipathTopology {
+    let widths = [1usize, 2, 19, 16, 12, 8, 6, 4, 3, 2, 1];
+    let mut b = MultipathTopology::builder();
+    for (h, &w) in widths.iter().enumerate() {
+        b.add_hop((0..w).map(|i| addr(h, i)));
+    }
+    // 1 -> 2 even.
+    b.connect_unmeshed(0);
+    // 2 -> 19 uneven: vertex 0 gets successors 0..18, vertex 1 gets 18.
+    for i in 0..18 {
+        b.add_edge(1, addr(1, 0), addr(2, i));
+    }
+    b.add_edge(1, addr(1, 1), addr(2, 18));
+    // Contractions with out-degree 1: map index j at hop h to
+    // j % width(h+1) at hop h+1.
+    for h in 2..widths.len() - 1 {
+        b.connect_unmeshed(h);
+    }
+    b.build().expect("static topology")
+}
+
+/// Sec. 2.4.1 "meshed" diamond (ple2.planetlab.eu → 125.155.82.17): five
+/// multi-vertex hops, at most 48 vertices, meshed. If MDA-Lite detects the
+/// meshing it must switch to the full MDA.
+///
+/// Construction: widths 1, 8, 48, 48, 24, 12, 1. The 48 → 48 hop pair is
+/// meshed (equal widths, out-degree 2) and the 48 → 24 pair is meshed
+/// (wider to narrower with out-degree 2), while remaining uniform.
+pub fn meshed() -> MultipathTopology {
+    let widths = [1usize, 8, 48, 48, 24, 12, 1];
+    let mut b = MultipathTopology::builder();
+    for (h, &w) in widths.iter().enumerate() {
+        b.add_hop((0..w).map(|i| addr(h, i)));
+    }
+    b.connect_unmeshed(0); // 1 -> 8
+    b.connect_unmeshed(1); // 8 -> 48 even fan out (6 each)
+    // 48 -> 48 meshed but uniform: vertex i connects to i and (i+1) mod 48.
+    for i in 0..48 {
+        b.add_edge(2, addr(2, i), addr(3, i));
+        b.add_edge(2, addr(2, i), addr(3, (i + 1) % 48));
+    }
+    // 48 -> 24 meshed but uniform: vertex i connects to i/2 and (i/2+1)%24.
+    for i in 0..48 {
+        b.add_edge(3, addr(3, i), addr(4, i / 2));
+        b.add_edge(3, addr(3, i), addr(4, (i / 2 + 1) % 24));
+    }
+    b.connect_unmeshed(4); // 24 -> 12 even fan-in
+    b.connect_unmeshed(5); // 12 -> 1
+    b.build().expect("static topology")
+}
+
+/// All four Sec. 2.4.1 simulation topologies with their paper names.
+pub fn simulation_suite() -> Vec<(&'static str, MultipathTopology)> {
+    vec![
+        ("max-length-2", max_length_2()),
+        ("symmetric", symmetric()),
+        ("asymmetric", asymmetric()),
+        ("meshed", meshed()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diamond::{all_diamond_metrics, find_diamonds};
+
+    #[test]
+    fn simplest_properties() {
+        let t = simplest_diamond();
+        let m = all_diamond_metrics(&t).pop().unwrap();
+        assert_eq!(m.max_width, 2);
+        assert_eq!(m.max_length, 2);
+        assert!(!m.is_meshed());
+        assert_eq!(m.max_width_asymmetry, 0);
+    }
+
+    #[test]
+    fn fig1_shapes() {
+        let u = fig1_unmeshed();
+        let m = fig1_meshed();
+        assert_eq!(u.hop(1).len(), 4);
+        assert_eq!(u.hop(2).len(), 2);
+        assert_eq!(m.hop(1).len(), 4);
+        let mu = all_diamond_metrics(&u).pop().unwrap();
+        let mm = all_diamond_metrics(&m).pop().unwrap();
+        assert!(!mu.is_meshed());
+        assert!(mm.is_meshed());
+        // Both are uniform (zero probability spread).
+        assert_eq!(mu.max_probability_difference, 0.0);
+        assert_eq!(mm.max_probability_difference, 0.0);
+    }
+
+    #[test]
+    fn max_length_2_properties() {
+        let t = max_length_2();
+        let m = all_diamond_metrics(&t).pop().unwrap();
+        assert_eq!(m.max_length, 2);
+        assert_eq!(m.max_width, 28);
+        assert!(!m.is_meshed());
+        assert_eq!(m.max_width_asymmetry, 0);
+        assert_eq!(m.max_probability_difference, 0.0);
+    }
+
+    #[test]
+    fn symmetric_properties() {
+        let t = symmetric();
+        // Three multi-vertex hops, max 10 vertices.
+        let widths: Vec<usize> = (0..t.num_hops()).map(|i| t.hop(i).len()).collect();
+        assert_eq!(widths, vec![1, 5, 10, 5, 1]);
+        let m = all_diamond_metrics(&t).pop().unwrap();
+        assert_eq!(m.max_width, 10);
+        assert!(!m.is_meshed(), "symmetric diamond must be unmeshed");
+        assert_eq!(m.max_width_asymmetry, 0);
+        assert_eq!(m.max_probability_difference, 0.0);
+    }
+
+    #[test]
+    fn asymmetric_properties() {
+        let t = asymmetric();
+        let m = all_diamond_metrics(&t).pop().unwrap();
+        // Nine multi-vertex hops.
+        let multi = (0..t.num_hops()).filter(|&i| t.hop(i).len() >= 2).count();
+        assert_eq!(multi, 9);
+        assert_eq!(m.max_width, 19);
+        assert_eq!(m.max_width_asymmetry, 17);
+        assert!(!m.is_meshed(), "asymmetric diamond must be unmeshed");
+        assert!(m.max_probability_difference > 0.0, "must be non-uniform");
+    }
+
+    #[test]
+    fn meshed_properties() {
+        let t = meshed();
+        let m = all_diamond_metrics(&t).pop().unwrap();
+        let multi = (0..t.num_hops()).filter(|&i| t.hop(i).len() >= 2).count();
+        assert_eq!(multi, 5);
+        assert_eq!(m.max_width, 48);
+        assert!(m.is_meshed(), "meshed diamond must be meshed");
+        // Ring wiring keeps every vertex equally likely.
+        assert!(m.max_probability_difference < 1e-9);
+    }
+
+    #[test]
+    fn suite_has_four_named_topologies() {
+        let suite = simulation_suite();
+        assert_eq!(suite.len(), 4);
+        for (_, t) in &suite {
+            assert_eq!(find_diamonds(t).len(), 1);
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! Diamonds and their metrics.
+//!
+//! A *diamond* (Augustin et al., quoted in Sec. 2.1) is "a subgraph
+//! delimited by a divergence point followed, two or more hops later, by a
+//! convergence point, with the requirement that all flows from source to
+//! destination flow through both points". In a hop-structured topology the
+//! points all flows pass through are exactly the hops holding a single
+//! vertex, so diamonds are the segments between consecutive single-vertex
+//! hops that contain at least one multi-vertex hop.
+//!
+//! This module implements extraction plus every metric of Fig. 6:
+//!
+//! * **maximum width** — most vertices at any hop inside the diamond;
+//! * **maximum length** — hops from divergence to convergence;
+//! * **minimum length** — hops until the convergence address first appears
+//!   (shorter paths through a diamond show up as early appearances of the
+//!   convergence address);
+//! * **maximum width asymmetry** — the topological non-uniformity signal
+//!   the MDA-Lite tests for (Sec. 2.3.3);
+//! * **meshing** of hop pairs and the **ratio of meshed hops**;
+//! * **maximum probability difference** between vertices at a common hop
+//!   (Fig. 8), from reach-probability analysis.
+
+use crate::graph::MultipathTopology;
+use crate::is_star;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A diamond located within a topology, by hop indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Diamond {
+    /// Hop index of the divergence point (single-vertex hop).
+    pub divergence_hop: usize,
+    /// Hop index of the convergence point (single-vertex hop).
+    pub convergence_hop: usize,
+}
+
+/// Identity of a *distinct* diamond per the paper's survey definition
+/// (Sec. 5): the pair (divergence address, convergence address), where a
+/// non-responding point makes the diamond distinct from any
+/// responsive-point diamond. Star placeholders encode that distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DiamondKey {
+    /// Divergence point address (star placeholder if non-responsive).
+    pub divergence: Ipv4Addr,
+    /// Convergence point address (star placeholder if non-responsive).
+    pub convergence: Ipv4Addr,
+}
+
+impl DiamondKey {
+    /// True if either delimiting point was a star.
+    pub fn has_star(&self) -> bool {
+        is_star(self.divergence) || is_star(self.convergence)
+    }
+}
+
+/// All metrics of one diamond, computed once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiamondMetrics {
+    /// Identity (divergence, convergence addresses).
+    pub key: DiamondKey,
+    /// Maximum number of vertices at a hop strictly inside the diamond.
+    pub max_width: usize,
+    /// Hops from divergence to convergence.
+    pub max_length: usize,
+    /// Hops from divergence until the convergence address first appears.
+    pub min_length: usize,
+    /// Largest width asymmetry over the diamond's hop pairs.
+    pub max_width_asymmetry: usize,
+    /// Number of meshed hop pairs.
+    pub meshed_hop_pairs: usize,
+    /// Total hop pairs in the diamond (max_length).
+    pub total_hop_pairs: usize,
+    /// Largest difference in reach probability between two vertices at a
+    /// common hop inside the diamond (0.0 for uniform diamonds).
+    pub max_probability_difference: f64,
+}
+
+impl DiamondMetrics {
+    /// True if at least one hop pair is meshed.
+    pub fn is_meshed(&self) -> bool {
+        self.meshed_hop_pairs > 0
+    }
+
+    /// Ratio of meshed hop pairs to all hop pairs (Fig. 9's metric).
+    pub fn ratio_of_meshed_hops(&self) -> f64 {
+        if self.total_hop_pairs == 0 {
+            0.0
+        } else {
+            self.meshed_hop_pairs as f64 / self.total_hop_pairs as f64
+        }
+    }
+
+    /// True if the diamond shows zero width asymmetry — the paper's
+    /// topological indicator of uniformity (Sec. 2.3.3).
+    pub fn is_width_symmetric(&self) -> bool {
+        self.max_width_asymmetry == 0
+    }
+}
+
+/// Finds all diamonds in a topology: maximal segments between consecutive
+/// single-vertex hops containing at least one multi-vertex hop.
+pub fn find_diamonds(topology: &MultipathTopology) -> Vec<Diamond> {
+    let mut diamonds = Vec::new();
+    let single_hops: Vec<usize> = (0..topology.num_hops())
+        .filter(|&i| topology.hop(i).len() == 1)
+        .collect();
+    for pair in single_hops.windows(2) {
+        let (d, c) = (pair[0], pair[1]);
+        // At least one intermediate hop, which by construction of the
+        // single-hop list has >= 2 vertices.
+        if c - d >= 2 {
+            diamonds.push(Diamond {
+                divergence_hop: d,
+                convergence_hop: c,
+            });
+        }
+    }
+    diamonds
+}
+
+/// Width asymmetry of the hop pair `(i, i + 1)` per the paper's definition.
+///
+/// * hop `i` narrower: max difference in successor counts at hop `i`;
+/// * hop `i` wider: max difference in predecessor counts at hop `i + 1`;
+/// * equal widths: the max of the two.
+pub fn hop_pair_width_asymmetry(topology: &MultipathTopology, i: usize) -> usize {
+    let wi = topology.hop(i).len();
+    let wj = topology.hop(i + 1).len();
+
+    let successor_spread = || -> usize {
+        let degs: Vec<usize> = topology
+            .hop(i)
+            .iter()
+            .map(|&v| topology.out_degree(i, v))
+            .collect();
+        spread(&degs)
+    };
+    let predecessor_spread = || -> usize {
+        let degs: Vec<usize> = topology
+            .hop(i + 1)
+            .iter()
+            .map(|&v| topology.in_degree(i + 1, v))
+            .collect();
+        spread(&degs)
+    };
+
+    match wi.cmp(&wj) {
+        std::cmp::Ordering::Less => successor_spread(),
+        std::cmp::Ordering::Greater => predecessor_spread(),
+        std::cmp::Ordering::Equal => successor_spread().max(predecessor_spread()),
+    }
+}
+
+fn spread(values: &[usize]) -> usize {
+    match (values.iter().max(), values.iter().min()) {
+        (Some(max), Some(min)) => max - min,
+        _ => 0,
+    }
+}
+
+/// Whether hop pair `(i, i + 1)` is meshed per Sec. 2.2:
+///
+/// * equal vertex counts and some hop-`i` out-degree ≥ 2;
+/// * hop `i` narrower and some hop-`i+1` in-degree ≥ 2;
+/// * hop `i` wider and some hop-`i` out-degree ≥ 2.
+pub fn hop_pair_meshed(topology: &MultipathTopology, i: usize) -> bool {
+    let wi = topology.hop(i).len();
+    let wj = topology.hop(i + 1).len();
+    let any_out_ge2 = || {
+        topology
+            .hop(i)
+            .iter()
+            .any(|&v| topology.out_degree(i, v) >= 2)
+    };
+    let any_in_ge2 = || {
+        topology
+            .hop(i + 1)
+            .iter()
+            .any(|&v| topology.in_degree(i + 1, v) >= 2)
+    };
+    match wi.cmp(&wj) {
+        std::cmp::Ordering::Equal => any_out_ge2(),
+        std::cmp::Ordering::Less => any_in_ge2(),
+        std::cmp::Ordering::Greater => any_out_ge2(),
+    }
+}
+
+/// Computes all metrics for one diamond.
+pub fn diamond_metrics(topology: &MultipathTopology, diamond: &Diamond) -> DiamondMetrics {
+    let d = diamond.divergence_hop;
+    let c = diamond.convergence_hop;
+    debug_assert!(c > d + 1, "diamond must contain an interior hop");
+
+    let divergence = topology.hop(d)[0];
+    let convergence = topology.hop(c)[0];
+
+    let max_width = (d + 1..c)
+        .map(|i| topology.hop(i).len())
+        .max()
+        .unwrap_or(0);
+
+    let max_length = c - d;
+    let min_length = topology.hops_until(d, convergence).unwrap_or(max_length);
+
+    let max_width_asymmetry = (d..c)
+        .map(|i| hop_pair_width_asymmetry(topology, i))
+        .max()
+        .unwrap_or(0);
+
+    let meshed_hop_pairs = (d..c).filter(|&i| hop_pair_meshed(topology, i)).count();
+    let total_hop_pairs = c - d;
+
+    // Probability spread across vertices at common hops inside the diamond.
+    let probs = topology.reach_probabilities();
+    let mut max_probability_difference: f64 = 0.0;
+    for layer in probs.iter().take(c).skip(d + 1) {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &p in layer.values() {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        if hi > lo {
+            max_probability_difference = max_probability_difference.max(hi - lo);
+        }
+    }
+
+    DiamondMetrics {
+        key: DiamondKey {
+            divergence,
+            convergence,
+        },
+        max_width,
+        max_length,
+        min_length,
+        max_width_asymmetry,
+        meshed_hop_pairs,
+        total_hop_pairs,
+        max_probability_difference,
+    }
+}
+
+/// Extracts metrics for every diamond in the topology.
+pub fn all_diamond_metrics(topology: &MultipathTopology) -> Vec<DiamondMetrics> {
+    find_diamonds(topology)
+        .iter()
+        .map(|d| diamond_metrics(topology, d))
+        .collect()
+}
+
+/// Probability that the MDA-Lite meshing test with `phi` flow identifiers
+/// per vertex fails to detect meshing at hop pair `(i, i+1)` — Eq. (1) of
+/// the paper:
+///
+/// ```text
+///   prod_{v in V} 1 / |sigma(v)|^(phi - 1)
+/// ```
+///
+/// where tracing runs from the hop with more vertices toward the hop with
+/// fewer (forward if `hop i` is wider or equal, backward otherwise), `V`
+/// is the vertex set at the traced-from hop and `sigma(v)` its
+/// successor/predecessor set. Only vertices with `|sigma(v)| >= 2`
+/// contribute (a single-successor vertex can never reveal meshing).
+pub fn meshing_miss_probability(topology: &MultipathTopology, i: usize, phi: u32) -> f64 {
+    assert!(phi >= 2, "meshing test requires phi >= 2");
+    let wi = topology.hop(i).len();
+    let wj = topology.hop(i + 1).len();
+    let forward = wi >= wj;
+    let mut p = 1.0;
+    if forward {
+        for &v in topology.hop(i) {
+            let k = topology.out_degree(i, v);
+            if k >= 2 {
+                p /= (k as f64).powi(phi as i32 - 1);
+            }
+        }
+    } else {
+        for &v in topology.hop(i + 1) {
+            let k = topology.in_degree(i + 1, v);
+            if k >= 2 {
+                p /= (k as f64).powi(phi as i32 - 1);
+            }
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::addr;
+
+    /// Simple 1-2-1 diamond.
+    fn simplest() -> MultipathTopology {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_unmeshed(1);
+        b.build().unwrap()
+    }
+
+    /// The Fig. 1 unmeshed diamond: 1-4-2-1 with single successors.
+    fn fig1_unmeshed() -> MultipathTopology {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1), addr(1, 2), addr(1, 3)]);
+        b.add_hop([addr(2, 0), addr(2, 1)]);
+        b.add_hop([addr(3, 0)]);
+        b.connect_unmeshed(0);
+        // 4 -> 2: two hop-1 vertices feed each hop-2 vertex, out-degree 1.
+        b.add_edge(1, addr(1, 0), addr(2, 0));
+        b.add_edge(1, addr(1, 1), addr(2, 0));
+        b.add_edge(1, addr(1, 2), addr(2, 1));
+        b.add_edge(1, addr(1, 3), addr(2, 1));
+        b.connect_unmeshed(2);
+        b.build().unwrap()
+    }
+
+    /// The Fig. 1 meshed diamond: each hop-1 vertex has both hop-2
+    /// vertices as successors.
+    fn fig1_meshed() -> MultipathTopology {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1), addr(1, 2), addr(1, 3)]);
+        b.add_hop([addr(2, 0), addr(2, 1)]);
+        b.add_hop([addr(3, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_full(1);
+        b.connect_unmeshed(2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_single_diamond() {
+        let t = simplest();
+        let diamonds = find_diamonds(&t);
+        assert_eq!(diamonds.len(), 1);
+        assert_eq!(diamonds[0].divergence_hop, 0);
+        assert_eq!(diamonds[0].convergence_hop, 2);
+    }
+
+    #[test]
+    fn no_diamond_on_linear_path() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0)]);
+        b.add_hop([addr(2, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_unmeshed(1);
+        let t = b.build().unwrap();
+        assert!(find_diamonds(&t).is_empty());
+    }
+
+    #[test]
+    fn two_diamonds_in_sequence() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0)]);
+        b.add_hop([addr(3, 0), addr(3, 1), addr(3, 2)]);
+        b.add_hop([addr(4, 0)]);
+        for i in 0..4 {
+            b.connect_unmeshed(i);
+        }
+        let t = b.build().unwrap();
+        let diamonds = find_diamonds(&t);
+        assert_eq!(diamonds.len(), 2);
+        let m0 = diamond_metrics(&t, &diamonds[0]);
+        let m1 = diamond_metrics(&t, &diamonds[1]);
+        assert_eq!(m0.max_width, 2);
+        assert_eq!(m1.max_width, 3);
+        assert_eq!(m0.max_length, 2);
+        assert_eq!(m1.max_length, 2);
+    }
+
+    #[test]
+    fn simplest_metrics() {
+        let t = simplest();
+        let m = all_diamond_metrics(&t).pop().unwrap();
+        assert_eq!(m.max_width, 2);
+        assert_eq!(m.max_length, 2);
+        assert_eq!(m.min_length, 2);
+        assert_eq!(m.max_width_asymmetry, 0);
+        assert!(!m.is_meshed());
+        assert_eq!(m.max_probability_difference, 0.0);
+        assert!(m.is_width_symmetric());
+        assert_eq!(m.key.divergence, addr(0, 0));
+        assert_eq!(m.key.convergence, addr(2, 0));
+    }
+
+    #[test]
+    fn fig1_unmeshed_is_unmeshed_and_uniform() {
+        let t = fig1_unmeshed();
+        let m = all_diamond_metrics(&t).pop().unwrap();
+        assert_eq!(m.max_width, 4);
+        assert_eq!(m.max_length, 3);
+        assert!(!m.is_meshed());
+        assert_eq!(m.max_width_asymmetry, 0);
+        assert_eq!(m.max_probability_difference, 0.0);
+    }
+
+    #[test]
+    fn fig1_meshed_is_meshed_but_uniform() {
+        let t = fig1_meshed();
+        let m = all_diamond_metrics(&t).pop().unwrap();
+        assert_eq!(m.max_width, 4);
+        assert!(m.is_meshed());
+        assert_eq!(m.meshed_hop_pairs, 1);
+        assert_eq!(m.total_hop_pairs, 3);
+        // Full bipartite wiring keeps the hop uniform.
+        assert_eq!(m.max_probability_difference, 0.0);
+        // Equal out-degrees/in-degrees: zero width asymmetry.
+        assert_eq!(m.max_width_asymmetry, 0);
+    }
+
+    #[test]
+    fn meshing_cases_by_relative_width() {
+        // Case: hop i narrower than hop i+1, some in-degree 2 -> meshed.
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0), addr(2, 1), addr(2, 2)]);
+        b.add_hop([addr(3, 0)]);
+        b.connect_unmeshed(0);
+        b.add_edge(1, addr(1, 0), addr(2, 0));
+        b.add_edge(1, addr(1, 0), addr(2, 1));
+        b.add_edge(1, addr(1, 1), addr(2, 1)); // in-degree 2 at (2,1)
+        b.add_edge(1, addr(1, 1), addr(2, 2));
+        b.connect_unmeshed(2);
+        let t = b.build().unwrap();
+        assert!(hop_pair_meshed(&t, 1));
+
+        // Case: wider to narrower with out-degree 1 everywhere -> unmeshed.
+        let t2 = fig1_unmeshed();
+        assert!(!hop_pair_meshed(&t2, 1));
+    }
+
+    #[test]
+    fn width_asymmetry_computation() {
+        // Divergence fans to 2; vertex A gets 3 successors, vertex B gets 1.
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0), addr(2, 1), addr(2, 2), addr(2, 3)]);
+        b.add_hop([addr(3, 0)]);
+        b.connect_unmeshed(0);
+        b.add_edge(1, addr(1, 0), addr(2, 0));
+        b.add_edge(1, addr(1, 0), addr(2, 1));
+        b.add_edge(1, addr(1, 0), addr(2, 2));
+        b.add_edge(1, addr(1, 1), addr(2, 3));
+        b.connect_unmeshed(2);
+        let t = b.build().unwrap();
+        assert_eq!(hop_pair_width_asymmetry(&t, 1), 2); // 3 - 1
+        let m = all_diamond_metrics(&t).pop().unwrap();
+        assert_eq!(m.max_width_asymmetry, 2);
+        // Non-uniform: probabilities 1/6,1/6,1/6 vs 1/2.
+        assert!((m.max_probability_difference - (0.5 - 1.0 / 6.0)).abs() < 1e-12);
+        assert!(!m.is_width_symmetric());
+    }
+
+    #[test]
+    fn min_length_shorter_path() {
+        // Convergence address also appears at hop 2 (a 2-hop path) while
+        // the long path has 3 hops.
+        let conv = addr(9, 9);
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0), conv]);
+        b.add_hop([conv]);
+        b.connect_unmeshed(0);
+        b.add_edge(1, addr(1, 0), addr(2, 0));
+        b.add_edge(1, addr(1, 1), conv);
+        b.add_edge(2, addr(2, 0), conv);
+        b.add_edge(2, conv, conv);
+        let t = b.build().unwrap();
+        let m = all_diamond_metrics(&t).pop().unwrap();
+        assert_eq!(m.max_length, 3);
+        assert_eq!(m.min_length, 2);
+    }
+
+    #[test]
+    fn meshing_miss_probability_eq1() {
+        // Fig. 1 meshed diamond at hop pair (1, 2): wider (4) to narrower
+        // (2); every hop-1 vertex has 2 successors.
+        let t = fig1_meshed();
+        // phi = 2: each of 4 vertices contributes 1/2 -> 1/16.
+        assert!((meshing_miss_probability(&t, 1, 2) - 1.0 / 16.0).abs() < 1e-12);
+        // phi = 3: 1/2^2 each -> 1/256.
+        assert!((meshing_miss_probability(&t, 1, 3) - 1.0 / 256.0).abs() < 1e-12);
+        // Unmeshed pair: probability 1 (no vertex with degree >= 2 to catch).
+        let u = fig1_unmeshed();
+        assert_eq!(meshing_miss_probability(&u, 1, 2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi >= 2")]
+    fn meshing_test_needs_phi_2() {
+        let t = simplest();
+        let _ = meshing_miss_probability(&t, 0, 1);
+    }
+
+    #[test]
+    fn diamond_key_star_detection() {
+        let k = DiamondKey {
+            divergence: crate::star_address(4),
+            convergence: addr(5, 0),
+        };
+        assert!(k.has_star());
+        let k2 = DiamondKey {
+            divergence: addr(1, 0),
+            convergence: addr(5, 0),
+        };
+        assert!(!k2.has_star());
+    }
+}

@@ -1,0 +1,584 @@
+//! The hop-structured multipath DAG.
+//!
+//! [`MultipathTopology`] is the shared vocabulary of the whole workspace:
+//! the simulator routes probes through one, the tracing algorithms produce
+//! one as their result, and the diamond metrics of the survey are computed
+//! over one. Vertices are IPv4 interface addresses grouped by hop (TTL);
+//! edges connect adjacent hops.
+//!
+//! Invariants enforced by [`TopologyBuilder::build`]:
+//!
+//! * at least two hops (a first hop and the destination);
+//! * the last hop contains exactly one vertex (the destination);
+//! * every edge references vertices present at its hops;
+//! * every non-final-hop vertex has at least one successor;
+//! * every non-first-hop vertex has at least one predecessor.
+//!
+//! Together these guarantee that *every flow from the source reaches the
+//! destination* — assumption (1) of the MDA model (no routing changes, all
+//! paths converge).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Errors detected while building a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Fewer than two hops.
+    TooFewHops,
+    /// A hop has no vertices.
+    EmptyHop {
+        /// Index of the offending hop.
+        hop: usize,
+    },
+    /// The final hop must hold exactly the destination.
+    BadFinalHop,
+    /// An edge references a vertex that is not present at its hop.
+    DanglingEdge {
+        /// Hop index of the edge's source side.
+        hop: usize,
+        /// The offending endpoint.
+        addr: Ipv4Addr,
+    },
+    /// A vertex has no successor (flows entering it are lost).
+    NoSuccessor {
+        /// Hop of the offending vertex.
+        hop: usize,
+        /// The vertex.
+        addr: Ipv4Addr,
+    },
+    /// A vertex has no predecessor (it is unreachable).
+    NoPredecessor {
+        /// Hop of the offending vertex.
+        hop: usize,
+        /// The vertex.
+        addr: Ipv4Addr,
+    },
+    /// The same vertex appears twice at one hop.
+    DuplicateVertex {
+        /// Hop of the duplicate.
+        hop: usize,
+        /// The vertex.
+        addr: Ipv4Addr,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::TooFewHops => write!(f, "topology needs at least two hops"),
+            TopologyError::EmptyHop { hop } => write!(f, "hop {hop} is empty"),
+            TopologyError::BadFinalHop => write!(f, "final hop must contain exactly one vertex"),
+            TopologyError::DanglingEdge { hop, addr } => {
+                write!(f, "edge at hop {hop} references absent vertex {addr}")
+            }
+            TopologyError::NoSuccessor { hop, addr } => {
+                write!(f, "vertex {addr} at hop {hop} has no successor")
+            }
+            TopologyError::NoPredecessor { hop, addr } => {
+                write!(f, "vertex {addr} at hop {hop} has no predecessor")
+            }
+            TopologyError::DuplicateVertex { hop, addr } => {
+                write!(f, "vertex {addr} duplicated at hop {hop}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated hop-structured multipath topology.
+///
+/// Hop indices are zero-based; hop `i` is what a probe with TTL `i + 1`
+/// reveals. The last hop holds the destination.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultipathTopology {
+    hops: Vec<Vec<Ipv4Addr>>,
+    /// `edges[i]` maps a hop-`i` vertex to its hop-`i+1` successors.
+    edges: Vec<BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>>>,
+    /// `reverse[i]` maps a hop-`i+1` vertex to its hop-`i` predecessors.
+    reverse: Vec<BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>>>,
+}
+
+impl MultipathTopology {
+    /// Starts building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Number of hops (≥ 2). The destination is at hop `num_hops() - 1`.
+    pub fn num_hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Vertices at hop `i`, in deterministic (insertion) order.
+    pub fn hop(&self, i: usize) -> &[Ipv4Addr] {
+        &self.hops[i]
+    }
+
+    /// All hops.
+    pub fn hops(&self) -> &[Vec<Ipv4Addr>] {
+        &self.hops
+    }
+
+    /// The destination address.
+    pub fn destination(&self) -> Ipv4Addr {
+        self.hops.last().expect("validated: >= 2 hops")[0]
+    }
+
+    /// The TTL at which hop `i` responds.
+    pub fn ttl_of_hop(&self, i: usize) -> u8 {
+        (i + 1) as u8
+    }
+
+    /// True if `addr` is a vertex at hop `i`.
+    pub fn contains(&self, hop: usize, addr: Ipv4Addr) -> bool {
+        self.hops.get(hop).is_some_and(|h| h.contains(&addr))
+    }
+
+    /// Successors of `addr` at hop `i` (vertices at hop `i + 1`).
+    pub fn successors(&self, hop: usize, addr: Ipv4Addr) -> &BTreeSet<Ipv4Addr> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<Ipv4Addr>> = std::sync::OnceLock::new();
+        self.edges
+            .get(hop)
+            .and_then(|m| m.get(&addr))
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// Predecessors of `addr` at hop `i` (vertices at hop `i - 1`).
+    pub fn predecessors(&self, hop: usize, addr: Ipv4Addr) -> &BTreeSet<Ipv4Addr> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<Ipv4Addr>> = std::sync::OnceLock::new();
+        if hop == 0 {
+            return EMPTY.get_or_init(BTreeSet::new);
+        }
+        self.reverse
+            .get(hop - 1)
+            .and_then(|m| m.get(&addr))
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// Out-degree of a vertex.
+    pub fn out_degree(&self, hop: usize, addr: Ipv4Addr) -> usize {
+        self.successors(hop, addr).len()
+    }
+
+    /// In-degree of a vertex.
+    pub fn in_degree(&self, hop: usize, addr: Ipv4Addr) -> usize {
+        self.predecessors(hop, addr).len()
+    }
+
+    /// Total number of vertices (summed over hops; an address appearing at
+    /// two hops counts twice, since it is two topological vertices).
+    pub fn total_vertices(&self) -> usize {
+        self.hops.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of edges.
+    pub fn total_edges(&self) -> usize {
+        self.edges
+            .iter()
+            .map(|m| m.values().map(BTreeSet::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Iterator over all edges as `(hop, from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, Ipv4Addr, Ipv4Addr)> + '_ {
+        self.edges.iter().enumerate().flat_map(|(i, m)| {
+            m.iter()
+                .flat_map(move |(&from, tos)| tos.iter().map(move |&to| (i, from, to)))
+        })
+    }
+
+    /// The set of distinct addresses appearing anywhere in the topology.
+    pub fn all_addresses(&self) -> BTreeSet<Ipv4Addr> {
+        self.hops.iter().flatten().copied().collect()
+    }
+
+    /// Probability, under uniform-at-random per-flow load balancing, that a
+    /// probe with a uniformly chosen flow ID reaches each vertex.
+    ///
+    /// Hop 0 vertices split the unit mass evenly (the source balances over
+    /// them uniformly if there are several); afterwards each vertex splits
+    /// its mass evenly over its successors. This is the quantity behind the
+    /// paper's "maximum probability difference" (Fig. 8) and behind the
+    /// definition of a *uniform hop* (every vertex equally likely).
+    pub fn reach_probabilities(&self) -> Vec<BTreeMap<Ipv4Addr, f64>> {
+        let mut probs: Vec<BTreeMap<Ipv4Addr, f64>> = Vec::with_capacity(self.hops.len());
+        let first: BTreeMap<Ipv4Addr, f64> = {
+            let n = self.hops[0].len() as f64;
+            self.hops[0].iter().map(|&a| (a, 1.0 / n)).collect()
+        };
+        probs.push(first);
+        for i in 1..self.hops.len() {
+            let mut layer: BTreeMap<Ipv4Addr, f64> =
+                self.hops[i].iter().map(|&a| (a, 0.0)).collect();
+            for &u in &self.hops[i - 1] {
+                let p_u = probs[i - 1][&u];
+                let succs = self.successors(i - 1, u);
+                if succs.is_empty() {
+                    continue;
+                }
+                let share = p_u / succs.len() as f64;
+                for &v in succs {
+                    *layer.get_mut(&v).expect("validated edge target") += share;
+                }
+            }
+            probs.push(layer);
+        }
+        probs
+    }
+
+    /// Length of the shortest hop-path from `from_hop`'s single vertex to
+    /// the first hop at which `target` appears, scanning forward. Returns
+    /// `None` if `target` never appears after `from_hop`.
+    pub fn hops_until(&self, from_hop: usize, target: Ipv4Addr) -> Option<usize> {
+        (from_hop + 1..self.hops.len())
+            .find(|&i| self.hops[i].contains(&target))
+            .map(|i| i - from_hop)
+    }
+}
+
+/// Incremental builder for [`MultipathTopology`].
+#[derive(Debug, Clone, Default)]
+pub struct TopologyBuilder {
+    hops: Vec<Vec<Ipv4Addr>>,
+    edges: Vec<BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>>>,
+}
+
+impl TopologyBuilder {
+    /// Appends a hop with the given vertices; returns its index.
+    pub fn add_hop<I: IntoIterator<Item = Ipv4Addr>>(&mut self, vertices: I) -> usize {
+        self.hops.push(vertices.into_iter().collect());
+        self.edges.push(BTreeMap::new());
+        self.hops.len() - 1
+    }
+
+    /// Adds an edge from `from` at `hop` to `to` at `hop + 1`.
+    pub fn add_edge(&mut self, hop: usize, from: Ipv4Addr, to: Ipv4Addr) -> &mut Self {
+        assert!(hop < self.hops.len(), "edge hop out of range");
+        self.edges[hop].entry(from).or_default().insert(to);
+        self
+    }
+
+    /// Connects every vertex at `hop` to every vertex at `hop + 1`
+    /// (full bipartite wiring — the extreme form of meshing).
+    pub fn connect_full(&mut self, hop: usize) -> &mut Self {
+        assert!(hop + 1 < self.hops.len(), "connect_full hop out of range");
+        let (first, second) = (self.hops[hop].clone(), self.hops[hop + 1].clone());
+        for from in first {
+            for &to in &second {
+                self.add_edge(hop, from, to);
+            }
+        }
+        self
+    }
+
+    /// Connects hops `hop` → `hop + 1` in a balanced unmeshed pattern:
+    /// vertices on the smaller side fan out (or in) evenly, each vertex on
+    /// the larger side touching exactly one edge. Requires the larger side
+    /// size to be a multiple-free ≥ relationship — any sizes work; the fan
+    /// is as even as possible.
+    pub fn connect_unmeshed(&mut self, hop: usize) -> &mut Self {
+        assert!(hop + 1 < self.hops.len(), "connect_unmeshed hop out of range");
+        let from = self.hops[hop].clone();
+        let to = self.hops[hop + 1].clone();
+        if from.len() <= to.len() {
+            // Fan out: each target gets exactly one predecessor.
+            for (j, &t) in to.iter().enumerate() {
+                let f = from[j % from.len()];
+                self.add_edge(hop, f, t);
+            }
+        } else {
+            // Fan in: each source gets exactly one successor.
+            for (j, &f) in from.iter().enumerate() {
+                let t = to[j % to.len()];
+                self.add_edge(hop, f, t);
+            }
+        }
+        self
+    }
+
+    /// Validates and freezes the topology.
+    pub fn build(self) -> Result<MultipathTopology, TopologyError> {
+        if self.hops.len() < 2 {
+            return Err(TopologyError::TooFewHops);
+        }
+        for (i, hop) in self.hops.iter().enumerate() {
+            if hop.is_empty() {
+                return Err(TopologyError::EmptyHop { hop: i });
+            }
+            let mut seen = BTreeSet::new();
+            for &a in hop {
+                if !seen.insert(a) {
+                    return Err(TopologyError::DuplicateVertex { hop: i, addr: a });
+                }
+            }
+        }
+        if self.hops.last().expect(">=2 hops").len() != 1 {
+            return Err(TopologyError::BadFinalHop);
+        }
+
+        // Edge endpoint validity.
+        let hop_sets: Vec<BTreeSet<Ipv4Addr>> = self
+            .hops
+            .iter()
+            .map(|h| h.iter().copied().collect())
+            .collect();
+        for (i, edge_map) in self.edges.iter().enumerate() {
+            for (&from, tos) in edge_map {
+                if !hop_sets[i].contains(&from) {
+                    return Err(TopologyError::DanglingEdge { hop: i, addr: from });
+                }
+                for &to in tos {
+                    if i + 1 >= hop_sets.len() || !hop_sets[i + 1].contains(&to) {
+                        return Err(TopologyError::DanglingEdge { hop: i, addr: to });
+                    }
+                }
+            }
+        }
+
+        // Reverse index + connectivity checks.
+        let mut reverse: Vec<BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>>> =
+            vec![BTreeMap::new(); self.hops.len().saturating_sub(1)];
+        for (i, edge_map) in self.edges.iter().enumerate() {
+            for (&from, tos) in edge_map {
+                for &to in tos {
+                    reverse[i].entry(to).or_default().insert(from);
+                }
+            }
+        }
+        for (i, hop) in self.hops.iter().enumerate() {
+            if i + 1 < self.hops.len() {
+                for &a in hop {
+                    if self.edges[i].get(&a).is_none_or(BTreeSet::is_empty) {
+                        return Err(TopologyError::NoSuccessor { hop: i, addr: a });
+                    }
+                }
+            }
+            if i > 0 {
+                for &a in hop {
+                    if reverse[i - 1].get(&a).is_none_or(BTreeSet::is_empty) {
+                        return Err(TopologyError::NoPredecessor { hop: i, addr: a });
+                    }
+                }
+            }
+        }
+
+        Ok(MultipathTopology {
+            hops: self.hops,
+            edges: self.edges,
+            reverse,
+        })
+    }
+}
+
+/// Convenience: sequential test addresses `10.h.x.y` for hop `h`.
+/// Used pervasively by tests and the canonical topologies.
+pub fn addr(hop: usize, index: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, hop as u8, (index / 256) as u8, (index % 256) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-2-1: the simplest possible diamond (Sec. 3's validation topology).
+    fn simplest() -> MultipathTopology {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0)]);
+        b.add_edge(0, addr(0, 0), addr(1, 0));
+        b.add_edge(0, addr(0, 0), addr(1, 1));
+        b.add_edge(1, addr(1, 0), addr(2, 0));
+        b.add_edge(1, addr(1, 1), addr(2, 0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn simplest_diamond_shape() {
+        let t = simplest();
+        assert_eq!(t.num_hops(), 3);
+        assert_eq!(t.hop(1).len(), 2);
+        assert_eq!(t.destination(), addr(2, 0));
+        assert_eq!(t.total_vertices(), 4);
+        assert_eq!(t.total_edges(), 4);
+        assert_eq!(t.out_degree(0, addr(0, 0)), 2);
+        assert_eq!(t.in_degree(2, addr(2, 0)), 2);
+        assert_eq!(t.in_degree(0, addr(0, 0)), 0);
+    }
+
+    #[test]
+    fn reach_probabilities_uniform_split() {
+        let t = simplest();
+        let probs = t.reach_probabilities();
+        assert_eq!(probs[0][&addr(0, 0)], 1.0);
+        assert!((probs[1][&addr(1, 0)] - 0.5).abs() < 1e-12);
+        assert!((probs[1][&addr(1, 1)] - 0.5).abs() < 1e-12);
+        assert!((probs[2][&addr(2, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_fanout_probabilities() {
+        // Divergence with 2 successors; one of them fans out to 2 more.
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0), addr(2, 1), addr(2, 2)]);
+        b.add_hop([addr(3, 0)]);
+        b.add_edge(0, addr(0, 0), addr(1, 0));
+        b.add_edge(0, addr(0, 0), addr(1, 1));
+        b.add_edge(1, addr(1, 0), addr(2, 0));
+        b.add_edge(1, addr(1, 0), addr(2, 1));
+        b.add_edge(1, addr(1, 1), addr(2, 2));
+        b.add_edge(2, addr(2, 0), addr(3, 0));
+        b.add_edge(2, addr(2, 1), addr(3, 0));
+        b.add_edge(2, addr(2, 2), addr(3, 0));
+        let t = b.build().unwrap();
+        let probs = t.reach_probabilities();
+        assert!((probs[2][&addr(2, 0)] - 0.25).abs() < 1e-12);
+        assert!((probs[2][&addr(2, 1)] - 0.25).abs() < 1e-12);
+        assert!((probs[2][&addr(2, 2)] - 0.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_too_few_hops() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        assert_eq!(b.build().unwrap_err(), TopologyError::TooFewHops);
+    }
+
+    #[test]
+    fn builder_rejects_multi_vertex_final_hop() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_edge(0, addr(0, 0), addr(1, 0));
+        b.add_edge(0, addr(0, 0), addr(1, 1));
+        assert_eq!(b.build().unwrap_err(), TopologyError::BadFinalHop);
+    }
+
+    #[test]
+    fn builder_rejects_successorless_vertex() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0)]);
+        b.add_edge(0, addr(0, 0), addr(1, 0));
+        b.add_edge(0, addr(0, 0), addr(1, 1));
+        b.add_edge(1, addr(1, 0), addr(2, 0));
+        // addr(1,1) has no successor: a flow reaching it would be lost.
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::NoSuccessor {
+                hop: 1,
+                addr: addr(1, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_unreachable_vertex() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0)]);
+        b.add_edge(0, addr(0, 0), addr(1, 0));
+        b.add_edge(1, addr(1, 0), addr(2, 0));
+        b.add_edge(1, addr(1, 1), addr(2, 0));
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::NoPredecessor {
+                hop: 1,
+                addr: addr(1, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_dangling_edge() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0)]);
+        b.add_edge(0, addr(0, 0), addr(9, 9));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::DanglingEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_vertex() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0), addr(0, 0)]);
+        b.add_hop([addr(1, 0)]);
+        b.add_edge(0, addr(0, 0), addr(1, 0));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::DuplicateVertex { .. }
+        ));
+    }
+
+    #[test]
+    fn connect_unmeshed_even_fan() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0), addr(2, 1), addr(2, 2), addr(2, 3)]);
+        b.add_hop([addr(3, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_unmeshed(1);
+        b.connect_unmeshed(2);
+        let t = b.build().unwrap();
+        // 2 -> 4: each hop-1 vertex has exactly 2 successors; every hop-2
+        // vertex has in-degree 1 (no meshing).
+        for &v in t.hop(1) {
+            assert_eq!(t.out_degree(1, v), 2);
+        }
+        for &v in t.hop(2) {
+            assert_eq!(t.in_degree(2, v), 1);
+        }
+    }
+
+    #[test]
+    fn connect_full_meshes() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0), addr(2, 1)]);
+        b.add_hop([addr(3, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_full(1);
+        b.connect_unmeshed(2);
+        let t = b.build().unwrap();
+        assert_eq!(t.out_degree(1, addr(1, 0)), 2);
+        assert_eq!(t.in_degree(2, addr(2, 1)), 2);
+    }
+
+    #[test]
+    fn edges_iterator_consistent() {
+        let t = simplest();
+        let edges: Vec<_> = t.edges().collect();
+        assert_eq!(edges.len(), t.total_edges());
+        assert!(edges.contains(&(0, addr(0, 0), addr(1, 0))));
+        assert!(edges.contains(&(1, addr(1, 1), addr(2, 0))));
+    }
+
+    #[test]
+    fn hops_until_finds_first_occurrence() {
+        let t = simplest();
+        assert_eq!(t.hops_until(0, addr(2, 0)), Some(2));
+        assert_eq!(t.hops_until(0, addr(1, 1)), Some(1));
+        assert_eq!(t.hops_until(1, addr(1, 1)), None);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let t = simplest();
+        let u = t.clone();
+        assert_eq!(t, u);
+        assert_eq!(u.total_edges(), 4);
+    }
+
+}

@@ -1,0 +1,122 @@
+//! ASCII rendering of multipath topologies.
+//!
+//! A quick visual of a topology's shape — hop widths, diamond spans,
+//! meshing and asymmetry annotations — for CLI output and examples:
+//!
+//! ```text
+//! ttl  1  o                    divergence
+//! ttl  2  o o o o              4 wide
+//! ttl  3  o o                  2 wide  [meshed above]
+//! ttl  4  o                    convergence (destination)
+//! ```
+
+use crate::diamond::{find_diamonds, hop_pair_meshed, hop_pair_width_asymmetry};
+use crate::graph::MultipathTopology;
+use crate::is_star;
+
+/// Renders the topology as fixed-width ASCII art, one line per hop.
+pub fn render_ascii(topology: &MultipathTopology) -> String {
+    let diamonds = find_diamonds(topology);
+    let mut out = String::new();
+    let max_drawn = 24usize;
+
+    for i in 0..topology.num_hops() {
+        let hop = topology.hop(i);
+        let width = hop.len();
+        let stars = hop.iter().any(|&a| is_star(a));
+
+        // Vertex dots, capped for very wide hops.
+        let dots = if width <= max_drawn {
+            let symbol = if stars { "*" } else { "o" };
+            std::iter::repeat(symbol)
+                .take(width)
+                .collect::<Vec<_>>()
+                .join(" ")
+        } else {
+            format!("o x {width}")
+        };
+
+        // Annotations.
+        let mut notes: Vec<String> = Vec::new();
+        if i == 0 {
+            notes.push("first hop".into());
+        }
+        if i == topology.num_hops() - 1 {
+            notes.push("destination".into());
+        }
+        for d in &diamonds {
+            if i == d.divergence_hop {
+                notes.push("divergence".into());
+            }
+            if i == d.convergence_hop {
+                notes.push("convergence".into());
+            }
+        }
+        if width >= 2 {
+            notes.push(format!("{width} wide"));
+        }
+        if i > 0 {
+            if hop_pair_meshed(topology, i - 1) {
+                notes.push("meshed above".into());
+            }
+            let asym = hop_pair_width_asymmetry(topology, i - 1);
+            if asym > 0 {
+                notes.push(format!("asymmetry {asym} above"));
+            }
+        }
+
+        out.push_str(&format!(
+            "ttl {:>3}  {:<width_col$}  {}\n",
+            i + 1,
+            dots,
+            notes.join(", "),
+            width_col = 2 * max_drawn.min(12) - 1,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical;
+
+    #[test]
+    fn renders_fig1_unmeshed() {
+        let art = render_ascii(&canonical::fig1_unmeshed());
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("divergence"));
+        assert!(lines[1].contains("o o o o"));
+        assert!(lines[1].contains("4 wide"));
+        assert!(lines[3].contains("destination"));
+        assert!(lines[3].contains("convergence"));
+        assert!(!art.contains("meshed"));
+    }
+
+    #[test]
+    fn renders_meshing_annotation() {
+        let art = render_ascii(&canonical::fig1_meshed());
+        assert!(art.contains("meshed above"), "{art}");
+    }
+
+    #[test]
+    fn renders_asymmetry_annotation() {
+        let art = render_ascii(&canonical::asymmetric());
+        assert!(art.contains("asymmetry 17 above"), "{art}");
+    }
+
+    #[test]
+    fn wide_hops_capped() {
+        let art = render_ascii(&canonical::max_length_2());
+        assert!(art.contains("o x 28"), "{art}");
+    }
+
+    #[test]
+    fn every_hop_rendered() {
+        let topo = canonical::meshed();
+        let art = render_ascii(&topo);
+        assert_eq!(art.lines().count(), topo.num_hops());
+        assert!(art.contains("ttl   1"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Router-level overlays: alias ground truth and IP→router collapsing.
+//!
+//! "Multilevel" route tracing (Sec. 4) resolves the IP interfaces seen at a
+//! hop into routers. [`RouterMap`] records which interfaces belong to which
+//! router — produced either by the simulator (ground truth) or by the alias
+//! resolver (inference) — and [`collapse`] rewrites an interface-level
+//! topology into the router-level view: each vertex is replaced by its
+//! router's representative address and duplicate vertices at a hop merge.
+//! Diamonds re-extracted from the collapsed topology behave exactly as
+//! Sec. 5.2 describes: they may stay intact, shrink, split into several
+//! smaller diamonds, or disappear into a chain of routers (Table 3).
+
+use crate::graph::{MultipathTopology, TopologyBuilder};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Opaque router identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RouterId(pub u32);
+
+/// A mapping from interface addresses to routers.
+///
+/// Addresses not present in the map are treated as routers of their own
+/// (singleton alias sets) — exactly how a trace treats interfaces for which
+/// alias resolution could not conclude anything.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterMap {
+    assignment: BTreeMap<Ipv4Addr, RouterId>,
+}
+
+impl RouterMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a map from explicit alias sets; each set becomes one router.
+    pub fn from_alias_sets<I, S>(sets: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = Ipv4Addr>,
+    {
+        let mut map = Self::new();
+        for (i, set) in sets.into_iter().enumerate() {
+            let id = RouterId(i as u32);
+            for addr in set {
+                map.assign(addr, id);
+            }
+        }
+        map
+    }
+
+    /// Assigns `addr` to `router`.
+    pub fn assign(&mut self, addr: Ipv4Addr, router: RouterId) {
+        self.assignment.insert(addr, router);
+    }
+
+    /// The router of `addr`, if assigned.
+    pub fn router_of(&self, addr: Ipv4Addr) -> Option<RouterId> {
+        self.assignment.get(&addr).copied()
+    }
+
+    /// True if two addresses are known aliases of the same router.
+    pub fn are_aliases(&self, a: Ipv4Addr, b: Ipv4Addr) -> bool {
+        match (self.router_of(a), self.router_of(b)) {
+            (Some(ra), Some(rb)) => ra == rb,
+            _ => false,
+        }
+    }
+
+    /// Number of assigned interfaces.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True if no interface is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Groups assigned interfaces by router: router → alias set.
+    pub fn alias_sets(&self) -> BTreeMap<RouterId, BTreeSet<Ipv4Addr>> {
+        let mut sets: BTreeMap<RouterId, BTreeSet<Ipv4Addr>> = BTreeMap::new();
+        for (&addr, &router) in &self.assignment {
+            sets.entry(router).or_default().insert(addr);
+        }
+        sets
+    }
+
+    /// The "size" of each router — the number of interfaces identified as
+    /// belonging to it (the Fig. 12 metric).
+    pub fn router_sizes(&self) -> Vec<usize> {
+        self.alias_sets().values().map(BTreeSet::len).collect()
+    }
+
+    /// Representative address of each router (lowest alias address), used
+    /// as the router's vertex identity in collapsed topologies.
+    pub fn representatives(&self) -> BTreeMap<RouterId, Ipv4Addr> {
+        let mut reps = BTreeMap::new();
+        for (&addr, &router) in &self.assignment {
+            reps.entry(router)
+                .and_modify(|a: &mut Ipv4Addr| {
+                    if addr < *a {
+                        *a = addr;
+                    }
+                })
+                .or_insert(addr);
+        }
+        reps
+    }
+
+    /// Representative address for one interface: the router representative
+    /// if assigned, the address itself otherwise.
+    pub fn representative_of(&self, addr: Ipv4Addr) -> Ipv4Addr {
+        match self.router_of(addr) {
+            Some(router) => self.representatives()[&router],
+            None => addr,
+        }
+    }
+
+    /// Merges two maps through transitive closure on shared addresses: if
+    /// an address appears in both, its routers unify. This is the paper's
+    /// "aggregated" router view of Fig. 12 (b), built across traces.
+    pub fn aggregate(maps: &[RouterMap]) -> RouterMap {
+        // Union-find over addresses.
+        let mut addrs: BTreeSet<Ipv4Addr> = BTreeSet::new();
+        for m in maps {
+            addrs.extend(m.assignment.keys().copied());
+        }
+        let index: BTreeMap<Ipv4Addr, usize> =
+            addrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let mut parent: Vec<usize> = (0..addrs.len()).collect();
+
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+
+        for m in maps {
+            for set in m.alias_sets().values() {
+                let mut iter = set.iter();
+                if let Some(&first) = iter.next() {
+                    let fi = index[&first];
+                    for &other in iter {
+                        let oi = index[&other];
+                        let (ra, rb) = (find(&mut parent, fi), find(&mut parent, oi));
+                        if ra != rb {
+                            parent[ra] = rb;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut groups: BTreeMap<usize, BTreeSet<Ipv4Addr>> = BTreeMap::new();
+        for (&addr, &i) in &index {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().insert(addr);
+        }
+        RouterMap::from_alias_sets(groups.into_values())
+    }
+}
+
+/// Collapses an interface-level topology to the router level.
+///
+/// Each vertex is replaced by its router representative; vertices at a hop
+/// that share a router merge into one vertex, and their edges merge too.
+pub fn collapse(topology: &MultipathTopology, routers: &RouterMap) -> MultipathTopology {
+    let reps: BTreeMap<Ipv4Addr, Ipv4Addr> = topology
+        .all_addresses()
+        .into_iter()
+        .map(|a| (a, routers.representative_of(a)))
+        .collect();
+
+    let mut b = TopologyBuilder::default();
+    for i in 0..topology.num_hops() {
+        // Preserve first-appearance order while deduplicating.
+        let mut seen = BTreeSet::new();
+        let mut hop_vertices = Vec::new();
+        for &v in topology.hop(i) {
+            let rep = reps[&v];
+            if seen.insert(rep) {
+                hop_vertices.push(rep);
+            }
+        }
+        b.add_hop(hop_vertices);
+    }
+    for (hop, from, to) in topology.edges() {
+        b.add_edge(hop, reps[&from], reps[&to]);
+    }
+    b.build()
+        .expect("collapsing a valid topology preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diamond::{all_diamond_metrics, find_diamonds};
+    use crate::graph::addr;
+
+    #[test]
+    fn alias_sets_and_sizes() {
+        let map = RouterMap::from_alias_sets([
+            vec![addr(1, 0), addr(1, 1)],
+            vec![addr(2, 0), addr(2, 1), addr(2, 2)],
+        ]);
+        assert_eq!(map.len(), 5);
+        assert!(map.are_aliases(addr(1, 0), addr(1, 1)));
+        assert!(!map.are_aliases(addr(1, 0), addr(2, 0)));
+        let mut sizes = map.router_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn unassigned_addresses_are_singletons() {
+        let map = RouterMap::new();
+        assert_eq!(map.router_of(addr(9, 9)), None);
+        assert_eq!(map.representative_of(addr(9, 9)), addr(9, 9));
+        assert!(!map.are_aliases(addr(9, 9), addr(9, 9)));
+    }
+
+    #[test]
+    fn representative_is_lowest_address() {
+        let map = RouterMap::from_alias_sets([vec![addr(3, 5), addr(1, 2), addr(2, 9)]]);
+        assert_eq!(map.representative_of(addr(3, 5)), addr(1, 2));
+        assert_eq!(map.representative_of(addr(1, 2)), addr(1, 2));
+    }
+
+    /// A 1-2-1 diamond whose two middle interfaces belong to one router:
+    /// collapsing must dissolve the diamond entirely (Table 3 case 4).
+    #[test]
+    fn collapse_dissolves_single_router_diamond() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_unmeshed(1);
+        let t = b.build().unwrap();
+
+        let routers = RouterMap::from_alias_sets([vec![addr(1, 0), addr(1, 1)]]);
+        let collapsed = collapse(&t, &routers);
+        assert_eq!(collapsed.hop(1).len(), 1);
+        assert!(find_diamonds(&collapsed).is_empty());
+    }
+
+    /// A 1-4-1 diamond where two of four interfaces share a router:
+    /// collapsing shrinks the diamond (Table 3 case 2).
+    #[test]
+    fn collapse_shrinks_diamond() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1), addr(1, 2), addr(1, 3)]);
+        b.add_hop([addr(2, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_unmeshed(1);
+        let t = b.build().unwrap();
+
+        let routers = RouterMap::from_alias_sets([vec![addr(1, 0), addr(1, 1)]]);
+        let collapsed = collapse(&t, &routers);
+        assert_eq!(collapsed.hop(1).len(), 3);
+        let m = all_diamond_metrics(&collapsed).pop().unwrap();
+        assert_eq!(m.max_width, 3);
+    }
+
+    /// A two-hop-wide diamond where collapsing the middle hop to one router
+    /// splits one diamond into two smaller ones (Table 3 case 3).
+    #[test]
+    fn collapse_splits_diamond() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0), addr(2, 1)]);
+        b.add_hop([addr(3, 0), addr(3, 1)]);
+        b.add_hop([addr(4, 0)]);
+        for i in 0..4 {
+            b.connect_unmeshed(i);
+        }
+        let t = b.build().unwrap();
+        assert_eq!(find_diamonds(&t).len(), 1);
+
+        // Middle hop (hop 2) collapses to a single router.
+        let routers = RouterMap::from_alias_sets([vec![addr(2, 0), addr(2, 1)]]);
+        let collapsed = collapse(&t, &routers);
+        assert_eq!(collapsed.hop(2).len(), 1);
+        assert_eq!(find_diamonds(&collapsed).len(), 2);
+    }
+
+    #[test]
+    fn collapse_identity_without_aliases() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_unmeshed(1);
+        let t = b.build().unwrap();
+        let collapsed = collapse(&t, &RouterMap::new());
+        assert_eq!(collapsed, t);
+    }
+
+    #[test]
+    fn aggregate_transitive_closure() {
+        // Trace 1 says {A, B}; trace 2 says {B, C}: aggregated router is
+        // {A, B, C}.
+        let a = addr(1, 0);
+        let b_addr = addr(1, 1);
+        let c = addr(1, 2);
+        let m1 = RouterMap::from_alias_sets([vec![a, b_addr]]);
+        let m2 = RouterMap::from_alias_sets([vec![b_addr, c]]);
+        let merged = RouterMap::aggregate(&[m1, m2]);
+        assert!(merged.are_aliases(a, c));
+        assert_eq!(merged.router_sizes(), vec![3]);
+    }
+
+    #[test]
+    fn aggregate_disjoint_sets_stay_disjoint() {
+        let m1 = RouterMap::from_alias_sets([vec![addr(1, 0), addr(1, 1)]]);
+        let m2 = RouterMap::from_alias_sets([vec![addr(2, 0), addr(2, 1)]]);
+        let merged = RouterMap::aggregate(&[m1, m2]);
+        assert!(!merged.are_aliases(addr(1, 0), addr(2, 0)));
+        let mut sizes = merged.router_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+}

@@ -1,0 +1,135 @@
+//! The Internet checksum (RFC 1071).
+//!
+//! Used by the IPv4 header, UDP (over a pseudo-header) and ICMP. The
+//! checksum is the 16-bit one's complement of the one's-complement sum of
+//! the data viewed as big-endian 16-bit words, padding an odd trailing byte
+//! with zero.
+
+/// Incremental one's-complement sum accumulator.
+///
+/// Sections of a packet (pseudo-header, header, payload) can be fed
+/// separately as long as each section has even length, which is how the
+/// UDP checksum is computed here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChecksumAccumulator {
+    sum: u32,
+}
+
+impl ChecksumAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds bytes into the running sum. A trailing odd byte is padded with
+    /// zero, so only the final section may have odd length.
+    pub fn push(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Feeds a single big-endian 16-bit word.
+    pub fn push_u16(&mut self, word: u16) {
+        self.sum += u32::from(word);
+    }
+
+    /// Finalises: folds carries and takes the one's complement.
+    pub fn finish(self) -> u16 {
+        let mut sum = self.sum;
+        while sum > 0xFFFF {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// One-shot Internet checksum over a byte slice.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut acc = ChecksumAccumulator::new();
+    acc.push(data);
+    acc.finish()
+}
+
+/// Verifies data that *includes* its checksum field: the one's-complement
+/// sum over the whole structure must be zero (i.e. `internet_checksum`
+/// over it returns 0), except that an all-zero stored checksum in UDP means
+/// "no checksum" and is handled by the caller.
+pub fn verify(data: &[u8]) -> bool {
+    internet_checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 1071 section 3 worked example.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum: 0001 + f203 + f4f5 + f6f7 = 2ddf0 -> fold: ddf0 + 2 = ddf2.
+        // Checksum is complement: 0x220d.
+        assert_eq!(internet_checksum(&data), 0x220d);
+    }
+
+    /// Classic IPv4 header example from Wikipedia / RFC 1071 discussions.
+    #[test]
+    fn ipv4_header_example() {
+        let header = [
+            0x45u8, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(internet_checksum(&header), 0xb861);
+        // Re-inserting the checksum must verify.
+        let mut with = header;
+        with[10] = 0xb8;
+        with[11] = 0x61;
+        assert!(verify(&with));
+    }
+
+    #[test]
+    fn odd_length_pads_zero() {
+        // [0xFF] is summed as 0xFF00.
+        assert_eq!(internet_checksum(&[0xFF]), !0xFF00);
+    }
+
+    #[test]
+    fn empty_is_all_ones() {
+        assert_eq!(internet_checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0u16..64).map(|x| (x * 7 % 251) as u8).collect();
+        let oneshot = internet_checksum(&data);
+        let mut acc = ChecksumAccumulator::new();
+        acc.push(&data[..20]);
+        acc.push(&data[20..48]);
+        acc.push(&data[48..]);
+        assert_eq!(acc.finish(), oneshot);
+    }
+
+    #[test]
+    fn push_u16_matches_bytes() {
+        let mut a = ChecksumAccumulator::new();
+        a.push(&[0x12, 0x34, 0x56, 0x78]);
+        let mut b = ChecksumAccumulator::new();
+        b.push_u16(0x1234);
+        b.push_u16(0x5678);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn carry_folding() {
+        // Many 0xFFFF words force repeated carry folds.
+        let data = [0xFFu8; 40];
+        let c = internet_checksum(&data);
+        // Sum of 20 x 0xFFFF = 0x13FFEC -> fold 0xFFEC + 0x13 = 0xFFFF;
+        // complement = 0.
+        assert_eq!(c, 0);
+    }
+}

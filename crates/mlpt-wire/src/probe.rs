@@ -1,0 +1,401 @@
+//! Complete probe packets and reply parsing — the prober's two verbs.
+//!
+//! A probe is a full IPv4 datagram: for *indirect probing* (traceroute
+//! style) an IPv4+UDP packet whose TTL selects the hop, whose UDP source
+//! port carries the [`FlowId`], and whose IP ID carries a sequence number;
+//! for *direct probing* (ping style, used by fingerprinting and the
+//! MIDAR-style comparison) an IPv4+ICMP Echo Request.
+//!
+//! A reply is a full IPv4 datagram carrying ICMP. [`parse_reply`] decodes
+//! it and — for error messages — digs the original flow ID, TTL and
+//! sequence number out of the quoted datagram, exactly as a real tool must.
+
+use crate::flow::{FlowId, PARIS_DPORT};
+use crate::icmp::{IcmpMessage, MplsLabelStackEntry, CODE_PORT_UNREACHABLE};
+use crate::ipv4::{Ipv4Header, PROTO_ICMP, PROTO_UDP};
+use crate::udp::UdpHeader;
+use crate::{WireError, WireResult};
+use std::net::Ipv4Addr;
+
+/// Payload carried by UDP probes. Real Paris Traceroute carries a small
+/// payload it can use to balance the UDP checksum; ours is a fixed tag that
+/// also makes probe packets recognisable in hex dumps.
+pub const PROBE_PAYLOAD: &[u8; 4] = b"MLPT";
+
+/// A probe, described logically. The prober encodes this into bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbePacket {
+    /// Source address the probe claims.
+    pub source: Ipv4Addr,
+    /// Destination being traced towards.
+    pub destination: Ipv4Addr,
+    /// Flow identifier (varies the load-balanced path).
+    pub flow: FlowId,
+    /// Probe TTL (selects the hop that answers).
+    pub ttl: u8,
+    /// Sequence number, carried in the probe's IP ID and echoed in quotes.
+    pub sequence: u16,
+}
+
+/// Builds the wire bytes of a UDP probe.
+pub fn build_udp_probe(probe: &ProbePacket) -> Vec<u8> {
+    let udp = UdpHeader::new(probe.flow.source_port(), PARIS_DPORT, PROBE_PAYLOAD.len());
+    let udp_bytes = udp.emit(probe.source, probe.destination, PROBE_PAYLOAD);
+    let ip = Ipv4Header::new(
+        probe.source,
+        probe.destination,
+        PROTO_UDP,
+        probe.ttl,
+        probe.sequence,
+        udp_bytes.len(),
+    );
+    let mut packet = Vec::with_capacity(20 + udp_bytes.len());
+    packet.extend_from_slice(&ip.emit());
+    packet.extend_from_slice(&udp_bytes);
+    packet
+}
+
+/// Builds the wire bytes of an ICMP Echo Request (direct probe).
+///
+/// `identifier` distinguishes concurrent tools; `sequence` orders probes.
+pub fn build_echo_probe(
+    source: Ipv4Addr,
+    destination: Ipv4Addr,
+    identifier: u16,
+    sequence: u16,
+    ttl: u8,
+) -> Vec<u8> {
+    let icmp = IcmpMessage::EchoRequest {
+        identifier,
+        sequence,
+        payload: PROBE_PAYLOAD.to_vec(),
+    };
+    let icmp_bytes = icmp.emit();
+    let ip = Ipv4Header::new(
+        source,
+        destination,
+        PROTO_ICMP,
+        ttl,
+        sequence,
+        icmp_bytes.len(),
+    );
+    let mut packet = Vec::with_capacity(20 + icmp_bytes.len());
+    packet.extend_from_slice(&ip.emit());
+    packet.extend_from_slice(&icmp_bytes);
+    packet
+}
+
+/// Parses the wire bytes of a UDP probe back into its logical form.
+/// Used by the simulator (Fakeroute reads flow ID and TTL from the header
+/// fields of packets it captures) and by tests.
+pub fn parse_udp_probe(data: &[u8]) -> WireResult<ProbePacket> {
+    let (ip, ihl) = Ipv4Header::parse(data)?;
+    if ip.protocol != PROTO_UDP {
+        return Err(WireError::Unsupported {
+            what: "probe protocol",
+            value: u16::from(ip.protocol),
+        });
+    }
+    let udp = UdpHeader::parse(&data[ihl..])?;
+    let flow = FlowId::from_source_port(udp.source_port).ok_or(WireError::Unsupported {
+        what: "probe source port",
+        value: udp.source_port,
+    })?;
+    Ok(ProbePacket {
+        source: ip.source,
+        destination: ip.destination,
+        flow,
+        ttl: ip.ttl,
+        sequence: ip.identification,
+    })
+}
+
+/// The kind of reply a probe elicited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplyKind {
+    /// ICMP Time Exceeded: the responding interface is an intermediate hop.
+    TimeExceeded,
+    /// ICMP Port Unreachable: the probe reached the destination.
+    PortUnreachable,
+    /// ICMP Destination Unreachable with another code.
+    OtherUnreachable(u8),
+    /// ICMP Echo Reply (to a direct probe).
+    EchoReply,
+}
+
+/// A parsed reply with everything the tracing algorithms consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyPacket {
+    /// Interface address the reply came from (outer IP source).
+    pub responder: Ipv4Addr,
+    /// What the reply says happened.
+    pub kind: ReplyKind,
+    /// IP ID of the *reply* datagram: the responder's IP-ID counter sample
+    /// used by the Monotonic Bounds Test.
+    pub reply_ip_id: u16,
+    /// TTL of the *reply* datagram as received: used by Network
+    /// Fingerprinting to infer the responder's initial TTL.
+    pub reply_ttl: u8,
+    /// Flow ID recovered from the quoted probe (None for echo replies).
+    pub probe_flow: Option<FlowId>,
+    /// TTL of the probe as originally sent, recovered from the quote where
+    /// possible (routers quote the datagram with TTL already expired, so
+    /// this is the *sequence-correlated* value; see `probe_sequence`).
+    pub quoted_ttl: Option<u8>,
+    /// Sequence number recovered from the quoted probe's IP ID (None for
+    /// echo replies, which echo the sequence in the ICMP header instead).
+    pub probe_sequence: Option<u16>,
+    /// Echo identifier/sequence for EchoReply messages.
+    pub echo: Option<(u16, u16)>,
+    /// MPLS label stack attached via RFC 4884/4950, outermost first.
+    pub mpls_stack: Vec<MplsLabelStackEntry>,
+}
+
+/// Parses a complete reply datagram (IPv4 + ICMP).
+pub fn parse_reply(data: &[u8]) -> WireResult<ReplyPacket> {
+    let (ip, ihl) = Ipv4Header::parse(data)?;
+    if ip.protocol != PROTO_ICMP {
+        return Err(WireError::Unsupported {
+            what: "reply protocol",
+            value: u16::from(ip.protocol),
+        });
+    }
+    let icmp = IcmpMessage::parse(&data[ihl..])?;
+    let mpls_stack = icmp.mpls_stack().to_vec();
+
+    let (kind, probe_flow, quoted_ttl, probe_sequence, echo) = match &icmp {
+        IcmpMessage::TimeExceeded { quoted, .. } => {
+            let info = parse_quote(quoted);
+            (
+                ReplyKind::TimeExceeded,
+                info.as_ref().and_then(|q| q.flow),
+                info.as_ref().map(|q| q.ttl),
+                info.as_ref().map(|q| q.sequence),
+                None,
+            )
+        }
+        IcmpMessage::DestinationUnreachable { code, quoted, .. } => {
+            let info = parse_quote(quoted);
+            let kind = if *code == CODE_PORT_UNREACHABLE {
+                ReplyKind::PortUnreachable
+            } else {
+                ReplyKind::OtherUnreachable(*code)
+            };
+            (
+                kind,
+                info.as_ref().and_then(|q| q.flow),
+                info.as_ref().map(|q| q.ttl),
+                info.as_ref().map(|q| q.sequence),
+                None,
+            )
+        }
+        IcmpMessage::EchoReply {
+            identifier,
+            sequence,
+            ..
+        } => (
+            ReplyKind::EchoReply,
+            None,
+            None,
+            None,
+            Some((*identifier, *sequence)),
+        ),
+        IcmpMessage::EchoRequest { .. } => {
+            return Err(WireError::Unsupported {
+                what: "reply ICMP type (echo request)",
+                value: 8,
+            })
+        }
+    };
+
+    Ok(ReplyPacket {
+        responder: ip.source,
+        kind,
+        reply_ip_id: ip.identification,
+        reply_ttl: ip.ttl,
+        probe_flow,
+        quoted_ttl,
+        probe_sequence,
+        echo,
+        mpls_stack,
+    })
+}
+
+/// What we can recover from a quoted probe datagram.
+struct QuoteInfo {
+    flow: Option<FlowId>,
+    ttl: u8,
+    sequence: u16,
+}
+
+/// Parses the quoted (possibly truncated, possibly stale-checksummed)
+/// original datagram inside an ICMP error.
+fn parse_quote(quoted: &[u8]) -> Option<QuoteInfo> {
+    let (ip, ihl) = Ipv4Header::parse_lenient(quoted).ok()?;
+    let flow = if ip.protocol == PROTO_UDP && quoted.len() >= ihl + 4 {
+        // Only the first 8 bytes of payload are guaranteed; the source port
+        // is in the first 2.
+        let sport = u16::from_be_bytes([quoted[ihl], quoted[ihl + 1]]);
+        FlowId::from_source_port(sport)
+    } else {
+        None
+    };
+    Some(QuoteInfo {
+        flow,
+        ttl: ip.ttl,
+        sequence: ip.identification,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icmp::IcmpExtensions;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 9);
+    const ROUTER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+
+    fn probe() -> ProbePacket {
+        ProbePacket {
+            source: SRC,
+            destination: DST,
+            flow: FlowId(12),
+            ttl: 5,
+            sequence: 777,
+        }
+    }
+
+    /// Helper constructing a router reply quoting the given probe bytes.
+    fn make_time_exceeded(probe_bytes: &[u8], mpls: Vec<MplsLabelStackEntry>) -> Vec<u8> {
+        // Routers quote the IP header + at least 8 bytes of payload.
+        let quote_len = 28.min(probe_bytes.len());
+        let icmp = IcmpMessage::TimeExceeded {
+            quoted: probe_bytes[..quote_len].to_vec(),
+            extensions: IcmpExtensions { mpls_stack: mpls },
+        };
+        let icmp_bytes = icmp.emit();
+        let ip = Ipv4Header::new(ROUTER, SRC, PROTO_ICMP, 61, 4242, icmp_bytes.len());
+        let mut packet = Vec::new();
+        packet.extend_from_slice(&ip.emit());
+        packet.extend_from_slice(&icmp_bytes);
+        packet
+    }
+
+    #[test]
+    fn udp_probe_roundtrip() {
+        let p = probe();
+        let bytes = build_udp_probe(&p);
+        let parsed = parse_udp_probe(&bytes).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn udp_probe_checksum_valid() {
+        let bytes = build_udp_probe(&probe());
+        assert!(UdpHeader::verify_checksum(SRC, DST, &bytes[20..]));
+    }
+
+    #[test]
+    fn time_exceeded_reply_recovers_probe_fields() {
+        let p = probe();
+        let probe_bytes = build_udp_probe(&p);
+        let reply_bytes = make_time_exceeded(&probe_bytes, vec![]);
+        let reply = parse_reply(&reply_bytes).unwrap();
+        assert_eq!(reply.responder, ROUTER);
+        assert_eq!(reply.kind, ReplyKind::TimeExceeded);
+        assert_eq!(reply.probe_flow, Some(FlowId(12)));
+        assert_eq!(reply.probe_sequence, Some(777));
+        assert_eq!(reply.reply_ip_id, 4242);
+        assert_eq!(reply.reply_ttl, 61);
+        assert!(reply.mpls_stack.is_empty());
+    }
+
+    #[test]
+    fn reply_with_mpls_stack() {
+        let p = probe();
+        let probe_bytes = build_udp_probe(&p);
+        let stack = vec![MplsLabelStackEntry::new(16001, 0, true, 254)];
+        let reply_bytes = make_time_exceeded(&probe_bytes, stack.clone());
+        let reply = parse_reply(&reply_bytes).unwrap();
+        assert_eq!(reply.mpls_stack, stack);
+        // Flow recovery still works through the padded quote.
+        assert_eq!(reply.probe_flow, Some(FlowId(12)));
+    }
+
+    #[test]
+    fn port_unreachable_reply() {
+        let p = probe();
+        let probe_bytes = build_udp_probe(&p);
+        let icmp = IcmpMessage::DestinationUnreachable {
+            code: CODE_PORT_UNREACHABLE,
+            quoted: probe_bytes[..28].to_vec(),
+            extensions: IcmpExtensions::default(),
+        };
+        let icmp_bytes = icmp.emit();
+        let ip = Ipv4Header::new(DST, SRC, PROTO_ICMP, 60, 1, icmp_bytes.len());
+        let mut packet = Vec::new();
+        packet.extend_from_slice(&ip.emit());
+        packet.extend_from_slice(&icmp_bytes);
+
+        let reply = parse_reply(&packet).unwrap();
+        assert_eq!(reply.kind, ReplyKind::PortUnreachable);
+        assert_eq!(reply.responder, DST);
+        assert_eq!(reply.probe_flow, Some(FlowId(12)));
+    }
+
+    #[test]
+    fn echo_probe_and_reply() {
+        let req = build_echo_probe(SRC, ROUTER, 0xCAFE, 3, 64);
+        // Parse the request side as IP+ICMP to simulate the responder.
+        let (ip, ihl) = Ipv4Header::parse(&req).unwrap();
+        assert_eq!(ip.protocol, PROTO_ICMP);
+        let msg = IcmpMessage::parse(&req[ihl..]).unwrap();
+        let IcmpMessage::EchoRequest {
+            identifier,
+            sequence,
+            payload,
+        } = msg
+        else {
+            panic!("expected echo request");
+        };
+        // Build the reply.
+        let reply_icmp = IcmpMessage::EchoReply {
+            identifier,
+            sequence,
+            payload,
+        }
+        .emit();
+        let reply_ip = Ipv4Header::new(ROUTER, SRC, PROTO_ICMP, 61, 999, reply_icmp.len());
+        let mut packet = Vec::new();
+        packet.extend_from_slice(&reply_ip.emit());
+        packet.extend_from_slice(&reply_icmp);
+
+        let reply = parse_reply(&packet).unwrap();
+        assert_eq!(reply.kind, ReplyKind::EchoReply);
+        assert_eq!(reply.echo, Some((0xCAFE, 3)));
+        assert_eq!(reply.reply_ip_id, 999);
+    }
+
+    #[test]
+    fn non_icmp_reply_rejected() {
+        let bytes = build_udp_probe(&probe());
+        assert!(matches!(
+            parse_reply(&bytes),
+            Err(WireError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn quote_with_stale_checksum_still_parses() {
+        // Simulate a router that decremented TTL without fixing the quoted
+        // header checksum.
+        let p = probe();
+        let mut probe_bytes = build_udp_probe(&p);
+        probe_bytes[8] = 0; // TTL expired at the router
+        let reply_bytes = make_time_exceeded(&probe_bytes, vec![]);
+        let reply = parse_reply(&reply_bytes).unwrap();
+        assert_eq!(reply.probe_flow, Some(FlowId(12)));
+        assert_eq!(reply.quoted_ttl, Some(0));
+    }
+}

@@ -1,0 +1,29 @@
+//! The byte-level transport boundary.
+//!
+//! Tracing algorithms are written against [`PacketTransport`]: write a
+//! complete IPv4 probe datagram, receive the complete IPv4 reply datagram
+//! or `None` (loss, rate limiting, unresponsive target — the synchronous
+//! analogue of a raw-socket timeout). The Fakeroute simulator implements
+//! this trait in-process; a raw-socket implementation would carry the same
+//! algorithms onto a real network, which is the sans-IO design goal.
+
+/// A synchronous request/reply packet channel.
+pub trait PacketTransport {
+    /// Sends one probe datagram; returns the reply datagram, if any.
+    fn send_packet(&mut self, packet: &[u8]) -> Option<Vec<u8>>;
+
+    /// Current transport time in ticks. Reply timestamps feed the
+    /// Monotonic Bounds Test's time series.
+    fn now(&self) -> u64;
+}
+
+/// Blanket implementation so `&mut T` can be passed where a transport is
+/// consumed by value.
+impl<T: PacketTransport + ?Sized> PacketTransport for &mut T {
+    fn send_packet(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
+        (**self).send_packet(packet)
+    }
+    fn now(&self) -> u64 {
+        (**self).now()
+    }
+}

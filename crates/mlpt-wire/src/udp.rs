@@ -1,0 +1,177 @@
+//! The UDP header (RFC 768).
+//!
+//! Paris Traceroute sends UDP probes (the paper cites Luckie et al., ref. \[36\]:
+//! UDP probes discover the most load-balanced paths). The UDP *source port*
+//! carries the flow identifier; the *destination port* stays fixed so that
+//! every probe in a trace differs only in the fields the tool intends to
+//! vary. The checksum is computed over the IPv4 pseudo-header as required,
+//! because per-flow load balancers and NATs may verify it.
+
+use crate::checksum::ChecksumAccumulator;
+use crate::ipv4::PROTO_UDP;
+use crate::{WireError, WireResult};
+use std::net::Ipv4Addr;
+
+/// Length of the UDP header in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// A UDP header plus knowledge of its payload length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port (Paris: encodes the flow identifier).
+    pub source_port: u16,
+    /// Destination port (Paris: fixed traceroute port).
+    pub destination_port: u16,
+    /// Length field: header + payload bytes.
+    pub length: u16,
+    /// Checksum as seen on the wire (0 means "not computed").
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Creates a header for `payload_len` bytes of payload. The checksum is
+    /// left zero until [`UdpHeader::emit`] computes it.
+    pub fn new(source_port: u16, destination_port: u16, payload_len: usize) -> Self {
+        Self {
+            source_port,
+            destination_port,
+            length: (HEADER_LEN + payload_len) as u16,
+            checksum: 0,
+        }
+    }
+
+    /// Emits header + payload with a correct pseudo-header checksum.
+    pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(self.length as usize, HEADER_LEN + payload.len());
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.extend_from_slice(&self.source_port.to_be_bytes());
+        buf.extend_from_slice(&self.destination_port.to_be_bytes());
+        buf.extend_from_slice(&self.length.to_be_bytes());
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(payload);
+
+        let csum = Self::compute_checksum(src, dst, &buf);
+        // RFC 768: an all-zero computed checksum is transmitted as 0xFFFF.
+        let csum = if csum == 0 { 0xFFFF } else { csum };
+        buf[6..8].copy_from_slice(&csum.to_be_bytes());
+        buf
+    }
+
+    /// Computes the UDP checksum over pseudo-header + datagram (whose
+    /// checksum field must be zeroed).
+    pub fn compute_checksum(src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) -> u16 {
+        let mut acc = ChecksumAccumulator::new();
+        acc.push(&src.octets());
+        acc.push(&dst.octets());
+        acc.push_u16(u16::from(PROTO_UDP));
+        acc.push_u16(datagram.len() as u16);
+        acc.push(datagram);
+        acc.finish()
+    }
+
+    /// Parses a UDP header from the front of `data`. Does not verify the
+    /// checksum (use [`UdpHeader::verify_checksum`]), because ICMP quotes
+    /// may truncate the payload the checksum covers.
+    pub fn parse(data: &[u8]) -> WireResult<Self> {
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated {
+                what: "UDP header",
+                needed: HEADER_LEN,
+                got: data.len(),
+            });
+        }
+        Ok(Self {
+            source_port: u16::from_be_bytes([data[0], data[1]]),
+            destination_port: u16::from_be_bytes([data[2], data[3]]),
+            length: u16::from_be_bytes([data[4], data[5]]),
+            checksum: u16::from_be_bytes([data[6], data[7]]),
+        })
+    }
+
+    /// Verifies the checksum of a complete UDP datagram.
+    pub fn verify_checksum(src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) -> bool {
+        if datagram.len() < HEADER_LEN {
+            return false;
+        }
+        let stored = u16::from_be_bytes([datagram[6], datagram[7]]);
+        if stored == 0 {
+            return true; // checksum not computed by sender
+        }
+        let mut zeroed = datagram.to_vec();
+        zeroed[6] = 0;
+        zeroed[7] = 0;
+        let computed = Self::compute_checksum(src, dst, &zeroed);
+        let computed = if computed == 0 { 0xFFFF } else { computed };
+        computed == stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 7);
+
+    #[test]
+    fn roundtrip() {
+        let h = UdpHeader::new(33000, 33434, 4);
+        let bytes = h.emit(SRC, DST, &[1, 2, 3, 4]);
+        assert_eq!(bytes.len(), 12);
+        let parsed = UdpHeader::parse(&bytes).unwrap();
+        assert_eq!(parsed.source_port, 33000);
+        assert_eq!(parsed.destination_port, 33434);
+        assert_eq!(parsed.length, 12);
+        assert_ne!(parsed.checksum, 0);
+    }
+
+    #[test]
+    fn emitted_checksum_verifies() {
+        let h = UdpHeader::new(40000, 33434, 6);
+        let bytes = h.emit(SRC, DST, b"probe!");
+        assert!(UdpHeader::verify_checksum(SRC, DST, &bytes));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_verification() {
+        let h = UdpHeader::new(40000, 33434, 6);
+        let mut bytes = h.emit(SRC, DST, b"probe!");
+        bytes[10] ^= 0x01;
+        assert!(!UdpHeader::verify_checksum(SRC, DST, &bytes));
+    }
+
+    #[test]
+    fn wrong_pseudo_header_fails_verification() {
+        let h = UdpHeader::new(40000, 33434, 6);
+        let bytes = h.emit(SRC, DST, b"probe!");
+        let other = Ipv4Addr::new(10, 0, 0, 2);
+        assert!(!UdpHeader::verify_checksum(other, DST, &bytes));
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let h = UdpHeader::new(1, 2, 0);
+        let mut bytes = h.emit(SRC, DST, &[]);
+        bytes[6] = 0;
+        bytes[7] = 0;
+        assert!(UdpHeader::verify_checksum(SRC, DST, &bytes));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            UdpHeader::parse(&[0u8; 7]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn different_sports_different_checksums() {
+        // Changing the flow ID (source port) must change the checksum: this
+        // is exactly what makes the 5-tuple vary for load balancers that
+        // hash the checksum too.
+        let a = UdpHeader::new(33001, 33434, 2).emit(SRC, DST, &[0, 0]);
+        let b = UdpHeader::new(33002, 33434, 2).emit(SRC, DST, &[0, 0]);
+        assert_ne!(a[6..8], b[6..8]);
+    }
+}

@@ -1,0 +1,374 @@
+//! `mlpt` — Multilevel MDA-Lite Paris Traceroute, command-line edition.
+//!
+//! The paper's deliverable is a command-line traceroute with multipath
+//! discovery and an option for a router-level view. This binary is that
+//! tool, pointed at the Fakeroute simulator (no raw sockets are available
+//! in this environment; the tracing stack is transport-agnostic).
+//!
+//! ```text
+//! mlpt trace  [--topology NAME | --scenario N] [--algo mda|lite|single]
+//!             [--stopping 95|99|veitch] [--phi K] [--seed S] [--loss P]
+//!             [--json] [--pcap FILE]
+//! mlpt multilevel [--topology NAME | --scenario N] [--rounds R] [--seed S]
+//! mlpt topologies
+//! ```
+
+use mlpt::alias::rounds::RoundsConfig;
+use mlpt::prelude::*;
+use mlpt::sim::FaultPlan;
+use mlpt::survey::{InternetConfig, SyntheticInternet};
+use mlpt::topo::{canonical, is_star};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        exit(2);
+    };
+    match command.as_str() {
+        "trace" => cmd_trace(&args[1..]),
+        "multilevel" => cmd_multilevel(&args[1..]),
+        "topologies" => cmd_topologies(),
+        "-h" | "--help" | "help" => usage(),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "mlpt — Multilevel MDA-Lite Paris Traceroute (over the Fakeroute simulator)
+
+commands:
+  trace        multipath trace at the IP level
+               --topology NAME   canonical topology (see `mlpt topologies`)
+               --scenario N      synthetic-Internet scenario number
+               --algo ALGO       mda | lite (default) | single
+               --stopping TABLE  95 (default) | 99 | veitch
+               --phi K           MDA-Lite meshing effort (default 2)
+               --seed S          trace seed (default 1)
+               --loss P          inject reply loss probability
+               --json            emit a machine-readable trace report
+               --pcap FILE       write all probe/reply packets as pcap
+               --draw            append an ASCII sketch of the topology
+  multilevel   MDA-Lite trace + in-trace alias resolution (router view)
+               --rounds R        alias-resolution rounds (default 10)
+               (accepts the trace options above)
+  topologies   list canonical topologies"
+    );
+}
+
+struct Options {
+    topology: Option<String>,
+    scenario: Option<usize>,
+    algo: String,
+    stopping: String,
+    phi: u32,
+    seed: u64,
+    loss: f64,
+    rounds: u32,
+    json: bool,
+    pcap: Option<String>,
+    draw: bool,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        topology: None,
+        scenario: None,
+        algo: "lite".into(),
+        stopping: "95".into(),
+        phi: 2,
+        seed: 1,
+        loss: 0.0,
+        rounds: 10,
+        json: false,
+        pcap: None,
+        draw: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> &String {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("{} needs a value", args[i]);
+                exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--topology" => opts.topology = Some(need(i).clone()),
+            "--scenario" => {
+                opts.scenario = Some(need(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--scenario needs a number");
+                    exit(2);
+                }))
+            }
+            "--algo" => opts.algo = need(i).clone(),
+            "--stopping" => opts.stopping = need(i).clone(),
+            "--phi" => opts.phi = need(i).parse().unwrap_or(2),
+            "--seed" => opts.seed = need(i).parse().unwrap_or(1),
+            "--loss" => opts.loss = need(i).parse().unwrap_or(0.0),
+            "--rounds" => opts.rounds = need(i).parse().unwrap_or(10),
+            "--json" => {
+                opts.json = true;
+                i += 1;
+                continue;
+            }
+            "--draw" => {
+                opts.draw = true;
+                i += 1;
+                continue;
+            }
+            "--pcap" => opts.pcap = Some(need(i).clone()),
+            other => {
+                eprintln!("unknown option: {other}");
+                exit(2);
+            }
+        }
+        i += 2;
+    }
+    opts
+}
+
+/// Resolves the target: a canonical topology or a synthetic scenario.
+fn build_network(opts: &Options) -> (SimNetwork, Ipv4Addr, Ipv4Addr, Option<RouterMap>) {
+    let source: Ipv4Addr = "192.0.2.1".parse().expect("static");
+    if let Some(n) = opts.scenario {
+        let internet = SyntheticInternet::new(InternetConfig::default());
+        let scenario = internet.scenario(n);
+        let destination = scenario.topology.destination();
+        let truth = scenario.routers.clone();
+        let net = scenario.build_network(opts.seed);
+        return (net, source, destination, Some(truth));
+    }
+    let name = opts.topology.as_deref().unwrap_or("fig1-unmeshed");
+    let topology = match name {
+        "simplest" => canonical::simplest_diamond(),
+        "fig1-unmeshed" => canonical::fig1_unmeshed(),
+        "fig1-meshed" => canonical::fig1_meshed(),
+        "max-length-2" => canonical::max_length_2(),
+        "symmetric" => canonical::symmetric(),
+        "asymmetric" => canonical::asymmetric(),
+        "meshed" => canonical::meshed(),
+        other => {
+            eprintln!("unknown topology {other}; see `mlpt topologies`");
+            exit(2);
+        }
+    };
+    let destination = topology.destination();
+    let net = SimNetwork::builder(topology)
+        .faults(if opts.loss > 0.0 {
+            FaultPlan::with_loss(0.0, opts.loss)
+        } else {
+            FaultPlan::none()
+        })
+        .seed(opts.seed)
+        .build();
+    (net, source, destination, None)
+}
+
+fn stopping_points(name: &str) -> StoppingPoints {
+    match name {
+        "95" => StoppingPoints::mda95(),
+        "99" => StoppingPoints::mda99(),
+        "veitch" => StoppingPoints::veitch_table1(),
+        other => {
+            eprintln!("unknown stopping table {other} (95|99|veitch)");
+            exit(2);
+        }
+    }
+}
+
+fn cmd_topologies() {
+    println!("canonical topologies (from the paper):");
+    println!("  simplest       1-2-1: the Sec. 3 validation diamond");
+    println!("  fig1-unmeshed  1-4-2-1, single successors (Fig. 1 left)");
+    println!("  fig1-meshed    1-4-2-1, full mesh between hops 2-3 (Fig. 1 right)");
+    println!("  max-length-2   divergence, 28-interface hop, convergence (Sec. 2.4.1)");
+    println!("  symmetric      1-5-10-5-1, uniform and unmeshed (Sec. 2.4.1)");
+    println!("  asymmetric     width asymmetry 17; forces an MDA switch (Sec. 2.4.1)");
+    println!("  meshed         five multi-vertex hops, 48 wide, meshed (Sec. 2.4.1)");
+    println!("\nsynthetic scenarios: any index, e.g. `mlpt trace --scenario 7`");
+}
+
+/// Renders a hop line in classic traceroute style.
+fn render_hops(trace: &Trace, routers: Option<&RouterMap>) {
+    let last = trace
+        .destination_ttl()
+        .unwrap_or_else(|| trace.discovery.max_observed_ttl());
+    for ttl in 1..=last {
+        let vertices = trace.vertices_at(ttl);
+        let mut parts: Vec<String> = Vec::new();
+        if vertices.is_empty() {
+            parts.push("*".into());
+        }
+        for &v in vertices {
+            if is_star(v) {
+                parts.push("*".into());
+                continue;
+            }
+            let flows = trace.discovery.flows_reaching(ttl, v).len();
+            match routers.and_then(|r| r.router_of(v)) {
+                Some(router) => parts.push(format!("{v} [R{}] ({flows} flows)", router.0)),
+                None => parts.push(format!("{v} ({flows} flows)")),
+            }
+        }
+        println!("{ttl:>3}  {}", parts.join("\n     "));
+    }
+}
+
+fn cmd_trace(args: &[String]) {
+    let opts = parse_options(args);
+    let (net, source, destination, _truth) = build_network(&opts);
+    let capture = mlpt::sim::CapturingTransport::new(net);
+    let mut prober = TransportProber::new(capture, source, destination);
+    let config = TraceConfig::new(opts.seed)
+        .with_stopping(stopping_points(&opts.stopping))
+        .with_phi(opts.phi);
+
+    let trace = match opts.algo.as_str() {
+        "mda" => trace_mda(&mut prober, &config),
+        "lite" => trace_mda_lite(&mut prober, &config),
+        "single" => trace_single_flow(&mut prober, &config, FlowId(opts.seed as u16)),
+        other => {
+            eprintln!("unknown algorithm {other} (mda|lite|single)");
+            exit(2);
+        }
+    };
+
+    if let Some(path) = &opts.pcap {
+        match prober.transport_mut().write_pcap(std::path::Path::new(path)) {
+            Ok(()) => eprintln!("[pcap written to {path}]"),
+            Err(e) => {
+                eprintln!("failed to write pcap: {e}");
+                exit(1);
+            }
+        }
+    }
+    if opts.json {
+        let report = mlpt::core::TraceReport::from_trace(&trace);
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+        return;
+    }
+
+    println!(
+        "mlpt: {} to {destination}, stopping table {}, seed {}",
+        match opts.algo.as_str() {
+            "mda" => "MDA",
+            "single" => "single-flow Paris traceroute",
+            _ => "MDA-Lite",
+        },
+        opts.stopping,
+        opts.seed
+    );
+    render_hops(&trace, None);
+    if opts.draw {
+        if let Some(topology) = trace.to_topology() {
+            println!("\n{}", mlpt::topo::render_ascii(&topology).trim_end());
+        }
+    }
+    println!(
+        "\n{} probes; destination {}; {} vertices, {} edges{}",
+        trace.probes_sent,
+        if trace.reached_destination { "reached" } else { "NOT reached" },
+        trace.total_vertices(),
+        trace.total_edges(),
+        match trace.switched {
+            Some(SwitchReason::MeshingDetected { ttl }) =>
+                format!("; switched to full MDA (meshing at ttl {ttl})"),
+            Some(SwitchReason::AsymmetryDetected { ttl }) =>
+                format!("; switched to full MDA (asymmetry at ttl {ttl})"),
+            None => String::new(),
+        }
+    );
+}
+
+fn cmd_multilevel(args: &[String]) {
+    let opts = parse_options(args);
+    let (net, source, destination, truth) = build_network(&opts);
+    let mut prober = TransportProber::new(net, source, destination);
+    let config = MultilevelConfig {
+        trace: TraceConfig::new(opts.seed)
+            .with_stopping(stopping_points(&opts.stopping))
+            .with_phi(opts.phi),
+        rounds: RoundsConfig {
+            rounds: opts.rounds,
+            ..RoundsConfig::default()
+        },
+    };
+    let result = trace_multilevel(&mut prober, &config);
+
+    println!("mlpt: multilevel MDA-Lite to {destination}, seed {}", opts.seed);
+    render_hops(&result.trace, Some(&result.router_map));
+    println!("\nalias sets (routers) inferred during the trace:");
+    let mut any = false;
+    for (router, set) in result.router_map.alias_sets() {
+        if set.len() < 2 {
+            continue;
+        }
+        any = true;
+        let members: Vec<String> = set.iter().map(|a| a.to_string()).collect();
+        println!("  R{}: {}", router.0, members.join("  "));
+    }
+    if !any {
+        println!("  (none — every interface looks like its own router)");
+    }
+
+    if let Some(truth) = truth {
+        let inferred = &result.router_map;
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        let addresses: Vec<Ipv4Addr> = result.trace.all_addresses().into_iter().collect();
+        for i in 0..addresses.len() {
+            for j in i + 1..addresses.len() {
+                total += 1;
+                if inferred.are_aliases(addresses[i], addresses[j])
+                    == truth.are_aliases(addresses[i], addresses[j])
+                {
+                    agree += 1;
+                }
+            }
+        }
+        if total > 0 {
+            println!(
+                "\nground truth agreement: {agree}/{total} address pairs ({:.1}%)",
+                100.0 * agree as f64 / total as f64
+            );
+        }
+    }
+
+    if let (Some(ip), Some(router)) = (&result.ip_topology, &result.router_topology) {
+        let ip_d = mlpt::topo::diamond::all_diamond_metrics(ip);
+        let r_d = mlpt::topo::diamond::all_diamond_metrics(router);
+        let ip_widths: Vec<usize> = ip_d.iter().map(|m| m.max_width).collect();
+        let r_widths: Vec<usize> = r_d.iter().map(|m| m.max_width).collect();
+        println!(
+            "\ndiamonds: IP level {:?} wide → router level {:?} wide",
+            ip_widths, r_widths
+        );
+    }
+    println!(
+        "\ntrace probes: {}; alias probes: {}",
+        result.trace.probes_sent, result.alias_probes
+    );
+
+    // Per-hop round summary (Fig. 5 style, this trace only).
+    if !result.hop_reports.is_empty() {
+        let mut per_round: BTreeMap<u32, u64> = BTreeMap::new();
+        for reports in result.hop_reports.values() {
+            for r in reports {
+                *per_round.entry(r.round).or_insert(0) += r.cumulative_probes;
+            }
+        }
+        let rounds: Vec<String> = per_round
+            .iter()
+            .map(|(r, p)| format!("r{r}:{p}"))
+            .collect();
+        println!("alias probes by round: {}", rounds.join(" "));
+    }
+}

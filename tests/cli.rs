@@ -1,0 +1,114 @@
+//! Integration tests for the `mlpt` command-line tool.
+
+use std::process::Command;
+
+fn mlpt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mlpt"))
+}
+
+#[test]
+fn trace_prints_hops_and_summary() {
+    let out = mlpt()
+        .args(["trace", "--topology", "fig1-unmeshed", "--seed", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("MDA-Lite"), "{stdout}");
+    assert!(stdout.contains("destination reached"), "{stdout}");
+    // Four interfaces at ttl 2.
+    let ttl2_block: Vec<&str> = stdout
+        .lines()
+        .skip_while(|l| !l.trim_start().starts_with("2 "))
+        .take_while(|l| !l.trim_start().starts_with("3 "))
+        .collect();
+    assert_eq!(ttl2_block.len(), 4, "{stdout}");
+}
+
+#[test]
+fn json_output_is_valid_report() {
+    let out = mlpt()
+        .args(["trace", "--topology", "simplest", "--json", "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let report: mlpt::core::TraceReport =
+        serde_json::from_slice(&out.stdout).expect("valid TraceReport JSON");
+    assert!(report.reached_destination);
+    assert_eq!(report.hops.len(), 3);
+    assert_eq!(report.max_width(), 2);
+}
+
+#[test]
+fn pcap_output_is_openable() {
+    let path = std::env::temp_dir().join("mlpt-cli-test.pcap");
+    let out = mlpt()
+        .args([
+            "trace",
+            "--topology",
+            "simplest",
+            "--pcap",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let bytes = std::fs::read(&path).expect("pcap written");
+    assert_eq!(&bytes[0..4], &0xA1B2_C3D4u32.to_le_bytes());
+    assert!(bytes.len() > 24, "empty capture");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn multilevel_reports_alias_sets() {
+    let out = mlpt()
+        .args(["multilevel", "--scenario", "3", "--seed", "2", "--rounds", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("alias sets"), "{stdout}");
+    assert!(stdout.contains("ground truth agreement"), "{stdout}");
+}
+
+#[test]
+fn meshed_topology_reports_switch() {
+    let out = mlpt()
+        .args(["trace", "--topology", "fig1-meshed", "--seed", "4"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("switched to full MDA (meshing"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn unknown_arguments_rejected() {
+    assert!(!mlpt().args(["trace", "--bogus"]).output().unwrap().status.success());
+    assert!(!mlpt().args(["frobnicate"]).output().unwrap().status.success());
+    assert!(!mlpt()
+        .args(["trace", "--topology", "no-such"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}
+
+#[test]
+fn topologies_lists_all_seven() {
+    let out = mlpt().arg("topologies").output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in [
+        "simplest",
+        "fig1-unmeshed",
+        "fig1-meshed",
+        "max-length-2",
+        "symmetric",
+        "asymmetric",
+        "meshed",
+    ] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}

@@ -1,0 +1,170 @@
+//! End-to-end integration: algorithms × simulator × wire path.
+//!
+//! Every probe in these tests is a real IPv4+UDP datagram routed by the
+//! simulator, answered with real ICMP bytes, and parsed back — the full
+//! production path.
+
+use mlpt::prelude::*;
+use mlpt::topo::canonical;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+/// Both algorithms fully discover every canonical topology on a green
+/// seed, through the complete packet path.
+#[test]
+fn full_discovery_on_canonical_suite() {
+    for (name, topo) in canonical::simulation_suite() {
+        // The meshed 48-wide monster compounds per-vertex failure; skip
+        // exact completeness there (covered statistically elsewhere).
+        if name == "meshed" {
+            continue;
+        }
+        for lite in [false, true] {
+            let net = SimNetwork::new(topo.clone(), 11);
+            let mut prober = TransportProber::new(net, SRC, topo.destination());
+            let config = TraceConfig::new(13);
+            let trace = if lite {
+                trace_mda_lite(&mut prober, &config)
+            } else {
+                trace_mda(&mut prober, &config)
+            };
+            assert!(trace.reached_destination, "{name} lite={lite}");
+            let got = trace.to_topology().expect("reached");
+            assert_eq!(
+                got.num_hops(),
+                topo.num_hops(),
+                "{name} lite={lite}: hops"
+            );
+            for i in 0..topo.num_hops() {
+                let want: BTreeSet<_> = topo.hop(i).iter().collect();
+                let have: BTreeSet<_> = got.hop(i).iter().collect();
+                assert_eq!(have, want, "{name} lite={lite}: hop {i}");
+            }
+        }
+    }
+}
+
+/// MDA-Lite's probe economy, end to end: cheaper wherever it does not
+/// switch, never discovering less on uniform unmeshed diamonds.
+#[test]
+fn lite_economy_claim() {
+    for topo in [canonical::max_length_2(), canonical::symmetric()] {
+        let mut lite_probes = 0u64;
+        let mut mda_probes = 0u64;
+        for seed in 0..8u64 {
+            let net = SimNetwork::new(topo.clone(), seed);
+            let mut prober = TransportProber::new(net, SRC, topo.destination());
+            let lite = trace_mda_lite(&mut prober, &TraceConfig::new(seed));
+            assert!(lite.switched.is_none());
+            lite_probes += lite.probes_sent;
+
+            let net = SimNetwork::new(topo.clone(), seed);
+            let mut prober = TransportProber::new(net, SRC, topo.destination());
+            mda_probes += trace_mda(&mut prober, &TraceConfig::new(seed)).probes_sent;
+        }
+        assert!(
+            (lite_probes as f64) < 0.75 * mda_probes as f64,
+            "lite {lite_probes} vs mda {mda_probes}"
+        );
+    }
+}
+
+/// The asymmetric diamond forces a switch; the meshed diamond forces a
+/// switch; the uniform ones never do.
+#[test]
+fn switchover_behaviour_matches_paper() {
+    let mut meshed_switches = 0;
+    let runs = 10u64;
+    for seed in 0..runs {
+        let topo = canonical::meshed();
+        let net = SimNetwork::new(topo.clone(), seed);
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let trace = trace_mda_lite(&mut prober, &TraceConfig::new(seed));
+        if matches!(trace.switched, Some(SwitchReason::MeshingDetected { .. })) {
+            meshed_switches += 1;
+        }
+    }
+    // Meshing-miss probability on this topology is astronomically small
+    // (dozens of degree-2 vertices).
+    assert_eq!(meshed_switches, runs as i32, "meshed must always switch");
+
+    for seed in 0..runs {
+        let topo = canonical::asymmetric();
+        let net = SimNetwork::new(topo.clone(), seed);
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let trace = trace_mda_lite(&mut prober, &TraceConfig::new(seed));
+        assert!(trace.switched.is_some(), "asymmetric must switch");
+    }
+}
+
+/// Single-flow Paris traceroute walks exactly one path and its vertices
+/// are a subset of some flow's true path.
+#[test]
+fn single_flow_is_one_true_path() {
+    let topo = canonical::meshed();
+    let net = SimNetwork::new(topo.clone(), 4);
+    let mut prober = TransportProber::new(net, SRC, topo.destination());
+    let trace = trace_single_flow(&mut prober, &TraceConfig::new(4), FlowId(77));
+    assert!(trace.reached_destination);
+    let mut prev: Option<Ipv4Addr> = None;
+    for ttl in 1..=trace.destination_ttl().unwrap() {
+        let vs = trace.vertices_at(ttl);
+        assert_eq!(vs.len(), 1, "one vertex per hop");
+        let v = vs[0];
+        assert!(topo.contains(usize::from(ttl - 1), v));
+        if let Some(p) = prev {
+            assert!(
+                topo.successors(usize::from(ttl - 2), p).contains(&v),
+                "consecutive vertices must be linked"
+            );
+        }
+        prev = Some(v);
+    }
+}
+
+/// Empirical MDA failure rate through the full stack matches the analytic
+/// bound on the simplest diamond (the Fakeroute claim).
+#[test]
+fn failure_rate_matches_analytic_bound() {
+    let topo = canonical::simplest_diamond();
+    let nks = StoppingPoints::mda95();
+    let analytic = mlpt::sim::mda_failure_probability(&topo, nks.as_slice());
+    let runs = 800u64;
+    let mut failures = 0u64;
+    for seed in 0..runs {
+        let net = SimNetwork::new(topo.clone(), seed);
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let trace = trace_mda(&mut prober, &TraceConfig::new(seed));
+        if trace.total_vertices() < topo.total_vertices() {
+            failures += 1;
+        }
+    }
+    let rate = failures as f64 / runs as f64;
+    assert!(
+        (rate - analytic).abs() < 0.015,
+        "empirical {rate} vs analytic {analytic}"
+    );
+}
+
+/// Per-packet load balancing is detected by the pre-flight check and
+/// (per the MDA model) breaks flow stability.
+#[test]
+fn per_packet_detection() {
+    use mlpt::core::detect::check_per_packet;
+    use mlpt::sim::BalanceMode;
+    let topo = canonical::max_length_2();
+    let net = SimNetwork::builder(topo.clone())
+        .mode(BalanceMode::PerPacket)
+        .seed(3)
+        .build();
+    let mut prober = TransportProber::new(net, SRC, topo.destination());
+    let report = check_per_packet(&mut prober, FlowId(5), 2, 20);
+    assert!(report.is_per_packet());
+
+    let net = SimNetwork::new(topo.clone(), 3);
+    let mut prober = TransportProber::new(net, SRC, topo.destination());
+    let report = check_per_packet(&mut prober, FlowId(5), 2, 20);
+    assert!(!report.is_per_packet());
+}

@@ -1,0 +1,125 @@
+//! Fault injection through the full stack: the MDA model's assumption 4
+//! ("all probes receive a response") violated in controlled ways.
+
+use mlpt::prelude::*;
+use mlpt::sim::CapturingTransport;
+use mlpt::topo::canonical;
+use std::net::Ipv4Addr;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+/// Total loss: the trace finds nothing, reports honestly, and the
+/// topology conversion declines (no convergence point).
+#[test]
+fn total_loss_is_reported_honestly() {
+    let topo = canonical::simplest_diamond();
+    let net = SimNetwork::builder(topo.clone())
+        .faults(FaultPlan::with_loss(1.0, 0.0))
+        .seed(1)
+        .build();
+    let mut prober = TransportProber::new(net, SRC, topo.destination());
+    let config = TraceConfig::new(1);
+    let trace = trace_mda_lite(&mut prober, &config);
+    assert!(!trace.reached_destination);
+    assert_eq!(trace.total_vertices(), 0);
+    assert!(trace.to_topology().is_none());
+    assert!(trace.probes_sent > 0);
+}
+
+/// Moderate reply loss degrades discovery gracefully, never unsoundly.
+#[test]
+fn loss_degrades_gracefully() {
+    let topo = canonical::fig1_unmeshed();
+    let mut found = 0usize;
+    let runs = 20u64;
+    for seed in 0..runs {
+        let net = SimNetwork::builder(topo.clone())
+            .faults(FaultPlan::with_loss(0.0, 0.2))
+            .seed(seed)
+            .build();
+        let mut prober = TransportProber::new(net, SRC, topo.destination());
+        let trace = trace_mda(&mut prober, &TraceConfig::new(seed));
+        found += trace.total_vertices();
+        // Soundness under loss.
+        for ttl in 1..=topo.num_hops() as u8 {
+            for &v in trace.vertices_at(ttl) {
+                assert!(topo.contains(usize::from(ttl - 1), v));
+            }
+        }
+    }
+    let mean = found as f64 / runs as f64;
+    assert!(
+        mean > 0.8 * topo.total_vertices() as f64,
+        "mean vertices {mean}"
+    );
+}
+
+/// Retries restore discovery under loss, at a quantified probe premium.
+#[test]
+fn retries_restore_discovery() {
+    let topo = canonical::fig1_unmeshed();
+    let mut plain = (0usize, 0u64);
+    let mut retried = (0usize, 0u64);
+    for seed in 0..15u64 {
+        for retries in [0u8, 3] {
+            let net = SimNetwork::builder(topo.clone())
+                .faults(FaultPlan::with_loss(0.0, 0.25))
+                .seed(seed)
+                .build();
+            let mut prober = TransportProber::new(net, SRC, topo.destination()).with_retries(retries);
+            let trace = trace_mda(&mut prober, &TraceConfig::new(seed));
+            let slot = if retries == 0 { &mut plain } else { &mut retried };
+            slot.0 += trace.total_vertices();
+            slot.1 += trace.probes_sent;
+        }
+    }
+    assert!(retried.0 >= plain.0, "retries must not lose vertices");
+    assert!(retried.1 > plain.1, "retries must cost probes");
+}
+
+/// Rate limiting plus capture: suppressed replies appear as probe-only
+/// records in the pcap, and the simulator counts them.
+#[test]
+fn rate_limit_visible_in_capture() {
+    let topo = canonical::max_length_2();
+    let net = SimNetwork::builder(topo.clone())
+        .faults(FaultPlan::with_rate_limit(4, 0.1))
+        .seed(2)
+        .build();
+    let mut capture = CapturingTransport::new(net);
+    let mut prober = TransportProber::new(&mut capture, SRC, topo.destination());
+    let _ = trace_mda_lite(&mut prober, &TraceConfig::new(2));
+    let (probes, replies) = capture.counts();
+    assert!(probes > replies, "rate limiting must suppress replies");
+    let (net, _) = capture.into_parts();
+    assert!(net.counters().replies_rate_limited > 0);
+}
+
+/// The multilevel tracer stays coherent under loss: alias probing simply
+/// gathers fewer samples; no panics, no phantom aliases across routers
+/// with distinct fingerprints.
+#[test]
+fn multilevel_under_loss() {
+    use mlpt::topo::graph::addr;
+    let mut b = MultipathTopology::builder();
+    b.add_hop([addr(0, 0)]);
+    b.add_hop([addr(1, 0), addr(1, 1), addr(1, 2), addr(1, 3)]);
+    b.add_hop([addr(2, 0)]);
+    b.connect_unmeshed(0);
+    b.connect_unmeshed(1);
+    let topo = b.build().unwrap();
+    let truth = RouterMap::from_alias_sets([
+        vec![addr(1, 0), addr(1, 1)],
+        vec![addr(1, 2), addr(1, 3)],
+    ]);
+    let net = SimNetwork::builder(topo.clone())
+        .routers(truth)
+        .faults(FaultPlan::with_loss(0.0, 0.1))
+        .seed(5)
+        .build();
+    let mut prober = TransportProber::new(net, SRC, topo.destination()).with_retries(2);
+    let result = trace_multilevel(&mut prober, &MultilevelConfig::new(5));
+    assert!(result.trace.reached_destination);
+    // No cross-router merges.
+    assert!(!result.router_map.are_aliases(addr(1, 1), addr(1, 2)));
+}
