@@ -104,7 +104,9 @@ mod tests {
     fn shared_counter_compatible() {
         // Counter advances ~2/tick; A sampled at even ticks, B at odd.
         let a: Vec<IpIdSample> = (0..10).map(|i| s(2 * i, (100 + 4 * i) as u16)).collect();
-        let b: Vec<IpIdSample> = (0..10).map(|i| s(2 * i + 1, (102 + 4 * i) as u16)).collect();
+        let b: Vec<IpIdSample> = (0..10)
+            .map(|i| s(2 * i + 1, (102 + 4 * i) as u16))
+            .collect();
         assert_eq!(
             test_pair(&a, &b, &MbtParams::default()),
             PairCompatibility::Compatible
@@ -115,7 +117,9 @@ mod tests {
     #[test]
     fn independent_counters_incompatible() {
         let a: Vec<IpIdSample> = (0..10).map(|i| s(2 * i, (100 + 4 * i) as u16)).collect();
-        let b: Vec<IpIdSample> = (0..10).map(|i| s(2 * i + 1, (40_000 + 4 * i) as u16)).collect();
+        let b: Vec<IpIdSample> = (0..10)
+            .map(|i| s(2 * i + 1, (40_000 + 4 * i) as u16))
+            .collect();
         assert_eq!(
             test_pair(&a, &b, &MbtParams::default()),
             PairCompatibility::Incompatible

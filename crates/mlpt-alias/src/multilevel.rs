@@ -17,7 +17,7 @@ use mlpt_core::prober::{Prober, TransportProber};
 use mlpt_core::trace::Trace;
 use mlpt_topo::router::collapse;
 use mlpt_topo::{MultipathTopology, RouterMap};
-use mlpt_wire::transport::PacketTransport;
+use mlpt_wire::transport::BatchTransport;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
@@ -74,7 +74,7 @@ impl MultilevelTrace {
 }
 
 /// Runs Multilevel MDA-Lite Paris Traceroute over a packet transport.
-pub fn trace_multilevel<T: PacketTransport>(
+pub fn trace_multilevel<T: BatchTransport>(
     prober: &mut TransportProber<T>,
     config: &MultilevelConfig,
 ) -> MultilevelTrace {
@@ -110,9 +110,7 @@ pub fn trace_multilevel<T: PacketTransport>(
     let alias_probes = prober.probes_sent() - after_trace;
 
     let ip_topology = trace.to_topology();
-    let router_topology = ip_topology
-        .as_ref()
-        .map(|topo| collapse(topo, &router_map));
+    let router_topology = ip_topology.as_ref().map(|topo| collapse(topo, &router_map));
 
     MultilevelTrace {
         trace,
@@ -188,12 +186,8 @@ mod tests {
         // All four middle interfaces belong to one router: the router-level
         // view must be a straight path (Table 3's "one path" case).
         let (topo, _) = grouped();
-        let routers = RouterMap::from_alias_sets([vec![
-            addr(1, 0),
-            addr(1, 1),
-            addr(1, 2),
-            addr(1, 3),
-        ]]);
+        let routers =
+            RouterMap::from_alias_sets([vec![addr(1, 0), addr(1, 1), addr(1, 2), addr(1, 3)]]);
         let net = SimNetwork::builder(topo.clone())
             .routers(routers)
             .seed(33)
@@ -225,12 +219,18 @@ mod tests {
         let (topo, routers) = grouped();
         let profile_a = RouterProfile {
             ipid: IpIdProfile::constant_zero(),
-            mpls: Some(MplsProfile { label: 111, stable: true }),
+            mpls: Some(MplsProfile {
+                label: 111,
+                stable: true,
+            }),
             ..RouterProfile::well_behaved()
         };
         let profile_b = RouterProfile {
             ipid: IpIdProfile::constant_zero(),
-            mpls: Some(MplsProfile { label: 222, stable: true }),
+            mpls: Some(MplsProfile {
+                label: 222,
+                stable: true,
+            }),
             ..RouterProfile::well_behaved()
         };
         let net = SimNetwork::builder(topo.clone())

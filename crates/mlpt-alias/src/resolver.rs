@@ -156,7 +156,8 @@ impl AliasPartition {
     /// Converts to the topology-level router map.
     pub fn to_router_map(&self) -> mlpt_topo::RouterMap {
         mlpt_topo::RouterMap::from_alias_sets(
-            self.routers().map(|s| s.iter().copied().collect::<Vec<_>>()),
+            self.routers()
+                .map(|s| s.iter().copied().collect::<Vec<_>>()),
         )
     }
 }
@@ -167,8 +168,16 @@ pub fn precision_recall(candidate: &AliasPartition, reference: &AliasPartition) 
     let cp = candidate.pairs();
     let rp = reference.pairs();
     let tp = cp.intersection(&rp).count() as f64;
-    let precision = if cp.is_empty() { 1.0 } else { tp / cp.len() as f64 };
-    let recall = if rp.is_empty() { 1.0 } else { tp / rp.len() as f64 };
+    let precision = if cp.is_empty() {
+        1.0
+    } else {
+        tp / cp.len() as f64
+    };
+    let recall = if rp.is_empty() {
+        1.0
+    } else {
+        tp / rp.len() as f64
+    };
     (precision, recall)
 }
 
@@ -182,8 +191,7 @@ pub fn resolve(
     params: &MbtParams,
 ) -> AliasPartition {
     let addrs: Vec<Ipv4Addr> = candidates.iter().copied().collect();
-    let index: BTreeMap<Ipv4Addr, usize> =
-        addrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+    let index: BTreeMap<Ipv4Addr, usize> = addrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
 
     // Pair verdicts.
     let n = addrs.len();
@@ -320,9 +328,15 @@ mod tests {
         let mut base = EvidenceBase::new();
         // Shared counter ~4/tick: A at t=0,3,6...; B at t=1,4,7...
         for i in 0..10u64 {
-            base.entry(addr(1)).indirect_series.push(sample(3 * i, (100 + 12 * i) as u16));
-            base.entry(addr(2)).indirect_series.push(sample(3 * i + 1, (104 + 12 * i) as u16));
-            base.entry(addr(3)).indirect_series.push(sample(3 * i + 2, (40_000u64 + 12 * i) as u16));
+            base.entry(addr(1))
+                .indirect_series
+                .push(sample(3 * i, (100 + 12 * i) as u16));
+            base.entry(addr(2))
+                .indirect_series
+                .push(sample(3 * i + 1, (104 + 12 * i) as u16));
+            base.entry(addr(3))
+                .indirect_series
+                .push(sample(3 * i + 2, (40_000u64 + 12 * i) as u16));
         }
         for a in [addr(1), addr(2), addr(3)] {
             base.entry(a).fingerprint.indirect_initial_ttl = Some(255);
@@ -334,7 +348,12 @@ mod tests {
     #[test]
     fn resolve_groups_shared_counter() {
         let (base, candidates) = three_address_base();
-        let partition = resolve(&base, &candidates, SeriesSource::Indirect, &MbtParams::default());
+        let partition = resolve(
+            &base,
+            &candidates,
+            SeriesSource::Indirect,
+            &MbtParams::default(),
+        );
         assert!(partition.same_set(addr(1), addr(2)));
         assert!(!partition.same_set(addr(1), addr(3)));
         assert_eq!(partition.routers().count(), 1);
@@ -344,7 +363,12 @@ mod tests {
     fn fingerprint_conflict_blocks_merge() {
         let (mut base, candidates) = three_address_base();
         base.entry(addr(2)).fingerprint.indirect_initial_ttl = Some(64);
-        let partition = resolve(&base, &candidates, SeriesSource::Indirect, &MbtParams::default());
+        let partition = resolve(
+            &base,
+            &candidates,
+            SeriesSource::Indirect,
+            &MbtParams::default(),
+        );
         assert!(!partition.same_set(addr(1), addr(2)));
     }
 
@@ -356,7 +380,12 @@ mod tests {
         base.entry(addr(2)).mpls = MplsEvidence::Stable(500);
         base.entry(addr(3)).mpls = MplsEvidence::Stable(600);
         let candidates = BTreeSet::from([addr(1), addr(2), addr(3)]);
-        let partition = resolve(&base, &candidates, SeriesSource::Indirect, &MbtParams::default());
+        let partition = resolve(
+            &base,
+            &candidates,
+            SeriesSource::Indirect,
+            &MbtParams::default(),
+        );
         assert!(partition.same_set(addr(1), addr(2)));
         assert!(!partition.same_set(addr(1), addr(3)));
     }
@@ -390,16 +419,31 @@ mod tests {
         let (base, _) = three_address_base();
         let params = MbtParams::default();
         assert_eq!(
-            judge_set(&base, &BTreeSet::from([addr(1), addr(2)]), SeriesSource::Indirect, &params),
+            judge_set(
+                &base,
+                &BTreeSet::from([addr(1), addr(2)]),
+                SeriesSource::Indirect,
+                &params
+            ),
             SetVerdict::Accept
         );
         assert_eq!(
-            judge_set(&base, &BTreeSet::from([addr(1), addr(3)]), SeriesSource::Indirect, &params),
+            judge_set(
+                &base,
+                &BTreeSet::from([addr(1), addr(3)]),
+                SeriesSource::Indirect,
+                &params
+            ),
             SetVerdict::Reject
         );
         // Direct series absent: unable.
         assert_eq!(
-            judge_set(&base, &BTreeSet::from([addr(1), addr(2)]), SeriesSource::Direct, &params),
+            judge_set(
+                &base,
+                &BTreeSet::from([addr(1), addr(2)]),
+                SeriesSource::Direct,
+                &params
+            ),
             SetVerdict::Unable
         );
     }
@@ -411,14 +455,25 @@ mod tests {
         // Shared counter evidence for A+B and B+C via interleaving; but
         // give A and C conflicting fingerprints.
         for i in 0..10u64 {
-            base.entry(addr(1)).indirect_series.push(sample(4 * i, (100 + 8 * i) as u16));
-            base.entry(addr(2)).indirect_series.push(sample(4 * i + 1, (102 + 8 * i) as u16));
-            base.entry(addr(3)).indirect_series.push(sample(4 * i + 2, (104 + 8 * i) as u16));
+            base.entry(addr(1))
+                .indirect_series
+                .push(sample(4 * i, (100 + 8 * i) as u16));
+            base.entry(addr(2))
+                .indirect_series
+                .push(sample(4 * i + 1, (102 + 8 * i) as u16));
+            base.entry(addr(3))
+                .indirect_series
+                .push(sample(4 * i + 2, (104 + 8 * i) as u16));
         }
         base.entry(addr(1)).fingerprint.indirect_initial_ttl = Some(255);
         base.entry(addr(3)).fingerprint.indirect_initial_ttl = Some(64);
         let candidates = BTreeSet::from([addr(1), addr(2), addr(3)]);
-        let partition = resolve(&base, &candidates, SeriesSource::Indirect, &MbtParams::default());
+        let partition = resolve(
+            &base,
+            &candidates,
+            SeriesSource::Indirect,
+            &MbtParams::default(),
+        );
         assert!(!partition.same_set(addr(1), addr(3)), "conflict must hold");
         // B joins exactly one of them (deterministically).
         let with_b = partition.same_set(addr(1), addr(2)) || partition.same_set(addr(2), addr(3));

@@ -80,7 +80,10 @@ pub struct RoundReport {
 
 /// How to elicit an indirect reply from a specific interface: a flow known
 /// to reach it and the TTL at which it answers, harvested from the trace.
-fn indirect_targets(trace: &Trace, candidates: &BTreeSet<Ipv4Addr>) -> BTreeMap<Ipv4Addr, (Vec<FlowId>, u8)> {
+fn indirect_targets(
+    trace: &Trace,
+    candidates: &BTreeSet<Ipv4Addr>,
+) -> BTreeMap<Ipv4Addr, (Vec<FlowId>, u8)> {
     let mut map = BTreeMap::new();
     for ttl in 1..=trace.discovery.max_observed_ttl() {
         for &addr in trace.discovery.vertices_at(ttl) {
@@ -219,7 +222,10 @@ mod tests {
         let candidates: BTreeSet<Ipv4Addr> = trace.vertices_at(2).iter().copied().collect();
         assert_eq!(candidates.len(), 4, "trace must find all four interfaces");
         let mut base = EvidenceBase::from_log(prober.log(), &candidates);
-        let config = RoundsConfig { method, ..RoundsConfig::default() };
+        let config = RoundsConfig {
+            method,
+            ..RoundsConfig::default()
+        };
         run_rounds(&mut prober, &trace, &candidates, &mut base, &config)
     }
 
@@ -283,7 +289,7 @@ mod tests {
                 ..RouterProfile::well_behaved()
             },
             ProbeMethod::Indirect,
-            5,
+            6,
         );
         // Round 0: fingerprints incomplete (no direct probe yet) and the
         // MBT helpless → nothing asserted.

@@ -133,9 +133,21 @@ mod tests {
     #[test]
     fn echo_series() {
         let samples = vec![
-            IpIdSample { timestamp: 0, ip_id: 7, probe_ip_id: 7 },
-            IpIdSample { timestamp: 1, ip_id: 9, probe_ip_id: 9 },
-            IpIdSample { timestamp: 2, ip_id: 4, probe_ip_id: 4 },
+            IpIdSample {
+                timestamp: 0,
+                ip_id: 7,
+                probe_ip_id: 7,
+            },
+            IpIdSample {
+                timestamp: 1,
+                ip_id: 9,
+                probe_ip_id: 9,
+            },
+            IpIdSample {
+                timestamp: 2,
+                ip_id: 4,
+                probe_ip_id: 4,
+            },
         ];
         assert_eq!(classify_series(&samples, 8.0, 16), SeriesClass::EchoesProbe);
     }
@@ -152,7 +164,10 @@ mod tests {
     #[test]
     fn too_few_samples() {
         let samples = vec![s(0, 1), s(1, 2)];
-        assert_eq!(classify_series(&samples, 8.0, 16), SeriesClass::Insufficient);
+        assert_eq!(
+            classify_series(&samples, 8.0, 16),
+            SeriesClass::Insufficient
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ fn main() {
     let id = args[0].as_str();
     if id == "list" {
         println!("experiments: {}", ALL_IDS.join(", "));
-        println!("ablations:   ablation-phi, ablation-faults, ablation-stopping, ablation-weighted");
+        println!(
+            "ablations:   ablation-phi, ablation-faults, ablation-stopping, ablation-weighted"
+        );
         println!("meta:        all");
         return;
     }

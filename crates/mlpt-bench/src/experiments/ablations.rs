@@ -60,11 +60,15 @@ pub fn run_phi(scale: Scale) -> ExperimentResult {
                             "analytic_floor": 1.0 - analytic_miss,
                             "mean_probes": probes as f64 / runs as f64}));
     }
-    let mut text = format!(
-        "Ablation: meshing-test effort phi on the Fig. 1 meshed diamond ({runs} runs)\n\n"
-    );
+    let mut text =
+        format!("Ablation: meshing-test effort phi on the Fig. 1 meshed diamond ({runs} runs)\n\n");
     text.push_str(&table(
-        &["phi", "meshing detection rate", "Eq.1 analytic floor", "mean probes"],
+        &[
+            "phi",
+            "meshing detection rate",
+            "Eq.1 analytic floor",
+            "mean probes",
+        ],
         &rows,
     ));
     text.push_str("\n(The detection rate exceeds the Eq. 1 floor because hop-discovery\nprobes contribute degree evidence too.)\n");
@@ -96,7 +100,10 @@ pub fn run_faults(scale: Scale) -> ExperimentResult {
             let mut probes = 0u64;
             let mut reached = 0usize;
             for seed in 0..runs as u64 {
-                let net = SimNetwork::builder(topo.clone()).faults(plan).seed(seed).build();
+                let net = SimNetwork::builder(topo.clone())
+                    .faults(plan)
+                    .seed(seed)
+                    .build();
                 let mut prober =
                     TransportProber::new(net, "192.0.2.1".parse().unwrap(), topo.destination())
                         .with_retries(retries);
@@ -122,7 +129,13 @@ pub fn run_faults(scale: Scale) -> ExperimentResult {
         "Ablation: fault injection vs MDA discovery on the unmeshed Fig. 1 diamond ({runs} runs each)\n\n"
     );
     text.push_str(&table(
-        &["faults", "retries", "vertex fraction", "reach rate", "mean probes"],
+        &[
+            "faults",
+            "retries",
+            "vertex fraction",
+            "reach rate",
+            "mean probes",
+        ],
         &rows,
     ));
     ExperimentResult {
@@ -170,11 +183,16 @@ pub fn run_stopping(scale: Scale) -> ExperimentResult {
                             "analytic": analytic, "empirical": rate,
                             "mean_probes": probes as f64 / runs as f64}));
     }
-    let mut text = format!(
-        "Ablation: stopping points on the simplest diamond ({runs} runs each)\n\n"
-    );
+    let mut text =
+        format!("Ablation: stopping points on the simplest diamond ({runs} runs each)\n\n");
     text.push_str(&table(
-        &["table", "n1", "analytic failure", "empirical failure", "mean probes"],
+        &[
+            "table",
+            "n1",
+            "analytic failure",
+            "empirical failure",
+            "mean probes",
+        ],
         &rows,
     ));
     ExperimentResult {
@@ -225,7 +243,10 @@ pub fn run_weighted(scale: Scale) -> ExperimentResult {
     let mut text = format!(
         "Ablation: uneven load balancing vs MDA-Lite on the 28-wide diamond ({runs} runs)\n\n"
     );
-    text.push_str(&table(&["balancing", "vertex fraction", "mean probes"], &rows));
+    text.push_str(&table(
+        &["balancing", "vertex fraction", "mean probes"],
+        &rows,
+    ));
     text.push_str("\n(Uneven balancing starves low-weight interfaces of probes; the\nstopping rule, calibrated for uniformity, gives up earlier than it should.)\n");
     ExperimentResult {
         id: "ablation-weighted",

@@ -26,26 +26,18 @@ pub fn run(scale: Scale) -> ExperimentResult {
     let stopping = StoppingPoints::mda95();
     let nks = stopping.as_slice().to_vec();
 
-    let report = validate_tool(
-        &topology,
-        &nks,
-        samples,
-        runs,
-        0xFA4E,
-        0.95,
-        |net, seed| {
-            let dst = net.topology().destination();
-            let truth_vertices = net.topology().total_vertices();
-            let truth_edges = net.topology().total_edges();
-            let mut prober = TransportProber::new(net, "192.0.2.1".parse().unwrap(), dst);
-            let trace = trace_mda(&mut prober, &TraceConfig::new(seed));
-            let topo = match trace.to_topology() {
-                Some(t) => t,
-                None => return false,
-            };
-            topo.total_vertices() == truth_vertices && topo.total_edges() == truth_edges
-        },
-    );
+    let report = validate_tool(&topology, &nks, samples, runs, 0xFA4E, 0.95, |net, seed| {
+        let dst = net.topology().destination();
+        let truth_vertices = net.topology().total_vertices();
+        let truth_edges = net.topology().total_edges();
+        let mut prober = TransportProber::new(net, "192.0.2.1".parse().unwrap(), dst);
+        let trace = trace_mda(&mut prober, &TraceConfig::new(seed));
+        let topo = match trace.to_topology() {
+            Some(t) => t,
+            None => return false,
+        };
+        topo.total_vertices() == truth_vertices && topo.total_edges() == truth_edges
+    });
 
     let text = format!(
         "Fakeroute validation (Sec. 3): simplest diamond, 95% stopping points\n\n\

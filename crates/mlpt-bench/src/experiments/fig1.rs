@@ -16,11 +16,7 @@ use mlpt_stats::Summary;
 use mlpt_topo::{canonical, MultipathTopology};
 use serde_json::json;
 
-fn mean_probes(
-    topo: &MultipathTopology,
-    runs: usize,
-    lite: bool,
-) -> (Summary, usize) {
+fn mean_probes(topo: &MultipathTopology, runs: usize, lite: bool) -> (Summary, usize) {
     let mut summary = Summary::new();
     let mut switched = 0usize;
     for seed in 0..runs as u64 {
@@ -82,7 +78,12 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "Fig. 1 / Sec. 2.1 probe accounting (Veitch Table 1 stopping points, {runs} runs)\n\n"
     );
     text.push_str(&table(
-        &["run", "paper formula", "measured mean probes", "measured - formula"],
+        &[
+            "run",
+            "paper formula",
+            "measured mean probes",
+            "measured - formula",
+        ],
         &rows,
     ));
     text.push_str(&format!(

@@ -21,12 +21,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
     };
     let report = run_router_survey(&internet, &config);
 
-    let distinct = EmpiricalCdf::from_iter(
-        report.router_sizes_distinct.iter().map(|&s| s as f64),
-    );
-    let aggregated = EmpiricalCdf::from_iter(
-        report.router_sizes_aggregated.iter().map(|&s| s as f64),
-    );
+    let distinct = EmpiricalCdf::from_iter(report.router_sizes_distinct.iter().map(|&s| s as f64));
+    let aggregated =
+        EmpiricalCdf::from_iter(report.router_sizes_aggregated.iter().map(|&s| s as f64));
     let grid = [2.0, 3.0, 5.0, 10.0, 20.0, 50.0, 100.0];
     let rows = vec![
         cdf_row("distinct", &distinct, &grid),
@@ -36,7 +33,11 @@ pub fn run(scale: Scale) -> ExperimentResult {
     headers.extend(grid.iter().map(|x| format!("size<={x}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
 
-    let over50_distinct = report.router_sizes_distinct.iter().filter(|&&s| s > 50).count();
+    let over50_distinct = report
+        .router_sizes_distinct
+        .iter()
+        .filter(|&&s| s > 50)
+        .count();
     let over50_aggregated = report
         .router_sizes_aggregated
         .iter()

@@ -29,7 +29,14 @@ pub fn run(scale: Scale) -> ExperimentResult {
     for (name, topo) in canonical::simulation_suite() {
         // Per grid point, across runs: vertex/edge fractions per algorithm.
         let mut curves: Vec<[Summary; 4]> = (0..GRID.len())
-            .map(|_| [Summary::new(), Summary::new(), Summary::new(), Summary::new()])
+            .map(|_| {
+                [
+                    Summary::new(),
+                    Summary::new(),
+                    Summary::new(),
+                    Summary::new(),
+                ]
+            })
             .collect();
         let mut lite_packet_ratio = Summary::new();
 

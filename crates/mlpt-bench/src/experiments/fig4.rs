@@ -17,7 +17,9 @@ use super::ExperimentResult;
 use crate::render::{cdf_row, f3, table};
 use crate::Scale;
 use mlpt_survey::evaluation::{Variant, VARIANTS};
-use mlpt_survey::{evaluate_scenarios, EvaluationConfig, EvaluationOutcome, InternetConfig, SyntheticInternet};
+use mlpt_survey::{
+    evaluate_scenarios, EvaluationConfig, EvaluationOutcome, InternetConfig, SyntheticInternet,
+};
 use serde_json::json;
 
 fn evaluate(scale: Scale) -> EvaluationOutcome {
@@ -32,7 +34,9 @@ fn evaluate(scale: Scale) -> EvaluationOutcome {
 /// Fig. 4: the three ratio CDFs.
 pub fn run_fig4(scale: Scale) -> ExperimentResult {
     let out = evaluate(scale);
-    let grid = [0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 1.0, 1.01, 1.1, 10.0, 100.0];
+    let grid = [
+        0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 1.0, 1.01, 1.1, 10.0, 100.0,
+    ];
     let mut headers: Vec<String> = vec!["variant".into()];
     headers.extend(grid.iter().map(|x| format!("r<={x}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();

@@ -5,11 +5,11 @@
 pub mod ablations;
 pub mod fakeroute;
 pub mod fig1;
+pub mod fig12;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
-pub mod fig12;
 pub mod surveys;
 pub mod table2;
 pub mod table3;
@@ -30,8 +30,22 @@ pub struct ExperimentResult {
 
 /// All experiment ids in presentation order.
 pub const ALL_IDS: [&str; 16] = [
-    "fig1", "fig2", "fig3", "fig4", "table1", "fakeroute", "fig5", "table2", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "fig12", "table3", "fig13",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "table1",
+    "fakeroute",
+    "fig5",
+    "table2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table3",
+    "fig13",
 ];
 
 /// Runs one experiment by id (fig13 also covers fig14; fig4 also covers

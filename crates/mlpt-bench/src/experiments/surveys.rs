@@ -5,7 +5,9 @@ use super::ExperimentResult;
 use crate::render::{cdf_row, f3, pct, table};
 use crate::Scale;
 use mlpt_stats::Histogram;
-use mlpt_survey::{run_ip_survey, InternetConfig, IpSurveyConfig, IpSurveyReport, SyntheticInternet};
+use mlpt_survey::{
+    run_ip_survey, InternetConfig, IpSurveyConfig, IpSurveyReport, SyntheticInternet,
+};
 use serde_json::json;
 use std::sync::OnceLock;
 

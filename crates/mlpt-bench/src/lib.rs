@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod progress;
+pub mod reference;
 pub mod render;
 pub mod scale;
 

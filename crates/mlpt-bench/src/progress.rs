@@ -131,7 +131,8 @@ mod tests {
     fn replay_monotone_and_complete() {
         let topo = canonical::fig1_unmeshed();
         let net = SimNetwork::new(topo.clone(), 5);
-        let mut prober = TransportProber::new(net, "192.0.2.1".parse().unwrap(), topo.destination());
+        let mut prober =
+            TransportProber::new(net, "192.0.2.1".parse().unwrap(), topo.destination());
         let trace = trace_mda(&mut prober, &TraceConfig::new(5));
         assert!(trace.reached_destination);
         let curve = replay(prober.log(), &topo);
@@ -151,7 +152,8 @@ mod tests {
     fn sample_fractions() {
         let topo = canonical::simplest_diamond();
         let net = SimNetwork::new(topo.clone(), 2);
-        let mut prober = TransportProber::new(net, "192.0.2.1".parse().unwrap(), topo.destination());
+        let mut prober =
+            TransportProber::new(net, "192.0.2.1".parse().unwrap(), topo.destination());
         let _ = trace_mda(&mut prober, &TraceConfig::new(2));
         let curve = replay(prober.log(), &topo);
         let total = curve.last().unwrap().packets;

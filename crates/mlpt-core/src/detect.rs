@@ -56,7 +56,12 @@ pub fn check_per_packet<P: Prober>(
 
 /// Checks every TTL up to `max_ttl` (or until the destination answers);
 /// returns the TTLs where per-packet balancing was detected.
-pub fn scan_per_packet<P: Prober>(prober: &mut P, flow: FlowId, max_ttl: u8, samples: u32) -> Vec<u8> {
+pub fn scan_per_packet<P: Prober>(
+    prober: &mut P,
+    flow: FlowId,
+    max_ttl: u8,
+    samples: u32,
+) -> Vec<u8> {
     let mut detected = Vec::new();
     for ttl in 1..=max_ttl {
         let report = check_per_packet(prober, flow, ttl, samples);

@@ -59,6 +59,29 @@ impl Discovery {
         self.used_flows.insert(flow);
     }
 
+    /// Notes a whole round of probes as sent (the batched analogue of
+    /// [`Discovery::note_probe_sent`]).
+    pub fn note_probes_sent(&mut self, specs: &[crate::prober::ProbeSpec]) {
+        for spec in specs {
+            self.note_probe_sent(spec.flow, spec.ttl);
+        }
+    }
+
+    /// Records a whole round's observations, in spec order (the batched
+    /// analogue of [`Discovery::record`]; unanswered slots are skipped).
+    pub fn record_batch(
+        &mut self,
+        specs: &[crate::prober::ProbeSpec],
+        results: &[Option<crate::prober::ProbeObservation>],
+    ) {
+        debug_assert_eq!(specs.len(), results.len());
+        for (spec, result) in specs.iter().zip(results) {
+            if let Some(obs) = result {
+                self.record(spec.flow, spec.ttl, obs.responder, obs.at_destination);
+            }
+        }
+    }
+
     /// Records a successful observation.
     pub fn record(&mut self, flow: FlowId, ttl: u8, responder: Ipv4Addr, at_destination: bool) {
         assert!(ttl >= 1);
@@ -69,7 +92,10 @@ impl Discovery {
             BTreeSet::new()
         });
         entry.insert(flow);
-        self.flow_paths.entry(flow).or_default().insert(ttl, responder);
+        self.flow_paths
+            .entry(flow)
+            .or_default()
+            .insert(ttl, responder);
         if at_destination {
             self.destination_ttl = Some(match self.destination_ttl {
                 Some(t) => t.min(ttl),
@@ -101,7 +127,10 @@ impl Discovery {
 
     /// The vertex `flow` was observed to reach at `ttl`, if known.
     pub fn flow_vertex(&self, ttl: u8, flow: FlowId) -> Option<Ipv4Addr> {
-        self.flow_paths.get(&flow).and_then(|p| p.get(&ttl)).copied()
+        self.flow_paths
+            .get(&flow)
+            .and_then(|p| p.get(&ttl))
+            .copied()
     }
 
     /// True if `flow` was already probed at `ttl`.

@@ -15,7 +15,7 @@
 
 use crate::config::TraceConfig;
 use crate::discovery::{Discovery, FlowAllocator};
-use crate::prober::Prober;
+use crate::prober::{ProbeSpec, Prober};
 use crate::trace::{Algorithm, Trace};
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
@@ -24,6 +24,9 @@ use std::net::Ipv4Addr;
 pub(crate) struct RunCtx {
     pub(crate) probes_used: u64,
     pub(crate) budget: u64,
+    /// Reusable per-round probe list, so the batched hot loops allocate
+    /// nothing in steady state.
+    pub(crate) specs: Vec<ProbeSpec>,
 }
 
 impl RunCtx {
@@ -31,6 +34,7 @@ impl RunCtx {
         Self {
             probes_used: 0,
             budget,
+            specs: Vec::new(),
         }
     }
 
@@ -41,6 +45,14 @@ impl RunCtx {
         }
         self.probes_used += 1;
         true
+    }
+
+    /// Accounts for up to `want` probes, returning how many the budget
+    /// still covers.
+    pub(crate) fn take(&mut self, want: u64) -> u64 {
+        let granted = want.min(self.budget.saturating_sub(self.probes_used));
+        self.probes_used += granted;
+        granted
     }
 
     pub(crate) fn exhausted(&self) -> bool {
@@ -66,6 +78,26 @@ pub(crate) fn send_probe<P: Prober>(
     true
 }
 
+/// Sends a whole round of probes through the prober's vectorized path and
+/// records every outcome. The round is truncated to the remaining probe
+/// budget; returns false when the budget cut it short (the batched
+/// analogue of [`send_probe`] returning false).
+pub(crate) fn send_probe_batch<P: Prober>(
+    prober: &mut P,
+    state: &mut Discovery,
+    ctx: &mut RunCtx,
+    specs: &[ProbeSpec],
+) -> bool {
+    let granted = ctx.take(specs.len() as u64) as usize;
+    let round = &specs[..granted];
+    if !round.is_empty() {
+        state.note_probes_sent(round);
+        let results = prober.probe_batch(round);
+        state.record_batch(round, &results);
+    }
+    granted == specs.len()
+}
+
 /// True once every vertex known at `ttl` is the destination (and at least
 /// one is): the trace has converged.
 pub(crate) fn converged(state: &Discovery, destination: Ipv4Addr, ttl: u8) -> bool {
@@ -89,18 +121,31 @@ pub(crate) fn discover_hop_uniform<P: Prober>(
 ) {
     let mut reuse_iter = reuse.iter().copied();
     loop {
-        let k = state.vertices_at(ttl).len();
+        let k = state.vertices_at(ttl).len().max(1);
         let sent = state.probes_at(ttl);
-        if config.stopping.should_stop(k.max(1), sent) {
+        if config.stopping.should_stop(k, sent) {
             // k == 0 with n(1) probes spent: a silent hop; the rule for a
             // single hypothetical vertex applies.
             break;
         }
-        let flow = reuse_iter
-            .by_ref()
-            .find(|&f| !state.flow_probed_at(ttl, f))
-            .unwrap_or_else(|| flows.fresh());
-        if !send_probe(prober, state, ctx, flow, ttl) {
+        // Everything still owed under the current stopping point goes out
+        // as one batch. Because n_k is non-decreasing in k, a vertex
+        // discovered mid-round only ever *raises* the target, so batching
+        // to the current target sends exactly the probes the sequential
+        // loop would have sent.
+        let owed = config.stopping.n(k).saturating_sub(sent).max(1);
+        let mut specs = std::mem::take(&mut ctx.specs);
+        specs.clear();
+        for _ in 0..owed {
+            let flow = reuse_iter
+                .by_ref()
+                .find(|&f| !state.flow_probed_at(ttl, f))
+                .unwrap_or_else(|| flows.fresh());
+            specs.push(ProbeSpec::new(flow, ttl));
+        }
+        let sent_all = send_probe_batch(prober, state, ctx, &specs);
+        ctx.specs = specs;
+        if !sent_all {
             break;
         }
     }
@@ -145,21 +190,40 @@ fn process_vertex<P: Prober>(
 ) {
     loop {
         let (sent_via, successors) = state.probes_via(parent, ttl);
-        let k = successors.len();
-        if config.stopping.should_stop(k.max(1), sent_via) {
+        let k = successors.len().max(1);
+        if config.stopping.should_stop(k, sent_via) {
             break;
         }
-        // A flow known to reach the parent and not yet probed at this ttl.
-        let candidate = state
-            .flows_reaching(ttl - 1, parent)
-            .into_iter()
-            .find(|&f| !state.flow_probed_at(ttl, f));
-        let flow = match candidate {
+        // Everything owed via this parent under the current stopping
+        // point, limited to the flows already known to reach it, goes out
+        // as one batch (ascending flow order — the same order the
+        // sequential loop drained the candidate set in).
+        let owed = config.stopping.n(k).saturating_sub(sent_via).max(1) as usize;
+        let mut specs = std::mem::take(&mut ctx.specs);
+        specs.clear();
+        specs.extend(
+            state
+                .flows_reaching(ttl - 1, parent)
+                .into_iter()
+                .filter(|&f| !state.flow_probed_at(ttl, f))
+                .take(owed)
+                .map(|f| ProbeSpec::new(f, ttl)),
+        );
+        if !specs.is_empty() {
+            let sent_all = send_probe_batch(prober, state, ctx, &specs);
+            ctx.specs = specs;
+            if !sent_all {
+                break;
+            }
+            continue;
+        }
+        ctx.specs = specs;
+        // No known flow reaches the parent: node control hunts one (the
+        // adaptive δ-overhead loop stays sequential — each hunt probe's
+        // outcome decides whether another is needed).
+        let flow = match hunt_flow_via(prober, state, flows, config, ctx, parent, ttl - 1) {
             Some(f) => f,
-            None => match hunt_flow_via(prober, state, flows, config, ctx, parent, ttl - 1) {
-                Some(f) => f,
-                None => break, // budget/attempts exhausted: give up on parent
-            },
+            None => break, // budget/attempts exhausted: give up on parent
         };
         if !send_probe(prober, state, ctx, flow, ttl) {
             break;
@@ -271,11 +335,7 @@ mod tests {
     fn assert_complete(topo: &MultipathTopology, trace: &Trace) {
         assert!(trace.reached_destination);
         let discovered = trace.to_topology().expect("reached destination");
-        assert_eq!(
-            discovered.num_hops(),
-            topo.num_hops(),
-            "hop count mismatch"
-        );
+        assert_eq!(discovered.num_hops(), topo.num_hops(), "hop count mismatch");
         for i in 0..topo.num_hops() {
             let want: BTreeSet<Ipv4Addr> = topo.hop(i).iter().copied().collect();
             let got: BTreeSet<Ipv4Addr> = discovered.hop(i).iter().copied().collect();
@@ -353,8 +413,7 @@ mod tests {
         for seed in 0..runs {
             let net = SimNetwork::new(topo.clone(), seed);
             let mut prober = TransportProber::new(net, SRC, topo.destination());
-            let config =
-                TraceConfig::new(seed).with_stopping(StoppingPoints::veitch_table1());
+            let config = TraceConfig::new(seed).with_stopping(StoppingPoints::veitch_table1());
             let trace = trace_mda(&mut prober, &config);
             total += trace.probes_sent;
         }
@@ -374,8 +433,7 @@ mod tests {
         for seed in 0..runs {
             let net = SimNetwork::new(topo.clone(), seed);
             let mut prober = TransportProber::new(net, SRC, topo.destination());
-            let config =
-                TraceConfig::new(seed).with_stopping(StoppingPoints::veitch_table1());
+            let config = TraceConfig::new(seed).with_stopping(StoppingPoints::veitch_table1());
             let trace = trace_mda(&mut prober, &config);
             total += trace.probes_sent;
         }

@@ -24,8 +24,8 @@
 
 use crate::config::TraceConfig;
 use crate::discovery::{Discovery, FlowAllocator};
-use crate::mda::{converged, discover_hop_uniform, run_mda, send_probe, RunCtx};
-use crate::prober::Prober;
+use crate::mda::{converged, discover_hop_uniform, run_mda, send_probe_batch, RunCtx};
+use crate::prober::{ProbeSpec, Prober};
 use crate::trace::{Algorithm, SwitchReason, Trace};
 use mlpt_wire::FlowId;
 use std::collections::BTreeSet;
@@ -49,7 +49,9 @@ pub fn trace_mda_lite<P: Prober>(prober: &mut P, config: &TraceConfig) -> Trace 
         } else {
             state.reuse_queue(ttl - 1)
         };
-        discover_hop_uniform(prober, &mut state, &mut flows, config, &mut ctx, ttl, &reuse);
+        discover_hop_uniform(
+            prober, &mut state, &mut flows, config, &mut ctx, ttl, &reuse,
+        );
         if ctx.exhausted() {
             break;
         }
@@ -66,8 +68,7 @@ pub fn trace_mda_lite<P: Prober>(prober: &mut P, config: &TraceConfig) -> Trace 
 
             // 3. Meshing test on adjacent multi-vertex hops.
             if prev_multi && curr_multi {
-                let meshed =
-                    meshing_test(prober, &mut state, &mut flows, config, &mut ctx, ttl);
+                let meshed = meshing_test(prober, &mut state, &mut flows, config, &mut ctx, ttl);
                 if meshed {
                     switched = Some(SwitchReason::MeshingDetected { ttl: ttl - 1 });
                     break 'hops;
@@ -106,20 +107,16 @@ pub fn trace_mda_lite<P: Prober>(prober: &mut P, config: &TraceConfig) -> Trace 
 /// successors to successor-less vertices at `ttl - 1`; backward probes
 /// give predecessors to predecessor-less vertices at `ttl`. Covers all
 /// three width cases of the paper (fewer / more / equal).
-fn complete_edges<P: Prober>(
-    prober: &mut P,
-    state: &mut Discovery,
-    ctx: &mut RunCtx,
-    ttl: u8,
-) {
+fn complete_edges<P: Prober>(prober: &mut P, state: &mut Discovery, ctx: &mut RunCtx, ttl: u8) {
     // Bounded fixpoint: a completion probe can itself reveal a new vertex
     // (evidence the hop discovery missed one); re-completing is cheap and
-    // deterministic.
+    // deterministic. Each round's completion probes are independent of
+    // one another, so the whole round crosses the transport as one batch.
     for _round in 0..4 {
         let edges = state.edges_from(ttl - 1);
         let rev = state.reverse_edges_from(ttl - 1);
 
-        let mut work: Vec<(FlowId, u8)> = Vec::new();
+        let mut work: Vec<ProbeSpec> = Vec::new();
 
         // Forward: vertex at ttl-1 without successor.
         for &u in state.vertices_at(ttl - 1) {
@@ -129,7 +126,7 @@ fn complete_edges<P: Prober>(
                     .iter()
                     .find(|&&f| !state.flow_probed_at(ttl, f))
                 {
-                    work.push((f, ttl));
+                    work.push(ProbeSpec::new(f, ttl));
                 }
             }
         }
@@ -141,7 +138,7 @@ fn complete_edges<P: Prober>(
                     .iter()
                     .find(|&&f| !state.flow_probed_at(ttl - 1, f))
                 {
-                    work.push((f, ttl - 1));
+                    work.push(ProbeSpec::new(f, ttl - 1));
                 }
             }
         }
@@ -149,10 +146,8 @@ fn complete_edges<P: Prober>(
         if work.is_empty() {
             return;
         }
-        for (flow, at) in work {
-            if !send_probe(prober, state, ctx, flow, at) {
-                return;
-            }
+        if !send_probe_batch(prober, state, ctx, &work) {
+            return;
         }
     }
 }
@@ -179,42 +174,54 @@ fn meshing_test<P: Prober>(
 
     // Gather φ flows per vertex on the traced-from hop (light node
     // control: draw fresh flows and probe them at from_ttl until each
-    // vertex holds φ, bounded).
+    // vertex holds φ, bounded). Each probe can satisfy at most one unit
+    // of the total deficit, so a whole deficit's worth of fresh flows
+    // goes out per batch without ever overshooting the sequential loop.
     let vertices: Vec<Ipv4Addr> = state.vertices_at(from_ttl).to_vec();
     let phi = config.phi as usize;
     let mut attempts = 0u64;
     loop {
-        let deficient: Vec<Ipv4Addr> = vertices
+        let deficit: u64 = vertices
             .iter()
-            .copied()
-            .filter(|&v| state.flows_reaching(from_ttl, v).len() < phi)
-            .collect();
-        if deficient.is_empty() {
+            .map(|&v| phi.saturating_sub(state.flows_reaching(from_ttl, v).len()) as u64)
+            .sum();
+        if deficit == 0 {
             break;
         }
-        attempts += 1;
-        if attempts > config.node_control_attempts {
+        let allowance = config.node_control_attempts.saturating_sub(attempts);
+        let round = deficit.min(allowance);
+        if round == 0 {
             break;
         }
-        let flow = flows.fresh();
-        if !send_probe(prober, state, ctx, flow, from_ttl) {
+        attempts += round;
+        let mut specs = std::mem::take(&mut ctx.specs);
+        specs.clear();
+        specs.extend((0..round).map(|_| ProbeSpec::new(flows.fresh(), from_ttl)));
+        let sent_all = send_probe_batch(prober, state, ctx, &specs);
+        ctx.specs = specs;
+        if !sent_all {
             break;
         }
     }
 
-    // Send φ flows of each vertex to the other hop.
+    // Send φ flows of each vertex to the other hop — one batch: the flow
+    // sets of distinct vertices are disjoint, so no spec repeats.
+    let mut specs = std::mem::take(&mut ctx.specs);
+    specs.clear();
     for &v in &vertices {
-        let vflows: Vec<FlowId> = state
-            .flows_reaching(from_ttl, v)
-            .into_iter()
-            .take(phi)
-            .collect();
-        for f in vflows {
-            if !state.flow_probed_at(to_ttl, f)
-                && !send_probe(prober, state, ctx, f, to_ttl) {
-                    return false;
-                }
-        }
+        specs.extend(
+            state
+                .flows_reaching(from_ttl, v)
+                .into_iter()
+                .take(phi)
+                .filter(|&f| !state.flow_probed_at(to_ttl, f))
+                .map(|f| ProbeSpec::new(f, to_ttl)),
+        );
+    }
+    let sent_all = send_probe_batch(prober, state, ctx, &specs);
+    ctx.specs = specs;
+    if !sent_all {
+        return false;
     }
 
     // Detection over all accumulated evidence.
@@ -383,8 +390,7 @@ mod tests {
         for seed in 0..20u64 {
             let net = SimNetwork::new(topo.clone(), seed);
             let mut p = TransportProber::new(net, SRC, topo.destination());
-            let config = TraceConfig::new(seed)
-                .with_stopping(StoppingPoints::veitch_table1());
+            let config = TraceConfig::new(seed).with_stopping(StoppingPoints::veitch_table1());
             let trace = trace_mda_lite(&mut p, &config);
             if trace.switched.is_none() {
                 totals.push(trace.probes_sent);
@@ -406,10 +412,7 @@ mod tests {
             let trace = run_on(&topo, seed);
             for ttl in 1..=topo.num_hops() as u8 {
                 for &v in trace.vertices_at(ttl) {
-                    assert!(
-                        topo.contains(usize::from(ttl - 1), v),
-                        "phantom vertex {v}"
-                    );
+                    assert!(topo.contains(usize::from(ttl - 1), v), "phantom vertex {v}");
                 }
             }
         }
@@ -443,10 +446,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            witnessed.is_subset(&want_edges),
-            "phantom edges discovered"
-        );
+        assert!(witnessed.is_subset(&want_edges), "phantom edges discovered");
         assert!(
             witnessed.len() as f64 >= 0.97 * want_edges.len() as f64,
             "only {}/{} edges discovered",

@@ -2,10 +2,22 @@
 //!
 //! Tracing algorithms think in terms of "send flow f at TTL t, which
 //! interface answered?" — the [`Prober`] trait. [`TransportProber`]
-//! implements it over any [`PacketTransport`] by building real probe
+//! implements it over any [`BatchTransport`] by building real probe
 //! datagrams and parsing real replies, so every algorithmic probe
 //! round-trips through the wire substrate exactly as a real tool's
 //! packets would.
+//!
+//! Two dispatch shapes exist. [`Prober::probe`] sends one probe
+//! synchronously. [`Prober::probe_batch`] moves a whole round of probes
+//! (e.g. every flow identifier a hop still owes under the stopping rule)
+//! across the transport in one call; `TransportProber` encodes the round
+//! into a reusable [`PacketBatch`], dispatches it with one
+//! [`BatchTransport::send_batch`], and decodes the packed replies — no
+//! per-probe allocations, no per-probe virtual dispatch. The default
+//! trait implementation falls back to sequential `probe` calls, so any
+//! `Prober` is batch-callable. Batched and sequential dispatch produce
+//! bit-identical observation streams on a synchronous transport (same
+//! packet order, same sequence numbers, same clock progression).
 //!
 //! Every observation (interface, IP ID, reply TTL, MPLS labels,
 //! timestamp) is also recorded in a [`ProbeLog`], which is the "for free"
@@ -13,10 +25,40 @@
 //! already collected.
 
 use mlpt_wire::icmp::MplsLabelStackEntry;
-use mlpt_wire::probe::{build_echo_probe, build_udp_probe, parse_reply, ProbePacket, ReplyKind};
-use mlpt_wire::transport::PacketTransport;
+use mlpt_wire::probe::{
+    build_echo_probe, build_udp_probe_into, parse_reply, ProbePacket, ReplyKind,
+};
+use mlpt_wire::transport::{BatchTransport, PacketBatch, PacketTransport, ReplyBatch};
 use mlpt_wire::FlowId;
 use std::net::Ipv4Addr;
+
+/// One indirect probe request: which flow at which TTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProbeSpec {
+    /// The flow identifier to send.
+    pub flow: FlowId,
+    /// The TTL to probe.
+    pub ttl: u8,
+}
+
+impl ProbeSpec {
+    /// Creates a spec.
+    pub fn new(flow: FlowId, ttl: u8) -> Self {
+        Self { flow, ttl }
+    }
+}
+
+/// How a [`TransportProber`] moves probes across the transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Vectorized: whole rounds through [`BatchTransport::send_batch`]
+    /// with reusable packet/reply buffers (the fast path).
+    #[default]
+    Batched,
+    /// Legacy one-probe-at-a-time dispatch. Kept for benchmarking the
+    /// batched path against its predecessor and for equivalence tests.
+    PerProbe,
+}
 
 /// What one traceroute-style (indirect) probe observed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +102,16 @@ pub trait Prober {
     /// Sends an indirect (UDP, TTL-limited) probe.
     fn probe(&mut self, flow: FlowId, ttl: u8) -> Option<ProbeObservation>;
 
+    /// Sends a round of indirect probes, returning one observation slot
+    /// per spec, in spec order.
+    ///
+    /// The default shim dispatches sequentially through
+    /// [`Prober::probe`], so every prober is batch-callable; transports
+    /// with a vectorized path override this.
+    fn probe_batch(&mut self, specs: &[ProbeSpec]) -> Vec<Option<ProbeObservation>> {
+        specs.iter().map(|s| self.probe(s.flow, s.ttl)).collect()
+    }
+
     /// Sends a direct (ICMP echo) probe to a specific interface.
     fn direct_probe(&mut self, target: Ipv4Addr) -> Option<DirectObservation>;
 
@@ -80,8 +132,9 @@ pub struct ProbeLog {
     pub direct: Vec<DirectObservation>,
 }
 
-/// A [`Prober`] over a [`PacketTransport`], building and parsing real
-/// packets.
+/// A [`Prober`] over a [`BatchTransport`], building and parsing real
+/// packets. Batched rounds reuse the packet/reply scratch buffers below,
+/// so steady-state probing performs no heap allocations on the send path.
 pub struct TransportProber<T: PacketTransport> {
     transport: T,
     source: Ipv4Addr,
@@ -90,7 +143,14 @@ pub struct TransportProber<T: PacketTransport> {
     echo_identifier: u16,
     retries: u8,
     probes_sent: u64,
+    dispatch: DispatchMode,
     log: ProbeLog,
+    /// Reusable encode buffer for one round of probe packets.
+    scratch_packets: PacketBatch,
+    /// Reusable decode buffer for one round of replies.
+    scratch_replies: ReplyBatch,
+    /// Reusable per-round bookkeeping (pending spec indices).
+    scratch_pending: Vec<usize>,
 }
 
 impl<T: PacketTransport> TransportProber<T> {
@@ -104,16 +164,33 @@ impl<T: PacketTransport> TransportProber<T> {
             echo_identifier: 0x4D4C, // "ML"
             retries: 0,
             probes_sent: 0,
+            dispatch: DispatchMode::default(),
             log: ProbeLog::default(),
+            scratch_packets: PacketBatch::new(),
+            scratch_replies: ReplyBatch::new(),
+            scratch_pending: Vec::new(),
         }
     }
 
     /// Sets how many times an unanswered probe is retried (default 0).
     /// Retries matter only under fault injection; each retry counts as a
-    /// sent probe, as it would on the wire.
+    /// sent probe, as it would on the wire. In batched dispatch, retries
+    /// happen per round (all unanswered probes re-sent together) instead
+    /// of immediately per probe.
     pub fn with_retries(mut self, retries: u8) -> Self {
         self.retries = retries;
         self
+    }
+
+    /// Selects the dispatch mode (default [`DispatchMode::Batched`]).
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The dispatch mode in force.
+    pub fn dispatch(&self) -> DispatchMode {
+        self.dispatch
     }
 
     /// The accumulated observation log.
@@ -136,54 +213,152 @@ impl<T: PacketTransport> TransportProber<T> {
         self.sequence = self.sequence.wrapping_add(1);
         self.sequence
     }
+
+    /// Decodes one reply slot against its spec; returns the observation
+    /// if the reply matches the probe.
+    fn decode_reply(
+        &self,
+        spec: ProbeSpec,
+        reply: &[u8],
+        timestamp: u64,
+    ) -> Option<ProbeObservation> {
+        let parsed = parse_reply(reply).ok()?;
+        // Reject replies that don't quote our probe (mismatched flow):
+        // a real tool matches replies to probes by the quoted headers.
+        if parsed.probe_flow != Some(spec.flow) {
+            return None;
+        }
+        let at_destination = matches!(parsed.kind, ReplyKind::PortUnreachable)
+            || parsed.responder == self.destination;
+        Some(ProbeObservation {
+            flow: spec.flow,
+            ttl: spec.ttl,
+            responder: parsed.responder,
+            at_destination,
+            ip_id: parsed.reply_ip_id,
+            reply_ttl: parsed.reply_ttl,
+            mpls: parsed.mpls_stack,
+            timestamp,
+        })
+    }
 }
 
-impl<T: PacketTransport> Prober for TransportProber<T> {
+impl<T: BatchTransport> Prober for TransportProber<T> {
     fn probe(&mut self, flow: FlowId, ttl: u8) -> Option<ProbeObservation> {
         for _attempt in 0..=self.retries {
             let sequence = self.next_sequence();
-            let packet = build_udp_probe(&ProbePacket {
-                source: self.source,
-                destination: self.destination,
-                flow,
-                ttl,
-                sequence,
+            let mut packet_buf = std::mem::take(&mut self.scratch_packets);
+            packet_buf.clear();
+            packet_buf.push_with(|buf| {
+                build_udp_probe_into(
+                    &ProbePacket {
+                        source: self.source,
+                        destination: self.destination,
+                        flow,
+                        ttl,
+                        sequence,
+                    },
+                    buf,
+                )
             });
             self.probes_sent += 1;
-            let Some(reply) = self.transport.send_packet(&packet) else {
-                continue;
+            let mut reply_buf = std::mem::take(&mut self.scratch_replies);
+            reply_buf.clear();
+            let mut answered = false;
+            reply_buf.push_with(0, |buf| {
+                answered = self.transport.send_packet_into(packet_buf.get(0), buf);
+                answered
+            });
+            let obs = if answered {
+                self.decode_reply(
+                    ProbeSpec::new(flow, ttl),
+                    reply_buf.get(0).expect("answered slot"),
+                    self.transport.now(),
+                )
+            } else {
+                None
             };
-            let Ok(parsed) = parse_reply(&reply) else {
-                continue;
-            };
-            // Reject replies that don't quote our probe (mismatched flow):
-            // a real tool matches replies to probes by the quoted headers.
-            if parsed.probe_flow != Some(flow) {
-                continue;
+            self.scratch_packets = packet_buf;
+            self.scratch_replies = reply_buf;
+            if let Some(obs) = obs {
+                self.log.indirect.push(obs.clone());
+                return Some(obs);
             }
-            let at_destination = matches!(parsed.kind, ReplyKind::PortUnreachable)
-                || parsed.responder == self.destination;
-            let obs = ProbeObservation {
-                flow,
-                ttl,
-                responder: parsed.responder,
-                at_destination,
-                ip_id: parsed.reply_ip_id,
-                reply_ttl: parsed.reply_ttl,
-                mpls: parsed.mpls_stack,
-                timestamp: self.transport.now(),
-            };
-            self.log.indirect.push(obs.clone());
-            return Some(obs);
         }
         None
+    }
+
+    /// Vectorized dispatch: encodes the whole round into the reusable
+    /// packet batch, crosses the transport once, and decodes the packed
+    /// replies. Unanswered probes are retried in follow-up rounds (up to
+    /// the configured retry count).
+    fn probe_batch(&mut self, specs: &[ProbeSpec]) -> Vec<Option<ProbeObservation>> {
+        if self.dispatch == DispatchMode::PerProbe {
+            // Legacy path: sequential, for A/B comparison.
+            return specs.iter().map(|s| self.probe(s.flow, s.ttl)).collect();
+        }
+        let mut results: Vec<Option<ProbeObservation>> = vec![None; specs.len()];
+        let mut pending = std::mem::take(&mut self.scratch_pending);
+        pending.clear();
+        pending.extend(0..specs.len());
+
+        for _attempt in 0..=self.retries {
+            if pending.is_empty() {
+                break;
+            }
+            // Encode the round.
+            let mut packets = std::mem::take(&mut self.scratch_packets);
+            packets.clear();
+            for &i in &pending {
+                let sequence = self.next_sequence();
+                let spec = specs[i];
+                let probe = ProbePacket {
+                    source: self.source,
+                    destination: self.destination,
+                    flow: spec.flow,
+                    ttl: spec.ttl,
+                    sequence,
+                };
+                packets.push_with(|buf| build_udp_probe_into(&probe, buf));
+            }
+            self.probes_sent += pending.len() as u64;
+
+            // One transport crossing for the whole round.
+            let mut replies = std::mem::take(&mut self.scratch_replies);
+            self.transport.send_batch(&packets, &mut replies);
+
+            // Decode, keeping unanswered specs for the next attempt.
+            let mut write = 0usize;
+            for slot in 0..pending.len() {
+                let i = pending[slot];
+                let obs = replies
+                    .get(slot)
+                    .and_then(|reply| self.decode_reply(specs[i], reply, replies.timestamp(slot)));
+                match obs {
+                    Some(obs) => {
+                        self.log.indirect.push(obs.clone());
+                        results[i] = Some(obs);
+                    }
+                    None => {
+                        pending[write] = i;
+                        write += 1;
+                    }
+                }
+            }
+            pending.truncate(write);
+
+            self.scratch_packets = packets;
+            self.scratch_replies = replies;
+        }
+
+        self.scratch_pending = pending;
+        results
     }
 
     fn direct_probe(&mut self, target: Ipv4Addr) -> Option<DirectObservation> {
         for _attempt in 0..=self.retries {
             let sequence = self.next_sequence();
-            let packet =
-                build_echo_probe(self.source, target, self.echo_identifier, sequence, 64);
+            let packet = build_echo_probe(self.source, target, self.echo_identifier, sequence, 64);
             self.probes_sent += 1;
             let Some(reply) = self.transport.send_packet(&packet) else {
                 continue;
@@ -227,10 +402,7 @@ mod tests {
 
     const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
 
-    fn prober_over(
-        topo: mlpt_topo::MultipathTopology,
-        seed: u64,
-    ) -> TransportProber<SimNetwork> {
+    fn prober_over(topo: mlpt_topo::MultipathTopology, seed: u64) -> TransportProber<SimNetwork> {
         let dst = topo.destination();
         TransportProber::new(SimNetwork::new(topo, seed), SRC, dst)
     }
@@ -295,5 +467,50 @@ mod tests {
         // IP IDs were stamped by the simulator's counters.
         let ids: Vec<u16> = p.log().indirect.iter().map(|o| o.ip_id).collect();
         assert!(ids.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn probe_batch_matches_sequential_exactly() {
+        // The headline equivalence: batched and per-probe dispatch over
+        // identical simulators yield bit-identical observations, logs and
+        // probe counts.
+        let topo = canonical::fig1_meshed();
+        let specs: Vec<ProbeSpec> = (0..24u16)
+            .flat_map(|f| (1..=4u8).map(move |ttl| ProbeSpec::new(FlowId(f), ttl)))
+            .collect();
+
+        let mut batched = prober_over(topo.clone(), 99);
+        let batch_results = batched.probe_batch(&specs);
+
+        let mut sequential = prober_over(topo, 99).with_dispatch(DispatchMode::PerProbe);
+        let seq_results = sequential.probe_batch(&specs);
+
+        assert_eq!(batch_results, seq_results);
+        assert_eq!(batched.probes_sent(), sequential.probes_sent());
+        assert_eq!(batched.log().indirect, sequential.log().indirect);
+    }
+
+    #[test]
+    fn probe_batch_counts_losses() {
+        use mlpt_sim::FaultPlan;
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        let net = SimNetwork::builder(topo)
+            .faults(FaultPlan::with_loss(1.0, 0.0))
+            .seed(1)
+            .build();
+        let mut p = TransportProber::new(net, SRC, dst).with_retries(1);
+        let specs = [ProbeSpec::new(FlowId(0), 1), ProbeSpec::new(FlowId(1), 1)];
+        let results = p.probe_batch(&specs);
+        assert!(results.iter().all(Option::is_none));
+        // 2 specs × (1 try + 1 retry) = 4 packets on the wire.
+        assert_eq!(p.probes_sent(), 4);
+    }
+
+    #[test]
+    fn probe_batch_empty_is_noop() {
+        let mut p = prober_over(canonical::simplest_diamond(), 1);
+        assert!(p.probe_batch(&[]).is_empty());
+        assert_eq!(p.probes_sent(), 0);
     }
 }

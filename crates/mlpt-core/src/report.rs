@@ -110,7 +110,11 @@ impl TraceReport {
 
     /// Widest hop in the report.
     pub fn max_width(&self) -> usize {
-        self.hops.iter().map(|h| h.vertices.len()).max().unwrap_or(0)
+        self.hops
+            .iter()
+            .map(|h| h.vertices.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -8,23 +8,28 @@
 
 use crate::config::TraceConfig;
 use crate::discovery::Discovery;
-use crate::prober::Prober;
+use crate::prober::{ProbeSpec, Prober};
 use crate::trace::{Algorithm, Trace};
 use mlpt_wire::FlowId;
 
 /// Traces a single path using one flow identifier.
+///
+/// Dispatch rides the batched probe engine like the multipath
+/// algorithms; with one flow there is exactly one probe per hop, and the
+/// hop's outcome gates whether the next TTL is probed at all, so each
+/// round is a single-spec batch.
 pub fn trace_single_flow<P: Prober>(prober: &mut P, config: &TraceConfig, flow: FlowId) -> Trace {
     let mut state = Discovery::new();
     let destination = prober.destination();
     let before = prober.probes_sent();
 
     for ttl in 1..=config.max_ttl {
-        state.note_probe_sent(flow, ttl);
-        if let Some(obs) = prober.probe(flow, ttl) {
-            state.record(flow, ttl, obs.responder, obs.at_destination);
-            if obs.at_destination {
-                break;
-            }
+        let specs = [ProbeSpec::new(flow, ttl)];
+        state.note_probes_sent(&specs);
+        let results = prober.probe_batch(&specs);
+        state.record_batch(&specs, &results);
+        if results[0].as_ref().is_some_and(|obs| obs.at_destination) {
+            break;
         }
     }
 

@@ -114,8 +114,7 @@ impl Trace {
         let mut b = TopologyBuilder::default();
         let mut hop_vertices: Vec<Vec<Ipv4Addr>> = Vec::new();
         for ttl in 1..final_ttl {
-            let mut vs: Vec<Ipv4Addr> =
-                self.discovery.vertices_at(ttl).to_vec();
+            let mut vs: Vec<Ipv4Addr> = self.discovery.vertices_at(ttl).to_vec();
             if vs.is_empty() {
                 vs.push(star_address(ttl));
             }

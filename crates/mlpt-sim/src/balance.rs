@@ -68,7 +68,14 @@ impl FlowHasher {
     }
 
     /// Uniform choice among `n` successors.
-    pub fn choose(&self, hop: usize, vertex: Ipv4Addr, selector: u64, nonce: u64, n: usize) -> usize {
+    pub fn choose(
+        &self,
+        hop: usize,
+        vertex: Ipv4Addr,
+        selector: u64,
+        nonce: u64,
+        n: usize,
+    ) -> usize {
         debug_assert!(n > 0);
         // Multiply-shift avoids modulo bias for small n.
         let h = self.decision(hop, vertex, selector, nonce);

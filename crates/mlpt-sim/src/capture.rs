@@ -99,26 +99,40 @@ impl<T: PacketTransport> CapturingTransport<T> {
 
 impl<T: PacketTransport> PacketTransport for CapturingTransport<T> {
     fn send_packet(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
+        let mut reply = Vec::new();
+        if self.send_packet_into(packet, &mut reply) {
+            Some(reply)
+        } else {
+            None
+        }
+    }
+
+    fn send_packet_into(&mut self, packet: &[u8], reply: &mut Vec<u8>) -> bool {
         self.packets.push(CapturedPacket {
             timestamp: self.inner.now(),
             direction: Direction::Probe,
             bytes: packet.to_vec(),
         });
-        let reply = self.inner.send_packet(packet);
-        if let Some(bytes) = &reply {
+        let mark = reply.len();
+        let answered = self.inner.send_packet_into(packet, reply);
+        if answered {
             self.packets.push(CapturedPacket {
                 timestamp: self.inner.now(),
                 direction: Direction::Reply,
-                bytes: bytes.clone(),
+                bytes: reply[mark..].to_vec(),
             });
         }
-        reply
+        answered
     }
 
     fn now(&self) -> u64 {
         self.inner.now()
     }
 }
+
+/// Batched dispatch still captures every probe and reply: the default
+/// shim routes through the capturing `send_packet_into` above.
+impl<T: PacketTransport> mlpt_wire::BatchTransport for CapturingTransport<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -167,7 +181,10 @@ mod tests {
         // Magic + version.
         assert_eq!(&pcap[0..4], &0xA1B2_C3D4u32.to_le_bytes());
         assert_eq!(u16::from_le_bytes([pcap[4], pcap[5]]), 2);
-        assert_eq!(u32::from_le_bytes([pcap[20], pcap[21], pcap[22], pcap[23]]), 101);
+        assert_eq!(
+            u32::from_le_bytes([pcap[20], pcap[21], pcap[22], pcap[23]]),
+            101
+        );
         // Walk the records: lengths must be consistent and IPv4 headers
         // must start each packet.
         let mut offset = 24;

@@ -112,8 +112,8 @@ impl FaultState {
             last_tick: now,
         });
         let elapsed = now.saturating_sub(bucket.last_tick) as f64;
-        bucket.tokens = (bucket.tokens + elapsed * plan.icmp_tokens_per_tick)
-            .min(f64::from(capacity));
+        bucket.tokens =
+            (bucket.tokens + elapsed * plan.icmp_tokens_per_tick).min(f64::from(capacity));
         bucket.last_tick = now;
         if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;

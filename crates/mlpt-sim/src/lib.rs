@@ -42,9 +42,11 @@ pub mod router;
 pub mod validation;
 
 pub use analytic::{mda_failure_probability, vertex_failure_probability};
-pub use capture::CapturingTransport;
 pub use balance::{BalanceMode, FlowHasher};
+pub use capture::CapturingTransport;
 pub use faults::FaultPlan;
 pub use network::{PacketTransport, SimNetwork, SimNetworkBuilder};
-pub use router::{CounterBehavior, IpIdProfile, MplsProfile, RouterProfile};
+pub use router::{
+    CounterBehavior, IpIdEngine, IpIdProfile, MplsProfile, ReplyClass, RouterProfile,
+};
 pub use validation::{validate_tool, ValidationReport};

@@ -10,12 +10,27 @@
 //!
 //! All randomness is seeded; two simulators constructed with the same
 //! arguments behave identically.
+//!
+//! # Hot-path engineering
+//!
+//! The per-packet path is allocation-free and hash-free: at construction
+//! every interface address is *interned* into a dense `u32` id
+//! ([`AddrTable`]), and the routing state the walk consults — successor
+//! lists, balancing weights, router ownership, hop distance — lives in
+//! flat `Vec`s indexed by `(hop, id)`. Replies are written straight into
+//! the caller's reusable buffer via
+//! [`PacketTransport::send_packet_into`], so a batched probe round costs
+//! zero allocations after warm-up. [`PacketTransport::send_packet`]
+//! remains as the boxed-reply convenience wrapper.
 
 use crate::balance::{BalanceMode, FlowHasher};
 use crate::faults::{FaultPlan, FaultState};
 use crate::router::{IpIdEngine, ReplyClass, RouterProfile};
 use mlpt_topo::{MultipathTopology, RouterId, RouterMap};
-use mlpt_wire::icmp::{IcmpExtensions, IcmpMessage, MplsLabelStackEntry, CODE_PORT_UNREACHABLE};
+use mlpt_wire::icmp::{
+    emit_echo_into, emit_error_into, IcmpMessage, IcmpType, MplsLabelStackEntry,
+    CODE_PORT_UNREACHABLE, CODE_TTL_EXCEEDED,
+};
 use mlpt_wire::ipv4::{Ipv4Header, PROTO_ICMP, PROTO_UDP};
 use mlpt_wire::probe::parse_udp_probe;
 use rand::Rng;
@@ -24,7 +39,7 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-pub use mlpt_wire::transport::PacketTransport;
+pub use mlpt_wire::transport::{BatchTransport, PacketBatch, PacketTransport, ReplyBatch};
 
 /// Traffic counters maintained by the simulator.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,6 +54,160 @@ pub struct TrafficCounters {
     pub replies_rate_limited: u64,
     /// Replies dropped by injected loss.
     pub replies_lost: u64,
+}
+
+/// Interning table: every interface address of the topology mapped to a
+/// dense `u32` id, with `Vec`-indexed side tables replacing per-packet
+/// `HashMap` lookups.
+///
+/// Lookup is a binary search over a sorted `u32` array — cache-friendly
+/// and branch-predictable, with no hashing on the packet path.
+#[derive(Debug, Clone)]
+struct AddrTable {
+    /// Sorted address values; the index of an address is its id.
+    sorted: Vec<u32>,
+    /// id → address (same order as `sorted`, kept for mixed callers).
+    addrs: Vec<Ipv4Addr>,
+    /// id → owning router.
+    router_of: Vec<RouterId>,
+    /// id → hop distance from the source (first hop of appearance + 1).
+    distance: Vec<u8>,
+}
+
+impl AddrTable {
+    fn build(topology: &MultipathTopology, assignment: &HashMap<Ipv4Addr, RouterId>) -> Self {
+        let mut sorted: Vec<u32> = topology.all_addresses().iter().map(|&a| a.into()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let addrs: Vec<Ipv4Addr> = sorted.iter().map(|&v| Ipv4Addr::from(v)).collect();
+
+        let lookup = |addr: Ipv4Addr| -> usize {
+            sorted
+                .binary_search(&u32::from(addr))
+                .expect("address from topology")
+        };
+
+        let mut router_of = vec![RouterId(0); sorted.len()];
+        for (&addr, &router) in assignment {
+            router_of[lookup(addr)] = router;
+        }
+
+        let mut distance = vec![0u8; sorted.len()];
+        for i in (0..topology.num_hops()).rev() {
+            for &a in topology.hop(i) {
+                distance[lookup(a)] = (i + 1) as u8;
+            }
+        }
+
+        Self {
+            sorted,
+            addrs,
+            router_of,
+            distance,
+        }
+    }
+
+    /// Dense id of `addr`, if it belongs to the topology.
+    #[inline]
+    fn id(&self, addr: Ipv4Addr) -> Option<u32> {
+        self.sorted
+            .binary_search(&u32::from(addr))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// Address of a dense id.
+    #[inline]
+    fn addr(&self, id: u32) -> Ipv4Addr {
+        self.addrs[id as usize]
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.sorted.len()
+    }
+}
+
+/// Flat successor/weight tables indexed by `(hop, interface id)`.
+#[derive(Debug, Clone)]
+struct RouteTable {
+    num_addrs: usize,
+    /// `(hop * num_addrs + id)` → range into `succ_ids`.
+    succ_ranges: Vec<(u32, u32)>,
+    /// Successor ids, ascending by address within each range (matching
+    /// the `BTreeSet` iteration order the hasher indexes against).
+    succ_ids: Vec<u32>,
+    /// `(hop * num_addrs + id)` → range into `weights`; empty = uniform.
+    weight_ranges: Vec<(u32, u32)>,
+    weights: Vec<u32>,
+    /// Interned hop-0 entry vertices, in topology hop order.
+    entry_ids: Vec<u32>,
+}
+
+impl RouteTable {
+    fn build(
+        topology: &MultipathTopology,
+        addrs: &AddrTable,
+        weight_map: &HashMap<(usize, Ipv4Addr), Vec<u32>>,
+    ) -> Self {
+        let num_addrs = addrs.len();
+        let slots = topology.num_hops() * num_addrs;
+        let mut succ_ranges = vec![(0u32, 0u32); slots];
+        let mut succ_ids = Vec::new();
+        let mut weight_ranges = vec![(0u32, 0u32); slots];
+        let mut weights = Vec::new();
+
+        for hop in 0..topology.num_hops().saturating_sub(1) {
+            for &from in topology.hop(hop) {
+                let id = addrs.id(from).expect("topology address") as usize;
+                let slot = hop * num_addrs + id;
+                let start = succ_ids.len() as u32;
+                // BTreeSet iterates ascending: preserved, so the flow
+                // hasher's index selects the same successor as before.
+                for &to in topology.successors(hop, from) {
+                    succ_ids.push(addrs.id(to).expect("topology address"));
+                }
+                succ_ranges[slot] = (start, succ_ids.len() as u32);
+
+                if let Some(w) = weight_map.get(&(hop, from)) {
+                    let wstart = weights.len() as u32;
+                    weights.extend_from_slice(w);
+                    weight_ranges[slot] = (wstart, weights.len() as u32);
+                }
+            }
+        }
+
+        let entry_ids = topology
+            .hop(0)
+            .iter()
+            .map(|&a| addrs.id(a).expect("topology address"))
+            .collect();
+
+        Self {
+            num_addrs,
+            succ_ranges,
+            succ_ids,
+            weight_ranges,
+            weights,
+            entry_ids,
+        }
+    }
+
+    #[inline]
+    fn successors(&self, hop: usize, id: u32) -> &[u32] {
+        let (start, end) = self.succ_ranges[hop * self.num_addrs + id as usize];
+        &self.succ_ids[start as usize..end as usize]
+    }
+
+    #[inline]
+    fn weights(&self, hop: usize, id: u32) -> Option<&[u32]> {
+        let (start, end) = self.weight_ranges[hop * self.num_addrs + id as usize];
+        if start == end {
+            None
+        } else {
+            Some(&self.weights[start as usize..end as usize])
+        }
+    }
 }
 
 /// Builder for [`SimNetwork`].
@@ -142,29 +311,40 @@ impl SimNetworkBuilder {
             assignment.insert(addr, id);
         }
 
-        // Distance (in hops) of each address from the source: first hop
-        // where it appears, + 1. Used for reply TTL computation.
-        let mut distance: HashMap<Ipv4Addr, usize> = HashMap::new();
-        for i in 0..self.topology.num_hops() {
-            for &a in self.topology.hop(i) {
-                distance.entry(a).or_insert(i + 1);
+        // Dense per-router profile table for the fast path. Router ids
+        // are usually contiguous from 0 (RouterMap::from_alias_sets plus
+        // the fresh assignments above), but RouterId is public and a
+        // caller may hand in arbitrarily large ids — those fall back to
+        // the sparse overflow map rather than sizing the Vec by the id.
+        let dense_len = assignment.len() + self.profiles.len() + 1;
+        let mut profile_table = vec![self.default_profile; dense_len];
+        let mut profile_overflow: HashMap<u32, RouterProfile> = HashMap::new();
+        for (router, profile) in &self.profiles {
+            match profile_table.get_mut(router.0 as usize) {
+                Some(slot) => *slot = *profile,
+                None => {
+                    profile_overflow.insert(router.0, *profile);
+                }
             }
         }
+
+        let addrs = AddrTable::build(&self.topology, &assignment);
+        let routes = RouteTable::build(&self.topology, &addrs, &self.weights);
 
         SimNetwork {
             hasher: FlowHasher::new(self.seed),
             rng: ChaCha8Rng::seed_from_u64(self.seed ^ 0xF1E2_D3C4_B5A6_9788),
             topology: self.topology,
-            router_of: assignment,
+            addrs,
+            routes,
             ground_truth: full_map,
-            profiles: self.profiles,
+            profile_table,
+            profile_overflow,
             default_profile: self.default_profile,
             mode: self.mode,
             faults: self.faults,
             fault_state: FaultState::new(),
             ipid: IpIdEngine::new(),
-            weights: self.weights,
-            distance,
             clock: 0,
             packet_counter: 0,
             counters: TrafficCounters::default(),
@@ -175,17 +355,19 @@ impl SimNetworkBuilder {
 /// The simulated network (see module docs).
 pub struct SimNetwork {
     topology: MultipathTopology,
-    router_of: HashMap<Ipv4Addr, RouterId>,
+    addrs: AddrTable,
+    routes: RouteTable,
     ground_truth: RouterMap,
-    profiles: HashMap<RouterId, RouterProfile>,
+    profile_table: Vec<RouterProfile>,
+    /// Profiles for router ids beyond the dense table (rare: only when a
+    /// caller constructs sparse large RouterIds by hand).
+    profile_overflow: HashMap<u32, RouterProfile>,
     default_profile: RouterProfile,
     hasher: FlowHasher,
     mode: BalanceMode,
     faults: FaultPlan,
     fault_state: FaultState,
     ipid: IpIdEngine,
-    weights: HashMap<(usize, Ipv4Addr), Vec<u32>>,
-    distance: HashMap<Ipv4Addr, usize>,
     rng: ChaCha8Rng,
     clock: u64,
     packet_counter: u64,
@@ -234,9 +416,14 @@ impl SimNetwork {
         self.clock += ticks;
     }
 
-    /// Profile of the router owning `addr`.
+    /// Profile of a router: dense table on the fast path, sparse
+    /// overflow for hand-made large ids.
+    #[inline]
     fn profile_of(&self, router: RouterId) -> &RouterProfile {
-        self.profiles.get(&router).unwrap_or(&self.default_profile)
+        self.profile_table
+            .get(router.0 as usize)
+            .or_else(|| self.profile_overflow.get(&router.0))
+            .unwrap_or(&self.default_profile)
     }
 
     /// The balancing selector for a probe per the configured mode.
@@ -248,11 +435,12 @@ impl SimNetwork {
         }
     }
 
-    /// Walks a flow to the vertex at hop index `target_hop`.
-    /// Returns the vertex reached (which answers TTL `target_hop + 1`).
-    fn walk(&mut self, flow: u64, nonce: u64, destination: Ipv4Addr, target_hop: usize) -> Ipv4Addr {
+    /// Walks a flow to the vertex at hop index `target_hop`, entirely over
+    /// interned ids. Returns the vertex reached (which answers TTL
+    /// `target_hop + 1`).
+    fn walk(&mut self, flow: u64, nonce: u64, target_hop: usize) -> u32 {
         // Entry: the source balances over hop-0 vertices.
-        let entry = self.topology.hop(0);
+        let entry = &self.routes.entry_ids;
         let mut current = if entry.len() == 1 {
             entry[0]
         } else {
@@ -260,48 +448,61 @@ impl SimNetwork {
                 .hasher
                 .choose(usize::MAX, Ipv4Addr::UNSPECIFIED, flow, nonce, entry.len())]
         };
-        let _ = destination;
         for i in 0..target_hop {
-            let succs = self.topology.successors(i, current);
+            let succs = self.routes.successors(i, current);
             debug_assert!(!succs.is_empty(), "validated topology");
-            let succ_list: Vec<Ipv4Addr> = succs.iter().copied().collect();
-            let idx = match self.weights.get(&(i, current)) {
-                Some(w) => self.hasher.choose_weighted(i, current, flow, nonce, w),
-                None => self.hasher.choose(i, current, flow, nonce, succ_list.len()),
+            if succs.len() == 1 {
+                // No balancing decision to make (and `choose` over one
+                // successor always picks it): skip the hash entirely.
+                // Most hops of an Internet path are single-successor, so
+                // this is the walk's common case.
+                current = succs[0];
+                continue;
+            }
+            let vertex = self.addrs.addr(current);
+            let idx = match self.routes.weights(i, current) {
+                Some(w) => self.hasher.choose_weighted(i, vertex, flow, nonce, w),
+                None => self.hasher.choose(i, vertex, flow, nonce, succs.len()),
             };
-            current = succ_list[idx];
+            current = succs[idx];
         }
         current
     }
 
-    /// Handles a UDP probe: returns the reply datagram, if any.
-    fn handle_udp(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
-        let probe = parse_udp_probe(packet).ok()?;
+    /// Handles a UDP probe, appending the reply datagram to `out`.
+    fn handle_udp_into(&mut self, packet: &[u8], out: &mut Vec<u8>) -> bool {
+        let Ok(probe) = parse_udp_probe(packet) else {
+            return false;
+        };
         if probe.destination != self.topology.destination() {
-            return None; // not routed by this simulation
+            return false; // not routed by this simulation
         }
         if probe.ttl == 0 {
-            return None;
+            return false;
         }
         let (flow_sel, nonce) = self.selector(u64::from(probe.flow.value()), probe.destination);
 
         let last_hop = self.topology.num_hops() - 1;
         let target_hop = usize::from(probe.ttl - 1).min(last_hop);
-        let responder = self.walk(flow_sel, nonce, probe.destination, target_hop);
+        let responder_id = self.walk(flow_sel, nonce, target_hop);
+        let responder = self.addrs.addr(responder_id);
 
         let reached_destination = target_hop == last_hop;
-        let router = self.router_of[&responder];
+        let router = self.addrs.router_of[responder_id as usize];
         let profile = *self.profile_of(router);
 
         // Rate limiting applies to all ICMP generation.
-        if !self.fault_state.allow_icmp(&self.faults, router.0, self.clock) {
+        if !self
+            .fault_state
+            .allow_icmp(&self.faults, router.0, self.clock)
+        {
             self.counters.replies_rate_limited += 1;
-            return None;
+            return false;
         }
 
         // IP-ID stamping; an unresponsive indirect class means an
         // anonymous router (never replies to expired probes).
-        let ip_id = self.ipid.sample(
+        let Some(ip_id) = self.ipid.sample(
             &mut self.rng,
             router.0,
             responder,
@@ -309,54 +510,70 @@ impl SimNetwork {
             ReplyClass::Indirect,
             probe.sequence,
             self.clock,
-        )?;
+        ) else {
+            return false;
+        };
 
         // Quote the probe: IP header + 8 payload bytes, with the TTL field
         // rewritten to 1 as a real router quotes the expired datagram
-        // (checksum left stale; tools parse quotes leniently).
-        let mut quoted = packet[..28.min(packet.len())].to_vec();
-        if quoted.len() > 8 {
-            quoted[8] = 1;
+        // (checksum left stale; tools parse quotes leniently). A stack
+        // buffer keeps the reply path allocation-free.
+        let mut quote_buf = [0u8; 28];
+        let quote_len = 28.min(packet.len());
+        quote_buf[..quote_len].copy_from_slice(&packet[..quote_len]);
+        if quote_len > 8 {
+            quote_buf[8] = 1;
         }
 
-        let extensions = self.mpls_extensions(&profile);
-        let icmp = if reached_destination {
-            IcmpMessage::DestinationUnreachable {
-                code: CODE_PORT_UNREACHABLE,
-                quoted,
-                extensions,
-            }
+        let mpls = self.mpls_entry(&profile);
+        let mpls_slice: &[MplsLabelStackEntry] = match &mpls {
+            Some(entry) => std::slice::from_ref(entry),
+            None => &[],
+        };
+        let (icmp_type, code) = if reached_destination {
+            (IcmpType::DestinationUnreachable, CODE_PORT_UNREACHABLE)
         } else {
-            IcmpMessage::TimeExceeded { quoted, extensions }
+            (IcmpType::TimeExceeded, CODE_TTL_EXCEEDED)
         };
 
         let hop_distance = (target_hop + 1) as u8;
         let reply_ttl = profile.initial_ttl_indirect.saturating_sub(hop_distance);
-        Some(self.emit_reply(responder, probe.source, reply_ttl, ip_id, icmp))
+        self.emit_reply_into(responder, probe.source, reply_ttl, ip_id, out, |buf| {
+            emit_error_into(icmp_type, code, &quote_buf[..quote_len], mpls_slice, buf);
+        });
+        true
     }
 
-    /// Handles a direct (echo) probe addressed to an interface.
-    fn handle_echo(&mut self, packet: &[u8], header: &Ipv4Header, ihl: usize) -> Option<Vec<u8>> {
-        let msg = IcmpMessage::parse(&packet[ihl..]).ok()?;
-        let IcmpMessage::EchoRequest {
-            identifier,
-            sequence,
-            payload,
-        } = msg
+    /// Handles a direct (echo) probe addressed to an interface, appending
+    /// the reply to `out`.
+    fn handle_echo_into(
+        &mut self,
+        packet: &[u8],
+        header: &Ipv4Header,
+        ihl: usize,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        let Ok((identifier, sequence, payload)) = IcmpMessage::parse_echo_request(&packet[ihl..])
         else {
-            return None;
+            return false;
         };
         let target = header.destination;
-        let router = *self.router_of.get(&target)?;
+        let Some(target_id) = self.addrs.id(target) else {
+            return false;
+        };
+        let router = self.addrs.router_of[target_id as usize];
         let profile = *self.profile_of(router);
         if !profile.responds_to_direct {
-            return None;
+            return false;
         }
-        if !self.fault_state.allow_icmp(&self.faults, router.0, self.clock) {
+        if !self
+            .fault_state
+            .allow_icmp(&self.faults, router.0, self.clock)
+        {
             self.counters.replies_rate_limited += 1;
-            return None;
+            return false;
         }
-        let ip_id = self.ipid.sample(
+        let Some(ip_id) = self.ipid.sample(
             &mut self.rng,
             router.0,
             target,
@@ -364,49 +581,51 @@ impl SimNetwork {
             ReplyClass::Direct,
             header.identification,
             self.clock,
-        )?;
-        let reply = IcmpMessage::EchoReply {
-            identifier,
-            sequence,
-            payload,
+        ) else {
+            return false;
         };
-        let hop_distance = self.distance.get(&target).copied().unwrap_or(1) as u8;
+        let hop_distance = self.addrs.distance[target_id as usize].max(1);
         let reply_ttl = profile.initial_ttl_direct.saturating_sub(hop_distance);
-        Some(self.emit_reply(target, header.source, reply_ttl, ip_id, reply))
+
+        // The payload slice borrows from `packet`, which emit must copy
+        // before `self` methods could touch it — the closure only writes.
+        self.emit_reply_into(target, header.source, reply_ttl, ip_id, out, |buf| {
+            emit_echo_into(IcmpType::EchoReply, identifier, sequence, payload, buf);
+        });
+        true
     }
 
-    /// Builds MPLS extensions for a router, if it sits in a tunnel.
-    fn mpls_extensions(&mut self, profile: &RouterProfile) -> IcmpExtensions {
-        match profile.mpls {
-            None => IcmpExtensions::default(),
-            Some(mpls) => {
-                let label = if mpls.stable {
-                    mpls.label
-                } else {
-                    self.rng.gen_range(16..(1 << 20))
-                };
-                IcmpExtensions {
-                    mpls_stack: vec![MplsLabelStackEntry::new(label, 0, true, 255)],
-                }
-            }
-        }
+    /// Builds the MPLS label entry for a router, if it sits in a tunnel.
+    fn mpls_entry(&mut self, profile: &RouterProfile) -> Option<MplsLabelStackEntry> {
+        profile.mpls.map(|mpls| {
+            let label = if mpls.stable {
+                mpls.label
+            } else {
+                self.rng.gen_range(16..(1 << 20))
+            };
+            MplsLabelStackEntry::new(label, 0, true, 255)
+        })
     }
 
-    /// Assembles the reply datagram bytes.
-    fn emit_reply(
+    /// Assembles a reply datagram directly into `out`: IPv4 header, then
+    /// whatever the ICMP writer appends, then the header length fixed up.
+    fn emit_reply_into<F: FnOnce(&mut Vec<u8>)>(
         &mut self,
         from: Ipv4Addr,
         to: Ipv4Addr,
         ttl: u8,
         ip_id: u16,
-        icmp: IcmpMessage,
-    ) -> Vec<u8> {
-        let icmp_bytes = icmp.emit();
-        let ip = Ipv4Header::new(from, to, PROTO_ICMP, ttl, ip_id, icmp_bytes.len());
-        let mut packet = Vec::with_capacity(20 + icmp_bytes.len());
-        packet.extend_from_slice(&ip.emit());
-        packet.extend_from_slice(&icmp_bytes);
-        packet
+        out: &mut Vec<u8>,
+        write_icmp: F,
+    ) {
+        let header_at = out.len();
+        // Reserve the header slot, write the ICMP body, then emit the
+        // header with the now-known payload length.
+        out.resize(header_at + 20, 0);
+        write_icmp(out);
+        let icmp_len = out.len() - header_at - 20;
+        let ip = Ipv4Header::new(from, to, PROTO_ICMP, ttl, ip_id, icmp_len);
+        out[header_at..header_at + 20].copy_from_slice(&ip.emit());
     }
 }
 
@@ -416,37 +635,62 @@ impl PacketTransport for SimNetwork {
     }
 
     fn send_packet(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
+        let mut reply = Vec::new();
+        if self.send_packet_into(packet, &mut reply) {
+            Some(reply)
+        } else {
+            None
+        }
+    }
+
+    /// The allocation-free reply path: everything is written into `reply`.
+    fn send_packet_into(&mut self, packet: &[u8], reply: &mut Vec<u8>) -> bool {
         self.clock += 1;
         self.packet_counter += 1;
         self.counters.probes_received += 1;
 
         if self.fault_state.drop_probe(&self.faults, &mut self.rng) {
             self.counters.probes_lost += 1;
-            return None;
+            return false;
         }
 
-        let (header, ihl) = Ipv4Header::parse(packet).ok()?;
-        let reply = match header.protocol {
-            PROTO_UDP => self.handle_udp(packet),
-            PROTO_ICMP => self.handle_echo(packet, &header, ihl),
-            _ => None,
-        }?;
+        let Ok((header, ihl)) = Ipv4Header::parse(packet) else {
+            return false;
+        };
+        let mark = reply.len();
+        let answered = match header.protocol {
+            PROTO_UDP => self.handle_udp_into(packet, reply),
+            PROTO_ICMP => self.handle_echo_into(packet, &header, ihl, reply),
+            _ => false,
+        };
+        if !answered {
+            reply.truncate(mark);
+            return false;
+        }
 
         if self.fault_state.drop_reply(&self.faults, &mut self.rng) {
             self.counters.replies_lost += 1;
-            return None;
+            reply.truncate(mark);
+            return false;
         }
         self.counters.replies_sent += 1;
-        Some(reply)
+        true
     }
 }
+
+/// The simulator inherits the sequential-equivalent `send_batch` shim:
+/// its `send_packet_into` is already allocation-free, so the default loop
+/// is the vectorized fast path.
+impl BatchTransport for SimNetwork {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mlpt_topo::canonical;
     use mlpt_topo::graph::addr;
-    use mlpt_wire::probe::{build_echo_probe, build_udp_probe, parse_reply, ProbePacket, ReplyKind};
+    use mlpt_wire::probe::{
+        build_echo_probe, build_udp_probe, parse_reply, ProbePacket, ReplyKind,
+    };
     use mlpt_wire::FlowId;
     use std::collections::BTreeSet;
 
@@ -726,5 +970,65 @@ mod tests {
         assert_eq!(parsed.probe_flow, Some(FlowId(42)));
         assert_eq!(parsed.probe_sequence, Some(42u16.wrapping_mul(7)));
         assert_eq!(parsed.quoted_ttl, Some(1), "quote carries expired TTL");
+    }
+
+    #[test]
+    fn send_batch_bit_identical_to_sequential() {
+        // The batched transport path must produce byte-for-byte the same
+        // replies and timestamps as one-at-a-time dispatch.
+        let topo = canonical::fig1_meshed();
+        let dst = topo.destination();
+        let mut batch = PacketBatch::new();
+        for flow in 0..32u16 {
+            for ttl in 1..=4u8 {
+                batch.push_with(|buf| {
+                    mlpt_wire::probe::build_udp_probe_into(
+                        &ProbePacket {
+                            source: SRC,
+                            destination: dst,
+                            flow: FlowId(flow),
+                            ttl,
+                            sequence: flow.wrapping_mul(7),
+                        },
+                        buf,
+                    )
+                });
+            }
+        }
+
+        let mut batched = SimNetwork::new(topo.clone(), 13);
+        let mut replies = ReplyBatch::new();
+        batched.send_batch(&batch, &mut replies);
+
+        let mut sequential = SimNetwork::new(topo, 13);
+        for (i, packet) in batch.iter().enumerate() {
+            let expected = sequential.send_packet(packet);
+            assert_eq!(
+                replies.get(i).map(<[u8]>::to_vec),
+                expected,
+                "slot {i} diverged"
+            );
+            assert_eq!(replies.timestamp(i), sequential.now(), "timestamp {i}");
+        }
+        assert_eq!(batched.counters(), sequential.counters());
+    }
+
+    #[test]
+    fn send_packet_into_reuses_buffer() {
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        let mut net = SimNetwork::new(topo, 1);
+        let mut buf = Vec::new();
+        assert!(net.send_packet_into(&probe(0, 1, dst), &mut buf));
+        let first_len = buf.len();
+        assert!(first_len > 20);
+        // An unanswered probe must leave prior contents intact.
+        assert!(!net.send_packet_into(&probe(0, 1, Ipv4Addr::new(1, 2, 3, 4)), &mut buf));
+        assert_eq!(buf.len(), first_len);
+        // A second answered probe appends after the first.
+        assert!(net.send_packet_into(&probe(1, 1, dst), &mut buf));
+        assert!(buf.len() > first_len);
+        assert!(parse_reply(&buf[..first_len]).is_ok());
+        assert!(parse_reply(&buf[first_len..]).is_ok());
     }
 }

@@ -131,7 +131,9 @@ impl EmpiricalCdf {
     /// Evaluates the CDF on a fixed grid of `x` values; convenient for
     /// printing aligned figure series.
     pub fn evaluate_on(&self, xs: &[f64]) -> Vec<(f64, f64)> {
-        xs.iter().map(|&x| (x, self.fraction_at_or_below(x))).collect()
+        xs.iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
     }
 }
 

@@ -62,7 +62,10 @@ fn z_value(level: f64) -> f64 {
 /// # Panics
 /// Panics on an empty sample set or an unsupported level.
 pub fn mean_confidence_interval(samples: &[f64], level: f64) -> ConfidenceInterval {
-    assert!(!samples.is_empty(), "confidence interval of empty sample set");
+    assert!(
+        !samples.is_empty(),
+        "confidence interval of empty sample set"
+    );
     let n = samples.len();
     let mean = samples.iter().sum::<f64>() / n as f64;
     let var = if n > 1 {

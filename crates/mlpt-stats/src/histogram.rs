@@ -83,11 +83,7 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let below: u64 = self
-            .counts
-            .range(..=value)
-            .map(|(_, &c)| c)
-            .sum();
+        let below: u64 = self.counts.range(..=value).map(|(_, &c)| c).sum();
         below as f64 / self.total as f64
     }
 

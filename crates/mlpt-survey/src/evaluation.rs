@@ -10,6 +10,7 @@
 use crate::generator::SyntheticInternet;
 use crate::parallel::ordered_parallel_map;
 use mlpt_core::prelude::*;
+use mlpt_core::prober::DispatchMode;
 use mlpt_stats::{EmpiricalCdf, RatioSummary};
 use serde::{Deserialize, Serialize};
 
@@ -79,11 +80,14 @@ pub struct EvaluationConfig {
     pub workers: usize,
     /// Seed for the tracing side.
     pub trace_seed: u64,
+    /// How probes cross the transport (batched by default).
+    pub dispatch: DispatchMode,
 }
 
 impl Default for EvaluationConfig {
     fn default() -> Self {
         Self {
+            dispatch: DispatchMode::Batched,
             scenarios: 500,
             workers: crate::parallel::default_workers(),
             trace_seed: 0xE7A1,
@@ -183,9 +187,7 @@ pub fn evaluate_scenarios(
             // Each run sees the same network conditions (same network
             // seed) but uses its own flow randomness, like back-to-back
             // runs on a stable network.
-            let net = scenario.build_network(base_seed);
-            let mut prober =
-                TransportProber::new(net, scenario.source, scenario.topology.destination());
+            let mut prober = scenario.build_prober(base_seed, config.dispatch);
             let cfg = TraceConfig::new(base_seed.wrapping_add(1 + variant as u64));
             match variant {
                 0 | 1 => trace_mda(&mut prober, &cfg),
@@ -217,9 +219,13 @@ pub fn evaluate_scenarios(
                 edges: ratio(v.edges, first.edges),
                 packets: ratio(v.packets, first.packets),
             });
-            aggregates[i].0.record(v.vertices as f64, first.vertices as f64);
+            aggregates[i]
+                .0
+                .record(v.vertices as f64, first.vertices as f64);
             aggregates[i].1.record(v.edges as f64, first.edges as f64);
-            aggregates[i].2.record(v.packets as f64, first.packets as f64);
+            aggregates[i]
+                .2
+                .record(v.packets as f64, first.packets as f64);
         }
     }
 
@@ -244,6 +250,7 @@ mod tests {
             scenarios: 60,
             workers: 4,
             trace_seed: 5,
+            ..EvaluationConfig::default()
         };
         evaluate_scenarios(&internet, &config)
     }

@@ -104,6 +104,23 @@ pub struct TraceScenario {
 }
 
 impl TraceScenario {
+    /// Builds a ready-to-trace prober over this scenario's simulator,
+    /// with the requested probe-dispatch mode. Survey runs go through
+    /// this so a whole campaign flips between batched and per-probe
+    /// dispatch with one config field.
+    pub fn build_prober(
+        &self,
+        seed: u64,
+        dispatch: mlpt_core::prober::DispatchMode,
+    ) -> mlpt_core::prober::TransportProber<mlpt_sim::SimNetwork> {
+        mlpt_core::prober::TransportProber::new(
+            self.build_network(seed),
+            self.source,
+            self.topology.destination(),
+        )
+        .with_dispatch(dispatch)
+    }
+
     /// Builds the packet-level simulator for this scenario.
     pub fn build_network(&self, seed: u64) -> mlpt_sim::SimNetwork {
         let mut builder = mlpt_sim::SimNetwork::builder(self.topology.clone())
@@ -213,7 +230,8 @@ impl SyntheticInternet {
         // Plan the hop widths first, as a vector of per-hop widths with
         // diamond spans remembered.
         let mut widths: Vec<usize> = Vec::new();
-        let mut core_spans: Vec<(usize, usize)> = Vec::new(); // (start hop, core id)
+        // core_spans: (start hop, core id).
+        let mut core_spans: Vec<(usize, usize)> = Vec::new();
         // Leading single-vertex hops (access + aggregation): Internet
         // paths run ~10-18 hops, most of them without load balancing.
         let lead = rng.gen_range(4..=8);
@@ -419,12 +437,7 @@ fn sample_width<R: Rng>(rng: &mut R) -> usize {
 /// Asymmetric wiring for a (narrow → wide) pair: the first vertex takes
 /// the lion's share of successors, the others one each — non-zero width
 /// asymmetry and a non-uniform reach distribution, unmeshed.
-fn wire_asymmetric(
-    b: &mut TopologyBuilder,
-    hop: usize,
-    from: &[Ipv4Addr],
-    to: &[Ipv4Addr],
-) {
+fn wire_asymmetric(b: &mut TopologyBuilder, hop: usize, from: &[Ipv4Addr], to: &[Ipv4Addr]) {
     debug_assert!(from.len() >= 2 && to.len() > from.len());
     let heavy = to.len() - (from.len() - 1);
     for (j, &t) in to.iter().enumerate() {

@@ -9,6 +9,7 @@ use crate::accounting::SurveyAccumulator;
 use crate::generator::SyntheticInternet;
 use crate::parallel::ordered_parallel_map;
 use mlpt_core::prelude::*;
+use mlpt_core::prober::DispatchMode;
 use mlpt_stats::{EmpiricalCdf, Histogram, JointHistogram};
 use mlpt_topo::diamond::{all_diamond_metrics, find_diamonds, meshing_miss_probability};
 use serde::{Deserialize, Serialize};
@@ -24,6 +25,8 @@ pub struct IpSurveyConfig {
     pub trace_seed: u64,
     /// φ used when computing Fig. 2's meshing-miss probabilities.
     pub phi: u32,
+    /// How probes cross the transport (batched by default).
+    pub dispatch: DispatchMode,
 }
 
 impl Default for IpSurveyConfig {
@@ -33,6 +36,7 @@ impl Default for IpSurveyConfig {
             workers: crate::parallel::default_workers(),
             trace_seed: 0xA11A,
             phi: 2,
+            dispatch: DispatchMode::Batched,
         }
     }
 }
@@ -164,8 +168,7 @@ pub fn run_ip_survey(internet: &SyntheticInternet, config: &IpSurveyConfig) -> I
     let per_trace: Vec<PerTrace> = ordered_parallel_map(config.scenarios, config.workers, |id| {
         let scenario = internet.scenario(id);
         let seed = config.trace_seed ^ (id as u64).wrapping_mul(0x9E37_79B9);
-        let net = scenario.build_network(seed);
-        let mut prober = TransportProber::new(net, scenario.source, scenario.topology.destination());
+        let mut prober = scenario.build_prober(seed, config.dispatch);
         let trace = trace_mda(&mut prober, &TraceConfig::new(seed));
         let Some(topology) = trace.to_topology() else {
             return PerTrace {
@@ -245,6 +248,7 @@ mod tests {
             workers: 4,
             trace_seed: 77,
             phi: 2,
+            dispatch: DispatchMode::Batched,
         };
         run_ip_survey(&internet, &config)
     }

@@ -33,4 +33,6 @@ pub use accounting::{DiamondObservation, SurveyAccumulator};
 pub use evaluation::{evaluate_scenarios, EvaluationConfig, EvaluationOutcome, TraceRatios};
 pub use generator::{InternetConfig, SyntheticInternet, TraceScenario};
 pub use ip_survey::{run_ip_survey, IpSurveyConfig, IpSurveyReport};
-pub use router_survey::{run_router_survey, ResolutionCase, RouterSurveyConfig, RouterSurveyReport};
+pub use router_survey::{
+    run_router_survey, ResolutionCase, RouterSurveyConfig, RouterSurveyReport,
+};

@@ -1,9 +1,22 @@
 //! Deterministic fork-join over scenario indices.
 //!
 //! Survey runs process thousands of independent scenarios; this helper
-//! fans indices out over a fixed number of worker threads (crossbeam
-//! scoped threads) and returns results *in index order*, so parallel runs
-//! are bit-identical to sequential ones.
+//! fans indices out over a fixed number of worker threads and returns
+//! results *in index order*, so parallel runs are bit-identical to
+//! sequential ones.
+//!
+//! The implementation is safe Rust on `std::thread::scope`: the result
+//! vector is split into disjoint mutable chunks up front, and workers
+//! claim whole chunks from a shared worklist. Each slot is owned by
+//! exactly one chunk, so exclusive access is enforced by the borrow
+//! checker instead of a raw-pointer argument. Chunks are deliberately
+//! finer-grained than the worker count so stragglers (expensive
+//! scenarios cluster) still load-balance.
+
+use std::sync::Mutex;
+
+/// One claimable unit of work: the chunk's base index plus its slots.
+type Chunk<'a, T> = (usize, &'a mut [Option<T>]);
 
 /// Maps `f` over `0..count` using `workers` threads, preserving order.
 ///
@@ -24,44 +37,36 @@ where
     }
 
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slot_ptr = SlotVec(slots.as_mut_ptr());
 
-    crossbeam::scope(|scope| {
+    // Aim for several chunks per worker so dynamic claiming evens out
+    // skewed per-index costs without per-index synchronization.
+    let chunk_size = count.div_ceil(workers * 8).max(1);
+    let worklist: Mutex<Vec<Chunk<'_, T>>> = Mutex::new(
+        slots
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .map(|(c, chunk)| (c * chunk_size, chunk))
+            .collect(),
+    );
+
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= count {
+            scope.spawn(|| loop {
+                let claimed = worklist.lock().expect("worklist poisoned").pop();
+                let Some((base, chunk)) = claimed else {
                     break;
-                }
-                let value = f(i);
-                // Safety: each index i is claimed exactly once via the
-                // atomic counter, so no two threads write the same slot,
-                // and the vector outlives the scope.
-                unsafe {
-                    slot_ptr.write(i, value);
+                };
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + offset));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()
         .map(|s| s.expect("every index processed"))
         .collect()
-}
-
-/// Shareable raw pointer to the slot vector (safe by the exclusive-index
-/// argument above).
-struct SlotVec<T>(*mut Option<T>);
-unsafe impl<T: Send> Sync for SlotVec<T> {}
-unsafe impl<T: Send> Send for SlotVec<T> {}
-
-impl<T> SlotVec<T> {
-    unsafe fn write(&self, index: usize, value: T) {
-        unsafe { *self.0.add(index) = Some(value) };
-    }
 }
 
 /// A sensible worker count for survey workloads.
@@ -106,5 +111,19 @@ mod tests {
         let table: Vec<u64> = (0..1000).map(|i| i as u64 * 7).collect();
         let out = ordered_parallel_map(1000, 6, |i| table[i] + 1);
         assert_eq!(out[999], 999 * 7 + 1);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        assert_eq!(ordered_parallel_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uneven_chunk_tail_covered() {
+        // Exercise chunk sizes that don't divide the count evenly.
+        for count in [1usize, 7, 17, 97, 129] {
+            let out = ordered_parallel_map(count, 5, |i| i + 10);
+            assert_eq!(out, (0..count).map(|i| i + 10).collect::<Vec<_>>());
+        }
     }
 }

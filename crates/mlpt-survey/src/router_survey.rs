@@ -17,10 +17,11 @@
 use crate::generator::SyntheticInternet;
 use crate::parallel::ordered_parallel_map;
 use mlpt_alias::evidence::EvidenceBase;
+use mlpt_alias::multilevel::{trace_multilevel, MultilevelConfig};
 use mlpt_alias::resolver::{judge_set, SeriesSource, SetVerdict};
 use mlpt_alias::rounds::{run_rounds, ProbeMethod, RoundsConfig};
-use mlpt_alias::multilevel::{trace_multilevel, MultilevelConfig};
 use mlpt_core::prelude::*;
+use mlpt_core::prober::DispatchMode;
 use mlpt_stats::{Histogram, JointHistogram};
 use mlpt_topo::diamond::{all_diamond_metrics, find_diamonds};
 use mlpt_topo::{DiamondKey, MultipathTopology, RouterMap};
@@ -161,6 +162,8 @@ pub struct RouterSurveyConfig {
     pub workers: usize,
     /// Seed for the tracing side.
     pub trace_seed: u64,
+    /// How probes cross the transport (batched by default).
+    pub dispatch: DispatchMode,
     /// Alias-resolution protocol (rounds, replies, MBT parameters).
     pub rounds: RoundsConfig,
     /// Whether to run the direct-probing comparator for Table 2
@@ -171,6 +174,7 @@ pub struct RouterSurveyConfig {
 impl Default for RouterSurveyConfig {
     fn default() -> Self {
         Self {
+            dispatch: DispatchMode::Batched,
             scenarios: 300,
             workers: crate::parallel::default_workers(),
             trace_seed: 0x5E52,
@@ -247,9 +251,7 @@ pub fn run_router_survey(
                 return None;
             }
             let seed = config.trace_seed ^ (id as u64).wrapping_mul(0xC0FF_EE11);
-            let net = scenario.build_network(seed);
-            let mut prober =
-                TransportProber::new(net, scenario.source, scenario.topology.destination());
+            let mut prober = scenario.build_prober(seed, config.dispatch);
             let ml_config = MultilevelConfig {
                 trace: TraceConfig::new(seed),
                 rounds: config.rounds.clone(),
@@ -342,8 +344,7 @@ pub fn run_router_survey(
     let mut distinct_router_sets: BTreeSet<BTreeSet<Ipv4Addr>> = BTreeSet::new();
     let mut maps = Vec::new();
     let mut verdicts = VerdictMatrix::default();
-    let mut unique_diamonds: BTreeMap<DiamondKey, (ResolutionCase, usize, usize)> =
-        BTreeMap::new();
+    let mut unique_diamonds: BTreeMap<DiamondKey, (ResolutionCase, usize, usize)> = BTreeMap::new();
     let mut width_after = Histogram::new();
     let mut traces_with_aliases = 0usize;
     let mut traces = 0usize;
@@ -382,7 +383,11 @@ pub fn run_router_survey(
     let mut round_metrics = Vec::new();
     for (r, pairs) in global_pairs.iter().enumerate() {
         let tp = pairs.intersection(&reference).count() as f64;
-        let precision = if pairs.is_empty() { 1.0 } else { tp / pairs.len() as f64 };
+        let precision = if pairs.is_empty() {
+            1.0
+        } else {
+            tp / pairs.len() as f64
+        };
         let recall = if reference.is_empty() {
             1.0
         } else {
@@ -523,6 +528,7 @@ mod tests {
                 ..RoundsConfig::default()
             },
             with_direct_comparison: true,
+            ..RouterSurveyConfig::default()
         };
         let report = run_router_survey(&internet, &config);
         assert!(report.traces > 5, "some scenarios must carry diamonds");

@@ -137,7 +137,7 @@ pub fn meshed() -> MultipathTopology {
     }
     b.connect_unmeshed(0); // 1 -> 8
     b.connect_unmeshed(1); // 8 -> 48 even fan out (6 each)
-    // 48 -> 48 meshed but uniform: vertex i connects to i and (i+1) mod 48.
+                           // 48 -> 48 meshed but uniform: vertex i connects to i and (i+1) mod 48.
     for i in 0..48 {
         b.add_edge(2, addr(2, i), addr(3, i));
         b.add_edge(2, addr(2, i), addr(3, (i + 1) % 48));

@@ -195,10 +195,7 @@ pub fn diamond_metrics(topology: &MultipathTopology, diamond: &Diamond) -> Diamo
     let divergence = topology.hop(d)[0];
     let convergence = topology.hop(c)[0];
 
-    let max_width = (d + 1..c)
-        .map(|i| topology.hop(i).len())
-        .max()
-        .unwrap_or(0);
+    let max_width = (d + 1..c).map(|i| topology.hop(i).len()).max().unwrap_or(0);
 
     let max_length = c - d;
     let min_length = topology.hops_until(d, convergence).unwrap_or(max_length);

@@ -280,7 +280,10 @@ impl TopologyBuilder {
     /// size to be a multiple-free ≥ relationship — any sizes work; the fan
     /// is as even as possible.
     pub fn connect_unmeshed(&mut self, hop: usize) -> &mut Self {
-        assert!(hop + 1 < self.hops.len(), "connect_unmeshed hop out of range");
+        assert!(
+            hop + 1 < self.hops.len(),
+            "connect_unmeshed hop out of range"
+        );
         let from = self.hops[hop].clone();
         let to = self.hops[hop + 1].clone();
         if from.len() <= to.len() {
@@ -580,5 +583,4 @@ mod tests {
         assert_eq!(t, u);
         assert_eq!(u.total_edges(), 4);
     }
-
 }

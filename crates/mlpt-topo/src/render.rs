@@ -28,8 +28,7 @@ pub fn render_ascii(topology: &MultipathTopology) -> String {
         // Vertex dots, capped for very wide hops.
         let dots = if width <= max_drawn {
             let symbol = if stars { "*" } else { "o" };
-            std::iter::repeat(symbol)
-                .take(width)
+            std::iter::repeat_n(symbol, width)
                 .collect::<Vec<_>>()
                 .join(" ")
         } else {

@@ -12,31 +12,27 @@ use proptest::prelude::*;
 /// wiring seed; builds the topology with even unmeshed wiring plus
 /// seed-dependent extra edges.
 fn arb_topology() -> impl Strategy<Value = MultipathTopology> {
-    (
-        proptest::collection::vec(1usize..=9, 1..8),
-        any::<u64>(),
-    )
-        .prop_map(|(mut widths, seed)| {
-            widths.insert(0, 1);
-            widths.push(1);
-            let mut b = TopologyBuilder::default();
-            for (h, &w) in widths.iter().enumerate() {
-                b.add_hop((0..w).map(|i| addr(h, i)));
+    (proptest::collection::vec(1usize..=9, 1..8), any::<u64>()).prop_map(|(mut widths, seed)| {
+        widths.insert(0, 1);
+        widths.push(1);
+        let mut b = TopologyBuilder::default();
+        for (h, &w) in widths.iter().enumerate() {
+            b.add_hop((0..w).map(|i| addr(h, i)));
+        }
+        for h in 0..widths.len() - 1 {
+            b.connect_unmeshed(h);
+            // Extra edges from the seed: maybe mesh this hop pair.
+            let roll = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(h as u32);
+            if roll % 3 == 0 && widths[h] >= 2 && widths[h + 1] >= 2 {
+                let from = addr(h, (roll % widths[h] as u64) as usize);
+                let to = addr(h + 1, ((roll >> 8) % widths[h + 1] as u64) as usize);
+                b.add_edge(h, from, to);
             }
-            for h in 0..widths.len() - 1 {
-                b.connect_unmeshed(h);
-                // Extra edges from the seed: maybe mesh this hop pair.
-                let roll = seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .rotate_left(h as u32);
-                if roll % 3 == 0 && widths[h] >= 2 && widths[h + 1] >= 2 {
-                    let from = addr(h, (roll % widths[h] as u64) as usize);
-                    let to = addr(h + 1, ((roll >> 8) % widths[h + 1] as u64) as usize);
-                    b.add_edge(h, from, to);
-                }
-            }
-            b.build().expect("construction is valid")
-        })
+        }
+        b.build().expect("construction is valid")
+    })
 }
 
 proptest! {

@@ -131,22 +131,7 @@ impl IcmpExtensions {
     /// Emits the extension structure (header + objects) with checksum.
     pub fn emit(&self) -> Vec<u8> {
         let mut buf = Vec::new();
-        // Extension header: version 2 in the top nibble, reserved zero,
-        // checksum placeholder.
-        buf.push(2 << 4);
-        buf.push(0);
-        buf.extend_from_slice(&[0, 0]);
-        if !self.mpls_stack.is_empty() {
-            let object_len = 4 + 4 * self.mpls_stack.len();
-            buf.extend_from_slice(&(object_len as u16).to_be_bytes());
-            buf.push(1); // class: MPLS Label Stack
-            buf.push(1); // c-type: incoming stack
-            for entry in &self.mpls_stack {
-                buf.extend_from_slice(&entry.emit());
-            }
-        }
-        let csum = internet_checksum(&buf);
-        buf[2..4].copy_from_slice(&csum.to_be_bytes());
+        emit_extensions_into(&self.mpls_stack, &mut buf);
         buf
     }
 
@@ -185,7 +170,8 @@ impl IcmpExtensions {
             if class == 1 && ctype == 1 {
                 let mut pos = offset + 4;
                 while pos + 4 <= offset + obj_len {
-                    ext.mpls_stack.push(MplsLabelStackEntry::parse(&data[pos..])?);
+                    ext.mpls_stack
+                        .push(MplsLabelStackEntry::parse(&data[pos..])?);
                     pos += 4;
                 }
             }
@@ -193,6 +179,29 @@ impl IcmpExtensions {
         }
         Ok(ext)
     }
+}
+
+/// Appends an RFC 4884 extension structure (header + MPLS object) to a
+/// reusable buffer — the allocation-free sibling of
+/// [`IcmpExtensions::emit`], taking the stack by slice.
+pub fn emit_extensions_into(mpls_stack: &[MplsLabelStackEntry], out: &mut Vec<u8>) {
+    let start = out.len();
+    // Extension header: version 2 in the top nibble, reserved zero,
+    // checksum placeholder.
+    out.push(2 << 4);
+    out.push(0);
+    out.extend_from_slice(&[0, 0]);
+    if !mpls_stack.is_empty() {
+        let object_len = 4 + 4 * mpls_stack.len();
+        out.extend_from_slice(&(object_len as u16).to_be_bytes());
+        out.push(1); // class: MPLS Label Stack
+        out.push(1); // c-type: incoming stack
+        for entry in mpls_stack {
+            out.extend_from_slice(&entry.emit());
+        }
+    }
+    let csum = internet_checksum(&out[start..]);
+    out[start + 2..start + 4].copy_from_slice(&csum.to_be_bytes());
 }
 
 /// Minimum length to which the quoted datagram is padded when RFC 4884
@@ -252,62 +261,47 @@ impl IcmpMessage {
     /// Emits the complete ICMP message (header + body) with checksum.
     pub fn emit(&self) -> Vec<u8> {
         let mut buf = Vec::new();
+        self.emit_into(&mut buf);
+        buf
+    }
+
+    /// Appends the complete ICMP message to a reusable buffer — the
+    /// allocation-free path used by batched probe building and the
+    /// simulator's reply assembly.
+    pub fn emit_into(&self, out: &mut Vec<u8>) {
         match self {
             IcmpMessage::TimeExceeded { quoted, extensions } => {
-                buf.push(IcmpType::TimeExceeded.wire_value());
-                buf.push(CODE_TTL_EXCEEDED);
-                buf.extend_from_slice(&[0, 0]); // checksum
-                Self::emit_error_body(&mut buf, quoted, extensions);
+                emit_error_into(
+                    IcmpType::TimeExceeded,
+                    CODE_TTL_EXCEEDED,
+                    quoted,
+                    &extensions.mpls_stack,
+                    out,
+                );
             }
             IcmpMessage::DestinationUnreachable {
                 code,
                 quoted,
                 extensions,
             } => {
-                buf.push(IcmpType::DestinationUnreachable.wire_value());
-                buf.push(*code);
-                buf.extend_from_slice(&[0, 0]);
-                Self::emit_error_body(&mut buf, quoted, extensions);
+                emit_error_into(
+                    IcmpType::DestinationUnreachable,
+                    *code,
+                    quoted,
+                    &extensions.mpls_stack,
+                    out,
+                );
             }
             IcmpMessage::EchoRequest {
                 identifier,
                 sequence,
                 payload,
-            }
-            | IcmpMessage::EchoReply {
+            } => emit_echo_into(IcmpType::EchoRequest, *identifier, *sequence, payload, out),
+            IcmpMessage::EchoReply {
                 identifier,
                 sequence,
                 payload,
-            } => {
-                buf.push(self.icmp_type().wire_value());
-                buf.push(0);
-                buf.extend_from_slice(&[0, 0]);
-                buf.extend_from_slice(&identifier.to_be_bytes());
-                buf.extend_from_slice(&sequence.to_be_bytes());
-                buf.extend_from_slice(payload);
-            }
-        }
-        let csum = internet_checksum(&buf);
-        buf[2..4].copy_from_slice(&csum.to_be_bytes());
-        buf
-    }
-
-    /// Emits the 4-byte rest-of-header plus quote (+ padded extensions) for
-    /// error messages, per RFC 4884.
-    fn emit_error_body(buf: &mut Vec<u8>, quoted: &[u8], extensions: &IcmpExtensions) {
-        if extensions.is_empty() {
-            buf.extend_from_slice(&[0, 0, 0, 0]); // unused
-            buf.extend_from_slice(quoted);
-        } else {
-            // RFC 4884: the length field (in 32-bit words) sits in the
-            // second byte of the rest-of-header for both type 3 and 11.
-            let padded_len = quoted.len().max(RFC4884_QUOTE_LEN).div_ceil(4) * 4;
-            buf.push(0);
-            buf.push((padded_len / 4) as u8);
-            buf.extend_from_slice(&[0, 0]);
-            buf.extend_from_slice(quoted);
-            buf.resize(buf.len() + (padded_len - quoted.len()), 0);
-            buf.extend_from_slice(&extensions.emit());
+            } => emit_echo_into(IcmpType::EchoReply, *identifier, *sequence, payload, out),
         }
     }
 
@@ -374,6 +368,31 @@ impl IcmpMessage {
         }
     }
 
+    /// Reads an Echo Request's fields without copying the payload — the
+    /// allocation-free parse the simulator uses on its hot path.
+    /// Verifies the checksum like [`IcmpMessage::parse`].
+    pub fn parse_echo_request(data: &[u8]) -> WireResult<(u16, u16, &[u8])> {
+        if data.len() < 8 {
+            return Err(WireError::Truncated {
+                what: "ICMP message",
+                needed: 8,
+                got: data.len(),
+            });
+        }
+        if internet_checksum(data) != 0 {
+            return Err(WireError::BadChecksum { what: "ICMP" });
+        }
+        if IcmpType::from_wire(data[0])? != IcmpType::EchoRequest {
+            return Err(WireError::Unsupported {
+                what: "ICMP type (expected echo request)",
+                value: u16::from(data[0]),
+            });
+        }
+        let identifier = u16::from_be_bytes([data[4], data[5]]);
+        let sequence = u16::from_be_bytes([data[6], data[7]]);
+        Ok((identifier, sequence, &data[8..]))
+    }
+
     /// For error messages, the quoted datagram; None for echo messages.
     pub fn quoted(&self) -> Option<&[u8]> {
         match self {
@@ -391,6 +410,66 @@ impl IcmpMessage {
             _ => &[],
         }
     }
+}
+
+/// Appends a complete ICMP error message (Time Exceeded or Destination
+/// Unreachable) built from borrowed parts — no intermediate
+/// [`IcmpMessage`] or quote buffer required.
+pub fn emit_error_into(
+    icmp_type: IcmpType,
+    code: u8,
+    quoted: &[u8],
+    mpls_stack: &[MplsLabelStackEntry],
+    out: &mut Vec<u8>,
+) {
+    debug_assert!(matches!(
+        icmp_type,
+        IcmpType::TimeExceeded | IcmpType::DestinationUnreachable
+    ));
+    let start = out.len();
+    out.push(icmp_type.wire_value());
+    out.push(code);
+    out.extend_from_slice(&[0, 0]); // checksum placeholder
+    if mpls_stack.is_empty() {
+        out.extend_from_slice(&[0, 0, 0, 0]); // unused rest-of-header
+        out.extend_from_slice(quoted);
+    } else {
+        // RFC 4884: the length field (in 32-bit words) sits in the
+        // second byte of the rest-of-header for both type 3 and 11.
+        let padded_len = quoted.len().max(RFC4884_QUOTE_LEN).div_ceil(4) * 4;
+        out.push(0);
+        out.push((padded_len / 4) as u8);
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(quoted);
+        let new_len = out.len() + (padded_len - quoted.len());
+        out.resize(new_len, 0);
+        emit_extensions_into(mpls_stack, out);
+    }
+    let csum = internet_checksum(&out[start..]);
+    out[start + 2..start + 4].copy_from_slice(&csum.to_be_bytes());
+}
+
+/// Appends a complete ICMP echo message built from borrowed parts.
+pub fn emit_echo_into(
+    icmp_type: IcmpType,
+    identifier: u16,
+    sequence: u16,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    debug_assert!(matches!(
+        icmp_type,
+        IcmpType::EchoRequest | IcmpType::EchoReply
+    ));
+    let start = out.len();
+    out.push(icmp_type.wire_value());
+    out.push(0);
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&identifier.to_be_bytes());
+    out.extend_from_slice(&sequence.to_be_bytes());
+    out.extend_from_slice(payload);
+    let csum = internet_checksum(&out[start..]);
+    out[start + 2..start + 4].copy_from_slice(&csum.to_be_bytes());
 }
 
 #[cfg(test)]

@@ -93,6 +93,12 @@ impl Ipv4Header {
         buf
     }
 
+    /// Appends the 20-byte header to a reusable buffer — the
+    /// allocation-free path used by batched probe building.
+    pub fn emit_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.emit());
+    }
+
     /// Parses a header from the front of `data`, verifying version and
     /// header checksum. Returns the header and its length in bytes (IHL×4),
     /// so callers can locate the payload even when options are present.
@@ -259,7 +265,7 @@ mod tests {
         let mut buf = Vec::from(&base[..]);
         buf[0] = 0x46; // IHL 6
         buf.splice(20..20, [1u8, 1, 1, 1]); // NOP options
-        // fix checksum
+                                            // Fix the checksum over the widened header.
         buf[10] = 0;
         buf[11] = 0;
         let csum = internet_checksum(&buf[..24]);

@@ -31,10 +31,13 @@ pub mod transport;
 pub mod udp;
 
 pub use flow::{FlowId, PARIS_BASE_SPORT, PARIS_DPORT};
-pub use transport::PacketTransport;
 pub use icmp::{IcmpMessage, IcmpType, MplsLabelStackEntry};
 pub use ipv4::Ipv4Header;
-pub use probe::{build_echo_probe, build_udp_probe, parse_reply, ProbePacket, ReplyKind, ReplyPacket};
+pub use probe::{
+    build_echo_probe, build_echo_probe_into, build_udp_probe, build_udp_probe_into, parse_reply,
+    ProbePacket, ReplyKind, ReplyPacket,
+};
+pub use transport::{BatchTransport, PacketBatch, PacketTransport, ReplyBatch};
 pub use udp::UdpHeader;
 
 /// Errors arising while parsing or emitting packets.

@@ -13,7 +13,7 @@
 use crate::flow::{FlowId, PARIS_DPORT};
 use crate::icmp::{IcmpMessage, MplsLabelStackEntry, CODE_PORT_UNREACHABLE};
 use crate::ipv4::{Ipv4Header, PROTO_ICMP, PROTO_UDP};
-use crate::udp::UdpHeader;
+use crate::udp::{self, UdpHeader};
 use crate::{WireError, WireResult};
 use std::net::Ipv4Addr;
 
@@ -39,20 +39,26 @@ pub struct ProbePacket {
 
 /// Builds the wire bytes of a UDP probe.
 pub fn build_udp_probe(probe: &ProbePacket) -> Vec<u8> {
+    let mut packet = Vec::with_capacity(20 + 8 + PROBE_PAYLOAD.len());
+    build_udp_probe_into(probe, &mut packet);
+    packet
+}
+
+/// Appends the wire bytes of a UDP probe to a reusable buffer — the
+/// allocation-free encoder the batched probe engine drives once per
+/// probe, amortizing buffer growth across whole rounds.
+pub fn build_udp_probe_into(probe: &ProbePacket, out: &mut Vec<u8>) {
     let udp = UdpHeader::new(probe.flow.source_port(), PARIS_DPORT, PROBE_PAYLOAD.len());
-    let udp_bytes = udp.emit(probe.source, probe.destination, PROBE_PAYLOAD);
     let ip = Ipv4Header::new(
         probe.source,
         probe.destination,
         PROTO_UDP,
         probe.ttl,
         probe.sequence,
-        udp_bytes.len(),
+        udp::HEADER_LEN + PROBE_PAYLOAD.len(),
     );
-    let mut packet = Vec::with_capacity(20 + udp_bytes.len());
-    packet.extend_from_slice(&ip.emit());
-    packet.extend_from_slice(&udp_bytes);
-    packet
+    ip.emit_into(out);
+    udp.emit_into(probe.source, probe.destination, PROBE_PAYLOAD, out);
 }
 
 /// Builds the wire bytes of an ICMP Echo Request (direct probe).
@@ -65,24 +71,31 @@ pub fn build_echo_probe(
     sequence: u16,
     ttl: u8,
 ) -> Vec<u8> {
-    let icmp = IcmpMessage::EchoRequest {
+    let mut packet = Vec::with_capacity(20 + 8 + PROBE_PAYLOAD.len());
+    build_echo_probe_into(source, destination, identifier, sequence, ttl, &mut packet);
+    packet
+}
+
+/// Appends the wire bytes of an ICMP Echo Request to a reusable buffer —
+/// the allocation-free encoder behind [`build_echo_probe`].
+pub fn build_echo_probe_into(
+    source: Ipv4Addr,
+    destination: Ipv4Addr,
+    identifier: u16,
+    sequence: u16,
+    ttl: u8,
+    out: &mut Vec<u8>,
+) {
+    let icmp_len = 8 + PROBE_PAYLOAD.len();
+    let ip = Ipv4Header::new(source, destination, PROTO_ICMP, ttl, sequence, icmp_len);
+    ip.emit_into(out);
+    crate::icmp::emit_echo_into(
+        crate::icmp::IcmpType::EchoRequest,
         identifier,
         sequence,
-        payload: PROBE_PAYLOAD.to_vec(),
-    };
-    let icmp_bytes = icmp.emit();
-    let ip = Ipv4Header::new(
-        source,
-        destination,
-        PROTO_ICMP,
-        ttl,
-        sequence,
-        icmp_bytes.len(),
+        PROBE_PAYLOAD,
+        out,
     );
-    let mut packet = Vec::with_capacity(20 + icmp_bytes.len());
-    packet.extend_from_slice(&ip.emit());
-    packet.extend_from_slice(&icmp_bytes);
-    packet
 }
 
 /// Parses the wire bytes of a UDP probe back into its logical form.

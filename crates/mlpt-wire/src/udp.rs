@@ -42,19 +42,27 @@ impl UdpHeader {
 
     /// Emits header + payload with a correct pseudo-header checksum.
     pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
-        debug_assert_eq!(self.length as usize, HEADER_LEN + payload.len());
         let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
-        buf.extend_from_slice(&self.source_port.to_be_bytes());
-        buf.extend_from_slice(&self.destination_port.to_be_bytes());
-        buf.extend_from_slice(&self.length.to_be_bytes());
-        buf.extend_from_slice(&[0, 0]); // checksum placeholder
-        buf.extend_from_slice(payload);
+        self.emit_into(src, dst, payload, &mut buf);
+        buf
+    }
 
-        let csum = Self::compute_checksum(src, dst, &buf);
+    /// Appends header + payload to a reusable buffer with a correct
+    /// pseudo-header checksum — the allocation-free path used by batched
+    /// probe building.
+    pub fn emit_into(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8], out: &mut Vec<u8>) {
+        debug_assert_eq!(self.length as usize, HEADER_LEN + payload.len());
+        let start = out.len();
+        out.extend_from_slice(&self.source_port.to_be_bytes());
+        out.extend_from_slice(&self.destination_port.to_be_bytes());
+        out.extend_from_slice(&self.length.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(payload);
+
+        let csum = Self::compute_checksum(src, dst, &out[start..]);
         // RFC 768: an all-zero computed checksum is transmitted as 0xFFFF.
         let csum = if csum == 0 { 0xFFFF } else { csum };
-        buf[6..8].copy_from_slice(&csum.to_be_bytes());
-        buf
+        out[start + 6..start + 8].copy_from_slice(&csum.to_be_bytes());
     }
 
     /// Computes the UDP checksum over pseudo-header + datagram (whose

@@ -11,7 +11,8 @@ use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
-    (1u8..=254, any::<u8>(), any::<u8>(), 1u8..=254).prop_map(|(a, b, c, d)| Ipv4Addr::new(a, b, c, d))
+    (1u8..=254, any::<u8>(), any::<u8>(), 1u8..=254)
+        .prop_map(|(a, b, c, d)| Ipv4Addr::new(a, b, c, d))
 }
 
 proptest! {

@@ -53,7 +53,9 @@ fn main() {
         let mut found = std::collections::BTreeSet::new();
         for s in 0..3u16 {
             for ttl in 1..=3u8 {
-                if let Some(obs) = prober.probe(FlowId(seed as u16 ^ (s * 64 + u16::from(ttl))), ttl) {
+                if let Some(obs) =
+                    prober.probe(FlowId(seed as u16 ^ (s * 64 + u16::from(ttl))), ttl)
+                {
                     found.insert((ttl, obs.responder));
                 }
             }

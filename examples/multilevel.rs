@@ -27,10 +27,8 @@ fn main() {
     b.connect_unmeshed(0);
     b.connect_unmeshed(1);
     let topology = b.build().expect("valid");
-    let truth = RouterMap::from_alias_sets([
-        vec![addr(1, 0), addr(1, 1)],
-        vec![addr(1, 2), addr(1, 3)],
-    ]);
+    let truth =
+        RouterMap::from_alias_sets([vec![addr(1, 0), addr(1, 1)], vec![addr(1, 2), addr(1, 3)]]);
 
     // Router A keeps one shared IP-ID counter (MBT-resolvable);
     // router B stamps per-interface counters for ICMP errors — the case
@@ -48,8 +46,11 @@ fn main() {
         .seed(99)
         .build();
 
-    let mut prober =
-        TransportProber::new(network, "192.0.2.1".parse().unwrap(), topology.destination());
+    let mut prober = TransportProber::new(
+        network,
+        "192.0.2.1".parse().unwrap(),
+        topology.destination(),
+    );
     let config = MultilevelConfig {
         trace: TraceConfig::new(5),
         rounds: RoundsConfig::default(),

@@ -44,12 +44,9 @@ fn main() {
                     .faults(faults)
                     .seed(seed)
                     .build();
-                let mut prober = TransportProber::new(
-                    net,
-                    "192.0.2.1".parse().unwrap(),
-                    topology.destination(),
-                )
-                .with_retries(retries);
+                let mut prober =
+                    TransportProber::new(net, "192.0.2.1".parse().unwrap(), topology.destination())
+                        .with_retries(retries);
                 let trace = trace_mda_lite(&mut prober, &TraceConfig::new(seed));
                 vertices += trace.total_vertices() as f64 / truth;
                 probes += trace.probes_sent;

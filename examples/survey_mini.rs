@@ -17,7 +17,10 @@ fn main() {
         scenarios: 400,
         ..IpSurveyConfig::default()
     };
-    println!("tracing {} scenarios with the full MDA ...", config.scenarios);
+    println!(
+        "tracing {} scenarios with the full MDA ...",
+        config.scenarios
+    );
     let report = run_ip_survey(&internet, &config);
 
     println!(

@@ -242,7 +242,10 @@ fn cmd_trace(args: &[String]) {
     };
 
     if let Some(path) = &opts.pcap {
-        match prober.transport_mut().write_pcap(std::path::Path::new(path)) {
+        match prober
+            .transport_mut()
+            .write_pcap(std::path::Path::new(path))
+        {
             Ok(()) => eprintln!("[pcap written to {path}]"),
             Err(e) => {
                 eprintln!("failed to write pcap: {e}");
@@ -252,7 +255,10 @@ fn cmd_trace(args: &[String]) {
     }
     if opts.json {
         let report = mlpt::core::TraceReport::from_trace(&trace);
-        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        );
         return;
     }
 
@@ -275,7 +281,11 @@ fn cmd_trace(args: &[String]) {
     println!(
         "\n{} probes; destination {}; {} vertices, {} edges{}",
         trace.probes_sent,
-        if trace.reached_destination { "reached" } else { "NOT reached" },
+        if trace.reached_destination {
+            "reached"
+        } else {
+            "NOT reached"
+        },
         trace.total_vertices(),
         trace.total_edges(),
         match trace.switched {
@@ -303,7 +313,10 @@ fn cmd_multilevel(args: &[String]) {
     };
     let result = trace_multilevel(&mut prober, &config);
 
-    println!("mlpt: multilevel MDA-Lite to {destination}, seed {}", opts.seed);
+    println!(
+        "mlpt: multilevel MDA-Lite to {destination}, seed {}",
+        opts.seed
+    );
     render_hops(&result.trace, Some(&result.router_map));
     println!("\nalias sets (routers) inferred during the trace:");
     let mut any = false;
@@ -365,10 +378,7 @@ fn cmd_multilevel(args: &[String]) {
                 *per_round.entry(r.round).or_insert(0) += r.cumulative_probes;
             }
         }
-        let rounds: Vec<String> = per_round
-            .iter()
-            .map(|(r, p)| format!("r{r}:{p}"))
-            .collect();
+        let rounds: Vec<String> = per_round.iter().map(|(r, p)| format!("r{r}:{p}")).collect();
         println!("alias probes by round: {}", rounds.join(" "));
     }
 }

@@ -62,7 +62,15 @@ fn pcap_output_is_openable() {
 #[test]
 fn multilevel_reports_alias_sets() {
     let out = mlpt()
-        .args(["multilevel", "--scenario", "3", "--seed", "2", "--rounds", "3"])
+        .args([
+            "multilevel",
+            "--scenario",
+            "3",
+            "--seed",
+            "2",
+            "--rounds",
+            "3",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success());
@@ -78,16 +86,23 @@ fn meshed_topology_reports_switch() {
         .output()
         .expect("binary runs");
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert!(
-        stdout.contains("switched to full MDA (meshing"),
-        "{stdout}"
-    );
+    assert!(stdout.contains("switched to full MDA (meshing"), "{stdout}");
 }
 
 #[test]
 fn unknown_arguments_rejected() {
-    assert!(!mlpt().args(["trace", "--bogus"]).output().unwrap().status.success());
-    assert!(!mlpt().args(["frobnicate"]).output().unwrap().status.success());
+    assert!(!mlpt()
+        .args(["trace", "--bogus"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(!mlpt()
+        .args(["frobnicate"])
+        .output()
+        .unwrap()
+        .status
+        .success());
     assert!(!mlpt()
         .args(["trace", "--topology", "no-such"])
         .output()

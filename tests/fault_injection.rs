@@ -66,9 +66,14 @@ fn retries_restore_discovery() {
                 .faults(FaultPlan::with_loss(0.0, 0.25))
                 .seed(seed)
                 .build();
-            let mut prober = TransportProber::new(net, SRC, topo.destination()).with_retries(retries);
+            let mut prober =
+                TransportProber::new(net, SRC, topo.destination()).with_retries(retries);
             let trace = trace_mda(&mut prober, &TraceConfig::new(seed));
-            let slot = if retries == 0 { &mut plain } else { &mut retried };
+            let slot = if retries == 0 {
+                &mut plain
+            } else {
+                &mut retried
+            };
             slot.0 += trace.total_vertices();
             slot.1 += trace.probes_sent;
         }
@@ -108,10 +113,8 @@ fn multilevel_under_loss() {
     b.connect_unmeshed(0);
     b.connect_unmeshed(1);
     let topo = b.build().unwrap();
-    let truth = RouterMap::from_alias_sets([
-        vec![addr(1, 0), addr(1, 1)],
-        vec![addr(1, 2), addr(1, 3)],
-    ]);
+    let truth =
+        RouterMap::from_alias_sets([vec![addr(1, 0), addr(1, 1)], vec![addr(1, 2), addr(1, 3)]]);
     let net = SimNetwork::builder(topo.clone())
         .routers(truth)
         .faults(FaultPlan::with_loss(0.0, 0.1))

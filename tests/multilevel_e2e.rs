@@ -86,7 +86,10 @@ fn mixed_evidence_sources_cooperate() {
     let result = trace_multilevel(&mut prober, &MultilevelConfig::new(23));
 
     assert!(result.router_map.are_aliases(addr(1, 0), addr(1, 1)), "MBT");
-    assert!(result.router_map.are_aliases(addr(1, 2), addr(1, 3)), "MPLS");
+    assert!(
+        result.router_map.are_aliases(addr(1, 2), addr(1, 3)),
+        "MPLS"
+    );
     assert!(
         result.router_map.are_aliases(addr(1, 4), addr(1, 5)),
         "signature fallback"
@@ -144,7 +147,10 @@ fn direct_vs_indirect_disagreement_reproduced() {
 #[test]
 fn alias_probing_cost_is_accounted() {
     let (topo, truth) = three_router_diamond();
-    let net = SimNetwork::builder(topo.clone()).routers(truth).seed(3).build();
+    let net = SimNetwork::builder(topo.clone())
+        .routers(truth)
+        .seed(3)
+        .build();
     let mut prober = TransportProber::new(net, SRC, topo.destination());
     let config = MultilevelConfig {
         trace: TraceConfig::new(3),

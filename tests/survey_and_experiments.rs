@@ -17,12 +17,16 @@ fn evaluation_orderings_hold() {
             scenarios: 80,
             workers: 4,
             trace_seed: 1,
+            ..EvaluationConfig::default()
         },
     );
     let (v_lite, e_lite, p_lite) = out.aggregate_of(Variant::MdaLitePhi2);
     let (v_single, e_single, p_single) = out.aggregate_of(Variant::SingleFlow);
     // Who wins, by roughly what factor.
-    assert!(v_lite > 0.95 && e_lite > 0.92, "lite parity {v_lite}/{e_lite}");
+    assert!(
+        v_lite > 0.95 && e_lite > 0.92,
+        "lite parity {v_lite}/{e_lite}"
+    );
     assert!(p_lite < 0.9, "lite economy {p_lite}");
     assert!(v_single < 0.8 && e_single < 0.6, "single flow misses");
     assert!(p_single < 0.1, "single flow is cheap");
@@ -35,8 +39,8 @@ fn all_experiments_run_small() {
     // The full battery is exercised piecewise to keep failures local;
     // "all" composition is checked by the ids list.
     for id in experiments::ALL_IDS {
-        let results = experiments::run(id, Scale::Small)
-            .unwrap_or_else(|| panic!("unknown experiment {id}"));
+        let results =
+            experiments::run(id, Scale::Small).unwrap_or_else(|| panic!("unknown experiment {id}"));
         for r in &results {
             assert!(!r.text.trim().is_empty(), "{id}: empty text");
             assert!(!r.json.is_null(), "{id}: null json");

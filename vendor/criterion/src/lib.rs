@@ -1,0 +1,313 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! A small wall-clock micro-benchmark harness exposing the criterion API
+//! this workspace's benches use: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. No statistics
+//! beyond mean/min/max, no HTML reports; results print to stdout and are
+//! retrievable programmatically via [`Criterion::results`] so benches can
+//! emit machine-readable files.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched code.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` or the bare function name).
+    pub id: String,
+    /// Samples collected.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Median sample's per-iteration time (robust to scheduler outliers).
+    pub median: Duration,
+    /// Fastest sample's per-iteration time.
+    pub min: Duration,
+    /// Slowest sample's per-iteration time.
+    pub max: Duration,
+}
+
+/// Measurement harness handed to bench closures.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    result: &'a mut Option<Measurement>,
+}
+
+/// Raw numbers one `iter` call produced.
+pub struct Measurement {
+    samples: usize,
+    iters: u64,
+    mean: Duration,
+    median: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measures a closure: a calibration pass picks an iteration count,
+    /// then `sample_size` samples are timed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: aim for samples of at least ~2ms, capped to keep
+        // heavyweight benches (whole surveys) from taking minutes.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(2);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        // Warm-up: populate caches/allocator state before measuring.
+        let warmup = (iters / 4).clamp(1, 100);
+        for _ in 0..warmup {
+            black_box(f());
+        }
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed() / iters as u32;
+            samples.push(elapsed);
+            total += elapsed;
+        }
+        let mean = total / self.sample_size as u32;
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        *self.result = Some(Measurement {
+            samples: self.sample_size,
+            iters,
+            mean,
+            median,
+            min: samples[0],
+            max: *samples.last().expect("sample_size >= 2"),
+        });
+    }
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        sample_size: usize,
+        results: &mut Vec<BenchResult>,
+        id: String,
+        mut f: F,
+    ) {
+        let mut slot = None;
+        let mut bencher = Bencher {
+            sample_size,
+            result: &mut slot,
+        };
+        f(&mut bencher);
+        if let Some(m) = slot {
+            println!(
+                "bench {id:<50} time: [{} {} {}]",
+                format_duration(m.min),
+                format_duration(m.median),
+                format_duration(m.max)
+            );
+            results.push(BenchResult {
+                id,
+                samples: m.samples,
+                iters_per_sample: m.iters,
+                mean: m.mean,
+                median: m.median,
+                min: m.min,
+                max: m.max,
+            });
+        }
+    }
+
+    /// Benchmarks one closure under the given name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        Self::run_one(self.sample_size, &mut self.results, id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// All results measured so far (for machine-readable emission).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for subsequent benches in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        Criterion::run_one(sample_size, &mut self.criterion.results, full, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks a closure under a name within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        Criterion::run_one(sample_size, &mut self.criterion.results, full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.id, "noop");
+        assert!(r.min <= r.median && r.median <= r.max);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default().sample_size(3);
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::new("f", "p"), &7u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert_eq!(c.results()[0].id, "g/f/p");
+        assert_eq!(c.results()[0].samples, 2);
+    }
+}

@@ -1,0 +1,960 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! a small serialization framework exposing the serde surface it uses:
+//! `#[derive(Serialize, Deserialize)]`, the two traits, and impls for the
+//! std types that appear in workspace data structures. The data model is a
+//! concrete JSON-like [`Value`] tree rather than upstream serde's visitor
+//! architecture; `serde_json` (also vendored) renders and parses it.
+//!
+//! Representation choices mirror upstream defaults where the workspace
+//! can observe them: structs are objects, newtype structs are their inner
+//! value, enums are externally tagged, `Option` is `null`-or-value, and
+//! missing object keys deserialize as `null` (so optional fields work).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::net::Ipv4Addr;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number: unsigned, signed, or floating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative (or explicitly signed) integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `f64` (always possible).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    /// The value as `u64`, if integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::I(v) => Some(v),
+            Number::F(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map of [`Value`]s (the JSON object).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key, replacing any previous value for it.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        for entry in &mut self.entries {
+            if entry.0 == key {
+                return Some(std::mem::replace(&mut entry.1, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// A JSON-like value tree: the crate's serialization data model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object, if this is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field access returning `Null` borrow on absence, like
+    /// `serde_json`'s `get` composed with indexing.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! value_eq_num {
+    ($($t:ty : $get:ident),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.$get().is_some_and(|v| v == (*other).into())
+            }
+        }
+    )*};
+}
+value_eq_num!(u8 : as_u64, u16 : as_u64, u32 : as_u64, u64 : as_u64,
+    i8 : as_i64, i16 : as_i64, i32 : as_i64, i64 : as_i64, f64 : as_f64, f32 : as_f64);
+
+static NULL: Value = Value::Null;
+
+/// Writes a JSON string literal with escaping.
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U(v) => write!(f, "{v}"),
+            Number::I(v) => write!(f, "{v}"),
+            Number::F(v) if v.is_finite() => {
+                if v == v.trunc() && v.abs() < 1e15 {
+                    // Keep integral floats readable but distinguishable.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            // JSON has no infinities/NaN; null is serde_json's behaviour.
+            Number::F(_) => f.write_str("null"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types used by the workspace.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::U(*self as u64)) }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::Number(Number::U(v as u64)) } else { Value::Number(Number::I(v)) }
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(f64::from(*self)))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Renders a serialized key value as a JSON object key, the way
+/// `serde_json` renders non-string keys: strings pass through, anything
+/// else becomes its compact JSON text.
+pub fn key_to_string(value: Value) -> String {
+    match value {
+        Value::String(s) => s,
+        other => other.to_string(),
+    }
+}
+
+/// Reconstructs a key type from a JSON object key produced by
+/// [`key_to_string`]: the key text is parsed as a JSON value when
+/// possible, else treated as a plain string.
+pub fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(parsed) = crate::key_parse(key) {
+        if let Ok(k) = K::from_value(&parsed) {
+            return Ok(k);
+        }
+    }
+    K::from_value(&Value::String(key.to_string()))
+}
+
+/// Hook filled by `serde_json` at link time is not possible in a stub, so
+/// a tiny JSON reader lives here for key reconstruction only.
+fn key_parse(input: &str) -> Result<Value, Error> {
+    // Fast paths for the common key shapes.
+    let t = input.trim();
+    if t == "null" {
+        return Ok(Value::Null);
+    }
+    if t == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if t == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Ok(u) = t.parse::<u64>() {
+        return Ok(Value::Number(Number::U(u)));
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Ok(Value::Number(Number::I(i)));
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        return Ok(Value::Number(Number::F(f)));
+    }
+    if t.starts_with('[') || t.starts_with('{') || t.starts_with('"') {
+        return crate::mini_json::parse(t);
+    }
+    Err(Error::custom("not a JSON key"))
+}
+
+/// Minimal JSON reader used only for compound object keys.
+mod mini_json {
+    use super::{Error, Map, Number, Value};
+
+    pub fn parse(input: &str) -> Result<Value, Error> {
+        let mut p = P {
+            b: input.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(Error::custom("trailing key characters"));
+        }
+        Ok(v)
+    }
+
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl P<'_> {
+        fn ws(&mut self) {
+            while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.i += 1;
+            }
+        }
+        fn value(&mut self) -> Result<Value, Error> {
+            match self.b.get(self.i) {
+                Some(b'n') if self.b[self.i..].starts_with(b"null") => {
+                    self.i += 4;
+                    Ok(Value::Null)
+                }
+                Some(b't') if self.b[self.i..].starts_with(b"true") => {
+                    self.i += 4;
+                    Ok(Value::Bool(true))
+                }
+                Some(b'f') if self.b[self.i..].starts_with(b"false") => {
+                    self.i += 5;
+                    Ok(Value::Bool(false))
+                }
+                Some(b'"') => self.string().map(Value::String),
+                Some(b'[') => {
+                    self.i += 1;
+                    let mut items = Vec::new();
+                    loop {
+                        self.ws();
+                        if self.b.get(self.i) == Some(&b']') {
+                            self.i += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        items.push(self.value()?);
+                        self.ws();
+                        if self.b.get(self.i) == Some(&b',') {
+                            self.i += 1;
+                        }
+                    }
+                }
+                Some(b'{') => {
+                    self.i += 1;
+                    let mut map = Map::new();
+                    loop {
+                        self.ws();
+                        if self.b.get(self.i) == Some(&b'}') {
+                            self.i += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        let key = self.string()?;
+                        self.ws();
+                        if self.b.get(self.i) == Some(&b':') {
+                            self.i += 1;
+                        } else {
+                            return Err(Error::custom("expected ':' in key object"));
+                        }
+                        self.ws();
+                        let value = self.value()?;
+                        map.insert(key, value);
+                        self.ws();
+                        if self.b.get(self.i) == Some(&b',') {
+                            self.i += 1;
+                        }
+                    }
+                }
+                Some(b'-' | b'0'..=b'9') => {
+                    let start = self.i;
+                    while matches!(
+                        self.b.get(self.i),
+                        Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                    ) {
+                        self.i += 1;
+                    }
+                    let text = std::str::from_utf8(&self.b[start..self.i])
+                        .map_err(|_| Error::custom("bad number"))?;
+                    if let Ok(u) = text.parse::<u64>() {
+                        return Ok(Value::Number(Number::U(u)));
+                    }
+                    if let Ok(i) = text.parse::<i64>() {
+                        return Ok(Value::Number(Number::I(i)));
+                    }
+                    text.parse::<f64>()
+                        .map(|f| Value::Number(Number::F(f)))
+                        .map_err(|_| Error::custom("bad number"))
+                }
+                _ => Err(Error::custom("unexpected key character")),
+            }
+        }
+        fn string(&mut self) -> Result<String, Error> {
+            if self.b.get(self.i) != Some(&b'"') {
+                return Err(Error::custom("expected string"));
+            }
+            self.i += 1;
+            let mut out = String::new();
+            while let Some(&c) = self.b.get(self.i) {
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let esc = *self
+                            .b
+                            .get(self.i)
+                            .ok_or_else(|| Error::custom("bad escape"))?;
+                        self.i += 1;
+                        out.push(match esc {
+                            b'n' => '\n',
+                            b'r' => '\r',
+                            b't' => '\t',
+                            other => other as char,
+                        });
+                    }
+                    other => out.push(other as char),
+                }
+            }
+            Err(Error::custom("unterminated key string"))
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(key_to_string(k.to_value()), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K: Serialize + Hash + Eq, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for HashMap<K, V, S>
+{
+    fn to_value(&self) -> Value {
+        // Sort keys for deterministic output, matching BTreeMap behaviour.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k.to_value()), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_u64().ok_or_else(|| Error::custom("expected unsigned integer"))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_i64().ok_or_else(|| Error::custom("expected integer"))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Deserialize for Ipv4Addr {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected IPv4 string"))?;
+        s.parse()
+            .map_err(|_| Error::custom(format!("invalid IPv4 address {s:?}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
+        let mut out = BTreeMap::new();
+        for (k, v) in obj.iter() {
+            out.insert(key_from_string(k)?, V::from_value(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Deserialize + Hash + Eq, V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
+        let mut out = HashMap::default();
+        for (k, v) in obj.iter() {
+            out.insert(key_from_string(k)?, V::from_value(v)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let arr = value.as_array().ok_or_else(|| Error::custom("expected array"))?;
+                if arr.len() != $len {
+                    return Err(Error::custom("tuple length mismatch"));
+                }
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------------
+// Support entry points used by derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Fetches and deserializes an object field; absent keys read as `null`
+/// (so `Option` fields default to `None`, as with upstream serde).
+pub fn field<T: Deserialize>(map: &Map, key: &str) -> Result<T, Error> {
+    let value = map.get(key).unwrap_or(&NULL);
+    T::from_value(value).map_err(|e| Error::custom(format!("field {key:?}: {e}")))
+}
+
+/// Requires the value to be an object, labelling errors with a type name.
+pub fn expect_object<'v>(value: &'v Value, type_name: &str) -> Result<&'v Map, Error> {
+    value
+        .as_object()
+        .ok_or_else(|| Error::custom(format!("expected {type_name} object")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        m.insert("a", Value::Bool(true));
+        assert_eq!(m.insert("a", Value::Null), Some(Value::Bool(true)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn option_field_defaults_to_none() {
+        let m = Map::new();
+        let got: Option<u32> = field(&m, "missing").unwrap();
+        assert_eq!(got, None);
+        assert!(field::<u32>(&m, "missing").is_err());
+    }
+
+    #[test]
+    fn ipv4_roundtrip() {
+        let a = Ipv4Addr::new(10, 1, 2, 3);
+        let v = a.to_value();
+        assert_eq!(Ipv4Addr::from_value(&v).unwrap(), a);
+    }
+
+    #[test]
+    fn btreemap_ipv4_keys_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert(Ipv4Addr::new(1, 2, 3, 4), 7u32);
+        let v = m.to_value();
+        let back: BTreeMap<Ipv4Addr, u32> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn value_indexing() {
+        let mut m = Map::new();
+        m.insert("x", Value::Number(Number::U(3)));
+        let v = Value::Object(m);
+        assert_eq!(v["x"].as_u64(), Some(3));
+        assert!(v["missing"].is_null());
+        let arr = Value::Array(vec![Value::Bool(false)]);
+        assert_eq!(arr[0].as_bool(), Some(false));
+        assert!(arr[5].is_null());
+    }
+}

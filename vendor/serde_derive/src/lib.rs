@@ -1,0 +1,398 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly over `proc_macro` token trees (no syn/quote — the
+//! build environment is fully offline). Supports the shapes the workspace
+//! uses: structs with named fields, tuple/newtype structs, unit structs,
+//! and enums whose variants are unit, newtype/tuple, or struct-like.
+//! Generics are not supported (the workspace derives none).
+//!
+//! Representation matches upstream serde defaults: structs → objects,
+//! newtype structs → inner value, unit enum variants → the variant name
+//! as a string, data-carrying variants → externally tagged single-key
+//! objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list: named fields, a tuple arity, or a unit body.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// What the derive input declares.
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips one attribute if the cursor sits on `#` (`#[...]`, including the
+/// token form doc comments lower to).
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match (&tokens.get(i), &tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skips a visibility modifier (`pub`, `pub(...)`).
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a token list on top-level commas, tracking `<...>` depth so
+/// generic argument commas don't split. Empty segments are dropped.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        out.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Extracts the field name from one named-field declaration
+/// (`[attrs] [vis] name : Type`).
+fn named_field(tokens: &[TokenTree]) -> Option<String> {
+    let mut i = skip_attributes(tokens, 0);
+    i = skip_visibility(tokens, i);
+    match (tokens.get(i), tokens.get(i + 1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+            Some(name.to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Parses a brace-delimited named-field body into field names.
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_commas(group_tokens)
+        .iter()
+        .filter_map(|seg| named_field(seg))
+        .collect()
+}
+
+/// Parses the derive input item.
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    // Reject generics: the workspace derives none, and supporting them
+    // would complicate the generated impls for no user.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported ({name})");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Input::Struct {
+                    name,
+                    fields: Fields::Named(parse_named_fields(&body)),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Input::Struct {
+                    name,
+                    fields: Fields::Tuple(split_commas(&body).len()),
+                }
+            }
+            _ => Input::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<_>>()
+                }
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            let mut variants = Vec::new();
+            for seg in split_commas(&body) {
+                let j = skip_attributes(&seg, 0);
+                let vname = match seg.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("serde_derive: expected variant name, found {other:?}"),
+                };
+                let fields = match seg.get(j + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Named(parse_named_fields(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Tuple(split_commas(&inner).len())
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for {other}"),
+    }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let mut inserts = String::new();
+                    for f in &names {
+                        inserts.push_str(&format!(
+                            "map.insert(::std::string::String::from({f:?}), \
+                             ::serde::Serialize::to_value(&self.{f}));\n"
+                        ));
+                    }
+                    format!(
+                        "let mut map = ::serde::Map::new();\n{inserts}::serde::Value::Object(map)"
+                    )
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => {{\n\
+                         let mut map = ::serde::Map::new();\n\
+                         map.insert(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(f0));\n\
+                         ::serde::Value::Object(map)\n}}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Array(::std::vec![{items}]));\n\
+                             ::serde::Value::Object(map)\n}}\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "inner.insert(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut inner = ::serde::Map::new();\n{inserts}\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(::std::string::String::from({vn:?}), ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(map)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let mut sets = String::new();
+                    for f in &names {
+                        sets.push_str(&format!("{f}: ::serde::field(obj, {f:?})?,\n"));
+                    }
+                    format!(
+                        "let obj = ::serde::expect_object(value, {name:?})?;\n\
+                         ::std::result::Result::Ok(Self {{\n{sets}}})"
+                    )
+                }
+                Fields::Tuple(1) => {
+                    "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))"
+                        .to_string()
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let arr = value.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::custom(\"tuple struct length mismatch\")); }}\n\
+                         ::std::result::Result::Ok(Self({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => "::std::result::Result::Ok(Self)".to_string(),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            // Unit variants arrive as strings; data variants as
+            // single-key objects (externally tagged).
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let arr = payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array payload\"))?;\n\
+                             if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"variant arity mismatch\")); }}\n\
+                             return ::std::result::Result::Ok({name}::{vn}({}));\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut sets = String::new();
+                        for f in fields {
+                            sets.push_str(&format!("{f}: ::serde::field(inner, {f:?})?,\n"));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let inner = ::serde::expect_object(payload, {vn:?})?;\n\
+                             return ::std::result::Result::Ok({name}::{vn} {{\n{sets}}});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::std::option::Option::Some(tag) = value.as_str() {{\n\
+                 match tag {{\n{unit_arms}\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant {{tag}}\"))),\n}}\n}}\n\
+                 if let ::std::option::Option::Some(obj) = value.as_object() {{\n\
+                 if let ::std::option::Option::Some((tag, payload)) = obj.iter().next() {{\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant {{tag}}\"))),\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\"expected {name}\"))\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
