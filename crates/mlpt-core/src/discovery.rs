@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 /// Evidence accumulated by a trace in progress.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Discovery {
     /// Per hop index (ttl - 1): vertex → flows observed reaching it.
     hops: Vec<BTreeMap<Ipv4Addr, BTreeSet<FlowId>>>,

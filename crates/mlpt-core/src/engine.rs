@@ -1,0 +1,603 @@
+//! The concurrent sweep engine: many trace sessions over one transport.
+//!
+//! Large-scale tracing is dominated by how many destinations can be kept
+//! in flight at once (Donnet et al., "Efficient Route Tracing from a
+//! Single Source"). The [`SweepEngine`] exploits the sans-IO split of
+//! [`crate::session`]: it holds a table of [`TraceSession`]s — one per
+//! destination — and each dispatch cycle
+//!
+//! 1. **gathers** every session's pending round into one large
+//!    cross-destination [`PacketBatch`], bounded by an in-flight token
+//!    budget ([`SweepConfig::max_in_flight`]);
+//! 2. crosses the shared [`BatchTransport`] **once**;
+//! 3. **demultiplexes** replies back to their sessions by the
+//!    destination/flow/sequence tags recovered from the quoted probe
+//!    inside each ICMP reply ([`mlpt_wire::probe::ReplyPacket`]) — not by
+//!    slot position — so interleaved, lost and malformed replies are all
+//!    handled;
+//! 4. hands completed rounds back to their sessions, which advance their
+//!    state machines and produce the next rounds.
+//!
+//! Per destination, the engine emits the *identical* packet sequence a
+//! dedicated [`crate::prober::TransportProber`] would (same sequence
+//! numbers, same retry waves), so a sweep's per-destination traces are
+//! bit-identical to running each trace sequentially on its own — the
+//! property tests in `tests/sweep_equivalence.rs` enforce exactly that.
+//!
+//! Malformed or mismatched replies never panic a sweep: the demux path
+//! is unwrap-free, counting anomalies in [`SweepStats`] and treating the
+//! affected probes as lost (which the retry machinery then handles).
+
+use crate::prober::{ProbeObservation, ProbeSpec};
+use crate::session::{SessionState, TraceSession};
+use crate::trace::Trace;
+use mlpt_wire::probe::{build_udp_probe_into, parse_reply, ProbePacket};
+use mlpt_wire::transport::{BatchTransport, PacketBatch, ReplyBatch};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Tuning knobs of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Token budget: the most probes the engine puts on the wire in one
+    /// dispatch cycle, across all sessions. Rounds that do not fit wait
+    /// for the next cycle (order within each session is preserved).
+    pub max_in_flight: usize,
+    /// Per-round retry waves for unanswered probes, matching
+    /// [`crate::prober::TransportProber::with_retries`] semantics.
+    pub retries: u8,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 1024,
+            retries: 0,
+        }
+    }
+}
+
+/// Errors surfaced by the engine's session table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Two sessions trace towards the same destination: their reply tags
+    /// would be ambiguous, so the table refuses the second one.
+    DuplicateDestination(Ipv4Addr),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::DuplicateDestination(d) => {
+                write!(f, "a session towards {d} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Counters describing one sweep's dispatch behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Transport crossings (send_batch calls) performed.
+    pub dispatch_cycles: u64,
+    /// Probe packets put on the wire (retries included).
+    pub probes_sent: u64,
+    /// Replies successfully demultiplexed to a session.
+    pub replies_delivered: u64,
+    /// Replies that failed to parse as IPv4+ICMP.
+    pub malformed_replies: u64,
+    /// Parsed replies whose tags matched no in-flight probe, or whose
+    /// quoted flow contradicted the probe they claimed to answer.
+    pub mismatched_replies: u64,
+    /// Largest single dispatch batch.
+    pub max_batch: usize,
+}
+
+impl SweepStats {
+    /// Mean probes per transport crossing — the dispatch-throughput
+    /// metric (each crossing is the analogue of one `sendmmsg` syscall
+    /// plus one round-trip wait on a real network).
+    pub fn probes_per_dispatch(&self) -> f64 {
+        if self.dispatch_cycles == 0 {
+            0.0
+        } else {
+            self.probes_sent as f64 / self.dispatch_cycles as f64
+        }
+    }
+}
+
+/// Demultiplexer for in-flight probes: maps the (destination, sequence)
+/// tag recovered from a reply's quoted probe back to the dispatch entry
+/// that sent it. Sequence numbers are per-session, destinations are
+/// unique per session, so the pair is unique while a probe is in flight.
+#[derive(Debug, Default)]
+struct ReplyDemux {
+    in_flight: HashMap<(u32, u16), usize>,
+}
+
+impl ReplyDemux {
+    fn clear(&mut self) {
+        self.in_flight.clear();
+    }
+
+    /// Registers a dispatched probe; returns false on a tag collision
+    /// (which the caller counts — the older entry survives).
+    fn register(&mut self, destination: Ipv4Addr, sequence: u16, token: usize) -> bool {
+        match self.in_flight.entry((u32::from(destination), sequence)) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(token);
+                true
+            }
+        }
+    }
+
+    /// Claims the probe a reply answers, by tag. Each probe can be
+    /// claimed once; unknown tags return `None`.
+    fn claim(&mut self, destination: Ipv4Addr, sequence: u16) -> Option<usize> {
+        self.in_flight.remove(&(u32::from(destination), sequence))
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+/// A registered session plus its per-destination wire state.
+struct SessionSlot {
+    session: Box<dyn TraceSession>,
+    destination: Ipv4Addr,
+    /// Per-session sequence counter (same discipline as
+    /// `TransportProber::next_sequence`: first probe is sequence 1).
+    sequence: u16,
+    /// Wire-level packets sent for this session, retries included.
+    probes_sent: u64,
+    /// The round currently being serviced (copied from the session).
+    round: Vec<ProbeSpec>,
+    /// One result slot per round spec.
+    results: Vec<Option<ProbeObservation>>,
+    /// Spec indices of the current retry wave, in dispatch order.
+    wave: Vec<usize>,
+    /// Next index into `wave` to dispatch.
+    cursor: usize,
+    /// Current retry wave number (0 = first transmission).
+    attempt: u8,
+    /// True while a round is being serviced.
+    active: bool,
+    finished: bool,
+}
+
+impl SessionSlot {
+    fn next_sequence(&mut self) -> u16 {
+        self.sequence = self.sequence.wrapping_add(1);
+        self.sequence
+    }
+}
+
+/// One in-flight probe of the current dispatch cycle.
+#[derive(Debug, Clone, Copy)]
+struct DispatchEntry {
+    session: usize,
+    spec: usize,
+}
+
+/// The sweep scheduler (see module docs).
+pub struct SweepEngine<T: BatchTransport> {
+    transport: T,
+    source: Ipv4Addr,
+    config: SweepConfig,
+    slots: Vec<SessionSlot>,
+    stats: SweepStats,
+    demux: ReplyDemux,
+    packets: PacketBatch,
+    replies: ReplyBatch,
+    dispatch: Vec<DispatchEntry>,
+}
+
+impl<T: BatchTransport> SweepEngine<T> {
+    /// Creates an engine over a shared transport, probing from `source`.
+    pub fn new(transport: T, source: Ipv4Addr) -> Self {
+        Self {
+            transport,
+            source,
+            config: SweepConfig::default(),
+            slots: Vec::new(),
+            stats: SweepStats::default(),
+            demux: ReplyDemux::default(),
+            packets: PacketBatch::new(),
+            replies: ReplyBatch::new(),
+            dispatch: Vec::new(),
+        }
+    }
+
+    /// Replaces the tuning knobs.
+    pub fn with_config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self.config.max_in_flight = self.config.max_in_flight.max(1);
+        self
+    }
+
+    /// Registers a session; its destination must be unique in the table.
+    /// Returns the session's index (traces come back in the same order).
+    pub fn add_session(&mut self, session: Box<dyn TraceSession>) -> Result<usize, EngineError> {
+        let destination = session.destination();
+        if self.slots.iter().any(|s| s.destination == destination) {
+            return Err(EngineError::DuplicateDestination(destination));
+        }
+        self.slots.push(SessionSlot {
+            session,
+            destination,
+            sequence: 0,
+            probes_sent: 0,
+            round: Vec::new(),
+            results: Vec::new(),
+            wave: Vec::new(),
+            cursor: 0,
+            attempt: 0,
+            active: false,
+            finished: false,
+        });
+        Ok(self.slots.len() - 1)
+    }
+
+    /// Dispatch statistics so far.
+    pub fn stats(&self) -> &SweepStats {
+        &self.stats
+    }
+
+    /// Consumes the engine, returning the transport.
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+
+    /// Drives every registered session to completion, returning their
+    /// traces in registration order.
+    pub fn run(&mut self) -> Vec<Trace> {
+        let mut traces: Vec<Option<Trace>> = self.slots.iter().map(|_| None).collect();
+
+        loop {
+            self.refill_rounds(&mut traces);
+            if !self.gather_packets() {
+                break;
+            }
+            self.transport.send_batch(&self.packets, &mut self.replies);
+            self.stats.dispatch_cycles += 1;
+            self.stats.probes_sent += self.packets.len() as u64;
+            self.stats.max_batch = self.stats.max_batch.max(self.packets.len());
+            self.demux_replies();
+            self.resolve_waves();
+        }
+
+        // Every slot is finished once no packets can be gathered; the
+        // fallback take_trace covers the (unreachable) partial case
+        // without panicking.
+        traces
+            .into_iter()
+            .zip(&mut self.slots)
+            .map(|(trace, slot)| trace.unwrap_or_else(|| slot.session.take_trace(slot.probes_sent)))
+            .collect()
+    }
+
+    /// Polls idle sessions for their next rounds, collecting traces of
+    /// sessions that finished.
+    fn refill_rounds(&mut self, traces: &mut [Option<Trace>]) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.finished || slot.active {
+                continue;
+            }
+            match slot.session.poll() {
+                SessionState::Finished => {
+                    slot.finished = true;
+                    if let Some(out) = traces.get_mut(i) {
+                        *out = Some(slot.session.take_trace(slot.probes_sent));
+                    }
+                }
+                SessionState::Probing => {
+                    let specs = slot.session.next_rounds();
+                    if specs.is_empty() {
+                        // Defensive: a session must not yield an empty
+                        // round; feed it empty replies so it advances.
+                        debug_assert!(false, "session yielded an empty round");
+                        slot.session.on_replies(&[]);
+                        continue;
+                    }
+                    slot.round.clear();
+                    slot.round.extend_from_slice(specs);
+                    slot.results.clear();
+                    slot.results.resize(slot.round.len(), None);
+                    slot.wave.clear();
+                    slot.wave.extend(0..slot.round.len());
+                    slot.cursor = 0;
+                    slot.attempt = 0;
+                    slot.active = true;
+                }
+            }
+        }
+    }
+
+    /// Builds the cycle's cross-destination packet batch under the token
+    /// budget. Returns false when nothing is left to dispatch (all
+    /// sessions finished).
+    fn gather_packets(&mut self) -> bool {
+        self.packets.clear();
+        self.dispatch.clear();
+        self.demux.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if !slot.active {
+                continue;
+            }
+            while slot.cursor < slot.wave.len() && self.packets.len() < self.config.max_in_flight {
+                let spec_idx = slot.wave[slot.cursor];
+                slot.cursor += 1;
+                let Some(&spec) = slot.round.get(spec_idx) else {
+                    debug_assert!(false, "wave index out of round bounds");
+                    continue;
+                };
+                let sequence = slot.next_sequence();
+                let probe = ProbePacket {
+                    source: self.source,
+                    destination: slot.destination,
+                    flow: spec.flow,
+                    ttl: spec.ttl,
+                    sequence,
+                };
+                self.packets
+                    .push_with(|buf| build_udp_probe_into(&probe, buf));
+                if !self
+                    .demux
+                    .register(slot.destination, sequence, self.dispatch.len())
+                {
+                    // A 16-bit sequence collision inside one cycle: only
+                    // possible for absurdly large rounds. Count it and
+                    // let the probe resolve as lost.
+                    self.stats.mismatched_replies += 1;
+                }
+                self.dispatch.push(DispatchEntry {
+                    session: i,
+                    spec: spec_idx,
+                });
+                slot.probes_sent += 1;
+            }
+        }
+        !self.packets.is_empty()
+    }
+
+    /// Routes every reply of the cycle back to its probe by quoted tags.
+    fn demux_replies(&mut self) {
+        for slot_idx in 0..self.replies.len() {
+            let Some(bytes) = self.replies.get(slot_idx) else {
+                continue; // lost on the wire: resolved as unanswered
+            };
+            let Ok(parsed) = parse_reply(bytes) else {
+                self.stats.malformed_replies += 1;
+                continue;
+            };
+            let (Some(dest), Some(sequence)) = (parsed.probe_destination, parsed.probe_sequence)
+            else {
+                // No usable quote (e.g. a stray echo reply): nothing to
+                // demultiplex against.
+                self.stats.mismatched_replies += 1;
+                continue;
+            };
+            let Some(token) = self.demux.claim(dest, sequence) else {
+                self.stats.mismatched_replies += 1;
+                continue;
+            };
+            let Some(entry) = self.dispatch.get(token) else {
+                debug_assert!(false, "demux token out of bounds");
+                self.stats.mismatched_replies += 1;
+                continue;
+            };
+            let (session_idx, spec_idx) = (entry.session, entry.spec);
+
+            let Some(slot) = self.slots.get_mut(session_idx) else {
+                debug_assert!(false, "dispatch entry names an unknown session");
+                self.stats.mismatched_replies += 1;
+                continue;
+            };
+            let Some(&spec) = slot.round.get(spec_idx) else {
+                debug_assert!(false, "dispatch entry outlived its round");
+                self.stats.mismatched_replies += 1;
+                continue;
+            };
+            // The shared acceptance rule (also TransportProber's): the
+            // reply must quote the flow we probed with.
+            let Some(obs) = ProbeObservation::from_reply(
+                spec,
+                parsed,
+                slot.destination,
+                self.replies.timestamp(slot_idx),
+            ) else {
+                self.stats.mismatched_replies += 1;
+                continue;
+            };
+            if let Some(result) = slot.results.get_mut(spec_idx) {
+                *result = Some(obs);
+                self.stats.replies_delivered += 1;
+            }
+        }
+    }
+
+    /// Completes retry waves and hands finished rounds to their sessions.
+    fn resolve_waves(&mut self) {
+        for slot in &mut self.slots {
+            if !slot.active || slot.cursor < slot.wave.len() {
+                continue; // wave still (partially) undispatched
+            }
+            // The transport is synchronous: everything dispatched so far
+            // has resolved. Unanswered specs feed the next retry wave.
+            let still: Vec<usize> = slot
+                .wave
+                .iter()
+                .copied()
+                .filter(|&s| slot.results.get(s).is_some_and(Option::is_none))
+                .collect();
+            if still.is_empty() || slot.attempt >= self.config.retries {
+                slot.session.on_replies(&slot.results);
+                slot.active = false;
+            } else {
+                slot.attempt += 1;
+                slot.wave = still;
+                slot.cursor = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TraceConfig;
+    use crate::prober::{Prober, TransportProber};
+    use crate::session::{MdaLiteSession, MdaSession, SingleFlowSession};
+    use crate::trace::Trace;
+    use mlpt_sim::SimNetwork;
+    use mlpt_topo::canonical;
+    use mlpt_wire::FlowId;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    fn dest(i: u16) -> Ipv4Addr {
+        Ipv4Addr::new(198, 51, (i >> 8) as u8, i as u8)
+    }
+
+    #[test]
+    fn demux_routes_interleaved_replies() {
+        let mut demux = ReplyDemux::default();
+        // Two sessions' probes registered interleaved.
+        assert!(demux.register(dest(1), 1, 10));
+        assert!(demux.register(dest(2), 1, 20));
+        assert!(demux.register(dest(1), 2, 11));
+        assert!(demux.register(dest(2), 2, 21));
+        // Replies claimed out of order still find their probes.
+        assert_eq!(demux.claim(dest(2), 2), Some(21));
+        assert_eq!(demux.claim(dest(1), 1), Some(10));
+        assert_eq!(demux.claim(dest(2), 1), Some(20));
+        assert_eq!(demux.claim(dest(1), 2), Some(11));
+    }
+
+    #[test]
+    fn demux_lost_and_unknown_replies() {
+        let mut demux = ReplyDemux::default();
+        assert!(demux.register(dest(1), 7, 0));
+        // An unknown tag (wrong destination or sequence) claims nothing.
+        assert_eq!(demux.claim(dest(1), 8), None);
+        assert_eq!(demux.claim(dest(9), 7), None);
+        // A lost reply simply never claims; the entry drains on clear.
+        assert_eq!(demux.len(), 1);
+        demux.clear();
+        assert_eq!(demux.len(), 0);
+        // Double delivery: the second claim of the same tag fails.
+        assert!(demux.register(dest(1), 7, 0));
+        assert_eq!(demux.claim(dest(1), 7), Some(0));
+        assert_eq!(demux.claim(dest(1), 7), None);
+    }
+
+    #[test]
+    fn demux_rejects_tag_collisions() {
+        let mut demux = ReplyDemux::default();
+        assert!(demux.register(dest(1), 1, 0));
+        assert!(!demux.register(dest(1), 1, 5), "collision must be flagged");
+        // The first registration survives.
+        assert_eq!(demux.claim(dest(1), 1), Some(0));
+    }
+
+    #[test]
+    fn duplicate_destination_rejected() {
+        let topo = canonical::simplest_diamond();
+        let net = SimNetwork::new(topo.clone(), 1);
+        let mut engine = SweepEngine::new(net, SRC);
+        let d = topo.destination();
+        engine
+            .add_session(Box::new(MdaSession::new(d, TraceConfig::new(1))))
+            .expect("first session");
+        let err = engine
+            .add_session(Box::new(MdaSession::new(d, TraceConfig::new(2))))
+            .expect_err("duplicate must be rejected");
+        assert_eq!(err, EngineError::DuplicateDestination(d));
+    }
+
+    /// A single-session sweep over a plain SimNetwork is bit-identical to
+    /// the blocking driver over an identically seeded network.
+    #[test]
+    fn single_session_sweep_matches_blocking_driver() {
+        let topo = canonical::fig1_meshed();
+        let d = topo.destination();
+
+        let mut engine = SweepEngine::new(SimNetwork::new(topo.clone(), 5), SRC);
+        engine
+            .add_session(Box::new(MdaLiteSession::new(d, TraceConfig::new(9))))
+            .expect("unique destination");
+        let sweep = engine.run().remove(0);
+
+        let mut prober = TransportProber::new(SimNetwork::new(topo, 5), SRC, d);
+        let blocking = crate::mda_lite::trace_mda_lite(&mut prober, &TraceConfig::new(9));
+
+        assert_eq!(sweep, blocking);
+        assert_eq!(sweep.probes_sent, prober.probes_sent());
+    }
+
+    /// The token budget only slices rounds across cycles; it never
+    /// changes what a session observes.
+    #[test]
+    fn tiny_in_flight_budget_is_transparent() {
+        let topo = canonical::fig1_unmeshed();
+        let d = topo.destination();
+        let run = |max_in_flight: usize| -> (Trace, SweepStats) {
+            let mut engine =
+                SweepEngine::new(SimNetwork::new(topo.clone(), 3), SRC).with_config(SweepConfig {
+                    max_in_flight,
+                    retries: 0,
+                });
+            engine
+                .add_session(Box::new(MdaSession::new(d, TraceConfig::new(4))))
+                .expect("unique destination");
+            let trace = engine.run().remove(0);
+            (trace, *engine.stats())
+        };
+        let (big, big_stats) = run(4096);
+        let (tiny, tiny_stats) = run(2);
+        assert_eq!(big, tiny);
+        assert_eq!(big_stats.probes_sent, tiny_stats.probes_sent);
+        assert!(tiny_stats.dispatch_cycles > big_stats.dispatch_cycles);
+        assert!(tiny_stats.max_batch <= 2);
+    }
+
+    /// Retry waves across the engine match TransportProber::with_retries
+    /// under total loss.
+    #[test]
+    fn retries_match_prober_semantics() {
+        use mlpt_sim::FaultPlan;
+        let topo = canonical::simplest_diamond();
+        let d = topo.destination();
+        let lossy = || {
+            SimNetwork::builder(topo.clone())
+                .faults(FaultPlan::with_loss(1.0, 0.0))
+                .seed(1)
+                .build()
+        };
+
+        let mut engine = SweepEngine::new(lossy(), SRC).with_config(SweepConfig {
+            max_in_flight: 1024,
+            retries: 2,
+        });
+        engine
+            .add_session(Box::new(SingleFlowSession::new(
+                d,
+                TraceConfig::new(1),
+                FlowId(0),
+            )))
+            .expect("unique destination");
+        let trace = engine.run().remove(0);
+        assert!(!trace.reached_destination);
+
+        let mut prober = TransportProber::new(lossy(), SRC, d).with_retries(2);
+        let blocking =
+            crate::single_flow::trace_single_flow(&mut prober, &TraceConfig::new(1), FlowId(0));
+        assert_eq!(trace.probes_sent, prober.probes_sent());
+        assert_eq!(trace.discovery, blocking.discovery);
+    }
+}

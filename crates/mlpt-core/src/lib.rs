@@ -6,13 +6,22 @@
 //! * [`stopping`] — the failure-controlled stopping points n_k
 //!   (Veitch et al.), with the exact inclusion–exclusion rule and the
 //!   paper's Table 1 preset.
+//! * [`session`] — the algorithms themselves, as resumable **sans-IO
+//!   state machines** ([`TraceSession`]): MDA, MDA-Lite and single-flow
+//!   emit probe rounds and consume observations without touching a
+//!   transport, so one implementation serves both blocking drivers and
+//!   the concurrent sweep engine.
+//! * [`engine`] — the [`SweepEngine`]: many sessions (one per
+//!   destination) interleaved over one shared [`mlpt_wire`] transport,
+//!   with cross-destination batch merging, tag-based reply
+//!   demultiplexing and an in-flight token budget.
 //! * [`mda`] — the classic Multipath Detection Algorithm with node
-//!   control.
+//!   control (thin blocking driver over its session).
 //! * [`mda_lite`] — MDA-Lite: hop-by-hop discovery, deterministic edge
 //!   completion, the φ-probe meshing test, the width-asymmetry test, and
-//!   switchover to the full MDA.
+//!   switchover to the full MDA (thin blocking driver).
 //! * [`single_flow`] — Paris traceroute with a single flow identifier
-//!   (the RIPE Atlas baseline).
+//!   (the RIPE Atlas baseline; thin blocking driver).
 //! * [`prober`] — the probe/observe interface and its packet-building
 //!   implementation, plus the observation log that feeds alias
 //!   resolution.
@@ -40,20 +49,24 @@
 pub mod config;
 pub mod detect;
 pub mod discovery;
+pub mod engine;
 pub mod mda;
 pub mod mda_lite;
 pub mod prober;
 pub mod report;
+pub mod session;
 pub mod single_flow;
 pub mod stopping;
 pub mod trace;
 
 pub use config::TraceConfig;
 pub use discovery::{Discovery, FlowAllocator};
+pub use engine::{SweepConfig, SweepEngine, SweepStats};
 pub use mda::trace_mda;
 pub use mda_lite::trace_mda_lite;
 pub use prober::{DirectObservation, ProbeLog, ProbeObservation, Prober, TransportProber};
 pub use report::TraceReport;
+pub use session::{MdaLiteSession, MdaSession, SessionState, SingleFlowSession, TraceSession};
 pub use single_flow::trace_single_flow;
 pub use stopping::StoppingPoints;
 pub use trace::{Algorithm, SwitchReason, Trace};
@@ -61,9 +74,13 @@ pub use trace::{Algorithm, SwitchReason, Trace};
 /// Convenient glob import for downstream users.
 pub mod prelude {
     pub use crate::config::TraceConfig;
+    pub use crate::engine::{SweepConfig, SweepEngine};
     pub use crate::mda::trace_mda;
     pub use crate::mda_lite::trace_mda_lite;
     pub use crate::prober::{Prober, TransportProber};
+    pub use crate::session::{
+        MdaLiteSession, MdaSession, SessionState, SingleFlowSession, TraceSession,
+    };
     pub use crate::single_flow::trace_single_flow;
     pub use crate::stopping::StoppingPoints;
     pub use crate::trace::{Algorithm, SwitchReason, Trace};

@@ -12,305 +12,22 @@
 //! The paper's worked example (Sec. 2.1, Veitch Table 1 values) emerges
 //! from this implementation probe for probe: the unmeshed 1-4-2-1 diamond
 //! costs 11·n₁ + δ probes, the meshed one 8·n₂ + 3·n₁ + δ′.
+//!
+//! The algorithm itself lives in [`crate::session::MdaSession`], a sans-IO
+//! state machine; this entry point is the thin single-session driver that
+//! owns a [`Prober`] for one blocking trace, exactly as before the
+//! session refactor.
 
 use crate::config::TraceConfig;
-use crate::discovery::{Discovery, FlowAllocator};
-use crate::prober::{ProbeSpec, Prober};
-use crate::trace::{Algorithm, Trace};
-use std::collections::BTreeSet;
-use std::net::Ipv4Addr;
-
-/// Budget bookkeeping shared by the algorithm stages.
-pub(crate) struct RunCtx {
-    pub(crate) probes_used: u64,
-    pub(crate) budget: u64,
-    /// Reusable per-round probe list, so the batched hot loops allocate
-    /// nothing in steady state.
-    pub(crate) specs: Vec<ProbeSpec>,
-}
-
-impl RunCtx {
-    pub(crate) fn new(budget: u64) -> Self {
-        Self {
-            probes_used: 0,
-            budget,
-            specs: Vec::new(),
-        }
-    }
-
-    /// Accounts for one probe; false when the budget is exhausted.
-    pub(crate) fn spend(&mut self) -> bool {
-        if self.probes_used >= self.budget {
-            return false;
-        }
-        self.probes_used += 1;
-        true
-    }
-
-    /// Accounts for up to `want` probes, returning how many the budget
-    /// still covers.
-    pub(crate) fn take(&mut self, want: u64) -> u64 {
-        let granted = want.min(self.budget.saturating_sub(self.probes_used));
-        self.probes_used += granted;
-        granted
-    }
-
-    pub(crate) fn exhausted(&self) -> bool {
-        self.probes_used >= self.budget
-    }
-}
-
-/// Sends one probe and records the outcome in the discovery state.
-pub(crate) fn send_probe<P: Prober>(
-    prober: &mut P,
-    state: &mut Discovery,
-    ctx: &mut RunCtx,
-    flow: mlpt_wire::FlowId,
-    ttl: u8,
-) -> bool {
-    if !ctx.spend() {
-        return false;
-    }
-    state.note_probe_sent(flow, ttl);
-    if let Some(obs) = prober.probe(flow, ttl) {
-        state.record(flow, ttl, obs.responder, obs.at_destination);
-    }
-    true
-}
-
-/// Sends a whole round of probes through the prober's vectorized path and
-/// records every outcome. The round is truncated to the remaining probe
-/// budget; returns false when the budget cut it short (the batched
-/// analogue of [`send_probe`] returning false).
-pub(crate) fn send_probe_batch<P: Prober>(
-    prober: &mut P,
-    state: &mut Discovery,
-    ctx: &mut RunCtx,
-    specs: &[ProbeSpec],
-) -> bool {
-    let granted = ctx.take(specs.len() as u64) as usize;
-    let round = &specs[..granted];
-    if !round.is_empty() {
-        state.note_probes_sent(round);
-        let results = prober.probe_batch(round);
-        state.record_batch(round, &results);
-    }
-    granted == specs.len()
-}
-
-/// True once every vertex known at `ttl` is the destination (and at least
-/// one is): the trace has converged.
-pub(crate) fn converged(state: &Discovery, destination: Ipv4Addr, ttl: u8) -> bool {
-    let vs = state.vertices_at(ttl);
-    !vs.is_empty() && vs.iter().all(|&v| v == destination)
-}
-
-/// Hop discovery without node control: probe with the given flow-reuse
-/// preference, then fresh flows, until the stopping rule fires on the
-/// number of distinct vertices at the hop. Used by the MDA when the
-/// previous hop holds a single vertex (all flows pass through it, so node
-/// control is vacuous) and by MDA-Lite at every hop.
-pub(crate) fn discover_hop_uniform<P: Prober>(
-    prober: &mut P,
-    state: &mut Discovery,
-    flows: &mut FlowAllocator,
-    config: &TraceConfig,
-    ctx: &mut RunCtx,
-    ttl: u8,
-    reuse: &[mlpt_wire::FlowId],
-) {
-    let mut reuse_iter = reuse.iter().copied();
-    loop {
-        let k = state.vertices_at(ttl).len().max(1);
-        let sent = state.probes_at(ttl);
-        if config.stopping.should_stop(k, sent) {
-            // k == 0 with n(1) probes spent: a silent hop; the rule for a
-            // single hypothetical vertex applies.
-            break;
-        }
-        // Everything still owed under the current stopping point goes out
-        // as one batch. Because n_k is non-decreasing in k, a vertex
-        // discovered mid-round only ever *raises* the target, so batching
-        // to the current target sends exactly the probes the sequential
-        // loop would have sent.
-        let owed = config.stopping.n(k).saturating_sub(sent).max(1);
-        let mut specs = std::mem::take(&mut ctx.specs);
-        specs.clear();
-        for _ in 0..owed {
-            let flow = reuse_iter
-                .by_ref()
-                .find(|&f| !state.flow_probed_at(ttl, f))
-                .unwrap_or_else(|| flows.fresh());
-            specs.push(ProbeSpec::new(flow, ttl));
-        }
-        let sent_all = send_probe_batch(prober, state, ctx, &specs);
-        ctx.specs = specs;
-        if !sent_all {
-            break;
-        }
-    }
-}
-
-/// Node control: hunts for a fresh flow identifier that reaches `parent`
-/// at `ttl`, probing new flows at `ttl` until one lands (bounded by
-/// `node_control_attempts` and the global budget). Probes spent here are
-/// charged to hop `ttl`, and any new vertices they reveal are recorded —
-/// this is where the paper's δ overhead comes from.
-fn hunt_flow_via<P: Prober>(
-    prober: &mut P,
-    state: &mut Discovery,
-    flows: &mut FlowAllocator,
-    config: &TraceConfig,
-    ctx: &mut RunCtx,
-    parent: Ipv4Addr,
-    ttl: u8,
-) -> Option<mlpt_wire::FlowId> {
-    for _ in 0..config.node_control_attempts {
-        let flow = flows.fresh();
-        if !send_probe(prober, state, ctx, flow, ttl) {
-            return None;
-        }
-        if state.flow_vertex(ttl, flow) == Some(parent) {
-            return Some(flow);
-        }
-    }
-    None
-}
-
-/// Finds all successors of `parent` (a vertex at `ttl - 1`) by probing hop
-/// `ttl` via `parent` under the stopping rule.
-fn process_vertex<P: Prober>(
-    prober: &mut P,
-    state: &mut Discovery,
-    flows: &mut FlowAllocator,
-    config: &TraceConfig,
-    ctx: &mut RunCtx,
-    parent: Ipv4Addr,
-    ttl: u8,
-) {
-    loop {
-        let (sent_via, successors) = state.probes_via(parent, ttl);
-        let k = successors.len().max(1);
-        if config.stopping.should_stop(k, sent_via) {
-            break;
-        }
-        // Everything owed via this parent under the current stopping
-        // point, limited to the flows already known to reach it, goes out
-        // as one batch (ascending flow order — the same order the
-        // sequential loop drained the candidate set in).
-        let owed = config.stopping.n(k).saturating_sub(sent_via).max(1) as usize;
-        let mut specs = std::mem::take(&mut ctx.specs);
-        specs.clear();
-        specs.extend(
-            state
-                .flows_reaching(ttl - 1, parent)
-                .into_iter()
-                .filter(|&f| !state.flow_probed_at(ttl, f))
-                .take(owed)
-                .map(|f| ProbeSpec::new(f, ttl)),
-        );
-        if !specs.is_empty() {
-            let sent_all = send_probe_batch(prober, state, ctx, &specs);
-            ctx.specs = specs;
-            if !sent_all {
-                break;
-            }
-            continue;
-        }
-        ctx.specs = specs;
-        // No known flow reaches the parent: node control hunts one (the
-        // adaptive δ-overhead loop stays sequential — each hunt probe's
-        // outcome decides whether another is needed).
-        let flow = match hunt_flow_via(prober, state, flows, config, ctx, parent, ttl - 1) {
-            Some(f) => f,
-            None => break, // budget/attempts exhausted: give up on parent
-        };
-        if !send_probe(prober, state, ctx, flow, ttl) {
-            break;
-        }
-    }
-}
-
-/// Runs the MDA over (possibly pre-populated) discovery state.
-///
-/// Returns true if the probe budget ran out. This entry point is shared
-/// with MDA-Lite's switchover: the full MDA resumes over everything the
-/// Lite pass already learned.
-pub(crate) fn run_mda<P: Prober>(
-    prober: &mut P,
-    state: &mut Discovery,
-    flows: &mut FlowAllocator,
-    config: &TraceConfig,
-    ctx: &mut RunCtx,
-) {
-    let destination = prober.destination();
-    flows.reserve(state.used_flows().iter().copied());
-
-    for ttl in 1..=config.max_ttl {
-        if converged(state, destination, ttl.saturating_sub(1).max(1)) && ttl > 1 {
-            break;
-        }
-        let parents: Vec<Ipv4Addr> = if ttl == 1 {
-            Vec::new()
-        } else {
-            state.vertices_at(ttl - 1).to_vec()
-        };
-        let single_parent = ttl == 1 || parents.len() <= 1;
-        if single_parent {
-            // All flows pass through the same point: plain stopping rule.
-            let reuse: Vec<mlpt_wire::FlowId> = if ttl == 1 {
-                Vec::new()
-            } else {
-                state.reuse_queue(ttl - 1)
-            };
-            discover_hop_uniform(prober, state, flows, config, ctx, ttl, &reuse);
-        } else {
-            // Vertex-by-vertex with node control; new vertices discovered
-            // at ttl-1 by the hunts join the worklist.
-            let mut processed: BTreeSet<Ipv4Addr> = BTreeSet::new();
-            loop {
-                let pending: Vec<Ipv4Addr> = state
-                    .vertices_at(ttl - 1)
-                    .iter()
-                    .copied()
-                    .filter(|v| !processed.contains(v) && *v != destination)
-                    .collect();
-                if pending.is_empty() || ctx.exhausted() {
-                    break;
-                }
-                for parent in pending {
-                    process_vertex(prober, state, flows, config, ctx, parent, ttl);
-                    processed.insert(parent);
-                }
-            }
-        }
-        if converged(state, destination, ttl) {
-            break;
-        }
-        if ctx.exhausted() {
-            break;
-        }
-    }
-}
+use crate::prober::Prober;
+use crate::session::{drive, MdaSession};
+use crate::trace::Trace;
 
 /// Traces the multipath topology towards the prober's destination with the
 /// full MDA.
 pub fn trace_mda<P: Prober>(prober: &mut P, config: &TraceConfig) -> Trace {
-    let mut state = Discovery::new();
-    let mut flows = FlowAllocator::new(config.seed);
-    let mut ctx = RunCtx::new(config.probe_budget);
-    let before = prober.probes_sent();
-    run_mda(prober, &mut state, &mut flows, config, &mut ctx);
-    let destination = prober.destination();
-    Trace {
-        algorithm: Algorithm::Mda,
-        destination,
-        reached_destination: state.destination_ttl().is_some(),
-        probes_sent: prober.probes_sent() - before,
-        switched: None,
-        budget_exhausted: ctx.exhausted(),
-        discovery: state,
-    }
+    let mut session = MdaSession::new(prober.destination(), config.clone());
+    drive(&mut session, prober)
 }
 
 #[cfg(test)]

@@ -21,254 +21,21 @@
 //! Either detection *switches over to the full MDA*, which resumes over
 //! everything already learned — matching the paper's observation that a
 //! switched run enjoys no probe economy.
+//!
+//! The algorithm lives in [`crate::session::MdaLiteSession`], a sans-IO
+//! state machine; this entry point is the thin single-session driver that
+//! owns a [`Prober`] for one blocking trace.
 
 use crate::config::TraceConfig;
-use crate::discovery::{Discovery, FlowAllocator};
-use crate::mda::{converged, discover_hop_uniform, run_mda, send_probe_batch, RunCtx};
-use crate::prober::{ProbeSpec, Prober};
-use crate::trace::{Algorithm, SwitchReason, Trace};
-use mlpt_wire::FlowId;
-use std::collections::BTreeSet;
-use std::net::Ipv4Addr;
+use crate::prober::Prober;
+use crate::session::{drive, MdaLiteSession};
+use crate::trace::Trace;
 
 /// Traces the multipath topology with MDA-Lite (switching to the full MDA
 /// when meshing or non-uniformity is detected).
 pub fn trace_mda_lite<P: Prober>(prober: &mut P, config: &TraceConfig) -> Trace {
-    let mut state = Discovery::new();
-    let mut flows = FlowAllocator::new(config.seed);
-    let mut ctx = RunCtx::new(config.probe_budget);
-    let destination = prober.destination();
-    let before = prober.probes_sent();
-
-    let mut switched: Option<SwitchReason> = None;
-
-    'hops: for ttl in 1..=config.max_ttl {
-        // 1. Vertex discovery at this hop, no node control.
-        let reuse: Vec<FlowId> = if ttl == 1 {
-            Vec::new()
-        } else {
-            state.reuse_queue(ttl - 1)
-        };
-        discover_hop_uniform(
-            prober, &mut state, &mut flows, config, &mut ctx, ttl, &reuse,
-        );
-        if ctx.exhausted() {
-            break;
-        }
-
-        if ttl >= 2 {
-            // 2. Deterministic edge completion between ttl-1 and ttl.
-            complete_edges(prober, &mut state, &mut ctx, ttl);
-            if ctx.exhausted() {
-                break;
-            }
-
-            let prev_multi = state.vertices_at(ttl - 1).len() >= 2;
-            let curr_multi = state.vertices_at(ttl).len() >= 2;
-
-            // 3. Meshing test on adjacent multi-vertex hops.
-            if prev_multi && curr_multi {
-                let meshed = meshing_test(prober, &mut state, &mut flows, config, &mut ctx, ttl);
-                if meshed {
-                    switched = Some(SwitchReason::MeshingDetected { ttl: ttl - 1 });
-                    break 'hops;
-                }
-            }
-
-            // 4. Width-asymmetry (non-uniformity) test.
-            if pair_is_asymmetric(&state, ttl) {
-                switched = Some(SwitchReason::AsymmetryDetected { ttl: ttl - 1 });
-                break 'hops;
-            }
-        }
-
-        if converged(&state, destination, ttl) {
-            break;
-        }
-    }
-
-    if switched.is_some() && !ctx.exhausted() {
-        // Escalate: the full MDA resumes over the accumulated evidence.
-        run_mda(prober, &mut state, &mut flows, config, &mut ctx);
-    }
-
-    Trace {
-        algorithm: Algorithm::MdaLite,
-        destination,
-        reached_destination: state.destination_ttl().is_some(),
-        probes_sent: prober.probes_sent() - before,
-        switched,
-        budget_exhausted: ctx.exhausted(),
-        discovery: state,
-    }
-}
-
-/// Deterministic edge completion (Sec. 2.3.1). Forward probes give
-/// successors to successor-less vertices at `ttl - 1`; backward probes
-/// give predecessors to predecessor-less vertices at `ttl`. Covers all
-/// three width cases of the paper (fewer / more / equal).
-fn complete_edges<P: Prober>(prober: &mut P, state: &mut Discovery, ctx: &mut RunCtx, ttl: u8) {
-    // Bounded fixpoint: a completion probe can itself reveal a new vertex
-    // (evidence the hop discovery missed one); re-completing is cheap and
-    // deterministic. Each round's completion probes are independent of
-    // one another, so the whole round crosses the transport as one batch.
-    for _round in 0..4 {
-        let edges = state.edges_from(ttl - 1);
-        let rev = state.reverse_edges_from(ttl - 1);
-
-        let mut work: Vec<ProbeSpec> = Vec::new();
-
-        // Forward: vertex at ttl-1 without successor.
-        for &u in state.vertices_at(ttl - 1) {
-            if edges.get(&u).is_none_or(BTreeSet::is_empty) {
-                if let Some(&f) = state
-                    .flows_reaching(ttl - 1, u)
-                    .iter()
-                    .find(|&&f| !state.flow_probed_at(ttl, f))
-                {
-                    work.push(ProbeSpec::new(f, ttl));
-                }
-            }
-        }
-        // Backward: vertex at ttl without predecessor.
-        for &v in state.vertices_at(ttl) {
-            if rev.get(&v).is_none_or(BTreeSet::is_empty) {
-                if let Some(&f) = state
-                    .flows_reaching(ttl, v)
-                    .iter()
-                    .find(|&&f| !state.flow_probed_at(ttl - 1, f))
-                {
-                    work.push(ProbeSpec::new(f, ttl - 1));
-                }
-            }
-        }
-
-        if work.is_empty() {
-            return;
-        }
-        if !send_probe_batch(prober, state, ctx, &work) {
-            return;
-        }
-    }
-}
-
-/// The meshing test (Sec. 2.3.2). Traces from the hop with more vertices
-/// towards the hop with fewer (forward from `ttl - 1` when it is at least
-/// as wide; backward from `ttl` otherwise), with φ flow identifiers per
-/// vertex on the traced-from hop. Detection: any out-degree ≥ 2 when
-/// tracing forward, any in-degree ≥ 2 when tracing backward.
-fn meshing_test<P: Prober>(
-    prober: &mut P,
-    state: &mut Discovery,
-    flows: &mut FlowAllocator,
-    config: &TraceConfig,
-    ctx: &mut RunCtx,
-    ttl: u8,
-) -> bool {
-    let wider_prev = state.vertices_at(ttl - 1).len() >= state.vertices_at(ttl).len();
-    let (from_ttl, to_ttl) = if wider_prev {
-        (ttl - 1, ttl)
-    } else {
-        (ttl, ttl - 1)
-    };
-
-    // Gather φ flows per vertex on the traced-from hop (light node
-    // control: draw fresh flows and probe them at from_ttl until each
-    // vertex holds φ, bounded). Each probe can satisfy at most one unit
-    // of the total deficit, so a whole deficit's worth of fresh flows
-    // goes out per batch without ever overshooting the sequential loop.
-    let vertices: Vec<Ipv4Addr> = state.vertices_at(from_ttl).to_vec();
-    let phi = config.phi as usize;
-    let mut attempts = 0u64;
-    loop {
-        let deficit: u64 = vertices
-            .iter()
-            .map(|&v| phi.saturating_sub(state.flows_reaching(from_ttl, v).len()) as u64)
-            .sum();
-        if deficit == 0 {
-            break;
-        }
-        let allowance = config.node_control_attempts.saturating_sub(attempts);
-        let round = deficit.min(allowance);
-        if round == 0 {
-            break;
-        }
-        attempts += round;
-        let mut specs = std::mem::take(&mut ctx.specs);
-        specs.clear();
-        specs.extend((0..round).map(|_| ProbeSpec::new(flows.fresh(), from_ttl)));
-        let sent_all = send_probe_batch(prober, state, ctx, &specs);
-        ctx.specs = specs;
-        if !sent_all {
-            break;
-        }
-    }
-
-    // Send φ flows of each vertex to the other hop — one batch: the flow
-    // sets of distinct vertices are disjoint, so no spec repeats.
-    let mut specs = std::mem::take(&mut ctx.specs);
-    specs.clear();
-    for &v in &vertices {
-        specs.extend(
-            state
-                .flows_reaching(from_ttl, v)
-                .into_iter()
-                .take(phi)
-                .filter(|&f| !state.flow_probed_at(to_ttl, f))
-                .map(|f| ProbeSpec::new(f, to_ttl)),
-        );
-    }
-    let sent_all = send_probe_batch(prober, state, ctx, &specs);
-    ctx.specs = specs;
-    if !sent_all {
-        return false;
-    }
-
-    // Detection over all accumulated evidence.
-    let earlier = from_ttl.min(to_ttl);
-    if wider_prev {
-        // Forward tracing: out-degree ≥ 2 at the earlier hop.
-        state
-            .edges_from(earlier)
-            .values()
-            .any(|succs| succs.len() >= 2)
-    } else {
-        // Backward tracing: in-degree ≥ 2 at the later hop.
-        state
-            .reverse_edges_from(earlier)
-            .values()
-            .any(|preds| preds.len() >= 2)
-    }
-}
-
-/// Width-asymmetry test (Sec. 2.3.3): "if the number of successors is not
-/// identical for every vertex at hop i or if the number of predecessors is
-/// not identical for every vertex at hop i + 1, the diamond has width
-/// asymmetry and is considered to be non-uniform".
-fn pair_is_asymmetric(state: &Discovery, ttl: u8) -> bool {
-    let edges = state.edges_from(ttl - 1);
-    let rev = state.reverse_edges_from(ttl - 1);
-
-    let succ_counts: Vec<usize> = state
-        .vertices_at(ttl - 1)
-        .iter()
-        .map(|v| edges.get(v).map_or(0, BTreeSet::len))
-        .collect();
-    let pred_counts: Vec<usize> = state
-        .vertices_at(ttl)
-        .iter()
-        .map(|v| rev.get(v).map_or(0, BTreeSet::len))
-        .collect();
-
-    let uneven = |counts: &[usize]| {
-        counts
-            .iter()
-            .filter(|&&c| c > 0) // vertices with no evidence don't testify
-            .collect::<BTreeSet<_>>()
-            .len()
-            > 1
-    };
-    uneven(&succ_counts) || uneven(&pred_counts)
+    let mut session = MdaLiteSession::new(prober.destination(), config.clone());
+    drive(&mut session, prober)
 }
 
 #[cfg(test)]
@@ -276,8 +43,11 @@ mod tests {
     use super::*;
     use crate::prober::TransportProber;
     use crate::stopping::StoppingPoints;
+    use crate::trace::SwitchReason;
     use mlpt_sim::SimNetwork;
     use mlpt_topo::{canonical, MultipathTopology};
+    use std::collections::BTreeSet;
+    use std::net::Ipv4Addr;
 
     const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
 

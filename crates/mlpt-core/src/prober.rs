@@ -26,7 +26,7 @@
 
 use mlpt_wire::icmp::MplsLabelStackEntry;
 use mlpt_wire::probe::{
-    build_echo_probe, build_udp_probe_into, parse_reply, ProbePacket, ReplyKind,
+    build_echo_probe, build_udp_probe_into, parse_reply, ProbePacket, ReplyKind, ReplyPacket,
 };
 use mlpt_wire::transport::{BatchTransport, PacketBatch, PacketTransport, ReplyBatch};
 use mlpt_wire::FlowId;
@@ -79,6 +79,37 @@ pub struct ProbeObservation {
     pub mpls: Vec<MplsLabelStackEntry>,
     /// Transport timestamp of the reply.
     pub timestamp: u64,
+}
+
+impl ProbeObservation {
+    /// Decodes a parsed reply against the probe that elicited it — the
+    /// single acceptance rule shared by [`TransportProber`] and the
+    /// sweep engine ([`crate::engine`]): the reply must quote the probed
+    /// flow (a real tool matches replies to probes by the quoted
+    /// headers), and the destination counts as reached on Port
+    /// Unreachable or when the destination itself answers.
+    pub fn from_reply(
+        spec: ProbeSpec,
+        reply: ReplyPacket,
+        destination: Ipv4Addr,
+        timestamp: u64,
+    ) -> Option<Self> {
+        if reply.probe_flow != Some(spec.flow) {
+            return None;
+        }
+        let at_destination =
+            matches!(reply.kind, ReplyKind::PortUnreachable) || reply.responder == destination;
+        Some(Self {
+            flow: spec.flow,
+            ttl: spec.ttl,
+            responder: reply.responder,
+            at_destination,
+            ip_id: reply.reply_ip_id,
+            reply_ttl: reply.reply_ttl,
+            mpls: reply.mpls_stack,
+            timestamp,
+        })
+    }
 }
 
 /// What one ping-style (direct) probe observed.
@@ -215,7 +246,8 @@ impl<T: PacketTransport> TransportProber<T> {
     }
 
     /// Decodes one reply slot against its spec; returns the observation
-    /// if the reply matches the probe.
+    /// if the reply matches the probe (shared rule:
+    /// [`ProbeObservation::from_reply`]).
     fn decode_reply(
         &self,
         spec: ProbeSpec,
@@ -223,23 +255,7 @@ impl<T: PacketTransport> TransportProber<T> {
         timestamp: u64,
     ) -> Option<ProbeObservation> {
         let parsed = parse_reply(reply).ok()?;
-        // Reject replies that don't quote our probe (mismatched flow):
-        // a real tool matches replies to probes by the quoted headers.
-        if parsed.probe_flow != Some(spec.flow) {
-            return None;
-        }
-        let at_destination = matches!(parsed.kind, ReplyKind::PortUnreachable)
-            || parsed.responder == self.destination;
-        Some(ProbeObservation {
-            flow: spec.flow,
-            ttl: spec.ttl,
-            responder: parsed.responder,
-            at_destination,
-            ip_id: parsed.reply_ip_id,
-            reply_ttl: parsed.reply_ttl,
-            mpls: parsed.mpls_stack,
-            timestamp,
-        })
+        ProbeObservation::from_reply(spec, parsed, self.destination, timestamp)
     }
 }
 

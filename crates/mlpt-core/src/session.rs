@@ -1,0 +1,1143 @@
+//! Sans-IO trace sessions: the tracing algorithms as resumable state
+//! machines.
+//!
+//! The MDA, MDA-Lite and single-flow tracers used to be blocking
+//! functions that owned a [`Prober`] for the duration of one trace. This
+//! module re-expresses each of them as a **session**: a state machine
+//! that never touches a transport. A session is driven by repeating
+//!
+//! 1. [`TraceSession::poll`] — advances the machine until it either has a
+//!    round of probes ready ([`SessionState::Probing`]) or is done
+//!    ([`SessionState::Finished`]);
+//! 2. [`TraceSession::next_rounds`] — the pending round, one
+//!    [`ProbeSpec`] per probe;
+//! 3. [`TraceSession::on_replies`] — hands back one observation slot per
+//!    spec (in spec order; `None` marks loss) and lets the machine
+//!    transition.
+//!
+//! Because sessions perform no IO, *any* driver produces the identical
+//! trace: the single-session driver [`drive`] behind [`trace_mda`],
+//! [`trace_mda_lite`] and [`trace_single_flow`]; or the concurrent sweep
+//! scheduler in [`crate::engine`], which interleaves many sessions'
+//! rounds over one shared transport. The state machines emit probe
+//! rounds in **exactly** the order the original blocking implementations
+//! dispatched them — including flow-allocator draws on budget-exhausted
+//! paths — so a session-driven trace is bit-identical to its blocking
+//! ancestor, probe for probe.
+//!
+//! [`trace_mda`]: crate::mda::trace_mda
+//! [`trace_mda_lite`]: crate::mda_lite::trace_mda_lite
+//! [`trace_single_flow`]: crate::single_flow::trace_single_flow
+
+use crate::config::TraceConfig;
+use crate::discovery::{Discovery, FlowAllocator};
+use crate::prober::{ProbeObservation, ProbeSpec, Prober};
+use crate::trace::{Algorithm, SwitchReason, Trace};
+use mlpt_wire::FlowId;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// What a session wants next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// A round of probes is ready in [`TraceSession::next_rounds`].
+    Probing,
+    /// The trace is complete; collect it with [`TraceSession::take_trace`].
+    Finished,
+}
+
+/// A resumable, transport-free tracing session.
+///
+/// The contract: call [`poll`](TraceSession::poll); while it returns
+/// [`SessionState::Probing`], dispatch the specs of
+/// [`next_rounds`](TraceSession::next_rounds) and answer with
+/// [`on_replies`](TraceSession::on_replies) (one slot per spec, in spec
+/// order). Once `poll` returns [`SessionState::Finished`], collect the
+/// result with [`take_trace`](TraceSession::take_trace), passing the
+/// number of probe packets actually put on the wire (retries included) so
+/// the trace reports the paper's cost metric faithfully.
+pub trait TraceSession {
+    /// Advances the machine; returns whether probes are ready or the
+    /// session is done.
+    fn poll(&mut self) -> SessionState;
+
+    /// The pending round of probes (non-empty while
+    /// [`SessionState::Probing`]; empty once finished). Stable until
+    /// [`on_replies`](TraceSession::on_replies) is called.
+    fn next_rounds(&self) -> &[ProbeSpec];
+
+    /// Delivers the round's outcomes, one slot per spec in spec order.
+    fn on_replies(&mut self, results: &[Option<ProbeObservation>]);
+
+    /// The destination this session traces towards.
+    fn destination(&self) -> Ipv4Addr;
+
+    /// Consumes the accumulated evidence into a [`Trace`]. `probes_sent`
+    /// is the wire-level packet count the driver measured.
+    fn take_trace(&mut self, probes_sent: u64) -> Trace;
+}
+
+/// Drives a session to completion over a [`Prober`] — the single-session
+/// driver behind the classic blocking entry points.
+pub fn drive<S: TraceSession + ?Sized, P: Prober>(session: &mut S, prober: &mut P) -> Trace {
+    let before = prober.probes_sent();
+    while session.poll() == SessionState::Probing {
+        let results = prober.probe_batch(session.next_rounds());
+        session.on_replies(&results);
+    }
+    session.take_trace(prober.probes_sent() - before)
+}
+
+/// True once every vertex known at `ttl` is the destination (and at least
+/// one is): the trace has converged.
+pub(crate) fn converged(state: &Discovery, destination: Ipv4Addr, ttl: u8) -> bool {
+    let vs = state.vertices_at(ttl);
+    !vs.is_empty() && vs.iter().all(|&v| v == destination)
+}
+
+/// Outcome of handing a round to [`SessionCore::emit`].
+enum Emit {
+    /// Probes were granted by the budget and await dispatch.
+    Yield,
+    /// Nothing crossed the wire. `sent_all` is false when the budget cut
+    /// a non-empty round to zero (the blocking code's "break" signal) and
+    /// true when the round was empty to begin with.
+    NoneSent {
+        /// Whether the (empty) round counts as fully sent.
+        sent_all: bool,
+    },
+}
+
+/// State shared by every session kind: the evidence base, the flow
+/// allocator, the probe budget and the pending round.
+struct SessionCore {
+    destination: Ipv4Addr,
+    config: TraceConfig,
+    state: Discovery,
+    flows: FlowAllocator,
+    /// Probes charged against the budget so far (granted, not wire-level).
+    used: u64,
+    /// The pending round awaiting dispatch/replies.
+    round: Vec<ProbeSpec>,
+    /// Recycled round storage: rounds are built into this buffer and
+    /// returned to it after delivery, so steady-state probing performs
+    /// no per-round heap allocations (the property the blocking code's
+    /// reusable `ctx.specs` provided).
+    spare: Vec<ProbeSpec>,
+    /// True when the budget truncated the last emitted round — the
+    /// state-machine analogue of `send_probe_batch` returning false.
+    round_cut: bool,
+}
+
+impl SessionCore {
+    fn new(destination: Ipv4Addr, config: TraceConfig) -> Self {
+        let flows = FlowAllocator::new(config.seed);
+        Self {
+            destination,
+            config,
+            state: Discovery::new(),
+            flows,
+            used: 0,
+            round: Vec::new(),
+            spare: Vec::new(),
+            round_cut: false,
+        }
+    }
+
+    /// Hands out the recycled round buffer, emptied.
+    fn specs_buffer(&mut self) -> Vec<ProbeSpec> {
+        let mut buf = std::mem::take(&mut self.spare);
+        buf.clear();
+        buf
+    }
+
+    /// Returns an unused round buffer to the recycler.
+    fn recycle(&mut self, mut buf: Vec<ProbeSpec>) {
+        buf.clear();
+        self.spare = buf;
+    }
+
+    fn exhausted(&self) -> bool {
+        self.used >= self.config.probe_budget
+    }
+
+    /// Emits a round under the budget, mirroring the blocking
+    /// `send_probe_batch`: the round is truncated to the remaining budget
+    /// and noted in the discovery state before dispatch.
+    fn emit(&mut self, mut specs: Vec<ProbeSpec>) -> Emit {
+        let want = specs.len() as u64;
+        let granted = want.min(self.config.probe_budget.saturating_sub(self.used));
+        self.used += granted;
+        let cut = granted < want;
+        if granted == 0 {
+            self.recycle(specs);
+            return Emit::NoneSent { sent_all: !cut };
+        }
+        specs.truncate(granted as usize);
+        self.state.note_probes_sent(&specs);
+        self.round = specs;
+        self.round_cut = cut;
+        Emit::Yield
+    }
+
+    /// Records a delivered round into the discovery state.
+    fn absorb(&mut self, results: &[Option<ProbeObservation>]) {
+        let round = std::mem::take(&mut self.round);
+        debug_assert_eq!(round.len(), results.len(), "one result slot per spec");
+        for (spec, result) in round.iter().zip(results) {
+            if let Some(obs) = result {
+                self.state
+                    .record(spec.flow, spec.ttl, obs.responder, obs.at_destination);
+            }
+        }
+        self.recycle(round);
+    }
+
+    /// Marks every flow the state has seen as taken by the allocator
+    /// (run_mda's entry behaviour, needed when the MDA resumes over
+    /// MDA-Lite evidence).
+    fn reserve_used_flows(&mut self) {
+        let used: Vec<FlowId> = self.state.used_flows().iter().copied().collect();
+        self.flows.reserve(used);
+    }
+}
+
+/// Uniform (no node control) hop discovery: the persistent reuse cursor
+/// plus round construction under the stopping rule. Shared by the MDA's
+/// single-parent hops and every MDA-Lite hop.
+struct UniformState {
+    reuse: Vec<FlowId>,
+    pos: usize,
+}
+
+impl UniformState {
+    fn new(reuse: Vec<FlowId>) -> Self {
+        Self { reuse, pos: 0 }
+    }
+
+    /// Builds the next round owed under the stopping rule, or `None` once
+    /// the rule fires. Consumes reuse flows first (skipping ones already
+    /// probed at `ttl`), then draws fresh ones — exactly the blocking
+    /// loop's `reuse_iter.find(..).unwrap_or_else(fresh)`.
+    fn build_round(&mut self, core: &mut SessionCore, ttl: u8) -> Option<Vec<ProbeSpec>> {
+        let k = core.state.vertices_at(ttl).len().max(1);
+        let sent = core.state.probes_at(ttl);
+        if core.config.stopping.should_stop(k, sent) {
+            return None;
+        }
+        let owed = core.config.stopping.n(k).saturating_sub(sent).max(1);
+        let mut specs = core.specs_buffer();
+        specs.reserve(owed as usize);
+        for _ in 0..owed {
+            let mut reused = None;
+            while self.pos < self.reuse.len() {
+                let f = self.reuse[self.pos];
+                self.pos += 1;
+                if !core.state.flow_probed_at(ttl, f) {
+                    reused = Some(f);
+                    break;
+                }
+            }
+            let flow = reused.unwrap_or_else(|| core.flows.fresh());
+            specs.push(ProbeSpec::new(flow, ttl));
+        }
+        Some(specs)
+    }
+}
+
+/// Per-vertex node-control progress inside the MDA's multi-parent hops.
+enum VertexSub {
+    /// Recompute the pending-parent worklist (top of the blocking `loop`).
+    LoopTop,
+    /// Top of `process_vertex`'s loop for the current parent.
+    Eval,
+    /// A flows-reaching batch is in flight.
+    WaitBatch,
+    /// About to draw a fresh flow and emit one hunt probe at `ttl - 1`.
+    HuntNext {
+        /// Hunt iterations left (the `node_control_attempts` counter).
+        left: u64,
+    },
+    /// A hunt probe is in flight.
+    WaitHunt { flow: FlowId, left: u64 },
+    /// Hunt succeeded; emit the follow-up probe at `ttl` with its flow.
+    EmitPostHunt { flow: FlowId },
+    /// The post-hunt probe is in flight.
+    WaitPostHunt,
+}
+
+/// Multi-parent hop state: the worklist and the current parent's
+/// node-control progress.
+struct ParentsState {
+    processed: BTreeSet<Ipv4Addr>,
+    pending: Vec<Ipv4Addr>,
+    idx: usize,
+    sub: VertexSub,
+}
+
+impl ParentsState {
+    /// Advances past the current parent (the end of one `process_vertex`
+    /// call in the blocking code).
+    fn finish_parent(&mut self) {
+        self.processed.insert(self.pending[self.idx]);
+        self.idx += 1;
+        self.sub = if self.idx < self.pending.len() {
+            VertexSub::Eval
+        } else {
+            VertexSub::LoopTop
+        };
+    }
+}
+
+enum MdaPhase {
+    /// Evaluate the hop loop's entry conditions for the current ttl.
+    HopStart,
+    /// Uniform discovery at the current ttl (single known parent).
+    Uniform(UniformState),
+    /// Vertex-by-vertex discovery with node control.
+    Parents(ParentsState),
+    Done,
+}
+
+/// The full MDA as a state machine over a [`SessionCore`]. Also embedded
+/// by [`MdaLiteSession`] for the switchover, resuming over everything the
+/// Lite pass learned.
+struct MdaMachine {
+    ttl: u8,
+    phase: MdaPhase,
+}
+
+impl MdaMachine {
+    fn new() -> Self {
+        Self {
+            ttl: 1,
+            phase: MdaPhase::HopStart,
+        }
+    }
+
+    /// End-of-hop bookkeeping shared by every exit from a hop's probing.
+    fn post_hop(&mut self, core: &SessionCore) {
+        if converged(&core.state, core.destination, self.ttl) || core.exhausted() {
+            self.phase = MdaPhase::Done;
+        } else {
+            self.ttl += 1;
+            self.phase = MdaPhase::HopStart;
+        }
+    }
+
+    /// Advances until a round is pending (`true`) or the MDA is done
+    /// (`false`).
+    fn advance(&mut self, core: &mut SessionCore) -> bool {
+        loop {
+            match &mut self.phase {
+                MdaPhase::Done => return false,
+                MdaPhase::HopStart => {
+                    if self.ttl > core.config.max_ttl {
+                        self.phase = MdaPhase::Done;
+                        continue;
+                    }
+                    if self.ttl > 1
+                        && converged(
+                            &core.state,
+                            core.destination,
+                            self.ttl.saturating_sub(1).max(1),
+                        )
+                    {
+                        self.phase = MdaPhase::Done;
+                        continue;
+                    }
+                    let single_parent =
+                        self.ttl == 1 || core.state.vertices_at(self.ttl - 1).len() <= 1;
+                    if single_parent {
+                        let reuse = if self.ttl == 1 {
+                            Vec::new()
+                        } else {
+                            core.state.reuse_queue(self.ttl - 1)
+                        };
+                        self.phase = MdaPhase::Uniform(UniformState::new(reuse));
+                    } else {
+                        self.phase = MdaPhase::Parents(ParentsState {
+                            processed: BTreeSet::new(),
+                            pending: Vec::new(),
+                            idx: 0,
+                            sub: VertexSub::LoopTop,
+                        });
+                    }
+                }
+                MdaPhase::Uniform(uniform) => match uniform.build_round(core, self.ttl) {
+                    Some(specs) => match core.emit(specs) {
+                        Emit::Yield => return true,
+                        // A non-empty round cut to nothing: the budget is
+                        // gone, the hop loop breaks.
+                        Emit::NoneSent { .. } => self.post_hop(core),
+                    },
+                    None => self.post_hop(core),
+                },
+                MdaPhase::Parents(parents) => match parents.sub {
+                    VertexSub::LoopTop => {
+                        parents.pending = core
+                            .state
+                            .vertices_at(self.ttl - 1)
+                            .iter()
+                            .copied()
+                            .filter(|v| !parents.processed.contains(v) && *v != core.destination)
+                            .collect();
+                        if parents.pending.is_empty() || core.exhausted() {
+                            self.post_hop(core);
+                        } else {
+                            parents.idx = 0;
+                            parents.sub = VertexSub::Eval;
+                        }
+                    }
+                    VertexSub::Eval => {
+                        let parent = parents.pending[parents.idx];
+                        let (sent_via, successors) = core.state.probes_via(parent, self.ttl);
+                        let k = successors.len().max(1);
+                        if core.config.stopping.should_stop(k, sent_via) {
+                            parents.finish_parent();
+                            continue;
+                        }
+                        let owed =
+                            core.config.stopping.n(k).saturating_sub(sent_via).max(1) as usize;
+                        let mut specs = core.specs_buffer();
+                        specs.extend(
+                            core.state
+                                .flows_reaching(self.ttl - 1, parent)
+                                .into_iter()
+                                .filter(|&f| !core.state.flow_probed_at(self.ttl, f))
+                                .take(owed)
+                                .map(|f| ProbeSpec::new(f, self.ttl)),
+                        );
+                        if !specs.is_empty() {
+                            match core.emit(specs) {
+                                Emit::Yield => {
+                                    parents.sub = VertexSub::WaitBatch;
+                                    return true;
+                                }
+                                Emit::NoneSent { .. } => parents.finish_parent(),
+                            }
+                        } else {
+                            parents.sub = VertexSub::HuntNext {
+                                left: core.config.node_control_attempts,
+                            };
+                        }
+                    }
+                    VertexSub::HuntNext { left } => {
+                        if left == 0 {
+                            // Attempts exhausted: the hunt returns None
+                            // and the parent is given up on.
+                            parents.finish_parent();
+                            continue;
+                        }
+                        // The blocking hunt draws the flow before the
+                        // budget check — preserved for identical
+                        // allocator streams.
+                        let flow = core.flows.fresh();
+                        let mut specs = core.specs_buffer();
+                        specs.push(ProbeSpec::new(flow, self.ttl - 1));
+                        match core.emit(specs) {
+                            Emit::Yield => {
+                                parents.sub = VertexSub::WaitHunt {
+                                    flow,
+                                    left: left - 1,
+                                };
+                                return true;
+                            }
+                            Emit::NoneSent { .. } => parents.finish_parent(),
+                        }
+                    }
+                    VertexSub::EmitPostHunt { flow } => {
+                        let mut specs = core.specs_buffer();
+                        specs.push(ProbeSpec::new(flow, self.ttl));
+                        match core.emit(specs) {
+                            Emit::Yield => {
+                                parents.sub = VertexSub::WaitPostHunt;
+                                return true;
+                            }
+                            Emit::NoneSent { .. } => parents.finish_parent(),
+                        }
+                    }
+                    VertexSub::WaitBatch | VertexSub::WaitHunt { .. } | VertexSub::WaitPostHunt => {
+                        debug_assert!(false, "advance called while awaiting replies");
+                        return true;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Applies the transition the blocking code performed right after a
+    /// dispatch returned (the replies are already absorbed into state).
+    fn resume(&mut self, core: &SessionCore) {
+        let cut = core.round_cut;
+        match &mut self.phase {
+            MdaPhase::Uniform(_) => {
+                if cut {
+                    self.post_hop(core);
+                }
+            }
+            MdaPhase::Parents(parents) => match parents.sub {
+                VertexSub::WaitBatch | VertexSub::WaitPostHunt => {
+                    if cut {
+                        parents.finish_parent();
+                    } else {
+                        parents.sub = VertexSub::Eval;
+                    }
+                }
+                VertexSub::WaitHunt { flow, left } => {
+                    let parent = parents.pending[parents.idx];
+                    if cut {
+                        parents.finish_parent();
+                    } else if core.state.flow_vertex(self.ttl - 1, flow) == Some(parent) {
+                        parents.sub = VertexSub::EmitPostHunt { flow };
+                    } else if left == 0 {
+                        parents.finish_parent();
+                    } else {
+                        parents.sub = VertexSub::HuntNext { left };
+                    }
+                }
+                _ => debug_assert!(false, "resume without a round in flight"),
+            },
+            MdaPhase::HopStart | MdaPhase::Done => {
+                debug_assert!(false, "resume without a round in flight")
+            }
+        }
+    }
+}
+
+/// The classic MDA as a [`TraceSession`].
+pub struct MdaSession {
+    core: SessionCore,
+    machine: MdaMachine,
+    finished: bool,
+}
+
+impl MdaSession {
+    /// Creates a session tracing towards `destination`.
+    pub fn new(destination: Ipv4Addr, config: TraceConfig) -> Self {
+        let mut core = SessionCore::new(destination, config);
+        core.reserve_used_flows();
+        Self {
+            core,
+            machine: MdaMachine::new(),
+            finished: false,
+        }
+    }
+}
+
+impl TraceSession for MdaSession {
+    fn poll(&mut self) -> SessionState {
+        if self.finished {
+            return SessionState::Finished;
+        }
+        if !self.core.round.is_empty() {
+            return SessionState::Probing;
+        }
+        if self.machine.advance(&mut self.core) {
+            SessionState::Probing
+        } else {
+            self.finished = true;
+            SessionState::Finished
+        }
+    }
+
+    fn next_rounds(&self) -> &[ProbeSpec] {
+        &self.core.round
+    }
+
+    fn on_replies(&mut self, results: &[Option<ProbeObservation>]) {
+        if self.core.round.is_empty() {
+            return;
+        }
+        self.core.absorb(results);
+        self.machine.resume(&self.core);
+    }
+
+    fn destination(&self) -> Ipv4Addr {
+        self.core.destination
+    }
+
+    fn take_trace(&mut self, probes_sent: u64) -> Trace {
+        Trace {
+            algorithm: Algorithm::Mda,
+            destination: self.core.destination,
+            reached_destination: self.core.state.destination_ttl().is_some(),
+            probes_sent,
+            switched: None,
+            budget_exhausted: self.core.exhausted(),
+            discovery: std::mem::take(&mut self.core.state),
+        }
+    }
+}
+
+/// Meshing-test context (Sec. 2.3.2), fixed when the test starts.
+struct MeshState {
+    vertices: Vec<Ipv4Addr>,
+    from_ttl: u8,
+    to_ttl: u8,
+    wider_prev: bool,
+    attempts: u64,
+}
+
+enum LitePhase {
+    HopStart,
+    Uniform(UniformState),
+    UniformWait(UniformState),
+    Edges { round: u8 },
+    EdgesWait { round: u8 },
+    MeshGather(MeshState),
+    MeshGatherWait(MeshState),
+    MeshTrace(MeshState),
+    MeshTraceWait(MeshState),
+    MeshDetect(MeshState),
+    Escalate(MdaMachine),
+    Done,
+}
+
+/// MDA-Lite as a [`TraceSession`], including the switchover: on meshing
+/// or width asymmetry the embedded [`MdaMachine`] resumes over the
+/// accumulated evidence.
+pub struct MdaLiteSession {
+    core: SessionCore,
+    ttl: u8,
+    phase: LitePhase,
+    switched: Option<SwitchReason>,
+    finished: bool,
+}
+
+impl MdaLiteSession {
+    /// Creates a session tracing towards `destination`.
+    pub fn new(destination: Ipv4Addr, config: TraceConfig) -> Self {
+        Self {
+            core: SessionCore::new(destination, config),
+            ttl: 1,
+            phase: LitePhase::HopStart,
+            switched: None,
+            finished: false,
+        }
+    }
+
+    /// The hop loop's exit: either escalate to the full MDA or stop.
+    fn end_of_hops(&mut self) {
+        if self.switched.is_some() && !self.core.exhausted() {
+            self.core.reserve_used_flows();
+            self.phase = LitePhase::Escalate(MdaMachine::new());
+        } else {
+            self.phase = LitePhase::Done;
+        }
+    }
+
+    /// The width-asymmetry test followed by the hop's closing checks.
+    fn check_asym_then_hop_end(&mut self) {
+        if pair_is_asymmetric(&self.core.state, self.ttl) {
+            self.switched = Some(SwitchReason::AsymmetryDetected { ttl: self.ttl - 1 });
+            self.end_of_hops();
+        } else {
+            self.hop_end();
+        }
+    }
+
+    fn hop_end(&mut self) {
+        if converged(&self.core.state, self.core.destination, self.ttl) {
+            self.end_of_hops();
+        } else {
+            self.ttl += 1;
+            self.phase = LitePhase::HopStart;
+        }
+    }
+
+    /// After uniform discovery: budget check, then edge completion (the
+    /// `ttl >= 2` block) or straight to the hop's closing checks.
+    fn after_uniform(&mut self) {
+        if self.core.exhausted() {
+            self.end_of_hops();
+        } else if self.ttl >= 2 {
+            self.phase = LitePhase::Edges { round: 0 };
+        } else {
+            self.hop_end();
+        }
+    }
+
+    /// After edge completion: budget check, then the meshing test when
+    /// both hops are multi-vertex, else the asymmetry test.
+    fn after_edges(&mut self) {
+        if self.core.exhausted() {
+            self.end_of_hops();
+            return;
+        }
+        let prev_multi = self.core.state.vertices_at(self.ttl - 1).len() >= 2;
+        let curr_multi = self.core.state.vertices_at(self.ttl).len() >= 2;
+        if prev_multi && curr_multi {
+            let wider_prev = self.core.state.vertices_at(self.ttl - 1).len()
+                >= self.core.state.vertices_at(self.ttl).len();
+            let (from_ttl, to_ttl) = if wider_prev {
+                (self.ttl - 1, self.ttl)
+            } else {
+                (self.ttl, self.ttl - 1)
+            };
+            self.phase = LitePhase::MeshGather(MeshState {
+                vertices: self.core.state.vertices_at(from_ttl).to_vec(),
+                from_ttl,
+                to_ttl,
+                wider_prev,
+                attempts: 0,
+            });
+        } else {
+            self.check_asym_then_hop_end();
+        }
+    }
+
+    /// Advances until a round is pending (`true`) or the session is done
+    /// (`false`).
+    fn advance(&mut self) -> bool {
+        loop {
+            match std::mem::replace(&mut self.phase, LitePhase::Done) {
+                LitePhase::Done => return false,
+                LitePhase::HopStart => {
+                    if self.ttl > self.core.config.max_ttl {
+                        self.end_of_hops();
+                        continue;
+                    }
+                    let reuse = if self.ttl == 1 {
+                        Vec::new()
+                    } else {
+                        self.core.state.reuse_queue(self.ttl - 1)
+                    };
+                    self.phase = LitePhase::Uniform(UniformState::new(reuse));
+                }
+                LitePhase::Uniform(mut uniform) => {
+                    match uniform.build_round(&mut self.core, self.ttl) {
+                        Some(specs) => match self.core.emit(specs) {
+                            Emit::Yield => {
+                                self.phase = LitePhase::UniformWait(uniform);
+                                return true;
+                            }
+                            Emit::NoneSent { .. } => self.after_uniform(),
+                        },
+                        None => self.after_uniform(),
+                    }
+                }
+                LitePhase::Edges { round } => {
+                    if round >= 4 {
+                        self.after_edges();
+                        continue;
+                    }
+                    let mut work = self.core.specs_buffer();
+                    build_edge_work(&self.core.state, self.ttl, &mut work);
+                    if work.is_empty() {
+                        self.core.recycle(work);
+                        self.after_edges();
+                        continue;
+                    }
+                    match self.core.emit(work) {
+                        Emit::Yield => {
+                            self.phase = LitePhase::EdgesWait { round };
+                            return true;
+                        }
+                        Emit::NoneSent { .. } => self.after_edges(),
+                    }
+                }
+                LitePhase::MeshGather(mut mesh) => {
+                    let phi = self.core.config.phi as usize;
+                    let deficit: u64 = mesh
+                        .vertices
+                        .iter()
+                        .map(|&v| {
+                            phi.saturating_sub(
+                                self.core.state.flows_reaching(mesh.from_ttl, v).len(),
+                            ) as u64
+                        })
+                        .sum();
+                    if deficit == 0 {
+                        self.phase = LitePhase::MeshTrace(mesh);
+                        continue;
+                    }
+                    let allowance = self
+                        .core
+                        .config
+                        .node_control_attempts
+                        .saturating_sub(mesh.attempts);
+                    let round = deficit.min(allowance);
+                    if round == 0 {
+                        self.phase = LitePhase::MeshTrace(mesh);
+                        continue;
+                    }
+                    mesh.attempts += round;
+                    let from_ttl = mesh.from_ttl;
+                    let mut specs = self.core.specs_buffer();
+                    specs.extend(
+                        (0..round).map(|_| ProbeSpec::new(self.core.flows.fresh(), from_ttl)),
+                    );
+                    match self.core.emit(specs) {
+                        Emit::Yield => {
+                            self.phase = LitePhase::MeshGatherWait(mesh);
+                            return true;
+                        }
+                        Emit::NoneSent { .. } => self.phase = LitePhase::MeshTrace(mesh),
+                    }
+                }
+                LitePhase::MeshTrace(mesh) => {
+                    let phi = self.core.config.phi as usize;
+                    let mut specs = self.core.specs_buffer();
+                    for &v in &mesh.vertices {
+                        specs.extend(
+                            self.core
+                                .state
+                                .flows_reaching(mesh.from_ttl, v)
+                                .into_iter()
+                                .take(phi)
+                                .filter(|&f| !self.core.state.flow_probed_at(mesh.to_ttl, f))
+                                .map(|f| ProbeSpec::new(f, mesh.to_ttl)),
+                        );
+                    }
+                    match self.core.emit(specs) {
+                        Emit::Yield => {
+                            self.phase = LitePhase::MeshTraceWait(mesh);
+                            return true;
+                        }
+                        // An empty round counts as fully sent: detection
+                        // still runs over the accumulated evidence.
+                        Emit::NoneSent { sent_all: true } => {
+                            self.phase = LitePhase::MeshDetect(mesh)
+                        }
+                        // Budget gone: meshing_test returns "not meshed".
+                        Emit::NoneSent { sent_all: false } => self.check_asym_then_hop_end(),
+                    }
+                }
+                LitePhase::MeshDetect(mesh) => {
+                    let earlier = mesh.from_ttl.min(mesh.to_ttl);
+                    let meshed = if mesh.wider_prev {
+                        self.core
+                            .state
+                            .edges_from(earlier)
+                            .values()
+                            .any(|succs| succs.len() >= 2)
+                    } else {
+                        self.core
+                            .state
+                            .reverse_edges_from(earlier)
+                            .values()
+                            .any(|preds| preds.len() >= 2)
+                    };
+                    if meshed {
+                        self.switched = Some(SwitchReason::MeshingDetected { ttl: self.ttl - 1 });
+                        self.end_of_hops();
+                    } else {
+                        self.check_asym_then_hop_end();
+                    }
+                }
+                LitePhase::Escalate(mut machine) => {
+                    if machine.advance(&mut self.core) {
+                        self.phase = LitePhase::Escalate(machine);
+                        return true;
+                    }
+                    self.phase = LitePhase::Done;
+                }
+                LitePhase::UniformWait(_)
+                | LitePhase::EdgesWait { .. }
+                | LitePhase::MeshGatherWait(_)
+                | LitePhase::MeshTraceWait(_) => {
+                    debug_assert!(false, "advance called while awaiting replies");
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+impl TraceSession for MdaLiteSession {
+    fn poll(&mut self) -> SessionState {
+        if self.finished {
+            return SessionState::Finished;
+        }
+        if !self.core.round.is_empty() {
+            return SessionState::Probing;
+        }
+        if self.advance() {
+            SessionState::Probing
+        } else {
+            self.finished = true;
+            SessionState::Finished
+        }
+    }
+
+    fn next_rounds(&self) -> &[ProbeSpec] {
+        &self.core.round
+    }
+
+    fn on_replies(&mut self, results: &[Option<ProbeObservation>]) {
+        if self.core.round.is_empty() {
+            return;
+        }
+        self.core.absorb(results);
+        let cut = self.core.round_cut;
+        match std::mem::replace(&mut self.phase, LitePhase::Done) {
+            LitePhase::UniformWait(uniform) => {
+                if cut {
+                    self.after_uniform();
+                } else {
+                    self.phase = LitePhase::Uniform(uniform);
+                }
+            }
+            LitePhase::EdgesWait { round } => {
+                if cut {
+                    self.after_edges();
+                } else {
+                    self.phase = LitePhase::Edges { round: round + 1 };
+                }
+            }
+            LitePhase::MeshGatherWait(mesh) => {
+                if cut {
+                    self.phase = LitePhase::MeshTrace(mesh);
+                } else {
+                    self.phase = LitePhase::MeshGather(mesh);
+                }
+            }
+            LitePhase::MeshTraceWait(mesh) => {
+                if cut {
+                    self.check_asym_then_hop_end();
+                } else {
+                    self.phase = LitePhase::MeshDetect(mesh);
+                }
+            }
+            LitePhase::Escalate(mut machine) => {
+                machine.resume(&self.core);
+                self.phase = LitePhase::Escalate(machine);
+            }
+            other => {
+                debug_assert!(false, "replies delivered with no round in flight");
+                self.phase = other;
+            }
+        }
+    }
+
+    fn destination(&self) -> Ipv4Addr {
+        self.core.destination
+    }
+
+    fn take_trace(&mut self, probes_sent: u64) -> Trace {
+        Trace {
+            algorithm: Algorithm::MdaLite,
+            destination: self.core.destination,
+            reached_destination: self.core.state.destination_ttl().is_some(),
+            probes_sent,
+            switched: self.switched,
+            budget_exhausted: self.core.exhausted(),
+            discovery: std::mem::take(&mut self.core.state),
+        }
+    }
+}
+
+/// Deterministic edge-completion work between `ttl - 1` and `ttl`
+/// (Sec. 2.3.1): forward probes for successor-less vertices, backward
+/// probes for predecessor-less ones.
+fn build_edge_work(state: &Discovery, ttl: u8, work: &mut Vec<ProbeSpec>) {
+    let edges = state.edges_from(ttl - 1);
+    let rev = state.reverse_edges_from(ttl - 1);
+
+    for &u in state.vertices_at(ttl - 1) {
+        if edges.get(&u).is_none_or(BTreeSet::is_empty) {
+            if let Some(&f) = state
+                .flows_reaching(ttl - 1, u)
+                .iter()
+                .find(|&&f| !state.flow_probed_at(ttl, f))
+            {
+                work.push(ProbeSpec::new(f, ttl));
+            }
+        }
+    }
+    for &v in state.vertices_at(ttl) {
+        if rev.get(&v).is_none_or(BTreeSet::is_empty) {
+            if let Some(&f) = state
+                .flows_reaching(ttl, v)
+                .iter()
+                .find(|&&f| !state.flow_probed_at(ttl - 1, f))
+            {
+                work.push(ProbeSpec::new(f, ttl - 1));
+            }
+        }
+    }
+}
+
+/// Width-asymmetry test (Sec. 2.3.3).
+pub(crate) fn pair_is_asymmetric(state: &Discovery, ttl: u8) -> bool {
+    let edges = state.edges_from(ttl - 1);
+    let rev = state.reverse_edges_from(ttl - 1);
+
+    let succ_counts: Vec<usize> = state
+        .vertices_at(ttl - 1)
+        .iter()
+        .map(|v| edges.get(v).map_or(0, BTreeSet::len))
+        .collect();
+    let pred_counts: Vec<usize> = state
+        .vertices_at(ttl)
+        .iter()
+        .map(|v| rev.get(v).map_or(0, BTreeSet::len))
+        .collect();
+
+    let uneven = |counts: &[usize]| {
+        counts
+            .iter()
+            .filter(|&&c| c > 0) // vertices with no evidence don't testify
+            .collect::<BTreeSet<_>>()
+            .len()
+            > 1
+    };
+    uneven(&succ_counts) || uneven(&pred_counts)
+}
+
+/// Paris traceroute with one flow identifier as a [`TraceSession`]: one
+/// probe per TTL, stopping at the destination.
+pub struct SingleFlowSession {
+    destination: Ipv4Addr,
+    config: TraceConfig,
+    state: Discovery,
+    flow: FlowId,
+    ttl: u8,
+    round: Vec<ProbeSpec>,
+    done: bool,
+}
+
+impl SingleFlowSession {
+    /// Creates a session tracing towards `destination` with `flow`.
+    pub fn new(destination: Ipv4Addr, config: TraceConfig, flow: FlowId) -> Self {
+        Self {
+            destination,
+            config,
+            state: Discovery::new(),
+            flow,
+            ttl: 1,
+            round: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+impl TraceSession for SingleFlowSession {
+    fn poll(&mut self) -> SessionState {
+        if self.done {
+            return SessionState::Finished;
+        }
+        if !self.round.is_empty() {
+            return SessionState::Probing;
+        }
+        if self.ttl > self.config.max_ttl {
+            self.done = true;
+            return SessionState::Finished;
+        }
+        self.round.clear();
+        self.round.push(ProbeSpec::new(self.flow, self.ttl));
+        self.state.note_probes_sent(&self.round);
+        SessionState::Probing
+    }
+
+    fn next_rounds(&self) -> &[ProbeSpec] {
+        &self.round
+    }
+
+    fn on_replies(&mut self, results: &[Option<ProbeObservation>]) {
+        if self.round.is_empty() {
+            return;
+        }
+        for (spec, result) in self.round.iter().zip(results) {
+            if let Some(obs) = result {
+                self.state
+                    .record(spec.flow, spec.ttl, obs.responder, obs.at_destination);
+            }
+        }
+        self.round.clear();
+        if results
+            .first()
+            .and_then(Option::as_ref)
+            .is_some_and(|obs| obs.at_destination)
+        {
+            self.done = true;
+        } else {
+            self.ttl += 1;
+        }
+    }
+
+    fn destination(&self) -> Ipv4Addr {
+        self.destination
+    }
+
+    fn take_trace(&mut self, probes_sent: u64) -> Trace {
+        Trace {
+            algorithm: Algorithm::SingleFlow,
+            destination: self.destination,
+            reached_destination: self.state.destination_ttl().is_some(),
+            probes_sent,
+            switched: None,
+            budget_exhausted: false,
+            discovery: std::mem::take(&mut self.state),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::TransportProber;
+    use mlpt_sim::SimNetwork;
+    use mlpt_topo::canonical;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    /// A session can be driven round by round by hand, and the pending
+    /// round is stable across repeated polls.
+    #[test]
+    fn manual_drive_matches_driver() {
+        let topo = canonical::fig1_unmeshed();
+        let config = TraceConfig::new(9);
+
+        let mut manual_prober =
+            TransportProber::new(SimNetwork::new(topo.clone(), 4), SRC, topo.destination());
+        let mut session = MdaSession::new(topo.destination(), config.clone());
+        let mut rounds = 0usize;
+        while session.poll() == SessionState::Probing {
+            assert_eq!(session.poll(), SessionState::Probing, "poll is idempotent");
+            assert!(!session.next_rounds().is_empty());
+            let specs: Vec<ProbeSpec> = session.next_rounds().to_vec();
+            let results = manual_prober.probe_batch(&specs);
+            session.on_replies(&results);
+            rounds += 1;
+        }
+        assert!(rounds > 1, "a multipath trace takes several rounds");
+        let manual = session.take_trace(manual_prober.probes_sent());
+
+        let mut prober =
+            TransportProber::new(SimNetwork::new(topo.clone(), 4), SRC, topo.destination());
+        let via_driver = crate::mda::trace_mda(&mut prober, &config);
+        assert_eq!(manual.probes_sent, via_driver.probes_sent);
+        assert_eq!(manual.discovery, via_driver.discovery);
+    }
+
+    /// Sessions never yield an empty round while probing.
+    #[test]
+    fn rounds_are_never_empty() {
+        let topo = canonical::fig1_meshed();
+        let mut prober =
+            TransportProber::new(SimNetwork::new(topo.clone(), 2), SRC, topo.destination());
+        let mut session = MdaLiteSession::new(topo.destination(), TraceConfig::new(2));
+        while session.poll() == SessionState::Probing {
+            assert!(!session.next_rounds().is_empty());
+            let results = prober.probe_batch(session.next_rounds());
+            session.on_replies(&results);
+        }
+        assert!(session.take_trace(prober.probes_sent()).reached_destination);
+    }
+
+    /// A finished session stays finished and reports an empty round.
+    #[test]
+    fn finished_is_terminal() {
+        let topo = canonical::simplest_diamond();
+        let mut prober =
+            TransportProber::new(SimNetwork::new(topo.clone(), 1), SRC, topo.destination());
+        let mut session =
+            SingleFlowSession::new(topo.destination(), TraceConfig::new(1), FlowId(3));
+        let trace = drive(&mut session, &mut prober);
+        assert!(trace.reached_destination);
+        assert_eq!(session.poll(), SessionState::Finished);
+        assert!(session.next_rounds().is_empty());
+    }
+}

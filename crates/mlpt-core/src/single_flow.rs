@@ -7,41 +7,21 @@
 //! and discovers one vertex and one edge per hop.
 
 use crate::config::TraceConfig;
-use crate::discovery::Discovery;
-use crate::prober::{ProbeSpec, Prober};
-use crate::trace::{Algorithm, Trace};
+use crate::prober::Prober;
+use crate::session::{drive, SingleFlowSession};
+use crate::trace::Trace;
 use mlpt_wire::FlowId;
 
 /// Traces a single path using one flow identifier.
 ///
-/// Dispatch rides the batched probe engine like the multipath
-/// algorithms; with one flow there is exactly one probe per hop, and the
-/// hop's outcome gates whether the next TTL is probed at all, so each
-/// round is a single-spec batch.
+/// The algorithm lives in [`SingleFlowSession`], a sans-IO state machine
+/// emitting one single-spec round per hop; this entry point is the thin
+/// single-session driver. Dispatch rides the batched probe engine like
+/// the multipath algorithms: the hop's outcome gates whether the next TTL
+/// is probed at all.
 pub fn trace_single_flow<P: Prober>(prober: &mut P, config: &TraceConfig, flow: FlowId) -> Trace {
-    let mut state = Discovery::new();
-    let destination = prober.destination();
-    let before = prober.probes_sent();
-
-    for ttl in 1..=config.max_ttl {
-        let specs = [ProbeSpec::new(flow, ttl)];
-        state.note_probes_sent(&specs);
-        let results = prober.probe_batch(&specs);
-        state.record_batch(&specs, &results);
-        if results[0].as_ref().is_some_and(|obs| obs.at_destination) {
-            break;
-        }
-    }
-
-    Trace {
-        algorithm: Algorithm::SingleFlow,
-        destination,
-        reached_destination: state.destination_ttl().is_some(),
-        probes_sent: prober.probes_sent() - before,
-        switched: None,
-        budget_exhausted: false,
-        discovery: state,
-    }
+    let mut session = SingleFlowSession::new(prober.destination(), config.clone(), flow);
+    drive(&mut session, prober)
 }
 
 #[cfg(test)]

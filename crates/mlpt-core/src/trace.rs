@@ -39,7 +39,7 @@ pub enum SwitchReason {
 }
 
 /// A completed multipath trace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Algorithm that produced this trace.
     pub algorithm: Algorithm,

@@ -37,6 +37,7 @@ pub mod analytic;
 pub mod balance;
 pub mod capture;
 pub mod faults;
+pub mod multi;
 pub mod network;
 pub mod router;
 pub mod validation;
@@ -45,6 +46,7 @@ pub use analytic::{mda_failure_probability, vertex_failure_probability};
 pub use balance::{BalanceMode, FlowHasher};
 pub use capture::CapturingTransport;
 pub use faults::FaultPlan;
+pub use multi::{MultiNetwork, MultiNetworkError};
 pub use network::{PacketTransport, SimNetwork, SimNetworkBuilder};
 pub use router::{
     CounterBehavior, IpIdEngine, IpIdProfile, MplsProfile, ReplyClass, RouterProfile,

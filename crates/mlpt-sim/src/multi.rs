@@ -1,0 +1,464 @@
+//! Multi-destination routing: one transport, many simulated networks.
+//!
+//! A sweep traces many destinations at once, but PR 1's probe engine has
+//! exactly one [`BatchTransport`] under the prober. [`MultiNetwork`]
+//! closes that gap: it hosts one [`SimNetwork`] **lane** per destination
+//! and routes every injected probe to its lane by the packet's
+//! destination address (UDP probes by traced destination, ICMP echoes by
+//! target interface), exactly as one vantage-point NIC faces many remote
+//! networks.
+//!
+//! # Determinism under interleaving
+//!
+//! Every lane keeps its *own* RNG stream, virtual clock, IP-ID engine and
+//! fault state — the full per-destination [`SimNetwork`] — and only ever
+//! advances when one of its own packets crosses. Probes for different
+//! destinations therefore cannot perturb each other no matter how a
+//! scheduler interleaves them: the byte streams (and per-lane timestamps)
+//! a lane produces are bit-identical to running the same packets through
+//! a standalone `SimNetwork` built with the same seed. This is the
+//! transport half of the sweep engine's headline invariant — concurrent
+//! sweeps reproduce sequential traces exactly.
+//!
+//! The vectorized [`BatchTransport::send_batch`] path can optionally
+//! process lanes on worker threads ([`MultiNetwork::with_workers`]):
+//! because lanes are disjoint, the merged reply batch is identical
+//! regardless of thread timing, so parallelism is invisible except in
+//! wall-clock time.
+
+use crate::network::SimNetwork;
+use crate::network::TrafficCounters;
+use mlpt_wire::ipv4::{Ipv4Header, PROTO_ICMP, PROTO_UDP};
+use mlpt_wire::transport::{BatchTransport, PacketBatch, PacketTransport, ReplyBatch};
+use std::net::Ipv4Addr;
+
+/// Errors detected while assembling a [`MultiNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiNetworkError {
+    /// Two lanes simulate the same traced destination; probes could not
+    /// be routed unambiguously.
+    DuplicateDestination(Ipv4Addr),
+}
+
+impl std::fmt::Display for MultiNetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiNetworkError::DuplicateDestination(d) => {
+                write!(f, "two lanes simulate destination {d}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiNetworkError {}
+
+/// One shared transport over per-destination [`SimNetwork`] lanes.
+pub struct MultiNetwork {
+    lanes: Vec<SimNetwork>,
+    /// Sorted (destination, lane) pairs for UDP routing.
+    dests: Vec<(u32, usize)>,
+    /// Sorted (interface, lane) pairs for echo routing; an interface
+    /// shared by several lanes (e.g. a common core) routes to the first.
+    interfaces: Vec<(u32, usize)>,
+    workers: usize,
+}
+
+impl MultiNetwork {
+    /// Builds the shared transport over `lanes`. Destinations must be
+    /// unique across lanes.
+    pub fn new(lanes: Vec<SimNetwork>) -> Result<Self, MultiNetworkError> {
+        let mut dests: Vec<(u32, usize)> = Vec::with_capacity(lanes.len());
+        for (i, lane) in lanes.iter().enumerate() {
+            let d = u32::from(lane.topology().destination());
+            if dests.iter().any(|&(existing, _)| existing == d) {
+                return Err(MultiNetworkError::DuplicateDestination(Ipv4Addr::from(d)));
+            }
+            dests.push((d, i));
+        }
+        dests.sort_unstable();
+        let mut interfaces: Vec<(u32, usize)> = Vec::new();
+        for (i, lane) in lanes.iter().enumerate() {
+            for addr in lane.topology().all_addresses() {
+                interfaces.push((u32::from(addr), i));
+            }
+        }
+        // First lane wins for shared interfaces: sort by (addr, lane) and
+        // keep the first entry per address.
+        interfaces.sort_unstable();
+        interfaces.dedup_by_key(|&mut (addr, _)| addr);
+        Ok(Self {
+            lanes,
+            dests,
+            interfaces,
+            workers: 1,
+        })
+    }
+
+    /// Sets how many worker threads `send_batch` may spread lanes over
+    /// (default 1 = fully sequential). Purely a wall-clock knob: the
+    /// replies are identical for any worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Number of lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// A lane's simulator.
+    pub fn lane(&self, index: usize) -> &SimNetwork {
+        &self.lanes[index]
+    }
+
+    /// Mutable access to a lane's simulator.
+    pub fn lane_mut(&mut self, index: usize) -> &mut SimNetwork {
+        &mut self.lanes[index]
+    }
+
+    /// Aggregated traffic counters across all lanes.
+    pub fn counters(&self) -> TrafficCounters {
+        let mut total = TrafficCounters::default();
+        for lane in &self.lanes {
+            let c = lane.counters();
+            total.probes_received += c.probes_received;
+            total.probes_lost += c.probes_lost;
+            total.replies_sent += c.replies_sent;
+            total.replies_rate_limited += c.replies_rate_limited;
+            total.replies_lost += c.replies_lost;
+        }
+        total
+    }
+
+    /// The lane a packet routes to, if any: UDP probes go to the lane
+    /// simulating their destination, echoes to the lane owning the
+    /// target interface.
+    fn lane_for(&self, packet: &[u8]) -> Option<usize> {
+        let (header, _) = Ipv4Header::parse(packet).ok()?;
+        let dest = u32::from(header.destination);
+        match header.protocol {
+            PROTO_UDP => self
+                .dests
+                .binary_search_by_key(&dest, |&(d, _)| d)
+                .ok()
+                .map(|i| self.dests[i].1),
+            PROTO_ICMP => self
+                .interfaces
+                .binary_search_by_key(&dest, |&(a, _)| a)
+                .ok()
+                .map(|i| self.interfaces[i].1),
+            _ => None,
+        }
+    }
+}
+
+impl PacketTransport for MultiNetwork {
+    fn send_packet(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
+        let lane = self.lane_for(packet)?;
+        self.lanes[lane].send_packet(packet)
+    }
+
+    fn send_packet_into(&mut self, packet: &[u8], reply: &mut Vec<u8>) -> bool {
+        match self.lane_for(packet) {
+            Some(lane) => self.lanes[lane].send_packet_into(packet, reply),
+            None => false,
+        }
+    }
+
+    /// Total virtual time across lanes (each lane's clock ticks only for
+    /// its own packets). Per-probe timestamps — the values observations
+    /// carry — come from the owning lane via `send_batch`.
+    fn now(&self) -> u64 {
+        self.lanes.iter().map(SimNetwork::clock).sum()
+    }
+}
+
+impl BatchTransport for MultiNetwork {
+    /// Routes each packet to its lane and stamps each reply slot with the
+    /// *lane's* clock, so a session's observations carry the same
+    /// timestamps a dedicated per-destination simulator would produce.
+    /// With more than one worker, disjoint lanes are processed in
+    /// parallel and the replies merged back in slot order.
+    fn send_batch(&mut self, probes: &PacketBatch, replies: &mut ReplyBatch) {
+        replies.clear();
+        let lane_of: Vec<Option<usize>> = probes.iter().map(|p| self.lane_for(p)).collect();
+
+        if self.workers <= 1 || self.lanes.len() <= 1 {
+            for (slot, packet) in probes.iter().enumerate() {
+                match lane_of[slot] {
+                    Some(l) => {
+                        let lane = &mut self.lanes[l];
+                        let mut answered = false;
+                        replies.push_with(0, |buf| {
+                            answered = lane.send_packet_into(packet, buf);
+                            answered
+                        });
+                        let t = self.lanes[l].clock();
+                        replies.set_last_timestamp(t);
+                    }
+                    None => replies.push_with(0, |_| false),
+                }
+            }
+            return;
+        }
+
+        // Parallel path: per-lane slot lists, lanes spread over worker
+        // threads, outputs merged in slot order. Lane state is disjoint,
+        // so the result is identical to the sequential path.
+        let num_lanes = self.lanes.len();
+        let mut slots_of: Vec<Vec<usize>> = vec![Vec::new(); num_lanes];
+        for (slot, lane) in lane_of.iter().enumerate() {
+            if let Some(l) = lane {
+                slots_of[*l].push(slot);
+            }
+        }
+        // Workers produce (slot, reply, lane clock) records merged after
+        // the join — safe Rust, deterministic merge in slot order.
+        let mut outputs: Vec<Option<(Option<Vec<u8>>, u64)>> = vec![None; probes.len()];
+        let chunk = num_lanes.div_ceil(self.workers);
+        let mut lane_work: Vec<(&mut SimNetwork, &[usize])> = self
+            .lanes
+            .iter_mut()
+            .zip(slots_of.iter().map(Vec::as_slice))
+            .collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            while !lane_work.is_empty() {
+                let take = chunk.min(lane_work.len());
+                let batch: Vec<(&mut SimNetwork, &[usize])> = lane_work.drain(..take).collect();
+                handles.push(scope.spawn(move || {
+                    let mut produced: Vec<(usize, Option<Vec<u8>>, u64)> = Vec::new();
+                    for (lane, slots) in batch {
+                        for &slot in slots {
+                            let reply = lane.send_packet(probes.get(slot));
+                            produced.push((slot, reply, lane.clock()));
+                        }
+                    }
+                    produced
+                }));
+            }
+            for handle in handles {
+                for (slot, reply, clock) in handle.join().expect("lane worker panicked") {
+                    outputs[slot] = Some((reply, clock));
+                }
+            }
+        });
+        for (slot, out) in outputs.into_iter().enumerate() {
+            match out {
+                Some((Some(bytes), t)) => {
+                    replies.push_with(t, |buf| {
+                        buf.extend_from_slice(&bytes);
+                        true
+                    });
+                }
+                // Routed but unanswered: the slot still carries its
+                // lane's clock, as the sequential path stamps it.
+                Some((None, t)) => replies.push_with(t, |_| false),
+                None => {
+                    debug_assert!(
+                        lane_of[slot].is_none(),
+                        "routed slot missing a reply record"
+                    );
+                    replies.push_with(0, |_| false);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpt_topo::canonical;
+    use mlpt_wire::probe::{build_udp_probe_into, parse_reply, ProbePacket};
+    use mlpt_wire::FlowId;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    /// Canonical topologies all share addresses, so lanes are built from
+    /// translated copies occupying disjoint address blocks.
+    fn lanes(n: u32, base_seed: u64) -> Vec<SimNetwork> {
+        (0..n)
+            .map(|i| {
+                let topo = canonical::fig1_meshed().translated(0x0100_0000 * (i + 1));
+                SimNetwork::new(topo, base_seed + u64::from(i))
+            })
+            .collect()
+    }
+
+    fn probe_bytes(dst: Ipv4Addr, flow: u16, ttl: u8, seq: u16) -> Vec<u8> {
+        let mut buf = Vec::new();
+        build_udp_probe_into(
+            &ProbePacket {
+                source: SRC,
+                destination: dst,
+                flow: FlowId(flow),
+                ttl,
+                sequence: seq,
+            },
+            &mut buf,
+        );
+        buf
+    }
+
+    #[test]
+    fn duplicate_destinations_rejected() {
+        let topo = canonical::simplest_diamond();
+        let lanes = vec![
+            SimNetwork::new(topo.clone(), 1),
+            SimNetwork::new(topo.clone(), 2),
+        ];
+        assert_eq!(
+            MultiNetwork::new(lanes).err(),
+            Some(MultiNetworkError::DuplicateDestination(topo.destination()))
+        );
+    }
+
+    #[test]
+    fn routes_by_destination() {
+        let lanes = lanes(3, 7);
+        let dests: Vec<Ipv4Addr> = lanes.iter().map(|l| l.topology().destination()).collect();
+        let mut net = MultiNetwork::new(lanes).expect("unique destinations");
+        for (i, &dst) in dests.iter().enumerate() {
+            let reply = net
+                .send_packet(&probe_bytes(dst, 3, 1, 1))
+                .expect("routed and answered");
+            let parsed = parse_reply(&reply).expect("valid reply");
+            assert!(
+                net.lane(i)
+                    .topology()
+                    .all_addresses()
+                    .contains(&parsed.responder),
+                "lane {i} must answer its own probe"
+            );
+        }
+        // Unknown destination: silently unanswered.
+        assert!(net
+            .send_packet(&probe_bytes(Ipv4Addr::new(8, 8, 8, 8), 0, 1, 1))
+            .is_none());
+    }
+
+    /// The headline invariant at the transport level: a lane's byte
+    /// stream is bit-identical to a standalone SimNetwork with the same
+    /// seed, regardless of how other lanes' packets interleave.
+    #[test]
+    fn lanes_unperturbed_by_interleaving() {
+        let all = lanes(2, 40);
+        let d0 = all[0].topology().destination();
+        let d1 = all[1].topology().destination();
+        let mut multi = MultiNetwork::new(all).expect("unique destinations");
+        let mut standalone = lanes(2, 40).remove(0);
+
+        for step in 0..60u16 {
+            let ttl = (step % 4 + 1) as u8;
+            // Interleave: lane-1 traffic between every lane-0 packet.
+            let noise = probe_bytes(d1, step, ttl, step);
+            let _ = multi.send_packet(&noise);
+            let probe = probe_bytes(d0, step, ttl, step);
+            assert_eq!(
+                multi.send_packet(&probe),
+                standalone.send_packet(&probe),
+                "lane 0 diverged at step {step}"
+            );
+        }
+        assert_eq!(multi.lane(0).counters(), standalone.counters());
+    }
+
+    /// send_batch stamps each slot with the owning lane's clock and is
+    /// identical to sequential single-packet dispatch.
+    #[test]
+    fn batch_matches_sequential_with_lane_clocks() {
+        let all = lanes(3, 9);
+        let dests: Vec<Ipv4Addr> = all.iter().map(|l| l.topology().destination()).collect();
+        let mut batch = PacketBatch::new();
+        for round in 0..8u16 {
+            for (i, &dst) in dests.iter().enumerate() {
+                let flow = round * 4 + i as u16;
+                batch.push(&probe_bytes(dst, flow, (round % 4 + 1) as u8, flow));
+            }
+        }
+
+        let mut batched = MultiNetwork::new(all).expect("unique destinations");
+        let mut replies = ReplyBatch::new();
+        batched.send_batch(&batch, &mut replies);
+
+        let mut sequential = MultiNetwork::new(lanes(3, 9)).expect("unique destinations");
+        for (slot, packet) in batch.iter().enumerate() {
+            let expected = sequential.send_packet(packet);
+            assert_eq!(
+                replies.get(slot).map(<[u8]>::to_vec),
+                expected,
+                "slot {slot}"
+            );
+            if expected.is_some() {
+                let lane = sequential.lane_for(packet).expect("routed");
+                assert_eq!(
+                    replies.timestamp(slot),
+                    sequential.lane(lane).clock(),
+                    "slot {slot} must carry its lane's clock"
+                );
+            }
+        }
+    }
+
+    /// Worker threads change nothing but wall-clock time.
+    #[test]
+    fn parallel_workers_are_invisible() {
+        let dests: Vec<Ipv4Addr> = lanes(4, 21)
+            .iter()
+            .map(|l| l.topology().destination())
+            .collect();
+        let mut batch = PacketBatch::new();
+        for round in 0..16u16 {
+            for (i, &dst) in dests.iter().enumerate() {
+                batch.push(&probe_bytes(
+                    dst,
+                    round,
+                    (round % 4 + 1) as u8,
+                    round * 7 + i as u16,
+                ));
+            }
+        }
+        // One unroutable packet mid-batch.
+        batch.push(&probe_bytes(Ipv4Addr::new(9, 9, 9, 9), 0, 1, 0));
+
+        let mut seq_replies = ReplyBatch::new();
+        MultiNetwork::new(lanes(4, 21))
+            .expect("unique")
+            .send_batch(&batch, &mut seq_replies);
+
+        let mut par_replies = ReplyBatch::new();
+        MultiNetwork::new(lanes(4, 21))
+            .expect("unique")
+            .with_workers(3)
+            .send_batch(&batch, &mut par_replies);
+
+        assert_eq!(seq_replies.len(), par_replies.len());
+        for slot in 0..seq_replies.len() {
+            assert_eq!(
+                seq_replies.get(slot),
+                par_replies.get(slot),
+                "slot {slot} reply"
+            );
+            assert_eq!(
+                seq_replies.timestamp(slot),
+                par_replies.timestamp(slot),
+                "slot {slot} timestamp"
+            );
+        }
+    }
+
+    #[test]
+    fn echo_routes_to_owning_lane() {
+        let all = lanes(2, 3);
+        let target = *all[1].topology().hop(1).first().expect("multi-vertex hop");
+        let mut net = MultiNetwork::new(all).expect("unique destinations");
+        let echo = mlpt_wire::probe::build_echo_probe(SRC, target, 0xBEEF, 1, 64);
+        let reply = net.send_packet(&echo).expect("echo answered");
+        let parsed = parse_reply(&reply).expect("valid reply");
+        assert_eq!(parsed.responder, target);
+        assert_eq!(net.lane(0).counters().probes_received, 0);
+        assert_eq!(net.lane(1).counters().probes_received, 1);
+    }
+}

@@ -7,12 +7,18 @@
 //!
 //! The implementation is safe Rust on `std::thread::scope`: the result
 //! vector is split into disjoint mutable chunks up front, and workers
-//! claim whole chunks from a shared worklist. Each slot is owned by
-//! exactly one chunk, so exclusive access is enforced by the borrow
-//! checker instead of a raw-pointer argument. Chunks are deliberately
-//! finer-grained than the worker count so stragglers (expensive
-//! scenarios cluster) still load-balance.
+//! claim whole chunks from a shared worklist **front to back** (a
+//! `VecDeque` drained from the head). Claiming from the head matters:
+//! chunks were previously popped off the back of a `Vec`, which handed
+//! work out back-to-front — the head of the index range was processed
+//! *last*, so early results (the ones a consumer typically streams or a
+//! progress meter reports first) materialised at the very end of the
+//! run. Each slot is owned by exactly one chunk, so exclusive access is
+//! enforced by the borrow checker instead of a raw-pointer argument.
+//! Chunks are deliberately finer-grained than the worker count so
+//! stragglers (expensive scenarios cluster) still load-balance.
 
+use std::collections::VecDeque;
 use std::sync::Mutex;
 
 /// One claimable unit of work: the chunk's base index plus its slots.
@@ -35,13 +41,22 @@ where
     if workers == 1 {
         return (0..count).map(f).collect();
     }
+    chunked_parallel_map(count, workers, f)
+}
 
+/// The chunked worklist implementation behind [`ordered_parallel_map`]
+/// (separate so the claim discipline is testable even with one worker).
+fn chunked_parallel_map<T, F>(count: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
 
     // Aim for several chunks per worker so dynamic claiming evens out
     // skewed per-index costs without per-index synchronization.
     let chunk_size = count.div_ceil(workers * 8).max(1);
-    let worklist: Mutex<Vec<Chunk<'_, T>>> = Mutex::new(
+    let worklist: Mutex<VecDeque<Chunk<'_, T>>> = Mutex::new(
         slots
             .chunks_mut(chunk_size)
             .enumerate()
@@ -52,7 +67,9 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let claimed = worklist.lock().expect("worklist poisoned").pop();
+                // Front-to-back: the head of the index range is handed
+                // out (and therefore finished) first.
+                let claimed = worklist.lock().expect("worklist poisoned").pop_front();
                 let Some((base, chunk)) = claimed else {
                     break;
                 };
@@ -125,5 +142,27 @@ mod tests {
             let out = ordered_parallel_map(count, 5, |i| i + 10);
             assert_eq!(out, (0..count).map(|i| i + 10).collect::<Vec<_>>());
         }
+    }
+
+    /// Regression: a single worker draining the chunked worklist must
+    /// claim indices front to back. With the old `Vec::pop` discipline
+    /// the chunks were handed out back to front, so index 0 was
+    /// processed in the *last* chunk.
+    #[test]
+    fn single_worker_claims_front_to_back() {
+        let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        // 97 indices over one worker: many chunks, one claimant, so the
+        // observed call order *is* the claim order.
+        let out = chunked_parallel_map(97, 1, |i| {
+            order.lock().expect("order poisoned").push(i);
+            i
+        });
+        assert_eq!(out, (0..97).collect::<Vec<_>>());
+        let order = order.into_inner().expect("order poisoned");
+        assert_eq!(
+            order,
+            (0..97).collect::<Vec<_>>(),
+            "chunks must be claimed head first"
+        );
     }
 }

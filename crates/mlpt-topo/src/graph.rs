@@ -237,6 +237,26 @@ impl MultipathTopology {
             .find(|&i| self.hops[i].contains(&target))
             .map(|i| i - from_hop)
     }
+
+    /// An isomorphic copy with every address shifted by `offset`
+    /// (wrapping 32-bit addition), preserving hop order and edges.
+    ///
+    /// Multi-destination sweeps use this to replicate one canonical
+    /// topology into disjoint address blocks, so several lanes of a
+    /// shared simulator can serve "the same" topology behind distinct
+    /// destinations.
+    pub fn translated(&self, offset: u32) -> MultipathTopology {
+        let shift = |a: Ipv4Addr| Ipv4Addr::from(u32::from(a).wrapping_add(offset));
+        let mut b = TopologyBuilder::default();
+        for hop in &self.hops {
+            b.add_hop(hop.iter().copied().map(shift));
+        }
+        for (hop, from, to) in self.edges() {
+            b.add_edge(hop, shift(from), shift(to));
+        }
+        b.build()
+            .expect("translation preserves topology invariants")
+    }
 }
 
 /// Incremental builder for [`MultipathTopology`].

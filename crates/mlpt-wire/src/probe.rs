@@ -151,6 +151,11 @@ pub struct ReplyPacket {
     pub reply_ttl: u8,
     /// Flow ID recovered from the quoted probe (None for echo replies).
     pub probe_flow: Option<FlowId>,
+    /// Destination of the quoted probe (None for echo replies). Together
+    /// with `probe_flow` and `probe_sequence` this is the demultiplexing
+    /// tag a concurrent sweep uses to hand a reply back to the session
+    /// that sent the probe.
+    pub probe_destination: Option<Ipv4Addr>,
     /// TTL of the probe as originally sent, recovered from the quote where
     /// possible (routers quote the datagram with TTL already expired, so
     /// this is the *sequence-correlated* value; see `probe_sequence`).
@@ -176,12 +181,13 @@ pub fn parse_reply(data: &[u8]) -> WireResult<ReplyPacket> {
     let icmp = IcmpMessage::parse(&data[ihl..])?;
     let mpls_stack = icmp.mpls_stack().to_vec();
 
-    let (kind, probe_flow, quoted_ttl, probe_sequence, echo) = match &icmp {
+    let (kind, probe_flow, probe_destination, quoted_ttl, probe_sequence, echo) = match &icmp {
         IcmpMessage::TimeExceeded { quoted, .. } => {
             let info = parse_quote(quoted);
             (
                 ReplyKind::TimeExceeded,
                 info.as_ref().and_then(|q| q.flow),
+                info.as_ref().map(|q| q.destination),
                 info.as_ref().map(|q| q.ttl),
                 info.as_ref().map(|q| q.sequence),
                 None,
@@ -197,6 +203,7 @@ pub fn parse_reply(data: &[u8]) -> WireResult<ReplyPacket> {
             (
                 kind,
                 info.as_ref().and_then(|q| q.flow),
+                info.as_ref().map(|q| q.destination),
                 info.as_ref().map(|q| q.ttl),
                 info.as_ref().map(|q| q.sequence),
                 None,
@@ -208,6 +215,7 @@ pub fn parse_reply(data: &[u8]) -> WireResult<ReplyPacket> {
             ..
         } => (
             ReplyKind::EchoReply,
+            None,
             None,
             None,
             None,
@@ -227,6 +235,7 @@ pub fn parse_reply(data: &[u8]) -> WireResult<ReplyPacket> {
         reply_ip_id: ip.identification,
         reply_ttl: ip.ttl,
         probe_flow,
+        probe_destination,
         quoted_ttl,
         probe_sequence,
         echo,
@@ -237,6 +246,7 @@ pub fn parse_reply(data: &[u8]) -> WireResult<ReplyPacket> {
 /// What we can recover from a quoted probe datagram.
 struct QuoteInfo {
     flow: Option<FlowId>,
+    destination: Ipv4Addr,
     ttl: u8,
     sequence: u16,
 }
@@ -255,6 +265,7 @@ fn parse_quote(quoted: &[u8]) -> Option<QuoteInfo> {
     };
     Some(QuoteInfo {
         flow,
+        destination: ip.destination,
         ttl: ip.ttl,
         sequence: ip.identification,
     })
@@ -318,6 +329,7 @@ mod tests {
         assert_eq!(reply.responder, ROUTER);
         assert_eq!(reply.kind, ReplyKind::TimeExceeded);
         assert_eq!(reply.probe_flow, Some(FlowId(12)));
+        assert_eq!(reply.probe_destination, Some(DST), "demux tag recovered");
         assert_eq!(reply.probe_sequence, Some(777));
         assert_eq!(reply.reply_ip_id, 4242);
         assert_eq!(reply.reply_ttl, 61);

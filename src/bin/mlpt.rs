@@ -30,6 +30,7 @@ fn main() {
     };
     match command.as_str() {
         "trace" => cmd_trace(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
         "multilevel" => cmd_multilevel(&args[1..]),
         "topologies" => cmd_topologies(),
         "-h" | "--help" | "help" => usage(),
@@ -57,6 +58,15 @@ commands:
                --json            emit a machine-readable trace report
                --pcap FILE       write all probe/reply packets as pcap
                --draw            append an ASCII sketch of the topology
+  sweep        trace many destinations concurrently over one transport
+               --topology NAME   canonical topology replicated per
+                                 destination in disjoint address blocks
+               --destinations N  concurrent destinations (default 8)
+               --algo ALGO       mda | lite (default) | single
+               --budget P        max probes in flight per dispatch (default 1024)
+               --workers W       simulator worker threads (default 1)
+               --seed S          base seed (default 1)
+               --json            emit a machine-readable sweep report
   multilevel   MDA-Lite trace + in-trace alias resolution (router view)
                --rounds R        alias-resolution rounds (default 10)
                (accepts the trace options above)
@@ -73,6 +83,9 @@ struct Options {
     seed: u64,
     loss: f64,
     rounds: u32,
+    destinations: usize,
+    budget: usize,
+    workers: usize,
     json: bool,
     pcap: Option<String>,
     draw: bool,
@@ -88,6 +101,9 @@ fn parse_options(args: &[String]) -> Options {
         seed: 1,
         loss: 0.0,
         rounds: 10,
+        destinations: 8,
+        budget: 1024,
+        workers: 1,
         json: false,
         pcap: None,
         draw: false,
@@ -114,6 +130,9 @@ fn parse_options(args: &[String]) -> Options {
             "--seed" => opts.seed = need(i).parse().unwrap_or(1),
             "--loss" => opts.loss = need(i).parse().unwrap_or(0.0),
             "--rounds" => opts.rounds = need(i).parse().unwrap_or(10),
+            "--destinations" => opts.destinations = need(i).parse().unwrap_or(8),
+            "--budget" => opts.budget = need(i).parse().unwrap_or(1024),
+            "--workers" => opts.workers = need(i).parse().unwrap_or(1),
             "--json" => {
                 opts.json = true;
                 i += 1;
@@ -135,19 +154,9 @@ fn parse_options(args: &[String]) -> Options {
     opts
 }
 
-/// Resolves the target: a canonical topology or a synthetic scenario.
-fn build_network(opts: &Options) -> (SimNetwork, Ipv4Addr, Ipv4Addr, Option<RouterMap>) {
-    let source: Ipv4Addr = "192.0.2.1".parse().expect("static");
-    if let Some(n) = opts.scenario {
-        let internet = SyntheticInternet::new(InternetConfig::default());
-        let scenario = internet.scenario(n);
-        let destination = scenario.topology.destination();
-        let truth = scenario.routers.clone();
-        let net = scenario.build_network(opts.seed);
-        return (net, source, destination, Some(truth));
-    }
-    let name = opts.topology.as_deref().unwrap_or("fig1-unmeshed");
-    let topology = match name {
+/// Resolves a canonical topology by CLI name.
+fn canonical_topology(name: &str) -> mlpt::topo::MultipathTopology {
+    match name {
         "simplest" => canonical::simplest_diamond(),
         "fig1-unmeshed" => canonical::fig1_unmeshed(),
         "fig1-meshed" => canonical::fig1_meshed(),
@@ -159,7 +168,21 @@ fn build_network(opts: &Options) -> (SimNetwork, Ipv4Addr, Ipv4Addr, Option<Rout
             eprintln!("unknown topology {other}; see `mlpt topologies`");
             exit(2);
         }
-    };
+    }
+}
+
+/// Resolves the target: a canonical topology or a synthetic scenario.
+fn build_network(opts: &Options) -> (SimNetwork, Ipv4Addr, Ipv4Addr, Option<RouterMap>) {
+    let source: Ipv4Addr = "192.0.2.1".parse().expect("static");
+    if let Some(n) = opts.scenario {
+        let internet = SyntheticInternet::new(InternetConfig::default());
+        let scenario = internet.scenario(n);
+        let destination = scenario.topology.destination();
+        let truth = scenario.routers.clone();
+        let net = scenario.build_network(opts.seed);
+        return (net, source, destination, Some(truth));
+    }
+    let topology = canonical_topology(opts.topology.as_deref().unwrap_or("fig1-unmeshed"));
     let destination = topology.destination();
     let net = SimNetwork::builder(topology)
         .faults(if opts.loss > 0.0 {
@@ -295,6 +318,155 @@ fn cmd_trace(args: &[String]) {
                 format!("; switched to full MDA (asymmetry at ttl {ttl})"),
             None => String::new(),
         }
+    );
+}
+
+/// Traces many destinations concurrently: one canonical topology
+/// replicated into disjoint address blocks (one lane per destination in a
+/// shared simulator), driven by the sweep engine over a single transport.
+fn cmd_sweep(args: &[String]) {
+    let opts = parse_options(args);
+    if opts.destinations == 0 {
+        eprintln!("--destinations must be at least 1");
+        exit(2);
+    }
+    if opts.destinations > 200 {
+        eprintln!("--destinations is capped at 200 (address-block replication)");
+        exit(2);
+    }
+    let source: Ipv4Addr = "192.0.2.1".parse().expect("static");
+    let name = opts.topology.as_deref().unwrap_or("fig1-unmeshed");
+    let base = canonical_topology(name);
+    let config = TraceConfig::new(opts.seed)
+        .with_stopping(stopping_points(&opts.stopping))
+        .with_phi(opts.phi);
+
+    // One lane per destination: the topology shifted into its own /8-ish
+    // block, simulated with its own seed, clock and RNG streams.
+    let topologies: Vec<mlpt::topo::MultipathTopology> = (0..opts.destinations)
+        .map(|i| base.translated(0x0100_0000 * (i as u32 + 1)))
+        .collect();
+    let lanes: Vec<SimNetwork> = topologies
+        .iter()
+        .enumerate()
+        .map(|(i, topo)| {
+            SimNetwork::builder(topo.clone())
+                .faults(if opts.loss > 0.0 {
+                    FaultPlan::with_loss(0.0, opts.loss)
+                } else {
+                    FaultPlan::none()
+                })
+                .seed(opts.seed.wrapping_add(i as u64))
+                .build()
+        })
+        .collect();
+    let net = match mlpt::sim::MultiNetwork::new(lanes) {
+        Ok(net) => net.with_workers(opts.workers),
+        Err(e) => {
+            eprintln!("failed to assemble sweep network: {e}");
+            exit(2);
+        }
+    };
+
+    let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+        max_in_flight: opts.budget,
+        retries: 0,
+    });
+    for (i, topo) in topologies.iter().enumerate() {
+        let destination = topo.destination();
+        let session_config = TraceConfig {
+            seed: opts.seed.wrapping_add(i as u64),
+            ..config.clone()
+        };
+        let session: Box<dyn TraceSession> = match opts.algo.as_str() {
+            "mda" => Box::new(MdaSession::new(destination, session_config)),
+            "lite" => Box::new(MdaLiteSession::new(destination, session_config)),
+            "single" => Box::new(SingleFlowSession::new(
+                destination,
+                session_config,
+                FlowId(opts.seed as u16),
+            )),
+            other => {
+                eprintln!("unknown algorithm {other} (mda|lite|single)");
+                exit(2);
+            }
+        };
+        if let Err(e) = engine.add_session(session) {
+            eprintln!("failed to register destination: {e}");
+            exit(2);
+        }
+    }
+
+    let traces = engine.run();
+    let stats = *engine.stats();
+
+    if opts.json {
+        let destinations: Vec<serde_json::Value> = traces
+            .iter()
+            .map(|t| {
+                serde_json::json!({
+                    "destination": t.destination.to_string(),
+                    "reached": t.reached_destination,
+                    "probes": t.probes_sent,
+                    "vertices": t.total_vertices(),
+                    "edges": t.total_edges(),
+                    "switched": t.switched.is_some(),
+                })
+            })
+            .collect();
+        let report = serde_json::json!({
+            "topology": name,
+            "algo": opts.algo,
+            "destinations": destinations,
+            "stats": {
+                "dispatch_cycles": stats.dispatch_cycles,
+                "probes_sent": stats.probes_sent,
+                "replies_delivered": stats.replies_delivered,
+                "malformed_replies": stats.malformed_replies,
+                "mismatched_replies": stats.mismatched_replies,
+                "max_batch": stats.max_batch,
+                "probes_per_dispatch": stats.probes_per_dispatch(),
+            },
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        );
+        return;
+    }
+
+    println!(
+        "mlpt sweep: {} × {name}, algo {}, base seed {}",
+        opts.destinations, opts.algo, opts.seed
+    );
+    for trace in &traces {
+        println!(
+            "  {}  {} probes, {} vertices, {} edges{}{}",
+            trace.destination,
+            trace.probes_sent,
+            trace.total_vertices(),
+            trace.total_edges(),
+            if trace.reached_destination {
+                ""
+            } else {
+                "  [destination NOT reached]"
+            },
+            if trace.switched.is_some() {
+                "  [switched to MDA]"
+            } else {
+                ""
+            },
+        );
+    }
+    println!(
+        "\n{} probes over {} transport dispatches ({:.1} probes/dispatch, largest batch {}); \
+         {} replies, {} lost",
+        stats.probes_sent,
+        stats.dispatch_cycles,
+        stats.probes_per_dispatch(),
+        stats.max_batch,
+        stats.replies_delivered,
+        stats.probes_sent - stats.replies_delivered,
     );
 }
 

@@ -127,3 +127,65 @@ fn topologies_lists_all_seven() {
         assert!(stdout.contains(name), "missing {name}");
     }
 }
+
+#[test]
+fn sweep_traces_all_destinations() {
+    let out = mlpt()
+        .args([
+            "sweep",
+            "--topology",
+            "fig1-unmeshed",
+            "--destinations",
+            "5",
+            "--algo",
+            "mda",
+            "--seed",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // One summary line per destination, each with its own address block.
+    for block in ["  11.", "  12.", "  13.", "  14.", "  15."] {
+        assert!(
+            stdout.contains(block),
+            "missing destination line {block}*: {stdout}"
+        );
+    }
+    assert!(stdout.contains("probes/dispatch"), "{stdout}");
+}
+
+#[test]
+fn sweep_json_reports_stats_and_destinations() {
+    let out = mlpt()
+        .args([
+            "sweep",
+            "--topology",
+            "simplest",
+            "--destinations",
+            "3",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    let dests = report["destinations"].as_array().expect("array");
+    assert_eq!(dests.len(), 3);
+    for d in dests {
+        assert_eq!(d["reached"], serde_json::Value::Bool(true));
+    }
+    assert!(report["stats"]["probes_per_dispatch"].as_f64().unwrap() > 1.0);
+    assert!(report["stats"]["dispatch_cycles"].as_u64().unwrap() >= 1);
+}
+
+#[test]
+fn sweep_rejects_zero_destinations() {
+    assert!(!mlpt()
+        .args(["sweep", "--destinations", "0"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}

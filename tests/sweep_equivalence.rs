@@ -1,0 +1,172 @@
+//! The sweep engine's headline invariant, property-tested end to end:
+//! a concurrent sweep's per-destination traces are **bit-identical** to
+//! running each trace sequentially on its own simulator — for every
+//! algorithm (MDA, MDA-Lite, single-flow), across topologies, fault
+//! plans, session counts and in-flight budgets.
+//!
+//! Sequential baseline: per destination, a fresh `SimNetwork` (same seed
+//! as the sweep's lane) under a blocking `TransportProber` driver.
+//! Sweep: one shared `MultiNetwork` over all lanes, one sans-IO session
+//! per destination, rounds interleaved by the `SweepEngine` into
+//! cross-destination batches with tag-based reply demultiplexing.
+
+use mlpt::core::engine::{SweepConfig, SweepEngine};
+use mlpt::core::prelude::*;
+use mlpt::core::session::TraceSession;
+use mlpt::sim::{FaultPlan, MultiNetwork, SimNetwork};
+use mlpt::topo::{canonical, MultipathTopology};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+/// The canonical topology pool the sweep draws lanes from.
+fn base_topology(index: u8) -> MultipathTopology {
+    match index % 5 {
+        0 => canonical::simplest_diamond(),
+        1 => canonical::fig1_unmeshed(),
+        2 => canonical::fig1_meshed(),
+        3 => canonical::symmetric(),
+        _ => canonical::asymmetric(),
+    }
+}
+
+/// A fault plan drawn from the property inputs.
+fn fault_plan(kind: u8) -> FaultPlan {
+    match kind % 3 {
+        0 => FaultPlan::none(),
+        1 => FaultPlan::with_loss(0.1, 0.0),
+        _ => FaultPlan::with_loss(0.0, 0.15),
+    }
+}
+
+/// One destination of the sweep: its translated topology and seeds.
+struct Lane {
+    topology: MultipathTopology,
+    sim_seed: u64,
+    trace_seed: u64,
+}
+
+fn lanes_for(topo_indices: &[u8], base_seed: u64) -> Vec<Lane> {
+    topo_indices
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Lane {
+            // Disjoint /8-style address blocks per lane so "the same"
+            // canonical topology can appear behind many destinations.
+            topology: base_topology(t).translated(0x0100_0000 * (i as u32 + 1)),
+            sim_seed: base_seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+            trace_seed: base_seed ^ (i as u64) << 7,
+        })
+        .collect()
+}
+
+fn build_network(lane: &Lane, faults: &FaultPlan) -> SimNetwork {
+    SimNetwork::builder(lane.topology.clone())
+        .faults(*faults)
+        .seed(lane.sim_seed)
+        .build()
+}
+
+fn make_session(algo: u8, destination: Ipv4Addr, config: TraceConfig) -> Box<dyn TraceSession> {
+    match algo % 3 {
+        0 => Box::new(MdaSession::new(destination, config)),
+        1 => Box::new(MdaLiteSession::new(destination, config)),
+        _ => Box::new(SingleFlowSession::new(destination, config, FlowId(7))),
+    }
+}
+
+fn sequential_trace(
+    algo: u8,
+    lane: &Lane,
+    faults: &FaultPlan,
+    retries: u8,
+    probe_budget: u64,
+) -> (Trace, u64) {
+    let net = build_network(lane, faults);
+    let mut prober =
+        TransportProber::new(net, SRC, lane.topology.destination()).with_retries(retries);
+    let config = TraceConfig::new(lane.trace_seed).with_probe_budget(probe_budget);
+    let trace = match algo % 3 {
+        0 => trace_mda(&mut prober, &config),
+        1 => trace_mda_lite(&mut prober, &config),
+        _ => trace_single_flow(&mut prober, &config, FlowId(7)),
+    };
+    let sent = prober.probes_sent();
+    (trace, sent)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// sweep(N destinations) == N sequential traces, bit for bit.
+    #[test]
+    fn sweep_is_bit_identical_to_sequential(
+        topo_indices in proptest::collection::vec(0u8..5, 1..7),
+        algo in 0u8..3,
+        fault_kind in 0u8..3,
+        base_seed in any::<u64>(),
+        budget_kind in 0u8..3,
+        retries in 0u8..2,
+        probe_budget_kind in 0u8..3,
+    ) {
+        let faults = fault_plan(fault_kind);
+        // Small probe budgets exercise the state machines' budget-cut
+        // transitions (truncated rounds, mid-hunt exhaustion, cut meshing
+        // tests); the default leaves them untouched.
+        let probe_budget = match probe_budget_kind % 3 {
+            0 => 30u64,
+            1 => 400,
+            _ => 1_000_000, // TraceConfig default: never exhausted here
+        };
+        let max_in_flight = match budget_kind % 3 {
+            0 => 3usize, // splits almost every round across dispatch cycles
+            1 => 64,
+            _ => 2048,
+        };
+        let lanes = lanes_for(&topo_indices, base_seed);
+
+        // Concurrent sweep over one shared transport.
+        let net = MultiNetwork::new(
+            lanes.iter().map(|l| build_network(l, &faults)).collect(),
+        )
+        .expect("translated lanes have unique destinations");
+        let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+            max_in_flight,
+            retries,
+        });
+        for lane in &lanes {
+            engine
+                .add_session(make_session(
+                    algo,
+                    lane.topology.destination(),
+                    TraceConfig::new(lane.trace_seed).with_probe_budget(probe_budget),
+                ))
+                .expect("unique destination");
+        }
+        let sweep_traces = engine.run();
+        let stats = *engine.stats();
+
+        // Sequential baseline, destination by destination.
+        prop_assert_eq!(sweep_traces.len(), lanes.len());
+        let mut total_sequential_probes = 0u64;
+        for (lane, sweep_trace) in lanes.iter().zip(&sweep_traces) {
+            let (sequential, sent) =
+                sequential_trace(algo, lane, &faults, retries, probe_budget);
+            total_sequential_probes += sent;
+            prop_assert_eq!(
+                sweep_trace,
+                &sequential,
+                "trace towards {} diverged",
+                lane.topology.destination()
+            );
+        }
+
+        // The engine did exactly the sequential loops' wire work, merged
+        // into (far fewer) cross-destination dispatches.
+        prop_assert_eq!(stats.probes_sent, total_sequential_probes);
+        prop_assert_eq!(stats.malformed_replies, 0);
+        prop_assert_eq!(stats.mismatched_replies, 0);
+        prop_assert!(stats.max_batch <= max_in_flight);
+    }
+}
