@@ -1,28 +1,44 @@
-//! The concurrent sweep engine: many trace sessions over one transport.
+//! The concurrent sweep engine: many trace sessions over one transport,
+//! with streaming admission and an adaptive in-flight budget.
 //!
 //! Large-scale tracing is dominated by how many destinations can be kept
 //! in flight at once (Donnet et al., "Efficient Route Tracing from a
 //! Single Source"). The [`SweepEngine`] exploits the sans-IO split of
-//! [`crate::session`]: it holds a table of [`TraceSession`]s — one per
-//! destination — and each dispatch cycle
+//! [`crate::session`]: it holds a table of live [`TraceSession`]s — one
+//! per destination — and each dispatch cycle
 //!
-//! 1. **gathers** every session's pending round into one large
-//!    cross-destination [`PacketBatch`], bounded by an in-flight token
-//!    budget ([`SweepConfig::max_in_flight`]);
-//! 2. crosses the shared [`BatchTransport`] **once**;
-//! 3. **demultiplexes** replies back to their sessions by the
+//! 1. **admits** new sessions from the caller's stream while the pending
+//!    probe backlog sits below the in-flight budget
+//!    ([`Admission::Streaming`]), so cross-destination batches stay full
+//!    across arbitrarily long destination lists instead of shrinking into
+//!    a tail of tiny dispatches as a fixed table drains;
+//! 2. **gathers** every live session's pending round into one large
+//!    cross-destination [`PacketBatch`], bounded by the in-flight token
+//!    budget, with tokens split fairly across sessions (a quota pass
+//!    followed by a greedy pass) so no one lane hogs a reduced budget;
+//! 3. crosses the shared [`BatchTransport`] **once**;
+//! 4. **demultiplexes** replies back to their sessions by the
 //!    destination/flow/sequence tags recovered from the quoted probe
 //!    inside each ICMP reply ([`mlpt_wire::probe::ReplyPacket`]) — not by
 //!    slot position — so interleaved, lost and malformed replies are all
 //!    handled;
-//! 4. hands completed rounds back to their sessions, which advance their
+//! 5. **adapts** the budget: an AIMD controller ([`AdaptiveBudget`])
+//!    ramps the budget up additively while replies are clean and backs
+//!    off multiplicatively when a cycle starts losing replies (loss or
+//!    ICMP rate limiting — Viger et al. document why over-probing
+//!    rate-limited routers corrupts results), with per-destination-lane
+//!    allowances so one sick lane can neither starve the sweep nor keep
+//!    burning probes into a rate limiter;
+//! 6. hands completed rounds back to their sessions, which advance their
 //!    state machines and produce the next rounds.
 //!
 //! Per destination, the engine emits the *identical* packet sequence a
 //! dedicated [`crate::prober::TransportProber`] would (same sequence
 //! numbers, same retry waves), so a sweep's per-destination traces are
-//! bit-identical to running each trace sequentially on its own — the
-//! property tests in `tests/sweep_equivalence.rs` enforce exactly that.
+//! bit-identical to running each trace sequentially on its own — no
+//! matter how admission interleaves or the budget slices rounds. The
+//! property tests in `tests/sweep_equivalence.rs` enforce exactly that
+//! across admission modes, budgets and fault plans.
 //!
 //! Malformed or mismatched replies never panic a sweep: the demux path
 //! is unwrap-free, counting anomalies in [`SweepStats`] and treating the
@@ -33,19 +49,78 @@ use crate::session::{SessionState, TraceSession};
 use crate::trace::Trace;
 use mlpt_wire::probe::{build_udp_probe_into, parse_reply, ProbePacket};
 use mlpt_wire::transport::{BatchTransport, PacketBatch, ReplyBatch};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
 
+/// How sessions enter the engine's live table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Admission {
+    /// Every session enters the table before the first dispatch — the
+    /// pre-streaming fixed-table behaviour, kept for A/B comparison.
+    /// Batches shrink as the table drains.
+    Eager,
+    /// Sessions are admitted as in-flight tokens free up: a new session
+    /// enters whenever the live sessions' pending probes sit below the
+    /// in-flight budget, keeping batches full until the source runs dry.
+    #[default]
+    Streaming,
+}
+
+/// Tuning of the AIMD in-flight budget controller.
+///
+/// The controller treats [`SweepConfig::max_in_flight`] as a ceiling:
+/// while a dispatch cycle's replies are clean (unanswered fraction at or
+/// below [`loss_threshold`](Self::loss_threshold)) the budget grows by
+/// [`increase`](Self::increase) tokens; a lossy cycle multiplies it by
+/// [`backoff`](Self::backoff), never below
+/// [`min_in_flight`](Self::min_in_flight). Each destination lane also
+/// carries its own allowance with the same rules, so a single
+/// rate-limited lane backs itself off without choking healthy lanes —
+/// and a collapsed global budget is split fairly across lanes by the
+/// gather pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveBudget {
+    /// Floor the controller never backs off below.
+    pub min_in_flight: usize,
+    /// Additive increase per clean cycle (tokens).
+    pub increase: usize,
+    /// Multiplicative decrease factor applied on a lossy cycle.
+    pub backoff: f64,
+    /// Fraction of a cycle's probes that may go unanswered before the
+    /// cycle counts as lossy.
+    pub loss_threshold: f64,
+}
+
+impl Default for AdaptiveBudget {
+    fn default() -> Self {
+        Self {
+            min_in_flight: 8,
+            increase: 32,
+            backoff: 0.5,
+            loss_threshold: 0.05,
+        }
+    }
+}
+
 /// Tuning knobs of a sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepConfig {
     /// Token budget: the most probes the engine puts on the wire in one
     /// dispatch cycle, across all sessions. Rounds that do not fit wait
-    /// for the next cycle (order within each session is preserved).
+    /// for the next cycle (order within each session is preserved). With
+    /// an [`AdaptiveBudget`] this is the controller's ceiling.
     pub max_in_flight: usize,
     /// Per-round retry waves for unanswered probes, matching
     /// [`crate::prober::TransportProber::with_retries`] semantics.
     pub retries: u8,
+    /// Whether sessions stream in under the budget or all enter up front.
+    pub admission: Admission,
+    /// AIMD budget controller; `None` keeps the budget fixed at
+    /// [`max_in_flight`](Self::max_in_flight).
+    pub adaptive: Option<AdaptiveBudget>,
+    /// Hard cap on concurrently admitted sessions (memory bound for
+    /// survey-scale streams). `usize::MAX` = unlimited.
+    pub max_admitted: usize,
 }
 
 impl Default for SweepConfig {
@@ -53,6 +128,9 @@ impl Default for SweepConfig {
         Self {
             max_in_flight: 1024,
             retries: 0,
+            admission: Admission::default(),
+            adaptive: None,
+            max_admitted: usize::MAX,
         }
     }
 }
@@ -60,8 +138,10 @@ impl Default for SweepConfig {
 /// Errors surfaced by the engine's session table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
-    /// Two sessions trace towards the same destination: their reply tags
-    /// would be ambiguous, so the table refuses the second one.
+    /// Two registered sessions trace towards the same destination: their
+    /// reply tags would be ambiguous, so the table refuses the second
+    /// one. (Streamed sources handle this by *deferring* the second
+    /// session until the first finishes instead.)
     DuplicateDestination(Ipv4Addr),
 }
 
@@ -93,6 +173,27 @@ pub struct SweepStats {
     pub mismatched_replies: u64,
     /// Largest single dispatch batch.
     pub max_batch: usize,
+    /// Sessions taken from the stream into the live table.
+    pub sessions_admitted: u64,
+    /// Sessions driven to completion (their traces were emitted).
+    pub sessions_completed: u64,
+    /// Admissions postponed because a live session already owned the
+    /// destination (the tags would be ambiguous while both are in
+    /// flight).
+    pub sessions_deferred: u64,
+    /// Cycles whose unanswered fraction stayed at or below the loss
+    /// threshold (the configured controller's, or the default
+    /// controller's threshold when the budget is fixed — so the
+    /// counters compare across both modes).
+    pub clean_cycles: u64,
+    /// Cycles that lost more than the threshold.
+    pub lossy_cycles: u64,
+    /// Multiplicative global-budget decreases applied by the controller.
+    pub budget_backoffs: u64,
+    /// Per-lane allowance halvings applied by the controller.
+    pub lane_backoffs: u64,
+    /// The in-flight budget when the sweep finished.
+    pub final_in_flight_budget: usize,
 }
 
 impl SweepStats {
@@ -111,7 +212,8 @@ impl SweepStats {
 /// Demultiplexer for in-flight probes: maps the (destination, sequence)
 /// tag recovered from a reply's quoted probe back to the dispatch entry
 /// that sent it. Sequence numbers are per-session, destinations are
-/// unique per session, so the pair is unique while a probe is in flight.
+/// unique per live session, so the pair is unique while a probe is in
+/// flight.
 #[derive(Debug, Default)]
 struct ReplyDemux {
     in_flight: HashMap<(u32, u16), usize>,
@@ -146,10 +248,13 @@ impl ReplyDemux {
     }
 }
 
-/// A registered session plus its per-destination wire state.
+/// A live session plus its per-destination wire state.
 struct SessionSlot {
     session: Box<dyn TraceSession>,
     destination: Ipv4Addr,
+    /// Index of this session in the source stream — traces are reported
+    /// back under it, so output order is admission-independent.
+    out_index: usize,
     /// Per-session sequence counter (same discipline as
     /// `TransportProber::next_sequence`: first probe is sequence 1).
     sequence: u16,
@@ -167,13 +272,27 @@ struct SessionSlot {
     attempt: u8,
     /// True while a round is being serviced.
     active: bool,
-    finished: bool,
+    /// Per-cycle dispatch cap driven by this lane's own AIMD allowance.
+    allowance: usize,
+    /// Probes dispatched for this lane in the current cycle.
+    dispatched_cycle: u32,
+    /// Replies delivered to this lane in the current cycle.
+    delivered_cycle: u32,
 }
 
 impl SessionSlot {
     fn next_sequence(&mut self) -> u16 {
         self.sequence = self.sequence.wrapping_add(1);
         self.sequence
+    }
+
+    /// Probes of the current wave still awaiting dispatch.
+    fn pending(&self) -> usize {
+        if self.active {
+            self.wave.len() - self.cursor
+        } else {
+            0
+        }
     }
 }
 
@@ -184,32 +303,64 @@ struct DispatchEntry {
     spec: usize,
 }
 
+/// Outcome of pumping an idle slot's state machine.
+enum Pumped {
+    /// The session finished; its trace was emitted and the slot removed.
+    Finished,
+    /// A fresh round is armed and pending dispatch.
+    Armed,
+    /// Nothing to do this cycle (defensive empty-round path).
+    Idle,
+}
+
 /// The sweep scheduler (see module docs).
 pub struct SweepEngine<T: BatchTransport> {
     transport: T,
     source: Ipv4Addr,
     config: SweepConfig,
+    /// Live sessions only; finished slots are removed immediately.
     slots: Vec<SessionSlot>,
+    /// Destinations of live sessions (admission defers duplicates).
+    live_dests: HashSet<u32>,
+    /// Sessions registered via [`add_session`](Self::add_session),
+    /// drained as the stream by [`run`](Self::run).
+    registered: Vec<Box<dyn TraceSession>>,
     stats: SweepStats,
     demux: ReplyDemux,
     packets: PacketBatch,
     replies: ReplyBatch,
     dispatch: Vec<DispatchEntry>,
+    /// AIMD controller state (equals `max_in_flight` when fixed).
+    budget: f64,
+    /// Undispatched probes across all live sessions' current waves.
+    pending: usize,
+    /// Replies delivered during the current cycle.
+    cycle_delivered: usize,
+    /// Batch size of every dispatch cycle, for tail-utilization
+    /// measurements (one `u32` per transport crossing).
+    cycle_sizes: Vec<u32>,
 }
 
 impl<T: BatchTransport> SweepEngine<T> {
     /// Creates an engine over a shared transport, probing from `source`.
     pub fn new(transport: T, source: Ipv4Addr) -> Self {
+        let config = SweepConfig::default();
         Self {
             transport,
             source,
-            config: SweepConfig::default(),
+            budget: config.max_in_flight as f64,
+            config,
             slots: Vec::new(),
+            live_dests: HashSet::new(),
+            registered: Vec::new(),
             stats: SweepStats::default(),
             demux: ReplyDemux::default(),
             packets: PacketBatch::new(),
             replies: ReplyBatch::new(),
             dispatch: Vec::new(),
+            pending: 0,
+            cycle_delivered: 0,
+            cycle_sizes: Vec::new(),
         }
     }
 
@@ -217,35 +368,52 @@ impl<T: BatchTransport> SweepEngine<T> {
     pub fn with_config(mut self, config: SweepConfig) -> Self {
         self.config = config;
         self.config.max_in_flight = self.config.max_in_flight.max(1);
+        self.config.max_admitted = self.config.max_admitted.max(1);
+        if let Some(adaptive) = &mut self.config.adaptive {
+            adaptive.min_in_flight = adaptive.min_in_flight.clamp(1, self.config.max_in_flight);
+            adaptive.increase = adaptive.increase.max(1);
+            adaptive.backoff = adaptive.backoff.clamp(0.0, 1.0);
+        }
+        self.budget = self.config.max_in_flight as f64;
         self
     }
 
-    /// Registers a session; its destination must be unique in the table.
-    /// Returns the session's index (traces come back in the same order).
+    /// Registers a session for [`run`](Self::run); its destination must
+    /// be unique among registered sessions. Returns the session's index
+    /// (traces come back in the same order).
     pub fn add_session(&mut self, session: Box<dyn TraceSession>) -> Result<usize, EngineError> {
         let destination = session.destination();
-        if self.slots.iter().any(|s| s.destination == destination) {
+        if self
+            .registered
+            .iter()
+            .any(|s| s.destination() == destination)
+        {
             return Err(EngineError::DuplicateDestination(destination));
         }
-        self.slots.push(SessionSlot {
-            session,
-            destination,
-            sequence: 0,
-            probes_sent: 0,
-            round: Vec::new(),
-            results: Vec::new(),
-            wave: Vec::new(),
-            cursor: 0,
-            attempt: 0,
-            active: false,
-            finished: false,
-        });
-        Ok(self.slots.len() - 1)
+        self.registered.push(session);
+        Ok(self.registered.len() - 1)
     }
 
     /// Dispatch statistics so far.
     pub fn stats(&self) -> &SweepStats {
         &self.stats
+    }
+
+    /// Batch size of every dispatch cycle so far, in cycle order — the
+    /// raw series behind tail-utilization measurements (probes per
+    /// dispatch over the last N% of probes).
+    pub fn cycle_batches(&self) -> &[u32] {
+        &self.cycle_sizes
+    }
+
+    /// The in-flight budget currently in force (the AIMD controller's
+    /// value, or `max_in_flight` when fixed).
+    pub fn current_budget(&self) -> usize {
+        match self.config.adaptive {
+            Some(adaptive) => (self.budget.round() as usize)
+                .clamp(adaptive.min_in_flight, self.config.max_in_flight),
+            None => self.config.max_in_flight,
+        }
     }
 
     /// Consumes the engine, returning the transport.
@@ -256,113 +424,316 @@ impl<T: BatchTransport> SweepEngine<T> {
     /// Drives every registered session to completion, returning their
     /// traces in registration order.
     pub fn run(&mut self) -> Vec<Trace> {
-        let mut traces: Vec<Option<Trace>> = self.slots.iter().map(|_| None).collect();
+        let sessions = std::mem::take(&mut self.registered);
+        self.run_stream(sessions)
+    }
+
+    /// Streams sessions from `sessions` through the engine, returning
+    /// their traces in source order. Under [`Admission::Streaming`] the
+    /// source is pulled lazily as in-flight tokens free up, so arbitrary
+    /// destination-list lengths run in bounded memory (plus the returned
+    /// traces; use [`run_stream_with`](Self::run_stream_with) to stream
+    /// those out too).
+    pub fn run_stream<I>(&mut self, sessions: I) -> Vec<Trace>
+    where
+        I: IntoIterator<Item = Box<dyn TraceSession>>,
+    {
+        let mut out: Vec<Option<Trace>> = Vec::new();
+        self.run_stream_with(sessions, |index, trace| {
+            if out.len() <= index {
+                out.resize_with(index + 1, || None);
+            }
+            out[index] = Some(trace);
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    /// Streams sessions through the engine, handing each finished trace
+    /// to `sink` together with its index in the source stream. Traces
+    /// arrive in completion order; the index makes output assembly
+    /// independent of admission order.
+    pub fn run_stream_with<I, F>(&mut self, sessions: I, mut sink: F)
+    where
+        I: IntoIterator<Item = Box<dyn TraceSession>>,
+        F: FnMut(usize, Trace),
+    {
+        let mut iter = sessions.into_iter();
+        self.run_source(&mut iter, &mut sink);
+    }
+
+    /// The scheduler loop shared by every entry point.
+    fn run_source(
+        &mut self,
+        source: &mut dyn Iterator<Item = Box<dyn TraceSession>>,
+        sink: &mut dyn FnMut(usize, Trace),
+    ) {
+        let mut deferred: VecDeque<(usize, Box<dyn TraceSession>)> = VecDeque::new();
+        let mut next_out = 0usize;
+        let mut source_done = false;
 
         loop {
-            self.refill_rounds(&mut traces);
+            self.refill_rounds(sink);
+            self.admit_sessions(source, &mut deferred, &mut next_out, &mut source_done, sink);
             if !self.gather_packets() {
-                break;
+                if deferred.is_empty() {
+                    break;
+                }
+                // Unreachable in practice: a deferred session waits on a
+                // live destination, but nothing is live. The next
+                // admission pass will admit it; just loop.
+                debug_assert!(false, "deferred sessions with an empty live table");
+                continue;
             }
             self.transport.send_batch(&self.packets, &mut self.replies);
             self.stats.dispatch_cycles += 1;
             self.stats.probes_sent += self.packets.len() as u64;
             self.stats.max_batch = self.stats.max_batch.max(self.packets.len());
+            self.cycle_sizes.push(self.packets.len() as u32);
             self.demux_replies();
+            self.adapt_budget();
             self.resolve_waves();
         }
 
-        // Every slot is finished once no packets can be gathered; the
-        // fallback take_trace covers the (unreachable) partial case
-        // without panicking.
-        traces
-            .into_iter()
-            .zip(&mut self.slots)
-            .map(|(trace, slot)| trace.unwrap_or_else(|| slot.session.take_trace(slot.probes_sent)))
-            .collect()
+        // Defensive drain: a session that wedged in the empty-round path
+        // still reports a trace rather than vanishing.
+        while let Some(mut slot) = self.slots.pop() {
+            self.live_dests.remove(&u32::from(slot.destination));
+            self.stats.sessions_completed += 1;
+            sink(slot.out_index, slot.session.take_trace(slot.probes_sent));
+        }
+        self.stats.final_in_flight_budget = self.current_budget();
     }
 
-    /// Polls idle sessions for their next rounds, collecting traces of
-    /// sessions that finished.
-    fn refill_rounds(&mut self, traces: &mut [Option<Trace>]) {
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            if slot.finished || slot.active {
+    /// Polls idle sessions for their next rounds, emitting traces of
+    /// sessions that finished (their slots are removed immediately).
+    fn refill_rounds(&mut self, sink: &mut dyn FnMut(usize, Trace)) {
+        let mut i = 0;
+        while i < self.slots.len() {
+            if self.slots[i].active {
+                i += 1;
                 continue;
             }
-            match slot.session.poll() {
-                SessionState::Finished => {
-                    slot.finished = true;
-                    if let Some(out) = traces.get_mut(i) {
-                        *out = Some(slot.session.take_trace(slot.probes_sent));
-                    }
-                }
-                SessionState::Probing => {
-                    let specs = slot.session.next_rounds();
-                    if specs.is_empty() {
-                        // Defensive: a session must not yield an empty
-                        // round; feed it empty replies so it advances.
-                        debug_assert!(false, "session yielded an empty round");
-                        slot.session.on_replies(&[]);
-                        continue;
-                    }
-                    slot.round.clear();
-                    slot.round.extend_from_slice(specs);
-                    slot.results.clear();
-                    slot.results.resize(slot.round.len(), None);
-                    slot.wave.clear();
-                    slot.wave.extend(0..slot.round.len());
-                    slot.cursor = 0;
-                    slot.attempt = 0;
-                    slot.active = true;
-                }
+            match self.pump_slot(i, sink) {
+                Pumped::Finished => {} // swap_remove: revisit index i
+                Pumped::Armed | Pumped::Idle => i += 1,
             }
         }
     }
 
+    /// Advances one idle slot: emits its trace if finished (removing the
+    /// slot), or arms its next round.
+    fn pump_slot(&mut self, i: usize, sink: &mut dyn FnMut(usize, Trace)) -> Pumped {
+        let slot = &mut self.slots[i];
+        debug_assert!(!slot.active, "pump_slot on an active slot");
+        match slot.session.poll() {
+            SessionState::Finished => {
+                let trace = slot.session.take_trace(slot.probes_sent);
+                let out = slot.out_index;
+                self.live_dests.remove(&u32::from(slot.destination));
+                self.slots.swap_remove(i);
+                self.stats.sessions_completed += 1;
+                sink(out, trace);
+                Pumped::Finished
+            }
+            SessionState::Probing => {
+                let specs = slot.session.next_rounds();
+                if specs.is_empty() {
+                    // Defensive: a session must not yield an empty
+                    // round; feed it empty replies so it advances.
+                    debug_assert!(false, "session yielded an empty round");
+                    slot.session.on_replies(&[]);
+                    return Pumped::Idle;
+                }
+                slot.round.clear();
+                slot.round.extend_from_slice(specs);
+                slot.results.clear();
+                slot.results.resize(slot.round.len(), None);
+                slot.wave.clear();
+                slot.wave.extend(0..slot.round.len());
+                slot.cursor = 0;
+                slot.attempt = 0;
+                slot.active = true;
+                self.pending += slot.round.len();
+                Pumped::Armed
+            }
+        }
+    }
+
+    /// Pulls sessions from the stream into the live table. Streaming
+    /// admission stops once the pending backlog covers the budget (or
+    /// the session cap is reached); eager admission drains the source.
+    /// A session whose destination is already live is deferred until
+    /// that session finishes — its reply tags would be ambiguous.
+    fn admit_sessions(
+        &mut self,
+        source: &mut dyn Iterator<Item = Box<dyn TraceSession>>,
+        deferred: &mut VecDeque<(usize, Box<dyn TraceSession>)>,
+        next_out: &mut usize,
+        source_done: &mut bool,
+        sink: &mut dyn FnMut(usize, Trace),
+    ) {
+        loop {
+            if self.config.admission == Admission::Streaming
+                && self.pending >= self.current_budget()
+            {
+                return;
+            }
+            if self.slots.len() >= self.config.max_admitted {
+                return;
+            }
+            // Deferred sessions re-enter first (their destinations may
+            // have been freed by a finishing session), in arrival order.
+            let freed = deferred
+                .iter()
+                .position(|(_, s)| !self.live_dests.contains(&u32::from(s.destination())));
+            let (out, session) = match freed {
+                Some(pos) => deferred.remove(pos).expect("position just found"),
+                None if !*source_done => match source.next() {
+                    Some(session) => {
+                        let out = *next_out;
+                        *next_out += 1;
+                        if self.live_dests.contains(&u32::from(session.destination())) {
+                            self.stats.sessions_deferred += 1;
+                            deferred.push_back((out, session));
+                            continue;
+                        }
+                        (out, session)
+                    }
+                    None => {
+                        *source_done = true;
+                        return;
+                    }
+                },
+                None => return,
+            };
+            self.admit_one(out, session, sink);
+        }
+    }
+
+    /// Installs one session as a live slot and arms its first round (or
+    /// emits its trace immediately if it finishes without probing).
+    fn admit_one(
+        &mut self,
+        out_index: usize,
+        session: Box<dyn TraceSession>,
+        sink: &mut dyn FnMut(usize, Trace),
+    ) {
+        self.stats.sessions_admitted += 1;
+        let destination = session.destination();
+        self.live_dests.insert(u32::from(destination));
+        self.slots.push(SessionSlot {
+            session,
+            destination,
+            out_index,
+            sequence: 0,
+            probes_sent: 0,
+            round: Vec::new(),
+            results: Vec::new(),
+            wave: Vec::new(),
+            cursor: 0,
+            attempt: 0,
+            active: false,
+            allowance: self.config.max_in_flight,
+            dispatched_cycle: 0,
+            delivered_cycle: 0,
+        });
+        // Arm the first round now so the session joins this very cycle's
+        // batch — that is what keeps batches full at admission time.
+        let last = self.slots.len() - 1;
+        let _ = self.pump_slot(last, sink);
+    }
+
     /// Builds the cycle's cross-destination packet batch under the token
-    /// budget. Returns false when nothing is left to dispatch (all
-    /// sessions finished).
+    /// budget: a fair quota pass (budget split evenly across lanes with
+    /// pending probes) followed by a greedy pass for the leftovers, both
+    /// bounded by each lane's adaptive allowance. Returns false when
+    /// nothing is left to dispatch.
     fn gather_packets(&mut self) -> bool {
         self.packets.clear();
         self.dispatch.clear();
         self.demux.clear();
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            if !slot.active {
-                continue;
+        self.cycle_delivered = 0;
+        let budget = self.current_budget();
+        let adaptive = self.config.adaptive.is_some();
+
+        let mut lanes_pending = 0usize;
+        for slot in &mut self.slots {
+            slot.dispatched_cycle = 0;
+            slot.delivered_cycle = 0;
+            if slot.pending() > 0 {
+                lanes_pending += 1;
             }
-            while slot.cursor < slot.wave.len() && self.packets.len() < self.config.max_in_flight {
-                let spec_idx = slot.wave[slot.cursor];
-                slot.cursor += 1;
-                let Some(&spec) = slot.round.get(spec_idx) else {
-                    debug_assert!(false, "wave index out of round bounds");
-                    continue;
-                };
-                let sequence = slot.next_sequence();
-                let probe = ProbePacket {
-                    source: self.source,
-                    destination: slot.destination,
-                    flow: spec.flow,
-                    ttl: spec.ttl,
-                    sequence,
-                };
-                self.packets
-                    .push_with(|buf| build_udp_probe_into(&probe, buf));
-                if !self
-                    .demux
-                    .register(slot.destination, sequence, self.dispatch.len())
-                {
-                    // A 16-bit sequence collision inside one cycle: only
-                    // possible for absurdly large rounds. Count it and
-                    // let the probe resolve as lost.
-                    self.stats.mismatched_replies += 1;
+        }
+        if lanes_pending == 0 {
+            return false;
+        }
+
+        let quota = (budget / lanes_pending).max(1);
+        for pass in 0..2 {
+            for i in 0..self.slots.len() {
+                if self.packets.len() >= budget {
+                    break;
                 }
-                self.dispatch.push(DispatchEntry {
-                    session: i,
-                    spec: spec_idx,
-                });
-                slot.probes_sent += 1;
+                let slot = &self.slots[i];
+                if slot.pending() == 0 {
+                    continue;
+                }
+                let already = slot.dispatched_cycle as usize;
+                let lane_cap = if adaptive { slot.allowance } else { usize::MAX };
+                let pass_cap = if pass == 0 { quota } else { lane_cap };
+                let cap = lane_cap.min(pass_cap).saturating_sub(already);
+                if cap > 0 {
+                    self.dispatch_slot(i, cap, budget);
+                }
+            }
+            if self.packets.len() >= budget {
+                break;
             }
         }
         !self.packets.is_empty()
+    }
+
+    /// Encodes up to `cap` probes of slot `i`'s current wave into the
+    /// cycle batch (bounded by the global budget).
+    fn dispatch_slot(&mut self, i: usize, cap: usize, budget: usize) {
+        let source = self.source;
+        let slot = &mut self.slots[i];
+        let mut taken = 0usize;
+        while taken < cap && slot.cursor < slot.wave.len() && self.packets.len() < budget {
+            let spec_idx = slot.wave[slot.cursor];
+            slot.cursor += 1;
+            let Some(&spec) = slot.round.get(spec_idx) else {
+                debug_assert!(false, "wave index out of round bounds");
+                continue;
+            };
+            let sequence = slot.next_sequence();
+            let probe = ProbePacket {
+                source,
+                destination: slot.destination,
+                flow: spec.flow,
+                ttl: spec.ttl,
+                sequence,
+            };
+            self.packets
+                .push_with(|buf| build_udp_probe_into(&probe, buf));
+            if !self
+                .demux
+                .register(slot.destination, sequence, self.dispatch.len())
+            {
+                // A 16-bit sequence collision inside one cycle: only
+                // possible for absurdly large rounds. Count it and
+                // let the probe resolve as lost.
+                self.stats.mismatched_replies += 1;
+            }
+            self.dispatch.push(DispatchEntry {
+                session: i,
+                spec: spec_idx,
+            });
+            slot.probes_sent += 1;
+            slot.dispatched_cycle += 1;
+            taken += 1;
+            self.pending -= 1;
+        }
     }
 
     /// Routes every reply of the cycle back to its probe by quoted tags.
@@ -416,13 +787,69 @@ impl<T: BatchTransport> SweepEngine<T> {
             };
             if let Some(result) = slot.results.get_mut(spec_idx) {
                 *result = Some(obs);
+                slot.delivered_cycle += 1;
+                self.cycle_delivered += 1;
                 self.stats.replies_delivered += 1;
             }
         }
     }
 
+    /// Applies the AIMD rules to the global budget and the per-lane
+    /// allowances from the just-demultiplexed cycle.
+    fn adapt_budget(&mut self) {
+        let dispatched = self.packets.len();
+        if dispatched == 0 {
+            return;
+        }
+        let loss = 1.0 - self.cycle_delivered as f64 / dispatched as f64;
+        // Classify the cycle against the loss threshold — the default
+        // controller's threshold when the budget is fixed, so the
+        // clean/lossy counters mean the same thing in both modes.
+        let threshold = self.config.adaptive.map_or_else(
+            || AdaptiveBudget::default().loss_threshold,
+            |c| c.loss_threshold,
+        );
+        if loss > threshold {
+            self.stats.lossy_cycles += 1;
+        } else {
+            self.stats.clean_cycles += 1;
+        }
+        let Some(cfg) = self.config.adaptive else {
+            return;
+        };
+        if loss > cfg.loss_threshold {
+            let floor = cfg.min_in_flight as f64;
+            let next = (self.budget * cfg.backoff).max(floor);
+            if next < self.budget {
+                self.stats.budget_backoffs += 1;
+            }
+            self.budget = next;
+        } else {
+            self.budget = (self.budget + cfg.increase as f64).min(self.config.max_in_flight as f64);
+        }
+        let mut lane_backoffs = 0u64;
+        for slot in &mut self.slots {
+            let lane_sent = slot.dispatched_cycle as usize;
+            if lane_sent == 0 {
+                continue;
+            }
+            let lane_loss = 1.0 - slot.delivered_cycle as f64 / lane_sent as f64;
+            if lane_loss > cfg.loss_threshold {
+                slot.allowance = (slot.allowance / 2).max(1);
+                lane_backoffs += 1;
+            } else {
+                slot.allowance = slot
+                    .allowance
+                    .saturating_add(cfg.increase)
+                    .min(self.config.max_in_flight);
+            }
+        }
+        self.stats.lane_backoffs += lane_backoffs;
+    }
+
     /// Completes retry waves and hands finished rounds to their sessions.
     fn resolve_waves(&mut self) {
+        let mut repending = 0usize;
         for slot in &mut self.slots {
             if !slot.active || slot.cursor < slot.wave.len() {
                 continue; // wave still (partially) undispatched
@@ -440,10 +867,12 @@ impl<T: BatchTransport> SweepEngine<T> {
                 slot.active = false;
             } else {
                 slot.attempt += 1;
+                repending += still.len();
                 slot.wave = still;
                 slot.cursor = 0;
             }
         }
+        self.pending += repending;
     }
 }
 
@@ -520,6 +949,26 @@ mod tests {
         assert_eq!(err, EngineError::DuplicateDestination(d));
     }
 
+    /// A streamed source with a duplicate destination defers the second
+    /// session until the first finishes, instead of failing: both traces
+    /// come back, in source order.
+    #[test]
+    fn streamed_duplicate_destination_is_deferred() {
+        let topo = canonical::fig1_unmeshed();
+        let d = topo.destination();
+        let net = SimNetwork::new(topo, 5);
+        let mut engine = SweepEngine::new(net, SRC);
+        let sessions: Vec<Box<dyn TraceSession>> = vec![
+            Box::new(SingleFlowSession::new(d, TraceConfig::new(1), FlowId(1))),
+            Box::new(SingleFlowSession::new(d, TraceConfig::new(2), FlowId(2))),
+        ];
+        let traces = engine.run_stream(sessions);
+        assert_eq!(traces.len(), 2);
+        assert!(traces.iter().all(|t| t.reached_destination));
+        assert_eq!(engine.stats().sessions_deferred, 1);
+        assert_eq!(engine.stats().sessions_completed, 2);
+    }
+
     /// A single-session sweep over a plain SimNetwork is bit-identical to
     /// the blocking driver over an identically seeded network.
     #[test]
@@ -550,7 +999,7 @@ mod tests {
             let mut engine =
                 SweepEngine::new(SimNetwork::new(topo.clone(), 3), SRC).with_config(SweepConfig {
                     max_in_flight,
-                    retries: 0,
+                    ..SweepConfig::default()
                 });
             engine
                 .add_session(Box::new(MdaSession::new(d, TraceConfig::new(4))))
@@ -583,6 +1032,7 @@ mod tests {
         let mut engine = SweepEngine::new(lossy(), SRC).with_config(SweepConfig {
             max_in_flight: 1024,
             retries: 2,
+            ..SweepConfig::default()
         });
         engine
             .add_session(Box::new(SingleFlowSession::new(
@@ -599,5 +1049,82 @@ mod tests {
             crate::single_flow::trace_single_flow(&mut prober, &TraceConfig::new(1), FlowId(0));
         assert_eq!(trace.probes_sent, prober.probes_sent());
         assert_eq!(trace.discovery, blocking.discovery);
+    }
+
+    /// Streaming and eager admission produce identical per-destination
+    /// traces; streaming admits lazily (the live table stays bounded).
+    #[test]
+    fn streaming_matches_eager_admission() {
+        let lanes: Vec<mlpt_topo::MultipathTopology> = (0..12u32)
+            .map(|i| canonical::fig1_meshed().translated(0x0100_0000 * (i + 1)))
+            .collect();
+        let run = |admission: Admission| -> (Vec<Trace>, SweepStats) {
+            let nets: Vec<SimNetwork> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, t)| SimNetwork::new(t.clone(), 7 + i as u64))
+                .collect();
+            let net = mlpt_sim::MultiNetwork::new(nets).expect("unique destinations");
+            let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+                max_in_flight: 16,
+                admission,
+                ..SweepConfig::default()
+            });
+            let sessions: Vec<Box<dyn TraceSession>> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    Box::new(MdaSession::new(t.destination(), TraceConfig::new(i as u64)))
+                        as Box<dyn TraceSession>
+                })
+                .collect();
+            let traces = engine.run_stream(sessions);
+            (traces, *engine.stats())
+        };
+        let (eager, eager_stats) = run(Admission::Eager);
+        let (streaming, streaming_stats) = run(Admission::Streaming);
+        assert_eq!(eager, streaming);
+        assert_eq!(eager_stats.probes_sent, streaming_stats.probes_sent);
+        assert_eq!(eager_stats.sessions_admitted, 12);
+        assert_eq!(streaming_stats.sessions_admitted, 12);
+        // The tiny budget forces streaming to hold sessions back.
+        assert!(streaming_stats.max_batch <= 16);
+    }
+
+    /// The AIMD controller ramps down under loss and never changes what a
+    /// session observes (per-lane streams are independent of slicing).
+    #[test]
+    fn adaptive_budget_is_transparent_and_backs_off() {
+        use mlpt_sim::FaultPlan;
+        let topo = canonical::fig1_unmeshed();
+        let d = topo.destination();
+        let lossy = || {
+            SimNetwork::builder(topo.clone())
+                .faults(FaultPlan::with_loss(0.0, 0.3))
+                .seed(11)
+                .build()
+        };
+        let run = |adaptive: Option<AdaptiveBudget>| -> (Trace, SweepStats) {
+            let mut engine = SweepEngine::new(lossy(), SRC).with_config(SweepConfig {
+                max_in_flight: 64,
+                retries: 1,
+                adaptive,
+                ..SweepConfig::default()
+            });
+            engine
+                .add_session(Box::new(MdaSession::new(d, TraceConfig::new(3))))
+                .expect("unique destination");
+            let trace = engine.run().remove(0);
+            (trace, *engine.stats())
+        };
+        let (fixed, _) = run(None);
+        let (adaptive, stats) = run(Some(AdaptiveBudget {
+            min_in_flight: 2,
+            ..AdaptiveBudget::default()
+        }));
+        assert_eq!(fixed, adaptive, "budget adaptation must not change results");
+        assert!(stats.budget_backoffs > 0, "30% loss must trigger backoff");
+        assert!(stats.lossy_cycles > 0);
+        assert!(stats.final_in_flight_budget < 64);
     }
 }

@@ -61,7 +61,7 @@ pub mod trace;
 
 pub use config::TraceConfig;
 pub use discovery::{Discovery, FlowAllocator};
-pub use engine::{SweepConfig, SweepEngine, SweepStats};
+pub use engine::{AdaptiveBudget, Admission, EngineError, SweepConfig, SweepEngine, SweepStats};
 pub use mda::trace_mda;
 pub use mda_lite::trace_mda_lite;
 pub use prober::{DirectObservation, ProbeLog, ProbeObservation, Prober, TransportProber};
@@ -74,7 +74,7 @@ pub use trace::{Algorithm, SwitchReason, Trace};
 /// Convenient glob import for downstream users.
 pub mod prelude {
     pub use crate::config::TraceConfig;
-    pub use crate::engine::{SweepConfig, SweepEngine};
+    pub use crate::engine::{AdaptiveBudget, Admission, SweepConfig, SweepEngine};
     pub use crate::mda::trace_mda;
     pub use crate::mda_lite::trace_mda_lite;
     pub use crate::prober::{Prober, TransportProber};

@@ -62,6 +62,22 @@ impl FaultPlan {
         }
     }
 
+    /// The rate-limiting lane profile in router-datasheet terms: each
+    /// router answers at most `replies` probes per `window_ticks` of
+    /// virtual time (token bucket of capacity `replies` refilling at
+    /// `replies / window_ticks` tokens per tick). Bursts larger than the
+    /// window allowance are suppressed — the behaviour an adaptive
+    /// prober must detect and back off from (Viger et al.).
+    pub fn with_rate_limit_window(replies: u32, window_ticks: u64) -> Self {
+        assert!(replies > 0);
+        assert!(window_ticks > 0);
+        Self {
+            icmp_bucket_capacity: Some(replies),
+            icmp_tokens_per_tick: f64::from(replies) / window_ticks as f64,
+            ..Self::none()
+        }
+    }
+
     /// True if this plan can suppress packets at all.
     pub fn is_lossy(&self) -> bool {
         self.probe_loss > 0.0 || self.reply_loss > 0.0 || self.icmp_bucket_capacity.is_some()
@@ -189,6 +205,23 @@ mod tests {
         assert!(state.allow_icmp(&plan, 1, 1000));
         assert!(state.allow_icmp(&plan, 1, 1000));
         assert!(!state.allow_icmp(&plan, 1, 1000));
+    }
+
+    #[test]
+    fn rate_limit_window_profile() {
+        // 4 replies per 16-tick window: capacity 4, refill 0.25/tick.
+        let plan = FaultPlan::with_rate_limit_window(4, 16);
+        assert_eq!(plan.icmp_bucket_capacity, Some(4));
+        assert!((plan.icmp_tokens_per_tick - 0.25).abs() < 1e-12);
+        let mut state = FaultState::new();
+        // A burst of 4 at t=0 drains the bucket; the 5th is suppressed.
+        for _ in 0..4 {
+            assert!(state.allow_icmp(&plan, 1, 0));
+        }
+        assert!(!state.allow_icmp(&plan, 1, 0));
+        // A full window later the bucket has refilled completely.
+        assert!(state.allow_icmp(&plan, 1, 16));
+        assert!(state.allow_icmp(&plan, 1, 16));
     }
 
     #[test]

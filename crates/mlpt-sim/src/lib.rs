@@ -47,7 +47,7 @@ pub use balance::{BalanceMode, FlowHasher};
 pub use capture::CapturingTransport;
 pub use faults::FaultPlan;
 pub use multi::{MultiNetwork, MultiNetworkError};
-pub use network::{PacketTransport, SimNetwork, SimNetworkBuilder};
+pub use network::{PacketTransport, SimNetwork, SimNetworkBuilder, TrafficCounters};
 pub use router::{
     CounterBehavior, IpIdEngine, IpIdProfile, MplsProfile, ReplyClass, RouterProfile,
 };

@@ -61,6 +61,8 @@ pub struct MultiNetwork {
     /// shared by several lanes (e.g. a common core) routes to the first.
     interfaces: Vec<(u32, usize)>,
     workers: usize,
+    /// Virtual ticks every lane's clock advances after each `send_batch`.
+    cycle_gap: u64,
 }
 
 impl MultiNetwork {
@@ -91,6 +93,7 @@ impl MultiNetwork {
             dests,
             interfaces,
             workers: 1,
+            cycle_gap: 0,
         })
     }
 
@@ -99,6 +102,23 @@ impl MultiNetwork {
     /// replies are identical for any worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Advances every lane's virtual clock by `ticks` after each
+    /// `send_batch`, modelling the round-trip pause between a scheduler's
+    /// dispatch cycles. With a gap, per-router ICMP token buckets
+    /// ([`crate::FaultPlan::with_rate_limit_window`]) refill between
+    /// cycles, so *burst size per cycle* — not just total probe count —
+    /// determines how many replies a rate limiter suppresses. That is the
+    /// behaviour an adaptive in-flight budget exploits by backing off.
+    ///
+    /// The default gap of 0 keeps the pre-existing semantics: lane clocks
+    /// advance only on their own packets, so batching is invisible and
+    /// sweeps stay bit-identical to sequential traces even under
+    /// rate-limiting fault plans.
+    pub fn with_cycle_gap(mut self, ticks: u64) -> Self {
+        self.cycle_gap = ticks;
         self
     }
 
@@ -129,6 +149,16 @@ impl MultiNetwork {
             total.replies_lost += c.replies_lost;
         }
         total
+    }
+
+    /// Advances every lane's clock by the configured inter-cycle gap
+    /// (no-op at the default gap of 0).
+    fn apply_cycle_gap(&mut self) {
+        if self.cycle_gap > 0 {
+            for lane in &mut self.lanes {
+                lane.advance_clock(self.cycle_gap);
+            }
+        }
     }
 
     /// The lane a packet routes to, if any: UDP probes go to the lane
@@ -184,7 +214,11 @@ impl BatchTransport for MultiNetwork {
         replies.clear();
         let lane_of: Vec<Option<usize>> = probes.iter().map(|p| self.lane_for(p)).collect();
 
-        if self.workers <= 1 || self.lanes.len() <= 1 {
+        // Worker threads are spawned per crossing, so only engage them
+        // when the batch carries enough lane work to amortize the spawn
+        // (~64 probes per worker); small batches run the sequential path.
+        let parallel_worthwhile = probes.len() >= self.workers * 64;
+        if self.workers <= 1 || self.lanes.len() <= 1 || !parallel_worthwhile {
             for (slot, packet) in probes.iter().enumerate() {
                 match lane_of[slot] {
                     Some(l) => {
@@ -200,6 +234,7 @@ impl BatchTransport for MultiNetwork {
                     None => replies.push_with(0, |_| false),
                 }
             }
+            self.apply_cycle_gap();
             return;
         }
 
@@ -264,6 +299,7 @@ impl BatchTransport for MultiNetwork {
                 }
             }
         }
+        self.apply_cycle_gap();
     }
 }
 
@@ -410,7 +446,9 @@ mod tests {
             .map(|l| l.topology().destination())
             .collect();
         let mut batch = PacketBatch::new();
-        for round in 0..16u16 {
+        // Enough probes (> 3 workers x 64) that the parallel path is
+        // actually engaged, not bypassed by the amortization threshold.
+        for round in 0..64u16 {
             for (i, &dst) in dests.iter().enumerate() {
                 batch.push(&probe_bytes(
                     dst,
@@ -447,6 +485,55 @@ mod tests {
                 "slot {slot} timestamp"
             );
         }
+    }
+
+    /// With an inter-cycle gap, a rate-limited lane suppresses oversized
+    /// bursts but recovers between dispatch cycles — the signal an
+    /// adaptive budget backs off from. Without a gap, batch slicing is
+    /// invisible to the limiter (clocks only tick on own packets).
+    #[test]
+    fn cycle_gap_refills_rate_limited_lanes() {
+        use crate::faults::FaultPlan;
+        let topo = canonical::simplest_diamond().translated(0x0100_0000);
+        let d = topo.destination();
+        // Every reply comes from the same last-hop router at TTL 3; allow
+        // 2 replies per 8-tick window.
+        let build = || {
+            crate::SimNetwork::builder(topo.clone())
+                .faults(FaultPlan::with_rate_limit_window(2, 8))
+                .seed(1)
+                .build()
+        };
+        let batch_of = |n: u16| {
+            let mut batch = PacketBatch::new();
+            for i in 0..n {
+                batch.push(&probe_bytes(d, i, 3, i + 1));
+            }
+            batch
+        };
+
+        // One burst of 8 into a capacity-2 bucket: most suppressed.
+        let mut burst_net = MultiNetwork::new(vec![build()]).expect("unique");
+        let mut replies = ReplyBatch::new();
+        burst_net.send_batch(&batch_of(8), &mut replies);
+        let burst_suppressed = burst_net.counters().replies_rate_limited;
+        assert!(burst_suppressed >= 5, "suppressed {burst_suppressed}");
+
+        // The same 8 probes as 4 cycles of 2 with a full window between
+        // cycles: the bucket refills each time, nothing is suppressed.
+        let mut paced_net = MultiNetwork::new(vec![build()])
+            .expect("unique")
+            .with_cycle_gap(8);
+        for c in 0..4u16 {
+            let mut batch = PacketBatch::new();
+            for i in 0..2u16 {
+                let seq = c * 2 + i;
+                batch.push(&probe_bytes(d, seq, 3, seq + 1));
+            }
+            paced_net.send_batch(&batch, &mut replies);
+        }
+        assert_eq!(paced_net.counters().replies_rate_limited, 0);
+        assert_eq!(paced_net.counters().replies_sent, 8);
     }
 
     #[test]

@@ -7,10 +7,24 @@
 //! comparing the other algorithms. We calculate the ratio of vertices
 //! discovered, edges discovered, and packets sent."
 
-use crate::generator::SyntheticInternet;
+//! The five variant runs of every diamond-bearing scenario execute on
+//! the **concurrent sweep engine**: scenarios are chunked, each chunk
+//! shares one [`mlpt_sim::MultiNetwork`] per variant pass (a fresh
+//! same-seeded network per run, so every run sees the same network
+//! conditions, exactly as the legacy back-to-back loop did), and the
+//! chunk's sessions stream into one [`SweepEngine`] per pass. Because
+//! sweep traces are bit-identical to sequential ones and traces are
+//! reported under their stream index, the ratios are identical to the
+//! thread-per-scenario implementation — and independent of chunking,
+//! worker count and admission order. The legacy loop survives behind
+//! [`DispatchMode::PerProbe`] for A/B comparison.
+
+use crate::generator::{SyntheticInternet, TraceScenario};
 use crate::parallel::ordered_parallel_map;
 use mlpt_core::prelude::*;
 use mlpt_core::prober::DispatchMode;
+use mlpt_core::TraceSession;
+use mlpt_sim::MultiNetwork;
 use mlpt_stats::{EmpiricalCdf, RatioSummary};
 use serde::{Deserialize, Serialize};
 
@@ -80,8 +94,15 @@ pub struct EvaluationConfig {
     pub workers: usize,
     /// Seed for the tracing side.
     pub trace_seed: u64,
-    /// How probes cross the transport (batched by default).
+    /// How probes cross the transport. [`DispatchMode::Batched`] runs
+    /// the five variants on the sweep engine; [`DispatchMode::PerProbe`]
+    /// keeps the legacy thread-per-scenario loop for A/B comparison.
     pub dispatch: DispatchMode,
+    /// Scenarios per sweep chunk (each chunk shares one network per
+    /// variant pass and streams its sessions into one engine).
+    pub sweep_chunk: usize,
+    /// In-flight probe budget per sweep engine.
+    pub sweep_in_flight: usize,
 }
 
 impl Default for EvaluationConfig {
@@ -91,6 +112,8 @@ impl Default for EvaluationConfig {
             scenarios: 500,
             workers: crate::parallel::default_workers(),
             trace_seed: 0xE7A1,
+            sweep_chunk: 64,
+            sweep_in_flight: 256,
         }
     }
 }
@@ -168,6 +191,33 @@ fn ratio(a: u64, b: u64) -> f64 {
     }
 }
 
+/// A scenario's base seed: the *network* seed of all five of its runs
+/// ("same network conditions per run"). The single source of truth for
+/// both execution paths — the legacy/sweep bit-identity depends on them
+/// agreeing.
+fn scenario_base_seed(trace_seed: u64, id: usize) -> u64 {
+    trace_seed ^ (id as u64).wrapping_mul(0xD1B5_4A32)
+}
+
+/// The trace seed of one variant run of one scenario (shared by both
+/// execution paths so they are bit-identical).
+fn variant_seed(trace_seed: u64, id: usize, variant: usize) -> u64 {
+    scenario_base_seed(trace_seed, id).wrapping_add(1 + variant as u64)
+}
+
+/// The sans-IO session of one variant run (the sweep-engine analogue of
+/// the legacy `trace_mda`/`trace_mda_lite`/`trace_single_flow` calls).
+fn variant_session(scenario: &TraceScenario, seed: u64, variant: usize) -> Box<dyn TraceSession> {
+    let destination = scenario.topology.destination();
+    let cfg = TraceConfig::new(seed);
+    match variant {
+        0 | 1 => Box::new(MdaSession::new(destination, cfg)),
+        2 => Box::new(MdaLiteSession::new(destination, cfg.with_phi(2))),
+        3 => Box::new(MdaLiteSession::new(destination, cfg.with_phi(4))),
+        _ => Box::new(SingleFlowSession::new(destination, cfg, FlowId(0))),
+    }
+}
+
 /// Runs the five variants over every diamond-bearing scenario.
 pub fn evaluate_scenarios(
     internet: &SyntheticInternet,
@@ -177,34 +227,108 @@ pub fn evaluate_scenarios(
     /// scenario carried no diamond.
     type PerScenario = Option<(RunCounts, [RunCounts; 4])>;
 
-    let rows: Vec<PerScenario> = ordered_parallel_map(config.scenarios, config.workers, |id| {
-        let scenario = internet.scenario(id);
-        if !scenario.has_diamond {
-            return None;
-        }
-        let base_seed = config.trace_seed ^ (id as u64).wrapping_mul(0xD1B5_4A32);
-        let run = |variant: usize| -> Trace {
-            // Each run sees the same network conditions (same network
-            // seed) but uses its own flow randomness, like back-to-back
-            // runs on a stable network.
-            let mut prober = scenario.build_prober(base_seed, config.dispatch);
-            let cfg = TraceConfig::new(base_seed.wrapping_add(1 + variant as u64));
-            match variant {
-                0 | 1 => trace_mda(&mut prober, &cfg),
-                2 => trace_mda_lite(&mut prober, &cfg.with_phi(2)),
-                3 => trace_mda_lite(&mut prober, &cfg.with_phi(4)),
-                _ => trace_single_flow(&mut prober, &cfg, FlowId(0)),
+    let rows: Vec<PerScenario> = if config.dispatch == DispatchMode::PerProbe {
+        // Legacy comparison path: one full trace (and one simulator) per
+        // run, thread-per-scenario concurrency.
+        ordered_parallel_map(config.scenarios, config.workers, |id| {
+            let scenario = internet.scenario(id);
+            if !scenario.has_diamond {
+                return None;
             }
-        };
-        let first = counts(&run(0));
-        let variants = [
-            counts(&run(1)),
-            counts(&run(2)),
-            counts(&run(3)),
-            counts(&run(4)),
-        ];
-        Some((first, variants))
-    });
+            let base_seed = scenario_base_seed(config.trace_seed, id);
+            let run = |variant: usize| -> Trace {
+                // Each run sees the same network conditions (same network
+                // seed) but uses its own flow randomness, like
+                // back-to-back runs on a stable network.
+                let mut prober = scenario.build_prober(base_seed, config.dispatch);
+                let cfg = TraceConfig::new(variant_seed(config.trace_seed, id, variant));
+                match variant {
+                    0 | 1 => trace_mda(&mut prober, &cfg),
+                    2 => trace_mda_lite(&mut prober, &cfg.with_phi(2)),
+                    3 => trace_mda_lite(&mut prober, &cfg.with_phi(4)),
+                    _ => trace_single_flow(&mut prober, &cfg, FlowId(0)),
+                }
+            };
+            let first = counts(&run(0));
+            let variants = [
+                counts(&run(1)),
+                counts(&run(2)),
+                counts(&run(3)),
+                counts(&run(4)),
+            ];
+            Some((first, variants))
+        })
+    } else {
+        // Sweep path: worker threads scale across scenario chunks; inside
+        // a chunk the five variants run as five streamed sweeps, each
+        // over a fresh same-seeded network per scenario (same conditions
+        // per run, as the legacy loop). Traces land under their stream
+        // index, so rows are in scenario order no matter how admission
+        // interleaves or which worker claims the chunk.
+        // Cap the chunk size so there are at least `workers` chunks
+        // (chunks are the unit of thread parallelism; chunking is pure
+        // scheduling, so this never changes the outcome).
+        let chunk_size = config
+            .sweep_chunk
+            .max(1)
+            .min(config.scenarios.div_ceil(config.workers.max(1)).max(1));
+        let chunks = config.scenarios.div_ceil(chunk_size);
+        let nested: Vec<Vec<PerScenario>> = ordered_parallel_map(chunks, config.workers, |c| {
+            let ids: Vec<usize> =
+                (c * chunk_size..((c + 1) * chunk_size).min(config.scenarios)).collect();
+            let scenarios: Vec<TraceScenario> =
+                ids.iter().map(|&id| internet.scenario(id)).collect();
+            let kept: Vec<&TraceScenario> = scenarios.iter().filter(|s| s.has_diamond).collect();
+            // counts_of[variant][kept index]
+            let mut counts_of: Vec<Vec<Option<RunCounts>>> = vec![vec![None; kept.len()]; 5];
+            if !kept.is_empty() {
+                let source = kept[0].source;
+                assert!(
+                    kept.iter().all(|s| s.source == source),
+                    "sweep chunks assume a single vantage point"
+                );
+                for (variant, slot) in counts_of.iter_mut().enumerate() {
+                    let lanes: Vec<mlpt_sim::SimNetwork> = kept
+                        .iter()
+                        .map(|s| {
+                            // Network seed: the run's base seed, as
+                            // build_prober used — same conditions for
+                            // all five runs of a scenario.
+                            s.build_network(scenario_base_seed(config.trace_seed, s.id))
+                        })
+                        .collect();
+                    let net = MultiNetwork::new(lanes)
+                        .expect("synthetic-Internet destinations are scenario-unique");
+                    let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+                        max_in_flight: config.sweep_in_flight.max(1),
+                        admission: Admission::Streaming,
+                        ..SweepConfig::default()
+                    });
+                    let sessions = kept.iter().map(|s| {
+                        variant_session(s, variant_seed(config.trace_seed, s.id, variant), variant)
+                    });
+                    engine.run_stream_with(sessions, |index, trace| {
+                        slot[index] = Some(counts(&trace));
+                    });
+                }
+            }
+            // Re-align the kept rows with the chunk's full id range.
+            let mut kept_iter = 0usize;
+            scenarios
+                .iter()
+                .map(|s| {
+                    if !s.has_diamond {
+                        return None;
+                    }
+                    let k = kept_iter;
+                    kept_iter += 1;
+                    let take = |v: usize| counts_of[v][k].expect("variant run completed");
+                    Some((take(0), [take(1), take(2), take(3), take(4)]))
+                })
+                .collect()
+        });
+        nested.into_iter().flatten().collect()
+    };
 
     let mut ratios: Vec<Vec<TraceRatios>> = vec![Vec::new(); 4];
     let mut aggregates: Vec<(RatioSummary, RatioSummary, RatioSummary)> =
@@ -253,6 +377,61 @@ mod tests {
             ..EvaluationConfig::default()
         };
         evaluate_scenarios(&internet, &config)
+    }
+
+    fn outcomes_equal(a: &EvaluationOutcome, b: &EvaluationOutcome) {
+        assert_eq!(a.measured_traces, b.measured_traces);
+        assert_eq!(a.ratios, b.ratios);
+        assert_eq!(a.aggregates, b.aggregates);
+    }
+
+    /// The sweep-engine path reproduces the legacy thread-per-scenario
+    /// loop exactly: same per-run traces, so same ratios, bit for bit.
+    #[test]
+    fn sweep_and_legacy_paths_agree() {
+        let internet = SyntheticInternet::new(InternetConfig::with_seed(21));
+        let base = EvaluationConfig {
+            scenarios: 30,
+            workers: 2,
+            trace_seed: 11,
+            dispatch: DispatchMode::Batched,
+            sweep_chunk: 7, // deliberately uneven chunks
+            sweep_in_flight: 32,
+        };
+        let sweep = evaluate_scenarios(&internet, &base);
+        let legacy = evaluate_scenarios(
+            &internet,
+            &EvaluationConfig {
+                dispatch: DispatchMode::PerProbe,
+                ..base
+            },
+        );
+        outcomes_equal(&sweep, &legacy);
+    }
+
+    /// Regression for the ordering audit: scenario/variant output order
+    /// is pinned by stream indices, so the outcome is identical however
+    /// admission interleaves — across worker counts, chunk sizes and
+    /// in-flight budgets.
+    #[test]
+    fn outcome_independent_of_admission_order() {
+        let internet = SyntheticInternet::new(InternetConfig::with_seed(23));
+        let run = |workers: usize, sweep_chunk: usize, sweep_in_flight: usize| {
+            evaluate_scenarios(
+                &internet,
+                &EvaluationConfig {
+                    scenarios: 24,
+                    workers,
+                    trace_seed: 3,
+                    dispatch: DispatchMode::Batched,
+                    sweep_chunk,
+                    sweep_in_flight,
+                },
+            )
+        };
+        let a = run(1, 24, 8); // one chunk, tight budget: heavy streaming
+        let b = run(4, 5, 512); // many chunks, everything admitted at once
+        outcomes_equal(&a, &b);
     }
 
     #[test]

@@ -6,13 +6,17 @@
 //! plus the Fig. 2 meshing-detection-failure analysis.
 //!
 //! Scenarios are traced by the **concurrent sweep engine**: destinations
-//! are grouped into batches of [`IpSurveyConfig::sweep_batch`], each
-//! batch shares one [`mlpt_sim::MultiNetwork`] whose lanes are the
-//! per-scenario simulators, and one [`mlpt_core::SweepEngine`] interleaves
-//! the batch's [`MdaSession`]s over it. Worker threads scale across
-//! *networks* (batches), not across individual traces. Because sweeps are
-//! bit-identical to sequential tracing (per-lane RNG streams, tag-based
-//! reply demux), the survey's numbers are unchanged from the
+//! are grouped into chunks of [`IpSurveyConfig::sweep_batch`], each
+//! chunk shares one [`mlpt_sim::MultiNetwork`] whose lanes are the
+//! per-scenario simulators, and one [`mlpt_core::SweepEngine`] *streams*
+//! the chunk's [`MdaSession`]s over it: sessions are admitted as
+//! in-flight tokens free up rather than entering a fixed table up front,
+//! so cross-destination batches stay full until the chunk's destination
+//! list runs dry instead of collapsing into a tail of tiny dispatches.
+//! Worker threads scale across *networks* (chunks), not across
+//! individual traces. Because sweeps are bit-identical to sequential
+//! tracing (per-lane RNG streams, tag-based reply demux, admission-order
+//! independence), the survey's numbers are unchanged from the
 //! thread-per-scenario implementation it replaces; the legacy per-trace
 //! loop survives behind [`DispatchMode::PerProbe`] for A/B comparison.
 
@@ -21,7 +25,7 @@ use crate::generator::SyntheticInternet;
 use crate::parallel::ordered_parallel_map;
 use mlpt_core::prelude::*;
 use mlpt_core::prober::DispatchMode;
-use mlpt_core::MdaSession;
+use mlpt_core::{MdaSession, TraceSession};
 use mlpt_sim::MultiNetwork;
 use mlpt_stats::{EmpiricalCdf, Histogram, JointHistogram};
 use mlpt_topo::diamond::{all_diamond_metrics, find_diamonds, meshing_miss_probability};
@@ -40,9 +44,14 @@ pub struct IpSurveyConfig {
     pub phi: u32,
     /// How probes cross the transport (batched by default).
     pub dispatch: DispatchMode,
-    /// Destinations kept in flight per shared network by the sweep
-    /// engine (ignored on the legacy [`DispatchMode::PerProbe`] path).
+    /// Destinations sharing one simulated network per worker chunk; the
+    /// chunk's sessions *stream* into the sweep engine under the
+    /// in-flight budget (ignored on the legacy
+    /// [`DispatchMode::PerProbe`] path).
     pub sweep_batch: usize,
+    /// In-flight probe budget per sweep engine (the streaming-admission
+    /// headroom).
+    pub sweep_in_flight: usize,
 }
 
 impl Default for IpSurveyConfig {
@@ -53,7 +62,8 @@ impl Default for IpSurveyConfig {
             trace_seed: 0xA11A,
             phi: 2,
             dispatch: DispatchMode::Batched,
-            sweep_batch: 32,
+            sweep_batch: 128,
+            sweep_in_flight: 256,
         }
     }
 }
@@ -225,15 +235,28 @@ pub fn run_ip_survey(internet: &SyntheticInternet, config: &IpSurveyConfig) -> I
             analyse(&trace, config.phi)
         })
     } else {
-        // Sweep path: each batch of destinations shares one MultiNetwork
-        // (one lane per scenario) driven by the concurrent engine; worker
-        // threads scale across batches, i.e. across networks. Per-lane
-        // determinism makes the traces bit-identical to the legacy loop.
-        let batch_size = config.sweep_batch.max(1);
-        let batches = config.scenarios.div_ceil(batch_size);
-        let nested: Vec<Vec<PerTrace>> = ordered_parallel_map(batches, config.workers, |b| {
+        // Sweep path: each chunk of destinations shares one MultiNetwork
+        // (one lane per scenario); the chunk's sessions stream into the
+        // concurrent engine, which admits them as in-flight tokens free
+        // up — no fixed per-batch session table, so dispatch batches
+        // stay full until the chunk's destination list is exhausted.
+        // Worker threads scale across chunks, i.e. across networks.
+        // Per-lane determinism makes the traces bit-identical to the
+        // legacy loop, and admission-order independence makes the
+        // output independent of scheduling.
+        // Cap the chunk size so there are at least `workers` chunks:
+        // chunks are the unit of thread parallelism, and chunking is
+        // pure scheduling (the report is identical however the sweep is
+        // sliced — see the regression test), so shrinking chunks to
+        // keep every worker busy is always safe.
+        let chunk_size = config
+            .sweep_batch
+            .max(1)
+            .min(config.scenarios.div_ceil(config.workers.max(1)).max(1));
+        let chunks = config.scenarios.div_ceil(chunk_size);
+        let nested: Vec<Vec<PerTrace>> = ordered_parallel_map(chunks, config.workers, |b| {
             let ids: Vec<usize> =
-                (b * batch_size..((b + 1) * batch_size).min(config.scenarios)).collect();
+                (b * chunk_size..((b + 1) * chunk_size).min(config.scenarios)).collect();
             // One generator pass per scenario: the lane, destination and
             // source all come from the same materialisation.
             let scenarios: Vec<_> = ids.iter().map(|&id| internet.scenario(id)).collect();
@@ -245,25 +268,31 @@ pub fn run_ip_survey(internet: &SyntheticInternet, config: &IpSurveyConfig) -> I
                 .expect("synthetic-Internet destinations are scenario-unique");
             // The engine probes every lane from one vantage point; the
             // generator pins a single source today, so assert that holds
-            // rather than silently mis-sourcing a batch if it changes.
+            // rather than silently mis-sourcing a chunk if it changes.
             let source = scenarios[0].source;
             assert!(
                 scenarios.iter().all(|s| s.source == source),
-                "sweep batches assume a single vantage point"
+                "sweep chunks assume a single vantage point"
             );
-            let mut engine = SweepEngine::new(net, source);
-            for scenario in &scenarios {
-                engine
-                    .add_session(Box::new(MdaSession::new(
-                        scenario.topology.destination(),
-                        TraceConfig::new(trace_seed_of(scenario.id)),
-                    )))
-                    .expect("destinations are unique within a batch");
-            }
-            engine
-                .run()
-                .iter()
-                .map(|trace| analyse(trace, config.phi))
+            let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+                max_in_flight: config.sweep_in_flight.max(1),
+                admission: Admission::Streaming,
+                ..SweepConfig::default()
+            });
+            let sessions = scenarios.iter().map(|scenario| {
+                Box::new(MdaSession::new(
+                    scenario.topology.destination(),
+                    TraceConfig::new(trace_seed_of(scenario.id)),
+                )) as Box<dyn TraceSession>
+            });
+            // Analyse each trace as it completes; indices pin results to
+            // stream order, independent of completion order.
+            let mut per: Vec<Option<PerTrace>> = (0..scenarios.len()).map(|_| None).collect();
+            engine.run_stream_with(sessions, |index, trace| {
+                per[index] = Some(analyse(&trace, config.phi));
+            });
+            per.into_iter()
+                .map(|p| p.expect("every streamed session reports a trace"))
                 .collect()
         });
         nested.into_iter().flatten().collect()
@@ -322,6 +351,7 @@ mod tests {
             phi: 2,
             dispatch: DispatchMode::Batched,
             sweep_batch: 16,
+            sweep_in_flight: 64,
         };
         run_ip_survey(&internet, &config)
     }
@@ -337,7 +367,8 @@ mod tests {
             trace_seed: 5,
             phi: 2,
             dispatch: DispatchMode::Batched,
-            sweep_batch: 7, // deliberately uneven batches
+            sweep_batch: 7,      // deliberately uneven chunks
+            sweep_in_flight: 24, // small enough that admission actually streams
         };
         let sweep = run_ip_survey(&internet, &base);
         let legacy = run_ip_survey(
@@ -354,6 +385,35 @@ mod tests {
             legacy.diamonds.measured_count()
         );
         assert_eq!(sweep.meshing_miss_measured, legacy.meshing_miss_measured);
+    }
+
+    /// Chunking, worker counts and the streaming-admission budget are
+    /// pure scheduling: the report is identical however the sweep is
+    /// sliced.
+    #[test]
+    fn report_independent_of_chunking_and_budget() {
+        let internet = SyntheticInternet::new(InternetConfig::with_seed(13));
+        let run = |sweep_batch: usize, sweep_in_flight: usize, workers: usize| {
+            run_ip_survey(
+                &internet,
+                &IpSurveyConfig {
+                    scenarios: 30,
+                    workers,
+                    trace_seed: 9,
+                    phi: 2,
+                    dispatch: DispatchMode::Batched,
+                    sweep_batch,
+                    sweep_in_flight,
+                },
+            )
+        };
+        let a = run(30, 8, 1); // one chunk, tight budget: heavy streaming
+        let b = run(5, 512, 4); // many chunks, budget admits whole chunks
+        assert_eq!(a.exploitable, b.exploitable);
+        assert_eq!(a.load_balanced, b.load_balanced);
+        assert_eq!(a.diamonds.measured_count(), b.diamonds.measured_count());
+        assert_eq!(a.meshing_miss_measured, b.meshing_miss_measured);
+        assert_eq!(a.meshing_miss_distinct, b.meshing_miss_distinct);
     }
 
     #[test]

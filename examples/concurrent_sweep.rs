@@ -7,9 +7,10 @@
 //! 2. wrap the lanes in a [`MultiNetwork`] — one shared transport that
 //!    routes probes by destination while keeping per-lane RNG streams and
 //!    clocks deterministic;
-//! 3. register one sans-IO [`TraceSession`] per destination with the
-//!    [`SweepEngine`], which merges every session's probe rounds into
-//!    large cross-destination batches;
+//! 3. stream one sans-IO [`TraceSession`] per destination into the
+//!    [`SweepEngine`], which admits sessions as in-flight tokens free up
+//!    and merges every live session's probe rounds into large
+//!    cross-destination batches;
 //! 4. run the sweep, then verify the headline invariant: every trace is
 //!    **bit-identical** to running the same destination sequentially on
 //!    its own simulator.
@@ -34,23 +35,22 @@ fn main() {
     let net = MultiNetwork::new(lanes).expect("scenario destinations are unique");
     let source = internet.scenario(0).source;
 
-    // 3. One MDA session per destination, all interleaved by the engine.
+    // 3. One MDA session per destination, streamed into the engine: new
+    //    sessions are admitted as the in-flight budget frees up, so the
+    //    cross-destination batches stay full until the list runs dry.
     let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
-        max_in_flight: 512,
-        retries: 0,
+        max_in_flight: 64,
+        admission: Admission::Streaming,
+        ..SweepConfig::default()
     });
-    for id in 0..destinations {
+    let sessions = (0..destinations).map(|id| {
         let destination = internet.scenario(id).topology.destination();
-        engine
-            .add_session(Box::new(MdaSession::new(
-                destination,
-                TraceConfig::new(seed_of(id)),
-            )))
-            .expect("unique destination");
-    }
+        Box::new(MdaSession::new(destination, TraceConfig::new(seed_of(id))))
+            as Box<dyn TraceSession>
+    });
 
     // 4. Run the sweep.
-    let traces = engine.run();
+    let traces = engine.run_stream(sessions);
     let stats = *engine.stats();
 
     println!("swept {destinations} destinations concurrently:");

@@ -58,13 +58,29 @@ commands:
                --json            emit a machine-readable trace report
                --pcap FILE       write all probe/reply packets as pcap
                --draw            append an ASCII sketch of the topology
-  sweep        trace many destinations concurrently over one transport
+  sweep        trace many destinations concurrently over one transport;
+               destinations stream into the engine as in-flight tokens
+               free up, so batches stay full to the end of the list
                --topology NAME   canonical topology replicated per
                                  destination in disjoint address blocks
                --destinations N  concurrent destinations (default 8)
+               --stdin           read the destination list from stdin
+                                 instead: one canonical topology name per
+                                 line (blank lines and # comments skipped)
                --algo ALGO       mda | lite (default) | single
-               --budget P        max probes in flight per dispatch (default 1024)
+               --max-in-flight P max probes in flight per dispatch
+                                 (default 1024; --budget is an alias)
+               --adaptive-budget AIMD budget controller: ramps up while
+                                 replies are clean, multiplicatively backs
+                                 off on loss/rate-limiting, per-lane fair
+               --admission MODE  streaming (default) | eager (fixed table)
                --workers W       simulator worker threads (default 1)
+               --cycle-gap T     virtual ticks between dispatch cycles
+                                 (lets rate-limited routers refill;
+                                 default 0)
+               --loss P          inject reply loss probability
+               --rate-limit N/W  ICMP rate limit: N replies per W ticks
+                                 per router
                --seed S          base seed (default 1)
                --json            emit a machine-readable sweep report
   multilevel   MDA-Lite trace + in-trace alias resolution (router view)
@@ -85,6 +101,11 @@ struct Options {
     rounds: u32,
     destinations: usize,
     budget: usize,
+    adaptive: bool,
+    admission: Admission,
+    stdin_list: bool,
+    cycle_gap: u64,
+    rate_limit: Option<(u32, u64)>,
     workers: usize,
     json: bool,
     pcap: Option<String>,
@@ -103,6 +124,11 @@ fn parse_options(args: &[String]) -> Options {
         rounds: 10,
         destinations: 8,
         budget: 1024,
+        adaptive: false,
+        admission: Admission::Streaming,
+        stdin_list: false,
+        cycle_gap: 0,
+        rate_limit: None,
         workers: 1,
         json: false,
         pcap: None,
@@ -131,7 +157,41 @@ fn parse_options(args: &[String]) -> Options {
             "--loss" => opts.loss = need(i).parse().unwrap_or(0.0),
             "--rounds" => opts.rounds = need(i).parse().unwrap_or(10),
             "--destinations" => opts.destinations = need(i).parse().unwrap_or(8),
-            "--budget" => opts.budget = need(i).parse().unwrap_or(1024),
+            "--budget" | "--max-in-flight" => opts.budget = need(i).parse().unwrap_or(1024),
+            "--admission" => {
+                opts.admission = match need(i).as_str() {
+                    "streaming" => Admission::Streaming,
+                    "eager" => Admission::Eager,
+                    other => {
+                        eprintln!("unknown admission mode {other} (streaming|eager)");
+                        exit(2);
+                    }
+                }
+            }
+            "--cycle-gap" => opts.cycle_gap = need(i).parse().unwrap_or(0),
+            "--rate-limit" => {
+                let spec = need(i);
+                let parsed = spec
+                    .split_once('/')
+                    .and_then(|(n, w)| Some((n.parse::<u32>().ok()?, w.parse::<u64>().ok()?)));
+                match parsed {
+                    Some((n, w)) if n > 0 && w > 0 => opts.rate_limit = Some((n, w)),
+                    _ => {
+                        eprintln!("--rate-limit needs N/W (replies per window ticks)");
+                        exit(2);
+                    }
+                }
+            }
+            "--adaptive-budget" => {
+                opts.adaptive = true;
+                i += 1;
+                continue;
+            }
+            "--stdin" => {
+                opts.stdin_list = true;
+                i += 1;
+                continue;
+            }
             "--workers" => opts.workers = need(i).parse().unwrap_or(1),
             "--json" => {
                 opts.json = true;
@@ -321,47 +381,76 @@ fn cmd_trace(args: &[String]) {
     );
 }
 
-/// Traces many destinations concurrently: one canonical topology
-/// replicated into disjoint address blocks (one lane per destination in a
-/// shared simulator), driven by the sweep engine over a single transport.
+/// Traces many destinations concurrently: canonical topologies replicated
+/// into disjoint address blocks (one lane per destination in a shared
+/// simulator), their sessions *streamed* into the sweep engine over a
+/// single transport — new destinations are admitted as in-flight tokens
+/// free up, so batches stay full from the first probe to the last.
 fn cmd_sweep(args: &[String]) {
     let opts = parse_options(args);
-    if opts.destinations == 0 {
-        eprintln!("--destinations must be at least 1");
+    // The destination list: one canonical-topology name per lane, either
+    // streamed in on stdin (one per line) or --topology replicated
+    // --destinations times.
+    let names: Vec<String> = if opts.stdin_list {
+        use std::io::BufRead;
+        std::io::stdin()
+            .lock()
+            .lines()
+            .map_while(Result::ok)
+            .map(|l| l.trim().to_string())
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect()
+    } else {
+        let name = opts.topology.clone().unwrap_or("fig1-unmeshed".into());
+        vec![name; opts.destinations]
+    };
+    if names.is_empty() {
+        eprintln!("destination list is empty (--destinations must be at least 1)");
         exit(2);
     }
-    if opts.destinations > 200 {
-        eprintln!("--destinations is capped at 200 (address-block replication)");
+    if names.len() > 200 {
+        eprintln!("destination list is capped at 200 (address-block replication)");
         exit(2);
     }
     let source: Ipv4Addr = "192.0.2.1".parse().expect("static");
-    let name = opts.topology.as_deref().unwrap_or("fig1-unmeshed");
-    let base = canonical_topology(name);
     let config = TraceConfig::new(opts.seed)
         .with_stopping(stopping_points(&opts.stopping))
         .with_phi(opts.phi);
+    let faults = {
+        let mut plan = if opts.loss > 0.0 {
+            FaultPlan::with_loss(0.0, opts.loss)
+        } else {
+            FaultPlan::none()
+        };
+        if let Some((replies, window)) = opts.rate_limit {
+            let window_plan = FaultPlan::with_rate_limit_window(replies, window);
+            plan.icmp_bucket_capacity = window_plan.icmp_bucket_capacity;
+            plan.icmp_tokens_per_tick = window_plan.icmp_tokens_per_tick;
+        }
+        plan
+    };
 
     // One lane per destination: the topology shifted into its own /8-ish
     // block, simulated with its own seed, clock and RNG streams.
-    let topologies: Vec<mlpt::topo::MultipathTopology> = (0..opts.destinations)
-        .map(|i| base.translated(0x0100_0000 * (i as u32 + 1)))
+    let topologies: Vec<mlpt::topo::MultipathTopology> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| canonical_topology(name).translated(0x0100_0000 * (i as u32 + 1)))
         .collect();
     let lanes: Vec<SimNetwork> = topologies
         .iter()
         .enumerate()
         .map(|(i, topo)| {
             SimNetwork::builder(topo.clone())
-                .faults(if opts.loss > 0.0 {
-                    FaultPlan::with_loss(0.0, opts.loss)
-                } else {
-                    FaultPlan::none()
-                })
+                .faults(faults)
                 .seed(opts.seed.wrapping_add(i as u64))
                 .build()
         })
         .collect();
     let net = match mlpt::sim::MultiNetwork::new(lanes) {
-        Ok(net) => net.with_workers(opts.workers),
+        Ok(net) => net
+            .with_workers(opts.workers)
+            .with_cycle_gap(opts.cycle_gap),
         Err(e) => {
             eprintln!("failed to assemble sweep network: {e}");
             exit(2);
@@ -370,34 +459,35 @@ fn cmd_sweep(args: &[String]) {
 
     let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
         max_in_flight: opts.budget,
-        retries: 0,
+        admission: opts.admission,
+        adaptive: opts.adaptive.then(AdaptiveBudget::default),
+        ..SweepConfig::default()
     });
-    for (i, topo) in topologies.iter().enumerate() {
+    let algo = opts.algo.clone();
+    if !matches!(algo.as_str(), "mda" | "lite" | "single") {
+        eprintln!("unknown algorithm {algo} (mda|lite|single)");
+        exit(2);
+    }
+    let sessions = topologies.iter().enumerate().map(|(i, topo)| {
         let destination = topo.destination();
         let session_config = TraceConfig {
             seed: opts.seed.wrapping_add(i as u64),
             ..config.clone()
         };
-        let session: Box<dyn TraceSession> = match opts.algo.as_str() {
-            "mda" => Box::new(MdaSession::new(destination, session_config)),
+        match algo.as_str() {
+            "mda" => {
+                Box::new(MdaSession::new(destination, session_config)) as Box<dyn TraceSession>
+            }
             "lite" => Box::new(MdaLiteSession::new(destination, session_config)),
-            "single" => Box::new(SingleFlowSession::new(
+            _ => Box::new(SingleFlowSession::new(
                 destination,
                 session_config,
                 FlowId(opts.seed as u16),
             )),
-            other => {
-                eprintln!("unknown algorithm {other} (mda|lite|single)");
-                exit(2);
-            }
-        };
-        if let Err(e) = engine.add_session(session) {
-            eprintln!("failed to register destination: {e}");
-            exit(2);
         }
-    }
+    });
 
-    let traces = engine.run();
+    let traces = engine.run_stream(sessions);
     let stats = *engine.stats();
 
     if opts.json {
@@ -415,8 +505,14 @@ fn cmd_sweep(args: &[String]) {
             })
             .collect();
         let report = serde_json::json!({
-            "topology": name,
+            "topologies": names,
             "algo": opts.algo,
+            "admission": match opts.admission {
+                Admission::Streaming => "streaming",
+                Admission::Eager => "eager",
+            },
+            "adaptive_budget": opts.adaptive,
+            "max_in_flight": opts.budget,
             "destinations": destinations,
             "stats": {
                 "dispatch_cycles": stats.dispatch_cycles,
@@ -426,6 +522,14 @@ fn cmd_sweep(args: &[String]) {
                 "mismatched_replies": stats.mismatched_replies,
                 "max_batch": stats.max_batch,
                 "probes_per_dispatch": stats.probes_per_dispatch(),
+                "sessions_admitted": stats.sessions_admitted,
+                "sessions_completed": stats.sessions_completed,
+                "sessions_deferred": stats.sessions_deferred,
+                "clean_cycles": stats.clean_cycles,
+                "lossy_cycles": stats.lossy_cycles,
+                "budget_backoffs": stats.budget_backoffs,
+                "lane_backoffs": stats.lane_backoffs,
+                "final_in_flight_budget": stats.final_in_flight_budget,
             },
         });
         println!(
@@ -436,8 +540,24 @@ fn cmd_sweep(args: &[String]) {
     }
 
     println!(
-        "mlpt sweep: {} × {name}, algo {}, base seed {}",
-        opts.destinations, opts.algo, opts.seed
+        "mlpt sweep: {} destinations ({}), algo {}, base seed {}, {} admission{}",
+        names.len(),
+        if names.iter().all(|n| n == &names[0]) {
+            names[0].clone()
+        } else {
+            "mixed topologies".into()
+        },
+        opts.algo,
+        opts.seed,
+        match opts.admission {
+            Admission::Streaming => "streaming",
+            Admission::Eager => "eager",
+        },
+        if opts.adaptive {
+            ", adaptive budget"
+        } else {
+            ""
+        },
     );
     for trace in &traces {
         println!(
@@ -468,6 +588,20 @@ fn cmd_sweep(args: &[String]) {
         stats.replies_delivered,
         stats.probes_sent - stats.replies_delivered,
     );
+    println!(
+        "admission: {} admitted, {} completed, {} deferred; cycles {} clean / {} lossy",
+        stats.sessions_admitted,
+        stats.sessions_completed,
+        stats.sessions_deferred,
+        stats.clean_cycles,
+        stats.lossy_cycles,
+    );
+    if opts.adaptive {
+        println!(
+            "adaptive budget: {} global backoffs, {} lane backoffs, final budget {}",
+            stats.budget_backoffs, stats.lane_backoffs, stats.final_in_flight_budget,
+        );
+    }
 }
 
 fn cmd_multilevel(args: &[String]) {

@@ -189,3 +189,111 @@ fn sweep_rejects_zero_destinations() {
         .status
         .success());
 }
+
+/// `--stdin` streams a destination list (one canonical topology per
+/// line; blanks and comments skipped) into the engine.
+#[test]
+fn sweep_reads_destination_list_from_stdin() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = mlpt()
+        .args(["sweep", "--stdin", "--json", "--max-in-flight", "16"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"simplest\n# a comment\n\nfig1-meshed\nasymmetric\n")
+        .expect("write list");
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(report["topologies"].as_array().expect("array").len(), 3);
+    assert_eq!(report["admission"], "streaming");
+    let dests = report["destinations"].as_array().expect("array");
+    assert_eq!(dests.len(), 3);
+    for d in dests {
+        assert_eq!(d["reached"], serde_json::Value::Bool(true));
+    }
+    assert_eq!(report["stats"]["sessions_admitted"].as_u64(), Some(3));
+    assert_eq!(report["stats"]["sessions_completed"].as_u64(), Some(3));
+}
+
+/// The adaptive budget demonstrably backs off on a rate-limited sweep:
+/// lossy cycles are detected, the budget drops below the ceiling, and
+/// the summary reports the controller's counters.
+#[test]
+fn sweep_adaptive_budget_backs_off_on_rate_limited_lanes() {
+    let args = |adaptive: bool| {
+        let mut v = vec![
+            "sweep",
+            "--topology",
+            "fig1-meshed",
+            "--destinations",
+            "4",
+            "--algo",
+            "mda",
+            "--max-in-flight",
+            "64",
+            "--rate-limit",
+            "3/12",
+            "--cycle-gap",
+            "12",
+            "--json",
+        ];
+        if adaptive {
+            v.push("--adaptive-budget");
+        }
+        v
+    };
+    let run = |adaptive: bool| -> serde_json::Value {
+        let out = mlpt().args(args(adaptive)).output().expect("binary runs");
+        assert!(out.status.success());
+        serde_json::from_slice(&out.stdout).expect("valid JSON")
+    };
+    let fixed = run(false);
+    let adaptive = run(true);
+    assert_eq!(fixed["adaptive_budget"], serde_json::Value::Bool(false));
+    assert_eq!(adaptive["adaptive_budget"], serde_json::Value::Bool(true));
+    assert!(adaptive["stats"]["lossy_cycles"].as_u64().unwrap() > 0);
+    assert!(adaptive["stats"]["budget_backoffs"].as_u64().unwrap() > 0);
+    assert!(
+        adaptive["stats"]["final_in_flight_budget"]
+            .as_u64()
+            .unwrap()
+            < 64
+    );
+    // Fewer probes burned into the rate limiter than the fixed budget.
+    let probes = |r: &serde_json::Value| r["stats"]["probes_sent"].as_u64().unwrap();
+    assert!(probes(&adaptive) <= probes(&fixed));
+}
+
+#[test]
+fn sweep_eager_admission_mode_selectable() {
+    let out = mlpt()
+        .args([
+            "sweep",
+            "--topology",
+            "simplest",
+            "--destinations",
+            "3",
+            "--admission",
+            "eager",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(report["admission"], "eager");
+    assert!(!mlpt()
+        .args(["sweep", "--admission", "bogus"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}

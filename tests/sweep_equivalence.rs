@@ -2,15 +2,24 @@
 //! a concurrent sweep's per-destination traces are **bit-identical** to
 //! running each trace sequentially on its own simulator — for every
 //! algorithm (MDA, MDA-Lite, single-flow), across topologies, fault
-//! plans, session counts and in-flight budgets.
+//! plans (loss *and* ICMP rate limiting), session counts, in-flight
+//! budgets (fixed *and* adaptive), admission modes (fixed-table eager
+//! vs streaming) and admission orders.
 //!
 //! Sequential baseline: per destination, a fresh `SimNetwork` (same seed
 //! as the sweep's lane) under a blocking `TransportProber` driver.
 //! Sweep: one shared `MultiNetwork` over all lanes, one sans-IO session
 //! per destination, rounds interleaved by the `SweepEngine` into
 //! cross-destination batches with tag-based reply demultiplexing.
+//!
+//! Streaming admission and the AIMD budget controller only change *when*
+//! a lane's probes cross the transport, never their per-lane order; and
+//! every lane advances its RNG/clock state only on its own packets (the
+//! default inter-cycle gap is 0). So the same invariant holds for every
+//! admission schedule — which is exactly what lets the engine reorder
+//! and adapt freely at survey scale.
 
-use mlpt::core::engine::{SweepConfig, SweepEngine};
+use mlpt::core::engine::{AdaptiveBudget, Admission, SweepConfig, SweepEngine};
 use mlpt::core::prelude::*;
 use mlpt::core::session::TraceSession;
 use mlpt::sim::{FaultPlan, MultiNetwork, SimNetwork};
@@ -31,12 +40,15 @@ fn base_topology(index: u8) -> MultipathTopology {
     }
 }
 
-/// A fault plan drawn from the property inputs.
+/// A fault plan drawn from the property inputs. Rate limiting is in the
+/// pool: with the default inter-cycle gap of 0, a lane's token buckets
+/// see only its own packet stream, so outcomes stay schedule-independent.
 fn fault_plan(kind: u8) -> FaultPlan {
-    match kind % 3 {
+    match kind % 4 {
         0 => FaultPlan::none(),
         1 => FaultPlan::with_loss(0.1, 0.0),
-        _ => FaultPlan::with_loss(0.0, 0.15),
+        2 => FaultPlan::with_loss(0.0, 0.15),
+        _ => FaultPlan::with_rate_limit_window(3, 10),
     }
 }
 
@@ -96,19 +108,70 @@ fn sequential_trace(
     (trace, sent)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Runs one sweep over the lanes, with sessions fed to the engine in
+/// `order` (a permutation of lane indices); returns the traces mapped
+/// back to lane order plus the stats.
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    lanes: &[Lane],
+    order: &[usize],
+    faults: &FaultPlan,
+    algo: u8,
+    probe_budget: u64,
+    retries: u8,
+    max_in_flight: usize,
+    admission: Admission,
+    adaptive: Option<AdaptiveBudget>,
+) -> (Vec<Trace>, mlpt::core::SweepStats) {
+    let net = MultiNetwork::new(lanes.iter().map(|l| build_network(l, faults)).collect())
+        .expect("translated lanes have unique destinations");
+    let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+        max_in_flight,
+        retries,
+        admission,
+        adaptive,
+        ..SweepConfig::default()
+    });
+    let sessions = order.iter().map(|&lane_idx| {
+        make_session(
+            algo,
+            lanes[lane_idx].topology.destination(),
+            TraceConfig::new(lanes[lane_idx].trace_seed).with_probe_budget(probe_budget),
+        )
+    });
+    let in_order = engine.run_stream(sessions);
+    assert_eq!(in_order.len(), lanes.len());
+    // Undo the admission permutation: trace i of the stream belongs to
+    // lane order[i].
+    let mut by_lane: Vec<Option<Trace>> = (0..lanes.len()).map(|_| None).collect();
+    for (stream_idx, trace) in in_order.into_iter().enumerate() {
+        by_lane[order[stream_idx]] = Some(trace);
+    }
+    (
+        by_lane
+            .into_iter()
+            .map(|t| t.expect("every lane traced"))
+            .collect(),
+        *engine.stats(),
+    )
+}
 
-    /// sweep(N destinations) == N sequential traces, bit for bit.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// sweep(N destinations) == N sequential traces, bit for bit —
+    /// whatever the admission mode, admission order or budget schedule.
     #[test]
     fn sweep_is_bit_identical_to_sequential(
         topo_indices in proptest::collection::vec(0u8..5, 1..7),
         algo in 0u8..3,
-        fault_kind in 0u8..3,
+        fault_kind in 0u8..4,
         base_seed in any::<u64>(),
         budget_kind in 0u8..3,
         retries in 0u8..2,
         probe_budget_kind in 0u8..3,
+        adaptive_on in any::<bool>(),
+        order_seed in any::<u64>(),
     ) {
         let faults = fault_plan(fault_kind);
         // Small probe budgets exercise the state machines' budget-cut
@@ -124,49 +187,60 @@ proptest! {
             1 => 64,
             _ => 2048,
         };
+        let adaptive = adaptive_on.then(|| AdaptiveBudget {
+            min_in_flight: 2,
+            ..AdaptiveBudget::default()
+        });
         let lanes = lanes_for(&topo_indices, base_seed);
 
-        // Concurrent sweep over one shared transport.
-        let net = MultiNetwork::new(
-            lanes.iter().map(|l| build_network(l, &faults)).collect(),
-        )
-        .expect("translated lanes have unique destinations");
-        let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
-            max_in_flight,
-            retries,
-        });
-        for lane in &lanes {
-            engine
-                .add_session(make_session(
-                    algo,
-                    lane.topology.destination(),
-                    TraceConfig::new(lane.trace_seed).with_probe_budget(probe_budget),
-                ))
-                .expect("unique destination");
+        // An arbitrary admission order: rotate + optionally reverse.
+        let mut order: Vec<usize> = (0..lanes.len()).collect();
+        order.rotate_left((order_seed as usize) % lanes.len().max(1));
+        if order_seed % 2 == 1 {
+            order.reverse();
         }
-        let sweep_traces = engine.run();
-        let stats = *engine.stats();
+
+        // Streaming sweep in the permuted admission order.
+        let (streaming, stats) = sweep(
+            &lanes, &order, &faults, algo, probe_budget, retries,
+            max_in_flight, Admission::Streaming, adaptive,
+        );
+        // Fixed-table (eager) sweep in lane order: the pre-streaming
+        // engine's behaviour.
+        let identity: Vec<usize> = (0..lanes.len()).collect();
+        let (eager, eager_stats) = sweep(
+            &lanes, &identity, &faults, algo, probe_budget, retries,
+            max_in_flight, Admission::Eager, None,
+        );
 
         // Sequential baseline, destination by destination.
-        prop_assert_eq!(sweep_traces.len(), lanes.len());
         let mut total_sequential_probes = 0u64;
-        for (lane, sweep_trace) in lanes.iter().zip(&sweep_traces) {
+        for ((lane, streamed), eagered) in lanes.iter().zip(&streaming).zip(&eager) {
             let (sequential, sent) =
                 sequential_trace(algo, lane, &faults, retries, probe_budget);
             total_sequential_probes += sent;
             prop_assert_eq!(
-                sweep_trace,
+                streamed,
                 &sequential,
-                "trace towards {} diverged",
+                "streaming trace towards {} diverged",
+                lane.topology.destination()
+            );
+            prop_assert_eq!(
+                eagered,
+                &sequential,
+                "fixed-table trace towards {} diverged",
                 lane.topology.destination()
             );
         }
 
-        // The engine did exactly the sequential loops' wire work, merged
-        // into (far fewer) cross-destination dispatches.
+        // Both engines did exactly the sequential loops' wire work,
+        // merged into (far fewer) cross-destination dispatches.
         prop_assert_eq!(stats.probes_sent, total_sequential_probes);
+        prop_assert_eq!(eager_stats.probes_sent, total_sequential_probes);
         prop_assert_eq!(stats.malformed_replies, 0);
         prop_assert_eq!(stats.mismatched_replies, 0);
         prop_assert!(stats.max_batch <= max_in_flight);
+        prop_assert_eq!(stats.sessions_admitted, lanes.len() as u64);
+        prop_assert_eq!(stats.sessions_completed, lanes.len() as u64);
     }
 }
