@@ -110,6 +110,21 @@ pub struct AddressEvidence {
     pub unanswered_direct: u32,
 }
 
+/// Inserts a sample keeping the series timestamp-sorted (stable for
+/// equal timestamps). Blocking probers deliver observations in timestamp
+/// order, making this a plain O(1) append; the sweep engine's retry
+/// waves deliver a round's outcomes in *request* order, where a retried
+/// probe's reply can carry a later timestamp than its successors'.
+/// Maintaining the sort here keeps the MBT's merged-series test valid
+/// under any conforming driver.
+fn insert_by_timestamp(series: &mut Vec<IpIdSample>, sample: IpIdSample) {
+    let pos = series
+        .iter()
+        .rposition(|s| s.timestamp <= sample.timestamp)
+        .map_or(0, |p| p + 1);
+    series.insert(pos, sample);
+}
+
 /// Evidence for a group of candidate addresses (typically one hop).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EvidenceBase {
@@ -140,11 +155,14 @@ impl EvidenceBase {
     /// Ingests one indirect observation.
     pub fn add_indirect(&mut self, obs: &ProbeObservation, probe_ip_id: u16) {
         let e = self.entry(obs.responder);
-        e.indirect_series.push(IpIdSample {
-            timestamp: obs.timestamp,
-            ip_id: obs.ip_id,
-            probe_ip_id,
-        });
+        insert_by_timestamp(
+            &mut e.indirect_series,
+            IpIdSample {
+                timestamp: obs.timestamp,
+                ip_id: obs.ip_id,
+                probe_ip_id,
+            },
+        );
         e.fingerprint.indirect_initial_ttl = Some(infer_initial_ttl(obs.reply_ttl));
         if let Some(entry) = obs.mpls.first() {
             e.mpls.observe(entry.label);
@@ -154,11 +172,14 @@ impl EvidenceBase {
     /// Ingests one direct observation.
     pub fn add_direct(&mut self, obs: &DirectObservation) {
         let e = self.entry(obs.target);
-        e.direct_series.push(IpIdSample {
-            timestamp: obs.timestamp,
-            ip_id: obs.ip_id,
-            probe_ip_id: obs.probe_ip_id,
-        });
+        insert_by_timestamp(
+            &mut e.direct_series,
+            IpIdSample {
+                timestamp: obs.timestamp,
+                ip_id: obs.ip_id,
+                probe_ip_id: obs.probe_ip_id,
+            },
+        );
         e.fingerprint.direct_initial_ttl = Some(infer_initial_ttl(obs.reply_ttl));
     }
 
@@ -241,6 +262,33 @@ mod tests {
         assert!(a.matches(&c));
         assert!(!a.conflicts(&MplsEvidence::None));
         assert!(!a.matches(&MplsEvidence::Unstable));
+    }
+
+    /// Out-of-order delivery (the sweep engine's retry waves resolve a
+    /// round's slots in request order, not reply order) must still yield
+    /// a timestamp-sorted series for the MBT.
+    #[test]
+    fn series_stay_timestamp_sorted_under_out_of_order_delivery() {
+        use mlpt_core::prober::DirectObservation;
+        let addr: Ipv4Addr = "10.0.0.9".parse().unwrap();
+        let mut base = EvidenceBase::new();
+        for (t, id) in [(10u64, 1u16), (30, 3), (20, 2), (40, 4), (15, 9)] {
+            base.add_direct(&DirectObservation {
+                target: addr,
+                ip_id: id,
+                probe_ip_id: 0xFFFF,
+                reply_ttl: 250,
+                timestamp: t,
+            });
+        }
+        let stamps: Vec<u64> = base
+            .get(addr)
+            .unwrap()
+            .direct_series
+            .iter()
+            .map(|s| s.timestamp)
+            .collect();
+        assert_eq!(stamps, vec![10, 15, 20, 30, 40]);
     }
 
     #[test]

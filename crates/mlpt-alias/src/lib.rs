@@ -31,7 +31,10 @@ pub mod series;
 
 pub use evidence::{AddressEvidence, EvidenceBase, Fingerprint, MplsEvidence};
 pub use mbt::{merged_monotonic, MbtParams, PairCompatibility};
-pub use multilevel::{trace_multilevel, MultilevelConfig, MultilevelTrace};
+pub use multilevel::{
+    trace_multilevel, DirectComparison, MultilevelConfig, MultilevelOutcome, MultilevelSession,
+    MultilevelTrace,
+};
 pub use resolver::{resolve, AliasPartition, PairVerdict, SetVerdict};
-pub use rounds::{run_rounds, ProbeMethod, RoundReport, RoundsConfig};
+pub use rounds::{run_rounds, AliasRoundsSession, ProbeMethod, RoundReport, RoundsConfig};
 pub use series::{classify_series, IpIdSample, SeriesClass};

@@ -10,10 +10,13 @@
 
 use crate::evidence::EvidenceBase;
 use crate::resolver::AliasPartition;
-use crate::rounds::{run_rounds, RoundReport, RoundsConfig};
+use crate::rounds::{AliasRoundsSession, RoundReport, RoundsConfig};
 use mlpt_core::config::TraceConfig;
-use mlpt_core::mda_lite::trace_mda_lite;
-use mlpt_core::prober::{Prober, TransportProber};
+use mlpt_core::prober::{ProbeLog, Prober, TransportProber};
+use mlpt_core::session::{
+    drive_probes, MdaLiteSession, ProbeOutcome, ProbeRequest, ProbeSession, SessionState,
+    TraceProbeSession, TraceSession,
+};
 use mlpt_core::trace::Trace;
 use mlpt_topo::router::collapse;
 use mlpt_topo::{MultipathTopology, RouterMap};
@@ -73,53 +76,313 @@ impl MultilevelTrace {
     }
 }
 
-/// Runs Multilevel MDA-Lite Paris Traceroute over a packet transport.
+/// The direct-probing comparator campaign for one hop: the MIDAR-style
+/// Round 1–10 reports and the evidence base they judged against (trace +
+/// indirect rounds + the direct campaign itself), as Table 2 consumes
+/// them.
+#[derive(Debug, Clone)]
+pub struct DirectComparison {
+    /// Per-round reports of the direct campaign.
+    pub reports: Vec<RoundReport>,
+    /// The evidence base after the campaign, seeded from everything the
+    /// session had observed when the campaign started.
+    pub evidence: EvidenceBase,
+}
+
+/// Everything a finished [`MultilevelSession`] produced: the multilevel
+/// trace itself plus the raw material the surveys aggregate.
+#[derive(Debug, Clone)]
+pub struct MultilevelOutcome {
+    /// The multilevel trace (what [`trace_multilevel`] returns).
+    pub multilevel: MultilevelTrace,
+    /// Final per-hop evidence bases of the indirect alias rounds — the
+    /// bit-for-bit IP-ID series the equivalence tests compare.
+    pub hop_evidence: BTreeMap<u8, EvidenceBase>,
+    /// Per-hop direct comparator campaigns (empty unless enabled via
+    /// [`MultilevelSession::with_direct_comparison`]).
+    pub direct: BTreeMap<u8, DirectComparison>,
+    /// The full observation log, in probing order.
+    pub log: ProbeLog,
+    /// Wire-level packets spent on the direct comparator campaigns.
+    pub direct_wire_probes: u64,
+}
+
+/// Internal stage of a [`MultilevelSession`].
+enum Phase {
+    /// MDA-Lite tracing (boxed: the trace state machine is much larger
+    /// than the rounds stage, and the phase moves through
+    /// `mem::replace` on every poll).
+    Trace(Box<TraceProbeSession<MdaLiteSession>>),
+    /// One hop's alias-resolution rounds (`comparator` = the Table 2
+    /// direct campaign rather than the trace's own indirect rounds).
+    Rounds {
+        ttl: u8,
+        session: AliasRoundsSession,
+        comparator: bool,
+    },
+    Done,
+}
+
+/// Multilevel MDA-Lite Paris Traceroute as one resumable sans-IO
+/// [`ProbeSession`]: the MDA-Lite trace, then — hop by hop — the
+/// Round 0–10 alias protocol, then (optionally) the MIDAR-style direct
+/// comparator campaigns, all behind one `poll`/`next_rounds`/
+/// `on_replies` surface the sweep engine can interleave across
+/// destinations.
+///
+/// The session keeps its own [`ProbeLog`] (the observations a blocking
+/// run would find in its prober's log), so each alias stage seeds its
+/// evidence base from exactly the data the legacy implementation saw at
+/// the same point: trace observations plus every earlier stage's
+/// probing.
+pub struct MultilevelSession {
+    destination: Ipv4Addr,
+    config: MultilevelConfig,
+    comparator: Option<RoundsConfig>,
+    phase: Phase,
+    log: ProbeLog,
+    trace: Option<Trace>,
+    /// Multi-candidate hops in ascending TTL order, fixed after tracing.
+    hops: Vec<(u8, BTreeSet<Ipv4Addr>)>,
+    next_alias: usize,
+    next_direct: usize,
+    hop_reports: BTreeMap<u8, Vec<RoundReport>>,
+    hop_evidence: BTreeMap<u8, EvidenceBase>,
+    direct: BTreeMap<u8, DirectComparison>,
+    /// Wire packets per protocol phase, fed by `note_wire_probes`.
+    trace_wire: u64,
+    alias_wire: u64,
+    direct_wire: u64,
+}
+
+impl MultilevelSession {
+    /// Creates a session tracing (then alias-resolving) towards
+    /// `destination`.
+    pub fn new(destination: Ipv4Addr, config: MultilevelConfig) -> Self {
+        let trace_session = MdaLiteSession::new(destination, config.trace.clone());
+        Self {
+            destination,
+            config,
+            comparator: None,
+            phase: Phase::Trace(Box::new(TraceProbeSession::new(trace_session))),
+            log: ProbeLog::default(),
+            trace: None,
+            hops: Vec::new(),
+            next_alias: 0,
+            next_direct: 0,
+            hop_reports: BTreeMap::new(),
+            hop_evidence: BTreeMap::new(),
+            direct: BTreeMap::new(),
+            trace_wire: 0,
+            alias_wire: 0,
+            direct_wire: 0,
+        }
+    }
+
+    /// Enables the Table 2 comparator: after the indirect rounds, each
+    /// multi-candidate hop gets a probing campaign under `rounds`
+    /// (typically [`crate::rounds::ProbeMethod::Direct`] with the same
+    /// round counts), judged over all evidence gathered so far.
+    pub fn with_direct_comparison(mut self, rounds: RoundsConfig) -> Self {
+        self.comparator = Some(rounds);
+        self
+    }
+
+    /// The hops eligible for alias resolution: at least two non-star,
+    /// non-destination addresses (the paper: "the aliases of a given
+    /// router are to be found among the addresses found at a given
+    /// hop").
+    fn hop_candidates(trace: &Trace) -> Vec<(u8, BTreeSet<Ipv4Addr>)> {
+        let destination = trace.destination;
+        let mut hops = Vec::new();
+        for ttl in 1..=trace.discovery.max_observed_ttl() {
+            let candidates: BTreeSet<Ipv4Addr> = trace
+                .discovery
+                .vertices_at(ttl)
+                .iter()
+                .copied()
+                .filter(|&a| a != destination && !mlpt_topo::is_star(a))
+                .collect();
+            if candidates.len() >= 2 {
+                hops.push((ttl, candidates));
+            }
+        }
+        hops
+    }
+
+    /// Selects the next stage after the trace or a finished rounds
+    /// stage: remaining indirect hops first, then comparator hops.
+    fn next_stage(&mut self) -> Phase {
+        let trace = self.trace.as_ref().expect("stage selection after trace");
+        if self.next_alias < self.hops.len() {
+            let (ttl, candidates) = &self.hops[self.next_alias];
+            self.next_alias += 1;
+            let base = EvidenceBase::from_log(&self.log, candidates);
+            return Phase::Rounds {
+                ttl: *ttl,
+                session: AliasRoundsSession::new(
+                    trace,
+                    candidates,
+                    base,
+                    self.config.rounds.clone(),
+                ),
+                comparator: false,
+            };
+        }
+        if let Some(rounds) = &self.comparator {
+            if self.next_direct < self.hops.len() {
+                let (ttl, candidates) = &self.hops[self.next_direct];
+                self.next_direct += 1;
+                let base = EvidenceBase::from_log(&self.log, candidates);
+                return Phase::Rounds {
+                    ttl: *ttl,
+                    session: AliasRoundsSession::new(trace, candidates, base, rounds.clone()),
+                    comparator: true,
+                };
+            }
+        }
+        Phase::Done
+    }
+
+    /// Consumes the finished session into its outcome. Call only after
+    /// [`poll`](ProbeSession::poll) has returned
+    /// [`SessionState::Finished`].
+    pub fn finish(mut self) -> MultilevelOutcome {
+        debug_assert!(
+            matches!(self.phase, Phase::Done),
+            "finish on an unfinished session"
+        );
+        let trace = self
+            .trace
+            .take()
+            .expect("a finished multilevel session holds its trace");
+
+        // An address can appear at several hops; transitive closure
+        // merges the per-hop verdicts exactly as the survey's
+        // aggregation does.
+        let hop_maps: Vec<RouterMap> = self
+            .hop_reports
+            .values()
+            .filter_map(|reports| reports.last())
+            .map(|last| last.partition.to_router_map())
+            .collect();
+        let router_map = RouterMap::aggregate(&hop_maps);
+
+        let ip_topology = trace.to_topology();
+        let router_topology = ip_topology.as_ref().map(|topo| collapse(topo, &router_map));
+
+        MultilevelOutcome {
+            multilevel: MultilevelTrace {
+                trace,
+                hop_reports: self.hop_reports,
+                router_map,
+                alias_probes: self.alias_wire,
+                ip_topology,
+                router_topology,
+            },
+            hop_evidence: self.hop_evidence,
+            direct: self.direct,
+            log: self.log,
+            direct_wire_probes: self.direct_wire,
+        }
+    }
+}
+
+impl ProbeSession for MultilevelSession {
+    fn poll(&mut self) -> SessionState {
+        loop {
+            match std::mem::replace(&mut self.phase, Phase::Done) {
+                Phase::Done => return SessionState::Finished,
+                Phase::Trace(mut session) => {
+                    if session.poll() == SessionState::Probing {
+                        self.phase = Phase::Trace(session);
+                        return SessionState::Probing;
+                    }
+                    let trace = session.into_inner().take_trace(self.trace_wire);
+                    self.hops = Self::hop_candidates(&trace);
+                    self.trace = Some(trace);
+                    self.phase = self.next_stage();
+                }
+                Phase::Rounds {
+                    ttl,
+                    mut session,
+                    comparator,
+                } => {
+                    if session.poll() == SessionState::Probing {
+                        self.phase = Phase::Rounds {
+                            ttl,
+                            session,
+                            comparator,
+                        };
+                        return SessionState::Probing;
+                    }
+                    let (reports, evidence) = session.into_parts();
+                    if comparator {
+                        self.direct
+                            .insert(ttl, DirectComparison { reports, evidence });
+                    } else {
+                        self.hop_reports.insert(ttl, reports);
+                        self.hop_evidence.insert(ttl, evidence);
+                    }
+                    self.phase = self.next_stage();
+                }
+            }
+        }
+    }
+
+    fn next_rounds(&self) -> &[ProbeRequest] {
+        match &self.phase {
+            Phase::Trace(session) => session.next_rounds(),
+            Phase::Rounds { session, .. } => session.next_rounds(),
+            Phase::Done => &[],
+        }
+    }
+
+    fn on_replies(&mut self, results: &mut [Option<ProbeOutcome>]) {
+        // Log every delivered observation first, in request order — the
+        // stream a blocking prober would have accumulated — then forward
+        // to the stage that emitted the round.
+        for result in results.iter() {
+            match result {
+                Some(ProbeOutcome::Udp(obs)) => self.log.indirect.push(obs.clone()),
+                Some(ProbeOutcome::Echo(obs)) => self.log.direct.push(obs.clone()),
+                None => {}
+            }
+        }
+        match &mut self.phase {
+            Phase::Trace(session) => session.on_replies(results),
+            Phase::Rounds { session, .. } => session.on_replies(results),
+            Phase::Done => {}
+        }
+    }
+
+    fn destination(&self) -> Ipv4Addr {
+        self.destination
+    }
+
+    fn note_wire_probes(&mut self, count: u64) {
+        match &self.phase {
+            Phase::Trace(_) => self.trace_wire += count,
+            Phase::Rounds {
+                comparator: false, ..
+            } => self.alias_wire += count,
+            Phase::Rounds {
+                comparator: true, ..
+            } => self.direct_wire += count,
+            Phase::Done => {}
+        }
+    }
+}
+
+/// Runs Multilevel MDA-Lite Paris Traceroute over a packet transport —
+/// the blocking driver over [`MultilevelSession`].
 pub fn trace_multilevel<T: BatchTransport>(
     prober: &mut TransportProber<T>,
     config: &MultilevelConfig,
 ) -> MultilevelTrace {
-    let trace = trace_mda_lite(prober, &config.trace);
-    let after_trace = prober.probes_sent();
-
-    let destination = trace.destination;
-    let mut hop_reports: BTreeMap<u8, Vec<RoundReport>> = BTreeMap::new();
-    let mut hop_maps: Vec<RouterMap> = Vec::new();
-
-    for ttl in 1..=trace.discovery.max_observed_ttl() {
-        let candidates: BTreeSet<Ipv4Addr> = trace
-            .discovery
-            .vertices_at(ttl)
-            .iter()
-            .copied()
-            .filter(|&a| a != destination && !mlpt_topo::is_star(a))
-            .collect();
-        if candidates.len() < 2 {
-            continue;
-        }
-        let mut base = EvidenceBase::from_log(prober.log(), &candidates);
-        let reports = run_rounds(prober, &trace, &candidates, &mut base, &config.rounds);
-        if let Some(last) = reports.last() {
-            hop_maps.push(last.partition.to_router_map());
-        }
-        hop_reports.insert(ttl, reports);
-    }
-
-    // An address can appear at several hops; transitive closure merges
-    // the per-hop verdicts exactly as the survey's aggregation does.
-    let router_map = RouterMap::aggregate(&hop_maps);
-    let alias_probes = prober.probes_sent() - after_trace;
-
-    let ip_topology = trace.to_topology();
-    let router_topology = ip_topology.as_ref().map(|topo| collapse(topo, &router_map));
-
-    MultilevelTrace {
-        trace,
-        hop_reports,
-        router_map,
-        alias_probes,
-        ip_topology,
-        router_topology,
-    }
+    let mut session = MultilevelSession::new(prober.destination(), config.clone());
+    drive_probes(&mut session, prober);
+    session.finish().multilevel
 }
 
 #[cfg(test)]

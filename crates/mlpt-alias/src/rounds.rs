@@ -8,15 +8,29 @@
 //! Each subsequent round through to Round 10 consists of an additional 30
 //! indirect probes per address."
 //!
-//! [`run_rounds`] implements that protocol for either probing method —
-//! indirect (MMLPT's own) or direct (the MIDAR-style comparator of
-//! Table 2) — interleaving the per-address probes so the IP-ID samples
-//! properly alternate for the MBT.
+//! [`AliasRoundsSession`] implements that protocol for either probing
+//! method — indirect (MMLPT's own) or direct (the MIDAR-style comparator
+//! of Table 2) — as a resumable sans-IO [`ProbeSession`], interleaving
+//! the per-address probes so the IP-ID samples properly alternate for
+//! the MBT. The interleaving is **semantically load-bearing**: the MBT
+//! merges two addresses' samples into one would-be-monotonic sequence,
+//! so the per-round probe order is part of the protocol, not a
+//! scheduling detail. The session therefore emits each protocol round as
+//! one deterministic request list (whose order no driver may change),
+//! and any conforming driver — the blocking [`run_rounds`] loop or the
+//! concurrent sweep engine — produces bit-identical evidence.
+//!
+//! Conveniently, the protocol's probe sequence does not depend on
+//! replies at all (unlike the tracing algorithms): every round's
+//! requests are computable up front from the trace and the candidate
+//! set. Only the partitions computed *after* each round consume the
+//! accumulated evidence.
 
 use crate::evidence::EvidenceBase;
 use crate::mbt::MbtParams;
 use crate::resolver::{resolve, AliasPartition, SeriesSource};
 use mlpt_core::prober::Prober;
+use mlpt_core::session::{drive_probes, ProbeOutcome, ProbeRequest, ProbeSession, SessionState};
 use mlpt_core::trace::Trace;
 use mlpt_wire::FlowId;
 use serde::{Deserialize, Serialize};
@@ -67,7 +81,7 @@ impl Default for RoundsConfig {
 }
 
 /// Outcome of one round.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundReport {
     /// Round number (0 = trace data only).
     pub round: u32,
@@ -102,10 +116,194 @@ fn indirect_targets(
     map
 }
 
-/// Runs the protocol over one candidate set (typically the addresses of
-/// one hop). `base` must already hold the Round 0 evidence (seed it with
-/// [`EvidenceBase::from_log`]); reports are returned for rounds
-/// 0 ..= `config.rounds`.
+/// The Round 0–10 protocol as a resumable sans-IO [`ProbeSession`].
+///
+/// One session covers one candidate set (typically the addresses of one
+/// hop). Each [`poll`](ProbeSession::poll) arms one protocol round as a
+/// single request list: Round 1 leads with one direct probe per
+/// candidate (fingerprint completion), and every round carries
+/// `replies_per_round` MBT probes per address interleaved address by
+/// address — the order the MBT's merged-series test depends on. After
+/// each round's replies the session ingests the evidence and appends a
+/// [`RoundReport`] with the partition so far.
+pub struct AliasRoundsSession {
+    destination: Ipv4Addr,
+    candidates: BTreeSet<Ipv4Addr>,
+    targets: BTreeMap<Ipv4Addr, (Vec<FlowId>, u8)>,
+    base: EvidenceBase,
+    config: RoundsConfig,
+    source: SeriesSource,
+    flow_cursor: BTreeMap<Ipv4Addr, usize>,
+    reports: Vec<RoundReport>,
+    /// Logical probes dispatched so far (the paper's per-round cost
+    /// counter: one per probe attempted, unanswered included, transport
+    /// retries excluded).
+    probes: u64,
+    /// The next protocol round to probe (1 ..= `config.rounds`).
+    round: u32,
+    requests: Vec<ProbeRequest>,
+    armed: bool,
+}
+
+impl AliasRoundsSession {
+    /// Creates a session over `candidates`. `base` must already hold the
+    /// Round 0 evidence (seed it with [`EvidenceBase::from_log`]); the
+    /// Round 0 report is computed immediately, before any probing.
+    pub fn new(
+        trace: &Trace,
+        candidates: &BTreeSet<Ipv4Addr>,
+        base: EvidenceBase,
+        config: RoundsConfig,
+    ) -> Self {
+        let source = config.method.series_source();
+        let targets = indirect_targets(trace, candidates);
+        let round0 = RoundReport {
+            round: 0,
+            partition: resolve(&base, candidates, source, &config.mbt),
+            cumulative_probes: 0,
+        };
+        let mut reports = Vec::with_capacity(config.rounds as usize + 1);
+        reports.push(round0);
+        Self {
+            destination: trace.destination,
+            candidates: candidates.clone(),
+            targets,
+            base,
+            config,
+            source,
+            flow_cursor: BTreeMap::new(),
+            reports,
+            probes: 0,
+            round: 1,
+            requests: Vec::new(),
+            armed: false,
+        }
+    }
+
+    /// The reports accumulated so far (round 0 included).
+    pub fn reports(&self) -> &[RoundReport] {
+        &self.reports
+    }
+
+    /// Consumes the session into its reports and final evidence base.
+    pub fn into_parts(self) -> (Vec<RoundReport>, EvidenceBase) {
+        (self.reports, self.base)
+    }
+
+    /// Builds round `self.round`'s request list into `self.requests`.
+    /// Deterministic and reply-independent; advances the flow cursors.
+    fn build_round(&mut self) {
+        self.requests.clear();
+        // Round 1 completes fingerprints with one direct probe each.
+        if self.round == 1 {
+            self.requests.extend(
+                self.candidates
+                    .iter()
+                    .map(|&target| ProbeRequest::Echo { target }),
+            );
+        }
+        // One MBT round: `replies_per_round` probes per address,
+        // interleaved address by address so the samples alternate.
+        for _rep in 0..self.config.replies_per_round {
+            for &addr in &self.candidates {
+                match self.config.method {
+                    ProbeMethod::Indirect => {
+                        let Some((flows, ttl)) = self.targets.get(&addr) else {
+                            continue; // no flow known to reach it
+                        };
+                        let cursor = self.flow_cursor.entry(addr).or_insert(0);
+                        let flow = flows[*cursor % flows.len()];
+                        *cursor += 1;
+                        self.requests
+                            .push(ProbeRequest::Udp(mlpt_core::prober::ProbeSpec::new(
+                                flow, *ttl,
+                            )));
+                    }
+                    ProbeMethod::Direct => {
+                        self.requests.push(ProbeRequest::Echo { target: addr });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes the current round: report the partition and advance.
+    fn finish_round(&mut self) {
+        self.reports.push(RoundReport {
+            round: self.round,
+            partition: resolve(&self.base, &self.candidates, self.source, &self.config.mbt),
+            cumulative_probes: self.probes,
+        });
+        self.round += 1;
+        self.armed = false;
+    }
+}
+
+impl ProbeSession for AliasRoundsSession {
+    fn poll(&mut self) -> SessionState {
+        if self.armed {
+            return SessionState::Probing;
+        }
+        while self.round <= self.config.rounds {
+            self.build_round();
+            if self.requests.is_empty() {
+                // Nothing probeable this round (e.g. indirect method with
+                // no reachable candidates): report over the evidence as
+                // it stands and move on, exactly as the blocking loop
+                // did.
+                self.finish_round();
+                continue;
+            }
+            self.armed = true;
+            return SessionState::Probing;
+        }
+        SessionState::Finished
+    }
+
+    fn next_rounds(&self) -> &[ProbeRequest] {
+        &self.requests
+    }
+
+    fn on_replies(&mut self, results: &mut [Option<ProbeOutcome>]) {
+        if !self.armed {
+            return;
+        }
+        debug_assert_eq!(
+            self.requests.len(),
+            results.len(),
+            "one result slot per request"
+        );
+        for (request, result) in self.requests.iter().zip(results.iter_mut()) {
+            self.probes += 1;
+            match (request, result.take()) {
+                (ProbeRequest::Udp(_), Some(ProbeOutcome::Udp(obs))) => {
+                    self.base.add_indirect(&obs, 0);
+                }
+                // A lost indirect probe contributes nothing (the blocking
+                // loop's `if let Some(obs)`).
+                (ProbeRequest::Udp(_), _) => {}
+                (ProbeRequest::Echo { .. }, Some(ProbeOutcome::Echo(obs))) => {
+                    self.base.add_direct(&obs);
+                }
+                // An unanswered direct probe is evidence in itself
+                // (MIDAR's dominant inconclusive cause).
+                (ProbeRequest::Echo { target }, _) => self.base.add_direct_timeout(*target),
+            }
+        }
+        self.finish_round();
+    }
+
+    fn destination(&self) -> Ipv4Addr {
+        self.destination
+    }
+}
+
+/// Runs the protocol over one candidate set — the blocking driver over
+/// [`AliasRoundsSession`], dispatching through a [`Prober`] exactly as
+/// the pre-session implementation did. `base` must already hold the
+/// Round 0 evidence (seed it with [`EvidenceBase::from_log`]); reports
+/// are returned for rounds 0 ..= `config.rounds` and `base` holds the
+/// final evidence.
 pub fn run_rounds<P: Prober>(
     prober: &mut P,
     trace: &Trace,
@@ -113,65 +311,11 @@ pub fn run_rounds<P: Prober>(
     base: &mut EvidenceBase,
     config: &RoundsConfig,
 ) -> Vec<RoundReport> {
-    let source = config.method.series_source();
-    let targets = indirect_targets(trace, candidates);
-    let mut reports = Vec::with_capacity(config.rounds as usize + 1);
-    let mut probes: u64 = 0;
-
-    // Round 0: trace data only.
-    reports.push(RoundReport {
-        round: 0,
-        partition: resolve(base, candidates, source, &config.mbt),
-        cumulative_probes: 0,
-    });
-
-    let mut flow_cursor: BTreeMap<Ipv4Addr, usize> = BTreeMap::new();
-    for round in 1..=config.rounds {
-        // Round 1 completes fingerprints with one direct probe each.
-        if round == 1 {
-            for &addr in candidates {
-                probes += 1;
-                match prober.direct_probe(addr) {
-                    Some(obs) => base.add_direct(&obs),
-                    None => base.add_direct_timeout(addr),
-                }
-            }
-        }
-
-        // One MBT round: `replies_per_round` probes per address,
-        // interleaved address by address so the samples alternate.
-        for _rep in 0..config.replies_per_round {
-            for &addr in candidates {
-                match config.method {
-                    ProbeMethod::Indirect => {
-                        let Some((flows, ttl)) = targets.get(&addr) else {
-                            continue; // no flow known to reach it
-                        };
-                        let cursor = flow_cursor.entry(addr).or_insert(0);
-                        let flow = flows[*cursor % flows.len()];
-                        *cursor += 1;
-                        probes += 1;
-                        if let Some(obs) = prober.probe(flow, *ttl) {
-                            base.add_indirect(&obs, 0);
-                        }
-                    }
-                    ProbeMethod::Direct => {
-                        probes += 1;
-                        match prober.direct_probe(addr) {
-                            Some(obs) => base.add_direct(&obs),
-                            None => base.add_direct_timeout(addr),
-                        }
-                    }
-                }
-            }
-        }
-
-        reports.push(RoundReport {
-            round,
-            partition: resolve(base, candidates, source, &config.mbt),
-            cumulative_probes: probes,
-        });
-    }
+    let seeded = std::mem::take(base);
+    let mut session = AliasRoundsSession::new(trace, candidates, seeded, config.clone());
+    drive_probes(&mut session, prober);
+    let (reports, finished) = session.into_parts();
+    *base = finished;
     reports
 }
 

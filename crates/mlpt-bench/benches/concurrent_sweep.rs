@@ -35,15 +35,26 @@
 //! fewer probes into the rate-limited window than a fixed budget while
 //! discovering the identical topology.
 //!
+//! An **alias-rounds sweep stage** runs the full multilevel pipeline
+//! (trace + Round 0–10 alias resolution, the Sec. 4.2 protocol that
+//! dominates a router-level survey's probe budget) as sessionized
+//! `MultilevelSession`s: the blocking former inner loop — per-probe echo
+//! crossings, per-round UDP crossings — vs all destinations streamed
+//! through one engine. Probes/crossing and tail utilization are emitted
+//! and floored (CI gates), with the per-destination outcomes asserted
+//! bit-identical first.
+//!
 //! Results land in `BENCH_concurrent_sweep.json` at the workspace root.
 //! Set `MLPT_BENCH_QUICK=1` (CI pull requests) for a reduced run.
 
 use criterion::{black_box, Criterion};
+use mlpt_alias::multilevel::{MultilevelConfig, MultilevelOutcome, MultilevelSession};
 use mlpt_core::engine::{AdaptiveBudget, Admission, SweepConfig, SweepEngine, SweepStats};
 use mlpt_core::prelude::*;
-use mlpt_core::session::{drive, TraceSession};
+use mlpt_core::prober::ProbeSpec;
+use mlpt_core::session::{drive, ProbeOutcome, ProbeRequest, ProbeSession, TraceSession};
 use mlpt_sim::{FaultPlan, MultiNetwork, SimNetwork};
-use mlpt_survey::{InternetConfig, SyntheticInternet};
+use mlpt_survey::{disjoint_scenario_groups, InternetConfig, SyntheticInternet, TraceScenario};
 use serde_json::json;
 use std::io::Write;
 
@@ -222,6 +233,199 @@ fn backoff_experiment() -> serde_json::Value {
     })
 }
 
+/// Blocking baseline of the alias stage: the former router-survey inner
+/// loop's crossing pattern — every echo probe is its own transport
+/// crossing (one ping, one round-trip wait), every run of UDP probes one
+/// batched crossing — driven through the same sessions so the wire work
+/// is identical by construction.
+fn run_alias_sequential(
+    internet: &SyntheticInternet,
+    ids: &[usize],
+    rounds: &mlpt_alias::rounds::RoundsConfig,
+) -> (Vec<MultilevelOutcome>, u64, u64) {
+    let mut outcomes = Vec::with_capacity(ids.len());
+    let mut crossings = 0u64;
+    let mut probes = 0u64;
+    for &id in ids {
+        let scenario = internet.scenario(id);
+        let mut prober = TransportProber::new(
+            scenario.build_network(trace_seed_of(id)),
+            scenario.source,
+            scenario.topology.destination(),
+        );
+        let mut session = MultilevelSession::new(
+            scenario.topology.destination(),
+            MultilevelConfig {
+                trace: TraceConfig::new(trace_seed_of(id)),
+                rounds: rounds.clone(),
+            },
+        );
+        let mut requests: Vec<ProbeRequest> = Vec::new();
+        let mut specs: Vec<ProbeSpec> = Vec::new();
+        let mut results: Vec<Option<ProbeOutcome>> = Vec::new();
+        while session.poll() == SessionState::Probing {
+            let before = prober.probes_sent();
+            requests.clear();
+            requests.extend_from_slice(session.next_rounds());
+            results.clear();
+            let mut i = 0;
+            while i < requests.len() {
+                match requests[i] {
+                    ProbeRequest::Udp(_) => {
+                        specs.clear();
+                        while let Some(ProbeRequest::Udp(spec)) = requests.get(i) {
+                            specs.push(*spec);
+                            i += 1;
+                        }
+                        crossings += 1;
+                        results.extend(
+                            prober
+                                .probe_batch(&specs)
+                                .into_iter()
+                                .map(|o| o.map(ProbeOutcome::Udp)),
+                        );
+                    }
+                    ProbeRequest::Echo { target } => {
+                        crossings += 1;
+                        results.push(prober.direct_probe(target).map(ProbeOutcome::Echo));
+                        i += 1;
+                    }
+                }
+            }
+            session.note_wire_probes(prober.probes_sent() - before);
+            session.on_replies(&mut results);
+        }
+        probes += prober.probes_sent();
+        outcomes.push(session.finish());
+    }
+    (outcomes, crossings, probes)
+}
+
+/// The alias-rounds sweep stage (see module docs): asserts bit-identical
+/// outcomes, then emits probes/crossing and tail utilization with CI
+/// floors.
+fn alias_sweep_stage(internet: &SyntheticInternet, destinations: usize) -> serde_json::Value {
+    let rounds = mlpt_alias::rounds::RoundsConfig::default(); // the paper's 10 x 30
+    let ids: Vec<usize> = (0..destinations).collect();
+    let (sequential, seq_crossings, seq_probes) = run_alias_sequential(internet, &ids, &rounds);
+
+    // Streamed: address-disjoint groups (scenarios share wide core
+    // structures, and echo probes route by interface address) each run
+    // one engine; groups run back to back, so the concatenated cycle
+    // series is the actual crossing sequence.
+    let scenarios: Vec<TraceScenario> = ids.iter().map(|&id| internet.scenario(id)).collect();
+    let refs: Vec<&TraceScenario> = scenarios.iter().collect();
+    let mut streamed: Vec<Option<(MultilevelOutcome, u64)>> = Vec::new();
+    streamed.resize_with(ids.len(), || None);
+    let mut stream_probes = 0u64;
+    let mut stream_crossings = 0u64;
+    let mut cycle_sizes: Vec<u32> = Vec::new();
+    let groups = disjoint_scenario_groups(&refs);
+    let num_groups = groups.len();
+    for group in groups {
+        let lanes: Vec<SimNetwork> = group
+            .iter()
+            .map(|&i| scenarios[i].build_network(trace_seed_of(ids[i])))
+            .collect();
+        let net = MultiNetwork::new(lanes).expect("disjoint groups have unique destinations");
+        let source = scenarios[group[0]].source;
+        assert!(
+            group.iter().all(|&i| scenarios[i].source == source),
+            "alias sweeps assume a single vantage point"
+        );
+        let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+            max_in_flight: 256,
+            admission: Admission::Streaming,
+            ..SweepConfig::default()
+        });
+        let sessions = group.iter().map(|&i| {
+            MultilevelSession::new(
+                scenarios[i].topology.destination(),
+                MultilevelConfig {
+                    trace: TraceConfig::new(trace_seed_of(ids[i])),
+                    rounds: rounds.clone(),
+                },
+            )
+        });
+        engine.run_sessions_with(sessions, |index, session, wire| {
+            streamed[group[index]] = Some((session.finish(), wire));
+        });
+        stream_probes += engine.stats().probes_sent;
+        stream_crossings += engine.stats().dispatch_cycles;
+        cycle_sizes.extend_from_slice(engine.cycle_batches());
+    }
+
+    // Correctness before throughput: the streamed alias phase must be
+    // bit-identical to the blocking loop — trace, per-round partitions,
+    // per-address IP-ID evidence series, probe accounting.
+    assert_eq!(seq_probes, stream_probes, "wire work diverged");
+    for (i, slot) in streamed.into_iter().enumerate() {
+        let (outcome, _wire) = slot.expect("every session completed");
+        let reference = &sequential[i];
+        assert_eq!(
+            outcome.multilevel.trace, reference.multilevel.trace,
+            "scenario {i}: trace diverged"
+        );
+        assert_eq!(
+            outcome.multilevel.hop_reports, reference.multilevel.hop_reports,
+            "scenario {i}: alias rounds diverged"
+        );
+        assert_eq!(
+            outcome.hop_evidence, reference.hop_evidence,
+            "scenario {i}: IP-ID evidence diverged"
+        );
+        assert_eq!(
+            outcome.multilevel.alias_probes, reference.multilevel.alias_probes,
+            "scenario {i}: alias probe accounting diverged"
+        );
+    }
+
+    let seq_throughput = seq_probes as f64 / seq_crossings as f64;
+    let stream_throughput = stream_probes as f64 / stream_crossings as f64;
+    let speedup = stream_throughput / seq_throughput;
+    let tail = tail_probes_per_dispatch(&cycle_sizes, 0.10);
+    let tail_ratio = tail / stream_throughput;
+
+    // CI floors. The blocking alias loop pays one crossing per echo, so
+    // the sessionized sweep must amortize crossings by a wide margin;
+    // and streaming admission must keep the tail from collapsing.
+    assert!(
+        speedup >= 3.0,
+        "alias sweep dispatch throughput regressed: {stream_throughput:.1} vs \
+         blocking {seq_throughput:.1} probes/crossing ({speedup:.2}x < 3x)"
+    );
+    assert!(
+        tail_ratio >= 0.4,
+        "alias sweep tail utilization regressed: tail {tail:.1} vs \
+         overall {stream_throughput:.1} probes/dispatch (ratio {tail_ratio:.2} < 0.4)"
+    );
+
+    json!({
+        "workload": format!(
+            "{destinations} synthetic-Internet multilevel traces \
+             (MDA-Lite + Round 0..=10 x 30 alias protocol), {num_groups} \
+             address-disjoint sub-sweeps"
+        ),
+        "probes_sent_each": seq_probes,
+        "probes_per_crossing": {
+            "blocking_loop": seq_throughput,
+            "streaming_engine": stream_throughput,
+            "speedup": speedup,
+            "floor_enforced": 3.0,
+        },
+        "transport_crossings": {
+            "blocking_loop": seq_crossings,
+            "streaming_engine": stream_crossings,
+        },
+        "tail_probes_per_dispatch_last10pct": {
+            "streaming_engine": tail,
+            "streaming_tail_over_average": tail_ratio,
+            "floor_enforced": 0.4,
+        },
+        "outcomes_bit_identical": true,
+    })
+}
+
 fn main() {
     let quick = std::env::var("MLPT_BENCH_QUICK").is_ok_and(|v| !v.is_empty());
     let env_usize = |key: &str, default: usize| -> usize {
@@ -340,6 +544,12 @@ fn main() {
     // Adaptive backoff acceptance experiment (asserts internally).
     let backoff = backoff_experiment();
 
+    // Alias-rounds sweep stage (asserts bit-identity + floors
+    // internally). The workload is identical in quick mode; only the
+    // wall-clock sampling above shrinks.
+    let alias_destinations = env_usize("MLPT_BENCH_ALIAS_DESTINATIONS", 64);
+    let alias_sweep = alias_sweep_stage(&internet, alias_destinations);
+
     // Wall-clock measurements.
     let mut c = Criterion::default().sample_size(samples);
     c.bench_function("sweep/sequential_full_trace_loop", |b| {
@@ -454,6 +664,7 @@ fn main() {
         "simulator_workers": workers,
         "host_cpus": host_cpus,
         "adaptive_backoff": backoff,
+        "alias_sweep": alias_sweep,
         "results": results,
     });
 

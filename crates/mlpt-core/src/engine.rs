@@ -1,10 +1,10 @@
-//! The concurrent sweep engine: many trace sessions over one transport,
-//! with streaming admission and an adaptive in-flight budget.
+//! The concurrent sweep engine: many sans-IO sessions over one
+//! transport, with streaming admission and an adaptive in-flight budget.
 //!
-//! Large-scale tracing is dominated by how many destinations can be kept
+//! Large-scale probing is dominated by how many destinations can be kept
 //! in flight at once (Donnet et al., "Efficient Route Tracing from a
 //! Single Source"). The [`SweepEngine`] exploits the sans-IO split of
-//! [`crate::session`]: it holds a table of live [`TraceSession`]s — one
+//! [`crate::session`]: it holds a table of live [`ProbeSession`]s — one
 //! per destination — and each dispatch cycle
 //!
 //! 1. **admits** new sessions from the caller's stream while the pending
@@ -15,12 +15,16 @@
 //! 2. **gathers** every live session's pending round into one large
 //!    cross-destination [`PacketBatch`], bounded by the in-flight token
 //!    budget, with tokens split fairly across sessions (a quota pass
-//!    followed by a greedy pass) so no one lane hogs a reduced budget;
+//!    followed by a greedy pass) so no one lane hogs a reduced budget.
+//!    Requests are typed ([`ProbeRequest`]): TTL-limited UDP probes
+//!    towards the session's destination and ICMP Echo Requests aimed at
+//!    individual interfaces share one batch;
 //! 3. crosses the shared [`BatchTransport`] **once**;
-//! 4. **demultiplexes** replies back to their sessions by the
-//!    destination/flow/sequence tags recovered from the quoted probe
-//!    inside each ICMP reply ([`mlpt_wire::probe::ReplyPacket`]) — not by
-//!    slot position — so interleaved, lost and malformed replies are all
+//! 4. **demultiplexes** replies back to their sessions by kind-tagged
+//!    keys — ICMP errors by the destination/sequence recovered from the
+//!    quoted probe ([`mlpt_wire::probe::ReplyPacket`]), Echo Replies by
+//!    the responding interface and the echoed ICMP sequence — not by
+//!    slot position, so interleaved, lost and malformed replies are all
 //!    handled;
 //! 5. **adapts** the budget: an AIMD controller ([`AdaptiveBudget`])
 //!    ramps the budget up additively while replies are clean and backs
@@ -34,20 +38,25 @@
 //!
 //! Per destination, the engine emits the *identical* packet sequence a
 //! dedicated [`crate::prober::TransportProber`] would (same sequence
-//! numbers, same retry waves), so a sweep's per-destination traces are
-//! bit-identical to running each trace sequentially on its own — no
+//! numbers, same retry waves), so a sweep's per-destination results are
+//! bit-identical to running each session sequentially on its own — no
 //! matter how admission interleaves or the budget slices rounds. The
-//! property tests in `tests/sweep_equivalence.rs` enforce exactly that
-//! across admission modes, budgets and fault plans.
+//! property tests in `tests/sweep_equivalence.rs` (traces) and
+//! `tests/alias_equivalence.rs` (alias-resolution rounds, where the
+//! interleaved IP-ID series are semantically load-bearing for the MBT)
+//! enforce exactly that across admission modes, budgets and fault plans.
 //!
 //! Malformed or mismatched replies never panic a sweep: the demux path
 //! is unwrap-free, counting anomalies in [`SweepStats`] and treating the
 //! affected probes as lost (which the retry machinery then handles).
 
-use crate::prober::{ProbeObservation, ProbeSpec};
-use crate::session::{SessionState, TraceSession};
+use crate::prober::{DirectObservation, ProbeObservation, ECHO_IDENTIFIER, ECHO_TTL};
+use crate::session::TraceSession;
+use crate::session::{ProbeOutcome, ProbeRequest, ProbeSession, SessionState, TraceProbeSession};
 use crate::trace::Trace;
-use mlpt_wire::probe::{build_udp_probe_into, parse_reply, ProbePacket};
+use mlpt_wire::probe::{
+    build_echo_probe_into, build_udp_probe_into, parse_reply, ProbePacket, ReplyKind,
+};
 use mlpt_wire::transport::{BatchTransport, PacketBatch, ReplyBatch};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
@@ -175,7 +184,7 @@ pub struct SweepStats {
     pub max_batch: usize,
     /// Sessions taken from the stream into the live table.
     pub sessions_admitted: u64,
-    /// Sessions driven to completion (their traces were emitted).
+    /// Sessions driven to completion (their results were emitted).
     pub sessions_completed: u64,
     /// Admissions postponed because a live session already owned the
     /// destination (the tags would be ambiguous while both are in
@@ -207,16 +216,67 @@ impl SweepStats {
             self.probes_sent as f64 / self.dispatch_cycles as f64
         }
     }
+
+    /// Folds another engine's counters into this aggregate (callers
+    /// running several sub-sweeps back to back, e.g. address-disjoint
+    /// groups). Sums every counter, takes the max of `max_batch`, and
+    /// keeps the most recent `final_in_flight_budget` — living here so
+    /// a counter added to the struct cannot be silently dropped from
+    /// aggregates.
+    pub fn merge(&mut self, other: &SweepStats) {
+        let SweepStats {
+            dispatch_cycles,
+            probes_sent,
+            replies_delivered,
+            malformed_replies,
+            mismatched_replies,
+            max_batch,
+            sessions_admitted,
+            sessions_completed,
+            sessions_deferred,
+            clean_cycles,
+            lossy_cycles,
+            budget_backoffs,
+            lane_backoffs,
+            final_in_flight_budget,
+        } = *other;
+        self.dispatch_cycles += dispatch_cycles;
+        self.probes_sent += probes_sent;
+        self.replies_delivered += replies_delivered;
+        self.malformed_replies += malformed_replies;
+        self.mismatched_replies += mismatched_replies;
+        self.max_batch = self.max_batch.max(max_batch);
+        self.sessions_admitted += sessions_admitted;
+        self.sessions_completed += sessions_completed;
+        self.sessions_deferred += sessions_deferred;
+        self.clean_cycles += clean_cycles;
+        self.lossy_cycles += lossy_cycles;
+        self.budget_backoffs += budget_backoffs;
+        self.lane_backoffs += lane_backoffs;
+        self.final_in_flight_budget = final_in_flight_budget;
+    }
 }
 
-/// Demultiplexer for in-flight probes: maps the (destination, sequence)
-/// tag recovered from a reply's quoted probe back to the dispatch entry
-/// that sent it. Sequence numbers are per-session, destinations are
-/// unique per live session, so the pair is unique while a probe is in
-/// flight.
+/// The probe kind a demux tag belongs to. Keys are kind-tagged so a UDP
+/// probe towards destination D and an echo probe aimed at interface D
+/// can never claim each other's replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TagKind {
+    /// Tag recovered from an ICMP error's quoted probe.
+    Udp,
+    /// Tag echoed back in an Echo Reply's ICMP header.
+    Echo,
+}
+
+/// Demultiplexer for in-flight probes: maps the kind-tagged
+/// (address, sequence) pair recovered from a reply back to the dispatch
+/// entry that sent it. For UDP probes the address is the quoted probe
+/// destination (unique per live session); for echo probes it is the
+/// pinged interface. Sequence numbers are per-session, so the triple is
+/// unique while a probe is in flight.
 #[derive(Debug, Default)]
 struct ReplyDemux {
-    in_flight: HashMap<(u32, u16), usize>,
+    in_flight: HashMap<(TagKind, u32, u16), usize>,
 }
 
 impl ReplyDemux {
@@ -226,8 +286,8 @@ impl ReplyDemux {
 
     /// Registers a dispatched probe; returns false on a tag collision
     /// (which the caller counts — the older entry survives).
-    fn register(&mut self, destination: Ipv4Addr, sequence: u16, token: usize) -> bool {
-        match self.in_flight.entry((u32::from(destination), sequence)) {
+    fn register(&mut self, kind: TagKind, address: Ipv4Addr, sequence: u16, token: usize) -> bool {
+        match self.in_flight.entry((kind, u32::from(address), sequence)) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(token);
@@ -238,8 +298,8 @@ impl ReplyDemux {
 
     /// Claims the probe a reply answers, by tag. Each probe can be
     /// claimed once; unknown tags return `None`.
-    fn claim(&mut self, destination: Ipv4Addr, sequence: u16) -> Option<usize> {
-        self.in_flight.remove(&(u32::from(destination), sequence))
+    fn claim(&mut self, kind: TagKind, address: Ipv4Addr, sequence: u16) -> Option<usize> {
+        self.in_flight.remove(&(kind, u32::from(address), sequence))
     }
 
     #[cfg(test)]
@@ -249,22 +309,26 @@ impl ReplyDemux {
 }
 
 /// A live session plus its per-destination wire state.
-struct SessionSlot {
-    session: Box<dyn TraceSession>,
+struct SessionSlot<S> {
+    session: S,
     destination: Ipv4Addr,
-    /// Index of this session in the source stream — traces are reported
+    /// Index of this session in the source stream — results are reported
     /// back under it, so output order is admission-independent.
     out_index: usize,
     /// Per-session sequence counter (same discipline as
-    /// `TransportProber::next_sequence`: first probe is sequence 1).
+    /// `TransportProber::next_sequence`: first probe is sequence 1,
+    /// shared across UDP and echo probes).
     sequence: u16,
     /// Wire-level packets sent for this session, retries included.
     probes_sent: u64,
+    /// Wire-level packets sent for the round currently in service
+    /// (reported to the session via `note_wire_probes`).
+    round_wire: u64,
     /// The round currently being serviced (copied from the session).
-    round: Vec<ProbeSpec>,
-    /// One result slot per round spec.
-    results: Vec<Option<ProbeObservation>>,
-    /// Spec indices of the current retry wave, in dispatch order.
+    round: Vec<ProbeRequest>,
+    /// One result slot per round request.
+    results: Vec<Option<ProbeOutcome>>,
+    /// Request indices of the current retry wave, in dispatch order.
     wave: Vec<usize>,
     /// Next index into `wave` to dispatch.
     cursor: usize,
@@ -280,7 +344,7 @@ struct SessionSlot {
     delivered_cycle: u32,
 }
 
-impl SessionSlot {
+impl<S> SessionSlot<S> {
     fn next_sequence(&mut self) -> u16 {
         self.sequence = self.sequence.wrapping_add(1);
         self.sequence
@@ -305,7 +369,7 @@ struct DispatchEntry {
 
 /// Outcome of pumping an idle slot's state machine.
 enum Pumped {
-    /// The session finished; its trace was emitted and the slot removed.
+    /// The session finished; its result was emitted and the slot removed.
     Finished,
     /// A fresh round is armed and pending dispatch.
     Armed,
@@ -318,10 +382,6 @@ pub struct SweepEngine<T: BatchTransport> {
     transport: T,
     source: Ipv4Addr,
     config: SweepConfig,
-    /// Live sessions only; finished slots are removed immediately.
-    slots: Vec<SessionSlot>,
-    /// Destinations of live sessions (admission defers duplicates).
-    live_dests: HashSet<u32>,
     /// Sessions registered via [`add_session`](Self::add_session),
     /// drained as the stream by [`run`](Self::run).
     registered: Vec<Box<dyn TraceSession>>,
@@ -332,13 +392,25 @@ pub struct SweepEngine<T: BatchTransport> {
     dispatch: Vec<DispatchEntry>,
     /// AIMD controller state (equals `max_in_flight` when fixed).
     budget: f64,
+    /// Batch size of every dispatch cycle, for tail-utilization
+    /// measurements (one `u32` per transport crossing).
+    cycle_sizes: Vec<u32>,
+}
+
+/// Per-run scheduler state: the live session table is generic over the
+/// session type, so one engine serves trace sweeps (boxed
+/// [`TraceSession`]s behind the adapter) and alias sweeps (concrete
+/// [`ProbeSession`] types) without boxing the latter.
+struct SweepRun<'e, T: BatchTransport, S: ProbeSession> {
+    eng: &'e mut SweepEngine<T>,
+    /// Live sessions only; finished slots are removed immediately.
+    slots: Vec<SessionSlot<S>>,
+    /// Destinations of live sessions (admission defers duplicates).
+    live_dests: HashSet<u32>,
     /// Undispatched probes across all live sessions' current waves.
     pending: usize,
     /// Replies delivered during the current cycle.
     cycle_delivered: usize,
-    /// Batch size of every dispatch cycle, for tail-utilization
-    /// measurements (one `u32` per transport crossing).
-    cycle_sizes: Vec<u32>,
 }
 
 impl<T: BatchTransport> SweepEngine<T> {
@@ -350,16 +422,12 @@ impl<T: BatchTransport> SweepEngine<T> {
             source,
             budget: config.max_in_flight as f64,
             config,
-            slots: Vec::new(),
-            live_dests: HashSet::new(),
             registered: Vec::new(),
             stats: SweepStats::default(),
             demux: ReplyDemux::default(),
             packets: PacketBatch::new(),
             replies: ReplyBatch::new(),
             dispatch: Vec::new(),
-            pending: 0,
-            cycle_delivered: 0,
             cycle_sizes: Vec::new(),
         }
     }
@@ -428,12 +496,13 @@ impl<T: BatchTransport> SweepEngine<T> {
         self.run_stream(sessions)
     }
 
-    /// Streams sessions from `sessions` through the engine, returning
-    /// their traces in source order. Under [`Admission::Streaming`] the
-    /// source is pulled lazily as in-flight tokens free up, so arbitrary
-    /// destination-list lengths run in bounded memory (plus the returned
-    /// traces; use [`run_stream_with`](Self::run_stream_with) to stream
-    /// those out too).
+    /// Streams trace sessions from `sessions` through the engine,
+    /// returning their traces in source order. Under
+    /// [`Admission::Streaming`] the source is pulled lazily as in-flight
+    /// tokens free up, so arbitrary destination-list lengths run in
+    /// bounded memory (plus the returned traces; use
+    /// [`run_stream_with`](Self::run_stream_with) to stream those out
+    /// too).
     pub fn run_stream<I>(&mut self, sessions: I) -> Vec<Trace>
     where
         I: IntoIterator<Item = Box<dyn TraceSession>>,
@@ -448,26 +517,54 @@ impl<T: BatchTransport> SweepEngine<T> {
         out.into_iter().flatten().collect()
     }
 
-    /// Streams sessions through the engine, handing each finished trace
-    /// to `sink` together with its index in the source stream. Traces
-    /// arrive in completion order; the index makes output assembly
-    /// independent of admission order.
+    /// Streams trace sessions through the engine, handing each finished
+    /// trace to `sink` together with its index in the source stream.
+    /// Traces arrive in completion order; the index makes output
+    /// assembly independent of admission order.
     pub fn run_stream_with<I, F>(&mut self, sessions: I, mut sink: F)
     where
         I: IntoIterator<Item = Box<dyn TraceSession>>,
         F: FnMut(usize, Trace),
     {
-        let mut iter = sessions.into_iter();
-        self.run_source(&mut iter, &mut sink);
+        let adapted = sessions.into_iter().map(TraceProbeSession::new);
+        self.run_sessions_with(adapted, |index, mut session, probes_sent| {
+            sink(index, session.inner_mut().take_trace(probes_sent));
+        });
     }
 
+    /// The generalised entry point: streams any [`ProbeSession`] type
+    /// through the engine. Each finished session is handed back to
+    /// `sink` together with its index in the source stream and the
+    /// wire-level packet count the engine spent on it (retries
+    /// included), so the caller extracts whatever result the session
+    /// type accumulates — a trace, an alias partition, a full
+    /// multilevel outcome.
+    pub fn run_sessions_with<S, I, F>(&mut self, sessions: I, mut sink: F)
+    where
+        S: ProbeSession,
+        I: IntoIterator<Item = S>,
+        F: FnMut(usize, S, u64),
+    {
+        let mut iter = sessions.into_iter();
+        let mut run = SweepRun {
+            eng: self,
+            slots: Vec::new(),
+            live_dests: HashSet::new(),
+            pending: 0,
+            cycle_delivered: 0,
+        };
+        run.run_source(&mut iter, &mut sink);
+    }
+}
+
+impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
     /// The scheduler loop shared by every entry point.
     fn run_source(
         &mut self,
-        source: &mut dyn Iterator<Item = Box<dyn TraceSession>>,
-        sink: &mut dyn FnMut(usize, Trace),
+        source: &mut dyn Iterator<Item = S>,
+        sink: &mut dyn FnMut(usize, S, u64),
     ) {
-        let mut deferred: VecDeque<(usize, Box<dyn TraceSession>)> = VecDeque::new();
+        let mut deferred: VecDeque<(usize, S)> = VecDeque::new();
         let mut next_out = 0usize;
         let mut source_done = false;
 
@@ -484,29 +581,31 @@ impl<T: BatchTransport> SweepEngine<T> {
                 debug_assert!(false, "deferred sessions with an empty live table");
                 continue;
             }
-            self.transport.send_batch(&self.packets, &mut self.replies);
-            self.stats.dispatch_cycles += 1;
-            self.stats.probes_sent += self.packets.len() as u64;
-            self.stats.max_batch = self.stats.max_batch.max(self.packets.len());
-            self.cycle_sizes.push(self.packets.len() as u32);
+            self.eng
+                .transport
+                .send_batch(&self.eng.packets, &mut self.eng.replies);
+            self.eng.stats.dispatch_cycles += 1;
+            self.eng.stats.probes_sent += self.eng.packets.len() as u64;
+            self.eng.stats.max_batch = self.eng.stats.max_batch.max(self.eng.packets.len());
+            self.eng.cycle_sizes.push(self.eng.packets.len() as u32);
             self.demux_replies();
             self.adapt_budget();
             self.resolve_waves();
         }
 
         // Defensive drain: a session that wedged in the empty-round path
-        // still reports a trace rather than vanishing.
-        while let Some(mut slot) = self.slots.pop() {
+        // still reports a result rather than vanishing.
+        while let Some(slot) = self.slots.pop() {
             self.live_dests.remove(&u32::from(slot.destination));
-            self.stats.sessions_completed += 1;
-            sink(slot.out_index, slot.session.take_trace(slot.probes_sent));
+            self.eng.stats.sessions_completed += 1;
+            sink(slot.out_index, slot.session, slot.probes_sent);
         }
-        self.stats.final_in_flight_budget = self.current_budget();
+        self.eng.stats.final_in_flight_budget = self.eng.current_budget();
     }
 
-    /// Polls idle sessions for their next rounds, emitting traces of
+    /// Polls idle sessions for their next rounds, emitting results of
     /// sessions that finished (their slots are removed immediately).
-    fn refill_rounds(&mut self, sink: &mut dyn FnMut(usize, Trace)) {
+    fn refill_rounds(&mut self, sink: &mut dyn FnMut(usize, S, u64)) {
         let mut i = 0;
         while i < self.slots.len() {
             if self.slots[i].active {
@@ -520,38 +619,38 @@ impl<T: BatchTransport> SweepEngine<T> {
         }
     }
 
-    /// Advances one idle slot: emits its trace if finished (removing the
-    /// slot), or arms its next round.
-    fn pump_slot(&mut self, i: usize, sink: &mut dyn FnMut(usize, Trace)) -> Pumped {
+    /// Advances one idle slot: emits its result if finished (removing
+    /// the slot), or arms its next round.
+    fn pump_slot(&mut self, i: usize, sink: &mut dyn FnMut(usize, S, u64)) -> Pumped {
         let slot = &mut self.slots[i];
         debug_assert!(!slot.active, "pump_slot on an active slot");
         match slot.session.poll() {
             SessionState::Finished => {
-                let trace = slot.session.take_trace(slot.probes_sent);
-                let out = slot.out_index;
+                let slot = self.slots.swap_remove(i);
                 self.live_dests.remove(&u32::from(slot.destination));
-                self.slots.swap_remove(i);
-                self.stats.sessions_completed += 1;
-                sink(out, trace);
+                self.eng.stats.sessions_completed += 1;
+                sink(slot.out_index, slot.session, slot.probes_sent);
                 Pumped::Finished
             }
             SessionState::Probing => {
-                let specs = slot.session.next_rounds();
-                if specs.is_empty() {
+                let requests = slot.session.next_rounds();
+                if requests.is_empty() {
                     // Defensive: a session must not yield an empty
                     // round; feed it empty replies so it advances.
                     debug_assert!(false, "session yielded an empty round");
-                    slot.session.on_replies(&[]);
+                    let mut none: [Option<ProbeOutcome>; 0] = [];
+                    slot.session.on_replies(&mut none);
                     return Pumped::Idle;
                 }
                 slot.round.clear();
-                slot.round.extend_from_slice(specs);
+                slot.round.extend_from_slice(requests);
                 slot.results.clear();
                 slot.results.resize(slot.round.len(), None);
                 slot.wave.clear();
                 slot.wave.extend(0..slot.round.len());
                 slot.cursor = 0;
                 slot.attempt = 0;
+                slot.round_wire = 0;
                 slot.active = true;
                 self.pending += slot.round.len();
                 Pumped::Armed
@@ -566,19 +665,19 @@ impl<T: BatchTransport> SweepEngine<T> {
     /// that session finishes — its reply tags would be ambiguous.
     fn admit_sessions(
         &mut self,
-        source: &mut dyn Iterator<Item = Box<dyn TraceSession>>,
-        deferred: &mut VecDeque<(usize, Box<dyn TraceSession>)>,
+        source: &mut dyn Iterator<Item = S>,
+        deferred: &mut VecDeque<(usize, S)>,
         next_out: &mut usize,
         source_done: &mut bool,
-        sink: &mut dyn FnMut(usize, Trace),
+        sink: &mut dyn FnMut(usize, S, u64),
     ) {
         loop {
-            if self.config.admission == Admission::Streaming
-                && self.pending >= self.current_budget()
+            if self.eng.config.admission == Admission::Streaming
+                && self.pending >= self.eng.current_budget()
             {
                 return;
             }
-            if self.slots.len() >= self.config.max_admitted {
+            if self.slots.len() >= self.eng.config.max_admitted {
                 return;
             }
             // Deferred sessions re-enter first (their destinations may
@@ -593,7 +692,7 @@ impl<T: BatchTransport> SweepEngine<T> {
                         let out = *next_out;
                         *next_out += 1;
                         if self.live_dests.contains(&u32::from(session.destination())) {
-                            self.stats.sessions_deferred += 1;
+                            self.eng.stats.sessions_deferred += 1;
                             deferred.push_back((out, session));
                             continue;
                         }
@@ -611,14 +710,9 @@ impl<T: BatchTransport> SweepEngine<T> {
     }
 
     /// Installs one session as a live slot and arms its first round (or
-    /// emits its trace immediately if it finishes without probing).
-    fn admit_one(
-        &mut self,
-        out_index: usize,
-        session: Box<dyn TraceSession>,
-        sink: &mut dyn FnMut(usize, Trace),
-    ) {
-        self.stats.sessions_admitted += 1;
+    /// emits its result immediately if it finishes without probing).
+    fn admit_one(&mut self, out_index: usize, session: S, sink: &mut dyn FnMut(usize, S, u64)) {
+        self.eng.stats.sessions_admitted += 1;
         let destination = session.destination();
         self.live_dests.insert(u32::from(destination));
         self.slots.push(SessionSlot {
@@ -627,13 +721,14 @@ impl<T: BatchTransport> SweepEngine<T> {
             out_index,
             sequence: 0,
             probes_sent: 0,
+            round_wire: 0,
             round: Vec::new(),
             results: Vec::new(),
             wave: Vec::new(),
             cursor: 0,
             attempt: 0,
             active: false,
-            allowance: self.config.max_in_flight,
+            allowance: self.eng.config.max_in_flight,
             dispatched_cycle: 0,
             delivered_cycle: 0,
         });
@@ -649,12 +744,12 @@ impl<T: BatchTransport> SweepEngine<T> {
     /// bounded by each lane's adaptive allowance. Returns false when
     /// nothing is left to dispatch.
     fn gather_packets(&mut self) -> bool {
-        self.packets.clear();
-        self.dispatch.clear();
-        self.demux.clear();
+        self.eng.packets.clear();
+        self.eng.dispatch.clear();
+        self.eng.demux.clear();
         self.cycle_delivered = 0;
-        let budget = self.current_budget();
-        let adaptive = self.config.adaptive.is_some();
+        let budget = self.eng.current_budget();
+        let adaptive = self.eng.config.adaptive.is_some();
 
         let mut lanes_pending = 0usize;
         for slot in &mut self.slots {
@@ -671,7 +766,7 @@ impl<T: BatchTransport> SweepEngine<T> {
         let quota = (budget / lanes_pending).max(1);
         for pass in 0..2 {
             for i in 0..self.slots.len() {
-                if self.packets.len() >= budget {
+                if self.eng.packets.len() >= budget {
                     break;
                 }
                 let slot = &self.slots[i];
@@ -686,110 +781,172 @@ impl<T: BatchTransport> SweepEngine<T> {
                     self.dispatch_slot(i, cap, budget);
                 }
             }
-            if self.packets.len() >= budget {
+            if self.eng.packets.len() >= budget {
                 break;
             }
         }
-        !self.packets.is_empty()
+        !self.eng.packets.is_empty()
     }
 
     /// Encodes up to `cap` probes of slot `i`'s current wave into the
     /// cycle batch (bounded by the global budget).
     fn dispatch_slot(&mut self, i: usize, cap: usize, budget: usize) {
-        let source = self.source;
+        let source = self.eng.source;
         let slot = &mut self.slots[i];
         let mut taken = 0usize;
-        while taken < cap && slot.cursor < slot.wave.len() && self.packets.len() < budget {
+        while taken < cap && slot.cursor < slot.wave.len() && self.eng.packets.len() < budget {
             let spec_idx = slot.wave[slot.cursor];
             slot.cursor += 1;
-            let Some(&spec) = slot.round.get(spec_idx) else {
+            let Some(&request) = slot.round.get(spec_idx) else {
                 debug_assert!(false, "wave index out of round bounds");
                 continue;
             };
             let sequence = slot.next_sequence();
-            let probe = ProbePacket {
-                source,
-                destination: slot.destination,
-                flow: spec.flow,
-                ttl: spec.ttl,
-                sequence,
+            let registered = match request {
+                ProbeRequest::Udp(spec) => {
+                    let probe = ProbePacket {
+                        source,
+                        destination: slot.destination,
+                        flow: spec.flow,
+                        ttl: spec.ttl,
+                        sequence,
+                    };
+                    self.eng
+                        .packets
+                        .push_with(|buf| build_udp_probe_into(&probe, buf));
+                    self.eng.demux.register(
+                        TagKind::Udp,
+                        slot.destination,
+                        sequence,
+                        self.eng.dispatch.len(),
+                    )
+                }
+                ProbeRequest::Echo { target } => {
+                    self.eng.packets.push_with(|buf| {
+                        build_echo_probe_into(
+                            source,
+                            target,
+                            ECHO_IDENTIFIER,
+                            sequence,
+                            ECHO_TTL,
+                            buf,
+                        )
+                    });
+                    self.eng.demux.register(
+                        TagKind::Echo,
+                        target,
+                        sequence,
+                        self.eng.dispatch.len(),
+                    )
+                }
             };
-            self.packets
-                .push_with(|buf| build_udp_probe_into(&probe, buf));
-            if !self
-                .demux
-                .register(slot.destination, sequence, self.dispatch.len())
-            {
+            if !registered {
                 // A 16-bit sequence collision inside one cycle: only
                 // possible for absurdly large rounds. Count it and
                 // let the probe resolve as lost.
-                self.stats.mismatched_replies += 1;
+                self.eng.stats.mismatched_replies += 1;
             }
-            self.dispatch.push(DispatchEntry {
+            self.eng.dispatch.push(DispatchEntry {
                 session: i,
                 spec: spec_idx,
             });
             slot.probes_sent += 1;
+            slot.round_wire += 1;
             slot.dispatched_cycle += 1;
             taken += 1;
             self.pending -= 1;
         }
     }
 
-    /// Routes every reply of the cycle back to its probe by quoted tags.
+    /// Routes every reply of the cycle back to its probe by its
+    /// kind-tagged demux key.
     fn demux_replies(&mut self) {
-        for slot_idx in 0..self.replies.len() {
-            let Some(bytes) = self.replies.get(slot_idx) else {
+        for slot_idx in 0..self.eng.replies.len() {
+            let Some(bytes) = self.eng.replies.get(slot_idx) else {
                 continue; // lost on the wire: resolved as unanswered
             };
             let Ok(parsed) = parse_reply(bytes) else {
-                self.stats.malformed_replies += 1;
+                self.eng.stats.malformed_replies += 1;
                 continue;
             };
-            let (Some(dest), Some(sequence)) = (parsed.probe_destination, parsed.probe_sequence)
-            else {
-                // No usable quote (e.g. a stray echo reply): nothing to
-                // demultiplex against.
-                self.stats.mismatched_replies += 1;
+            // Kind-specific tag recovery: errors quote the probe they
+            // answer; Echo Replies echo the ICMP identifier/sequence and
+            // come from the pinged interface itself.
+            let token = match parsed.kind {
+                ReplyKind::EchoReply => match parsed.echo {
+                    Some((identifier, sequence)) if identifier == ECHO_IDENTIFIER => self
+                        .eng
+                        .demux
+                        .claim(TagKind::Echo, parsed.responder, sequence),
+                    // A stray echo reply (foreign identifier or no echo
+                    // header): nothing to demultiplex against.
+                    _ => None,
+                },
+                _ => match (parsed.probe_destination, parsed.probe_sequence) {
+                    (Some(dest), Some(sequence)) => {
+                        self.eng.demux.claim(TagKind::Udp, dest, sequence)
+                    }
+                    // No usable quote: nothing to demultiplex against.
+                    _ => None,
+                },
+            };
+            let Some(token) = token else {
+                self.eng.stats.mismatched_replies += 1;
                 continue;
             };
-            let Some(token) = self.demux.claim(dest, sequence) else {
-                self.stats.mismatched_replies += 1;
-                continue;
-            };
-            let Some(entry) = self.dispatch.get(token) else {
+            let Some(entry) = self.eng.dispatch.get(token) else {
                 debug_assert!(false, "demux token out of bounds");
-                self.stats.mismatched_replies += 1;
+                self.eng.stats.mismatched_replies += 1;
                 continue;
             };
             let (session_idx, spec_idx) = (entry.session, entry.spec);
 
             let Some(slot) = self.slots.get_mut(session_idx) else {
                 debug_assert!(false, "dispatch entry names an unknown session");
-                self.stats.mismatched_replies += 1;
+                self.eng.stats.mismatched_replies += 1;
                 continue;
             };
-            let Some(&spec) = slot.round.get(spec_idx) else {
+            let Some(&request) = slot.round.get(spec_idx) else {
                 debug_assert!(false, "dispatch entry outlived its round");
-                self.stats.mismatched_replies += 1;
+                self.eng.stats.mismatched_replies += 1;
                 continue;
             };
-            // The shared acceptance rule (also TransportProber's): the
-            // reply must quote the flow we probed with.
-            let Some(obs) = ProbeObservation::from_reply(
-                spec,
-                parsed,
-                slot.destination,
-                self.replies.timestamp(slot_idx),
-            ) else {
-                self.stats.mismatched_replies += 1;
+            let timestamp = self.eng.replies.timestamp(slot_idx);
+            let outcome = match request {
+                // The shared acceptance rule (also TransportProber's):
+                // the reply must quote the flow we probed with.
+                ProbeRequest::Udp(spec) if parsed.kind != ReplyKind::EchoReply => {
+                    ProbeObservation::from_reply(spec, parsed, slot.destination, timestamp)
+                        .map(ProbeOutcome::Udp)
+                }
+                // The claim key guarantees the responder is the pinged
+                // target and the sequence matches — the same acceptance
+                // rule TransportProber::direct_probe applies.
+                ProbeRequest::Echo { target } if parsed.kind == ReplyKind::EchoReply => {
+                    parsed.echo.map(|(_, sequence)| {
+                        debug_assert_eq!(parsed.responder, target, "claim key mismatch");
+                        ProbeOutcome::Echo(DirectObservation {
+                            target: parsed.responder,
+                            ip_id: parsed.reply_ip_id,
+                            probe_ip_id: sequence,
+                            reply_ttl: parsed.reply_ttl,
+                            timestamp,
+                        })
+                    })
+                }
+                // Kind-tagged keys make a crossed claim impossible; be
+                // defensive anyway.
+                _ => None,
+            };
+            let Some(outcome) = outcome else {
+                self.eng.stats.mismatched_replies += 1;
                 continue;
             };
             if let Some(result) = slot.results.get_mut(spec_idx) {
-                *result = Some(obs);
+                *result = Some(outcome);
                 slot.delivered_cycle += 1;
                 self.cycle_delivered += 1;
-                self.stats.replies_delivered += 1;
+                self.eng.stats.replies_delivered += 1;
             }
         }
     }
@@ -797,7 +954,7 @@ impl<T: BatchTransport> SweepEngine<T> {
     /// Applies the AIMD rules to the global budget and the per-lane
     /// allowances from the just-demultiplexed cycle.
     fn adapt_budget(&mut self) {
-        let dispatched = self.packets.len();
+        let dispatched = self.eng.packets.len();
         if dispatched == 0 {
             return;
         }
@@ -805,27 +962,28 @@ impl<T: BatchTransport> SweepEngine<T> {
         // Classify the cycle against the loss threshold — the default
         // controller's threshold when the budget is fixed, so the
         // clean/lossy counters mean the same thing in both modes.
-        let threshold = self.config.adaptive.map_or_else(
+        let threshold = self.eng.config.adaptive.map_or_else(
             || AdaptiveBudget::default().loss_threshold,
             |c| c.loss_threshold,
         );
         if loss > threshold {
-            self.stats.lossy_cycles += 1;
+            self.eng.stats.lossy_cycles += 1;
         } else {
-            self.stats.clean_cycles += 1;
+            self.eng.stats.clean_cycles += 1;
         }
-        let Some(cfg) = self.config.adaptive else {
+        let Some(cfg) = self.eng.config.adaptive else {
             return;
         };
         if loss > cfg.loss_threshold {
             let floor = cfg.min_in_flight as f64;
-            let next = (self.budget * cfg.backoff).max(floor);
-            if next < self.budget {
-                self.stats.budget_backoffs += 1;
+            let next = (self.eng.budget * cfg.backoff).max(floor);
+            if next < self.eng.budget {
+                self.eng.stats.budget_backoffs += 1;
             }
-            self.budget = next;
+            self.eng.budget = next;
         } else {
-            self.budget = (self.budget + cfg.increase as f64).min(self.config.max_in_flight as f64);
+            self.eng.budget =
+                (self.eng.budget + cfg.increase as f64).min(self.eng.config.max_in_flight as f64);
         }
         let mut lane_backoffs = 0u64;
         for slot in &mut self.slots {
@@ -841,10 +999,10 @@ impl<T: BatchTransport> SweepEngine<T> {
                 slot.allowance = slot
                     .allowance
                     .saturating_add(cfg.increase)
-                    .min(self.config.max_in_flight);
+                    .min(self.eng.config.max_in_flight);
             }
         }
-        self.stats.lane_backoffs += lane_backoffs;
+        self.eng.stats.lane_backoffs += lane_backoffs;
     }
 
     /// Completes retry waves and hands finished rounds to their sessions.
@@ -855,15 +1013,17 @@ impl<T: BatchTransport> SweepEngine<T> {
                 continue; // wave still (partially) undispatched
             }
             // The transport is synchronous: everything dispatched so far
-            // has resolved. Unanswered specs feed the next retry wave.
+            // has resolved. Unanswered requests feed the next retry wave.
             let still: Vec<usize> = slot
                 .wave
                 .iter()
                 .copied()
                 .filter(|&s| slot.results.get(s).is_some_and(Option::is_none))
                 .collect();
-            if still.is_empty() || slot.attempt >= self.config.retries {
-                slot.session.on_replies(&slot.results);
+            if still.is_empty() || slot.attempt >= self.eng.config.retries {
+                slot.session.note_wire_probes(slot.round_wire);
+                slot.round_wire = 0;
+                slot.session.on_replies(&mut slot.results);
                 slot.active = false;
             } else {
                 slot.attempt += 1;
@@ -880,7 +1040,7 @@ impl<T: BatchTransport> SweepEngine<T> {
 mod tests {
     use super::*;
     use crate::config::TraceConfig;
-    use crate::prober::{Prober, TransportProber};
+    use crate::prober::{ProbeSpec, Prober, TransportProber};
     use crate::session::{MdaLiteSession, MdaSession, SingleFlowSession};
     use crate::trace::Trace;
     use mlpt_sim::SimNetwork;
@@ -897,41 +1057,55 @@ mod tests {
     fn demux_routes_interleaved_replies() {
         let mut demux = ReplyDemux::default();
         // Two sessions' probes registered interleaved.
-        assert!(demux.register(dest(1), 1, 10));
-        assert!(demux.register(dest(2), 1, 20));
-        assert!(demux.register(dest(1), 2, 11));
-        assert!(demux.register(dest(2), 2, 21));
+        assert!(demux.register(TagKind::Udp, dest(1), 1, 10));
+        assert!(demux.register(TagKind::Udp, dest(2), 1, 20));
+        assert!(demux.register(TagKind::Udp, dest(1), 2, 11));
+        assert!(demux.register(TagKind::Udp, dest(2), 2, 21));
         // Replies claimed out of order still find their probes.
-        assert_eq!(demux.claim(dest(2), 2), Some(21));
-        assert_eq!(demux.claim(dest(1), 1), Some(10));
-        assert_eq!(demux.claim(dest(2), 1), Some(20));
-        assert_eq!(demux.claim(dest(1), 2), Some(11));
+        assert_eq!(demux.claim(TagKind::Udp, dest(2), 2), Some(21));
+        assert_eq!(demux.claim(TagKind::Udp, dest(1), 1), Some(10));
+        assert_eq!(demux.claim(TagKind::Udp, dest(2), 1), Some(20));
+        assert_eq!(demux.claim(TagKind::Udp, dest(1), 2), Some(11));
     }
 
     #[test]
     fn demux_lost_and_unknown_replies() {
         let mut demux = ReplyDemux::default();
-        assert!(demux.register(dest(1), 7, 0));
+        assert!(demux.register(TagKind::Udp, dest(1), 7, 0));
         // An unknown tag (wrong destination or sequence) claims nothing.
-        assert_eq!(demux.claim(dest(1), 8), None);
-        assert_eq!(demux.claim(dest(9), 7), None);
+        assert_eq!(demux.claim(TagKind::Udp, dest(1), 8), None);
+        assert_eq!(demux.claim(TagKind::Udp, dest(9), 7), None);
         // A lost reply simply never claims; the entry drains on clear.
         assert_eq!(demux.len(), 1);
         demux.clear();
         assert_eq!(demux.len(), 0);
         // Double delivery: the second claim of the same tag fails.
-        assert!(demux.register(dest(1), 7, 0));
-        assert_eq!(demux.claim(dest(1), 7), Some(0));
-        assert_eq!(demux.claim(dest(1), 7), None);
+        assert!(demux.register(TagKind::Udp, dest(1), 7, 0));
+        assert_eq!(demux.claim(TagKind::Udp, dest(1), 7), Some(0));
+        assert_eq!(demux.claim(TagKind::Udp, dest(1), 7), None);
     }
 
     #[test]
     fn demux_rejects_tag_collisions() {
         let mut demux = ReplyDemux::default();
-        assert!(demux.register(dest(1), 1, 0));
-        assert!(!demux.register(dest(1), 1, 5), "collision must be flagged");
+        assert!(demux.register(TagKind::Udp, dest(1), 1, 0));
+        assert!(
+            !demux.register(TagKind::Udp, dest(1), 1, 5),
+            "collision must be flagged"
+        );
         // The first registration survives.
-        assert_eq!(demux.claim(dest(1), 1), Some(0));
+        assert_eq!(demux.claim(TagKind::Udp, dest(1), 1), Some(0));
+    }
+
+    /// UDP and echo tags live in disjoint key spaces: a UDP probe towards
+    /// destination D never claims an Echo Reply from interface D.
+    #[test]
+    fn demux_kinds_are_disjoint() {
+        let mut demux = ReplyDemux::default();
+        assert!(demux.register(TagKind::Udp, dest(1), 1, 0));
+        assert!(demux.register(TagKind::Echo, dest(1), 1, 9));
+        assert_eq!(demux.claim(TagKind::Echo, dest(1), 1), Some(9));
+        assert_eq!(demux.claim(TagKind::Udp, dest(1), 1), Some(0));
     }
 
     #[test]
@@ -1126,5 +1300,80 @@ mod tests {
         assert!(stats.budget_backoffs > 0, "30% loss must trigger backoff");
         assert!(stats.lossy_cycles > 0);
         assert!(stats.final_in_flight_budget < 64);
+    }
+
+    /// A hand-rolled ProbeSession mixing UDP and echo requests in one
+    /// round: the engine dispatches both kinds through one batch, routes
+    /// the Echo Reply by its echoed tag, and reports wire probes.
+    #[test]
+    fn mixed_kind_session_round_trips() {
+        use mlpt_topo::graph::addr;
+
+        struct MixedSession {
+            destination: Ipv4Addr,
+            round: Vec<ProbeRequest>,
+            got: Vec<Option<ProbeOutcome>>,
+            wire: u64,
+            done: bool,
+        }
+        impl ProbeSession for MixedSession {
+            fn poll(&mut self) -> SessionState {
+                if self.done {
+                    SessionState::Finished
+                } else {
+                    SessionState::Probing
+                }
+            }
+            fn next_rounds(&self) -> &[ProbeRequest] {
+                &self.round
+            }
+            fn on_replies(&mut self, results: &mut [Option<ProbeOutcome>]) {
+                self.got.extend(results.iter_mut().map(Option::take));
+                self.done = true;
+            }
+            fn destination(&self) -> Ipv4Addr {
+                self.destination
+            }
+            fn note_wire_probes(&mut self, count: u64) {
+                self.wire += count;
+            }
+        }
+
+        let topo = canonical::simplest_diamond();
+        let d = topo.destination();
+        let target = addr(1, 0);
+        let session = MixedSession {
+            destination: d,
+            round: vec![
+                ProbeRequest::Udp(ProbeSpec::new(FlowId(3), 1)),
+                ProbeRequest::Echo { target },
+                ProbeRequest::Udp(ProbeSpec::new(FlowId(3), 3)),
+            ],
+            got: Vec::new(),
+            wire: 0,
+            done: false,
+        };
+        let mut engine = SweepEngine::new(SimNetwork::new(topo, 1), SRC);
+        let mut finished: Vec<(usize, MixedSession, u64)> = Vec::new();
+        engine.run_sessions_with([session], |i, s, probes| finished.push((i, s, probes)));
+        let (index, session, probes) = finished.pop().expect("one session");
+        assert_eq!(index, 0);
+        assert_eq!(probes, 3);
+        assert_eq!(session.wire, 3);
+        assert_eq!(session.got.len(), 3);
+        let Some(ProbeOutcome::Udp(first)) = &session.got[0] else {
+            panic!("expected a UDP observation, got {:?}", session.got[0]);
+        };
+        assert_eq!(first.responder, addr(0, 0));
+        let Some(ProbeOutcome::Echo(echo)) = &session.got[1] else {
+            panic!("expected an echo observation, got {:?}", session.got[1]);
+        };
+        assert_eq!(echo.target, target);
+        let Some(ProbeOutcome::Udp(last)) = &session.got[2] else {
+            panic!("expected a UDP observation, got {:?}", session.got[2]);
+        };
+        assert!(last.at_destination);
+        assert_eq!(engine.stats().mismatched_replies, 0);
+        assert_eq!(engine.stats().replies_delivered, 3);
     }
 }

@@ -10,10 +10,13 @@
 //!   state machines** ([`TraceSession`]): MDA, MDA-Lite and single-flow
 //!   emit probe rounds and consume observations without touching a
 //!   transport, so one implementation serves both blocking drivers and
-//!   the concurrent sweep engine.
+//!   the concurrent sweep engine. The [`ProbeSession`] generalisation
+//!   speaks typed probe requests (TTL-limited UDP *and* ICMP echo), so
+//!   protocols beyond tracing — above all alias resolution — run as
+//!   sessions too.
 //! * [`engine`] — the [`SweepEngine`]: many sessions (one per
 //!   destination) interleaved over one shared [`mlpt_wire`] transport,
-//!   with cross-destination batch merging, tag-based reply
+//!   with cross-destination batch merging, kind-tagged reply
 //!   demultiplexing and an in-flight token budget.
 //! * [`mda`] — the classic Multipath Detection Algorithm with node
 //!   control (thin blocking driver over its session).
@@ -66,7 +69,10 @@ pub use mda::trace_mda;
 pub use mda_lite::trace_mda_lite;
 pub use prober::{DirectObservation, ProbeLog, ProbeObservation, Prober, TransportProber};
 pub use report::TraceReport;
-pub use session::{MdaLiteSession, MdaSession, SessionState, SingleFlowSession, TraceSession};
+pub use session::{
+    drive_probes, MdaLiteSession, MdaSession, ProbeOutcome, ProbeRequest, ProbeSession,
+    SessionState, SingleFlowSession, TraceProbeSession, TraceSession,
+};
 pub use single_flow::trace_single_flow;
 pub use stopping::StoppingPoints;
 pub use trace::{Algorithm, SwitchReason, Trace};
@@ -79,7 +85,8 @@ pub mod prelude {
     pub use crate::mda_lite::trace_mda_lite;
     pub use crate::prober::{Prober, TransportProber};
     pub use crate::session::{
-        MdaLiteSession, MdaSession, SessionState, SingleFlowSession, TraceSession,
+        MdaLiteSession, MdaSession, ProbeOutcome, ProbeRequest, ProbeSession, SessionState,
+        SingleFlowSession, TraceSession,
     };
     pub use crate::single_flow::trace_single_flow;
     pub use crate::stopping::StoppingPoints;

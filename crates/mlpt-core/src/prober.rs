@@ -32,6 +32,16 @@ use mlpt_wire::transport::{BatchTransport, PacketBatch, PacketTransport, ReplyBa
 use mlpt_wire::FlowId;
 use std::net::Ipv4Addr;
 
+/// ICMP echo identifier every prober stamps on direct probes ("ML"), so
+/// Echo Replies can be told apart from unrelated ping traffic. Shared by
+/// [`TransportProber`] and the sweep engine so both paths emit
+/// bit-identical echo packets.
+pub const ECHO_IDENTIFIER: u16 = 0x4D4C;
+
+/// TTL direct (echo) probes are sent with — large enough to reach any
+/// interface a trace can observe.
+pub const ECHO_TTL: u8 = 64;
+
 /// One indirect probe request: which flow at which TTL.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProbeSpec {
@@ -192,7 +202,7 @@ impl<T: PacketTransport> TransportProber<T> {
             source,
             destination,
             sequence: 0,
-            echo_identifier: 0x4D4C, // "ML"
+            echo_identifier: ECHO_IDENTIFIER,
             retries: 0,
             probes_sent: 0,
             dispatch: DispatchMode::default(),
@@ -374,7 +384,13 @@ impl<T: BatchTransport> Prober for TransportProber<T> {
     fn direct_probe(&mut self, target: Ipv4Addr) -> Option<DirectObservation> {
         for _attempt in 0..=self.retries {
             let sequence = self.next_sequence();
-            let packet = build_echo_probe(self.source, target, self.echo_identifier, sequence, 64);
+            let packet = build_echo_probe(
+                self.source,
+                target,
+                self.echo_identifier,
+                sequence,
+                ECHO_TTL,
+            );
             self.probes_sent += 1;
             let Some(reply) = self.transport.send_packet(&packet) else {
                 continue;

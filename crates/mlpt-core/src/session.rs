@@ -1,4 +1,4 @@
-//! Sans-IO trace sessions: the tracing algorithms as resumable state
+//! Sans-IO probe sessions: probing protocols as resumable state
 //! machines.
 //!
 //! The MDA, MDA-Lite and single-flow tracers used to be blocking
@@ -25,13 +25,27 @@
 //! paths — so a session-driven trace is bit-identical to its blocking
 //! ancestor, probe for probe.
 //!
+//! # Sessions beyond traceroute
+//!
+//! Tracing only ever sends one kind of packet (a TTL-limited UDP probe
+//! towards the session's destination), so [`TraceSession`] speaks
+//! [`ProbeSpec`]s. Other probing protocols — above all the paper's
+//! Round 0–10 alias resolution, which interleaves TTL-limited UDP with
+//! ICMP Echo Requests aimed at individual interfaces — need a wider
+//! vocabulary. [`ProbeSession`] is that generalisation: the same
+//! poll / next round / absorb replies contract, but over typed
+//! [`ProbeRequest`]s and [`ProbeOutcome`]s. The sweep engine schedules
+//! `ProbeSession`s; trace sessions join in through the
+//! [`TraceProbeSession`] adapter, and [`drive_probes`] is the blocking
+//! single-session driver (the alias analogue of [`drive`]).
+//!
 //! [`trace_mda`]: crate::mda::trace_mda
 //! [`trace_mda_lite`]: crate::mda_lite::trace_mda_lite
 //! [`trace_single_flow`]: crate::single_flow::trace_single_flow
 
 use crate::config::TraceConfig;
 use crate::discovery::{Discovery, FlowAllocator};
-use crate::prober::{ProbeObservation, ProbeSpec, Prober};
+use crate::prober::{DirectObservation, ProbeObservation, ProbeSpec, Prober};
 use crate::trace::{Algorithm, SwitchReason, Trace};
 use mlpt_wire::FlowId;
 use std::collections::BTreeSet;
@@ -44,6 +58,190 @@ pub enum SessionState {
     Probing,
     /// The trace is complete; collect it with [`TraceSession::take_trace`].
     Finished,
+}
+
+/// One typed probe a [`ProbeSession`] asks its driver to put on the wire.
+///
+/// The two kinds cover everything the paper's protocols send: indirect
+/// (traceroute-style) probes that elicit ICMP errors, and direct
+/// (ping-style) probes that elicit Echo Replies. New probe kinds (e.g. a
+/// full-TTL UDP probe aimed straight at an interface) slot in as further
+/// variants; drivers match exhaustively, so adding one is a compile-time
+/// checklist of every dispatch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeRequest {
+    /// TTL-limited UDP towards the session's
+    /// [`destination`](ProbeSession::destination) — the indirect probe
+    /// behind all tracing and the MBT's Time Exceeded samples.
+    Udp(ProbeSpec),
+    /// ICMP Echo Request aimed directly at `target` — the direct probe
+    /// behind fingerprint completion and MIDAR-style Echo Reply series.
+    Echo {
+        /// The interface address to ping.
+        target: Ipv4Addr,
+    },
+}
+
+/// What one [`ProbeRequest`] observed, typed to match the request kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Reply to a [`ProbeRequest::Udp`] probe.
+    Udp(ProbeObservation),
+    /// Reply to a [`ProbeRequest::Echo`] probe.
+    Echo(DirectObservation),
+}
+
+/// A resumable, transport-free probing session over typed requests — the
+/// generalisation of [`TraceSession`] the sweep engine schedules.
+///
+/// The contract mirrors [`TraceSession`]: call
+/// [`poll`](ProbeSession::poll); while it returns
+/// [`SessionState::Probing`], dispatch the requests of
+/// [`next_rounds`](ProbeSession::next_rounds) and answer with
+/// [`on_replies`](ProbeSession::on_replies) (one slot per request, in
+/// request order; `None` marks loss). Rounds are never empty while
+/// probing. Drivers report wire-level packet counts through
+/// [`note_wire_probes`](ProbeSession::note_wire_probes) just before each
+/// round's replies, so sessions can account the paper's cost metric
+/// per protocol phase even when a transport retries on their behalf.
+pub trait ProbeSession {
+    /// Advances the machine; returns whether probes are ready or the
+    /// session is done.
+    fn poll(&mut self) -> SessionState;
+
+    /// The pending round of typed probe requests (non-empty while
+    /// [`SessionState::Probing`]; empty once finished). Stable until
+    /// [`on_replies`](ProbeSession::on_replies) is called.
+    fn next_rounds(&self) -> &[ProbeRequest];
+
+    /// Delivers the round's outcomes, one slot per request in request
+    /// order. Slots are `&mut` so the session can move observations out
+    /// instead of cloning them.
+    fn on_replies(&mut self, results: &mut [Option<ProbeOutcome>]);
+
+    /// The destination this session probes towards: the target of its
+    /// [`ProbeRequest::Udp`] probes and the key under which a scheduler
+    /// deduplicates concurrent sessions.
+    fn destination(&self) -> Ipv4Addr;
+
+    /// Informs the session how many packets the driver actually put on
+    /// the wire for the round about to be delivered (retries included).
+    /// Called immediately before [`on_replies`](ProbeSession::on_replies).
+    fn note_wire_probes(&mut self, count: u64) {
+        let _ = count;
+    }
+}
+
+/// Adapts any [`TraceSession`] to the [`ProbeSession`] contract: every
+/// [`ProbeSpec`] round becomes a round of [`ProbeRequest::Udp`] requests,
+/// and UDP outcomes are handed back as plain observations. This is how
+/// the trace algorithms ride the generalised sweep scheduler unchanged.
+pub struct TraceProbeSession<S> {
+    inner: S,
+    requests: Vec<ProbeRequest>,
+    replies: Vec<Option<ProbeObservation>>,
+}
+
+impl<S: TraceSession> TraceProbeSession<S> {
+    /// Wraps a trace session.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            requests: Vec::new(),
+            replies: Vec::new(),
+        }
+    }
+
+    /// The wrapped session.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps the trace session.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TraceSession> ProbeSession for TraceProbeSession<S> {
+    fn poll(&mut self) -> SessionState {
+        let state = self.inner.poll();
+        if state == SessionState::Probing && self.requests.is_empty() {
+            self.requests.extend(
+                self.inner
+                    .next_rounds()
+                    .iter()
+                    .map(|&s| ProbeRequest::Udp(s)),
+            );
+        }
+        state
+    }
+
+    fn next_rounds(&self) -> &[ProbeRequest] {
+        &self.requests
+    }
+
+    fn on_replies(&mut self, results: &mut [Option<ProbeOutcome>]) {
+        self.replies.clear();
+        self.replies.extend(results.iter_mut().map(|slot| {
+            match slot.take() {
+                Some(ProbeOutcome::Udp(obs)) => Some(obs),
+                // An echo outcome for a UDP request cannot happen through
+                // a well-behaved driver; treat it as loss.
+                Some(ProbeOutcome::Echo(_)) | None => None,
+            }
+        }));
+        self.inner.on_replies(&self.replies);
+        self.requests.clear();
+    }
+
+    fn destination(&self) -> Ipv4Addr {
+        self.inner.destination()
+    }
+}
+
+/// Drives a [`ProbeSession`] to completion over a [`Prober`] — the
+/// blocking single-session driver behind `run_rounds` and
+/// `trace_multilevel` in `mlpt-alias`. Returns the wire-level packet
+/// count (retries included).
+///
+/// Consecutive UDP requests are dispatched as one
+/// [`Prober::probe_batch`] round (bit-identical to per-probe dispatch on
+/// a synchronous transport without retries); echo requests go through
+/// [`Prober::direct_probe`] one at a time, exactly as the blocking alias
+/// protocol always dispatched them.
+pub fn drive_probes<S: ProbeSession + ?Sized, P: Prober>(session: &mut S, prober: &mut P) -> u64 {
+    let start = prober.probes_sent();
+    let mut requests: Vec<ProbeRequest> = Vec::new();
+    let mut specs: Vec<ProbeSpec> = Vec::new();
+    let mut outcomes: Vec<Option<ProbeOutcome>> = Vec::new();
+    while session.poll() == SessionState::Probing {
+        let round_start = prober.probes_sent();
+        requests.clear();
+        requests.extend_from_slice(session.next_rounds());
+        outcomes.clear();
+        let mut i = 0;
+        while i < requests.len() {
+            match requests[i] {
+                ProbeRequest::Udp(_) => {
+                    specs.clear();
+                    while let Some(ProbeRequest::Udp(spec)) = requests.get(i) {
+                        specs.push(*spec);
+                        i += 1;
+                    }
+                    let results = prober.probe_batch(&specs);
+                    outcomes.extend(results.into_iter().map(|o| o.map(ProbeOutcome::Udp)));
+                }
+                ProbeRequest::Echo { target } => {
+                    outcomes.push(prober.direct_probe(target).map(ProbeOutcome::Echo));
+                    i += 1;
+                }
+            }
+        }
+        session.note_wire_probes(prober.probes_sent() - round_start);
+        session.on_replies(&mut outcomes);
+    }
+    prober.probes_sent() - start
 }
 
 /// A resumable, transport-free tracing session.
@@ -75,6 +273,28 @@ pub trait TraceSession {
     /// Consumes the accumulated evidence into a [`Trace`]. `probes_sent`
     /// is the wire-level packet count the driver measured.
     fn take_trace(&mut self, probes_sent: u64) -> Trace;
+}
+
+impl<S: TraceSession + ?Sized> TraceSession for Box<S> {
+    fn poll(&mut self) -> SessionState {
+        (**self).poll()
+    }
+
+    fn next_rounds(&self) -> &[ProbeSpec] {
+        (**self).next_rounds()
+    }
+
+    fn on_replies(&mut self, results: &[Option<ProbeObservation>]) {
+        (**self).on_replies(results)
+    }
+
+    fn destination(&self) -> Ipv4Addr {
+        (**self).destination()
+    }
+
+    fn take_trace(&mut self, probes_sent: u64) -> Trace {
+        (**self).take_trace(probes_sent)
+    }
 }
 
 /// Drives a session to completion over a [`Prober`] — the single-session

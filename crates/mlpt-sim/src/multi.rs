@@ -536,6 +536,80 @@ mod tests {
         assert_eq!(paced_net.counters().replies_sent, 8);
     }
 
+    /// Rate-limit profiles apply to Echo Replies exactly as to ICMP
+    /// errors: an echo burst into a rate-limited lane is suppressed at
+    /// the router's token bucket, and the inter-cycle gap refills it —
+    /// the behaviour an adaptive alias sweep (echo-heavy direct probing)
+    /// backs off from.
+    #[test]
+    fn rate_limit_applies_to_echo_replies_on_lanes() {
+        use crate::faults::FaultPlan;
+        use crate::router::RouterProfile;
+        use mlpt_topo::RouterId;
+        let topo = canonical::simplest_diamond().translated(0x0100_0000);
+        // Group the two middle interfaces into one router so the echo
+        // burst drains a single shared token bucket.
+        let targets: Vec<Ipv4Addr> = topo.hop(1).to_vec();
+        let routers = mlpt_topo::RouterMap::from_alias_sets([targets.clone()]);
+        let build = || {
+            crate::SimNetwork::builder(topo.clone())
+                .routers(routers.clone())
+                .profile(RouterId(0), RouterProfile::well_behaved())
+                .faults(FaultPlan::with_rate_limit_window(2, 8))
+                .seed(3)
+                .build()
+        };
+        let echo_batch = |n: u16| {
+            let mut batch = PacketBatch::new();
+            for i in 0..n {
+                let target = targets[usize::from(i) % targets.len()];
+                batch.push(&mlpt_wire::probe::build_echo_probe(
+                    SRC,
+                    target,
+                    0x4D4C,
+                    i + 1,
+                    64,
+                ));
+            }
+            batch
+        };
+
+        // One burst of 8 echoes into a capacity-2 bucket: most dropped.
+        let mut burst_net = MultiNetwork::new(vec![build()]).expect("unique");
+        let mut replies = ReplyBatch::new();
+        burst_net.send_batch(&echo_batch(8), &mut replies);
+        let suppressed = burst_net.counters().replies_rate_limited;
+        assert!(suppressed >= 5, "suppressed {suppressed}");
+        // The answered ones are real Echo Replies from the targets.
+        let answered = (0..replies.len())
+            .filter(|&i| replies.get(i).is_some())
+            .count();
+        assert_eq!(answered as u64, burst_net.counters().replies_sent);
+
+        // The same 8 echoes paced 2 per cycle with a full window between
+        // cycles: the bucket refills, nothing is suppressed.
+        let mut paced_net = MultiNetwork::new(vec![build()])
+            .expect("unique")
+            .with_cycle_gap(8);
+        for c in 0..4u16 {
+            let mut batch = PacketBatch::new();
+            for i in 0..2u16 {
+                let seq = c * 2 + i;
+                let target = targets[usize::from(seq) % targets.len()];
+                batch.push(&mlpt_wire::probe::build_echo_probe(
+                    SRC,
+                    target,
+                    0x4D4C,
+                    seq + 1,
+                    64,
+                ));
+            }
+            paced_net.send_batch(&batch, &mut replies);
+        }
+        assert_eq!(paced_net.counters().replies_rate_limited, 0);
+        assert_eq!(paced_net.counters().replies_sent, 8);
+    }
+
     #[test]
     fn echo_routes_to_owning_lane() {
         let all = lanes(2, 3);

@@ -18,9 +18,10 @@
 //! * [`ip_survey`] — the IP-level survey (Figs. 2, 7–11).
 //! * [`evaluation`] — the five-way algorithm comparison (Fig. 4, Table 1).
 //! * [`router_survey`] — the router-level survey (Figs. 5, 12–14,
-//!   Tables 2–3).
+//!   Tables 2–3), streamed through the sweep engine as sessionized
+//!   multilevel traces.
 //! * [`parallel`] — a small deterministic fork-join helper used to fan
-//!   scenarios out over threads.
+//!   sweep chunks (and the legacy per-scenario A/B paths) over threads.
 
 pub mod accounting;
 pub mod evaluation;
@@ -34,5 +35,6 @@ pub use evaluation::{evaluate_scenarios, EvaluationConfig, EvaluationOutcome, Tr
 pub use generator::{InternetConfig, SyntheticInternet, TraceScenario};
 pub use ip_survey::{run_ip_survey, IpSurveyConfig, IpSurveyReport};
 pub use router_survey::{
-    run_router_survey, ResolutionCase, RouterSurveyConfig, RouterSurveyReport,
+    disjoint_scenario_groups, run_router_survey, ResolutionCase, RouterSurveyConfig,
+    RouterSurveyReport,
 };

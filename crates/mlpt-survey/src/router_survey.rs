@@ -13,20 +13,37 @@
 //!   closure across traces ("aggregated");
 //! * Table 3 — what alias resolution does to each unique diamond;
 //! * Figs. 13 & 14 — max-width distributions before/after resolution.
+//!
+//! Scenarios run through the **concurrent sweep engine** by default:
+//! each worker chunk builds one [`mlpt_sim::MultiNetwork`] whose lanes
+//! are the per-scenario simulators and streams one
+//! [`MultilevelSession`] per destination — trace, Round 0–10 alias
+//! rounds and (optionally) the direct comparator campaigns all
+//! interleaved across destinations under the engine's streaming
+//! admission and in-flight budget. Scenarios whose topologies share
+//! interface addresses (the 48/56/96-wide core structures are shared
+//! across routes by construction) are split into address-disjoint
+//! sub-sweeps, because echo probes route by interface address. Per-lane
+//! determinism makes every aggregate bit-identical to the legacy
+//! thread-per-scenario loop, which survives behind
+//! [`DispatchMode::PerProbe`] for A/B comparison.
 
-use crate::generator::SyntheticInternet;
+use crate::generator::{SyntheticInternet, TraceScenario};
 use crate::parallel::ordered_parallel_map;
 use mlpt_alias::evidence::EvidenceBase;
-use mlpt_alias::multilevel::{trace_multilevel, MultilevelConfig};
+use mlpt_alias::multilevel::{
+    trace_multilevel, MultilevelConfig, MultilevelOutcome, MultilevelSession,
+};
 use mlpt_alias::resolver::{judge_set, SeriesSource, SetVerdict};
 use mlpt_alias::rounds::{run_rounds, ProbeMethod, RoundsConfig};
 use mlpt_core::prelude::*;
 use mlpt_core::prober::DispatchMode;
+use mlpt_sim::MultiNetwork;
 use mlpt_stats::{Histogram, JointHistogram};
 use mlpt_topo::diamond::{all_diamond_metrics, find_diamonds};
 use mlpt_topo::{DiamondKey, MultipathTopology, RouterMap};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::net::Ipv4Addr;
 
 /// What happened to an IP-level diamond at the router level (Table 3).
@@ -158,17 +175,26 @@ impl VerdictMatrix {
 pub struct RouterSurveyConfig {
     /// Scenarios to re-trace.
     pub scenarios: usize,
-    /// Worker threads.
+    /// Worker threads (each drives a whole sweep chunk).
     pub workers: usize,
     /// Seed for the tracing side.
     pub trace_seed: u64,
-    /// How probes cross the transport (batched by default).
+    /// How probes cross the transport. [`DispatchMode::Batched`]
+    /// (default) streams the multilevel sessions through the sweep
+    /// engine; [`DispatchMode::PerProbe`] keeps the legacy
+    /// thread-per-scenario blocking loop for A/B comparison.
     pub dispatch: DispatchMode,
     /// Alias-resolution protocol (rounds, replies, MBT parameters).
     pub rounds: RoundsConfig,
     /// Whether to run the direct-probing comparator for Table 2
     /// (roughly doubles alias probing cost).
     pub with_direct_comparison: bool,
+    /// Destinations sharing one simulated network per worker chunk on
+    /// the sweep path (ignored on the legacy path).
+    pub sweep_batch: usize,
+    /// In-flight probe budget per sweep engine (the streaming-admission
+    /// headroom).
+    pub sweep_in_flight: usize,
 }
 
 impl Default for RouterSurveyConfig {
@@ -180,6 +206,8 @@ impl Default for RouterSurveyConfig {
             trace_seed: 0x5E52,
             rounds: RoundsConfig::default(),
             with_direct_comparison: true,
+            sweep_batch: 32,
+            sweep_in_flight: 512,
         }
     }
 }
@@ -189,6 +217,10 @@ impl Default for RouterSurveyConfig {
 pub struct RouterSurveyReport {
     /// Scenarios traced.
     pub traces: usize,
+    /// Ids of the scenarios that contributed a trace, in source order —
+    /// the streamed sweep reports rows under source indices, so this is
+    /// ascending regardless of completion order (regression-tested).
+    pub scenario_ids: Vec<usize>,
     /// Traces with at least one multi-interface alias set found.
     pub traces_with_aliases: usize,
     /// Sizes of distinct routers — alias sets deduplicated by exact
@@ -238,103 +270,273 @@ struct PerScenario {
     router_diamond_widths: Vec<usize>,
 }
 
+/// Shared Fig. 5 / Table 3 / Figs. 13–14 post-processing of one
+/// multilevel trace.
+fn scenario_tail(
+    result: &mlpt_alias::multilevel::MultilevelTrace,
+    verdicts: VerdictMatrix,
+    num_rounds: usize,
+) -> PerScenario {
+    // Fig. 5 inputs: pair sets and probes per round across hops.
+    let mut pair_sets: Vec<BTreeSet<(Ipv4Addr, Ipv4Addr)>> = vec![BTreeSet::new(); num_rounds + 1];
+    let mut probes_per_round = vec![0u64; num_rounds + 1];
+    for reports in result.hop_reports.values() {
+        for (r, report) in reports.iter().enumerate() {
+            pair_sets[r].extend(report.partition.pairs());
+            probes_per_round[r] += report.cumulative_probes;
+        }
+    }
+
+    // Table 3 / Figs. 13-14 inputs.
+    let mut diamonds = Vec::new();
+    let mut router_diamond_widths = Vec::new();
+    if let (Some(ip), Some(router)) = (&result.ip_topology, &result.router_topology) {
+        for d in find_diamonds(ip) {
+            let m = mlpt_topo::diamond::diamond_metrics(ip, &d);
+            let (case, after_width) = classify_resolution(ip, router, &d);
+            diamonds.push((m.key, case, m.max_width, after_width));
+        }
+        for m in all_diamond_metrics(router) {
+            router_diamond_widths.push(m.max_width);
+        }
+    }
+
+    PerScenario {
+        pair_sets,
+        probes_per_round,
+        trace_probes: result.trace.probes_sent,
+        router_map: result.router_map.clone(),
+        verdicts,
+        diamonds,
+        router_diamond_widths,
+    }
+}
+
+/// One scenario on the legacy blocking path: thread-per-scenario prober,
+/// trace + rounds + comparator driven sequentially.
+fn legacy_scenario(
+    internet: &SyntheticInternet,
+    config: &RouterSurveyConfig,
+    id: usize,
+) -> Option<PerScenario> {
+    let num_rounds = config.rounds.rounds as usize;
+    let scenario = internet.scenario(id);
+    if !scenario.has_diamond {
+        return None;
+    }
+    let seed = trace_seed_of(config, id);
+    let mut prober = scenario.build_prober(seed, config.dispatch);
+    let ml_config = MultilevelConfig {
+        trace: TraceConfig::new(seed),
+        rounds: config.rounds.clone(),
+    };
+    let result = trace_multilevel(&mut prober, &ml_config);
+
+    // Table 2: judge the union of router sets under both methods.
+    let mut verdicts = VerdictMatrix::default();
+    if config.with_direct_comparison {
+        let trace = &result.trace;
+        for ttl in 1..=trace.discovery.max_observed_ttl() {
+            let candidates: BTreeSet<Ipv4Addr> = trace
+                .discovery
+                .vertices_at(ttl)
+                .iter()
+                .copied()
+                .filter(|&a| a != trace.destination && !mlpt_topo::is_star(a))
+                .collect();
+            if candidates.len() < 2 {
+                continue;
+            }
+            // Evidence so far (trace + indirect rounds) …
+            let mut base = EvidenceBase::from_log(prober.log(), &candidates);
+            // … plus a direct-probing campaign of the same size.
+            let direct_cfg = RoundsConfig {
+                method: ProbeMethod::Direct,
+                ..config.rounds.clone()
+            };
+            let direct_reports =
+                run_rounds(&mut prober, trace, &candidates, &mut base, &direct_cfg);
+
+            let indirect_partition = result.final_partition(ttl);
+            let direct_partition = direct_reports.last().map(|r| &r.partition);
+            record_verdicts(
+                &mut verdicts,
+                &base,
+                indirect_partition,
+                direct_partition,
+                &config.rounds.mbt,
+            );
+        }
+    }
+
+    Some(scenario_tail(&result, verdicts, num_rounds))
+}
+
+/// Records the Table 2 verdicts for one hop: the union of router sets
+/// either method identified, judged under both series sources over the
+/// campaign's final evidence.
+fn record_verdicts(
+    verdicts: &mut VerdictMatrix,
+    base: &EvidenceBase,
+    indirect_partition: Option<&mlpt_alias::resolver::AliasPartition>,
+    direct_partition: Option<&mlpt_alias::resolver::AliasPartition>,
+    mbt: &mlpt_alias::mbt::MbtParams,
+) {
+    let mut sets: BTreeSet<BTreeSet<Ipv4Addr>> = BTreeSet::new();
+    if let Some(p) = indirect_partition {
+        sets.extend(p.routers().cloned());
+    }
+    if let Some(p) = direct_partition {
+        sets.extend(p.routers().cloned());
+    }
+    for set in sets {
+        let vi = judge_set(base, &set, SeriesSource::Indirect, mbt);
+        let vd = judge_set(base, &set, SeriesSource::Direct, mbt);
+        verdicts.record(vi, vd);
+    }
+}
+
+/// One scenario's row from a finished sweep session.
+fn streamed_scenario(outcome: MultilevelOutcome, config: &RouterSurveyConfig) -> PerScenario {
+    let num_rounds = config.rounds.rounds as usize;
+    let mut verdicts = VerdictMatrix::default();
+    // The comparator campaigns ran inside the session (seeded from its
+    // log at exactly the points the legacy loop seeded them); judge the
+    // same set unions over their final evidence.
+    for (ttl, comparison) in &outcome.direct {
+        record_verdicts(
+            &mut verdicts,
+            &comparison.evidence,
+            outcome.multilevel.final_partition(*ttl),
+            comparison.reports.last().map(|r| &r.partition),
+            &config.rounds.mbt,
+        );
+    }
+    scenario_tail(&outcome.multilevel, verdicts, num_rounds)
+}
+
+fn trace_seed_of(config: &RouterSurveyConfig, id: usize) -> u64 {
+    config.trace_seed ^ (id as u64).wrapping_mul(0xC0FF_EE11)
+}
+
+/// Partitions scenarios into groups whose topologies share no interface
+/// addresses, greedily in input order. Lanes of one [`MultiNetwork`]
+/// must own disjoint address sets — UDP probes route by (unique)
+/// destination, but echo probes route by interface, and the synthetic
+/// Internet deliberately shares its wide core structures across routes.
+/// Returns indices into `scenarios`.
+pub fn disjoint_scenario_groups(scenarios: &[&TraceScenario]) -> Vec<Vec<usize>> {
+    let mut groups: Vec<(Vec<usize>, HashSet<u32>)> = Vec::new();
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let addrs: HashSet<u32> = scenario
+            .topology
+            .all_addresses()
+            .iter()
+            .map(|&a| u32::from(a))
+            .collect();
+        match groups
+            .iter_mut()
+            .find(|(_, taken)| taken.is_disjoint(&addrs))
+        {
+            Some((members, taken)) => {
+                members.push(i);
+                taken.extend(addrs);
+            }
+            None => groups.push((vec![i], addrs)),
+        }
+    }
+    groups.into_iter().map(|(members, _)| members).collect()
+}
+
+/// One worker chunk of the sweep path: every diamond-carrying scenario
+/// of `ids` becomes a [`MultilevelSession`] lane; address-disjoint
+/// groups share one engine each.
+fn sweep_chunk(
+    internet: &SyntheticInternet,
+    config: &RouterSurveyConfig,
+    ids: &[usize],
+) -> Vec<Option<PerScenario>> {
+    let scenarios: Vec<TraceScenario> = ids.iter().map(|&id| internet.scenario(id)).collect();
+    let mut rows: Vec<Option<PerScenario>> = Vec::new();
+    rows.resize_with(scenarios.len(), || None);
+
+    let active: Vec<usize> = (0..scenarios.len())
+        .filter(|&i| scenarios[i].has_diamond)
+        .collect();
+    let active_refs: Vec<&TraceScenario> = active.iter().map(|&i| &scenarios[i]).collect();
+
+    for group in disjoint_scenario_groups(&active_refs) {
+        // Indices into `scenarios` of this address-disjoint sub-sweep.
+        let members: Vec<usize> = group.into_iter().map(|g| active[g]).collect();
+        let lanes: Vec<mlpt_sim::SimNetwork> = members
+            .iter()
+            .map(|&i| scenarios[i].build_network(trace_seed_of(config, ids[i])))
+            .collect();
+        let net = MultiNetwork::new(lanes).expect("disjoint groups have unique destinations");
+        let source = scenarios[members[0]].source;
+        assert!(
+            members.iter().all(|&i| scenarios[i].source == source),
+            "sweep chunks assume a single vantage point"
+        );
+        let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+            max_in_flight: config.sweep_in_flight.max(1),
+            admission: Admission::Streaming,
+            ..SweepConfig::default()
+        });
+        let sessions = members.iter().map(|&i| {
+            let seed = trace_seed_of(config, ids[i]);
+            let mut session = MultilevelSession::new(
+                scenarios[i].topology.destination(),
+                MultilevelConfig {
+                    trace: TraceConfig::new(seed),
+                    rounds: config.rounds.clone(),
+                },
+            );
+            if config.with_direct_comparison {
+                session = session.with_direct_comparison(RoundsConfig {
+                    method: ProbeMethod::Direct,
+                    ..config.rounds.clone()
+                });
+            }
+            session
+        });
+        engine.run_sessions_with(sessions, |index, session, _wire_probes| {
+            rows[members[index]] = Some(streamed_scenario(session.finish(), config));
+        });
+    }
+    rows
+}
+
 /// Runs the router-level survey.
 pub fn run_router_survey(
     internet: &SyntheticInternet,
     config: &RouterSurveyConfig,
 ) -> RouterSurveyReport {
     let num_rounds = config.rounds.rounds as usize;
-    let rows: Vec<Option<PerScenario>> =
+    let rows: Vec<Option<PerScenario>> = if config.dispatch == DispatchMode::PerProbe {
+        // Legacy comparison path: one full pipeline (and one simulator)
+        // per scenario, thread-per-scenario concurrency.
         ordered_parallel_map(config.scenarios, config.workers, |id| {
-            let scenario = internet.scenario(id);
-            if !scenario.has_diamond {
-                return None;
-            }
-            let seed = config.trace_seed ^ (id as u64).wrapping_mul(0xC0FF_EE11);
-            let mut prober = scenario.build_prober(seed, config.dispatch);
-            let ml_config = MultilevelConfig {
-                trace: TraceConfig::new(seed),
-                rounds: config.rounds.clone(),
-            };
-            let result = trace_multilevel(&mut prober, &ml_config);
-
-            // Fig. 5 inputs: pair sets and probes per round across hops.
-            let mut pair_sets: Vec<BTreeSet<(Ipv4Addr, Ipv4Addr)>> =
-                vec![BTreeSet::new(); num_rounds + 1];
-            let mut probes_per_round = vec![0u64; num_rounds + 1];
-            for reports in result.hop_reports.values() {
-                for (r, report) in reports.iter().enumerate() {
-                    pair_sets[r].extend(report.partition.pairs());
-                    probes_per_round[r] += report.cumulative_probes;
-                }
-            }
-
-            // Table 2: judge the union of router sets under both methods.
-            let mut verdicts = VerdictMatrix::default();
-            if config.with_direct_comparison {
-                let trace = &result.trace;
-                for ttl in 1..=trace.discovery.max_observed_ttl() {
-                    let candidates: BTreeSet<Ipv4Addr> = trace
-                        .discovery
-                        .vertices_at(ttl)
-                        .iter()
-                        .copied()
-                        .filter(|&a| a != trace.destination && !mlpt_topo::is_star(a))
-                        .collect();
-                    if candidates.len() < 2 {
-                        continue;
-                    }
-                    // Evidence so far (trace + indirect rounds) …
-                    let mut base = EvidenceBase::from_log(prober.log(), &candidates);
-                    // … plus a direct-probing campaign of the same size.
-                    let direct_cfg = RoundsConfig {
-                        method: ProbeMethod::Direct,
-                        ..config.rounds.clone()
-                    };
-                    let direct_reports =
-                        run_rounds(&mut prober, trace, &candidates, &mut base, &direct_cfg);
-
-                    let indirect_partition = result.final_partition(ttl);
-                    let direct_partition = direct_reports.last().map(|r| &r.partition);
-                    let mut sets: BTreeSet<BTreeSet<Ipv4Addr>> = BTreeSet::new();
-                    if let Some(p) = indirect_partition {
-                        sets.extend(p.routers().cloned());
-                    }
-                    if let Some(p) = direct_partition {
-                        sets.extend(p.routers().cloned());
-                    }
-                    for set in sets {
-                        let vi = judge_set(&base, &set, SeriesSource::Indirect, &config.rounds.mbt);
-                        let vd = judge_set(&base, &set, SeriesSource::Direct, &config.rounds.mbt);
-                        verdicts.record(vi, vd);
-                    }
-                }
-            }
-
-            // Table 3 / Figs. 13-14 inputs.
-            let mut diamonds = Vec::new();
-            let mut router_diamond_widths = Vec::new();
-            if let (Some(ip), Some(router)) = (&result.ip_topology, &result.router_topology) {
-                for d in find_diamonds(ip) {
-                    let m = mlpt_topo::diamond::diamond_metrics(ip, &d);
-                    let (case, after_width) = classify_resolution(ip, router, &d);
-                    diamonds.push((m.key, case, m.max_width, after_width));
-                }
-                for m in all_diamond_metrics(router) {
-                    router_diamond_widths.push(m.max_width);
-                }
-            }
-
-            Some(PerScenario {
-                pair_sets,
-                probes_per_round,
-                trace_probes: result.trace.probes_sent,
-                router_map: result.router_map,
-                verdicts,
-                diamonds,
-                router_diamond_widths,
-            })
-        });
+            legacy_scenario(internet, config, id)
+        })
+    } else {
+        // Sweep path: chunks of scenarios share engines; worker threads
+        // scale across chunks. Chunking and admission are pure
+        // scheduling — rows come back under source indices, so the
+        // report is identical however the sweep is sliced.
+        let chunk_size = config
+            .sweep_batch
+            .max(1)
+            .min(config.scenarios.div_ceil(config.workers.max(1)).max(1));
+        let chunks = config.scenarios.div_ceil(chunk_size);
+        let nested: Vec<Vec<Option<PerScenario>>> =
+            ordered_parallel_map(chunks, config.workers, |b| {
+                let ids: Vec<usize> =
+                    (b * chunk_size..((b + 1) * chunk_size).min(config.scenarios)).collect();
+                sweep_chunk(internet, config, &ids)
+            });
+        nested.into_iter().flatten().collect()
+    };
 
     // Aggregate.
     let mut global_pairs: Vec<BTreeSet<(Ipv4Addr, Ipv4Addr)>> =
@@ -348,9 +550,12 @@ pub fn run_router_survey(
     let mut width_after = Histogram::new();
     let mut traces_with_aliases = 0usize;
     let mut traces = 0usize;
+    let mut scenario_ids = Vec::new();
 
-    for row in rows.into_iter().flatten() {
+    for (id, row) in rows.into_iter().enumerate() {
+        let Some(row) = row else { continue };
         traces += 1;
+        scenario_ids.push(id);
         for (r, pairs) in row.pair_sets.iter().enumerate() {
             global_pairs[r].extend(pairs.iter().copied());
         }
@@ -431,6 +636,7 @@ pub fn run_router_survey(
 
     RouterSurveyReport {
         traces,
+        scenario_ids,
         traces_with_aliases,
         router_sizes_distinct,
         router_sizes_aggregated,
@@ -512,6 +718,137 @@ mod tests {
             classify_resolution(&ip, &collapsed, &diamond).0,
             ResolutionCase::MultipleSmaller
         );
+    }
+
+    /// The acceptance gate: the streamed sweep path is a pure scheduling
+    /// change. Every aggregate — the Fig. 5 series, the Table 2 verdict
+    /// matrix, the Table 3 resolution counts, the Fig. 12 router sizes
+    /// and the Fig. 13/14 width histograms — is identical to the legacy
+    /// thread-per-scenario blocking loop, bit for bit.
+    #[test]
+    fn streamed_and_legacy_paths_agree() {
+        let internet = SyntheticInternet::new(InternetConfig::with_seed(3));
+        let base = RouterSurveyConfig {
+            scenarios: 24,
+            workers: 2,
+            trace_seed: 99,
+            rounds: RoundsConfig {
+                rounds: 3,
+                replies_per_round: 8,
+                ..RoundsConfig::default()
+            },
+            with_direct_comparison: true,
+            sweep_batch: 7,      // deliberately uneven chunks
+            sweep_in_flight: 48, // small enough that admission actually streams
+            ..RouterSurveyConfig::default()
+        };
+        let streamed = run_router_survey(&internet, &base);
+        let legacy = run_router_survey(
+            &internet,
+            &RouterSurveyConfig {
+                dispatch: mlpt_core::prober::DispatchMode::PerProbe,
+                ..base.clone()
+            },
+        );
+        assert!(streamed.traces > 3, "population too small to mean much");
+        assert_eq!(streamed.traces, legacy.traces);
+        assert_eq!(streamed.scenario_ids, legacy.scenario_ids);
+        assert_eq!(streamed.traces_with_aliases, legacy.traces_with_aliases);
+        assert_eq!(streamed.router_sizes_distinct, legacy.router_sizes_distinct);
+        assert_eq!(
+            streamed.router_sizes_aggregated,
+            legacy.router_sizes_aggregated
+        );
+        assert_eq!(streamed.round_metrics, legacy.round_metrics);
+        assert_eq!(streamed.verdicts, legacy.verdicts);
+        assert_eq!(streamed.resolution_counts, legacy.resolution_counts);
+        assert_eq!(streamed.width_before, legacy.width_before);
+        assert_eq!(streamed.width_after, legacy.width_after);
+        assert_eq!(streamed.width_change, legacy.width_change);
+        assert!(
+            streamed.verdicts.total > 0,
+            "the comparator must have judged some sets"
+        );
+    }
+
+    /// Chunking, worker counts and the in-flight budget are pure
+    /// scheduling on the streamed path: rows come back under source
+    /// indices, so scenarios are reported in source order and the report
+    /// is identical however the sweep is sliced.
+    #[test]
+    fn streamed_rows_keep_source_order() {
+        let internet = SyntheticInternet::new(InternetConfig::with_seed(7));
+        let run = |sweep_batch: usize, sweep_in_flight: usize, workers: usize| {
+            run_router_survey(
+                &internet,
+                &RouterSurveyConfig {
+                    scenarios: 18,
+                    workers,
+                    trace_seed: 5,
+                    rounds: RoundsConfig {
+                        rounds: 2,
+                        replies_per_round: 6,
+                        ..RoundsConfig::default()
+                    },
+                    with_direct_comparison: false,
+                    sweep_batch,
+                    sweep_in_flight,
+                    ..RouterSurveyConfig::default()
+                },
+            )
+        };
+        let a = run(18, 16, 1); // one chunk, tight budget: heavy streaming
+        let b = run(5, 512, 4); // many chunks, budget admits whole chunks
+        assert!(
+            a.scenario_ids.windows(2).all(|w| w[0] < w[1]),
+            "rows must be in ascending source order: {:?}",
+            a.scenario_ids
+        );
+        assert_eq!(a.scenario_ids, b.scenario_ids);
+        assert_eq!(a.round_metrics, b.round_metrics);
+        assert_eq!(a.router_sizes_distinct, b.router_sizes_distinct);
+        assert_eq!(a.resolution_counts, b.resolution_counts);
+    }
+
+    /// Scenarios that traverse the shared core structures overlap in
+    /// interface addresses; the grouper must keep them out of each
+    /// other's sweeps (echo probes route by interface).
+    #[test]
+    fn disjoint_groups_respect_shared_cores() {
+        let internet = SyntheticInternet::new(InternetConfig::with_seed(7));
+        // Find two scenarios sharing core addresses (below 0x4000_0000).
+        let uses_core = |s: &TraceScenario| {
+            s.topology
+                .all_addresses()
+                .iter()
+                .any(|a| u32::from(*a) < 0x4000_0000)
+        };
+        let mut core_users: Vec<TraceScenario> = Vec::new();
+        for id in 0..4000 {
+            let s = internet.scenario(id);
+            if uses_core(&s) {
+                core_users.push(s);
+                if core_users.len() >= 2 {
+                    break;
+                }
+            }
+        }
+        assert!(core_users.len() >= 2, "core structures too rare");
+        let refs: Vec<&TraceScenario> = core_users.iter().collect();
+        let groups = disjoint_scenario_groups(&refs);
+        if core_users[0]
+            .topology
+            .all_addresses()
+            .intersection(&core_users[1].topology.all_addresses())
+            .next()
+            .is_some()
+        {
+            assert_eq!(groups.len(), 2, "overlapping scenarios must split");
+        }
+        // Every scenario lands in exactly one group.
+        let mut all: Vec<usize> = groups.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1]);
     }
 
     /// Small end-to-end survey exercising the whole pipeline.

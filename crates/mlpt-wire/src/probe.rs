@@ -163,7 +163,11 @@ pub struct ReplyPacket {
     /// Sequence number recovered from the quoted probe's IP ID (None for
     /// echo replies, which echo the sequence in the ICMP header instead).
     pub probe_sequence: Option<u16>,
-    /// Echo identifier/sequence for EchoReply messages.
+    /// Echo identifier/sequence for EchoReply messages. Together with
+    /// [`responder`](Self::responder) (an Echo Reply comes from the
+    /// pinged interface itself) this is the demultiplexing tag a
+    /// concurrent sweep uses for direct probes — the Echo-Reply
+    /// counterpart of the quoted-probe tag carried by error replies.
     pub echo: Option<(u16, u16)>,
     /// MPLS label stack attached via RFC 4884/4950, outermost first.
     pub mpls_stack: Vec<MplsLabelStackEntry>,
@@ -400,6 +404,53 @@ mod tests {
         assert_eq!(reply.kind, ReplyKind::EchoReply);
         assert_eq!(reply.echo, Some((0xCAFE, 3)));
         assert_eq!(reply.reply_ip_id, 999);
+    }
+
+    /// The Echo-Reply demux contract: the identifier/sequence stamped on
+    /// an allocation-free-encoded request survive the responder's echo
+    /// untouched, and the reply's source is the pinged interface — so
+    /// (responder, sequence) uniquely tags the probe for a concurrent
+    /// sweep, with the identifier telling foreign ping traffic apart.
+    #[test]
+    fn echo_reply_tag_round_trips_for_demux() {
+        let mut req = Vec::new();
+        build_echo_probe_into(SRC, ROUTER, 0x4D4C, 0xBEEF, 64, &mut req);
+        assert_eq!(req, build_echo_probe(SRC, ROUTER, 0x4D4C, 0xBEEF, 64));
+        let (ip, ihl) = Ipv4Header::parse(&req).unwrap();
+        let IcmpMessage::EchoRequest {
+            identifier,
+            sequence,
+            payload,
+        } = IcmpMessage::parse(&req[ihl..]).unwrap()
+        else {
+            panic!("expected echo request");
+        };
+        // The probe's IP ID also carries the sequence (fingerprinting
+        // needs it to detect id-echoing routers).
+        assert_eq!(ip.identification, 0xBEEF);
+
+        let reply_icmp = IcmpMessage::EchoReply {
+            identifier,
+            sequence,
+            payload,
+        }
+        .emit();
+        let reply_ip = Ipv4Header::new(ROUTER, SRC, PROTO_ICMP, 60, 7, reply_icmp.len());
+        let mut packet = reply_ip.emit().to_vec();
+        packet.extend_from_slice(&reply_icmp);
+
+        let parsed = parse_reply(&packet).unwrap();
+        assert_eq!(parsed.kind, ReplyKind::EchoReply);
+        assert_eq!(parsed.responder, ROUTER, "tag half 1: the pinged interface");
+        assert_eq!(
+            parsed.echo,
+            Some((0x4D4C, 0xBEEF)),
+            "tag half 2: echoed seq"
+        );
+        // Echo replies carry no quote: the UDP-style tags stay empty.
+        assert_eq!(parsed.probe_destination, None);
+        assert_eq!(parsed.probe_sequence, None);
+        assert_eq!(parsed.probe_flow, None);
     }
 
     #[test]

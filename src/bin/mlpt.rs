@@ -31,6 +31,7 @@ fn main() {
     match command.as_str() {
         "trace" => cmd_trace(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "alias" => cmd_alias(&args[1..]),
         "multilevel" => cmd_multilevel(&args[1..]),
         "topologies" => cmd_topologies(),
         "-h" | "--help" | "help" => usage(),
@@ -83,6 +84,30 @@ commands:
                                  per router
                --seed S          base seed (default 1)
                --json            emit a machine-readable sweep report
+  alias        alias-resolution rounds for many destinations at once:
+               each target is a synthetic-Internet scenario number; the
+               full multilevel pipeline (trace + Round 0..R protocol)
+               runs as one resumable session per destination, and all
+               sessions stream concurrently through the sweep engine
+               (scenarios sharing core interface addresses are split
+               into address-disjoint sub-sweeps automatically)
+               N [N ...]         scenario numbers, as positional args
+               --stdin           read scenario numbers from stdin
+                                 instead (one per line; # comments ok)
+               --rounds R        alias-resolution rounds (default 10)
+               --replies K       MBT replies attempted per address per
+                                 round (default 30)
+               --method M        indirect (MMLPT, default) | direct
+                                 (MIDAR-style echo probing)
+               --max-in-flight P max probes in flight per dispatch
+                                 (default 1024)
+               --adaptive-budget AIMD in-flight budget controller
+               --admission MODE  streaming (default) | eager
+               --rate-limit N/W  ICMP rate limit: N replies per W ticks
+                                 per router
+               --cycle-gap T     virtual ticks between dispatch cycles
+               --seed S          base seed (default 1)
+               --json            emit a machine-readable report
   multilevel   MDA-Lite trace + in-trace alias resolution (router view)
                --rounds R        alias-resolution rounds (default 10)
                (accepts the trace options above)
@@ -597,6 +622,356 @@ fn cmd_sweep(args: &[String]) {
         stats.lossy_cycles,
     );
     if opts.adaptive {
+        println!(
+            "adaptive budget: {} global backoffs, {} lane backoffs, final budget {}",
+            stats.budget_backoffs, stats.lane_backoffs, stats.final_in_flight_budget,
+        );
+    }
+}
+
+/// Resolves router-level aliases for many destinations concurrently:
+/// one [`MultilevelSession`] per synthetic-Internet scenario, streamed
+/// through the sweep engine. Scenarios whose topologies share interface
+/// addresses (the generator's wide core structures) are grouped into
+/// address-disjoint sub-sweeps, because echo probes route by interface.
+fn cmd_alias(args: &[String]) {
+    use mlpt::alias::multilevel::{MultilevelConfig, MultilevelOutcome, MultilevelSession};
+    use mlpt::alias::rounds::ProbeMethod;
+    use mlpt::core::SweepStats;
+    use mlpt::survey::router_survey::disjoint_scenario_groups;
+    use mlpt::survey::TraceScenario;
+
+    let mut targets: Vec<usize> = Vec::new();
+    let mut stdin_list = false;
+    let mut rounds = 10u32;
+    let mut replies = 30u32;
+    let mut method = ProbeMethod::Indirect;
+    let mut budget = 1024usize;
+    let mut adaptive = false;
+    let mut admission = Admission::Streaming;
+    let mut rate_limit: Option<(u32, u64)> = None;
+    let mut cycle_gap = 0u64;
+    let mut seed = 1u64;
+    let mut json = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> &String {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("{} needs a value", args[i]);
+                exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--stdin" => {
+                stdin_list = true;
+                i += 1;
+                continue;
+            }
+            "--rounds" => rounds = need(i).parse().unwrap_or(10),
+            "--replies" => replies = need(i).parse().unwrap_or(30),
+            "--method" => {
+                method = match need(i).as_str() {
+                    "indirect" => ProbeMethod::Indirect,
+                    "direct" => ProbeMethod::Direct,
+                    other => {
+                        eprintln!("unknown method {other} (indirect|direct)");
+                        exit(2);
+                    }
+                }
+            }
+            "--budget" | "--max-in-flight" => budget = need(i).parse().unwrap_or(1024),
+            "--adaptive-budget" => {
+                adaptive = true;
+                i += 1;
+                continue;
+            }
+            "--admission" => {
+                admission = match need(i).as_str() {
+                    "streaming" => Admission::Streaming,
+                    "eager" => Admission::Eager,
+                    other => {
+                        eprintln!("unknown admission mode {other} (streaming|eager)");
+                        exit(2);
+                    }
+                }
+            }
+            "--rate-limit" => {
+                let spec = need(i);
+                let parsed = spec
+                    .split_once('/')
+                    .and_then(|(n, w)| Some((n.parse::<u32>().ok()?, w.parse::<u64>().ok()?)));
+                match parsed {
+                    Some((n, w)) if n > 0 && w > 0 => rate_limit = Some((n, w)),
+                    _ => {
+                        eprintln!("--rate-limit needs N/W (replies per window ticks)");
+                        exit(2);
+                    }
+                }
+            }
+            "--cycle-gap" => cycle_gap = need(i).parse().unwrap_or(0),
+            "--seed" => seed = need(i).parse().unwrap_or(1),
+            "--json" => {
+                json = true;
+                i += 1;
+                continue;
+            }
+            other => match other.parse::<usize>() {
+                Ok(id) => {
+                    targets.push(id);
+                    i += 1;
+                    continue;
+                }
+                Err(_) => {
+                    eprintln!("unknown option or target: {other}");
+                    exit(2);
+                }
+            },
+        }
+        i += 2;
+    }
+
+    if stdin_list {
+        use std::io::BufRead;
+        for line in std::io::stdin().lock().lines().map_while(Result::ok) {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match line.parse::<usize>() {
+                Ok(id) => targets.push(id),
+                Err(_) => {
+                    eprintln!("not a scenario number: {line}");
+                    exit(2);
+                }
+            }
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("no targets: pass scenario numbers as arguments or via --stdin");
+        exit(2);
+    }
+    {
+        let mut sorted = targets.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != targets.len() {
+            eprintln!("duplicate scenario numbers in the target list");
+            exit(2);
+        }
+    }
+
+    let faults = {
+        let mut plan = FaultPlan::none();
+        if let Some((n, w)) = rate_limit {
+            let window = FaultPlan::with_rate_limit_window(n, w);
+            plan.icmp_bucket_capacity = window.icmp_bucket_capacity;
+            plan.icmp_tokens_per_tick = window.icmp_tokens_per_tick;
+        }
+        plan
+    };
+    let rounds_config = RoundsConfig {
+        rounds,
+        replies_per_round: replies,
+        method,
+        ..RoundsConfig::default()
+    };
+    let internet = SyntheticInternet::new(InternetConfig::default());
+    let scenarios: Vec<TraceScenario> = targets.iter().map(|&id| internet.scenario(id)).collect();
+    let refs: Vec<&TraceScenario> = scenarios.iter().collect();
+
+    let mut outcomes: Vec<Option<MultilevelOutcome>> = Vec::new();
+    outcomes.resize_with(scenarios.len(), || None);
+    let mut stats = SweepStats::default();
+    let mut sub_sweeps = 0usize;
+    for group in disjoint_scenario_groups(&refs) {
+        sub_sweeps += 1;
+        let lanes: Vec<SimNetwork> = group
+            .iter()
+            .map(|&i| {
+                let mut builder = SimNetwork::builder(scenarios[i].topology.clone())
+                    .routers(scenarios[i].routers.clone())
+                    .faults(faults)
+                    .seed(seed.wrapping_add(targets[i] as u64));
+                for (router, profile) in &scenarios[i].profiles {
+                    builder = builder.profile(*router, *profile);
+                }
+                builder.build()
+            })
+            .collect();
+        let net = match mlpt::sim::MultiNetwork::new(lanes) {
+            Ok(net) => net.with_cycle_gap(cycle_gap),
+            Err(e) => {
+                eprintln!("failed to assemble alias sweep network: {e}");
+                exit(2);
+            }
+        };
+        let source = scenarios[group[0]].source;
+        assert!(
+            group.iter().all(|&i| scenarios[i].source == source),
+            "alias sweeps assume a single vantage point"
+        );
+        let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+            max_in_flight: budget,
+            admission,
+            adaptive: adaptive.then(AdaptiveBudget::default),
+            ..SweepConfig::default()
+        });
+        let sessions = group.iter().map(|&i| {
+            MultilevelSession::new(
+                scenarios[i].topology.destination(),
+                MultilevelConfig {
+                    trace: TraceConfig::new(seed.wrapping_add(targets[i] as u64)),
+                    rounds: rounds_config.clone(),
+                },
+            )
+        });
+        engine.run_sessions_with(sessions, |idx, session, _wire| {
+            outcomes[group[idx]] = Some(session.finish());
+        });
+        stats.merge(engine.stats());
+    }
+
+    let outcomes: Vec<MultilevelOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every session reports"))
+        .collect();
+
+    if json {
+        let per_scenario: Vec<serde_json::Value> = targets
+            .iter()
+            .zip(&outcomes)
+            .map(|(&id, outcome)| {
+                let hops: Vec<serde_json::Value> = outcome
+                    .multilevel
+                    .hop_reports
+                    .iter()
+                    .map(|(ttl, reports)| {
+                        serde_json::json!({
+                            "ttl": ttl,
+                            "rounds": reports.iter().map(|r| {
+                                serde_json::json!({
+                                    "round": r.round,
+                                    "routers": r.partition.routers().count(),
+                                    "aliased_addresses": r.partition.routers()
+                                        .map(|s| s.len()).sum::<usize>(),
+                                    "cumulative_probes": r.cumulative_probes,
+                                })
+                            }).collect::<Vec<_>>(),
+                        })
+                    })
+                    .collect();
+                serde_json::json!({
+                    "scenario": id,
+                    "destination": outcome.multilevel.trace.destination.to_string(),
+                    "trace_probes": outcome.multilevel.trace.probes_sent,
+                    "alias_probes": outcome.multilevel.alias_probes,
+                    "router_sizes": outcome.multilevel.router_sizes(),
+                    "hops": hops,
+                })
+            })
+            .collect();
+        let report = serde_json::json!({
+            "method": match method {
+                ProbeMethod::Indirect => "indirect",
+                ProbeMethod::Direct => "direct",
+            },
+            "rounds": rounds,
+            "replies_per_round": replies,
+            "sub_sweeps": sub_sweeps,
+            "scenarios": per_scenario,
+            "stats": {
+                "dispatch_cycles": stats.dispatch_cycles,
+                "probes_sent": stats.probes_sent,
+                "replies_delivered": stats.replies_delivered,
+                "max_batch": stats.max_batch,
+                "probes_per_dispatch": stats.probes_per_dispatch(),
+                "sessions_admitted": stats.sessions_admitted,
+                "sessions_completed": stats.sessions_completed,
+                "sessions_deferred": stats.sessions_deferred,
+                "clean_cycles": stats.clean_cycles,
+                "lossy_cycles": stats.lossy_cycles,
+                "budget_backoffs": stats.budget_backoffs,
+                "lane_backoffs": stats.lane_backoffs,
+                "final_in_flight_budget": stats.final_in_flight_budget,
+            },
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        );
+        return;
+    }
+
+    println!(
+        "mlpt alias: {} scenario(s), method {}, rounds 0..={rounds} x {replies} replies, \
+         {} admission{}{}",
+        targets.len(),
+        match method {
+            ProbeMethod::Indirect => "indirect",
+            ProbeMethod::Direct => "direct",
+        },
+        match admission {
+            Admission::Streaming => "streaming",
+            Admission::Eager => "eager",
+        },
+        if adaptive { ", adaptive budget" } else { "" },
+        if sub_sweeps > 1 {
+            format!(" ({sub_sweeps} address-disjoint sub-sweeps)")
+        } else {
+            String::new()
+        },
+    );
+    for (&id, outcome) in targets.iter().zip(&outcomes) {
+        println!(
+            "scenario {id} ({}): trace {} probes, alias {} probes",
+            outcome.multilevel.trace.destination,
+            outcome.multilevel.trace.probes_sent,
+            outcome.multilevel.alias_probes,
+        );
+        if outcome.multilevel.hop_reports.is_empty() {
+            println!("  no multi-interface hops (nothing to resolve)");
+            continue;
+        }
+        for (ttl, reports) in &outcome.multilevel.hop_reports {
+            let sizes: Vec<String> = reports
+                .iter()
+                .map(|r| {
+                    format!(
+                        "r{}:{}/{}",
+                        r.round,
+                        r.partition.routers().count(),
+                        r.partition.routers().map(|s| s.len()).sum::<usize>(),
+                    )
+                })
+                .collect();
+            let candidates = reports
+                .first()
+                .map_or(0, |r| r.partition.sets().iter().map(|s| s.len()).sum());
+            println!(
+                "  hop {ttl} ({candidates} addrs), routers/aliased per round: {}",
+                sizes.join(" ")
+            );
+        }
+    }
+    println!(
+        "\nsweep: {} probes over {} dispatches ({:.1} probes/dispatch, largest batch {}); \
+         {} replies",
+        stats.probes_sent,
+        stats.dispatch_cycles,
+        stats.probes_per_dispatch(),
+        stats.max_batch,
+        stats.replies_delivered,
+    );
+    println!(
+        "admission: {} admitted, {} deferred, {} completed; cycles {} clean / {} lossy",
+        stats.sessions_admitted,
+        stats.sessions_deferred,
+        stats.sessions_completed,
+        stats.clean_cycles,
+        stats.lossy_cycles,
+    );
+    if adaptive {
         println!(
             "adaptive budget: {} global backoffs, {} lane backoffs, final budget {}",
             stats.budget_backoffs, stats.lane_backoffs, stats.final_in_flight_budget,

@@ -297,3 +297,97 @@ fn sweep_eager_admission_mode_selectable() {
         .status
         .success());
 }
+
+/// `mlpt alias` resolves several scenarios' routers through one streamed
+/// sweep and reports per-round partition sizes plus engine counters.
+#[test]
+fn alias_resolves_scenarios_concurrently() {
+    let out = mlpt()
+        .args(["alias", "3", "5", "--rounds", "2", "--replies", "6"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("mlpt alias: 2 scenario(s)"), "{stdout}");
+    assert!(stdout.contains("method indirect"), "{stdout}");
+    assert!(stdout.contains("routers/aliased per round"), "{stdout}");
+    assert!(stdout.contains("admission: 2 admitted"), "{stdout}");
+    assert!(stdout.contains("2 completed"), "{stdout}");
+}
+
+/// The JSON report carries per-round partition sizes and the sweep's
+/// admission/backoff counters; the direct method is selectable.
+#[test]
+fn alias_json_reports_rounds_and_counters() {
+    let out = mlpt()
+        .args([
+            "alias",
+            "3",
+            "--method",
+            "direct",
+            "--rounds",
+            "2",
+            "--replies",
+            "6",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(report["method"], "direct");
+    assert_eq!(report["rounds"].as_u64(), Some(2));
+    let scenarios = report["scenarios"].as_array().expect("array");
+    assert_eq!(scenarios.len(), 1);
+    let hops = scenarios[0]["hops"].as_array().expect("array");
+    assert!(!hops.is_empty(), "scenario 3 carries a diamond");
+    let rounds = hops[0]["rounds"].as_array().expect("array");
+    assert_eq!(rounds.len(), 3, "rounds 0..=2");
+    assert!(rounds.last().unwrap()["cumulative_probes"].as_u64() > Some(0));
+    assert_eq!(report["stats"]["sessions_admitted"].as_u64(), Some(1));
+    assert_eq!(report["stats"]["sessions_completed"].as_u64(), Some(1));
+    assert!(report["stats"]["probes_per_dispatch"].as_f64() > Some(1.0));
+}
+
+/// `--stdin` reads scenario numbers (comments and blanks skipped); bad
+/// input and empty target lists are rejected.
+#[test]
+fn alias_reads_targets_from_stdin() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = mlpt()
+        .args([
+            "alias",
+            "--stdin",
+            "--rounds",
+            "1",
+            "--replies",
+            "4",
+            "--json",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"# targets\n3\n\n5\n")
+        .expect("write list");
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(report["scenarios"].as_array().expect("array").len(), 2);
+
+    // No targets at all: usage error.
+    assert!(!mlpt().args(["alias"]).output().unwrap().status.success());
+    // Duplicate targets would collide in one transport: rejected.
+    assert!(!mlpt()
+        .args(["alias", "3", "3"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}
