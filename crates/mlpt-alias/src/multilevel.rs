@@ -120,7 +120,81 @@ enum Phase {
         session: AliasRoundsSession,
         comparator: bool,
     },
+    /// Every remaining hop's rounds session at once, advanced in
+    /// lockstep waves (see [`MultilevelSession::with_hop_fanout`]).
+    Fanned(FannedRounds),
     Done,
+}
+
+/// The per-hop fan-out stage: one [`AliasRoundsSession`] per
+/// multi-candidate hop, all in flight at once. Each parent round is the
+/// concatenation of every live sub-session's current protocol round, in
+/// ascending-TTL order — a *protocol-fixed* interleaving, so any
+/// conforming driver (and any admission policy, budget or retry
+/// schedule of the sweep engine) produces the identical per-destination
+/// wire sequence. The parent slices the delivered results back to the
+/// sub-sessions span by span; each sub-session observes exactly the
+/// slots of its own requests, in its own request order, just as it
+/// would alone.
+struct FannedRounds {
+    /// Whether these are the Table 2 direct-comparator campaigns.
+    comparator: bool,
+    /// `(ttl, session)` in ascending-TTL order — also the wave's
+    /// concatenation order.
+    subs: Vec<(u8, AliasRoundsSession)>,
+    /// Request spans of the armed wave: `(sub index, start, end)`.
+    spans: Vec<(usize, usize, usize)>,
+    /// The armed wave's concatenated request list.
+    requests: Vec<ProbeRequest>,
+    /// True while a wave is armed and awaiting replies.
+    armed: bool,
+}
+
+impl FannedRounds {
+    fn new(comparator: bool, subs: Vec<(u8, AliasRoundsSession)>) -> Self {
+        Self {
+            comparator,
+            subs,
+            spans: Vec::new(),
+            requests: Vec::new(),
+            armed: false,
+        }
+    }
+
+    /// Arms the next wave: polls every sub-session and concatenates the
+    /// live ones's rounds. Returns false once every sub-session has
+    /// finished.
+    fn arm(&mut self) -> bool {
+        if self.armed {
+            return true;
+        }
+        self.requests.clear();
+        self.spans.clear();
+        for (idx, (_ttl, session)) in self.subs.iter_mut().enumerate() {
+            if session.poll() == SessionState::Probing {
+                let start = self.requests.len();
+                self.requests.extend_from_slice(session.next_rounds());
+                self.spans.push((idx, start, self.requests.len()));
+            }
+        }
+        self.armed = !self.requests.is_empty();
+        self.armed
+    }
+
+    /// Distributes one delivered wave back to its sub-sessions.
+    fn deliver(&mut self, results: &mut [Option<ProbeOutcome>]) {
+        debug_assert_eq!(
+            results.len(),
+            self.requests.len(),
+            "one result slot per fanned request"
+        );
+        for &(idx, start, end) in &self.spans {
+            if let Some(slice) = results.get_mut(start..end) {
+                self.subs[idx].1.on_replies(slice);
+            }
+        }
+        self.armed = false;
+    }
 }
 
 /// Multilevel MDA-Lite Paris Traceroute as one resumable sans-IO
@@ -139,6 +213,12 @@ pub struct MultilevelSession {
     destination: Ipv4Addr,
     config: MultilevelConfig,
     comparator: Option<RoundsConfig>,
+    /// Run all of a phase's per-hop rounds sessions concurrently instead
+    /// of hop after hop (see [`with_hop_fanout`](Self::with_hop_fanout)).
+    hop_fanout: bool,
+    /// Caller-supplied admission cost hint, used until the trace phase
+    /// discovers the real hop widths.
+    cost_hint: Option<u64>,
     phase: Phase,
     log: ProbeLog,
     trace: Option<Trace>,
@@ -164,6 +244,8 @@ impl MultilevelSession {
             destination,
             config,
             comparator: None,
+            hop_fanout: false,
+            cost_hint: None,
             phase: Phase::Trace(Box::new(TraceProbeSession::new(trace_session))),
             log: ProbeLog::default(),
             trace: None,
@@ -185,6 +267,44 @@ impl MultilevelSession {
     /// round counts), judged over all evidence gathered so far.
     pub fn with_direct_comparison(mut self, rounds: RoundsConfig) -> Self {
         self.comparator = Some(rounds);
+        self
+    }
+
+    /// Enables per-hop fan-out: once the trace completes, every
+    /// multi-candidate hop's Round 0–10 session starts at once and the
+    /// session emits *waves* — each parent round concatenates every
+    /// hop's current protocol round in ascending-TTL order — instead of
+    /// finishing one hop before starting the next. Round 0 is
+    /// probe-free, so a destination with H wide hops needs `rounds`
+    /// round-trips instead of `H × rounds`, which is what stops a
+    /// single wide destination from serializing a sweep's tail. The comparator campaigns (if
+    /// enabled) fan out the same way, in a second wave phase after every
+    /// indirect hop has finished.
+    ///
+    /// The interleaving is part of the protocol, not the schedule (the
+    /// same argument as the MBT's within-hop probe order): the wave
+    /// sequence is fixed by the trace outcome alone, so fanned results
+    /// are bit-identical across admission policies, budgets and retry
+    /// schedules — property-tested in `tests/alias_equivalence.rs`.
+    /// Relative to the hop-sequential pipeline the per-destination wire
+    /// *order* does change, so fanned and sequential runs are distinct
+    /// (deterministic) protocol variants: every hop's evidence base
+    /// seeds from the wave phase's start (trace evidence for the
+    /// indirect waves; trace + all indirect rounds for the comparator
+    /// waves) rather than from whatever earlier hops had probed.
+    pub fn with_hop_fanout(mut self, enabled: bool) -> Self {
+        self.hop_fanout = enabled;
+        self
+    }
+
+    /// Sets the admission cost hint reported before the trace phase
+    /// completes (callers often know the scenario topology — e.g. the
+    /// router survey — long before the trace rediscovers it). Once the
+    /// trace finishes, [`predicted_cost`](ProbeSession::predicted_cost)
+    /// switches to the exact alias cost computed from the discovered hop
+    /// widths.
+    pub fn with_cost_hint(mut self, hint: u64) -> Self {
+        self.cost_hint = Some(hint);
         self
     }
 
@@ -213,6 +333,9 @@ impl MultilevelSession {
     /// Selects the next stage after the trace or a finished rounds
     /// stage: remaining indirect hops first, then comparator hops.
     fn next_stage(&mut self) -> Phase {
+        if self.hop_fanout {
+            return self.next_fanned_stage();
+        }
         let trace = self.trace.as_ref().expect("stage selection after trace");
         if self.next_alias < self.hops.len() {
             let (ttl, candidates) = &self.hops[self.next_alias];
@@ -239,6 +362,49 @@ impl MultilevelSession {
                     session: AliasRoundsSession::new(trace, candidates, base, rounds.clone()),
                     comparator: true,
                 };
+            }
+        }
+        Phase::Done
+    }
+
+    /// The fan-out counterpart of [`next_stage`](Self::next_stage): all
+    /// remaining indirect hops start at once, then (after every one of
+    /// them finished) all comparator hops at once.
+    fn next_fanned_stage(&mut self) -> Phase {
+        let trace = self.trace.as_ref().expect("stage selection after trace");
+        if self.next_alias < self.hops.len() {
+            let subs: Vec<(u8, AliasRoundsSession)> = self.hops[self.next_alias..]
+                .iter()
+                .map(|(ttl, candidates)| {
+                    let base = EvidenceBase::from_log(&self.log, candidates);
+                    (
+                        *ttl,
+                        AliasRoundsSession::new(
+                            trace,
+                            candidates,
+                            base,
+                            self.config.rounds.clone(),
+                        ),
+                    )
+                })
+                .collect();
+            self.next_alias = self.hops.len();
+            return Phase::Fanned(FannedRounds::new(false, subs));
+        }
+        if let Some(rounds) = &self.comparator {
+            if self.next_direct < self.hops.len() {
+                let subs: Vec<(u8, AliasRoundsSession)> = self.hops[self.next_direct..]
+                    .iter()
+                    .map(|(ttl, candidates)| {
+                        let base = EvidenceBase::from_log(&self.log, candidates);
+                        (
+                            *ttl,
+                            AliasRoundsSession::new(trace, candidates, base, rounds.clone()),
+                        )
+                    })
+                    .collect();
+                self.next_direct = self.hops.len();
+                return Phase::Fanned(FannedRounds::new(true, subs));
             }
         }
         Phase::Done
@@ -326,6 +492,25 @@ impl ProbeSession for MultilevelSession {
                     }
                     self.phase = self.next_stage();
                 }
+                Phase::Fanned(mut fanned) => {
+                    if fanned.arm() {
+                        self.phase = Phase::Fanned(fanned);
+                        return SessionState::Probing;
+                    }
+                    // Every hop finished: harvest in TTL order.
+                    let comparator = fanned.comparator;
+                    for (ttl, session) in fanned.subs {
+                        let (reports, evidence) = session.into_parts();
+                        if comparator {
+                            self.direct
+                                .insert(ttl, DirectComparison { reports, evidence });
+                        } else {
+                            self.hop_reports.insert(ttl, reports);
+                            self.hop_evidence.insert(ttl, evidence);
+                        }
+                    }
+                    self.phase = self.next_stage();
+                }
             }
         }
     }
@@ -334,6 +519,7 @@ impl ProbeSession for MultilevelSession {
         match &self.phase {
             Phase::Trace(session) => session.next_rounds(),
             Phase::Rounds { session, .. } => session.next_rounds(),
+            Phase::Fanned(fanned) => &fanned.requests,
             Phase::Done => &[],
         }
     }
@@ -352,6 +538,7 @@ impl ProbeSession for MultilevelSession {
         match &mut self.phase {
             Phase::Trace(session) => session.on_replies(results),
             Phase::Rounds { session, .. } => session.on_replies(results),
+            Phase::Fanned(fanned) => fanned.deliver(results),
             Phase::Done => {}
         }
     }
@@ -365,12 +552,47 @@ impl ProbeSession for MultilevelSession {
             Phase::Trace(_) => self.trace_wire += count,
             Phase::Rounds {
                 comparator: false, ..
-            } => self.alias_wire += count,
+            }
+            | Phase::Fanned(FannedRounds {
+                comparator: false, ..
+            }) => self.alias_wire += count,
             Phase::Rounds {
                 comparator: true, ..
-            } => self.direct_wire += count,
+            }
+            | Phase::Fanned(FannedRounds {
+                comparator: true, ..
+            }) => self.direct_wire += count,
             Phase::Done => {}
         }
+    }
+
+    fn predicted_cost(&self) -> u64 {
+        if self.trace.is_none() {
+            // Hop widths unknown until the trace completes: report the
+            // caller's hint (0 = no estimate, sorts last).
+            return self.cost_hint.unwrap_or(0);
+        }
+        // The exact remaining campaign cost from the discovered widths:
+        // the in-flight stage's own estimate plus every not-yet-started
+        // hop under the indirect and (if enabled) comparator configs.
+        let mut cost = match &self.phase {
+            Phase::Rounds { session, .. } => session.predicted_cost(),
+            Phase::Fanned(fanned) => fanned
+                .subs
+                .iter()
+                .map(|(_, session)| session.predicted_cost())
+                .sum(),
+            Phase::Trace(_) | Phase::Done => 0,
+        };
+        for (_, candidates) in &self.hops[self.next_alias.min(self.hops.len())..] {
+            cost += self.config.rounds.predicted_probes(candidates.len());
+        }
+        if let Some(rounds) = &self.comparator {
+            for (_, candidates) in &self.hops[self.next_direct.min(self.hops.len())..] {
+                cost += rounds.predicted_probes(candidates.len());
+            }
+        }
+        cost
     }
 }
 
@@ -507,6 +729,148 @@ mod tests {
         assert!(result.router_map.are_aliases(addr(1, 0), addr(1, 1)));
         assert!(result.router_map.are_aliases(addr(1, 2), addr(1, 3)));
         assert!(!result.router_map.are_aliases(addr(1, 0), addr(1, 2)));
+    }
+
+    /// With a single multi-candidate hop there is nothing to interleave:
+    /// the fanned wave sequence degenerates to the hop's own rounds, so
+    /// fan-out is bit-identical to the hop-sequential pipeline.
+    #[test]
+    fn single_hop_fanout_is_bit_identical() {
+        let (topo, routers) = grouped();
+        let run = |fanout: bool| {
+            let net = SimNetwork::builder(topo.clone())
+                .routers(routers.clone())
+                .seed(21)
+                .build();
+            let mut prober = TransportProber::new(net, SRC, topo.destination());
+            let mut session = MultilevelSession::new(topo.destination(), MultilevelConfig::new(21))
+                .with_hop_fanout(fanout);
+            drive_probes(&mut session, &mut prober);
+            session.finish()
+        };
+        let sequential = run(false);
+        let fanned = run(true);
+        assert_eq!(fanned.multilevel.trace, sequential.multilevel.trace);
+        assert_eq!(
+            fanned.multilevel.hop_reports,
+            sequential.multilevel.hop_reports
+        );
+        assert_eq!(fanned.hop_evidence, sequential.hop_evidence);
+        assert_eq!(
+            fanned.multilevel.alias_probes,
+            sequential.multilevel.alias_probes
+        );
+        assert_eq!(
+            fanned.multilevel.router_map,
+            sequential.multilevel.router_map
+        );
+    }
+
+    /// 1-4-4-1: two wide hops. Fan-out must cut the alias phase's
+    /// round-trip chain from 2 x rounds to rounds probing waves while
+    /// still resolving both hops' routers correctly and spending the
+    /// same per-hop logical probe counts.
+    #[test]
+    fn two_hop_fanout_overlaps_round_trips() {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1), addr(1, 2), addr(1, 3)]);
+        b.add_hop([addr(2, 0), addr(2, 1), addr(2, 2), addr(2, 3)]);
+        b.add_hop([addr(3, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_unmeshed(1);
+        b.connect_unmeshed(2);
+        let topo = b.build().unwrap();
+        let routers = RouterMap::from_alias_sets([
+            vec![addr(1, 0), addr(1, 1)],
+            vec![addr(1, 2), addr(1, 3)],
+            vec![addr(2, 0), addr(2, 1)],
+            vec![addr(2, 2), addr(2, 3)],
+        ]);
+        let run = |fanout: bool| {
+            let net = SimNetwork::builder(topo.clone())
+                .routers(routers.clone())
+                .seed(21)
+                .build();
+            let mut prober = TransportProber::new(net, SRC, topo.destination());
+            let mut session = MultilevelSession::new(topo.destination(), MultilevelConfig::new(21))
+                .with_hop_fanout(fanout);
+            // Count parent round-trips by hand (drive_probes hides them).
+            let mut rounds = 0usize;
+            let mut requests: Vec<ProbeRequest> = Vec::new();
+            while session.poll() == SessionState::Probing {
+                rounds += 1;
+                requests.clear();
+                requests.extend_from_slice(session.next_rounds());
+                let mut results: Vec<Option<ProbeOutcome>> = Vec::new();
+                let before = prober.probes_sent();
+                for request in &requests {
+                    match request {
+                        ProbeRequest::Udp(spec) => {
+                            results.push(prober.probe(spec.flow, spec.ttl).map(ProbeOutcome::Udp))
+                        }
+                        ProbeRequest::Echo { target } => {
+                            results.push(prober.direct_probe(*target).map(ProbeOutcome::Echo))
+                        }
+                    }
+                }
+                session.note_wire_probes(prober.probes_sent() - before);
+                session.on_replies(&mut results);
+            }
+            (session.finish(), rounds)
+        };
+        let (sequential, sequential_rounds) = run(false);
+        let (fanned, fanned_rounds) = run(true);
+
+        // Both hops report all 11 rounds either way.
+        for outcome in [&sequential, &fanned] {
+            assert_eq!(
+                outcome
+                    .multilevel
+                    .hop_reports
+                    .keys()
+                    .copied()
+                    .collect::<Vec<_>>(),
+                vec![2, 3]
+            );
+            assert!(outcome
+                .multilevel
+                .hop_reports
+                .values()
+                .all(|r| r.len() == 11));
+        }
+        // Round 0 is probe-free, so each hop probes for 10 waves: the
+        // fanned alias phase takes 10 round-trips where the sequential
+        // one takes 20 — the traces are identical, so the difference in
+        // parent round-trips is exactly the alias chain cut in half.
+        assert_eq!(sequential_rounds - fanned_rounds, 10);
+        // Same logical probe spend per hop (the campaigns are
+        // reply-independent), same router-level verdicts as the ground
+        // truth that generated the IP IDs.
+        for ttl in [2u8, 3] {
+            assert_eq!(
+                sequential.multilevel.hop_reports[&ttl]
+                    .last()
+                    .unwrap()
+                    .cumulative_probes,
+                fanned.multilevel.hop_reports[&ttl]
+                    .last()
+                    .unwrap()
+                    .cumulative_probes,
+            );
+        }
+        for (a, b) in [
+            (addr(1, 0), addr(1, 1)),
+            (addr(1, 2), addr(1, 3)),
+            (addr(2, 0), addr(2, 1)),
+            (addr(2, 2), addr(2, 3)),
+        ] {
+            assert!(fanned.multilevel.router_map.are_aliases(a, b));
+        }
+        assert!(!fanned
+            .multilevel
+            .router_map
+            .are_aliases(addr(1, 0), addr(1, 2)));
     }
 
     #[test]

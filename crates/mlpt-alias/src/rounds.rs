@@ -80,6 +80,22 @@ impl Default for RoundsConfig {
     }
 }
 
+impl RoundsConfig {
+    /// Predicted probe cost of a full Round 0–N campaign over a hop with
+    /// `candidates` addresses: one fingerprint-completing echo per
+    /// candidate in Round 1, plus `replies_per_round` MBT probes per
+    /// candidate in each of the `rounds` probing rounds. This is the
+    /// admission-time cost model behind
+    /// [`Admission::CostAware`](mlpt_core::engine::Admission::CostAware):
+    /// the paper's campaigns are reply-independent, so the cost of a hop
+    /// is known exactly from its width before a single alias probe flies
+    /// (unreachable candidates can only make the real cost smaller).
+    pub fn predicted_probes(&self, candidates: usize) -> u64 {
+        let candidates = candidates as u64;
+        candidates + u64::from(self.rounds) * u64::from(self.replies_per_round) * candidates
+    }
+}
+
 /// Outcome of one round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundReport {
@@ -295,6 +311,25 @@ impl ProbeSession for AliasRoundsSession {
 
     fn destination(&self) -> Ipv4Addr {
         self.destination
+    }
+
+    fn predicted_cost(&self) -> u64 {
+        if self.round > self.config.rounds {
+            return 0;
+        }
+        // Probeable addresses per MBT round: the indirect method can
+        // only reach candidates a trace flow is known to elicit.
+        let per_round = match self.config.method {
+            ProbeMethod::Indirect => self.targets.len() as u64,
+            ProbeMethod::Direct => self.candidates.len() as u64,
+        };
+        let remaining_rounds = u64::from(self.config.rounds - self.round) + 1;
+        let fingerprints = if self.round <= 1 {
+            self.candidates.len() as u64
+        } else {
+            0
+        };
+        fingerprints + remaining_rounds * u64::from(self.config.replies_per_round) * per_round
     }
 }
 

@@ -426,6 +426,178 @@ fn alias_sweep_stage(internet: &SyntheticInternet, destinations: usize) -> serde
     })
 }
 
+/// The straggler-admission stage: a mixed sweep of many narrow (no
+/// alias work) and a few wide-hop destinations — the wide ones, each
+/// carrying an 8-interface hop whose Round 0–10 campaign costs ~2400
+/// probes, placed at the *end* of the source list. Under FIFO streaming
+/// admission the narrow backlog holds the wide destinations back, so
+/// their long alias wave chains start only once the cheap work is done
+/// and the chain length adds to the sweep's makespan; cost-aware
+/// admission reads the sessions' predicted-cost hints, starts the wide
+/// destinations first, and absorbs the narrow work into the wide waves'
+/// budget headroom. Outcomes are asserted bit-identical first — the
+/// policy may only move probes in time — then makespan (transport
+/// crossings: one sendmmsg + one RTT each on a real backend) and
+/// last-10% tail utilization are floored for CI.
+fn straggler_stage() -> serde_json::Value {
+    use mlpt_alias::rounds::RoundsConfig;
+    use mlpt_topo::graph::addr;
+    use mlpt_topo::MultipathTopology;
+
+    // Sized so the scheduling effect is real: the narrow sessions'
+    // pending backlog (~6 probes each) exceeds the in-flight budget, so
+    // FIFO streaming admission genuinely holds the last-listed wide
+    // destinations back until the narrow stream has drained — the
+    // straggler the ROADMAP describes — while the wide waves
+    // (4 x 8 x 30 = 960 probes) leave budget headroom for cost-aware
+    // admission to run the narrow work alongside them.
+    const NARROW: usize = 1200;
+    const WIDE: usize = 4;
+    const BUDGET: usize = 2048;
+
+    // Narrow lane: a straight 5-hop path — nothing to alias-resolve,
+    // a handful of single-probe-per-hop trace rounds.
+    let narrow_topology = || -> MultipathTopology {
+        let mut b = MultipathTopology::builder();
+        for hop in 0..5usize {
+            b.add_hop([addr(hop, 0)]);
+        }
+        for hop in 0..4usize {
+            b.connect_unmeshed(hop);
+        }
+        b.build().expect("valid path")
+    };
+    // Wide lane: a 1-8-1 diamond; the 8-interface hop drives a full
+    // Round 0-10 x 30 campaign (8 + 2400 probes) after its trace.
+    let wide_topology = || -> MultipathTopology {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop((0..8usize).map(|i| addr(1, i)));
+        b.add_hop([addr(2, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_unmeshed(1);
+        b.build().expect("valid diamond")
+    };
+    // Narrow destinations first, the wide ones at the very end of the
+    // admission stream — the straggler layout. The block stride must
+    // clear each topology's own address span (< 0x0005_0000); it keeps
+    // up to 8191 lanes inside the 32-bit address space, far above the
+    // 1204 built here.
+    const BLOCK: u32 = 0x0008_0000;
+    let topologies: Vec<MultipathTopology> = (0..NARROW)
+        .map(|i| narrow_topology().translated(BLOCK * (i as u32 + 1)))
+        .chain((0..WIDE).map(|i| wide_topology().translated(BLOCK * ((NARROW + i) as u32 + 1))))
+        .collect();
+    let rounds = RoundsConfig::default();
+    let cost_hint = |topology: &MultipathTopology| -> u64 {
+        (0..topology.num_hops().saturating_sub(1))
+            .map(|hop| topology.hop(hop).len())
+            .filter(|&width| width >= 2)
+            .map(|width| rounds.predicted_probes(width))
+            .sum()
+    };
+    let source: std::net::Ipv4Addr = "192.0.2.1".parse().expect("static");
+
+    let run = |admission: Admission| {
+        let lanes: Vec<SimNetwork> = topologies
+            .iter()
+            .enumerate()
+            .map(|(i, topology)| SimNetwork::new(topology.clone(), 1000 + i as u64))
+            .collect();
+        let net = MultiNetwork::new(lanes).expect("translated lanes are unique");
+        let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+            max_in_flight: BUDGET,
+            admission,
+            ..SweepConfig::default()
+        });
+        let sessions = topologies.iter().enumerate().map(|(i, topology)| {
+            MultilevelSession::new(
+                topology.destination(),
+                MultilevelConfig {
+                    trace: TraceConfig::new(77 + i as u64),
+                    rounds: rounds.clone(),
+                },
+            )
+            .with_hop_fanout(true)
+            .with_cost_hint(cost_hint(topology))
+        });
+        let mut outcomes: Vec<Option<MultilevelOutcome>> = Vec::new();
+        outcomes.resize_with(topologies.len(), || None);
+        engine.run_sessions_with(sessions, |index, session, _wire| {
+            outcomes[index] = Some(session.finish());
+        });
+        let stats = *engine.stats();
+        let cycles = engine.cycle_batches().to_vec();
+        (outcomes, stats, cycles)
+    };
+
+    let (fifo_outcomes, fifo_stats, fifo_cycles) = run(Admission::Streaming);
+    let (ca_outcomes, ca_stats, ca_cycles) = run(Admission::CostAware);
+
+    // Correctness before scheduling: cost-aware admission must move
+    // probes in time only.
+    assert_eq!(fifo_stats.probes_sent, ca_stats.probes_sent);
+    for (i, (fifo, ca)) in fifo_outcomes.iter().zip(&ca_outcomes).enumerate() {
+        let (fifo, ca) = (
+            fifo.as_ref().expect("completed"),
+            ca.as_ref().expect("completed"),
+        );
+        assert_eq!(
+            fifo.multilevel.trace, ca.multilevel.trace,
+            "destination {i}: trace diverged under cost-aware admission"
+        );
+        assert_eq!(
+            fifo.multilevel.hop_reports, ca.multilevel.hop_reports,
+            "destination {i}: alias rounds diverged under cost-aware admission"
+        );
+        assert_eq!(
+            fifo.hop_evidence, ca.hop_evidence,
+            "destination {i}: evidence series diverged under cost-aware admission"
+        );
+    }
+
+    let fifo_makespan = fifo_stats.dispatch_cycles;
+    let ca_makespan = ca_stats.dispatch_cycles;
+    let makespan_ratio = ca_makespan as f64 / fifo_makespan as f64;
+    let fifo_tail = tail_probes_per_dispatch(&fifo_cycles, 0.10);
+    let ca_tail = tail_probes_per_dispatch(&ca_cycles, 0.10);
+
+    // CI floors (the ISSUE's acceptance numbers): cost-aware admission
+    // must cut the mixed-width makespan by >= 10% and must not trade
+    // the tail away for it.
+    assert!(
+        makespan_ratio <= 0.9,
+        "cost-aware admission no longer cuts the straggler makespan: \
+         {ca_makespan} vs FIFO {fifo_makespan} crossings (ratio {makespan_ratio:.3} > 0.9)"
+    );
+    assert!(
+        ca_tail >= fifo_tail,
+        "cost-aware tail utilization fell below FIFO's: \
+         {ca_tail:.1} vs {fifo_tail:.1} probes/dispatch"
+    );
+
+    json!({
+        "workload": format!(
+            "{NARROW} straight-path + {WIDE} wide-hop (8-interface, Round 0..=10 x 30) \
+             destinations, wide ones last in the source list, per-hop fan-out on, \
+             in-flight budget {BUDGET}"
+        ),
+        "probes_sent_each": fifo_stats.probes_sent,
+        "makespan_transport_crossings": {
+            "fifo_streaming": fifo_makespan,
+            "cost_aware": ca_makespan,
+            "ratio": makespan_ratio,
+            "ceiling_enforced": 0.9,
+        },
+        "tail_probes_per_dispatch_last10pct": {
+            "fifo_streaming": fifo_tail,
+            "cost_aware": ca_tail,
+            "floor_enforced": "cost_aware >= fifo",
+        },
+        "outcomes_bit_identical": true,
+    })
+}
+
 fn main() {
     let quick = std::env::var("MLPT_BENCH_QUICK").is_ok_and(|v| !v.is_empty());
     let env_usize = |key: &str, default: usize| -> usize {
@@ -550,6 +722,10 @@ fn main() {
     let alias_destinations = env_usize("MLPT_BENCH_ALIAS_DESTINATIONS", 64);
     let alias_sweep = alias_sweep_stage(&internet, alias_destinations);
 
+    // Straggler-admission stage (asserts bit-identical outcomes plus the
+    // makespan <= 0.9x and tail floors internally).
+    let straggler = straggler_stage();
+
     // Wall-clock measurements.
     let mut c = Criterion::default().sample_size(samples);
     c.bench_function("sweep/sequential_full_trace_loop", |b| {
@@ -665,6 +841,7 @@ fn main() {
         "host_cpus": host_cpus,
         "adaptive_backoff": backoff,
         "alias_sweep": alias_sweep,
+        "straggler_admission": straggler,
         "results": results,
     });
 

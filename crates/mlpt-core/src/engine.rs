@@ -73,6 +73,25 @@ pub enum Admission {
     /// in-flight budget, keeping batches full until the source runs dry.
     #[default]
     Streaming,
+    /// Streaming admission, heaviest first: the source is drained up
+    /// front (an `Eager`-style memory bound buys the lookahead), ordered
+    /// by descending [`ProbeSession::predicted_cost`] (ties by source
+    /// index), and admitted under the same in-flight gating as
+    /// [`Streaming`](Self::Streaming); deferred sessions re-enter
+    /// heaviest-first too. Likely-expensive destinations — above all
+    /// wide-hop alias resolution, whose Round 0–10 campaigns dwarf their
+    /// neighbours — start early and amortize across the whole sweep
+    /// instead of serializing at the tail, which is what sets a survey's
+    /// makespan (Donnet et al., "Efficient Route Tracing from a Single
+    /// Source", make the same argument for probe scheduling at scale).
+    ///
+    /// Determinism rule 5 still holds: the policy decides *when* a
+    /// session starts, never *what* it observes. Sessions sharing a
+    /// destination keep their source order (a shared lane makes their
+    /// relative order observable), so per-destination outcomes are
+    /// bit-identical to FIFO admission — property-tested in
+    /// `tests/sweep_equivalence.rs` and `tests/alias_equivalence.rs`.
+    CostAware,
 }
 
 /// Tuning of the AIMD in-flight budget controller.
@@ -182,13 +201,25 @@ pub struct SweepStats {
     pub mismatched_replies: u64,
     /// Largest single dispatch batch.
     pub max_batch: usize,
-    /// Sessions taken from the stream into the live table.
+    /// Sessions installed as live slots, counted once per session at the
+    /// moment it enters the table — whether it came straight from the
+    /// source or out of the deferred store. Always equals the number of
+    /// sessions the source yielded once the sweep finishes.
     pub sessions_admitted: u64,
     /// Sessions driven to completion (their results were emitted).
+    /// Equals [`sessions_admitted`](Self::sessions_admitted) at the end
+    /// of a sweep: every admitted session reports, even one that wedges
+    /// (the defensive drain emits it).
     pub sessions_completed: u64,
-    /// Admissions postponed because a live session already owned the
-    /// destination (the tags would be ambiguous while both are in
-    /// flight).
+    /// Deferral events: how many times a session entered the deferred
+    /// store because a live slot (or an earlier deferred session) already
+    /// owned its destination — the reply tags would be ambiguous while
+    /// both are in flight. The indexed store admits a freed session
+    /// directly, without re-deferring it past racing admissions, so each
+    /// session contributes at most one event and the counter equals the
+    /// number of sessions that ever waited. Not decremented on
+    /// admission; `sessions_deferred <= sessions_admitted` once the
+    /// sweep finishes.
     pub sessions_deferred: u64,
     /// Cycles whose unanswered fraction stayed at or below the loss
     /// threshold (the configured controller's, or the default
@@ -377,6 +408,132 @@ enum Pumped {
     Idle,
 }
 
+/// The deferred-session store, indexed by destination.
+///
+/// A session whose destination is owned by a live slot waits here until
+/// that slot finishes. The store replaces the old flat `VecDeque` +
+/// whole-queue `iter().position(..)` / `VecDeque::remove(pos)` rescan —
+/// O(n) per admission attempt and O(n) per mid-queue removal, O(n²)
+/// across a sweep with many same-destination sessions — with two O(1)
+/// amortized motions: `defer` appends to the destination's own FIFO
+/// queue, and `on_destination_freed` (called exactly when a live slot
+/// releases its destination) moves that queue's front entry into the
+/// small `ready` line the admission loop drains. Per-destination FIFO
+/// order is structural (one queue per destination), which is what keeps
+/// shared-lane outcomes identical to the old scan's earliest-arrival
+/// pick.
+struct DeferredSessions<S> {
+    /// Waiting sessions per destination, each queue in source order.
+    by_dest: HashMap<u32, VecDeque<(usize, S)>>,
+    /// Sessions whose destination has been freed, awaiting admission —
+    /// kept sorted by ascending source index (FIFO modes, matching the
+    /// old scan's arrival-order pick) or by descending predicted cost
+    /// ([`Admission::CostAware`]).
+    ready: VecDeque<(usize, S)>,
+    /// Total sessions held (both maps' queues plus the ready line).
+    len: usize,
+}
+
+impl<S: ProbeSession> DeferredSessions<S> {
+    fn new() -> Self {
+        Self {
+            by_dest: HashMap::new(),
+            ready: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if any waiting (not yet freed) session targets `dest` — a
+    /// later source session for the same destination must queue behind
+    /// it to preserve per-destination FIFO order.
+    fn holds(&self, dest: u32) -> bool {
+        self.by_dest.contains_key(&dest)
+    }
+
+    /// Parks a session behind the live owner of its destination.
+    fn defer(&mut self, out_index: usize, session: S) {
+        let dest = u32::from(session.destination());
+        self.by_dest
+            .entry(dest)
+            .or_default()
+            .push_back((out_index, session));
+        self.len += 1;
+    }
+
+    /// Releases the next waiter on `dest` (if any) into the ready line.
+    /// Called when a live slot towards `dest` finishes; at most one
+    /// session per destination is ever in flight towards admission, so
+    /// the remaining queue stays parked until that one's own slot frees
+    /// the destination again.
+    fn on_destination_freed(&mut self, dest: u32, cost_aware: bool) {
+        let std::collections::hash_map::Entry::Occupied(mut queue) = self.by_dest.entry(dest)
+        else {
+            return;
+        };
+        let Some(entry) = queue.get_mut().pop_front() else {
+            queue.remove();
+            return;
+        };
+        if queue.get().is_empty() {
+            queue.remove();
+        }
+        let pos = if cost_aware {
+            let cost = entry.1.predicted_cost();
+            self.ready.partition_point(|(o, s)| {
+                let c = s.predicted_cost();
+                c > cost || (c == cost && *o < entry.0)
+            })
+        } else {
+            self.ready.partition_point(|(o, _)| *o < entry.0)
+        };
+        self.ready.insert(pos, entry);
+    }
+
+    /// The next freed session to admit, in the store's admission order.
+    fn next_ready(&mut self) -> Option<(usize, S)> {
+        let entry = self.ready.pop_front()?;
+        self.len -= 1;
+        Some(entry)
+    }
+}
+
+/// Orders a drained source for [`Admission::CostAware`]: positions are
+/// assigned by descending [`ProbeSession::predicted_cost`] (ties by
+/// source index), but the sessions of one destination fill their
+/// positions in source order — a shared lane observes its sessions in
+/// exactly the sequence the caller supplied, which is what keeps
+/// cost-aware outcomes bit-identical to FIFO admission.
+fn reorder_by_cost<S: ProbeSession>(sessions: Vec<S>) -> VecDeque<(usize, S)> {
+    let costs: Vec<u64> = sessions.iter().map(ProbeSession::predicted_cost).collect();
+    let dests: Vec<u32> = sessions
+        .iter()
+        .map(|s| u32::from(s.destination()))
+        .collect();
+    let mut order: Vec<usize> = (0..sessions.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+
+    let mut per_dest: HashMap<u32, VecDeque<usize>> = HashMap::new();
+    for (i, &dest) in dests.iter().enumerate() {
+        per_dest.entry(dest).or_default().push_back(i);
+    }
+    let mut slots: Vec<Option<S>> = sessions.into_iter().map(Some).collect();
+    order
+        .into_iter()
+        .map(|position| {
+            let source_index = per_dest
+                .get_mut(&dests[position])
+                .and_then(VecDeque::pop_front)
+                .expect("one queue entry per session");
+            let session = slots[source_index].take().expect("each session taken once");
+            (source_index, session)
+        })
+        .collect()
+}
+
 /// The sweep scheduler (see module docs).
 pub struct SweepEngine<T: BatchTransport> {
     transport: T,
@@ -407,6 +564,8 @@ struct SweepRun<'e, T: BatchTransport, S: ProbeSession> {
     slots: Vec<SessionSlot<S>>,
     /// Destinations of live sessions (admission defers duplicates).
     live_dests: HashSet<u32>,
+    /// Sessions waiting for a live slot to release their destination.
+    deferred: DeferredSessions<S>,
     /// Undispatched probes across all live sessions' current waves.
     pending: usize,
     /// Replies delivered during the current cycle.
@@ -550,6 +709,7 @@ impl<T: BatchTransport> SweepEngine<T> {
             eng: self,
             slots: Vec::new(),
             live_dests: HashSet::new(),
+            deferred: DeferredSessions::new(),
             pending: 0,
             cycle_delivered: 0,
         };
@@ -564,15 +724,23 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
         source: &mut dyn Iterator<Item = S>,
         sink: &mut dyn FnMut(usize, S, u64),
     ) {
-        let mut deferred: VecDeque<(usize, S)> = VecDeque::new();
         let mut next_out = 0usize;
         let mut source_done = false;
+        // Cost-aware admission needs the whole source to order it: drain
+        // it now (the lookahead costs Eager's memory bound) and hand the
+        // reordered list to the loop as the pre-staged source.
+        let mut staged: VecDeque<(usize, S)> = VecDeque::new();
+        if self.eng.config.admission == Admission::CostAware {
+            staged = reorder_by_cost(source.collect());
+            next_out = staged.len();
+            source_done = true;
+        }
 
         loop {
             self.refill_rounds(sink);
-            self.admit_sessions(source, &mut deferred, &mut next_out, &mut source_done, sink);
+            self.admit_sessions(source, &mut staged, &mut next_out, &mut source_done, sink);
             if !self.gather_packets() {
-                if deferred.is_empty() {
+                if self.deferred.is_empty() {
                     break;
                 }
                 // Unreachable in practice: a deferred session waits on a
@@ -603,6 +771,11 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
         self.eng.stats.final_in_flight_budget = self.eng.current_budget();
     }
 
+    /// Whether this run's deferred store orders freed sessions by cost.
+    fn cost_aware(&self) -> bool {
+        self.eng.config.admission == Admission::CostAware
+    }
+
     /// Polls idle sessions for their next rounds, emitting results of
     /// sessions that finished (their slots are removed immediately).
     fn refill_rounds(&mut self, sink: &mut dyn FnMut(usize, S, u64)) {
@@ -626,8 +799,13 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
         debug_assert!(!slot.active, "pump_slot on an active slot");
         match slot.session.poll() {
             SessionState::Finished => {
+                let cost_aware = self.cost_aware();
                 let slot = self.slots.swap_remove(i);
-                self.live_dests.remove(&u32::from(slot.destination));
+                let dest = u32::from(slot.destination);
+                self.live_dests.remove(&dest);
+                // The destination is free again: release its next waiter
+                // (if any) towards admission.
+                self.deferred.on_destination_freed(dest, cost_aware);
                 self.eng.stats.sessions_completed += 1;
                 sink(slot.out_index, slot.session, slot.probes_sent);
                 Pumped::Finished
@@ -658,21 +836,26 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
         }
     }
 
-    /// Pulls sessions from the stream into the live table. Streaming
-    /// admission stops once the pending backlog covers the budget (or
-    /// the session cap is reached); eager admission drains the source.
-    /// A session whose destination is already live is deferred until
-    /// that session finishes — its reply tags would be ambiguous.
+    /// Pulls sessions from the stream into the live table. Streaming and
+    /// cost-aware admission stop once the pending backlog covers the
+    /// budget (or the session cap is reached); eager admission drains
+    /// the source. A session whose destination is already live — or
+    /// already has earlier sessions waiting on it — is deferred until
+    /// the destination frees up: its reply tags would be ambiguous, and
+    /// a shared lane makes per-destination order observable, so waiters
+    /// re-enter strictly in source order. Deferred sessions whose
+    /// destinations were freed re-enter before new source pulls, so the
+    /// admission path is O(1) amortized per session (no queue rescans).
     fn admit_sessions(
         &mut self,
         source: &mut dyn Iterator<Item = S>,
-        deferred: &mut VecDeque<(usize, S)>,
+        staged: &mut VecDeque<(usize, S)>,
         next_out: &mut usize,
         source_done: &mut bool,
         sink: &mut dyn FnMut(usize, S, u64),
     ) {
         loop {
-            if self.eng.config.admission == Admission::Streaming
+            if self.eng.config.admission != Admission::Eager
                 && self.pending >= self.eng.current_budget()
             {
                 return;
@@ -680,22 +863,25 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
             if self.slots.len() >= self.eng.config.max_admitted {
                 return;
             }
-            // Deferred sessions re-enter first (their destinations may
-            // have been freed by a finishing session), in arrival order.
-            let freed = deferred
-                .iter()
-                .position(|(_, s)| !self.live_dests.contains(&u32::from(s.destination())));
-            let (out, session) = match freed {
-                Some(pos) => deferred.remove(pos).expect("position just found"),
+            // Freed deferred sessions re-enter first: their destinations
+            // were released by finishing slots, and the store already
+            // ordered them (arrival order, or cost under CostAware).
+            if let Some((out, session)) = self.deferred.next_ready() {
+                debug_assert!(
+                    !self.live_dests.contains(&u32::from(session.destination())),
+                    "a freed session's destination must be free"
+                );
+                self.admit_one(out, session, sink);
+                continue;
+            }
+            // Then the source: the cost-aware pre-staged list, or the
+            // caller's live iterator.
+            let (out, session) = match staged.pop_front() {
+                Some(entry) => entry,
                 None if !*source_done => match source.next() {
                     Some(session) => {
                         let out = *next_out;
                         *next_out += 1;
-                        if self.live_dests.contains(&u32::from(session.destination())) {
-                            self.eng.stats.sessions_deferred += 1;
-                            deferred.push_back((out, session));
-                            continue;
-                        }
                         (out, session)
                     }
                     None => {
@@ -705,6 +891,12 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
                 },
                 None => return,
             };
+            let dest = u32::from(session.destination());
+            if self.live_dests.contains(&dest) || self.deferred.holds(dest) {
+                self.eng.stats.sessions_deferred += 1;
+                self.deferred.defer(out, session);
+                continue;
+            }
             self.admit_one(out, session, sink);
         }
     }
@@ -1300,6 +1492,170 @@ mod tests {
         assert!(stats.budget_backoffs > 0, "30% loss must trigger backoff");
         assert!(stats.lossy_cycles > 0);
         assert!(stats.final_in_flight_budget < 64);
+    }
+
+    /// Cost-aware admission starts the heaviest predicted sessions
+    /// first: with a budget that admits one session at a time, the
+    /// admission order is exactly descending predicted cost (ties by
+    /// source index).
+    #[test]
+    fn cost_aware_admits_heaviest_first() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        /// A single-round session that records when it was admitted
+        /// (its first poll) into a shared log.
+        struct CostedSession {
+            destination: Ipv4Addr,
+            cost: u64,
+            round: Vec<ProbeRequest>,
+            log: Rc<RefCell<Vec<u64>>>,
+            logged: bool,
+            done: bool,
+        }
+        impl ProbeSession for CostedSession {
+            fn poll(&mut self) -> SessionState {
+                if !self.logged {
+                    self.logged = true;
+                    self.log.borrow_mut().push(self.cost);
+                }
+                if self.done {
+                    SessionState::Finished
+                } else {
+                    SessionState::Probing
+                }
+            }
+            fn next_rounds(&self) -> &[ProbeRequest] {
+                &self.round
+            }
+            fn on_replies(&mut self, _results: &mut [Option<ProbeOutcome>]) {
+                self.done = true;
+            }
+            fn destination(&self) -> Ipv4Addr {
+                self.destination
+            }
+            fn predicted_cost(&self) -> u64 {
+                self.cost
+            }
+        }
+
+        let topo = canonical::simplest_diamond();
+        let lanes: Vec<mlpt_topo::MultipathTopology> = (0..5u32)
+            .map(|i| topo.translated(0x0100_0000 * (i + 1)))
+            .collect();
+        let nets: Vec<SimNetwork> = lanes
+            .iter()
+            .map(|t| SimNetwork::new(t.clone(), 3))
+            .collect();
+        let net = mlpt_sim::MultiNetwork::new(nets).expect("unique destinations");
+        let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+            max_in_flight: 1, // admit strictly one session per cycle
+            admission: Admission::CostAware,
+            ..SweepConfig::default()
+        });
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let costs = [7u64, 100, 3, 55, 12];
+        let sessions: Vec<CostedSession> = lanes
+            .iter()
+            .zip(costs)
+            .map(|(t, cost)| CostedSession {
+                destination: t.destination(),
+                cost,
+                round: vec![ProbeRequest::Udp(ProbeSpec::new(FlowId(1), 1))],
+                log: Rc::clone(&log),
+                logged: false,
+                done: false,
+            })
+            .collect();
+        let mut finished = 0usize;
+        engine.run_sessions_with(sessions, |_, _, _| finished += 1);
+        assert_eq!(finished, 5);
+        assert_eq!(*log.borrow(), vec![100, 55, 12, 7, 3]);
+    }
+
+    /// The deferred-queue regression test (and the satellite bugfix's
+    /// acceptance): many sessions towards the *same* destination — the
+    /// worst case for the old whole-queue rescans — still come back in
+    /// source order, one admission per completion, with outputs and
+    /// counters identical across FIFO and cost-aware admission. The
+    /// per-destination FIFO order is observable here: every session
+    /// shares the single lane's RNG/clock stream, so any reordering
+    /// would change the traces, not just the schedule.
+    #[test]
+    fn duplicate_destinations_keep_source_order() {
+        const SESSIONS: usize = 24;
+        let topo = canonical::fig1_unmeshed();
+        let d = topo.destination();
+        let run = |admission: Admission| -> (Vec<Trace>, SweepStats) {
+            let net = SimNetwork::new(topo.clone(), 5);
+            let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+                max_in_flight: 64,
+                admission,
+                ..SweepConfig::default()
+            });
+            // Distinct probe budgets give every session a distinct
+            // predicted cost, so cost-aware ordering *would* reorder
+            // them — the per-destination FIFO fix must win.
+            let sessions: Vec<Box<dyn TraceSession>> = (0..SESSIONS)
+                .map(|i| {
+                    let config = TraceConfig::new(9).with_probe_budget(200 + i as u64);
+                    Box::new(MdaSession::new(d, config)) as Box<dyn TraceSession>
+                })
+                .collect();
+            let traces = engine.run_stream(sessions);
+            (traces, *engine.stats())
+        };
+        let (fifo, fifo_stats) = run(Admission::Streaming);
+        let (cost, cost_stats) = run(Admission::CostAware);
+        assert_eq!(fifo.len(), SESSIONS);
+        assert_eq!(fifo, cost, "same-destination sessions must stay FIFO");
+        assert_eq!(fifo_stats.probes_sent, cost_stats.probes_sent);
+        // Every session after the first waited for the lane at least
+        // once; each is counted exactly once.
+        assert_eq!(fifo_stats.sessions_deferred, SESSIONS as u64 - 1);
+        assert_eq!(cost_stats.sessions_deferred, SESSIONS as u64 - 1);
+        assert_eq!(fifo_stats.sessions_admitted, SESSIONS as u64);
+        assert_eq!(fifo_stats.sessions_completed, SESSIONS as u64);
+    }
+
+    /// Cost-aware admission is pure scheduling: a multi-lane sweep's
+    /// traces and wire totals are bit-identical to streaming admission.
+    #[test]
+    fn cost_aware_matches_streaming() {
+        let lanes: Vec<mlpt_topo::MultipathTopology> = (0..10u32)
+            .map(|i| canonical::fig1_meshed().translated(0x0100_0000 * (i + 1)))
+            .collect();
+        let run = |admission: Admission| -> (Vec<Trace>, SweepStats) {
+            let nets: Vec<SimNetwork> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, t)| SimNetwork::new(t.clone(), 11 + i as u64))
+                .collect();
+            let net = mlpt_sim::MultiNetwork::new(nets).expect("unique destinations");
+            let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+                max_in_flight: 24,
+                admission,
+                ..SweepConfig::default()
+            });
+            let sessions: Vec<Box<dyn TraceSession>> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    // Varied budgets → varied predicted costs → a real
+                    // reorder under cost-aware admission.
+                    let config = TraceConfig::new(i as u64).with_probe_budget(500 + 37 * i as u64);
+                    Box::new(MdaSession::new(t.destination(), config)) as Box<dyn TraceSession>
+                })
+                .collect();
+            let traces = engine.run_stream(sessions);
+            (traces, *engine.stats())
+        };
+        let (streaming, streaming_stats) = run(Admission::Streaming);
+        let (cost_aware, cost_stats) = run(Admission::CostAware);
+        assert_eq!(streaming, cost_aware);
+        assert_eq!(streaming_stats.probes_sent, cost_stats.probes_sent);
+        assert_eq!(cost_stats.sessions_admitted, 10);
+        assert_eq!(cost_stats.sessions_completed, 10);
     }
 
     /// A hand-rolled ProbeSession mixing UDP and echo requests in one

@@ -130,6 +130,20 @@ pub trait ProbeSession {
     fn note_wire_probes(&mut self, count: u64) {
         let _ = count;
     }
+
+    /// A hint of how many probes this session is still expected to cost,
+    /// consulted by cost-aware schedulers
+    /// ([`crate::engine::Admission::CostAware`]) when deciding *when* to
+    /// admit a session — never *what* it probes, so the hint may be
+    /// arbitrarily wrong without affecting results. `0` means "no
+    /// estimate" and sorts last. Trace sessions report what the
+    /// remaining probe budget allows (the only a-priori bound a
+    /// topology-blind tracer has); richer sessions refine the hint as
+    /// they learn — the multilevel session switches to its
+    /// discovered-hop-width alias cost once its trace phase completes.
+    fn predicted_cost(&self) -> u64 {
+        0
+    }
 }
 
 /// Adapts any [`TraceSession`] to the [`ProbeSession`] contract: every
@@ -197,6 +211,10 @@ impl<S: TraceSession> ProbeSession for TraceProbeSession<S> {
 
     fn destination(&self) -> Ipv4Addr {
         self.inner.destination()
+    }
+
+    fn predicted_cost(&self) -> u64 {
+        self.inner.predicted_cost()
     }
 }
 
@@ -273,6 +291,13 @@ pub trait TraceSession {
     /// Consumes the accumulated evidence into a [`Trace`]. `probes_sent`
     /// is the wire-level packet count the driver measured.
     fn take_trace(&mut self, probes_sent: u64) -> Trace;
+
+    /// Cost hint for cost-aware admission (see
+    /// [`ProbeSession::predicted_cost`]); the adapter forwards it. `0`
+    /// means "no estimate".
+    fn predicted_cost(&self) -> u64 {
+        0
+    }
 }
 
 impl<S: TraceSession + ?Sized> TraceSession for Box<S> {
@@ -294,6 +319,10 @@ impl<S: TraceSession + ?Sized> TraceSession for Box<S> {
 
     fn take_trace(&mut self, probes_sent: u64) -> Trace {
         (**self).take_trace(probes_sent)
+    }
+
+    fn predicted_cost(&self) -> u64 {
+        (**self).predicted_cost()
     }
 }
 
@@ -777,6 +806,12 @@ impl TraceSession for MdaSession {
         self.core.destination
     }
 
+    fn predicted_cost(&self) -> u64 {
+        // No topology knowledge before probing: the remaining budget is
+        // the only a-priori bound on what this trace can still cost.
+        self.core.config.probe_budget.saturating_sub(self.core.used)
+    }
+
     fn take_trace(&mut self, probes_sent: u64) -> Trace {
         Trace {
             algorithm: Algorithm::Mda,
@@ -1135,6 +1170,11 @@ impl TraceSession for MdaLiteSession {
         self.core.destination
     }
 
+    fn predicted_cost(&self) -> u64 {
+        // Same bound as the full MDA: the remaining probe budget.
+        self.core.config.probe_budget.saturating_sub(self.core.used)
+    }
+
     fn take_trace(&mut self, probes_sent: u64) -> Trace {
         Trace {
             algorithm: Algorithm::MdaLite,
@@ -1279,6 +1319,11 @@ impl TraceSession for SingleFlowSession {
 
     fn destination(&self) -> Ipv4Addr {
         self.destination
+    }
+
+    fn predicted_cost(&self) -> u64 {
+        // One probe per remaining TTL is this tracer's exact worst case.
+        u64::from(self.config.max_ttl.saturating_sub(self.ttl)) + 1
     }
 
     fn take_trace(&mut self, probes_sent: u64) -> Trace {

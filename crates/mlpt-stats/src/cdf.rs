@@ -85,20 +85,26 @@ impl EmpiricalCdf {
     /// The `q`-quantile (`0.0 ..= 1.0`) using the nearest-rank method,
     /// matching how CDF plot crossings are usually read off.
     ///
+    /// Returns `None` for an empty CDF: summary paths can legitimately
+    /// feed an empty series (e.g. a bench stage whose lane was fully
+    /// rate-limited), and "no samples" must surface as absence, not a
+    /// panic.
+    ///
     /// # Panics
-    /// Panics if `q` is outside `[0, 1]` or the CDF is empty.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// Panics if `q` is outside `[0, 1]` (a programming error, unlike an
+    /// empty sample set).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        let first = *self.sorted.first()?;
         if q == 0.0 {
-            return self.sorted[0];
+            return Some(first);
         }
         let rank = (q * self.sorted.len() as f64).ceil() as usize;
-        self.sorted[rank.saturating_sub(1).min(self.sorted.len() - 1)]
+        Some(self.sorted[rank.saturating_sub(1).min(self.sorted.len() - 1)])
     }
 
-    /// The median (0.5-quantile).
-    pub fn median(&self) -> f64 {
+    /// The median (0.5-quantile), `None` for an empty CDF.
+    pub fn median(&self) -> Option<f64> {
         self.quantile(0.5)
     }
 
@@ -148,6 +154,11 @@ mod tests {
         assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
         assert_eq!(cdf.min(), None);
         assert_eq!(cdf.max(), None);
+        // Quantile queries over no samples report absence, never panic:
+        // summary paths hit this when a stage produces zero samples.
+        assert_eq!(cdf.quantile(0.0), None);
+        assert_eq!(cdf.quantile(0.9), None);
+        assert_eq!(cdf.median(), None);
     }
 
     #[test]
@@ -170,11 +181,11 @@ mod tests {
     #[test]
     fn quantiles_nearest_rank() {
         let cdf = EmpiricalCdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
-        assert_eq!(cdf.quantile(0.0), 10.0);
-        assert_eq!(cdf.quantile(0.2), 10.0);
-        assert_eq!(cdf.quantile(0.5), 30.0);
-        assert_eq!(cdf.quantile(1.0), 50.0);
-        assert_eq!(cdf.median(), 30.0);
+        assert_eq!(cdf.quantile(0.0), Some(10.0));
+        assert_eq!(cdf.quantile(0.2), Some(10.0));
+        assert_eq!(cdf.quantile(0.5), Some(30.0));
+        assert_eq!(cdf.quantile(1.0), Some(50.0));
+        assert_eq!(cdf.median(), Some(30.0));
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub use evaluation::{evaluate_scenarios, EvaluationConfig, EvaluationOutcome, Tr
 pub use generator::{InternetConfig, SyntheticInternet, TraceScenario};
 pub use ip_survey::{run_ip_survey, IpSurveyConfig, IpSurveyReport};
 pub use router_survey::{
-    disjoint_scenario_groups, run_router_survey, ResolutionCase, RouterSurveyConfig,
-    RouterSurveyReport,
+    disjoint_scenario_groups, run_router_survey, scenario_cost_hint, ResolutionCase,
+    RouterSurveyConfig, RouterSurveyReport,
 };

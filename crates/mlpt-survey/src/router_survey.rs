@@ -195,6 +195,22 @@ pub struct RouterSurveyConfig {
     /// In-flight probe budget per sweep engine (the streaming-admission
     /// headroom).
     pub sweep_in_flight: usize,
+    /// How the sweep engines admit sessions. [`Admission::CostAware`]
+    /// starts likely-expensive alias destinations first — each session
+    /// carries a cost hint computed from its scenario's hop widths under
+    /// the configured rounds — so the heavy Round 0–10 campaigns
+    /// amortize across the sweep instead of serializing at the tail.
+    /// Pure scheduling: every aggregate is bit-identical across modes
+    /// (regression-tested).
+    pub admission: Admission,
+    /// Run each destination's per-hop alias stages as one fanned wave
+    /// phase instead of hop after hop (see
+    /// [`MultilevelSession::with_hop_fanout`]). A deterministic protocol
+    /// variant, not a scheduling knob: fanned surveys differ from
+    /// hop-sequential ones (per-hop evidence seeds from the wave start),
+    /// but are themselves bit-identical across admission modes and
+    /// budgets.
+    pub hop_fanout: bool,
 }
 
 impl Default for RouterSurveyConfig {
@@ -208,6 +224,8 @@ impl Default for RouterSurveyConfig {
             with_direct_comparison: true,
             sweep_batch: 32,
             sweep_in_flight: 512,
+            admission: Admission::Streaming,
+            hop_fanout: false,
         }
     }
 }
@@ -419,6 +437,30 @@ fn trace_seed_of(config: &RouterSurveyConfig, id: usize) -> u64 {
     config.trace_seed ^ (id as u64).wrapping_mul(0xC0FF_EE11)
 }
 
+/// Admission cost hint for one scenario, before its trace has run: the
+/// survey knows the ground-truth topology, so the alias campaigns'
+/// probe cost follows from the hop widths exactly as
+/// [`RoundsConfig::predicted_probes`] models them (the comparator, when
+/// enabled, runs a second campaign of the same size per hop). The trace
+/// itself is dwarfed by the alias phase and left out of the hint; a
+/// wrong hint could only cost schedule quality, never correctness.
+pub fn scenario_cost_hint(
+    scenario: &TraceScenario,
+    rounds: &RoundsConfig,
+    comparator: bool,
+) -> u64 {
+    let topology = &scenario.topology;
+    let mut hint = 0u64;
+    for hop in 0..topology.num_hops().saturating_sub(1) {
+        let width = topology.hop(hop).len();
+        if width >= 2 {
+            let campaign = rounds.predicted_probes(width);
+            hint += if comparator { campaign * 2 } else { campaign };
+        }
+    }
+    hint
+}
+
 /// Partitions scenarios into groups whose topologies share no interface
 /// addresses, greedily in input order. Lanes of one [`MultiNetwork`]
 /// must own disjoint address sets — UDP probes route by (unique)
@@ -480,7 +522,7 @@ fn sweep_chunk(
         );
         let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
             max_in_flight: config.sweep_in_flight.max(1),
-            admission: Admission::Streaming,
+            admission: config.admission,
             ..SweepConfig::default()
         });
         let sessions = members.iter().map(|&i| {
@@ -491,7 +533,13 @@ fn sweep_chunk(
                     trace: TraceConfig::new(seed),
                     rounds: config.rounds.clone(),
                 },
-            );
+            )
+            .with_hop_fanout(config.hop_fanout)
+            .with_cost_hint(scenario_cost_hint(
+                &scenarios[i],
+                &config.rounds,
+                config.with_direct_comparison,
+            ));
             if config.with_direct_comparison {
                 session = session.with_direct_comparison(RoundsConfig {
                     method: ProbeMethod::Direct,
@@ -849,6 +897,73 @@ mod tests {
         let mut all: Vec<usize> = groups.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1]);
+    }
+
+    /// Cost-aware admission is pure scheduling on the survey too: every
+    /// aggregate matches the default streaming run bit for bit, and the
+    /// fanned survey — a deterministic protocol variant — is itself
+    /// identical across admission policies.
+    #[test]
+    fn cost_aware_survey_matches_streaming() {
+        let internet = SyntheticInternet::new(InternetConfig::with_seed(5));
+        let base = RouterSurveyConfig {
+            scenarios: 16,
+            workers: 2,
+            trace_seed: 42,
+            rounds: RoundsConfig {
+                rounds: 2,
+                replies_per_round: 6,
+                ..RoundsConfig::default()
+            },
+            with_direct_comparison: true,
+            sweep_batch: 8,
+            sweep_in_flight: 48,
+            ..RouterSurveyConfig::default()
+        };
+        let assert_same = |a: &RouterSurveyReport, b: &RouterSurveyReport| {
+            assert_eq!(a.traces, b.traces);
+            assert_eq!(a.scenario_ids, b.scenario_ids);
+            assert_eq!(a.traces_with_aliases, b.traces_with_aliases);
+            assert_eq!(a.router_sizes_distinct, b.router_sizes_distinct);
+            assert_eq!(a.router_sizes_aggregated, b.router_sizes_aggregated);
+            assert_eq!(a.round_metrics, b.round_metrics);
+            assert_eq!(a.verdicts, b.verdicts);
+            assert_eq!(a.resolution_counts, b.resolution_counts);
+            assert_eq!(a.width_before, b.width_before);
+            assert_eq!(a.width_after, b.width_after);
+            assert_eq!(a.width_change, b.width_change);
+        };
+        let streaming = run_router_survey(&internet, &base);
+        assert!(streaming.traces > 2, "population too small to mean much");
+        let cost_aware = run_router_survey(
+            &internet,
+            &RouterSurveyConfig {
+                admission: Admission::CostAware,
+                ..base.clone()
+            },
+        );
+        assert_same(&streaming, &cost_aware);
+
+        let fanned_streaming = run_router_survey(
+            &internet,
+            &RouterSurveyConfig {
+                hop_fanout: true,
+                ..base.clone()
+            },
+        );
+        let fanned_cost_aware = run_router_survey(
+            &internet,
+            &RouterSurveyConfig {
+                hop_fanout: true,
+                admission: Admission::CostAware,
+                ..base.clone()
+            },
+        );
+        assert_same(&fanned_streaming, &fanned_cost_aware);
+        // The fan-out changes per-destination wire order, never which
+        // scenarios trace or how much the trace phase costs.
+        assert_eq!(fanned_streaming.traces, streaming.traces);
+        assert_eq!(fanned_streaming.scenario_ids, streaming.scenario_ids);
     }
 
     /// Small end-to-end survey exercising the whole pipeline.

@@ -74,7 +74,9 @@ commands:
                --adaptive-budget AIMD budget controller: ramps up while
                                  replies are clean, multiplicatively backs
                                  off on loss/rate-limiting, per-lane fair
-               --admission MODE  streaming (default) | eager (fixed table)
+               --admission MODE  streaming (default) | eager (fixed
+                                 table) | cost-aware (heaviest predicted
+                                 sessions first; identical results)
                --workers W       simulator worker threads (default 1)
                --cycle-gap T     virtual ticks between dispatch cycles
                                  (lets rate-limited routers refill;
@@ -102,7 +104,16 @@ commands:
                --max-in-flight P max probes in flight per dispatch
                                  (default 1024)
                --adaptive-budget AIMD in-flight budget controller
-               --admission MODE  streaming (default) | eager
+               --admission MODE  streaming (default) | eager |
+                                 cost-aware (wide-hop destinations start
+                                 first, ordered by predicted alias cost
+                                 from the scenario topology; results are
+                                 identical, only the schedule changes)
+               --fanout          run each destination's per-hop alias
+                                 stages as one concurrent wave phase
+                                 instead of hop after hop (deterministic
+                                 protocol variant; cuts a wide
+                                 destination's round-trip chain)
                --rate-limit N/W  ICMP rate limit: N replies per W ticks
                                  per router
                --cycle-gap T     virtual ticks between dispatch cycles
@@ -187,8 +198,9 @@ fn parse_options(args: &[String]) -> Options {
                 opts.admission = match need(i).as_str() {
                     "streaming" => Admission::Streaming,
                     "eager" => Admission::Eager,
+                    "cost-aware" => Admission::CostAware,
                     other => {
-                        eprintln!("unknown admission mode {other} (streaming|eager)");
+                        eprintln!("unknown admission mode {other} (streaming|eager|cost-aware)");
                         exit(2);
                     }
                 }
@@ -237,6 +249,14 @@ fn parse_options(args: &[String]) -> Options {
         i += 2;
     }
     opts
+}
+
+fn admission_name(admission: Admission) -> &'static str {
+    match admission {
+        Admission::Streaming => "streaming",
+        Admission::Eager => "eager",
+        Admission::CostAware => "cost-aware",
+    }
 }
 
 /// Resolves a canonical topology by CLI name.
@@ -532,10 +552,7 @@ fn cmd_sweep(args: &[String]) {
         let report = serde_json::json!({
             "topologies": names,
             "algo": opts.algo,
-            "admission": match opts.admission {
-                Admission::Streaming => "streaming",
-                Admission::Eager => "eager",
-            },
+            "admission": admission_name(opts.admission),
             "adaptive_budget": opts.adaptive,
             "max_in_flight": opts.budget,
             "destinations": destinations,
@@ -574,10 +591,7 @@ fn cmd_sweep(args: &[String]) {
         },
         opts.algo,
         opts.seed,
-        match opts.admission {
-            Admission::Streaming => "streaming",
-            Admission::Eager => "eager",
-        },
+        admission_name(opts.admission),
         if opts.adaptive {
             ", adaptive budget"
         } else {
@@ -649,6 +663,7 @@ fn cmd_alias(args: &[String]) {
     let mut budget = 1024usize;
     let mut adaptive = false;
     let mut admission = Admission::Streaming;
+    let mut fanout = false;
     let mut rate_limit: Option<(u32, u64)> = None;
     let mut cycle_gap = 0u64;
     let mut seed = 1u64;
@@ -690,11 +705,17 @@ fn cmd_alias(args: &[String]) {
                 admission = match need(i).as_str() {
                     "streaming" => Admission::Streaming,
                     "eager" => Admission::Eager,
+                    "cost-aware" => Admission::CostAware,
                     other => {
-                        eprintln!("unknown admission mode {other} (streaming|eager)");
+                        eprintln!("unknown admission mode {other} (streaming|eager|cost-aware)");
                         exit(2);
                     }
                 }
+            }
+            "--fanout" => {
+                fanout = true;
+                i += 1;
+                continue;
             }
             "--rate-limit" => {
                 let spec = need(i);
@@ -825,6 +846,12 @@ fn cmd_alias(args: &[String]) {
                     rounds: rounds_config.clone(),
                 },
             )
+            .with_hop_fanout(fanout)
+            .with_cost_hint(mlpt::survey::scenario_cost_hint(
+                &scenarios[i],
+                &rounds_config,
+                false,
+            ))
         });
         engine.run_sessions_with(sessions, |idx, session, _wire| {
             outcomes[group[idx]] = Some(session.finish());
@@ -878,6 +905,8 @@ fn cmd_alias(args: &[String]) {
             },
             "rounds": rounds,
             "replies_per_round": replies,
+            "admission": admission_name(admission),
+            "hop_fanout": fanout,
             "sub_sweeps": sub_sweeps,
             "scenarios": per_scenario,
             "stats": {
@@ -905,17 +934,15 @@ fn cmd_alias(args: &[String]) {
 
     println!(
         "mlpt alias: {} scenario(s), method {}, rounds 0..={rounds} x {replies} replies, \
-         {} admission{}{}",
+         {} admission{}{}{}",
         targets.len(),
         match method {
             ProbeMethod::Indirect => "indirect",
             ProbeMethod::Direct => "direct",
         },
-        match admission {
-            Admission::Streaming => "streaming",
-            Admission::Eager => "eager",
-        },
+        admission_name(admission),
         if adaptive { ", adaptive budget" } else { "" },
+        if fanout { ", hop fan-out" } else { "" },
         if sub_sweeps > 1 {
             format!(" ({sub_sweeps} address-disjoint sub-sweeps)")
         } else {

@@ -303,7 +303,7 @@ proptest! {
         replies in 3u32..9,
         budget_kind in 0u8..3,
         adaptive_on in any::<bool>(),
-        eager in any::<bool>(),
+        admission_kind in 0u8..3,
         order_seed in any::<u64>(),
     ) {
         let faults = fault_plan(fault_kind);
@@ -383,7 +383,11 @@ proptest! {
             .expect("translated lanes have unique destinations");
         let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
             max_in_flight,
-            admission: if eager { Admission::Eager } else { Admission::Streaming },
+            admission: match admission_kind % 3 {
+                0 => Admission::Streaming,
+                1 => Admission::Eager,
+                _ => Admission::CostAware,
+            },
             adaptive: adaptive_on.then(|| AdaptiveBudget {
                 min_in_flight: 2,
                 ..AdaptiveBudget::default()
@@ -408,6 +412,133 @@ proptest! {
             let (outcome, wire) = slot.expect("every lane completed");
             let (reference, reference_wire) = &references[lane_idx];
             assert_outcome_matches(&outcome, reference, wire, *reference_wire, lane_idx);
+        }
+        prop_assert_eq!(engine.stats().malformed_replies, 0);
+        prop_assert_eq!(engine.stats().mismatched_replies, 0);
+        prop_assert_eq!(engine.stats().sessions_completed, lanes.len() as u64);
+    }
+
+    /// Per-hop fan-out is a protocol variant, not a schedule: the wave
+    /// sequence is fixed by the trace outcome alone, so *any* engine
+    /// schedule — admission policy (streaming FIFO, eager, cost-aware),
+    /// admission order, in-flight budget, adaptive controller —
+    /// reproduces the blocking fanned driver bit for bit: the same
+    /// per-address IP-ID series, per-round partitions, probe accounting
+    /// and wire counts. This is determinism rule 5 for the fan-out:
+    /// scheduling decides when the waves fly, never what they observe.
+    #[test]
+    fn fanned_sessions_are_schedule_independent(
+        widths in proptest::collection::vec(2u8..5, 2..5),
+        profile_sels in proptest::collection::vec(0u8..10, 5..6),
+        method_direct in any::<bool>(),
+        fault_kind in 0u8..4,
+        base_seed in any::<u64>(),
+        rounds in 2u32..5,
+        replies in 3u32..9,
+        budget_kind in 0u8..3,
+        adaptive_on in any::<bool>(),
+        admission_kind in 0u8..3,
+        order_seed in any::<u64>(),
+    ) {
+        let faults = fault_plan(fault_kind);
+        let rounds_config = RoundsConfig {
+            rounds,
+            replies_per_round: replies,
+            method: if method_direct { ProbeMethod::Direct } else { ProbeMethod::Indirect },
+            ..RoundsConfig::default()
+        };
+        let lanes: Vec<Lane> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| lane_for(i, w, profile_sels[i % profile_sels.len()], base_seed))
+            .collect();
+
+        // The canonical fanned outcome: the blocking single-session
+        // driver over an identically seeded lane.
+        let references: Vec<(MultilevelOutcome, u64)> = lanes
+            .iter()
+            .map(|lane| {
+                let mut prober = TransportProber::new(
+                    build_network(lane, &faults),
+                    SRC,
+                    lane.topology.destination(),
+                );
+                let mut session = MultilevelSession::new(
+                    lane.topology.destination(),
+                    MultilevelConfig {
+                        trace: TraceConfig::new(lane.trace_seed),
+                        rounds: rounds_config.clone(),
+                    },
+                )
+                .with_hop_fanout(true);
+                let wire = mlpt::core::drive_probes(&mut session, &mut prober);
+                (session.finish(), wire)
+            })
+            .collect();
+
+        let max_in_flight = match budget_kind % 3 {
+            0 => 5usize,
+            1 => 64,
+            _ => 2048,
+        };
+        let mut order: Vec<usize> = (0..lanes.len()).collect();
+        order.rotate_left((order_seed as usize) % lanes.len().max(1));
+        if order_seed % 2 == 1 {
+            order.reverse();
+        }
+        let net = MultiNetwork::new(lanes.iter().map(|l| build_network(l, &faults)).collect())
+            .expect("translated lanes have unique destinations");
+        let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+            max_in_flight,
+            admission: match admission_kind % 3 {
+                0 => Admission::Streaming,
+                1 => Admission::Eager,
+                _ => Admission::CostAware,
+            },
+            adaptive: adaptive_on.then(|| AdaptiveBudget {
+                min_in_flight: 2,
+                ..AdaptiveBudget::default()
+            }),
+            ..SweepConfig::default()
+        });
+        let sessions = order.iter().map(|&lane_idx| {
+            MultilevelSession::new(
+                lanes[lane_idx].topology.destination(),
+                MultilevelConfig {
+                    trace: TraceConfig::new(lanes[lane_idx].trace_seed),
+                    rounds: rounds_config.clone(),
+                },
+            )
+            .with_hop_fanout(true)
+        });
+        let mut outcomes: Vec<Option<(MultilevelOutcome, u64)>> =
+            (0..lanes.len()).map(|_| None).collect();
+        engine.run_sessions_with(sessions, |stream_idx, session, wire| {
+            outcomes[order[stream_idx]] = Some((session.finish(), wire));
+        });
+        for (lane_idx, slot) in outcomes.into_iter().enumerate() {
+            let (outcome, wire) = slot.expect("every lane completed");
+            let (reference, reference_wire) = &references[lane_idx];
+            assert_eq!(
+                outcome.multilevel.trace, reference.multilevel.trace,
+                "lane {lane_idx}: fanned trace diverged"
+            );
+            assert_eq!(
+                outcome.multilevel.hop_reports, reference.multilevel.hop_reports,
+                "lane {lane_idx}: fanned per-round partitions diverged"
+            );
+            assert_eq!(
+                outcome.hop_evidence, reference.hop_evidence,
+                "lane {lane_idx}: fanned evidence series diverged"
+            );
+            assert_eq!(
+                outcome.multilevel.alias_probes, reference.multilevel.alias_probes,
+                "lane {lane_idx}: fanned alias accounting diverged"
+            );
+            assert_eq!(
+                wire, *reference_wire,
+                "lane {lane_idx}: fanned wire count diverged"
+            );
         }
         prop_assert_eq!(engine.stats().malformed_replies, 0);
         prop_assert_eq!(engine.stats().mismatched_replies, 0);

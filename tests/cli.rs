@@ -298,6 +298,61 @@ fn sweep_eager_admission_mode_selectable() {
         .success());
 }
 
+/// Cost-aware admission and per-hop fan-out are selectable on the alias
+/// sweep; the JSON report records both, and the per-scenario numbers
+/// match a plain streaming run (cost-aware scheduling must not change
+/// results; fan-out keeps the per-hop probe accounting).
+#[test]
+fn alias_cost_aware_fanout_selectable_and_consistent() {
+    let run = |extra: &[&str]| -> serde_json::Value {
+        let mut args = vec![
+            "alias",
+            "3",
+            "5",
+            "--rounds",
+            "2",
+            "--replies",
+            "6",
+            "--json",
+        ];
+        args.extend_from_slice(extra);
+        let out = mlpt().args(&args).output().expect("binary runs");
+        assert!(out.status.success());
+        serde_json::from_slice(&out.stdout).expect("valid JSON")
+    };
+    let streaming = run(&[]);
+    let cost_aware = run(&["--admission", "cost-aware"]);
+    assert_eq!(streaming["admission"], "streaming");
+    assert_eq!(cost_aware["admission"], "cost-aware");
+    assert_eq!(cost_aware["hop_fanout"], false);
+    // Pure scheduling: identical per-scenario results and wire totals.
+    assert_eq!(streaming["scenarios"], cost_aware["scenarios"]);
+    assert_eq!(
+        streaming["stats"]["probes_sent"],
+        cost_aware["stats"]["probes_sent"]
+    );
+    let fanned = run(&["--fanout", "--admission", "cost-aware"]);
+    assert_eq!(fanned["hop_fanout"], true);
+    // The fan-out is a protocol variant: same scenarios, same per-hop
+    // cumulative probe spend (campaigns are reply-independent).
+    for (a, b) in streaming["scenarios"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .zip(fanned["scenarios"].as_array().unwrap())
+    {
+        assert_eq!(a["scenario"], b["scenario"]);
+        assert_eq!(a["trace_probes"], b["trace_probes"]);
+        assert_eq!(a["alias_probes"], b["alias_probes"]);
+    }
+    assert!(!mlpt()
+        .args(["alias", "3", "--admission", "bogus"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}
+
 /// `mlpt alias` resolves several scenarios' routers through one streamed
 /// sweep and reports per-round partition sizes plus engine counters.
 #[test]

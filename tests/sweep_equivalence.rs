@@ -3,8 +3,8 @@
 //! running each trace sequentially on its own simulator — for every
 //! algorithm (MDA, MDA-Lite, single-flow), across topologies, fault
 //! plans (loss *and* ICMP rate limiting), session counts, in-flight
-//! budgets (fixed *and* adaptive), admission modes (fixed-table eager
-//! vs streaming) and admission orders.
+//! budgets (fixed *and* adaptive), admission modes (fixed-table eager,
+//! streaming FIFO, cost-aware heaviest-first) and admission orders.
 //!
 //! Sequential baseline: per destination, a fresh `SimNetwork` (same seed
 //! as the sweep's lane) under a blocking `TransportProber` driver.
@@ -212,10 +212,18 @@ proptest! {
             &lanes, &identity, &faults, algo, probe_budget, retries,
             max_in_flight, Admission::Eager, None,
         );
+        // Cost-aware sweep in the permuted order: the engine reorders by
+        // predicted cost internally, which must stay pure scheduling.
+        let (cost_aware, cost_stats) = sweep(
+            &lanes, &order, &faults, algo, probe_budget, retries,
+            max_in_flight, Admission::CostAware, adaptive,
+        );
 
         // Sequential baseline, destination by destination.
         let mut total_sequential_probes = 0u64;
-        for ((lane, streamed), eagered) in lanes.iter().zip(&streaming).zip(&eager) {
+        for (((lane, streamed), eagered), costed) in
+            lanes.iter().zip(&streaming).zip(&eager).zip(&cost_aware)
+        {
             let (sequential, sent) =
                 sequential_trace(algo, lane, &faults, retries, probe_budget);
             total_sequential_probes += sent;
@@ -231,12 +239,20 @@ proptest! {
                 "fixed-table trace towards {} diverged",
                 lane.topology.destination()
             );
+            prop_assert_eq!(
+                costed,
+                &sequential,
+                "cost-aware trace towards {} diverged",
+                lane.topology.destination()
+            );
         }
 
-        // Both engines did exactly the sequential loops' wire work,
+        // All engines did exactly the sequential loops' wire work,
         // merged into (far fewer) cross-destination dispatches.
         prop_assert_eq!(stats.probes_sent, total_sequential_probes);
         prop_assert_eq!(eager_stats.probes_sent, total_sequential_probes);
+        prop_assert_eq!(cost_stats.probes_sent, total_sequential_probes);
+        prop_assert_eq!(cost_stats.sessions_completed, lanes.len() as u64);
         prop_assert_eq!(stats.malformed_replies, 0);
         prop_assert_eq!(stats.mismatched_replies, 0);
         prop_assert!(stats.max_batch <= max_in_flight);
