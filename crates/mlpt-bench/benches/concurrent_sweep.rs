@@ -44,6 +44,11 @@
 //! and floored (CI gates), with the per-destination outcomes asserted
 //! bit-identical first.
 //!
+//! A **chaos stage** sweeps every built-in fault-schedule preset through
+//! the robustness stack (probe deadlines, bounded retries, the stall
+//! watchdog): liveness and the retry-wave accounting partition are
+//! asserted, per-preset timeout/partial figures are reported.
+//!
 //! Results land in `BENCH_concurrent_sweep.json` at the workspace root.
 //! Set `MLPT_BENCH_QUICK=1` (CI pull requests) for a reduced run.
 
@@ -598,6 +603,89 @@ fn straggler_stage() -> serde_json::Value {
     })
 }
 
+/// The chaos stage: every built-in fault-schedule preset swept through
+/// the engine's robustness stack (deadlines, bounded retries, the stall
+/// watchdog). Liveness is the bench: each preset must terminate, keep
+/// the retry-wave accounting partition exact, and the all-dark preset
+/// must degrade every lane to an honest partial. Emits per-preset
+/// probe/timeout/partial figures for the JSON report.
+fn chaos_stage(lanes: usize) -> serde_json::Value {
+    use mlpt_sim::FaultSchedule;
+    let topologies: Vec<mlpt_topo::MultipathTopology> = (0..lanes)
+        .map(|i| mlpt_topo::canonical::fig1_meshed().translated(0x0100_0000 * (i as u32 + 1)))
+        .collect();
+    let source: std::net::Ipv4Addr = "192.0.2.1".parse().expect("static");
+    let presets: Vec<serde_json::Value> = FaultSchedule::preset_names()
+        .iter()
+        .map(|&preset| {
+            let nets: Vec<SimNetwork> = topologies
+                .iter()
+                .enumerate()
+                .map(|(i, topo)| {
+                    SimNetwork::builder(topo.clone())
+                        .fault_schedule(FaultSchedule::preset(preset).expect("known preset"))
+                        .seed(29 + i as u64)
+                        .build()
+                })
+                .collect();
+            let net = MultiNetwork::new(nets).expect("unique destinations");
+            let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+                max_in_flight: 64,
+                retries: 1,
+                stall_rounds: 4,
+                admission: Admission::Streaming,
+                ..SweepConfig::default()
+            });
+            let sessions = topologies.iter().enumerate().map(|(i, topo)| {
+                Box::new(MdaSession::new(
+                    topo.destination(),
+                    TraceConfig::new(i as u64),
+                )) as Box<dyn TraceSession>
+            });
+            let started = std::time::Instant::now();
+            let traces = engine.run_stream(sessions);
+            let wall = started.elapsed();
+            let stats = *engine.stats();
+            assert_eq!(
+                stats.sessions_completed, lanes as u64,
+                "{preset}: every session must finalize"
+            );
+            assert_eq!(
+                stats.probes_timed_out
+                    + stats.replies_delivered
+                    + stats.malformed_replies
+                    + stats.mismatched_replies,
+                stats.probes_sent,
+                "{preset}: retry-wave accounting must partition probes_sent"
+            );
+            if preset == "midtrace-blackhole" {
+                assert_eq!(
+                    stats.sessions_partial, lanes as u64,
+                    "the all-dark preset must degrade every lane to partial"
+                );
+            }
+            let partial = traces.iter().filter(|t| t.outcome.is_partial()).count();
+            json!({
+                "preset": preset,
+                "probes_sent": stats.probes_sent,
+                "probes_timed_out": stats.probes_timed_out,
+                "retries_exhausted": stats.retries_exhausted,
+                "sessions_partial": stats.sessions_partial,
+                "partial_traces": partial,
+                "max_lane_backoff_depth": stats.max_lane_backoff_depth,
+                "wall_ns": wall.as_nanos() as u64,
+            })
+        })
+        .collect();
+    json!({
+        "workload": format!(
+            "{lanes} fig1-meshed MDA lanes per preset, retries 1, stall watchdog 4 rounds"
+        ),
+        "all_presets_terminated": true,
+        "presets": presets,
+    })
+}
+
 fn main() {
     let quick = std::env::var("MLPT_BENCH_QUICK").is_ok_and(|v| !v.is_empty());
     let env_usize = |key: &str, default: usize| -> usize {
@@ -726,6 +814,10 @@ fn main() {
     // makespan <= 0.9x and tail floors internally).
     let straggler = straggler_stage();
 
+    // Chaos stage: every fault-schedule preset must terminate under the
+    // robustness stack (asserts liveness + accounting internally).
+    let chaos = chaos_stage(if quick { 4 } else { 16 });
+
     // Wall-clock measurements.
     let mut c = Criterion::default().sample_size(samples);
     c.bench_function("sweep/sequential_full_trace_loop", |b| {
@@ -842,6 +934,7 @@ fn main() {
         "adaptive_backoff": backoff,
         "alias_sweep": alias_sweep,
         "straggler_admission": straggler,
+        "chaos": chaos,
         "results": results,
     });
 

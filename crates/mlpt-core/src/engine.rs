@@ -19,7 +19,11 @@
 //!    Requests are typed ([`ProbeRequest`]): TTL-limited UDP probes
 //!    towards the session's destination and ICMP Echo Requests aimed at
 //!    individual interfaces share one batch;
-//! 3. crosses the shared [`BatchTransport`] **once**;
+//! 3. crosses the shared [`SplitTransport`] **once** — every probe
+//!    carries a virtual-clock deadline drawn from the sweep's
+//!    [`RetryPolicy`] (see [`crate::pending`]), and a probe whose reply
+//!    misses its deadline resolves as a typed timeout instead of
+//!    blocking the sweep;
 //! 4. **demultiplexes** replies back to their sessions by kind-tagged
 //!    keys — ICMP errors by the destination/sequence recovered from the
 //!    quoted probe ([`mlpt_wire::probe::ReplyPacket`]), Echo Replies by
@@ -49,15 +53,58 @@
 //! Malformed or mismatched replies never panic a sweep: the demux path
 //! is unwrap-free, counting anomalies in [`SweepStats`] and treating the
 //! affected probes as lost (which the retry machinery then handles).
+//!
+//! # Retry-wave accounting
+//!
+//! Every dispatched probe resolves exactly once, into exactly one of
+//! four buckets, giving the sweep-level invariant
+//!
+//! ```text
+//! probes_timed_out + replies_delivered
+//!     + malformed_replies + mismatched_replies == probes_sent
+//! ```
+//!
+//! (modulo the pathological 16-bit sequence collision, which charges an
+//! extra `mismatched_replies` at dispatch time; see
+//! [`SweepStats::mismatched_replies`]). The split transport guarantees
+//! one reply slot per probe: an unanswered slot is a **timeout** — the
+//! probe's deadline expired with no reply, or the reply was lost on the
+//! wire — and feeds the next retry wave exactly as a lost reply always
+//! did. Retry waves are bounded by [`SweepConfig::retries`]; a round
+//! that exhausts its waves with probes still unanswered charges them to
+//! [`SweepStats::retries_exhausted`] and hands the session an honest
+//! `None` for each, so no fault schedule can wedge a sweep. The
+//! invariant is asserted by the fault-schedule property tests in
+//! `tests/sweep_equivalence.rs` and the chaos suite in `tests/chaos.rs`.
+//!
+//! # Graceful degradation
+//!
+//! Two watchdogs keep a sweep live under hostile fault schedules, both
+//! operating on **protocol state** (session rounds and retry waves)
+//! rather than scheduler state, so they fire identically across
+//! admission modes and budgets:
+//!
+//! * a per-session **stall watchdog** ([`SweepConfig::stall_rounds`]):
+//!   a session whose last N rounds each resolved with zero replies is
+//!   aborted ([`ProbeSession::abort`]) and reported with
+//!   [`TraceOutcome::Partial`] — the caller gets the honest prefix of
+//!   the topology instead of a hang (or, with retries, an unbounded
+//!   probe burn into a black hole);
+//! * per-lane **backoff depth**: consecutive lossy retry waves (any
+//!   probe unanswered) deepen the lane's deadline exponent (reusing the AIMD loss signal
+//!   at wave granularity), so a rate-limited or congested lane waits
+//!   longer instead of re-probing into the fault; clean waves decay the
+//!   depth back towards zero.
 
+use crate::pending::{ProbeTimer, RetryPolicy};
 use crate::prober::{DirectObservation, ProbeObservation, ECHO_IDENTIFIER, ECHO_TTL};
 use crate::session::TraceSession;
 use crate::session::{ProbeOutcome, ProbeRequest, ProbeSession, SessionState, TraceProbeSession};
-use crate::trace::Trace;
+use crate::trace::{PartialReason, Trace};
 use mlpt_wire::probe::{
     build_echo_probe_into, build_udp_probe_into, parse_reply, ProbePacket, ReplyKind,
 };
-use mlpt_wire::transport::{BatchTransport, PacketBatch, ReplyBatch};
+use mlpt_wire::transport::{PacketBatch, ReplyBatch, SplitTransport};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
 
@@ -149,6 +196,18 @@ pub struct SweepConfig {
     /// Hard cap on concurrently admitted sessions (memory bound for
     /// survey-scale streams). `usize::MAX` = unlimited.
     pub max_admitted: usize,
+    /// Deadline policy for the pending table: every dispatched probe's
+    /// timeout (ticks from its send instant) is drawn from this policy
+    /// by the session's own [`ProbeTimer`].
+    pub retry: RetryPolicy,
+    /// Stall watchdog: a session whose last `stall_rounds` rounds each
+    /// resolved with **zero** replies is aborted and reported as
+    /// [`TraceOutcome::Partial`](crate::trace::TraceOutcome::Partial).
+    /// `0` (the default) disables the watchdog; retry waves inside one
+    /// round do not count — only completed all-silent rounds do, so the
+    /// trigger is protocol state and fires identically across admission
+    /// modes and budgets.
+    pub stall_rounds: u32,
 }
 
 impl Default for SweepConfig {
@@ -159,6 +218,8 @@ impl Default for SweepConfig {
             admission: Admission::default(),
             adaptive: None,
             max_admitted: usize::MAX,
+            retry: RetryPolicy::default(),
+            stall_rounds: 0,
         }
     }
 }
@@ -234,6 +295,23 @@ pub struct SweepStats {
     pub lane_backoffs: u64,
     /// The in-flight budget when the sweep finished.
     pub final_in_flight_budget: usize,
+    /// Probes whose reply slot came back empty: the deadline expired
+    /// with no reply, or the reply was lost on the wire. Together with
+    /// the three reply buckets this partitions `probes_sent` — see the
+    /// retry-wave accounting section of the module docs.
+    pub probes_timed_out: u64,
+    /// Probes still unanswered when their round's last permitted retry
+    /// wave resolved: the retry budget ran out and the session was
+    /// handed an honest `None` for each.
+    pub retries_exhausted: u64,
+    /// Sessions the stall watchdog aborted
+    /// ([`SweepConfig::stall_rounds`]); each reports a
+    /// [`TraceOutcome::Partial`](crate::trace::TraceOutcome::Partial)
+    /// result instead of hanging the sweep.
+    pub sessions_partial: u64,
+    /// Deepest per-lane deadline-backoff exponent reached by any lane
+    /// (consecutive lossy retry waves; see the module docs).
+    pub max_lane_backoff_depth: u32,
 }
 
 impl SweepStats {
@@ -270,6 +348,10 @@ impl SweepStats {
             budget_backoffs,
             lane_backoffs,
             final_in_flight_budget,
+            probes_timed_out,
+            retries_exhausted,
+            sessions_partial,
+            max_lane_backoff_depth,
         } = *other;
         self.dispatch_cycles += dispatch_cycles;
         self.probes_sent += probes_sent;
@@ -285,6 +367,10 @@ impl SweepStats {
         self.budget_backoffs += budget_backoffs;
         self.lane_backoffs += lane_backoffs;
         self.final_in_flight_budget = final_in_flight_budget;
+        self.probes_timed_out += probes_timed_out;
+        self.retries_exhausted += retries_exhausted;
+        self.sessions_partial += sessions_partial;
+        self.max_lane_backoff_depth = self.max_lane_backoff_depth.max(max_lane_backoff_depth);
     }
 }
 
@@ -373,6 +459,17 @@ struct SessionSlot<S> {
     dispatched_cycle: u32,
     /// Replies delivered to this lane in the current cycle.
     delivered_cycle: u32,
+    /// Deadline source for this session's probes (jitter RNG included).
+    timer: ProbeTimer,
+    /// Deadline-backoff exponent: consecutive lossy retry waves deepen
+    /// it, fully-answered waves decay it. Wave-granular, so it is
+    /// protocol state — a cycle's slicing cannot move it.
+    backoff_depth: u32,
+    /// Completed rounds in a row that resolved with zero replies.
+    silent_rounds: u32,
+    /// Set when the stall watchdog aborts this session; the slot then
+    /// finalizes as a partial result regardless of what `poll` says.
+    partial: Option<PartialReason>,
 }
 
 impl<S> SessionSlot<S> {
@@ -535,7 +632,7 @@ fn reorder_by_cost<S: ProbeSession>(sessions: Vec<S>) -> VecDeque<(usize, S)> {
 }
 
 /// The sweep scheduler (see module docs).
-pub struct SweepEngine<T: BatchTransport> {
+pub struct SweepEngine<T: SplitTransport> {
     transport: T,
     source: Ipv4Addr,
     config: SweepConfig,
@@ -545,6 +642,8 @@ pub struct SweepEngine<T: BatchTransport> {
     stats: SweepStats,
     demux: ReplyDemux,
     packets: PacketBatch,
+    /// Per-probe deadlines (ticks from send), parallel to `packets`.
+    timeouts: Vec<u64>,
     replies: ReplyBatch,
     dispatch: Vec<DispatchEntry>,
     /// AIMD controller state (equals `max_in_flight` when fixed).
@@ -558,7 +657,7 @@ pub struct SweepEngine<T: BatchTransport> {
 /// session type, so one engine serves trace sweeps (boxed
 /// [`TraceSession`]s behind the adapter) and alias sweeps (concrete
 /// [`ProbeSession`] types) without boxing the latter.
-struct SweepRun<'e, T: BatchTransport, S: ProbeSession> {
+struct SweepRun<'e, T: SplitTransport, S: ProbeSession> {
     eng: &'e mut SweepEngine<T>,
     /// Live sessions only; finished slots are removed immediately.
     slots: Vec<SessionSlot<S>>,
@@ -572,7 +671,7 @@ struct SweepRun<'e, T: BatchTransport, S: ProbeSession> {
     cycle_delivered: usize,
 }
 
-impl<T: BatchTransport> SweepEngine<T> {
+impl<T: SplitTransport> SweepEngine<T> {
     /// Creates an engine over a shared transport, probing from `source`.
     pub fn new(transport: T, source: Ipv4Addr) -> Self {
         let config = SweepConfig::default();
@@ -585,6 +684,7 @@ impl<T: BatchTransport> SweepEngine<T> {
             stats: SweepStats::default(),
             demux: ReplyDemux::default(),
             packets: PacketBatch::new(),
+            timeouts: Vec::new(),
             replies: ReplyBatch::new(),
             dispatch: Vec::new(),
             cycle_sizes: Vec::new(),
@@ -596,6 +696,7 @@ impl<T: BatchTransport> SweepEngine<T> {
         self.config = config;
         self.config.max_in_flight = self.config.max_in_flight.max(1);
         self.config.max_admitted = self.config.max_admitted.max(1);
+        self.config.retry.base_timeout = self.config.retry.base_timeout.max(1);
         if let Some(adaptive) = &mut self.config.adaptive {
             adaptive.min_in_flight = adaptive.min_in_flight.clamp(1, self.config.max_in_flight);
             adaptive.increase = adaptive.increase.max(1);
@@ -687,7 +788,10 @@ impl<T: BatchTransport> SweepEngine<T> {
     {
         let adapted = sessions.into_iter().map(TraceProbeSession::new);
         self.run_sessions_with(adapted, |index, mut session, probes_sent| {
-            sink(index, session.inner_mut().take_trace(probes_sent));
+            let outcome = session.outcome();
+            let mut trace = session.inner_mut().take_trace(probes_sent);
+            trace.outcome = outcome;
+            sink(index, trace);
         });
     }
 
@@ -717,7 +821,7 @@ impl<T: BatchTransport> SweepEngine<T> {
     }
 }
 
-impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
+impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
     /// The scheduler loop shared by every entry point.
     fn run_source(
         &mut self,
@@ -749,9 +853,15 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
                 debug_assert!(false, "deferred sessions with an empty live table");
                 continue;
             }
+            debug_assert_eq!(
+                self.eng.packets.len(),
+                self.eng.timeouts.len(),
+                "one deadline per dispatched probe"
+            );
             self.eng
                 .transport
-                .send_batch(&self.eng.packets, &mut self.eng.replies);
+                .send_probes(&self.eng.packets, &self.eng.timeouts);
+            self.eng.transport.recv_replies(&mut self.eng.replies);
             self.eng.stats.dispatch_cycles += 1;
             self.eng.stats.probes_sent += self.eng.packets.len() as u64;
             self.eng.stats.max_batch = self.eng.stats.max_batch.max(self.eng.packets.len());
@@ -797,7 +907,16 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
     fn pump_slot(&mut self, i: usize, sink: &mut dyn FnMut(usize, S, u64)) -> Pumped {
         let slot = &mut self.slots[i];
         debug_assert!(!slot.active, "pump_slot on an active slot");
-        match slot.session.poll() {
+        // An aborted session is finished whatever its state machine
+        // says — `abort` is advisory (a default no-op), so the slot's
+        // own flag is what guarantees the sweep can never hang on a
+        // session that ignores it.
+        let state = if slot.partial.is_some() {
+            SessionState::Finished
+        } else {
+            slot.session.poll()
+        };
+        match state {
             SessionState::Finished => {
                 let cost_aware = self.cost_aware();
                 let slot = self.slots.swap_remove(i);
@@ -923,6 +1042,10 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
             allowance: self.eng.config.max_in_flight,
             dispatched_cycle: 0,
             delivered_cycle: 0,
+            timer: ProbeTimer::new(self.eng.config.retry, destination),
+            backoff_depth: 0,
+            silent_rounds: 0,
+            partial: None,
         });
         // Arm the first round now so the session joins this very cycle's
         // batch — that is what keeps batches full at admission time.
@@ -937,6 +1060,7 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
     /// nothing is left to dispatch.
     fn gather_packets(&mut self) -> bool {
         self.eng.packets.clear();
+        self.eng.timeouts.clear();
         self.eng.dispatch.clear();
         self.eng.demux.clear();
         self.cycle_delivered = 0;
@@ -994,6 +1118,14 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
                 continue;
             };
             let sequence = slot.next_sequence();
+            // The deadline is protocol state: attempt and backoff depth
+            // advance on wave boundaries, and the jitter RNG advances
+            // once per probe in wave order — so however the budget
+            // slices this wave across cycles, the deadline sequence is
+            // identical (determinism rule 5).
+            self.eng
+                .timeouts
+                .push(slot.timer.next_timeout(slot.attempt, slot.backoff_depth));
             let registered = match request {
                 ProbeRequest::Udp(spec) => {
                     let probe = ProbePacket {
@@ -1055,7 +1187,11 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
     fn demux_replies(&mut self) {
         for slot_idx in 0..self.eng.replies.len() {
             let Some(bytes) = self.eng.replies.get(slot_idx) else {
-                continue; // lost on the wire: resolved as unanswered
+                // No reply by the probe's deadline (lost on the wire, or
+                // late past the timeout): a typed timeout, feeding the
+                // retry machinery exactly like a lost reply.
+                self.eng.stats.probes_timed_out += 1;
+                continue;
             };
             let Ok(parsed) = parse_reply(bytes) else {
                 self.eng.stats.malformed_replies += 1;
@@ -1197,26 +1333,72 @@ impl<T: BatchTransport, S: ProbeSession> SweepRun<'_, T, S> {
         self.eng.stats.lane_backoffs += lane_backoffs;
     }
 
-    /// Completes retry waves and hands finished rounds to their sessions.
+    /// Completes retry waves and hands finished rounds to their
+    /// sessions.
+    ///
+    /// The accounting audit trail (see the module docs): a wave is
+    /// resolved only once fully dispatched (`cursor == wave.len()`), at
+    /// which point the split transport has given every one of its probes
+    /// a reply slot — answered slots were delivered by the demux pass,
+    /// unanswered ones were charged to
+    /// [`SweepStats::probes_timed_out`]. Unanswered requests feed the
+    /// next retry wave while [`SweepConfig::retries`] allows; the last
+    /// wave's leftovers are charged to
+    /// [`SweepStats::retries_exhausted`] and the round finalizes with an
+    /// honest `None` per missing reply, so every dispatched probe
+    /// resolves exactly once and no schedule can wedge a round.
     fn resolve_waves(&mut self) {
         let mut repending = 0usize;
         for slot in &mut self.slots {
             if !slot.active || slot.cursor < slot.wave.len() {
                 continue; // wave still (partially) undispatched
             }
-            // The transport is synchronous: everything dispatched so far
-            // has resolved. Unanswered requests feed the next retry wave.
             let still: Vec<usize> = slot
                 .wave
                 .iter()
                 .copied()
                 .filter(|&s| slot.results.get(s).is_some_and(Option::is_none))
                 .collect();
+            // Wave-granular deadline backoff: a lossy wave deepens this
+            // lane's timeout exponent, a clean one decays it. Waves are
+            // protocol state (their composition is independent of how
+            // cycles sliced them), so the depth — and through it every
+            // deadline — is identical across admission modes.
+            if still.is_empty() {
+                slot.backoff_depth = slot.backoff_depth.saturating_sub(1);
+            } else {
+                slot.backoff_depth = slot.backoff_depth.saturating_add(1);
+                self.eng.stats.max_lane_backoff_depth = self
+                    .eng
+                    .stats
+                    .max_lane_backoff_depth
+                    .max(slot.backoff_depth);
+            }
             if still.is_empty() || slot.attempt >= self.eng.config.retries {
+                self.eng.stats.retries_exhausted += still.len() as u64;
+                let answered = slot.results.iter().any(Option::is_some);
                 slot.session.note_wire_probes(slot.round_wire);
                 slot.round_wire = 0;
                 slot.session.on_replies(&mut slot.results);
                 slot.active = false;
+                // The stall watchdog counts completed all-silent rounds
+                // — session-round granularity, so it too is protocol
+                // state and trips identically however the sweep is
+                // scheduled.
+                if answered {
+                    slot.silent_rounds = 0;
+                } else {
+                    slot.silent_rounds = slot.silent_rounds.saturating_add(1);
+                    let limit = self.eng.config.stall_rounds;
+                    if limit > 0 && slot.silent_rounds >= limit && slot.partial.is_none() {
+                        let reason = PartialReason::Stalled {
+                            silent_rounds: slot.silent_rounds,
+                        };
+                        slot.partial = Some(reason);
+                        slot.session.abort(reason);
+                        self.eng.stats.sessions_partial += 1;
+                    }
+                }
             } else {
                 slot.attempt += 1;
                 repending += still.len();
@@ -1731,5 +1913,157 @@ mod tests {
         assert!(last.at_destination);
         assert_eq!(engine.stats().mismatched_replies, 0);
         assert_eq!(engine.stats().replies_delivered, 3);
+    }
+
+    /// The retry-wave accounting invariant from the module docs: every
+    /// dispatched probe lands in exactly one bucket, clean or lossy.
+    #[test]
+    fn timeout_accounting_partitions_probes_sent() {
+        use mlpt_sim::FaultPlan;
+        let topo = canonical::fig1_meshed();
+        let d = topo.destination();
+        for reply_loss in [0.0, 0.4, 1.0] {
+            let net = SimNetwork::builder(topo.clone())
+                .faults(FaultPlan::with_loss(0.0, reply_loss))
+                .seed(13)
+                .build();
+            let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+                retries: 2,
+                ..SweepConfig::default()
+            });
+            engine
+                .add_session(Box::new(MdaLiteSession::new(d, TraceConfig::new(2))))
+                .expect("unique destination");
+            let _ = engine.run();
+            let stats = engine.stats();
+            assert_eq!(
+                stats.probes_timed_out
+                    + stats.replies_delivered
+                    + stats.malformed_replies
+                    + stats.mismatched_replies,
+                stats.probes_sent,
+                "accounting must partition probes_sent at loss {reply_loss}"
+            );
+            if reply_loss == 0.0 {
+                assert_eq!(stats.probes_timed_out, 0);
+                assert_eq!(stats.retries_exhausted, 0);
+            } else {
+                assert!(stats.probes_timed_out > 0);
+            }
+            if reply_loss == 1.0 {
+                assert!(stats.retries_exhausted > 0);
+                assert!(
+                    stats.max_lane_backoff_depth > 0,
+                    "fully lost waves must deepen the lane's deadline exponent"
+                );
+            }
+        }
+    }
+
+    /// A destination that goes dark mid-trace stalls its session; the
+    /// watchdog aborts it and the trace reports an honest partial
+    /// outcome instead of the sweep hanging or burning its retry budget
+    /// forever.
+    #[test]
+    fn stall_watchdog_reports_partial_outcome() {
+        use crate::trace::{PartialReason, TraceOutcome};
+        use mlpt_sim::{FaultSchedule, FaultSpec};
+        let topo = canonical::fig1_unmeshed();
+        let d = topo.destination();
+        let net = SimNetwork::builder(topo)
+            .fault_schedule(FaultSchedule::constant(FaultSpec::none().with_blackhole(3)))
+            .seed(5)
+            .build();
+        let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+            retries: 1,
+            stall_rounds: 3,
+            ..SweepConfig::default()
+        });
+        engine
+            .add_session(Box::new(MdaLiteSession::new(d, TraceConfig::new(7))))
+            .expect("unique destination");
+        let trace = engine.run().remove(0);
+        assert!(!trace.reached_destination);
+        assert!(trace.outcome.is_partial());
+        let TraceOutcome::Partial {
+            reason: PartialReason::Stalled { silent_rounds },
+        } = trace.outcome
+        else {
+            panic!(
+                "expected a stalled partial outcome, got {:?}",
+                trace.outcome
+            );
+        };
+        assert_eq!(silent_rounds, 3);
+        // The prefix below the black hole was still discovered honestly.
+        assert!(!trace.vertices_at(1).is_empty());
+        assert!(!trace.vertices_at(2).is_empty());
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_partial, 1);
+        assert_eq!(stats.sessions_completed, 1);
+        assert!(stats.probes_timed_out > 0);
+    }
+
+    /// With the watchdog off (the default), outcomes stay `Complete`
+    /// and behaviour is unchanged — the robustness layer is opt-in.
+    #[test]
+    fn watchdog_disabled_by_default() {
+        let topo = canonical::fig1_unmeshed();
+        let d = topo.destination();
+        let mut engine = SweepEngine::new(SimNetwork::new(topo, 3), SRC);
+        engine
+            .add_session(Box::new(MdaLiteSession::new(d, TraceConfig::new(3))))
+            .expect("unique destination");
+        let trace = engine.run().remove(0);
+        assert_eq!(trace.outcome, crate::trace::TraceOutcome::Complete);
+        assert_eq!(engine.stats().sessions_partial, 0);
+    }
+
+    /// Retry deadlines and the stall watchdog are protocol state: a
+    /// sweep under a hostile schedule produces bit-identical traces
+    /// whatever the admission mode or budget slicing.
+    #[test]
+    fn degraded_sweeps_stay_deterministic_across_schedulers() {
+        use mlpt_sim::FaultSchedule;
+        let lanes: Vec<mlpt_topo::MultipathTopology> = (0..6u32)
+            .map(|i| canonical::fig1_meshed().translated(0x0100_0000 * (i + 1)))
+            .collect();
+        let run = |admission: Admission, max_in_flight: usize| -> (Vec<Trace>, SweepStats) {
+            let nets: Vec<SimNetwork> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    SimNetwork::builder(t.clone())
+                        .fault_schedule(FaultSchedule::preset("flap").expect("known preset"))
+                        .seed(17 + i as u64)
+                        .build()
+                })
+                .collect();
+            let net = mlpt_sim::MultiNetwork::new(nets).expect("unique destinations");
+            let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+                max_in_flight,
+                retries: 2,
+                stall_rounds: 4,
+                admission,
+                ..SweepConfig::default()
+            });
+            let sessions: Vec<Box<dyn TraceSession>> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    Box::new(MdaSession::new(t.destination(), TraceConfig::new(i as u64)))
+                        as Box<dyn TraceSession>
+                })
+                .collect();
+            let traces = engine.run_stream(sessions);
+            (traces, *engine.stats())
+        };
+        let (eager, eager_stats) = run(Admission::Eager, 512);
+        let (streaming, _) = run(Admission::Streaming, 16);
+        let (cost_aware, cost_stats) = run(Admission::CostAware, 48);
+        assert_eq!(eager, streaming);
+        assert_eq!(eager, cost_aware);
+        assert_eq!(eager_stats.probes_sent, cost_stats.probes_sent);
+        assert_eq!(eager_stats.sessions_partial, cost_stats.sessions_partial);
     }
 }

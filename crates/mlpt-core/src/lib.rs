@@ -55,6 +55,7 @@ pub mod discovery;
 pub mod engine;
 pub mod mda;
 pub mod mda_lite;
+pub mod pending;
 pub mod prober;
 pub mod report;
 pub mod session;
@@ -67,6 +68,7 @@ pub use discovery::{Discovery, FlowAllocator};
 pub use engine::{AdaptiveBudget, Admission, EngineError, SweepConfig, SweepEngine, SweepStats};
 pub use mda::trace_mda;
 pub use mda_lite::trace_mda_lite;
+pub use pending::{ProbeTimer, RetryPolicy};
 pub use prober::{DirectObservation, ProbeLog, ProbeObservation, Prober, TransportProber};
 pub use report::TraceReport;
 pub use session::{
@@ -75,7 +77,7 @@ pub use session::{
 };
 pub use single_flow::trace_single_flow;
 pub use stopping::StoppingPoints;
-pub use trace::{Algorithm, SwitchReason, Trace};
+pub use trace::{Algorithm, PartialReason, SwitchReason, Trace, TraceOutcome};
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use crate::engine::{AdaptiveBudget, Admission, SweepConfig, SweepEngine};
     pub use crate::mda::trace_mda;
     pub use crate::mda_lite::trace_mda_lite;
+    pub use crate::pending::RetryPolicy;
     pub use crate::prober::{Prober, TransportProber};
     pub use crate::session::{
         MdaLiteSession, MdaSession, ProbeOutcome, ProbeRequest, ProbeSession, SessionState,
@@ -90,6 +93,6 @@ pub mod prelude {
     };
     pub use crate::single_flow::trace_single_flow;
     pub use crate::stopping::StoppingPoints;
-    pub use crate::trace::{Algorithm, SwitchReason, Trace};
+    pub use crate::trace::{Algorithm, PartialReason, SwitchReason, Trace, TraceOutcome};
     pub use mlpt_wire::FlowId;
 }

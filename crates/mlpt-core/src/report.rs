@@ -6,7 +6,7 @@
 //! multipath trace, including per-hop vertices with their flow counts and
 //! the witnessed edges, suitable for JSON archival and later re-analysis.
 
-use crate::trace::{Algorithm, SwitchReason, Trace};
+use crate::trace::{Algorithm, SwitchReason, Trace, TraceOutcome};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -58,6 +58,8 @@ pub struct TraceReport {
     pub switched: Option<SwitchReason>,
     /// Whether the probe budget was exhausted.
     pub budget_exhausted: bool,
+    /// How the trace ended (complete, or gracefully degraded partial).
+    pub outcome: TraceOutcome,
     /// Per-hop observations.
     pub hops: Vec<ReportHop>,
     /// Witnessed edges.
@@ -98,6 +100,7 @@ impl TraceReport {
             probes_sent: trace.probes_sent,
             switched: trace.switched,
             budget_exhausted: trace.budget_exhausted,
+            outcome: trace.outcome,
             hops,
             edges,
         }

@@ -46,7 +46,7 @@
 use crate::config::TraceConfig;
 use crate::discovery::{Discovery, FlowAllocator};
 use crate::prober::{DirectObservation, ProbeObservation, ProbeSpec, Prober};
-use crate::trace::{Algorithm, SwitchReason, Trace};
+use crate::trace::{Algorithm, PartialReason, SwitchReason, Trace, TraceOutcome};
 use mlpt_wire::FlowId;
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
@@ -144,6 +144,17 @@ pub trait ProbeSession {
     fn predicted_cost(&self) -> u64 {
         0
     }
+
+    /// Tells the session the driver is finalizing it early (graceful
+    /// degradation: the stall watchdog fired). After this call the
+    /// driver treats the session as finished regardless of
+    /// [`poll`](ProbeSession::poll); sessions that surface a result
+    /// should record the reason and report it (trace sessions mark the
+    /// trace [`crate::TraceOutcome::Partial`]). The default ignores the
+    /// notification.
+    fn abort(&mut self, reason: PartialReason) {
+        let _ = reason;
+    }
 }
 
 /// Adapts any [`TraceSession`] to the [`ProbeSession`] contract: every
@@ -154,6 +165,7 @@ pub struct TraceProbeSession<S> {
     inner: S,
     requests: Vec<ProbeRequest>,
     replies: Vec<Option<ProbeObservation>>,
+    partial: Option<PartialReason>,
 }
 
 impl<S: TraceSession> TraceProbeSession<S> {
@@ -163,6 +175,7 @@ impl<S: TraceSession> TraceProbeSession<S> {
             inner,
             requests: Vec::new(),
             replies: Vec::new(),
+            partial: None,
         }
     }
 
@@ -174,6 +187,15 @@ impl<S: TraceSession> TraceProbeSession<S> {
     /// Unwraps the trace session.
     pub fn into_inner(self) -> S {
         self.inner
+    }
+
+    /// How the finished trace should be stamped: `Partial` if the driver
+    /// aborted this session, `Complete` otherwise.
+    pub fn outcome(&self) -> TraceOutcome {
+        match self.partial {
+            Some(reason) => TraceOutcome::Partial { reason },
+            None => TraceOutcome::Complete,
+        }
     }
 }
 
@@ -215,6 +237,10 @@ impl<S: TraceSession> ProbeSession for TraceProbeSession<S> {
 
     fn predicted_cost(&self) -> u64 {
         self.inner.predicted_cost()
+    }
+
+    fn abort(&mut self, reason: PartialReason) {
+        self.partial = Some(reason);
     }
 }
 
@@ -820,6 +846,7 @@ impl TraceSession for MdaSession {
             probes_sent,
             switched: None,
             budget_exhausted: self.core.exhausted(),
+            outcome: TraceOutcome::Complete,
             discovery: std::mem::take(&mut self.core.state),
         }
     }
@@ -1183,6 +1210,7 @@ impl TraceSession for MdaLiteSession {
             probes_sent,
             switched: self.switched,
             budget_exhausted: self.core.exhausted(),
+            outcome: TraceOutcome::Complete,
             discovery: std::mem::take(&mut self.core.state),
         }
     }
@@ -1334,6 +1362,7 @@ impl TraceSession for SingleFlowSession {
             probes_sent,
             switched: None,
             budget_exhausted: false,
+            outcome: TraceOutcome::Complete,
             discovery: std::mem::take(&mut self.state),
         }
     }

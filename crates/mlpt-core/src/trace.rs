@@ -38,6 +38,54 @@ pub enum SwitchReason {
     },
 }
 
+/// Why a trace was cut short of its protocol's natural stopping point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartialReason {
+    /// The stall watchdog fired: the session made no reply progress for
+    /// the configured number of consecutive rounds.
+    Stalled {
+        /// Consecutive all-silent rounds observed before finalizing.
+        silent_rounds: u32,
+    },
+}
+
+impl std::fmt::Display for PartialReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartialReason::Stalled { silent_rounds } => {
+                write!(f, "stalled for {silent_rounds} silent rounds")
+            }
+        }
+    }
+}
+
+/// How a trace ended: ran to its protocol's stopping rule, or was
+/// finalized early with whatever evidence had accumulated.
+///
+/// `Partial` is a *graceful* ending — the trace's discovery evidence is
+/// sound (everything recorded was really observed), merely incomplete.
+/// Degradation machinery (the stall watchdog) produces it instead of
+/// letting a dark destination hang the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TraceOutcome {
+    /// The algorithm reached its own stopping rule.
+    #[default]
+    Complete,
+    /// The trace was finalized early; the evidence is honest but
+    /// incomplete.
+    Partial {
+        /// Why the early finalization happened.
+        reason: PartialReason,
+    },
+}
+
+impl TraceOutcome {
+    /// True for [`TraceOutcome::Partial`].
+    pub fn is_partial(&self) -> bool {
+        matches!(self, TraceOutcome::Partial { .. })
+    }
+}
+
 /// A completed multipath trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
@@ -53,6 +101,8 @@ pub struct Trace {
     pub switched: Option<SwitchReason>,
     /// True if the run stopped because the probe budget was exhausted.
     pub budget_exhausted: bool,
+    /// How the trace ended (complete, or gracefully degraded).
+    pub outcome: TraceOutcome,
     /// The raw evidence (vertices, flows, edges per hop).
     pub discovery: Discovery,
 }
@@ -203,6 +253,7 @@ mod tests {
             probes_sent: 6,
             switched: None,
             budget_exhausted: false,
+            outcome: TraceOutcome::Complete,
             discovery: d,
         }
     }
@@ -236,6 +287,7 @@ mod tests {
             probes_sent: 1,
             switched: None,
             budget_exhausted: false,
+            outcome: TraceOutcome::Complete,
             discovery: d,
         };
         assert!(t.to_topology().is_none());
@@ -258,6 +310,7 @@ mod tests {
             probes_sent: 3,
             switched: None,
             budget_exhausted: false,
+            outcome: TraceOutcome::Complete,
             discovery: d,
         };
         let topo = t.to_topology().unwrap();
@@ -285,6 +338,7 @@ mod tests {
             probes_sent: 5,
             switched: None,
             budget_exhausted: false,
+            outcome: TraceOutcome::Complete,
             discovery: d,
         };
         let topo = t.to_topology().unwrap();

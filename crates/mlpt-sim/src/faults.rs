@@ -3,12 +3,22 @@
 //! The MDA's idealised model assumes every probe receives a response
 //! (assumption 4). The paper's future-work list (Sec. 7, item 2) calls for
 //! a simulator that can violate that assumption — in particular ICMP rate
-//! limiting, "one common cause of a lack of replies". [`FaultPlan`]
-//! injects:
+//! limiting, "one common cause of a lack of replies". Two layers:
 //!
-//! * probabilistic probe loss (the forward packet vanishes),
-//! * probabilistic reply loss (the ICMP reply vanishes),
-//! * per-router ICMP rate limiting via a token bucket.
+//! * [`FaultPlan`] — the legacy static knob set: probabilistic probe loss
+//!   (the forward packet vanishes), probabilistic reply loss (the ICMP
+//!   reply vanishes), and per-router ICMP rate limiting via a token
+//!   bucket. Kept as the stable config surface; it converts into —
+//! * [`FaultSpec`] — the full impairment vocabulary at one instant:
+//!   everything a plan expresses plus reply **latency** (ticks added to
+//!   each reply's delivery time, so a deadline-driven prober can see
+//!   late replies) and a **blackhole** (all probes to TTLs at or beyond
+//!   a threshold vanish — a destination or path segment going dark).
+//! * [`FaultSchedule`] — a stepped timeline of specs: the network's
+//!   impairments *change at named virtual-clock ticks*, which is what a
+//!   static plan can never express (a destination going dark mid-trace,
+//!   loss that flaps, congestion that ramps). Presets for the canonical
+//!   chaos scenarios live in [`FaultSchedule::preset`].
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -90,6 +100,215 @@ impl Default for FaultPlan {
     }
 }
 
+/// The complete impairment vocabulary at one instant of virtual time.
+///
+/// A [`FaultPlan`] converts losslessly into a spec (no latency, no
+/// blackhole); a [`FaultSchedule`] is a timeline of specs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Probability a probe is dropped before reaching any router.
+    pub probe_loss: f64,
+    /// Probability a generated reply is dropped on the way back.
+    pub reply_loss: f64,
+    /// Virtual-clock ticks added to every reply's delivery time. A
+    /// deadline-driven prober observes a reply only if
+    /// `latency_ticks <= timeout`; the synchronous prober (which cannot
+    /// express deadlines) still sees the reply, just later-stamped.
+    pub latency_ticks: u64,
+    /// Blackhole threshold: probes addressed to hops at or beyond this
+    /// TTL silently vanish (no reply, ever). `Some(1)` darkens the whole
+    /// path; `Some(k)` models a failure after hop `k - 1`.
+    pub blackhole_min_ttl: Option<u8>,
+    /// ICMP rate limit: token bucket capacity per router
+    /// (None = unlimited).
+    pub icmp_bucket_capacity: Option<u32>,
+    /// Tokens refilled per clock tick.
+    pub icmp_tokens_per_tick: f64,
+}
+
+impl FaultSpec {
+    /// No impairments: the MDA's ideal world.
+    pub fn none() -> Self {
+        FaultPlan::none().into()
+    }
+
+    /// Spec with reply latency added.
+    pub fn with_latency(mut self, ticks: u64) -> Self {
+        self.latency_ticks = ticks;
+        self
+    }
+
+    /// Spec with a blackhole from the given TTL onward.
+    pub fn with_blackhole(mut self, min_ttl: u8) -> Self {
+        assert!(min_ttl > 0, "TTL 0 never carries probes");
+        self.blackhole_min_ttl = Some(min_ttl);
+        self
+    }
+
+    /// True if this spec can suppress or delay packets at all.
+    pub fn is_lossy(&self) -> bool {
+        self.probe_loss > 0.0
+            || self.reply_loss > 0.0
+            || self.icmp_bucket_capacity.is_some()
+            || self.latency_ticks > 0
+            || self.blackhole_min_ttl.is_some()
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl From<FaultPlan> for FaultSpec {
+    fn from(plan: FaultPlan) -> Self {
+        Self {
+            probe_loss: plan.probe_loss,
+            reply_loss: plan.reply_loss,
+            latency_ticks: 0,
+            blackhole_min_ttl: None,
+            icmp_bucket_capacity: plan.icmp_bucket_capacity,
+            icmp_tokens_per_tick: plan.icmp_tokens_per_tick,
+        }
+    }
+}
+
+/// A time-scheduled sequence of impairments: the spec in force is a step
+/// function of the simulator's virtual clock.
+///
+/// Steps are `(tick, spec)` pairs sorted by tick; the spec at tick `t`
+/// is the last step at or before `t`. A schedule always covers tick 0
+/// (an implicit no-fault step is inserted if the first explicit step
+/// starts later), so [`spec_at`](Self::spec_at) is total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    steps: Vec<(u64, FaultSpec)>,
+}
+
+impl FaultSchedule {
+    /// The same spec forever — how a static [`FaultPlan`] embeds.
+    pub fn constant(spec: FaultSpec) -> Self {
+        Self {
+            steps: vec![(0, spec)],
+        }
+    }
+
+    /// No impairments, ever.
+    pub fn none() -> Self {
+        Self::constant(FaultSpec::none())
+    }
+
+    /// Appends a step: from `tick` onward, `spec` is in force. Ticks
+    /// must be appended in strictly increasing order.
+    pub fn step(mut self, tick: u64, spec: FaultSpec) -> Self {
+        if let Some(&(last, _)) = self.steps.last() {
+            assert!(
+                tick > last || (self.steps.len() == 1 && tick == 0),
+                "schedule steps must be appended in increasing tick order \
+                 ({tick} after {last})"
+            );
+            if tick == 0 {
+                // Replacing the implicit tick-0 step.
+                self.steps.clear();
+            }
+        }
+        self.steps.push((tick, spec));
+        self
+    }
+
+    /// The spec in force at virtual-clock tick `tick`.
+    pub fn spec_at(&self, tick: u64) -> &FaultSpec {
+        let idx = self.steps.partition_point(|&(t, _)| t <= tick);
+        // Index 0 always has tick 0, so idx >= 1.
+        &self.steps[idx - 1].1
+    }
+
+    /// The steps, in tick order.
+    pub fn steps(&self) -> &[(u64, FaultSpec)] {
+        &self.steps
+    }
+
+    /// True if any step can suppress or delay packets.
+    pub fn is_lossy(&self) -> bool {
+        self.steps.iter().any(|(_, spec)| spec.is_lossy())
+    }
+
+    /// Names of the built-in chaos presets, in [`preset`](Self::preset)
+    /// order.
+    pub fn preset_names() -> &'static [&'static str] {
+        &[
+            "midtrace-blackhole",
+            "flap",
+            "congestion-ramp",
+            "rate-limit-burst",
+        ]
+    }
+
+    /// A named chaos preset, or `None` for an unknown name.
+    ///
+    /// * `midtrace-blackhole` — clean network until tick 48, then every
+    ///   path goes completely dark: traces in flight must finish
+    ///   partial, not hang.
+    /// * `flap` — loss switches on (60% both directions) and off every
+    ///   32 ticks, the oscillating-quality link.
+    /// * `congestion-ramp` — reply loss and latency climb together in
+    ///   three steps, the queue-buildup profile.
+    /// * `rate-limit-burst` — routers clamp to a tight ICMP token
+    ///   bucket between ticks 16 and 96, then recover.
+    pub fn preset(name: &str) -> Option<Self> {
+        let schedule = match name {
+            "midtrace-blackhole" => {
+                FaultSchedule::none().step(48, FaultSpec::none().with_blackhole(1))
+            }
+            "flap" => {
+                let lossy = FaultSpec::from(FaultPlan::with_loss(0.6, 0.6));
+                FaultSchedule::none()
+                    .step(32, lossy)
+                    .step(64, FaultSpec::none())
+                    .step(96, lossy)
+                    .step(128, FaultSpec::none())
+            }
+            "congestion-ramp" => FaultSchedule::none()
+                .step(
+                    32,
+                    FaultSpec::from(FaultPlan::with_loss(0.0, 0.05)).with_latency(2),
+                )
+                .step(
+                    64,
+                    FaultSpec::from(FaultPlan::with_loss(0.0, 0.15)).with_latency(8),
+                )
+                .step(
+                    96,
+                    FaultSpec::from(FaultPlan::with_loss(0.0, 0.35)).with_latency(32),
+                ),
+            "rate-limit-burst" => FaultSchedule::none()
+                .step(16, FaultPlan::with_rate_limit(2, 0.05).into())
+                .step(96, FaultSpec::none()),
+            _ => return None,
+        };
+        Some(schedule)
+    }
+}
+
+impl Default for FaultSchedule {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl From<FaultPlan> for FaultSchedule {
+    fn from(plan: FaultPlan) -> Self {
+        Self::constant(plan.into())
+    }
+}
+
+impl From<FaultSpec> for FaultSchedule {
+    fn from(spec: FaultSpec) -> Self {
+        Self::constant(spec)
+    }
+}
+
 /// Runtime state of fault injection (token buckets per router).
 #[derive(Debug, Default)]
 pub struct FaultState {
@@ -109,18 +328,23 @@ impl FaultState {
     }
 
     /// Rolls the probe-loss dice.
-    pub fn drop_probe<R: Rng>(&self, plan: &FaultPlan, rng: &mut R) -> bool {
-        plan.probe_loss > 0.0 && rng.gen::<f64>() < plan.probe_loss
+    pub fn drop_probe<R: Rng>(&self, spec: &FaultSpec, rng: &mut R) -> bool {
+        spec.probe_loss > 0.0 && rng.gen::<f64>() < spec.probe_loss
     }
 
     /// Rolls the reply-loss dice.
-    pub fn drop_reply<R: Rng>(&self, plan: &FaultPlan, rng: &mut R) -> bool {
-        plan.reply_loss > 0.0 && rng.gen::<f64>() < plan.reply_loss
+    pub fn drop_reply<R: Rng>(&self, spec: &FaultSpec, rng: &mut R) -> bool {
+        spec.reply_loss > 0.0 && rng.gen::<f64>() < spec.reply_loss
+    }
+
+    /// True if the blackhole swallows a probe addressed to hop `ttl`.
+    pub fn blackholed(&self, spec: &FaultSpec, ttl: u8) -> bool {
+        spec.blackhole_min_ttl.is_some_and(|min| ttl >= min)
     }
 
     /// Asks the router's ICMP token bucket for permission to reply.
-    pub fn allow_icmp(&mut self, plan: &FaultPlan, router: u32, now: u64) -> bool {
-        let Some(capacity) = plan.icmp_bucket_capacity else {
+    pub fn allow_icmp(&mut self, spec: &FaultSpec, router: u32, now: u64) -> bool {
+        let Some(capacity) = spec.icmp_bucket_capacity else {
             return true;
         };
         let bucket = self.buckets.entry(router).or_insert(Bucket {
@@ -129,7 +353,7 @@ impl FaultState {
         });
         let elapsed = now.saturating_sub(bucket.last_tick) as f64;
         bucket.tokens =
-            (bucket.tokens + elapsed * plan.icmp_tokens_per_tick).min(f64::from(capacity));
+            (bucket.tokens + elapsed * spec.icmp_tokens_per_tick).min(f64::from(capacity));
         bucket.last_tick = now;
         if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;
@@ -149,62 +373,65 @@ mod tests {
     #[test]
     fn no_faults_never_drop() {
         let plan = FaultPlan::none();
+        let spec = FaultSpec::from(plan);
         let mut state = FaultState::new();
         let mut rng = StdRng::seed_from_u64(1);
         for t in 0..100 {
-            assert!(!state.drop_probe(&plan, &mut rng));
-            assert!(!state.drop_reply(&plan, &mut rng));
-            assert!(state.allow_icmp(&plan, 1, t));
+            assert!(!state.drop_probe(&spec, &mut rng));
+            assert!(!state.drop_reply(&spec, &mut rng));
+            assert!(!state.blackholed(&spec, 1));
+            assert!(state.allow_icmp(&spec, 1, t));
         }
         assert!(!plan.is_lossy());
+        assert!(!spec.is_lossy());
     }
 
     #[test]
     fn loss_rates_are_respected() {
-        let plan = FaultPlan::with_loss(0.3, 0.0);
+        let spec = FaultSpec::from(FaultPlan::with_loss(0.3, 0.0));
         let state = FaultState::new();
         let mut rng = StdRng::seed_from_u64(2);
         let drops = (0..20_000)
-            .filter(|_| state.drop_probe(&plan, &mut rng))
+            .filter(|_| state.drop_probe(&spec, &mut rng))
             .count();
         let rate = drops as f64 / 20_000.0;
         assert!((rate - 0.3).abs() < 0.02, "observed loss {rate}");
-        assert!(plan.is_lossy());
+        assert!(spec.is_lossy());
     }
 
     #[test]
     fn token_bucket_exhausts_and_refills() {
-        let plan = FaultPlan::with_rate_limit(3, 0.5);
+        let spec = FaultSpec::from(FaultPlan::with_rate_limit(3, 0.5));
         let mut state = FaultState::new();
         // Burst at t=0: 3 allowed, 4th denied.
-        assert!(state.allow_icmp(&plan, 1, 0));
-        assert!(state.allow_icmp(&plan, 1, 0));
-        assert!(state.allow_icmp(&plan, 1, 0));
-        assert!(!state.allow_icmp(&plan, 1, 0));
+        assert!(state.allow_icmp(&spec, 1, 0));
+        assert!(state.allow_icmp(&spec, 1, 0));
+        assert!(state.allow_icmp(&spec, 1, 0));
+        assert!(!state.allow_icmp(&spec, 1, 0));
         // After 2 ticks, one token has refilled.
-        assert!(state.allow_icmp(&plan, 1, 2));
-        assert!(!state.allow_icmp(&plan, 1, 2));
+        assert!(state.allow_icmp(&spec, 1, 2));
+        assert!(!state.allow_icmp(&spec, 1, 2));
     }
 
     #[test]
     fn buckets_are_per_router() {
-        let plan = FaultPlan::with_rate_limit(1, 0.0);
+        let spec = FaultSpec::from(FaultPlan::with_rate_limit(1, 0.0));
         let mut state = FaultState::new();
-        assert!(state.allow_icmp(&plan, 1, 0));
-        assert!(!state.allow_icmp(&plan, 1, 0));
+        assert!(state.allow_icmp(&spec, 1, 0));
+        assert!(!state.allow_icmp(&spec, 1, 0));
         // Router 2 has its own bucket.
-        assert!(state.allow_icmp(&plan, 2, 0));
+        assert!(state.allow_icmp(&spec, 2, 0));
     }
 
     #[test]
     fn bucket_caps_at_capacity() {
-        let plan = FaultPlan::with_rate_limit(2, 10.0);
+        let spec = FaultSpec::from(FaultPlan::with_rate_limit(2, 10.0));
         let mut state = FaultState::new();
-        assert!(state.allow_icmp(&plan, 1, 0));
+        assert!(state.allow_icmp(&spec, 1, 0));
         // Long idle: refill must cap at 2, not accumulate unboundedly.
-        assert!(state.allow_icmp(&plan, 1, 1000));
-        assert!(state.allow_icmp(&plan, 1, 1000));
-        assert!(!state.allow_icmp(&plan, 1, 1000));
+        assert!(state.allow_icmp(&spec, 1, 1000));
+        assert!(state.allow_icmp(&spec, 1, 1000));
+        assert!(!state.allow_icmp(&spec, 1, 1000));
     }
 
     #[test]
@@ -213,20 +440,88 @@ mod tests {
         let plan = FaultPlan::with_rate_limit_window(4, 16);
         assert_eq!(plan.icmp_bucket_capacity, Some(4));
         assert!((plan.icmp_tokens_per_tick - 0.25).abs() < 1e-12);
+        let spec = FaultSpec::from(plan);
         let mut state = FaultState::new();
         // A burst of 4 at t=0 drains the bucket; the 5th is suppressed.
         for _ in 0..4 {
-            assert!(state.allow_icmp(&plan, 1, 0));
+            assert!(state.allow_icmp(&spec, 1, 0));
         }
-        assert!(!state.allow_icmp(&plan, 1, 0));
+        assert!(!state.allow_icmp(&spec, 1, 0));
         // A full window later the bucket has refilled completely.
-        assert!(state.allow_icmp(&plan, 1, 16));
-        assert!(state.allow_icmp(&plan, 1, 16));
+        assert!(state.allow_icmp(&spec, 1, 16));
+        assert!(state.allow_icmp(&spec, 1, 16));
     }
 
     #[test]
     #[should_panic]
     fn invalid_loss_probability_rejected() {
         let _ = FaultPlan::with_loss(1.5, 0.0);
+    }
+
+    #[test]
+    fn blackhole_threshold_semantics() {
+        let spec = FaultSpec::none().with_blackhole(4);
+        let state = FaultState::new();
+        assert!(!state.blackholed(&spec, 3));
+        assert!(state.blackholed(&spec, 4));
+        assert!(state.blackholed(&spec, 255));
+        assert!(spec.is_lossy());
+        assert!(FaultSpec::none().with_latency(3).is_lossy());
+    }
+
+    #[test]
+    fn schedule_steps_resolve_by_tick() {
+        let lossy = FaultSpec::from(FaultPlan::with_loss(0.5, 0.0));
+        let dark = FaultSpec::none().with_blackhole(1);
+        let schedule = FaultSchedule::none().step(10, lossy).step(20, dark);
+        assert_eq!(*schedule.spec_at(0), FaultSpec::none());
+        assert_eq!(*schedule.spec_at(9), FaultSpec::none());
+        assert_eq!(*schedule.spec_at(10), lossy);
+        assert_eq!(*schedule.spec_at(19), lossy);
+        assert_eq!(*schedule.spec_at(20), dark);
+        assert_eq!(*schedule.spec_at(u64::MAX), dark);
+        assert!(schedule.is_lossy());
+        assert!(!FaultSchedule::none().is_lossy());
+    }
+
+    #[test]
+    #[should_panic]
+    fn schedule_rejects_out_of_order_steps() {
+        let _ = FaultSchedule::none()
+            .step(20, FaultSpec::none())
+            .step(10, FaultSpec::none());
+    }
+
+    #[test]
+    fn schedule_embeds_static_plan() {
+        let plan = FaultPlan::with_rate_limit(2, 0.25);
+        let schedule = FaultSchedule::from(plan);
+        assert_eq!(*schedule.spec_at(0), FaultSpec::from(plan));
+        assert_eq!(*schedule.spec_at(1_000_000), FaultSpec::from(plan));
+    }
+
+    #[test]
+    fn every_preset_resolves_and_round_trips() {
+        for name in FaultSchedule::preset_names() {
+            let schedule =
+                FaultSchedule::preset(name).unwrap_or_else(|| panic!("preset {name} must exist"));
+            assert!(schedule.is_lossy(), "{name} must impair something");
+            assert_eq!(
+                *schedule.spec_at(0),
+                FaultSpec::none(),
+                "{name} starts clean"
+            );
+            let json = serde_json::to_string(&schedule).unwrap();
+            let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, schedule, "{name} must round-trip through serde");
+        }
+        assert!(FaultSchedule::preset("no-such-preset").is_none());
+    }
+
+    #[test]
+    fn midtrace_blackhole_goes_dark_at_48() {
+        let schedule = FaultSchedule::preset("midtrace-blackhole").unwrap();
+        assert_eq!(schedule.spec_at(47).blackhole_min_ttl, None);
+        assert_eq!(schedule.spec_at(48).blackhole_min_ttl, Some(1));
     }
 }

@@ -45,7 +45,7 @@ pub mod validation;
 pub use analytic::{mda_failure_probability, vertex_failure_probability};
 pub use balance::{BalanceMode, FlowHasher};
 pub use capture::CapturingTransport;
-pub use faults::FaultPlan;
+pub use faults::{FaultPlan, FaultSchedule, FaultSpec};
 pub use multi::{MultiNetwork, MultiNetworkError};
 pub use network::{PacketTransport, SimNetwork, SimNetworkBuilder, TrafficCounters};
 pub use router::{

@@ -26,10 +26,11 @@
 //! regardless of thread timing, so parallelism is invisible except in
 //! wall-clock time.
 
-use crate::network::SimNetwork;
-use crate::network::TrafficCounters;
+use crate::network::{PendingBatch, SimNetwork, TrafficCounters};
 use mlpt_wire::ipv4::{Ipv4Header, PROTO_ICMP, PROTO_UDP};
-use mlpt_wire::transport::{BatchTransport, PacketBatch, PacketTransport, ReplyBatch};
+use mlpt_wire::transport::{
+    BatchTransport, PacketBatch, PacketTransport, ReplyBatch, SplitTransport,
+};
 use std::net::Ipv4Addr;
 
 /// Errors detected while assembling a [`MultiNetwork`].
@@ -63,6 +64,8 @@ pub struct MultiNetwork {
     workers: usize,
     /// Virtual ticks every lane's clock advances after each `send_batch`.
     cycle_gap: u64,
+    /// In-flight batch of the split (send/recv) transport exchange.
+    pending: PendingBatch,
 }
 
 impl MultiNetwork {
@@ -94,6 +97,7 @@ impl MultiNetwork {
             interfaces,
             workers: 1,
             cycle_gap: 0,
+            pending: PendingBatch::default(),
         })
     }
 
@@ -147,6 +151,7 @@ impl MultiNetwork {
             total.replies_sent += c.replies_sent;
             total.replies_rate_limited += c.replies_rate_limited;
             total.replies_lost += c.replies_lost;
+            total.probes_blackholed += c.probes_blackholed;
         }
         total
     }
@@ -300,6 +305,40 @@ impl BatchTransport for MultiNetwork {
             }
         }
         self.apply_cycle_gap();
+    }
+}
+
+/// The split exchange rides the vectorized `send_batch` path (worker
+/// threads included): the send half runs the whole batch and records
+/// each slot's lane-local send tick and the reply latency its lane's
+/// schedule imposed at that tick; the recv half suppresses replies that
+/// missed their per-probe deadline. Receiving advances no lane clocks,
+/// so with latency-free schedules the exchange is byte-identical to
+/// `send_batch` — the lane-isolation invariant is untouched.
+impl SplitTransport for MultiNetwork {
+    fn send_probes(&mut self, probes: &PacketBatch, timeouts: &[u64]) {
+        debug_assert_eq!(probes.len(), timeouts.len(), "one timeout per probe");
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.clear();
+        pending.timeouts.extend_from_slice(timeouts);
+        self.send_batch(probes, &mut pending.replies);
+        for (slot, packet) in probes.iter().enumerate() {
+            let latency = match self.lane_for(packet) {
+                // The slot's timestamp is its lane-local processing tick
+                // (stamped by send_batch); the schedule step in force at
+                // that tick dictates the reply's lateness.
+                Some(lane) => self.lanes[lane].latency_at(pending.replies.timestamp(slot)),
+                None => 0,
+            };
+            pending.latencies.push(latency);
+        }
+        self.pending = pending;
+    }
+
+    fn recv_replies(&mut self, replies: &mut ReplyBatch) {
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.resolve_into(replies);
+        self.pending = pending;
     }
 }
 

@@ -24,7 +24,7 @@
 //! remains as the boxed-reply convenience wrapper.
 
 use crate::balance::{BalanceMode, FlowHasher};
-use crate::faults::{FaultPlan, FaultState};
+use crate::faults::{FaultPlan, FaultSchedule, FaultSpec, FaultState};
 use crate::router::{IpIdEngine, ReplyClass, RouterProfile};
 use mlpt_topo::{MultipathTopology, RouterId, RouterMap};
 use mlpt_wire::icmp::{
@@ -39,7 +39,9 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-pub use mlpt_wire::transport::{BatchTransport, PacketBatch, PacketTransport, ReplyBatch};
+pub use mlpt_wire::transport::{
+    BatchTransport, PacketBatch, PacketTransport, ReplyBatch, SplitTransport,
+};
 
 /// Traffic counters maintained by the simulator.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,6 +56,8 @@ pub struct TrafficCounters {
     pub replies_rate_limited: u64,
     /// Replies dropped by injected loss.
     pub replies_lost: u64,
+    /// Probes swallowed by a scheduled blackhole.
+    pub probes_blackholed: u64,
 }
 
 /// Interning table: every interface address of the topology mapped to a
@@ -217,7 +221,7 @@ pub struct SimNetworkBuilder {
     profiles: HashMap<RouterId, RouterProfile>,
     default_profile: RouterProfile,
     mode: BalanceMode,
-    faults: FaultPlan,
+    schedule: FaultSchedule,
     weights: HashMap<(usize, Ipv4Addr), Vec<u32>>,
     seed: u64,
 }
@@ -232,7 +236,7 @@ impl SimNetworkBuilder {
             profiles: HashMap::new(),
             default_profile: RouterProfile::well_behaved(),
             mode: BalanceMode::PerFlow,
-            faults: FaultPlan::none(),
+            schedule: FaultSchedule::none(),
             weights: HashMap::new(),
             seed: 0,
         }
@@ -262,9 +266,16 @@ impl SimNetworkBuilder {
         self
     }
 
-    /// Sets the fault plan.
+    /// Sets a static fault plan (the same impairments for the whole run).
     pub fn faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+        self.schedule = faults.into();
+        self
+    }
+
+    /// Sets a time-scheduled fault scenario: the impairments in force
+    /// follow the schedule's steps as the virtual clock advances.
+    pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.schedule = schedule;
         self
     }
 
@@ -342,13 +353,67 @@ impl SimNetworkBuilder {
             profile_overflow,
             default_profile: self.default_profile,
             mode: self.mode,
-            faults: self.faults,
+            schedule: self.schedule,
             fault_state: FaultState::new(),
             ipid: IpIdEngine::new(),
             clock: 0,
             packet_counter: 0,
             counters: TrafficCounters::default(),
+            pending: PendingBatch::default(),
         }
+    }
+}
+
+/// The in-flight batch of a [`SplitTransport`] exchange: replies produced
+/// by the send half, plus the per-probe deadline bookkeeping the recv
+/// half resolves against.
+#[derive(Debug, Default)]
+pub(crate) struct PendingBatch {
+    pub(crate) replies: ReplyBatch,
+    /// Per-probe timeout (ticks from the probe's own send instant).
+    pub(crate) timeouts: Vec<u64>,
+    /// Per-probe reply latency sampled from the schedule at send time.
+    pub(crate) latencies: Vec<u64>,
+}
+
+impl PendingBatch {
+    pub(crate) fn clear(&mut self) {
+        self.replies.clear();
+        self.timeouts.clear();
+        self.latencies.clear();
+    }
+
+    /// Drains the pending batch into `out`, applying deadline semantics:
+    /// a reply counts only if its latency fits inside the probe's
+    /// timeout; answered slots are stamped `send + latency`, unanswered
+    /// slots resolve at their deadline `send + timeout`.
+    pub(crate) fn resolve_into(&mut self, out: &mut ReplyBatch) -> u64 {
+        out.clear();
+        let mut late = 0u64;
+        for i in 0..self.replies.len() {
+            let sent = self.replies.timestamp(i);
+            let timeout = self.timeouts[i];
+            let latency = self.latencies[i];
+            match self.replies.get(i) {
+                Some(bytes) if latency <= timeout => {
+                    out.push_with(sent + latency, |buf| {
+                        buf.extend_from_slice(bytes);
+                        true
+                    });
+                }
+                Some(_) => {
+                    // The reply exists but arrived after the deadline:
+                    // the caller sees a timeout.
+                    late += 1;
+                    out.push_with(sent + timeout, |_| false);
+                }
+                None => {
+                    out.push_with(sent + timeout, |_| false);
+                }
+            }
+        }
+        self.clear();
+        late
     }
 }
 
@@ -365,13 +430,14 @@ pub struct SimNetwork {
     default_profile: RouterProfile,
     hasher: FlowHasher,
     mode: BalanceMode,
-    faults: FaultPlan,
+    schedule: FaultSchedule,
     fault_state: FaultState,
     ipid: IpIdEngine,
     rng: ChaCha8Rng,
     clock: u64,
     packet_counter: u64,
     counters: TrafficCounters,
+    pending: PendingBatch,
 }
 
 impl SimNetwork {
@@ -414,6 +480,16 @@ impl SimNetwork {
     /// counters drift, as in the gaps between MBT rounds.
     pub fn advance_clock(&mut self, ticks: u64) {
         self.clock += ticks;
+    }
+
+    /// The fault schedule in force.
+    pub fn fault_schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Reply latency (ticks) the schedule imposes at clock tick `tick`.
+    pub fn latency_at(&self, tick: u64) -> u64 {
+        self.schedule.spec_at(tick).latency_ticks
     }
 
     /// Profile of a router: dense table on the fast path, sparse
@@ -470,7 +546,7 @@ impl SimNetwork {
     }
 
     /// Handles a UDP probe, appending the reply datagram to `out`.
-    fn handle_udp_into(&mut self, packet: &[u8], out: &mut Vec<u8>) -> bool {
+    fn handle_udp_into(&mut self, spec: &FaultSpec, packet: &[u8], out: &mut Vec<u8>) -> bool {
         let Ok(probe) = parse_udp_probe(packet) else {
             return false;
         };
@@ -478,6 +554,12 @@ impl SimNetwork {
             return false; // not routed by this simulation
         }
         if probe.ttl == 0 {
+            return false;
+        }
+        // A scheduled blackhole swallows the probe in the forward
+        // direction: nothing downstream of the cut ever sees it.
+        if self.fault_state.blackholed(spec, probe.ttl) {
+            self.counters.probes_blackholed += 1;
             return false;
         }
         let (flow_sel, nonce) = self.selector(u64::from(probe.flow.value()), probe.destination);
@@ -492,10 +574,7 @@ impl SimNetwork {
         let profile = *self.profile_of(router);
 
         // Rate limiting applies to all ICMP generation.
-        if !self
-            .fault_state
-            .allow_icmp(&self.faults, router.0, self.clock)
-        {
+        if !self.fault_state.allow_icmp(spec, router.0, self.clock) {
             self.counters.replies_rate_limited += 1;
             return false;
         }
@@ -548,6 +627,7 @@ impl SimNetwork {
     /// the reply to `out`.
     fn handle_echo_into(
         &mut self,
+        spec: &FaultSpec,
         packet: &[u8],
         header: &Ipv4Header,
         ihl: usize,
@@ -561,15 +641,21 @@ impl SimNetwork {
         let Some(target_id) = self.addrs.id(target) else {
             return false;
         };
+        // Direct probes travel the same forward path: the blackhole cuts
+        // them off by the target's hop distance from the source.
+        if self
+            .fault_state
+            .blackholed(spec, self.addrs.distance[target_id as usize].max(1))
+        {
+            self.counters.probes_blackholed += 1;
+            return false;
+        }
         let router = self.addrs.router_of[target_id as usize];
         let profile = *self.profile_of(router);
         if !profile.responds_to_direct {
             return false;
         }
-        if !self
-            .fault_state
-            .allow_icmp(&self.faults, router.0, self.clock)
-        {
+        if !self.fault_state.allow_icmp(spec, router.0, self.clock) {
             self.counters.replies_rate_limited += 1;
             return false;
         }
@@ -649,7 +735,10 @@ impl PacketTransport for SimNetwork {
         self.packet_counter += 1;
         self.counters.probes_received += 1;
 
-        if self.fault_state.drop_probe(&self.faults, &mut self.rng) {
+        // The impairments in force at this packet's processing tick.
+        let spec = *self.schedule.spec_at(self.clock);
+
+        if self.fault_state.drop_probe(&spec, &mut self.rng) {
             self.counters.probes_lost += 1;
             return false;
         }
@@ -659,8 +748,8 @@ impl PacketTransport for SimNetwork {
         };
         let mark = reply.len();
         let answered = match header.protocol {
-            PROTO_UDP => self.handle_udp_into(packet, reply),
-            PROTO_ICMP => self.handle_echo_into(packet, &header, ihl, reply),
+            PROTO_UDP => self.handle_udp_into(&spec, packet, reply),
+            PROTO_ICMP => self.handle_echo_into(&spec, packet, &header, ihl, reply),
             _ => false,
         };
         if !answered {
@@ -668,7 +757,7 @@ impl PacketTransport for SimNetwork {
             return false;
         }
 
-        if self.fault_state.drop_reply(&self.faults, &mut self.rng) {
+        if self.fault_state.drop_reply(&spec, &mut self.rng) {
             self.counters.replies_lost += 1;
             reply.truncate(mark);
             return false;
@@ -682,6 +771,36 @@ impl PacketTransport for SimNetwork {
 /// its `send_packet_into` is already allocation-free, so the default loop
 /// is the vectorized fast path.
 impl BatchTransport for SimNetwork {}
+
+/// Native deadline semantics: the send half routes every probe and
+/// records the reply latency the schedule imposes at its processing
+/// tick; the recv half suppresses replies that missed their deadline.
+/// Receiving costs no virtual time — deadlines live on the same
+/// packet-driven clock the replies are stamped with, so with a
+/// latency-free schedule the split exchange is byte-identical to
+/// [`BatchTransport::send_batch`].
+impl SplitTransport for SimNetwork {
+    fn send_probes(&mut self, probes: &PacketBatch, timeouts: &[u64]) {
+        debug_assert_eq!(probes.len(), timeouts.len(), "one timeout per probe");
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.clear();
+        pending.timeouts.extend_from_slice(timeouts);
+        for packet in probes.iter() {
+            pending
+                .replies
+                .push_with(0, |buf| self.send_packet_into(packet, buf));
+            pending.replies.set_last_timestamp(self.clock);
+            pending.latencies.push(self.latency_at(self.clock));
+        }
+        self.pending = pending;
+    }
+
+    fn recv_replies(&mut self, replies: &mut ReplyBatch) {
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.resolve_into(replies);
+        self.pending = pending;
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -1011,6 +1130,105 @@ mod tests {
             assert_eq!(replies.timestamp(i), sequential.now(), "timestamp {i}");
         }
         assert_eq!(batched.counters(), sequential.counters());
+    }
+
+    #[test]
+    fn scheduled_blackhole_cuts_by_ttl() {
+        use crate::faults::{FaultSchedule, FaultSpec};
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        // Clean until tick 4, then everything at hop >= 2 goes dark.
+        let schedule = FaultSchedule::none().step(4, FaultSpec::none().with_blackhole(2));
+        let mut net = SimNetwork::builder(topo)
+            .fault_schedule(schedule)
+            .seed(1)
+            .build();
+        // Ticks 1..=3: clean.
+        assert!(net.send_packet(&probe(0, 1, dst)).is_some());
+        assert!(net.send_packet(&probe(0, 2, dst)).is_some());
+        assert!(net.send_packet(&probe(0, 3, dst)).is_some());
+        // Tick 4 onward: hop 1 still answers, deeper hops are dark.
+        assert!(net.send_packet(&probe(1, 1, dst)).is_some());
+        assert!(net.send_packet(&probe(1, 2, dst)).is_none());
+        assert!(net.send_packet(&probe(1, 3, dst)).is_none());
+        assert_eq!(net.counters().probes_blackholed, 2);
+        // Echo probes to interfaces beyond the cut are dark too; the
+        // first hop still answers.
+        let deep = build_echo_probe(SRC, addr(1, 0), 1, 1, 64);
+        assert!(net.send_packet(&deep).is_none());
+        let shallow = build_echo_probe(SRC, addr(0, 0), 1, 2, 64);
+        assert!(net.send_packet(&shallow).is_some());
+        assert_eq!(net.counters().probes_blackholed, 3);
+    }
+
+    #[test]
+    fn split_transport_matches_batch_without_latency() {
+        use mlpt_wire::transport::SplitTransport;
+        let topo = canonical::fig1_meshed();
+        let dst = topo.destination();
+        let mut batch = PacketBatch::new();
+        for flow in 0..24u16 {
+            for ttl in 1..=4u8 {
+                batch.push(&probe(flow, ttl, dst));
+            }
+        }
+        let mut expected = ReplyBatch::new();
+        SimNetwork::new(topo.clone(), 13).send_batch(&batch, &mut expected);
+
+        let mut split = SimNetwork::new(topo, 13);
+        let timeouts = vec![1u64; batch.len()];
+        split.send_probes(&batch, &timeouts);
+        let mut got = ReplyBatch::new();
+        split.recv_replies(&mut got);
+        assert_eq!(got.len(), expected.len());
+        for i in 0..expected.len() {
+            assert_eq!(got.get(i), expected.get(i), "slot {i}");
+            if expected.get(i).is_some() {
+                assert_eq!(got.timestamp(i), expected.timestamp(i), "slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_latency_expires_deadlines() {
+        use crate::faults::{FaultSchedule, FaultSpec};
+        use mlpt_wire::transport::SplitTransport;
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        // From tick 3 every reply arrives 10 ticks late.
+        let schedule = FaultSchedule::none().step(3, FaultSpec::none().with_latency(10));
+        let mut net = SimNetwork::builder(topo)
+            .fault_schedule(schedule)
+            .seed(1)
+            .build();
+        let mut batch = PacketBatch::new();
+        for flow in 0..4u16 {
+            batch.push(&probe(flow, 1, dst));
+        }
+        // Deadline 5 < latency 10: probes processed at ticks 3 and 4 are
+        // answered but late; ticks 1 and 2 are on time.
+        net.send_probes(&batch, &[5, 5, 5, 5]);
+        let mut replies = ReplyBatch::new();
+        net.recv_replies(&mut replies);
+        assert!(replies.get(0).is_some());
+        assert!(replies.get(1).is_some());
+        assert!(replies.get(2).is_none(), "late reply must miss deadline");
+        assert!(replies.get(3).is_none(), "late reply must miss deadline");
+        assert_eq!(replies.timestamp(0), 1);
+        // Unanswered slots resolve at their deadline: send tick + timeout.
+        assert_eq!(replies.timestamp(2), 3 + 5);
+        // The sim did generate the replies — only the deadline hid them.
+        assert_eq!(net.counters().replies_sent, 4);
+        // A generous deadline sees them again.
+        let mut net2 = SimNetwork::builder(canonical::simplest_diamond())
+            .fault_schedule(FaultSchedule::none().step(3, FaultSpec::none().with_latency(10)))
+            .seed(1)
+            .build();
+        net2.send_probes(&batch, &[20, 20, 20, 20]);
+        net2.recv_replies(&mut replies);
+        assert!((0..4).all(|i| replies.get(i).is_some()));
+        // Late replies carry their true arrival tick.
+        assert_eq!(replies.timestamp(3), 4 + 10);
     }
 
     #[test]

@@ -103,6 +103,12 @@ pub struct EvaluationConfig {
     pub sweep_chunk: usize,
     /// In-flight probe budget per sweep engine.
     pub sweep_in_flight: usize,
+    /// Deadline policy for dispatched probes (see
+    /// [`mlpt_core::RetryPolicy`]).
+    pub sweep_retry: RetryPolicy,
+    /// Stall watchdog: all-silent rounds before a session is finalized
+    /// as partial (0 = off).
+    pub sweep_stall_rounds: u32,
 }
 
 impl Default for EvaluationConfig {
@@ -114,6 +120,8 @@ impl Default for EvaluationConfig {
             trace_seed: 0xE7A1,
             sweep_chunk: 64,
             sweep_in_flight: 256,
+            sweep_retry: RetryPolicy::default(),
+            sweep_stall_rounds: 0,
         }
     }
 }
@@ -302,6 +310,8 @@ pub fn evaluate_scenarios(
                     let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
                         max_in_flight: config.sweep_in_flight.max(1),
                         admission: Admission::Streaming,
+                        retry: config.sweep_retry,
+                        stall_rounds: config.sweep_stall_rounds,
                         ..SweepConfig::default()
                     });
                     let sessions = kept.iter().map(|s| {
@@ -397,6 +407,7 @@ mod tests {
             dispatch: DispatchMode::Batched,
             sweep_chunk: 7, // deliberately uneven chunks
             sweep_in_flight: 32,
+            ..EvaluationConfig::default()
         };
         let sweep = evaluate_scenarios(&internet, &base);
         let legacy = evaluate_scenarios(
@@ -426,6 +437,7 @@ mod tests {
                     dispatch: DispatchMode::Batched,
                     sweep_chunk,
                     sweep_in_flight,
+                    ..EvaluationConfig::default()
                 },
             )
         };

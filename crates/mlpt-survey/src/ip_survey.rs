@@ -52,6 +52,12 @@ pub struct IpSurveyConfig {
     /// In-flight probe budget per sweep engine (the streaming-admission
     /// headroom).
     pub sweep_in_flight: usize,
+    /// Deadline policy for dispatched probes (see
+    /// [`mlpt_core::RetryPolicy`]).
+    pub sweep_retry: RetryPolicy,
+    /// Stall watchdog: all-silent rounds before a session is finalized
+    /// as partial (0 = off).
+    pub sweep_stall_rounds: u32,
 }
 
 impl Default for IpSurveyConfig {
@@ -64,6 +70,8 @@ impl Default for IpSurveyConfig {
             dispatch: DispatchMode::Batched,
             sweep_batch: 128,
             sweep_in_flight: 256,
+            sweep_retry: RetryPolicy::default(),
+            sweep_stall_rounds: 0,
         }
     }
 }
@@ -277,6 +285,8 @@ pub fn run_ip_survey(internet: &SyntheticInternet, config: &IpSurveyConfig) -> I
             let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
                 max_in_flight: config.sweep_in_flight.max(1),
                 admission: Admission::Streaming,
+                retry: config.sweep_retry,
+                stall_rounds: config.sweep_stall_rounds,
                 ..SweepConfig::default()
             });
             let sessions = scenarios.iter().map(|scenario| {
@@ -352,6 +362,7 @@ mod tests {
             dispatch: DispatchMode::Batched,
             sweep_batch: 16,
             sweep_in_flight: 64,
+            ..IpSurveyConfig::default()
         };
         run_ip_survey(&internet, &config)
     }
@@ -369,6 +380,7 @@ mod tests {
             dispatch: DispatchMode::Batched,
             sweep_batch: 7,      // deliberately uneven chunks
             sweep_in_flight: 24, // small enough that admission actually streams
+            ..IpSurveyConfig::default()
         };
         let sweep = run_ip_survey(&internet, &base);
         let legacy = run_ip_survey(
@@ -404,6 +416,7 @@ mod tests {
                     dispatch: DispatchMode::Batched,
                     sweep_batch,
                     sweep_in_flight,
+                    ..IpSurveyConfig::default()
                 },
             )
         };

@@ -211,6 +211,12 @@ pub struct RouterSurveyConfig {
     /// but are themselves bit-identical across admission modes and
     /// budgets.
     pub hop_fanout: bool,
+    /// Deadline policy for dispatched probes (see
+    /// [`mlpt_core::RetryPolicy`]).
+    pub sweep_retry: RetryPolicy,
+    /// Stall watchdog: all-silent rounds before a session is finalized
+    /// as partial (0 = off).
+    pub sweep_stall_rounds: u32,
 }
 
 impl Default for RouterSurveyConfig {
@@ -226,6 +232,8 @@ impl Default for RouterSurveyConfig {
             sweep_in_flight: 512,
             admission: Admission::Streaming,
             hop_fanout: false,
+            sweep_retry: RetryPolicy::default(),
+            sweep_stall_rounds: 0,
         }
     }
 }
@@ -523,6 +531,8 @@ fn sweep_chunk(
         let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
             max_in_flight: config.sweep_in_flight.max(1),
             admission: config.admission,
+            retry: config.sweep_retry,
+            stall_rounds: config.sweep_stall_rounds,
             ..SweepConfig::default()
         });
         let sessions = members.iter().map(|&i| {

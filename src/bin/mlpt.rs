@@ -15,7 +15,7 @@
 
 use mlpt::alias::rounds::RoundsConfig;
 use mlpt::prelude::*;
-use mlpt::sim::FaultPlan;
+use mlpt::sim::{FaultPlan, FaultSchedule};
 use mlpt::survey::{InternetConfig, SyntheticInternet};
 use mlpt::topo::{canonical, is_star};
 use std::collections::BTreeMap;
@@ -84,6 +84,17 @@ commands:
                --loss P          inject reply loss probability
                --rate-limit N/W  ICMP rate limit: N replies per W ticks
                                  per router
+               --fault-schedule NAME
+                                 time-scheduled impairments per lane
+                                 (midtrace-blackhole | flap |
+                                 congestion-ramp | rate-limit-burst);
+                                 overrides --loss/--rate-limit and arms
+                                 the stall watchdog
+               --probe-timeout T base probe deadline in virtual ticks
+                                 (default 4096; exponential backoff on
+                                 lossy retry waves)
+               --max-retries R   retry waves per round for unanswered
+                                 probes (default 0)
                --seed S          base seed (default 1)
                --json            emit a machine-readable sweep report
   alias        alias-resolution rounds for many destinations at once:
@@ -116,6 +127,15 @@ commands:
                                  destination's round-trip chain)
                --rate-limit N/W  ICMP rate limit: N replies per W ticks
                                  per router
+               --fault-schedule NAME
+                                 time-scheduled impairments per lane
+                                 (midtrace-blackhole | flap |
+                                 congestion-ramp | rate-limit-burst);
+                                 overrides --rate-limit and arms the
+                                 stall watchdog
+               --probe-timeout T base probe deadline in virtual ticks
+                                 (default 4096)
+               --max-retries R   retry waves per round (default 0)
                --cycle-gap T     virtual ticks between dispatch cycles
                --seed S          base seed (default 1)
                --json            emit a machine-readable report
@@ -142,10 +162,25 @@ struct Options {
     stdin_list: bool,
     cycle_gap: u64,
     rate_limit: Option<(u32, u64)>,
+    fault_schedule: Option<FaultSchedule>,
+    probe_timeout: u64,
+    max_retries: u8,
     workers: usize,
     json: bool,
     pcap: Option<String>,
     draw: bool,
+}
+
+/// Resolves a `--fault-schedule` preset name, exiting with the list of
+/// known presets on an unknown name.
+fn fault_schedule_preset(name: &str) -> FaultSchedule {
+    FaultSchedule::preset(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown fault schedule {name} (one of: {})",
+            FaultSchedule::preset_names().join(" | ")
+        );
+        exit(2);
+    })
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -165,6 +200,9 @@ fn parse_options(args: &[String]) -> Options {
         stdin_list: false,
         cycle_gap: 0,
         rate_limit: None,
+        fault_schedule: None,
+        probe_timeout: RetryPolicy::default().base_timeout,
+        max_retries: 0,
         workers: 1,
         json: false,
         pcap: None,
@@ -218,6 +256,19 @@ fn parse_options(args: &[String]) -> Options {
                         exit(2);
                     }
                 }
+            }
+            "--fault-schedule" => opts.fault_schedule = Some(fault_schedule_preset(need(i))),
+            "--probe-timeout" => {
+                opts.probe_timeout = need(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--probe-timeout needs a tick count");
+                    exit(2);
+                })
+            }
+            "--max-retries" => {
+                opts.max_retries = need(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--max-retries needs a small number");
+                    exit(2);
+                })
             }
             "--adaptive-budget" => {
                 opts.adaptive = true;
@@ -486,10 +537,12 @@ fn cmd_sweep(args: &[String]) {
         .iter()
         .enumerate()
         .map(|(i, topo)| {
-            SimNetwork::builder(topo.clone())
-                .faults(faults)
-                .seed(opts.seed.wrapping_add(i as u64))
-                .build()
+            let builder = SimNetwork::builder(topo.clone()).seed(opts.seed.wrapping_add(i as u64));
+            match &opts.fault_schedule {
+                Some(schedule) => builder.fault_schedule(schedule.clone()),
+                None => builder.faults(faults),
+            }
+            .build()
         })
         .collect();
     let net = match mlpt::sim::MultiNetwork::new(lanes) {
@@ -506,6 +559,15 @@ fn cmd_sweep(args: &[String]) {
         max_in_flight: opts.budget,
         admission: opts.admission,
         adaptive: opts.adaptive.then(AdaptiveBudget::default),
+        retries: opts.max_retries,
+        retry: RetryPolicy {
+            base_timeout: opts.probe_timeout,
+            ..RetryPolicy::default()
+        },
+        // A hostile schedule can black-hole a lane mid-trace; arm the
+        // stall watchdog so that lane degrades to a partial trace
+        // instead of burning its whole retry budget into the dark.
+        stall_rounds: if opts.fault_schedule.is_some() { 8 } else { 0 },
         ..SweepConfig::default()
     });
     let algo = opts.algo.clone();
@@ -546,6 +608,7 @@ fn cmd_sweep(args: &[String]) {
                     "vertices": t.total_vertices(),
                     "edges": t.total_edges(),
                     "switched": t.switched.is_some(),
+                    "partial": t.outcome.is_partial(),
                 })
             })
             .collect();
@@ -572,6 +635,10 @@ fn cmd_sweep(args: &[String]) {
                 "budget_backoffs": stats.budget_backoffs,
                 "lane_backoffs": stats.lane_backoffs,
                 "final_in_flight_budget": stats.final_in_flight_budget,
+                "probes_timed_out": stats.probes_timed_out,
+                "retries_exhausted": stats.retries_exhausted,
+                "sessions_partial": stats.sessions_partial,
+                "max_lane_backoff_depth": stats.max_lane_backoff_depth,
             },
         });
         println!(
@@ -600,7 +667,7 @@ fn cmd_sweep(args: &[String]) {
     );
     for trace in &traces {
         println!(
-            "  {}  {} probes, {} vertices, {} edges{}{}",
+            "  {}  {} probes, {} vertices, {} edges{}{}{}",
             trace.destination,
             trace.probes_sent,
             trace.total_vertices(),
@@ -614,6 +681,10 @@ fn cmd_sweep(args: &[String]) {
                 "  [switched to MDA]"
             } else {
                 ""
+            },
+            match trace.outcome {
+                mlpt::core::TraceOutcome::Complete => String::new(),
+                mlpt::core::TraceOutcome::Partial { reason } => format!("  [partial: {reason}]"),
             },
         );
     }
@@ -634,6 +705,14 @@ fn cmd_sweep(args: &[String]) {
         stats.sessions_deferred,
         stats.clean_cycles,
         stats.lossy_cycles,
+    );
+    println!(
+        "robustness: {} probes timed out, {} retries exhausted, {} partial sessions, \
+         max lane backoff depth {}",
+        stats.probes_timed_out,
+        stats.retries_exhausted,
+        stats.sessions_partial,
+        stats.max_lane_backoff_depth,
     );
     if opts.adaptive {
         println!(
@@ -665,6 +744,9 @@ fn cmd_alias(args: &[String]) {
     let mut admission = Admission::Streaming;
     let mut fanout = false;
     let mut rate_limit: Option<(u32, u64)> = None;
+    let mut fault_schedule: Option<FaultSchedule> = None;
+    let mut probe_timeout = RetryPolicy::default().base_timeout;
+    let mut max_retries = 0u8;
     let mut cycle_gap = 0u64;
     let mut seed = 1u64;
     let mut json = false;
@@ -729,6 +811,19 @@ fn cmd_alias(args: &[String]) {
                         exit(2);
                     }
                 }
+            }
+            "--fault-schedule" => fault_schedule = Some(fault_schedule_preset(need(i))),
+            "--probe-timeout" => {
+                probe_timeout = need(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--probe-timeout needs a tick count");
+                    exit(2);
+                })
+            }
+            "--max-retries" => {
+                max_retries = need(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--max-retries needs a small number");
+                    exit(2);
+                })
             }
             "--cycle-gap" => cycle_gap = need(i).parse().unwrap_or(0),
             "--seed" => seed = need(i).parse().unwrap_or(1),
@@ -812,8 +907,11 @@ fn cmd_alias(args: &[String]) {
             .map(|&i| {
                 let mut builder = SimNetwork::builder(scenarios[i].topology.clone())
                     .routers(scenarios[i].routers.clone())
-                    .faults(faults)
                     .seed(seed.wrapping_add(targets[i] as u64));
+                builder = match &fault_schedule {
+                    Some(schedule) => builder.fault_schedule(schedule.clone()),
+                    None => builder.faults(faults),
+                };
                 for (router, profile) in &scenarios[i].profiles {
                     builder = builder.profile(*router, *profile);
                 }
@@ -836,6 +934,12 @@ fn cmd_alias(args: &[String]) {
             max_in_flight: budget,
             admission,
             adaptive: adaptive.then(AdaptiveBudget::default),
+            retries: max_retries,
+            retry: RetryPolicy {
+                base_timeout: probe_timeout,
+                ..RetryPolicy::default()
+            },
+            stall_rounds: if fault_schedule.is_some() { 8 } else { 0 },
             ..SweepConfig::default()
         });
         let sessions = group.iter().map(|&i| {
@@ -923,6 +1027,10 @@ fn cmd_alias(args: &[String]) {
                 "budget_backoffs": stats.budget_backoffs,
                 "lane_backoffs": stats.lane_backoffs,
                 "final_in_flight_budget": stats.final_in_flight_budget,
+                "probes_timed_out": stats.probes_timed_out,
+                "retries_exhausted": stats.retries_exhausted,
+                "sessions_partial": stats.sessions_partial,
+                "max_lane_backoff_depth": stats.max_lane_backoff_depth,
             },
         });
         println!(
@@ -997,6 +1105,14 @@ fn cmd_alias(args: &[String]) {
         stats.sessions_completed,
         stats.clean_cycles,
         stats.lossy_cycles,
+    );
+    println!(
+        "robustness: {} probes timed out, {} retries exhausted, {} partial sessions, \
+         max lane backoff depth {}",
+        stats.probes_timed_out,
+        stats.retries_exhausted,
+        stats.sessions_partial,
+        stats.max_lane_backoff_depth,
     );
     if adaptive {
         println!(

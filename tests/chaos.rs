@@ -1,0 +1,117 @@
+//! Chaos goldens: every built-in fault-schedule preset, swept with the
+//! engine's full robustness stack, must (a) terminate, (b) be exactly
+//! reproducible from its seeds, and (c) produce the *golden* number of
+//! partial sessions pinned below. The CI chaos stage runs this file;
+//! a hang here is an engine liveness bug, a changed count is a
+//! behaviour change that needs a deliberate golden update.
+
+use mlpt::core::engine::{Admission, SweepConfig, SweepEngine};
+use mlpt::core::session::TraceSession;
+use mlpt::core::SweepStats;
+use mlpt::prelude::*;
+use mlpt::sim::MultiNetwork;
+use mlpt::topo::canonical;
+use std::net::Ipv4Addr;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+const LANES: u32 = 4;
+
+/// One chaos sweep: every lane runs the preset on its own virtual
+/// clock; MDA keeps the probe volume high enough that every preset's
+/// step ticks land mid-trace.
+fn chaos_sweep(preset: &str) -> (Vec<Trace>, SweepStats) {
+    let lanes: Vec<MultipathTopology> = (0..LANES)
+        .map(|i| canonical::fig1_meshed().translated(0x0100_0000 * (i + 1)))
+        .collect();
+    let net = MultiNetwork::new(
+        lanes
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                SimNetwork::builder(t.clone())
+                    .fault_schedule(FaultSchedule::preset(preset).expect("known preset"))
+                    .seed(29 + i as u64)
+                    .build()
+            })
+            .collect(),
+    )
+    .expect("translated lanes have unique destinations");
+    let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+        max_in_flight: 64,
+        retries: 1,
+        stall_rounds: 4,
+        admission: Admission::Streaming,
+        ..SweepConfig::default()
+    });
+    let sessions: Vec<Box<dyn TraceSession>> = lanes
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            Box::new(MdaSession::new(t.destination(), TraceConfig::new(i as u64)))
+                as Box<dyn TraceSession>
+        })
+        .collect();
+    let traces = engine.run_stream(sessions);
+    (traces, *engine.stats())
+}
+
+/// The golden partial-session count per preset, in preset order.
+fn golden_partials(preset: &str) -> u64 {
+    match preset {
+        "midtrace-blackhole" => 4, // everything goes dark: all partial
+        "flap" => 4,               // 60% loss both ways: waves go silent
+        "congestion-ramp" => 0,    // latency stays under the deadline
+        "rate-limit-burst" => 4,   // the clamp outlasts the watchdog
+        other => panic!("no golden for preset {other}"),
+    }
+}
+
+#[test]
+fn every_preset_terminates_with_golden_partial_counts() {
+    for &preset in FaultSchedule::preset_names() {
+        let (traces, stats) = chaos_sweep(preset);
+        assert_eq!(traces.len(), LANES as usize, "{preset}: lane lost");
+        assert_eq!(
+            stats.sessions_completed, LANES as u64,
+            "{preset}: every session must finalize"
+        );
+        assert_eq!(
+            stats.sessions_partial,
+            golden_partials(preset),
+            "{preset}: partial-session golden moved"
+        );
+        assert_eq!(
+            traces.iter().filter(|t| t.outcome.is_partial()).count() as u64,
+            stats.sessions_partial,
+            "{preset}: outcomes must match the counter"
+        );
+        // The retry-wave accounting invariant survives every preset.
+        assert_eq!(
+            stats.probes_timed_out
+                + stats.replies_delivered
+                + stats.malformed_replies
+                + stats.mismatched_replies,
+            stats.probes_sent,
+            "{preset}: accounting must partition probes_sent"
+        );
+    }
+}
+
+/// Chaos runs replay bit-for-bit: same seeds, same traces, same
+/// counters — scheduling under faults is still pure scheduling.
+#[test]
+fn chaos_sweeps_replay_bit_identically() {
+    for &preset in FaultSchedule::preset_names() {
+        let (first, first_stats) = chaos_sweep(preset);
+        let (again, again_stats) = chaos_sweep(preset);
+        assert_eq!(first, again, "{preset}: traces must replay");
+        assert_eq!(
+            first_stats.probes_sent, again_stats.probes_sent,
+            "{preset}: probe counts must replay"
+        );
+        assert_eq!(
+            first_stats.probes_timed_out, again_stats.probes_timed_out,
+            "{preset}: timeout counts must replay"
+        );
+    }
+}

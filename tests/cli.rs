@@ -298,6 +298,217 @@ fn sweep_eager_admission_mode_selectable() {
         .success());
 }
 
+/// `--fault-schedule` puts a sweep under a chaos preset: the run still
+/// terminates, dark destinations are flagged partial in both output
+/// modes, the robustness counters appear, and the whole thing is
+/// deterministic — two identical invocations produce identical bytes.
+#[test]
+fn sweep_fault_schedule_reports_partials_deterministically() {
+    let args = [
+        "sweep",
+        "--destinations",
+        "2",
+        "--algo",
+        "mda",
+        "--fault-schedule",
+        "midtrace-blackhole",
+        "--max-retries",
+        "1",
+        "--seed",
+        "3",
+    ];
+    let out = mlpt().args(args).output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("[partial: stalled"), "{stdout}");
+    assert!(stdout.contains("robustness:"), "{stdout}");
+    assert!(stdout.contains("probes timed out"), "{stdout}");
+
+    let json_args: Vec<&str> = args.iter().copied().chain(["--json"]).collect();
+    let run = || mlpt().args(&json_args).output().expect("binary runs");
+    let first = run();
+    assert!(first.status.success());
+    assert_eq!(
+        first.stdout,
+        run().stdout,
+        "chaos sweeps must be replayable"
+    );
+    let report: serde_json::Value = serde_json::from_slice(&first.stdout).expect("valid JSON");
+    assert!(report["stats"]["probes_timed_out"].as_u64().unwrap() > 0);
+    assert!(report["stats"]["retries_exhausted"].as_u64().unwrap() > 0);
+    assert!(report["stats"]["sessions_partial"].as_u64().unwrap() >= 1);
+    assert!(report["stats"]["max_lane_backoff_depth"].as_u64().unwrap() > 0);
+    let dests = report["destinations"].as_array().expect("array");
+    assert!(dests
+        .iter()
+        .any(|d| d["partial"] == serde_json::Value::Bool(true)));
+
+    // Unknown presets are rejected with the list of known ones.
+    let bad = mlpt()
+        .args(["sweep", "--fault-schedule", "nope"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    let stderr = String::from_utf8(bad.stderr).unwrap();
+    assert!(stderr.contains("midtrace-blackhole"), "{stderr}");
+}
+
+/// `--max-retries` buys extra probe waves for unanswered deadlines: on
+/// a lossy sweep with a fixed seed, retries spend strictly more probes
+/// than none, and timed-out probes are counted either way.
+#[test]
+fn sweep_max_retries_spends_probes_on_timeouts() {
+    let run = |retries: &str| -> serde_json::Value {
+        let out = mlpt()
+            .args([
+                "sweep",
+                "--topology",
+                "fig1-meshed",
+                "--destinations",
+                "3",
+                "--algo",
+                "mda",
+                "--loss",
+                "0.3",
+                "--seed",
+                "7",
+                "--max-retries",
+                retries,
+                "--json",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        serde_json::from_slice(&out.stdout).expect("valid JSON")
+    };
+    let plain = run("0");
+    let retried = run("3");
+    let probes = |r: &serde_json::Value| r["stats"]["probes_sent"].as_u64().unwrap();
+    let timed_out = |r: &serde_json::Value| r["stats"]["probes_timed_out"].as_u64().unwrap();
+    assert!(timed_out(&plain) > 0);
+    assert!(timed_out(&retried) > 0);
+    assert!(
+        probes(&retried) > probes(&plain),
+        "retry waves must cost probes: {} vs {}",
+        probes(&retried),
+        probes(&plain)
+    );
+    // Bad values are usage errors.
+    assert!(!mlpt()
+        .args(["sweep", "--max-retries", "many"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}
+
+/// `--probe-timeout` sets the base deadline in virtual ticks: under the
+/// congestion-ramp schedule (whose reply latency climbs to 32 ticks) a
+/// one-tick deadline writes late replies off as timeouts, while the
+/// default deadline waits them out.
+#[test]
+fn sweep_probe_timeout_bounds_reply_latency() {
+    let run = |timeout: &str| -> serde_json::Value {
+        let out = mlpt()
+            .args([
+                "sweep",
+                "--destinations",
+                "2",
+                "--algo",
+                "mda",
+                "--fault-schedule",
+                "congestion-ramp",
+                "--seed",
+                "5",
+                "--probe-timeout",
+                timeout,
+                "--json",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        serde_json::from_slice(&out.stdout).expect("valid JSON")
+    };
+    let tight = run("1");
+    let patient = run("4096");
+    let timed_out = |r: &serde_json::Value| r["stats"]["probes_timed_out"].as_u64().unwrap();
+    assert!(
+        timed_out(&tight) > timed_out(&patient),
+        "a one-tick deadline must miss more replies: {} vs {}",
+        timed_out(&tight),
+        timed_out(&patient)
+    );
+    // Bad values are usage errors.
+    assert!(!mlpt()
+        .args(["sweep", "--probe-timeout", "forever"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}
+
+/// The alias sweep grows the same robustness surface: a chaos preset is
+/// selectable, the text report carries the robustness line and the JSON
+/// report the new counters.
+#[test]
+fn alias_fault_schedule_and_robustness_counters() {
+    let out = mlpt()
+        .args([
+            "alias",
+            "3",
+            "--rounds",
+            "2",
+            "--replies",
+            "6",
+            "--fault-schedule",
+            "flap",
+            "--max-retries",
+            "1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("robustness:"), "{stdout}");
+    let out = mlpt()
+        .args([
+            "alias",
+            "3",
+            "--rounds",
+            "2",
+            "--replies",
+            "6",
+            "--fault-schedule",
+            "flap",
+            "--max-retries",
+            "1",
+            "--probe-timeout",
+            "64",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    for key in [
+        "probes_timed_out",
+        "retries_exhausted",
+        "sessions_partial",
+        "max_lane_backoff_depth",
+    ] {
+        assert!(
+            report["stats"][key].as_u64().is_some(),
+            "stats must carry {key}"
+        );
+    }
+    assert!(!mlpt()
+        .args(["alias", "3", "--fault-schedule", "bogus"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}
+
 /// Cost-aware admission and per-hop fan-out are selectable on the alias
 /// sweep; the JSON report records both, and the per-scenario numbers
 /// match a plain streaming run (cost-aware scheduling must not change

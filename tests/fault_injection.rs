@@ -1,8 +1,11 @@
 //! Fault injection through the full stack: the MDA model's assumption 4
 //! ("all probes receive a response") violated in controlled ways.
 
+use mlpt::core::engine::{Admission, SweepConfig, SweepEngine};
+use mlpt::core::session::TraceSession;
+use mlpt::core::SweepStats;
 use mlpt::prelude::*;
-use mlpt::sim::CapturingTransport;
+use mlpt::sim::{CapturingTransport, MultiNetwork};
 use mlpt::topo::canonical;
 use std::net::Ipv4Addr;
 
@@ -98,6 +101,99 @@ fn rate_limit_visible_in_capture() {
     assert!(probes > replies, "rate limiting must suppress replies");
     let (net, _) = capture.into_parts();
     assert!(net.counters().replies_rate_limited > 0);
+}
+
+/// A destination that goes dark mid-sweep (the `midtrace-blackhole`
+/// schedule on one lane) degrades *only* its own lane: the sweep
+/// terminates, the dark destination reports an honest
+/// `TraceOutcome::Partial` with the prefix it discovered before the
+/// cut, every other destination still completes, and all three
+/// admission modes agree bit-for-bit — including on the partial trace.
+#[test]
+fn midsweep_blackhole_partials_only_the_dark_lane() {
+    let lanes: Vec<MultipathTopology> = (0..4u32)
+        .map(|i| canonical::fig1_meshed().translated(0x0100_0000 * (i + 1)))
+        .collect();
+    const DARK: usize = 1;
+    let build = |dark_on: bool| -> MultiNetwork {
+        MultiNetwork::new(
+            lanes
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let builder = SimNetwork::builder(t.clone()).seed(29 + i as u64);
+                    let builder = if dark_on && i == DARK {
+                        builder.fault_schedule(
+                            FaultSchedule::preset("midtrace-blackhole").expect("known preset"),
+                        )
+                    } else {
+                        builder
+                    };
+                    builder.build()
+                })
+                .collect(),
+        )
+        .expect("translated lanes have unique destinations")
+    };
+    let sweep =
+        |admission: Admission, max_in_flight: usize, dark_on: bool| -> (Vec<Trace>, SweepStats) {
+            let mut engine = SweepEngine::new(build(dark_on), SRC).with_config(SweepConfig {
+                max_in_flight,
+                retries: 2,
+                stall_rounds: 4,
+                admission,
+                ..SweepConfig::default()
+            });
+            let sessions: Vec<Box<dyn TraceSession>> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    Box::new(MdaSession::new(t.destination(), TraceConfig::new(i as u64)))
+                        as Box<dyn TraceSession>
+                })
+                .collect();
+            let traces = engine.run_stream(sessions);
+            (traces, *engine.stats())
+        };
+
+    let (eager, stats) = sweep(Admission::Eager, 512, true);
+    let (streaming, _) = sweep(Admission::Streaming, 16, true);
+    let (cost_aware, _) = sweep(Admission::CostAware, 48, true);
+
+    // The dark destination: terminated, honest partial, prefix intact.
+    assert!(
+        eager[DARK].outcome.is_partial(),
+        "{:?}",
+        eager[DARK].outcome
+    );
+    assert!(!eager[DARK].reached_destination);
+    assert!(
+        !eager[DARK].vertices_at(1).is_empty(),
+        "the prefix discovered before the cut must survive"
+    );
+    assert_eq!(stats.sessions_partial, 1);
+    assert_eq!(stats.sessions_completed, lanes.len() as u64);
+    assert!(stats.probes_timed_out > 0);
+    assert!(stats.retries_exhausted > 0);
+
+    // The healthy lanes are untouched by their dark neighbour: complete,
+    // destination reached, and bit-identical to an all-clean sweep.
+    let (clean, _) = sweep(Admission::Streaming, 64, false);
+    for (i, trace) in eager.iter().enumerate() {
+        assert_eq!(trace, &streaming[i], "admission modes diverged on lane {i}");
+        assert_eq!(
+            trace, &cost_aware[i],
+            "admission modes diverged on lane {i}"
+        );
+        if i != DARK {
+            assert_eq!(trace.outcome, TraceOutcome::Complete);
+            assert!(trace.reached_destination);
+            assert_eq!(
+                trace, &clean[i],
+                "clean lane {i} must not be perturbed by the dark lane"
+            );
+        }
+    }
 }
 
 /// The multilevel tracer stays coherent under loss: alias probing simply

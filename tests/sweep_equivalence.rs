@@ -22,7 +22,7 @@
 use mlpt::core::engine::{AdaptiveBudget, Admission, SweepConfig, SweepEngine};
 use mlpt::core::prelude::*;
 use mlpt::core::session::TraceSession;
-use mlpt::sim::{FaultPlan, MultiNetwork, SimNetwork};
+use mlpt::sim::{FaultPlan, FaultSchedule, FaultSpec, MultiNetwork, SimNetwork};
 use mlpt::topo::{canonical, MultipathTopology};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -258,5 +258,133 @@ proptest! {
         prop_assert!(stats.max_batch <= max_in_flight);
         prop_assert_eq!(stats.sessions_admitted, lanes.len() as u64);
         prop_assert_eq!(stats.sessions_completed, lanes.len() as u64);
+    }
+}
+
+/// One impairment spec drawn from the property inputs. The vocabulary
+/// covers everything [`FaultSpec`] can express: loss on either
+/// direction, reply latency, mid-path blackholes and ICMP rate limits.
+fn arbitrary_spec(kind: u8, magnitude: u8) -> FaultSpec {
+    let m = f64::from(magnitude % 10) / 10.0;
+    match kind % 6 {
+        0 => FaultSpec::none(),
+        1 => FaultPlan::with_loss(m, 0.0).into(),
+        2 => FaultPlan::with_loss(0.0, m).into(),
+        3 => FaultSpec::none().with_latency(u64::from(magnitude % 16)),
+        4 => FaultSpec::none().with_blackhole(magnitude % 4 + 1),
+        _ => FaultPlan::with_rate_limit(u32::from(magnitude % 5) + 1, 0.1).into(),
+    }
+}
+
+/// An arbitrary stepped schedule: clean at tick 0, then the generated
+/// steps at strictly increasing ticks.
+fn arbitrary_schedule(steps: &[(u8, u8, u8)]) -> FaultSchedule {
+    let mut schedule = FaultSchedule::none();
+    let mut tick = 0u64;
+    for &(delta, kind, magnitude) in steps {
+        tick += u64::from(delta) + 1;
+        schedule = schedule.step(tick, arbitrary_spec(kind, magnitude));
+    }
+    schedule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Graceful degradation is still pure scheduling: under *any*
+    /// generated fault schedule — including ones that blackhole the
+    /// path outright — every admission mode terminates, the three
+    /// modes' traces agree bit for bit, a rerun from the same seeds is
+    /// bit-identical, and the retry-wave accounting partitions
+    /// `probes_sent` exactly.
+    ///
+    /// (No sequential baseline here on purpose: the blocking
+    /// `TransportProber` cannot express deadlines, so under latency or
+    /// blackholes it legitimately observes a different world than the
+    /// deadline-driven engine.)
+    #[test]
+    fn degraded_sweeps_terminate_and_agree(
+        topo_indices in proptest::collection::vec(0u8..5, 1..5),
+        steps in proptest::collection::vec((0u8..40, 0u8..6, any::<u8>()), 0..5),
+        algo in 0u8..3,
+        base_seed in any::<u64>(),
+        retries in 0u8..3,
+        stall_rounds in 1u32..6,
+        budget_kind in 0u8..3,
+    ) {
+        let schedule = arbitrary_schedule(&steps);
+        let lanes = lanes_for(&topo_indices, base_seed);
+        let max_in_flight = match budget_kind % 3 {
+            0 => 3usize,
+            1 => 64,
+            _ => 2048,
+        };
+        let run = |admission: Admission| -> (Vec<Trace>, mlpt::core::SweepStats) {
+            let net = MultiNetwork::new(
+                lanes
+                    .iter()
+                    .map(|l| {
+                        SimNetwork::builder(l.topology.clone())
+                            .fault_schedule(schedule.clone())
+                            .seed(l.sim_seed)
+                            .build()
+                    })
+                    .collect(),
+            )
+            .expect("translated lanes have unique destinations");
+            let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+                max_in_flight,
+                retries,
+                stall_rounds,
+                admission,
+                ..SweepConfig::default()
+            });
+            let sessions: Vec<Box<dyn TraceSession>> = lanes
+                .iter()
+                .map(|l| {
+                    make_session(
+                        algo,
+                        l.topology.destination(),
+                        TraceConfig::new(l.trace_seed),
+                    )
+                })
+                .collect();
+            let traces = engine.run_stream(sessions);
+            (traces, *engine.stats())
+        };
+
+        // Terminates under every admission mode (reaching this line at
+        // all is the liveness claim; the watchdog is what guarantees it
+        // when the schedule goes dark).
+        let (eager, eager_stats) = run(Admission::Eager);
+        let (streaming, streaming_stats) = run(Admission::Streaming);
+        let (cost_aware, cost_stats) = run(Admission::CostAware);
+
+        // Bit-for-bit agreement across admission modes.
+        prop_assert_eq!(&eager, &streaming);
+        prop_assert_eq!(&eager, &cost_aware);
+
+        // Reproducible: the same seeds replay to the same sweep.
+        let (replay, replay_stats) = run(Admission::Streaming);
+        prop_assert_eq!(&streaming, &replay);
+        prop_assert_eq!(streaming_stats.probes_sent, replay_stats.probes_sent);
+        prop_assert_eq!(
+            streaming_stats.sessions_partial,
+            replay_stats.sessions_partial
+        );
+
+        // The retry-wave accounting invariant partitions probes_sent.
+        for stats in [&eager_stats, &streaming_stats, &cost_stats] {
+            prop_assert_eq!(
+                stats.probes_timed_out
+                    + stats.replies_delivered
+                    + stats.malformed_replies
+                    + stats.mismatched_replies,
+                stats.probes_sent
+            );
+            prop_assert_eq!(stats.sessions_admitted, lanes.len() as u64);
+            prop_assert_eq!(stats.sessions_completed, lanes.len() as u64);
+        }
+        prop_assert_eq!(eager_stats.sessions_partial, cost_stats.sessions_partial);
     }
 }
