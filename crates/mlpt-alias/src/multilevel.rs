@@ -17,6 +17,7 @@ use mlpt_core::session::{
     drive_probes, MdaLiteSession, ProbeOutcome, ProbeRequest, ProbeSession, SessionState,
     TraceProbeSession, TraceSession,
 };
+use mlpt_core::stopset::{StopContribution, StopSnapshot};
 use mlpt_core::trace::Trace;
 use mlpt_topo::router::collapse;
 use mlpt_topo::{MultipathTopology, RouterMap};
@@ -233,6 +234,10 @@ pub struct MultilevelSession {
     trace_wire: u64,
     alias_wire: u64,
     direct_wire: u64,
+    /// The trace phase's shared-stop-set contribution, stashed when the
+    /// trace session is consumed so the sweep engine can still harvest
+    /// it after the alias phases finish.
+    trace_stops: Option<StopContribution>,
 }
 
 impl MultilevelSession {
@@ -258,6 +263,7 @@ impl MultilevelSession {
             trace_wire: 0,
             alias_wire: 0,
             direct_wire: 0,
+            trace_stops: None,
         }
     }
 
@@ -464,6 +470,7 @@ impl ProbeSession for MultilevelSession {
                         self.phase = Phase::Trace(session);
                         return SessionState::Probing;
                     }
+                    self.trace_stops = session.stop_contribution();
                     let trace = session.into_inner().take_trace(self.trace_wire);
                     self.hops = Self::hop_candidates(&trace);
                     self.trace = Some(trace);
@@ -563,6 +570,28 @@ impl ProbeSession for MultilevelSession {
                 comparator: true, ..
             }) => self.direct_wire += count,
             Phase::Done => {}
+        }
+    }
+
+    fn adopt_stop_set(&mut self, snapshot: &StopSnapshot) {
+        // Adoption happens at admission, while the session is still in
+        // its trace phase; the alias phases never consult the set.
+        if let Phase::Trace(session) = &mut self.phase {
+            session.adopt_stop_set(snapshot);
+        }
+    }
+
+    fn stop_contribution(&mut self) -> Option<StopContribution> {
+        match &mut self.phase {
+            Phase::Trace(session) => session.stop_contribution(),
+            _ => self.trace_stops.take(),
+        }
+    }
+
+    fn should_retry(&self, request: &ProbeRequest) -> bool {
+        match &self.phase {
+            Phase::Trace(session) => session.should_retry(request),
+            _ => true,
         }
     }
 

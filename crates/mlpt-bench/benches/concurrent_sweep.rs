@@ -44,6 +44,14 @@
 //! and floored (CI gates), with the per-destination outcomes asserted
 //! bit-identical first.
 //!
+//! A **shared-stop-set stage** sweeps one shared-prefix destination
+//! family at widths 16/64/256/1024 with the Doubletree stop set on:
+//! per-destination topology equivalence (probed hops + reconstructed
+//! prefix vs the classic sweep), the exact probe ledger and admission
+//! bit-identity are asserted first; then probes/destination must fall
+//! strictly with width and land >= 30% below the width-16 figure at
+//! width 256 (CI gates).
+//!
 //! A **chaos stage** sweeps every built-in fault-schedule preset through
 //! the robustness stack (probe deadlines, bounded retries, the stall
 //! watchdog): liveness and the retry-wave accounting partition are
@@ -603,6 +611,163 @@ fn straggler_stage() -> serde_json::Value {
     })
 }
 
+/// The shared-stop-set stage (Doubletree redundancy elimination): one
+/// shared-prefix destination family — 20 common hops, then a 4-hop
+/// per-destination suffix — swept at widths 16/64/256/1024 with the
+/// sweep-wide stop set on (commit width 16, adaptive mid-path start).
+///
+/// Equivalence comes before any performance number: at every width the
+/// classic sweep (stop set off) is run first, and each stop-set trace's
+/// probed hops plus the prefix reconstructed from the final shared set
+/// must equal the classic per-destination path exactly; the probe
+/// ledger must balance (`sent + elided == classic sent`); and the stop
+/// run must be bit-identical across admission modes (determinism
+/// rule 5). Only then are probes/destination recorded. CI gates:
+/// probes/destination strictly decreases with width, and width 256
+/// spends >= 30% fewer probes per destination than width 16.
+fn stop_set_stage() -> serde_json::Value {
+    use mlpt_topo::canonical::shared_prefix_lane;
+    const PREFIX: usize = 20;
+    const SUFFIX: usize = 4;
+    const WIDTHS: [usize; 4] = [16, 64, 256, 1024];
+    let source: std::net::Ipv4Addr = "192.0.2.1".parse().expect("static");
+    let stop_cfg = StopSetConfig {
+        commit_width: 16,
+        ..StopSetConfig::default()
+    };
+
+    // A trace's path as canonically ordered `(TTL, interface)` pairs.
+    let path_of = |trace: &Trace| -> Vec<(u8, std::net::Ipv4Addr)> {
+        let mut pairs: Vec<(u8, std::net::Ipv4Addr)> = (1..=trace.discovery.max_observed_ttl())
+            .flat_map(|ttl| {
+                trace
+                    .discovery
+                    .vertices_at(ttl)
+                    .iter()
+                    .map(move |v| (ttl, *v))
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    };
+
+    let run = |width: usize, admission: Admission, stop: Option<StopSetConfig>| {
+        let lanes: Vec<SimNetwork> = (0..width)
+            .map(|i| SimNetwork::new(shared_prefix_lane(PREFIX, SUFFIX, i), 300 + i as u64))
+            .collect();
+        let net = MultiNetwork::new(lanes).expect("per-lane destinations are unique");
+        let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+            max_in_flight: 256,
+            admission,
+            stop_set: stop,
+            ..SweepConfig::default()
+        });
+        let sessions = (0..width).map(|i| {
+            let destination = shared_prefix_lane(PREFIX, SUFFIX, i).destination();
+            Box::new(SingleFlowSession::new(
+                destination,
+                TraceConfig::new(500 + i as u64),
+                FlowId(7),
+            )) as Box<dyn TraceSession>
+        });
+        let traces = engine.run_stream(sessions);
+        let stats = *engine.stats();
+        let snapshot = engine.stop_snapshot().cloned();
+        (traces, stats, snapshot)
+    };
+
+    let mut per_width = Vec::new();
+    let mut probes_per_destination = Vec::new();
+    for width in WIDTHS {
+        let (classic_traces, classic_stats, _) = run(width, Admission::Streaming, None);
+        let (traces, stats, snapshot) = run(width, Admission::Streaming, Some(stop_cfg));
+        let snapshot = snapshot.expect("stop-set run publishes a snapshot");
+
+        // Topology equivalence first: every destination's classic path
+        // must be recoverable from its stop-set trace plus the set.
+        for (classic, stopped) in classic_traces.iter().zip(&traces) {
+            assert!(stopped.reached_destination);
+            let probed = path_of(stopped);
+            let &(first_ttl, first_iface) = probed.first().expect("non-empty trace");
+            let mut full: Vec<(u8, std::net::Ipv4Addr)> = snapshot
+                .reconstruct_prefix(first_ttl, first_iface)
+                .into_iter()
+                .chain(probed)
+                .collect();
+            full.sort_unstable();
+            full.dedup();
+            assert_eq!(
+                full,
+                path_of(classic),
+                "stop-set sweep lost topology for {} at width {width}",
+                classic.destination
+            );
+        }
+        // Exact ledger: every elided probe is one the classic sweep sent.
+        assert_eq!(
+            stats.probes_sent + stats.probes_elided,
+            classic_stats.probes_sent,
+            "probe ledger out of balance at width {width}"
+        );
+        // Determinism rule 5: admission modes replay the identical sweep.
+        for admission in [
+            Admission::Eager,
+            Admission::CostAware,
+            Admission::CostAwareWindowed(32),
+        ] {
+            let (again, again_stats, _) = run(width, admission, Some(stop_cfg));
+            assert_eq!(
+                again, traces,
+                "admission {admission:?} diverged at width {width}"
+            );
+            assert_eq!(again_stats.probes_sent, stats.probes_sent);
+            assert_eq!(again_stats.probes_elided, stats.probes_elided);
+        }
+
+        let per_dest = stats.probes_sent as f64 / width as f64;
+        probes_per_destination.push(per_dest);
+        per_width.push(json!({
+            "width": width,
+            "probes_sent": stats.probes_sent,
+            "probes_elided": stats.probes_elided,
+            "stop_set_hits": stats.stop_set_hits,
+            "classic_probes_sent": classic_stats.probes_sent,
+            "probes_per_destination": per_dest,
+        }));
+    }
+
+    // CI gates: sharing must compound with width, and the 256-wide sweep
+    // must spend >= 30% fewer probes per destination than the 16-wide.
+    for pair in probes_per_destination.windows(2) {
+        assert!(
+            pair[1] < pair[0],
+            "probes/destination must strictly decrease with width: {probes_per_destination:?}"
+        );
+    }
+    let reduction = 1.0 - probes_per_destination[2] / probes_per_destination[0];
+    assert!(
+        reduction >= 0.30,
+        "stop set no longer saves >=30% at width 256: \
+         {:.2} vs {:.2} probes/destination ({:.0}% reduction)",
+        probes_per_destination[2],
+        probes_per_destination[0],
+        reduction * 100.0
+    );
+
+    json!({
+        "workload": format!(
+            "shared-prefix family ({PREFIX} common hops + {SUFFIX}-hop private suffix), \
+             single-flow tracer, stop set commit width {}, adaptive mid-path start",
+            stop_cfg.commit_width
+        ),
+        "per_width": per_width,
+        "probes_per_destination_reduction_256_vs_16": reduction,
+        "floor_enforced": 0.30,
+        "topology_equivalence_asserted": true,
+        "admission_bit_identity_asserted": true,
+    })
+}
+
 /// The chaos stage: every built-in fault-schedule preset swept through
 /// the engine's robustness stack (deadlines, bounded retries, the stall
 /// watchdog). Liveness is the bench: each preset must terminate, keep
@@ -814,6 +979,11 @@ fn main() {
     // makespan <= 0.9x and tail floors internally).
     let straggler = straggler_stage();
 
+    // Shared-stop-set stage (asserts topology equivalence, the exact
+    // probe ledger and admission bit-identity, then gates the >=30%
+    // probes/destination reduction at width 256).
+    let stop_set = stop_set_stage();
+
     // Chaos stage: every fault-schedule preset must terminate under the
     // robustness stack (asserts liveness + accounting internally).
     let chaos = chaos_stage(if quick { 4 } else { 16 });
@@ -934,6 +1104,7 @@ fn main() {
         "adaptive_backoff": backoff,
         "alias_sweep": alias_sweep,
         "straggler_admission": straggler,
+        "stop_set_sweep": stop_set,
         "chaos": chaos,
         "results": results,
     });

@@ -56,6 +56,15 @@ impl TraceConfig {
         self.probe_budget = budget;
         self
     }
+
+    /// The default mid-path start TTL for Doubletree-style stop-set
+    /// probing when no destination-distance evidence exists yet: a
+    /// fifth of the TTL horizon (8 under the default `max_ttl` of 40,
+    /// matching the near-source prefix lengths Donnet et al. report),
+    /// never below 1.
+    pub fn default_start_ttl(&self) -> u8 {
+        (self.max_ttl / 5).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -68,6 +77,14 @@ mod tests {
         assert_eq!(c.phi, 2);
         assert_eq!(c.stopping.n(1), 6);
         assert!(c.probe_budget > 10_000);
+        assert_eq!(c.default_start_ttl(), 8);
+    }
+
+    #[test]
+    fn start_ttl_never_below_one() {
+        let mut c = TraceConfig::new(1);
+        c.max_ttl = 3;
+        assert_eq!(c.default_start_ttl(), 1);
     }
 
     #[test]

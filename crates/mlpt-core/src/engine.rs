@@ -100,6 +100,7 @@ use crate::pending::{ProbeTimer, RetryPolicy};
 use crate::prober::{DirectObservation, ProbeObservation, ECHO_IDENTIFIER, ECHO_TTL};
 use crate::session::TraceSession;
 use crate::session::{ProbeOutcome, ProbeRequest, ProbeSession, SessionState, TraceProbeSession};
+use crate::stopset::{SharedStopSet, StopContribution, StopSetConfig, StopSnapshot};
 use crate::trace::{PartialReason, Trace};
 use mlpt_wire::probe::{
     build_echo_probe_into, build_udp_probe_into, parse_reply, ProbePacket, ReplyKind,
@@ -139,6 +140,35 @@ pub enum Admission {
     /// bit-identical to FIFO admission — property-tested in
     /// `tests/sweep_equivalence.rs` and `tests/alias_equivalence.rs`.
     CostAware,
+    /// Cost-aware admission over a sliding window: the source is staged
+    /// `K` sessions at a time and each chunk is reordered by descending
+    /// [`ProbeSession::predicted_cost`] before admission, so unbounded
+    /// `--stdin` streams get cost-aware ordering in `O(K)` memory
+    /// instead of [`CostAware`](Self::CostAware)'s full-source drain.
+    /// The admission *order* can differ from the full drain (a chunk
+    /// never sees costs beyond its horizon), but rule 5 makes the
+    /// per-destination results bit-identical either way —
+    /// property-tested in `tests/sweep_equivalence.rs`.
+    CostAwareWindowed(usize),
+}
+
+impl Admission {
+    /// True for the variants that order admission by predicted cost.
+    pub fn is_cost_aware(self) -> bool {
+        matches!(self, Self::CostAware | Self::CostAwareWindowed(_))
+    }
+
+    /// Sessions pulled from the source per staging chunk: the full
+    /// source for [`CostAware`](Self::CostAware) (its documented
+    /// lookahead), `K` for the windowed variant, one at a time for the
+    /// FIFO modes.
+    fn chunk_len(self) -> usize {
+        match self {
+            Self::CostAware => usize::MAX,
+            Self::CostAwareWindowed(window) => window.max(1),
+            Self::Eager | Self::Streaming => 1,
+        }
+    }
 }
 
 /// Tuning of the AIMD in-flight budget controller.
@@ -208,6 +238,26 @@ pub struct SweepConfig {
     /// trigger is protocol state and fires identically across admission
     /// modes and budgets.
     pub stall_rounds: u32,
+    /// Doubletree-style shared stop set (see [`crate::stopset`]):
+    /// `Some` makes the sweep own a [`SharedStopSet`], hand every
+    /// admitted session a generation snapshot via
+    /// [`ProbeSession::adopt_stop_set`], and commit finished sessions'
+    /// contributions back in source-index order at generation
+    /// boundaries. `None` (the default) keeps classic full-path
+    /// probing.
+    ///
+    /// Determinism rule 5 extension: the stop set is **protocol
+    /// state**. Sessions are partitioned into generations of
+    /// [`StopSetConfig::commit_width`] consecutive source indices; a
+    /// generation's sessions all see the snapshot closed over strictly
+    /// earlier generations, and a new generation opens only once every
+    /// pulled session has finished. Commits apply in source-index order
+    /// with first-writer-wins per `(TTL, interface)`, so the set's
+    /// contents — and through them every elision — are decided by
+    /// source order, never by scheduling: eager, streaming and
+    /// cost-aware sweeps stay bit-identical and replay exactly from
+    /// seed.
+    pub stop_set: Option<StopSetConfig>,
 }
 
 impl Default for SweepConfig {
@@ -220,6 +270,7 @@ impl Default for SweepConfig {
             max_admitted: usize::MAX,
             retry: RetryPolicy::default(),
             stall_rounds: 0,
+            stop_set: None,
         }
     }
 }
@@ -312,6 +363,22 @@ pub struct SweepStats {
     /// Deepest per-lane deadline-backoff exponent reached by any lane
     /// (consecutive lossy retry waves; see the module docs).
     pub max_lane_backoff_depth: u32,
+    /// Probes the sweep's sessions never put on the wire thanks to
+    /// shared-stop-set short-circuits (backward local-stop hits,
+    /// forward global-stop hits, scan-phase hits), summed from the
+    /// per-session [`StopContribution::probes_elided`] estimates. `0`
+    /// unless [`SweepConfig::stop_set`] is active.
+    pub probes_elided: u64,
+    /// Stop-set hits across the sweep: probes whose responder was found
+    /// in the session's adopted snapshot, ending a probing direction
+    /// early.
+    pub stop_set_hits: u64,
+    /// Timed-out probes dropped from their retry wave because the
+    /// session's adopted stop set already predicts the responder
+    /// ([`ProbeSession::should_retry`]): re-probing a confirmed
+    /// `(TTL, interface)` pair is redundant, so the probe resolves as
+    /// an elision instead of burning a retry.
+    pub retries_elided: u64,
 }
 
 impl SweepStats {
@@ -352,6 +419,9 @@ impl SweepStats {
             retries_exhausted,
             sessions_partial,
             max_lane_backoff_depth,
+            probes_elided,
+            stop_set_hits,
+            retries_elided,
         } = *other;
         self.dispatch_cycles += dispatch_cycles;
         self.probes_sent += probes_sent;
@@ -371,6 +441,9 @@ impl SweepStats {
         self.retries_exhausted += retries_exhausted;
         self.sessions_partial += sessions_partial;
         self.max_lane_backoff_depth = self.max_lane_backoff_depth.max(max_lane_backoff_depth);
+        self.probes_elided += probes_elided;
+        self.stop_set_hits += stop_set_hits;
+        self.retries_elided += retries_elided;
     }
 }
 
@@ -598,13 +671,16 @@ impl<S: ProbeSession> DeferredSessions<S> {
     }
 }
 
-/// Orders a drained source for [`Admission::CostAware`]: positions are
-/// assigned by descending [`ProbeSession::predicted_cost`] (ties by
-/// source index), but the sessions of one destination fill their
-/// positions in source order — a shared lane observes its sessions in
-/// exactly the sequence the caller supplied, which is what keeps
-/// cost-aware outcomes bit-identical to FIFO admission.
-fn reorder_by_cost<S: ProbeSession>(sessions: Vec<S>) -> VecDeque<(usize, S)> {
+/// Orders one staged chunk of the source for the cost-aware admission
+/// modes: positions are assigned by descending
+/// [`ProbeSession::predicted_cost`] (ties by source index), but the
+/// sessions of one destination fill their positions in source order — a
+/// shared lane observes its sessions in exactly the sequence the caller
+/// supplied, which is what keeps cost-aware outcomes bit-identical to
+/// FIFO admission. `base` is the source index of the chunk's first
+/// session ([`Admission::CostAware`] stages the whole source as one
+/// chunk; [`Admission::CostAwareWindowed`] stages `K` at a time).
+fn reorder_by_cost<S: ProbeSession>(sessions: Vec<S>, base: usize) -> VecDeque<(usize, S)> {
     let costs: Vec<u64> = sessions.iter().map(ProbeSession::predicted_cost).collect();
     let dests: Vec<u32> = sessions
         .iter()
@@ -626,9 +702,34 @@ fn reorder_by_cost<S: ProbeSession>(sessions: Vec<S>) -> VecDeque<(usize, S)> {
                 .and_then(VecDeque::pop_front)
                 .expect("one queue entry per session");
             let session = slots[source_index].take().expect("each session taken once");
-            (source_index, session)
+            (base + source_index, session)
         })
         .collect()
+}
+
+/// Per-run shared-stop-set state ([`SweepConfig::stop_set`]).
+///
+/// The counters live here rather than in [`SweepStats`] because stats
+/// persist and merge across runs while generations are strictly
+/// run-local: a fresh run starts at generation 0 with an empty set.
+struct StopRunState {
+    /// The sweep-wide set, mutated only at generation boundaries.
+    set: SharedStopSet,
+    /// The snapshot handed to the currently open generation's sessions
+    /// at pull time (closed over strictly earlier generations).
+    snapshot: StopSnapshot,
+    cfg: StopSetConfig,
+    /// Generation currently admitting: sessions with source index in
+    /// `open_gen * commit_width ..` belong to it.
+    open_gen: usize,
+    /// Finished sessions' contributions awaiting the generation
+    /// boundary, tagged with their source index for the deterministic
+    /// source-order commit.
+    staged_contribs: Vec<(usize, StopContribution)>,
+    /// Sessions pulled from the source so far (staged included).
+    pulled: usize,
+    /// Sessions handed to the sink so far.
+    completed: usize,
 }
 
 /// The sweep scheduler (see module docs).
@@ -651,6 +752,9 @@ pub struct SweepEngine<T: SplitTransport> {
     /// Batch size of every dispatch cycle, for tail-utilization
     /// measurements (one `u32` per transport crossing).
     cycle_sizes: Vec<u32>,
+    /// Final shared-stop-set snapshot of the last run (when
+    /// [`SweepConfig::stop_set`] was active).
+    last_stop_snapshot: Option<StopSnapshot>,
 }
 
 /// Per-run scheduler state: the live session table is generic over the
@@ -669,6 +773,8 @@ struct SweepRun<'e, T: SplitTransport, S: ProbeSession> {
     pending: usize,
     /// Replies delivered during the current cycle.
     cycle_delivered: usize,
+    /// Shared-stop-set state when [`SweepConfig::stop_set`] is active.
+    stops: Option<StopRunState>,
 }
 
 impl<T: SplitTransport> SweepEngine<T> {
@@ -688,6 +794,7 @@ impl<T: SplitTransport> SweepEngine<T> {
             replies: ReplyBatch::new(),
             dispatch: Vec::new(),
             cycle_sizes: Vec::new(),
+            last_stop_snapshot: None,
         }
     }
 
@@ -701,6 +808,10 @@ impl<T: SplitTransport> SweepEngine<T> {
             adaptive.min_in_flight = adaptive.min_in_flight.clamp(1, self.config.max_in_flight);
             adaptive.increase = adaptive.increase.max(1);
             adaptive.backoff = adaptive.backoff.clamp(0.0, 1.0);
+        }
+        if let Some(stop) = &mut self.config.stop_set {
+            stop.commit_width = stop.commit_width.max(1);
+            stop.start_ttl = stop.start_ttl.max(1);
         }
         self.budget = self.config.max_in_flight as f64;
         self
@@ -725,6 +836,15 @@ impl<T: SplitTransport> SweepEngine<T> {
     /// Dispatch statistics so far.
     pub fn stats(&self) -> &SweepStats {
         &self.stats
+    }
+
+    /// The shared stop set's final snapshot from the last run with
+    /// [`SweepConfig::stop_set`] active (`None` otherwise): every
+    /// committed `(TTL, interface)` pair with its predecessor link, from
+    /// which each destination's elided near-source prefix is
+    /// reconstructable ([`StopSnapshot::reconstruct_prefix`]).
+    pub fn stop_snapshot(&self) -> Option<&StopSnapshot> {
+        self.last_stop_snapshot.as_ref()
     }
 
     /// Batch size of every dispatch cycle so far, in cycle order — the
@@ -809,6 +929,16 @@ impl<T: SplitTransport> SweepEngine<T> {
         F: FnMut(usize, S, u64),
     {
         let mut iter = sessions.into_iter();
+        self.last_stop_snapshot = None;
+        let stops = self.config.stop_set.map(|cfg| StopRunState {
+            set: SharedStopSet::default(),
+            snapshot: StopSnapshot::empty(),
+            cfg,
+            open_gen: 0,
+            staged_contribs: Vec::new(),
+            pulled: 0,
+            completed: 0,
+        });
         let mut run = SweepRun {
             eng: self,
             slots: Vec::new(),
@@ -816,6 +946,7 @@ impl<T: SplitTransport> SweepEngine<T> {
             deferred: DeferredSessions::new(),
             pending: 0,
             cycle_delivered: 0,
+            stops,
         };
         run.run_source(&mut iter, &mut sink);
     }
@@ -830,22 +961,25 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
     ) {
         let mut next_out = 0usize;
         let mut source_done = false;
-        // Cost-aware admission needs the whole source to order it: drain
-        // it now (the lookahead costs Eager's memory bound) and hand the
-        // reordered list to the loop as the pre-staged source.
+        // Sessions pulled from the source but not yet admitted: the
+        // cost-aware modes stage (and reorder) whole chunks at a time —
+        // the full source under `CostAware`, `K` under
+        // `CostAwareWindowed(K)` — the FIFO modes one session at a time.
         let mut staged: VecDeque<(usize, S)> = VecDeque::new();
-        if self.eng.config.admission == Admission::CostAware {
-            staged = reorder_by_cost(source.collect());
-            next_out = staged.len();
-            source_done = true;
-        }
 
         loop {
             self.refill_rounds(sink);
             self.admit_sessions(source, &mut staged, &mut next_out, &mut source_done, sink);
             if !self.gather_packets() {
-                if self.deferred.is_empty() {
+                if self.deferred.is_empty() && staged.is_empty() && source_done {
                     break;
+                }
+                if self.deferred.is_empty() && self.slots.is_empty() && !source_done {
+                    // Stop-set generation gating kept the source shut
+                    // while the last generation drained; the admission
+                    // pass above has now closed it, so the next pass
+                    // pulls the new generation. Nothing live: just loop.
+                    continue;
                 }
                 // Unreachable in practice: a deferred session waits on a
                 // live destination, but nothing is live. The next
@@ -873,17 +1007,126 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
 
         // Defensive drain: a session that wedged in the empty-round path
         // still reports a result rather than vanishing.
-        while let Some(slot) = self.slots.pop() {
+        while let Some(mut slot) = self.slots.pop() {
             self.live_dests.remove(&u32::from(slot.destination));
             self.eng.stats.sessions_completed += 1;
+            self.harvest_contribution(&mut slot);
             sink(slot.out_index, slot.session, slot.probes_sent);
+        }
+        // Commit any contributions the defensive drain just harvested,
+        // then publish the final snapshot for callers (prefix
+        // reconstruction, cross-run inspection).
+        self.close_generation(true);
+        if let Some(stops) = self.stops.take() {
+            self.eng.last_stop_snapshot = Some(stops.set.snapshot(&stops.cfg));
         }
         self.eng.stats.final_in_flight_budget = self.eng.current_budget();
     }
 
     /// Whether this run's deferred store orders freed sessions by cost.
     fn cost_aware(&self) -> bool {
-        self.eng.config.admission == Admission::CostAware
+        self.eng.config.admission.is_cost_aware()
+    }
+
+    /// Collects a finished session's firsthand stop-set contribution
+    /// (staged until its generation closes) and its elision counters.
+    /// No-op without an active stop set.
+    fn harvest_contribution(&mut self, slot: &mut SessionSlot<S>) {
+        let Some(stops) = &mut self.stops else {
+            return;
+        };
+        stops.completed += 1;
+        if let Some(contribution) = slot.session.stop_contribution() {
+            self.eng.stats.probes_elided += contribution.probes_elided;
+            self.eng.stats.stop_set_hits += contribution.stop_hits;
+            stops.staged_contribs.push((slot.out_index, contribution));
+        }
+    }
+
+    /// Closes the open generation once every pulled session has
+    /// finished and the source has reached the generation boundary (or
+    /// run dry): commits the staged contributions in **source-index
+    /// order** (first-writer-wins per `(TTL, interface)` — determinism
+    /// rule 5), rebuilds the snapshot the next generation will adopt,
+    /// and opens that generation for pulling.
+    fn close_generation(&mut self, source_done: bool) {
+        let Some(stops) = &mut self.stops else {
+            return;
+        };
+        // Staged and deferred sessions count as pulled but not
+        // completed, so this single check also waits for them.
+        if stops.completed < stops.pulled {
+            return;
+        }
+        let width = stops.cfg.commit_width.max(1);
+        let boundary = stops.pulled >= (stops.open_gen + 1).saturating_mul(width);
+        let partial = source_done && stops.pulled > stops.open_gen.saturating_mul(width);
+        if !boundary && !partial {
+            return;
+        }
+        stops
+            .staged_contribs
+            .sort_unstable_by_key(|&(index, _)| index);
+        for (index, contribution) in std::mem::take(&mut stops.staged_contribs) {
+            stops.set.commit(index, &contribution);
+        }
+        stops.snapshot = stops.set.snapshot(&stops.cfg);
+        stops.open_gen = stops.pulled.div_ceil(width);
+    }
+
+    /// Hands out the next session to admit: the staged chunk first,
+    /// then a fresh chunk pulled from the source. With an active stop
+    /// set, pulls are gated at the open generation's boundary (`None`
+    /// until the generation closes) and every pulled session adopts the
+    /// generation's snapshot right here — pull time, not admission
+    /// time, so deferral cannot change what a session sees.
+    fn pull_next(
+        &mut self,
+        source: &mut dyn Iterator<Item = S>,
+        staged: &mut VecDeque<(usize, S)>,
+        next_out: &mut usize,
+        source_done: &mut bool,
+    ) -> Option<(usize, S)> {
+        if staged.is_empty() && !*source_done {
+            let mut chunk = self.eng.config.admission.chunk_len();
+            if let Some(stops) = &self.stops {
+                let width = stops.cfg.commit_width.max(1);
+                let generation_end = (stops.open_gen + 1).saturating_mul(width);
+                let room = generation_end.saturating_sub(*next_out);
+                if room == 0 {
+                    return None; // wait for the open generation to close
+                }
+                chunk = chunk.min(room);
+            }
+            let mut pulled: Vec<S> = Vec::new();
+            while pulled.len() < chunk {
+                match source.next() {
+                    Some(session) => pulled.push(session),
+                    None => {
+                        *source_done = true;
+                        break;
+                    }
+                }
+            }
+            let base = *next_out;
+            *next_out += pulled.len();
+            *staged = if self.eng.config.admission.is_cost_aware() {
+                reorder_by_cost(pulled, base)
+            } else {
+                pulled
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, session)| (base + i, session))
+                    .collect()
+            };
+            if let Some(stops) = &mut self.stops {
+                stops.pulled = *next_out;
+                for (_, session) in staged.iter_mut() {
+                    session.adopt_stop_set(&stops.snapshot);
+                }
+            }
+        }
+        staged.pop_front()
     }
 
     /// Polls idle sessions for their next rounds, emitting results of
@@ -919,13 +1162,14 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
         match state {
             SessionState::Finished => {
                 let cost_aware = self.cost_aware();
-                let slot = self.slots.swap_remove(i);
+                let mut slot = self.slots.swap_remove(i);
                 let dest = u32::from(slot.destination);
                 self.live_dests.remove(&dest);
                 // The destination is free again: release its next waiter
                 // (if any) towards admission.
                 self.deferred.on_destination_freed(dest, cost_aware);
                 self.eng.stats.sessions_completed += 1;
+                self.harvest_contribution(&mut slot);
                 sink(slot.out_index, slot.session, slot.probes_sent);
                 Pumped::Finished
             }
@@ -974,6 +1218,10 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
         sink: &mut dyn FnMut(usize, S, u64),
     ) {
         loop {
+            // Generation boundaries are checked every pass: a
+            // generation whose sessions all finished instantly must
+            // still open the next one within this very admission call.
+            self.close_generation(*source_done);
             if self.eng.config.admission != Admission::Eager
                 && self.pending >= self.eng.current_budget()
             {
@@ -984,7 +1232,8 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
             }
             // Freed deferred sessions re-enter first: their destinations
             // were released by finishing slots, and the store already
-            // ordered them (arrival order, or cost under CostAware).
+            // ordered them (arrival order, or cost under the cost-aware
+            // modes).
             if let Some((out, session)) = self.deferred.next_ready() {
                 debug_assert!(
                     !self.live_dests.contains(&u32::from(session.destination())),
@@ -993,22 +1242,9 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
                 self.admit_one(out, session, sink);
                 continue;
             }
-            // Then the source: the cost-aware pre-staged list, or the
-            // caller's live iterator.
-            let (out, session) = match staged.pop_front() {
-                Some(entry) => entry,
-                None if !*source_done => match source.next() {
-                    Some(session) => {
-                        let out = *next_out;
-                        *next_out += 1;
-                        (out, session)
-                    }
-                    None => {
-                        *source_done = true;
-                        return;
-                    }
-                },
-                None => return,
+            // Then the source, through the staged chunk.
+            let Some((out, session)) = self.pull_next(source, staged, next_out, source_done) else {
+                return;
             };
             let dest = u32::from(session.destination());
             if self.live_dests.contains(&dest) || self.deferred.holds(dest) {
@@ -1091,8 +1327,21 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
                 }
                 let already = slot.dispatched_cycle as usize;
                 let lane_cap = if adaptive { slot.allowance } else { usize::MAX };
+                // Mid-flight cost reappraisal: a lane whose remaining
+                // predicted cost collapsed (a stop-set hit, a trace
+                // nearing its destination) is capped at that cost, so
+                // it stops hogging quota and allowance the heavy lanes
+                // need. `0` = no estimate = uncapped; in-tree sessions
+                // never predict below their current round, so the cap
+                // only ever redistributes tokens, never slices rounds
+                // it does not have to (and slicing is transparent
+                // anyway — determinism rule 5).
+                let cost_cap = match usize::try_from(slot.session.predicted_cost()) {
+                    Ok(0) | Err(_) => usize::MAX,
+                    Ok(cost) => cost,
+                };
                 let pass_cap = if pass == 0 { quota } else { lane_cap };
-                let cap = lane_cap.min(pass_cap).saturating_sub(already);
+                let cap = lane_cap.min(pass_cap).min(cost_cap).saturating_sub(already);
                 if cap > 0 {
                     self.dispatch_slot(i, cap, budget);
                 }
@@ -1374,8 +1623,31 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
                     .max_lane_backoff_depth
                     .max(slot.backoff_depth);
             }
-            if still.is_empty() || slot.attempt >= self.eng.config.retries {
-                self.eng.stats.retries_exhausted += still.len() as u64;
+            // Stop-set retry elision: a timed-out probe whose
+            // `(TTL, interface)` the session's adopted snapshot already
+            // predicts is dropped from the wave instead of re-probed —
+            // the session proxy-adopts the predicted responder from the
+            // honest `None` slot. The verdict depends only on the
+            // frozen snapshot and the probe itself (protocol state), so
+            // waves stay identical across admission modes and budgets.
+            let retained: Vec<usize> =
+                if still.is_empty() || slot.attempt >= self.eng.config.retries {
+                    self.eng.stats.retries_exhausted += still.len() as u64;
+                    Vec::new()
+                } else {
+                    let kept: Vec<usize> = still
+                        .iter()
+                        .copied()
+                        .filter(|&s| {
+                            slot.round
+                                .get(s)
+                                .is_none_or(|request| slot.session.should_retry(request))
+                        })
+                        .collect();
+                    self.eng.stats.retries_elided += (still.len() - kept.len()) as u64;
+                    kept
+                };
+            if retained.is_empty() {
                 let answered = slot.results.iter().any(Option::is_some);
                 slot.session.note_wire_probes(slot.round_wire);
                 slot.round_wire = 0;
@@ -1401,8 +1673,8 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
                 }
             } else {
                 slot.attempt += 1;
-                repending += still.len();
-                slot.wave = still;
+                repending += retained.len();
+                slot.wave = retained;
                 slot.cursor = 0;
             }
         }
@@ -2065,5 +2337,244 @@ mod tests {
         assert_eq!(eager, cost_aware);
         assert_eq!(eager_stats.probes_sent, cost_stats.probes_sent);
         assert_eq!(eager_stats.sessions_partial, cost_stats.sessions_partial);
+    }
+
+    /// The tentpole end-to-end: sweeping a Doubletree family with a
+    /// shared stop set elides the shared near-source prefix for every
+    /// generation after the first, while the discovered per-destination
+    /// paths — probed hops plus the prefix reconstructed from the set —
+    /// stay exactly the classic single-flow paths, and every elided
+    /// probe is accounted against what the classic sweep spent.
+    #[test]
+    fn shared_stop_set_elides_prefix_probes() {
+        let lanes: Vec<mlpt_topo::MultipathTopology> = (0..16)
+            .map(|i| canonical::shared_prefix_lane(12, 3, i))
+            .collect();
+        type Out = (Vec<Trace>, SweepStats, Option<StopSnapshot>);
+        let run = |stop_set: Option<StopSetConfig>| -> Out {
+            let nets: Vec<SimNetwork> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, t)| SimNetwork::new(t.clone(), 5 + i as u64))
+                .collect();
+            let net = mlpt_sim::MultiNetwork::new(nets).expect("unique destinations");
+            let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+                stop_set,
+                ..SweepConfig::default()
+            });
+            let sessions: Vec<Box<dyn TraceSession>> = lanes
+                .iter()
+                .map(|t| {
+                    Box::new(SingleFlowSession::new(
+                        t.destination(),
+                        TraceConfig::new(3),
+                        FlowId(7),
+                    )) as Box<dyn TraceSession>
+                })
+                .collect();
+            let traces = engine.run_stream(sessions);
+            (traces, *engine.stats(), engine.stop_snapshot().cloned())
+        };
+        let (classic, classic_stats, no_snap) = run(None);
+        assert!(no_snap.is_none(), "no stop set, no snapshot");
+        let (stopped, stats, snap) = run(Some(StopSetConfig {
+            commit_width: 4,
+            ..StopSetConfig::default()
+        }));
+        let snap = snap.expect("stop-set run publishes its final snapshot");
+        assert!(stats.stop_set_hits > 0, "later generations must stop early");
+        assert!(stats.probes_elided > 0);
+        assert!(stats.probes_sent < classic_stats.probes_sent);
+        // Exact bookkeeping: every probe the classic sweep spent is
+        // either sent or elided under the stop set, never dropped.
+        assert_eq!(
+            stats.probes_sent + stats.probes_elided,
+            classic_stats.probes_sent
+        );
+        let path_of = |trace: &Trace| -> Vec<(u8, Ipv4Addr)> {
+            (1..=trace.discovery.max_observed_ttl())
+                .flat_map(|ttl| {
+                    trace
+                        .discovery
+                        .vertices_at(ttl)
+                        .iter()
+                        .map(move |v| (ttl, *v))
+                })
+                .collect()
+        };
+        for (classic_trace, stopped_trace) in classic.iter().zip(&stopped) {
+            assert!(stopped_trace.reached_destination);
+            let probed = path_of(stopped_trace);
+            let &(first_ttl, first_iface) = probed.first().expect("non-empty trace");
+            let mut full: Vec<(u8, Ipv4Addr)> = snap
+                .reconstruct_prefix(first_ttl, first_iface)
+                .into_iter()
+                .chain(probed)
+                .collect();
+            full.sort_unstable();
+            full.dedup();
+            assert_eq!(
+                full,
+                path_of(classic_trace),
+                "probed hops + reconstructed prefix must equal the classic path"
+            );
+        }
+    }
+
+    /// `CostAwareWindowed(K)` reorders only a sliding window, yet —
+    /// determinism rule 5 — every trace and wire total matches the
+    /// full-drain `CostAware` run (and the windowed run admits the same
+    /// session count).
+    #[test]
+    fn windowed_cost_aware_matches_full_drain() {
+        let lanes: Vec<mlpt_topo::MultipathTopology> = (0..10u32)
+            .map(|i| canonical::fig1_meshed().translated(0x0100_0000 * (i + 1)))
+            .collect();
+        let run = |admission: Admission| -> (Vec<Trace>, SweepStats) {
+            let nets: Vec<SimNetwork> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, t)| SimNetwork::new(t.clone(), 11 + i as u64))
+                .collect();
+            let net = mlpt_sim::MultiNetwork::new(nets).expect("unique destinations");
+            let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+                max_in_flight: 24,
+                admission,
+                ..SweepConfig::default()
+            });
+            let sessions: Vec<Box<dyn TraceSession>> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let config = TraceConfig::new(i as u64).with_probe_budget(500 + 37 * i as u64);
+                    Box::new(MdaSession::new(t.destination(), config)) as Box<dyn TraceSession>
+                })
+                .collect();
+            let traces = engine.run_stream(sessions);
+            (traces, *engine.stats())
+        };
+        let (full, full_stats) = run(Admission::CostAware);
+        for window in [1usize, 3, 100] {
+            let (windowed, windowed_stats) = run(Admission::CostAwareWindowed(window));
+            assert_eq!(full, windowed, "window {window} must not change results");
+            assert_eq!(full_stats.probes_sent, windowed_stats.probes_sent);
+            assert_eq!(windowed_stats.sessions_admitted, 10);
+            assert_eq!(windowed_stats.sessions_completed, 10);
+        }
+    }
+
+    /// The satellite bugfix's regression: a timed-out probe whose
+    /// `(interface, TTL)` the stop set meanwhile confirmed (via a
+    /// same-destination same-flow contributor) is elided instead of
+    /// retried — the follower leans on Paris flow determinism and
+    /// finishes without burning retry waves into a lossy path.
+    #[test]
+    fn timed_out_probe_with_confirmed_interface_is_elided() {
+        use mlpt_sim::FaultPlan;
+        let topo = canonical::shared_prefix_lane(12, 3, 0);
+        let d = topo.destination();
+        let run = |stop_set: Option<StopSetConfig>| -> (Vec<Trace>, SweepStats) {
+            let net = SimNetwork::builder(topo.clone())
+                .faults(FaultPlan::with_loss(0.0, 0.4))
+                .seed(37)
+                .build();
+            let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+                retries: 4,
+                stop_set,
+                ..SweepConfig::default()
+            });
+            // Same destination, same flow: the engine defers the second
+            // session until the first finishes, which also makes it the
+            // next stop-set generation under `commit_width: 1`.
+            let sessions: Vec<Box<dyn TraceSession>> = vec![
+                Box::new(SingleFlowSession::new(d, TraceConfig::new(1), FlowId(7))),
+                Box::new(SingleFlowSession::new(d, TraceConfig::new(2), FlowId(7))),
+            ];
+            let traces = engine.run_stream(sessions);
+            (traces, *engine.stats())
+        };
+        let (classic, classic_stats) = run(None);
+        assert!(classic.iter().all(|t| t.reached_destination));
+        assert_eq!(classic_stats.retries_elided, 0, "no stop set, no elision");
+        let (traces, stats) = run(Some(StopSetConfig {
+            commit_width: 1,
+            ..StopSetConfig::default()
+        }));
+        assert!(traces.iter().all(|t| t.reached_destination));
+        assert!(
+            stats.retries_elided > 0,
+            "confirmed-interface timeouts must be elided, not retried"
+        );
+        // Elision never disturbs the probe accounting partition.
+        assert_eq!(
+            stats.probes_timed_out
+                + stats.replies_delivered
+                + stats.malformed_replies
+                + stats.mismatched_replies,
+            stats.probes_sent
+        );
+    }
+
+    /// Mid-flight cost reappraisal: the fair-quota gather pass consults
+    /// `predicted_cost()` every cycle, so a session whose cost collapses
+    /// after admission stops hogging lane allowance — and one that stays
+    /// cheap is sliced down to its real appetite.
+    #[test]
+    fn gather_reappraises_predicted_cost_each_cycle() {
+        /// Ten one-probe-per-TTL requests in a single round, with a
+        /// constant advertised cost.
+        struct AppetiteSession {
+            destination: Ipv4Addr,
+            cost: u64,
+            round: Vec<ProbeRequest>,
+            done: bool,
+        }
+        impl ProbeSession for AppetiteSession {
+            fn poll(&mut self) -> SessionState {
+                if self.done {
+                    SessionState::Finished
+                } else {
+                    SessionState::Probing
+                }
+            }
+            fn next_rounds(&self) -> &[ProbeRequest] {
+                &self.round
+            }
+            fn on_replies(&mut self, _results: &mut [Option<ProbeOutcome>]) {
+                self.done = true;
+            }
+            fn destination(&self) -> Ipv4Addr {
+                self.destination
+            }
+            fn predicted_cost(&self) -> u64 {
+                self.cost
+            }
+        }
+        let topo = canonical::shared_prefix_lane(12, 3, 0);
+        let run = |cost: u64| -> SweepStats {
+            let net = SimNetwork::new(topo.clone(), 3);
+            let mut engine = SweepEngine::new(net, SRC);
+            let session = AppetiteSession {
+                destination: topo.destination(),
+                cost,
+                round: (1..=10)
+                    .map(|t| ProbeRequest::Udp(ProbeSpec::new(FlowId(1), t)))
+                    .collect(),
+                done: false,
+            };
+            engine.run_sessions_with(vec![session], |_, _, _| {});
+            *engine.stats()
+        };
+        // Cost 0 = "no estimate": the cap stays open, the whole round
+        // crosses in one dispatch.
+        let open = run(0);
+        assert_eq!(open.probes_sent, 10);
+        assert_eq!(open.max_batch, 10);
+        // A collapsed cost of 1 is re-read every cycle: the same round
+        // is sliced to one probe per dispatch.
+        let capped = run(1);
+        assert_eq!(capped.probes_sent, 10);
+        assert_eq!(capped.max_batch, 1);
+        assert!(capped.dispatch_cycles >= 10);
     }
 }

@@ -32,6 +32,10 @@
 //!   algorithms and the trace result type with topology conversion.
 //! * [`detect`] — per-packet load-balancer detection (an extension the
 //!   paper's model assumes away; Sec. 2.1 assumption 2).
+//! * [`stopset`] — Doubletree-style sweep-wide shared stop sets:
+//!   `(TTL, interface)` pairs confirmed by earlier sessions let later
+//!   sessions start mid-path, probe backward to a shared-stop hit, and
+//!   elide the redundant near-source prefix.
 //!
 //! # Quickstart
 //!
@@ -61,6 +65,7 @@ pub mod report;
 pub mod session;
 pub mod single_flow;
 pub mod stopping;
+pub mod stopset;
 pub mod trace;
 
 pub use config::TraceConfig;
@@ -77,6 +82,10 @@ pub use session::{
 };
 pub use single_flow::trace_single_flow;
 pub use stopping::StoppingPoints;
+pub use stopset::{
+    contribution_from_discovery, SharedStopSet, StopContribution, StopMeta, StopSeen,
+    StopSetConfig, StopSnapshot,
+};
 pub use trace::{Algorithm, PartialReason, SwitchReason, Trace, TraceOutcome};
 
 /// Convenient glob import for downstream users.
@@ -93,6 +102,7 @@ pub mod prelude {
     };
     pub use crate::single_flow::trace_single_flow;
     pub use crate::stopping::StoppingPoints;
+    pub use crate::stopset::{StopContribution, StopSetConfig, StopSnapshot};
     pub use crate::trace::{Algorithm, PartialReason, SwitchReason, Trace, TraceOutcome};
     pub use mlpt_wire::FlowId;
 }

@@ -54,6 +54,9 @@ pub struct TraceReport {
     pub reached_destination: bool,
     /// Total probes sent.
     pub probes_sent: u64,
+    /// Probes skipped thanks to shared-stop-set hits (0 outside
+    /// stop-set sweeps).
+    pub probes_elided: u64,
     /// MDA-Lite escalation, if any.
     pub switched: Option<SwitchReason>,
     /// Whether the probe budget was exhausted.
@@ -98,6 +101,7 @@ impl TraceReport {
             destination: trace.destination,
             reached_destination: trace.reached_destination,
             probes_sent: trace.probes_sent,
+            probes_elided: trace.probes_elided,
             switched: trace.switched,
             budget_exhausted: trace.budget_exhausted,
             outcome: trace.outcome,

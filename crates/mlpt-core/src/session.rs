@@ -46,9 +46,10 @@
 use crate::config::TraceConfig;
 use crate::discovery::{Discovery, FlowAllocator};
 use crate::prober::{DirectObservation, ProbeObservation, ProbeSpec, Prober};
+use crate::stopset::{contribution_from_discovery, StopContribution, StopSeen, StopSnapshot};
 use crate::trace::{Algorithm, PartialReason, SwitchReason, Trace, TraceOutcome};
 use mlpt_wire::FlowId;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// What a session wants next.
@@ -155,6 +156,36 @@ pub trait ProbeSession {
     fn abort(&mut self, reason: PartialReason) {
         let _ = reason;
     }
+
+    /// Hands the session the shared-stop-set snapshot its sweep
+    /// generation adopted ([`crate::stopset`]). Called once at
+    /// admission, before the first [`poll`](ProbeSession::poll).
+    /// Sessions without a stop-set-aware mode ignore it and probe
+    /// classically; the empty snapshot must leave behaviour
+    /// bit-identical to a sweep without a stop set.
+    fn adopt_stop_set(&mut self, snapshot: &StopSnapshot) {
+        let _ = snapshot;
+    }
+
+    /// The session's firsthand `(TTL, interface)` observations,
+    /// collected by the engine once the session finishes and committed
+    /// to the shared stop set in source order. `None` (the default)
+    /// opts the session out of contributing. Contributions must never
+    /// include observations adopted from a snapshot — only what the
+    /// session itself saw on the wire.
+    fn stop_contribution(&mut self) -> Option<StopContribution> {
+        None
+    }
+
+    /// Whether a timed-out `request` is still worth retrying. Stop-set
+    /// aware sessions answer `false` when the shared set meanwhile
+    /// confirmed what the probe would observe; the engine then elides
+    /// the retry and the session adopts the predicted responder when
+    /// the slot comes back unanswered.
+    fn should_retry(&self, request: &ProbeRequest) -> bool {
+        let _ = request;
+        true
+    }
 }
 
 /// Adapts any [`TraceSession`] to the [`ProbeSession`] contract: every
@@ -242,6 +273,21 @@ impl<S: TraceSession> ProbeSession for TraceProbeSession<S> {
     fn abort(&mut self, reason: PartialReason) {
         self.partial = Some(reason);
     }
+
+    fn adopt_stop_set(&mut self, snapshot: &StopSnapshot) {
+        self.inner.adopt_stop_set(snapshot);
+    }
+
+    fn stop_contribution(&mut self) -> Option<StopContribution> {
+        self.inner.stop_contribution()
+    }
+
+    fn should_retry(&self, request: &ProbeRequest) -> bool {
+        match request {
+            ProbeRequest::Udp(spec) => self.inner.should_retry(spec),
+            ProbeRequest::Echo { .. } => true,
+        }
+    }
 }
 
 /// Drives a [`ProbeSession`] to completion over a [`Prober`] — the
@@ -324,6 +370,26 @@ pub trait TraceSession {
     fn predicted_cost(&self) -> u64 {
         0
     }
+
+    /// Stop-set adoption (see [`ProbeSession::adopt_stop_set`]); the
+    /// adapter forwards it. Called before the first poll; the empty
+    /// snapshot must leave behaviour bit-identical to classic probing.
+    fn adopt_stop_set(&mut self, snapshot: &StopSnapshot) {
+        let _ = snapshot;
+    }
+
+    /// Firsthand observations for the shared stop set (see
+    /// [`ProbeSession::stop_contribution`]); the adapter forwards it.
+    fn stop_contribution(&mut self) -> Option<StopContribution> {
+        None
+    }
+
+    /// Retry-elision verdict for a timed-out `spec` (see
+    /// [`ProbeSession::should_retry`]); the adapter forwards it.
+    fn should_retry(&self, spec: &ProbeSpec) -> bool {
+        let _ = spec;
+        true
+    }
 }
 
 impl<S: TraceSession + ?Sized> TraceSession for Box<S> {
@@ -349,6 +415,18 @@ impl<S: TraceSession + ?Sized> TraceSession for Box<S> {
 
     fn predicted_cost(&self) -> u64 {
         (**self).predicted_cost()
+    }
+
+    fn adopt_stop_set(&mut self, snapshot: &StopSnapshot) {
+        (**self).adopt_stop_set(snapshot)
+    }
+
+    fn stop_contribution(&mut self) -> Option<StopContribution> {
+        (**self).stop_contribution()
+    }
+
+    fn should_retry(&self, spec: &ProbeSpec) -> bool {
+        (**self).should_retry(spec)
     }
 }
 
@@ -844,6 +922,7 @@ impl TraceSession for MdaSession {
             destination: self.core.destination,
             reached_destination: self.core.state.destination_ttl().is_some(),
             probes_sent,
+            probes_elided: 0,
             switched: None,
             budget_exhausted: self.core.exhausted(),
             outcome: TraceOutcome::Complete,
@@ -862,11 +941,26 @@ struct MeshState {
 }
 
 enum LitePhase {
+    /// Stop-set mode: descending one-probe scan from below the start
+    /// TTL, hunting the deepest hop the shared set already knows.
+    Scan {
+        /// TTL the scout probes next.
+        ttl: u8,
+    },
+    /// A scan probe is in flight.
+    ScanWait {
+        /// TTL the scout probed.
+        ttl: u8,
+    },
     HopStart,
     Uniform(UniformState),
     UniformWait(UniformState),
-    Edges { round: u8 },
-    EdgesWait { round: u8 },
+    Edges {
+        round: u8,
+    },
+    EdgesWait {
+        round: u8,
+    },
     MeshGather(MeshState),
     MeshGatherWait(MeshState),
     MeshTrace(MeshState),
@@ -876,15 +970,37 @@ enum LitePhase {
     Done,
 }
 
+/// Stop-set state of an [`MdaLiteSession`].
+struct LiteStops {
+    snap: StopSnapshot,
+    /// The single flow the descending scan probes with (`None` when the
+    /// adopted snapshot was empty and the session probes classically).
+    scout: Option<FlowId>,
+    probes_elided: u64,
+    stop_hits: u64,
+}
+
 /// MDA-Lite as a [`TraceSession`], including the switchover: on meshing
 /// or width asymmetry the embedded [`MdaMachine`] resumes over the
 /// accumulated evidence.
+///
+/// With an adopted non-empty stop set the session first runs a
+/// descending one-probe scan with a single scout flow from below the
+/// snapshot's start TTL: the first `(TTL, interface)` pair the set
+/// already knows short-circuits the shared prefix, and the classic
+/// hop-by-hop loop resumes just above the hit. The scan supplies only
+/// single-flow evidence, which MDA-Lite's diamond detection cannot rely
+/// on — so any meshing or asymmetry found later escalates, as always,
+/// to a full [`MdaMachine`] from TTL 1: the full-probing fallback that
+/// keeps stopping-rule soundness when the set cannot supply per-hop
+/// flow evidence.
 pub struct MdaLiteSession {
     core: SessionCore,
     ttl: u8,
     phase: LitePhase,
     switched: Option<SwitchReason>,
     finished: bool,
+    stops: Option<LiteStops>,
 }
 
 impl MdaLiteSession {
@@ -896,6 +1012,7 @@ impl MdaLiteSession {
             phase: LitePhase::HopStart,
             switched: None,
             finished: false,
+            stops: None,
         }
     }
 
@@ -975,6 +1092,27 @@ impl MdaLiteSession {
         loop {
             match std::mem::replace(&mut self.phase, LitePhase::Done) {
                 LitePhase::Done => return false,
+                LitePhase::Scan { ttl } => {
+                    let scout = self
+                        .stops
+                        .as_ref()
+                        .and_then(|s| s.scout)
+                        .expect("scan phase without a scout flow");
+                    let mut specs = self.core.specs_buffer();
+                    specs.push(ProbeSpec::new(scout, ttl));
+                    match self.core.emit(specs) {
+                        Emit::Yield => {
+                            self.phase = LitePhase::ScanWait { ttl };
+                            return true;
+                        }
+                        // Budget gone before the scan found anything:
+                        // fall back to classic probing from TTL 1.
+                        Emit::NoneSent { .. } => {
+                            self.ttl = 1;
+                            self.phase = LitePhase::HopStart;
+                        }
+                    }
+                }
                 LitePhase::HopStart => {
                     if self.ttl > self.core.config.max_ttl {
                         self.end_of_hops();
@@ -1115,7 +1253,8 @@ impl MdaLiteSession {
                     }
                     self.phase = LitePhase::Done;
                 }
-                LitePhase::UniformWait(_)
+                LitePhase::ScanWait { .. }
+                | LitePhase::UniformWait(_)
                 | LitePhase::EdgesWait { .. }
                 | LitePhase::MeshGatherWait(_)
                 | LitePhase::MeshTraceWait(_) => {
@@ -1154,6 +1293,37 @@ impl TraceSession for MdaLiteSession {
         self.core.absorb(results);
         let cut = self.core.round_cut;
         match std::mem::replace(&mut self.phase, LitePhase::Done) {
+            LitePhase::ScanWait { ttl } => {
+                let stops = self.stops.as_mut().expect("scan without stop state");
+                let scout = stops.scout.expect("scan without a scout flow");
+                let hit = self
+                    .core
+                    .state
+                    .flow_vertex(ttl, scout)
+                    .is_some_and(|v| stops.snap.contains(ttl, v));
+                if hit {
+                    // The set already knows this hop, so the prefix
+                    // below is reconstructable from it; the hop loop
+                    // resumes just above the hit. The scout's
+                    // observation stays in the evidence base and counts
+                    // towards the stopping rule like any other probe.
+                    stops.stop_hits += 1;
+                    stops.probes_elided += self
+                        .core
+                        .config
+                        .stopping
+                        .elision_estimate(u64::from(ttl - 1));
+                    self.ttl = ttl + 1;
+                    self.phase = LitePhase::HopStart;
+                } else if ttl <= 1 {
+                    // Scanned to the bottom without a hit: probe
+                    // classically from TTL 1 over the scout's evidence.
+                    self.ttl = 1;
+                    self.phase = LitePhase::HopStart;
+                } else {
+                    self.phase = LitePhase::Scan { ttl: ttl - 1 };
+                }
+            }
             LitePhase::UniformWait(uniform) => {
                 if cut {
                     self.after_uniform();
@@ -1202,12 +1372,51 @@ impl TraceSession for MdaLiteSession {
         self.core.config.probe_budget.saturating_sub(self.core.used)
     }
 
+    fn adopt_stop_set(&mut self, snapshot: &StopSnapshot) {
+        debug_assert!(
+            matches!(self.phase, LitePhase::HopStart) && self.ttl == 1 && !self.finished,
+            "stop sets are adopted before probing starts"
+        );
+        let start = snapshot.start_ttl().min(self.core.config.max_ttl);
+        let scout = if snapshot.is_empty() || start <= 1 {
+            // Generation 0 (or a degenerate start TTL): classic probing
+            // from TTL 1, no extra flow draw — bit-identical to a sweep
+            // without a stop set.
+            None
+        } else {
+            let scout = self.core.flows.fresh();
+            self.phase = LitePhase::Scan { ttl: start - 1 };
+            Some(scout)
+        };
+        self.stops = Some(LiteStops {
+            snap: snapshot.clone(),
+            scout,
+            probes_elided: 0,
+            stop_hits: 0,
+        });
+    }
+
+    fn stop_contribution(&mut self) -> Option<StopContribution> {
+        // Every record in the evidence base is firsthand: MDA-Lite never
+        // adopts foreign observations (scan hits only short-circuit
+        // probing, they never inject records).
+        let stops = self.stops.as_ref()?;
+        Some(contribution_from_discovery(
+            &self.core.state,
+            self.core.destination,
+            None,
+            stops.probes_elided,
+            stops.stop_hits,
+        ))
+    }
+
     fn take_trace(&mut self, probes_sent: u64) -> Trace {
         Trace {
             algorithm: Algorithm::MdaLite,
             destination: self.core.destination,
             reached_destination: self.core.state.destination_ttl().is_some(),
             probes_sent,
+            probes_elided: self.stops.as_ref().map_or(0, |s| s.probes_elided),
             switched: self.switched,
             budget_exhausted: self.core.exhausted(),
             outcome: TraceOutcome::Complete,
@@ -1274,8 +1483,40 @@ pub(crate) fn pair_is_asymmetric(state: &Discovery, ttl: u8) -> bool {
     uneven(&succ_counts) || uneven(&pred_counts)
 }
 
+/// Direction of the stop-set-aware single-flow probing legs.
+enum SfDir {
+    /// From the mid-path start TTL towards the destination.
+    Forward,
+    /// From below the start TTL towards the source, until a shared-stop
+    /// hit.
+    Backward,
+}
+
+/// Stop-set state of a [`SingleFlowSession`].
+struct SfStops {
+    snap: StopSnapshot,
+    start: u8,
+    dir: SfDir,
+    /// Firsthand observations (TTL → responder) — the honest basis of
+    /// the contribution; adopted responders never enter it.
+    seen: BTreeMap<u8, Ipv4Addr>,
+    /// Smallest TTL at which this session *itself* saw the destination.
+    seen_dest_ttl: Option<u8>,
+    probes_elided: u64,
+    stop_hits: u64,
+}
+
 /// Paris traceroute with one flow identifier as a [`TraceSession`]: one
 /// probe per TTL, stopping at the destination.
+///
+/// With an adopted stop set ([`TraceSession::adopt_stop_set`]) the
+/// session runs Doubletree-style: it starts at the snapshot's mid-path
+/// TTL, probes forward until the destination answers (or the set
+/// predicts the rest of the path from a same-destination contributor —
+/// the global stop), then probes backward towards the source until it
+/// observes an interface the set already knows (the local stop), eliding
+/// the shared near-source prefix. The empty snapshot leaves behaviour
+/// exactly classic.
 pub struct SingleFlowSession {
     destination: Ipv4Addr,
     config: TraceConfig,
@@ -1284,6 +1525,7 @@ pub struct SingleFlowSession {
     ttl: u8,
     round: Vec<ProbeSpec>,
     done: bool,
+    stops: Option<SfStops>,
 }
 
 impl SingleFlowSession {
@@ -1297,6 +1539,19 @@ impl SingleFlowSession {
             ttl: 1,
             round: Vec::new(),
             done: false,
+            stops: None,
+        }
+    }
+
+    /// Ends the forward leg: turns around below the start TTL (the
+    /// backward leg), or finishes when no prefix is owed.
+    fn end_forward(&mut self) {
+        match self.stops.as_mut() {
+            Some(stops) if matches!(stops.dir, SfDir::Forward) && stops.start > 1 => {
+                stops.dir = SfDir::Backward;
+                self.ttl = stops.start - 1;
+            }
+            _ => self.done = true,
         }
     }
 }
@@ -1310,8 +1565,12 @@ impl TraceSession for SingleFlowSession {
             return SessionState::Probing;
         }
         if self.ttl > self.config.max_ttl {
-            self.done = true;
-            return SessionState::Finished;
+            // The forward leg ran out of TTL horizon; in stop-set mode
+            // the backward leg below the start TTL is still owed.
+            self.end_forward();
+            if self.done {
+                return SessionState::Finished;
+            }
         }
         self.round.clear();
         self.round.push(ProbeSpec::new(self.flow, self.ttl));
@@ -1327,19 +1586,91 @@ impl TraceSession for SingleFlowSession {
         if self.round.is_empty() {
             return;
         }
-        for (spec, result) in self.round.iter().zip(results) {
-            if let Some(obs) = result {
-                self.state
-                    .record(spec.flow, spec.ttl, obs.responder, obs.at_destination);
+        let spec = self.round[0];
+        self.round.clear();
+        // What the probe observed: the delivered reply, or — for an
+        // unanswered slot — the responder the shared set predicts for
+        // this (destination, flow, TTL). Paris flow determinism (same
+        // destination + same flow ⇒ same path) makes the prediction
+        // sound, and it is what lets the engine elide the retry.
+        let (observed, firsthand) = match results.first().and_then(Option::as_ref) {
+            Some(obs) => (Some((obs.responder, obs.at_destination)), true),
+            None => (
+                self.stops.as_ref().and_then(|stops| {
+                    stops
+                        .snap
+                        .predicted_responder(spec.ttl, self.destination, self.flow)
+                        .map(|(iface, _)| (iface, iface == self.destination))
+                }),
+                false,
+            ),
+        };
+        if let Some((responder, at_destination)) = observed {
+            self.state
+                .record(spec.flow, spec.ttl, responder, at_destination);
+            if firsthand {
+                if let Some(stops) = self.stops.as_mut() {
+                    stops.seen.insert(spec.ttl, responder);
+                    if at_destination {
+                        stops.seen_dest_ttl = Some(match stops.seen_dest_ttl {
+                            Some(t) => t.min(spec.ttl),
+                            None => spec.ttl,
+                        });
+                    }
+                }
             }
         }
-        self.round.clear();
-        if results
-            .first()
-            .and_then(Option::as_ref)
-            .is_some_and(|obs| obs.at_destination)
-        {
-            self.done = true;
+        let backward = self
+            .stops
+            .as_ref()
+            .is_some_and(|s| matches!(s.dir, SfDir::Backward));
+        if backward {
+            // Backward leg: a shared-stop hit means the set already
+            // knows this interface at this TTL, so the prefix below is
+            // reconstructable and probing it again is pure redundancy.
+            let hit = observed.is_some_and(|(responder, _)| {
+                self.stops
+                    .as_ref()
+                    .is_some_and(|s| s.snap.contains(spec.ttl, responder))
+            });
+            let stops = self.stops.as_mut().expect("backward leg without stops");
+            if hit {
+                stops.stop_hits += 1;
+                // One probe per remaining TTL is exactly what the
+                // classic tracer would have spent below here.
+                stops.probes_elided += u64::from(spec.ttl - 1);
+                self.done = true;
+            } else if spec.ttl <= 1 {
+                self.done = true;
+            } else {
+                self.ttl = spec.ttl - 1;
+            }
+            return;
+        }
+        // Forward leg (or classic probing from TTL 1).
+        if observed.is_some_and(|(_, at_destination)| at_destination) {
+            self.end_forward();
+            return;
+        }
+        // Global stop: a same-destination same-flow contributor already
+        // traced this path to the destination — adopt its destination
+        // TTL and skip the probes between.
+        let global = observed.and_then(|(responder, _)| {
+            let stops = self.stops.as_ref()?;
+            let meta = stops.snap.get(spec.ttl, responder)?;
+            if meta.toward == self.destination && meta.flow == Some(self.flow) && meta.reached {
+                meta.dest_ttl.filter(|&dt| dt > spec.ttl)
+            } else {
+                None
+            }
+        });
+        if let Some(dest_ttl) = global {
+            self.state
+                .record(self.flow, dest_ttl, self.destination, true);
+            let stops = self.stops.as_mut().expect("global stop without stops");
+            stops.stop_hits += 1;
+            stops.probes_elided += u64::from(dest_ttl - spec.ttl);
+            self.end_forward();
         } else {
             self.ttl += 1;
         }
@@ -1354,12 +1685,70 @@ impl TraceSession for SingleFlowSession {
         u64::from(self.config.max_ttl.saturating_sub(self.ttl)) + 1
     }
 
+    fn adopt_stop_set(&mut self, snapshot: &StopSnapshot) {
+        debug_assert!(
+            self.round.is_empty() && self.ttl == 1 && !self.done,
+            "stop sets are adopted before probing starts"
+        );
+        let start = if snapshot.is_empty() {
+            // Generation 0: no evidence, probe exactly classically.
+            1
+        } else {
+            snapshot.start_ttl().clamp(1, self.config.max_ttl)
+        };
+        self.ttl = start;
+        self.stops = Some(SfStops {
+            snap: snapshot.clone(),
+            start,
+            dir: SfDir::Forward,
+            seen: BTreeMap::new(),
+            seen_dest_ttl: None,
+            probes_elided: 0,
+            stop_hits: 0,
+        });
+    }
+
+    fn stop_contribution(&mut self) -> Option<StopContribution> {
+        let stops = self.stops.as_ref()?;
+        let entries = stops
+            .seen
+            .iter()
+            .map(|(&ttl, &interface)| StopSeen {
+                ttl,
+                interface,
+                predecessor: ttl
+                    .checked_sub(1)
+                    .filter(|&p| p >= 1)
+                    .and_then(|p| stops.seen.get(&p).copied()),
+            })
+            .collect();
+        Some(StopContribution {
+            entries,
+            destination: Some(self.destination),
+            flow: Some(self.flow),
+            dest_ttl: stops.seen_dest_ttl,
+            reached: stops.seen_dest_ttl.is_some(),
+            probes_elided: stops.probes_elided,
+            stop_hits: stops.stop_hits,
+        })
+    }
+
+    fn should_retry(&self, spec: &ProbeSpec) -> bool {
+        self.stops.as_ref().is_none_or(|stops| {
+            stops
+                .snap
+                .predicted_responder(spec.ttl, self.destination, spec.flow)
+                .is_none()
+        })
+    }
+
     fn take_trace(&mut self, probes_sent: u64) -> Trace {
         Trace {
             algorithm: Algorithm::SingleFlow,
             destination: self.destination,
             reached_destination: self.state.destination_ttl().is_some(),
             probes_sent,
+            probes_elided: self.stops.as_ref().map_or(0, |s| s.probes_elided),
             switched: None,
             budget_exhausted: false,
             outcome: TraceOutcome::Complete,

@@ -134,6 +134,15 @@ impl StoppingPoints {
         &self.nks
     }
 
+    /// Lower bound on the probes a stop-set short-circuit saves when
+    /// `hops_skipped` hops go unprobed: each skipped hop would have cost
+    /// at least n₁ probes under this table (more if it branched, so the
+    /// estimate is conservative). Feeds the `probes_elided` accounting
+    /// of Doubletree-style sweeps.
+    pub fn elision_estimate(&self, hops_skipped: u64) -> u64 {
+        hops_skipped.saturating_mul(self.n(1))
+    }
+
     /// True if probing should stop: `probes` sent with `k` distinct
     /// successors seen has reached the stopping point. Saturates at the
     /// table end (stop immediately beyond the modelled branching).
@@ -216,6 +225,14 @@ mod tests {
     fn miss_probability_single_successor() {
         assert_eq!(StoppingPoints::miss_probability(1, 1), 0.0);
         assert_eq!(StoppingPoints::miss_probability(1, 0), 1.0);
+    }
+
+    #[test]
+    fn elision_estimate_is_n1_per_hop() {
+        let sp = StoppingPoints::mda95();
+        assert_eq!(sp.elision_estimate(0), 0);
+        assert_eq!(sp.elision_estimate(7), 7 * 6);
+        assert_eq!(StoppingPoints::veitch_table1().elision_estimate(3), 27);
     }
 
     #[test]

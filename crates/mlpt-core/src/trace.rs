@@ -97,6 +97,10 @@ pub struct Trace {
     pub reached_destination: bool,
     /// Total probe packets sent (the paper's cost metric).
     pub probes_sent: u64,
+    /// Probes the session skipped thanks to shared-stop-set hits
+    /// (Doubletree-style redundancy elimination; 0 outside stop-set
+    /// sweeps).
+    pub probes_elided: u64,
     /// For MDA-Lite: the switchover that occurred, if any.
     pub switched: Option<SwitchReason>,
     /// True if the run stopped because the probe budget was exhausted.
@@ -251,6 +255,7 @@ mod tests {
             destination: dst,
             reached_destination: true,
             probes_sent: 6,
+            probes_elided: 0,
             switched: None,
             budget_exhausted: false,
             outcome: TraceOutcome::Complete,
@@ -285,6 +290,7 @@ mod tests {
             destination: addr(9, 9),
             reached_destination: false,
             probes_sent: 1,
+            probes_elided: 0,
             switched: None,
             budget_exhausted: false,
             outcome: TraceOutcome::Complete,
@@ -308,6 +314,7 @@ mod tests {
             destination: dst,
             reached_destination: true,
             probes_sent: 3,
+            probes_elided: 0,
             switched: None,
             budget_exhausted: false,
             outcome: TraceOutcome::Complete,
@@ -336,6 +343,7 @@ mod tests {
             destination: dst,
             reached_destination: true,
             probes_sent: 5,
+            probes_elided: 0,
             switched: None,
             budget_exhausted: false,
             outcome: TraceOutcome::Complete,

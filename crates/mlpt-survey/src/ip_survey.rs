@@ -58,6 +58,11 @@ pub struct IpSurveyConfig {
     /// Stall watchdog: all-silent rounds before a session is finalized
     /// as partial (0 = off).
     pub sweep_stall_rounds: u32,
+    /// Shared Doubletree stop set per sweep chunk (`None` = off). The
+    /// synthetic Internet draws scenario topologies from disjoint
+    /// address blocks, so cross-destination hits are rare; the knob is
+    /// here for generators that share near-source infrastructure.
+    pub sweep_stop_set: Option<StopSetConfig>,
 }
 
 impl Default for IpSurveyConfig {
@@ -72,6 +77,7 @@ impl Default for IpSurveyConfig {
             sweep_in_flight: 256,
             sweep_retry: RetryPolicy::default(),
             sweep_stall_rounds: 0,
+            sweep_stop_set: None,
         }
     }
 }
@@ -287,6 +293,7 @@ pub fn run_ip_survey(internet: &SyntheticInternet, config: &IpSurveyConfig) -> I
                 admission: Admission::Streaming,
                 retry: config.sweep_retry,
                 stall_rounds: config.sweep_stall_rounds,
+                stop_set: config.sweep_stop_set,
                 ..SweepConfig::default()
             });
             let sessions = scenarios.iter().map(|scenario| {

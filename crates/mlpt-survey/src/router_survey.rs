@@ -217,6 +217,11 @@ pub struct RouterSurveyConfig {
     /// Stall watchdog: all-silent rounds before a session is finalized
     /// as partial (0 = off).
     pub sweep_stall_rounds: u32,
+    /// Shared Doubletree stop set for each sub-sweep's trace phases
+    /// (`None` = off). Sub-sweeps are address-disjoint by construction,
+    /// so this mainly exercises the mid-path start + backward probing
+    /// order; it never changes discovered topology (rule 5).
+    pub sweep_stop_set: Option<StopSetConfig>,
 }
 
 impl Default for RouterSurveyConfig {
@@ -234,6 +239,7 @@ impl Default for RouterSurveyConfig {
             hop_fanout: false,
             sweep_retry: RetryPolicy::default(),
             sweep_stall_rounds: 0,
+            sweep_stop_set: None,
         }
     }
 }
@@ -533,6 +539,7 @@ fn sweep_chunk(
             admission: config.admission,
             retry: config.sweep_retry,
             stall_rounds: config.sweep_stall_rounds,
+            stop_set: config.sweep_stop_set,
             ..SweepConfig::default()
         });
         let sessions = members.iter().map(|&i| {

@@ -152,6 +152,40 @@ pub fn meshed() -> MultipathTopology {
     b.build().expect("static topology")
 }
 
+/// One lane of a Doubletree sweep family (Donnet et al., "Efficient
+/// Route Tracing from a Single Source"): every lane shares a
+/// single-path near-source prefix of `prefix_len` hops — identical
+/// interface addresses at identical TTLs across the whole family —
+/// then diverges into a per-lane single-path suffix of `suffix_len`
+/// hops and a per-lane destination. Sweeping many lanes of one family
+/// is the canonical shared-stop-set workload: all cross-destination
+/// redundancy sits in the prefix, so probes per destination should
+/// fall towards `suffix_len + 2` as the sweep widens (the suffix, the
+/// destination, and one backward probe to the shared-stop hit).
+///
+/// Destinations are unique per lane; the shared prefix interfaces are
+/// only ever probed by TTL-limited UDP, which multi-lane simulators
+/// route by destination, so the address overlap is unambiguous.
+pub fn shared_prefix_lane(prefix_len: usize, suffix_len: usize, lane: usize) -> MultipathTopology {
+    assert!(prefix_len >= 1, "the shared prefix needs at least one hop");
+    assert!(
+        prefix_len + suffix_len < 256,
+        "hop count exceeds the 10.hop.x.y address scheme"
+    );
+    assert!(lane < 65_535, "lane index exceeds the address scheme");
+    let mut b = MultipathTopology::builder();
+    for h in 0..prefix_len {
+        b.add_hop([addr(h, 0)]);
+    }
+    for h in prefix_len..=prefix_len + suffix_len {
+        b.add_hop([addr(h, lane + 1)]);
+    }
+    for h in 0..prefix_len + suffix_len {
+        b.connect_unmeshed(h);
+    }
+    b.build().expect("static topology")
+}
+
 /// All four Sec. 2.4.1 simulation topologies with their paper names.
 pub fn simulation_suite() -> Vec<(&'static str, MultipathTopology)> {
     vec![

@@ -63,7 +63,10 @@ commands:
                destinations stream into the engine as in-flight tokens
                free up, so batches stay full to the end of the list
                --topology NAME   canonical topology replicated per
-                                 destination in disjoint address blocks
+                                 destination in disjoint address blocks;
+                                 the special name `shared-prefix` builds
+                                 a Doubletree family instead — all lanes
+                                 share one near-source prefix
                --destinations N  concurrent destinations (default 8)
                --stdin           read the destination list from stdin
                                  instead: one canonical topology name per
@@ -76,7 +79,17 @@ commands:
                                  off on loss/rate-limiting, per-lane fair
                --admission MODE  streaming (default) | eager (fixed
                                  table) | cost-aware (heaviest predicted
-                                 sessions first; identical results)
+                                 sessions first; identical results) |
+                                 cost-aware-windowed:K (same, over a
+                                 sliding K-session window for unbounded
+                                 --stdin streams)
+               --stop-set        share a sweep-wide Doubletree stop set:
+                                 later sessions start mid-path, probe
+                                 backward to a shared-stop hit and elide
+                                 the redundant near-source prefix
+               --start-ttl T     fixed mid-path start TTL for --stop-set
+                                 (default: adapt from committed
+                                 destination TTLs)
                --workers W       simulator worker threads (default 1)
                --cycle-gap T     virtual ticks between dispatch cycles
                                  (lets rate-limited routers refill;
@@ -119,7 +132,11 @@ commands:
                                  cost-aware (wide-hop destinations start
                                  first, ordered by predicted alias cost
                                  from the scenario topology; results are
-                                 identical, only the schedule changes)
+                                 identical, only the schedule changes) |
+                                 cost-aware-windowed:K (sliding window)
+               --stop-set        share a Doubletree stop set across the
+                                 trace phases of the sweep
+               --start-ttl T     fixed mid-path start TTL for --stop-set
                --fanout          run each destination's per-hop alias
                                  stages as one concurrent wave phase
                                  instead of hop after hop (deterministic
@@ -159,6 +176,8 @@ struct Options {
     budget: usize,
     adaptive: bool,
     admission: Admission,
+    stop_set: bool,
+    start_ttl: Option<u8>,
     stdin_list: bool,
     cycle_gap: u64,
     rate_limit: Option<(u32, u64)>,
@@ -197,6 +216,8 @@ fn parse_options(args: &[String]) -> Options {
         budget: 1024,
         adaptive: false,
         admission: Admission::Streaming,
+        stop_set: false,
+        start_ttl: None,
         stdin_list: false,
         cycle_gap: 0,
         rate_limit: None,
@@ -232,16 +253,17 @@ fn parse_options(args: &[String]) -> Options {
             "--rounds" => opts.rounds = need(i).parse().unwrap_or(10),
             "--destinations" => opts.destinations = need(i).parse().unwrap_or(8),
             "--budget" | "--max-in-flight" => opts.budget = need(i).parse().unwrap_or(1024),
-            "--admission" => {
-                opts.admission = match need(i).as_str() {
-                    "streaming" => Admission::Streaming,
-                    "eager" => Admission::Eager,
-                    "cost-aware" => Admission::CostAware,
-                    other => {
-                        eprintln!("unknown admission mode {other} (streaming|eager|cost-aware)");
-                        exit(2);
-                    }
-                }
+            "--admission" => opts.admission = parse_admission(need(i)),
+            "--stop-set" => {
+                opts.stop_set = true;
+                i += 1;
+                continue;
+            }
+            "--start-ttl" => {
+                opts.start_ttl = Some(need(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--start-ttl needs a TTL (1..=255)");
+                    exit(2);
+                }))
             }
             "--cycle-gap" => opts.cycle_gap = need(i).parse().unwrap_or(0),
             "--rate-limit" => {
@@ -302,12 +324,54 @@ fn parse_options(args: &[String]) -> Options {
     opts
 }
 
-fn admission_name(admission: Admission) -> &'static str {
-    match admission {
-        Admission::Streaming => "streaming",
-        Admission::Eager => "eager",
-        Admission::CostAware => "cost-aware",
+fn parse_admission(value: &str) -> Admission {
+    if let Some(window) = value.strip_prefix("cost-aware-windowed:") {
+        match window.parse::<usize>() {
+            Ok(k) if k > 0 => return Admission::CostAwareWindowed(k),
+            _ => {
+                eprintln!(
+                    "cost-aware-windowed needs a positive window, e.g. cost-aware-windowed:64"
+                );
+                exit(2);
+            }
+        }
     }
+    match value {
+        "streaming" => Admission::Streaming,
+        "eager" => Admission::Eager,
+        "cost-aware" => Admission::CostAware,
+        other => {
+            eprintln!(
+                "unknown admission mode {other} \
+                 (streaming|eager|cost-aware|cost-aware-windowed:K)"
+            );
+            exit(2);
+        }
+    }
+}
+
+fn admission_name(admission: Admission) -> String {
+    match admission {
+        Admission::Streaming => "streaming".into(),
+        Admission::Eager => "eager".into(),
+        Admission::CostAware => "cost-aware".into(),
+        Admission::CostAwareWindowed(window) => format!("cost-aware-windowed:{window}"),
+    }
+}
+
+/// Builds the sweep's shared-stop-set configuration from the CLI
+/// flags: `--stop-set` arms it, `--start-ttl` pins a fixed mid-path
+/// start TTL (otherwise the engine adapts it from committed
+/// destination TTLs).
+fn stop_set_config(stop_set: bool, start_ttl: Option<u8>) -> Option<StopSetConfig> {
+    stop_set.then(|| {
+        let mut cfg = StopSetConfig::default();
+        if let Some(ttl) = start_ttl {
+            cfg.start_ttl = ttl.max(1);
+            cfg.adaptive_start = false;
+        }
+        cfg
+    })
 }
 
 /// Resolves a canonical topology by CLI name.
@@ -372,6 +436,8 @@ fn cmd_topologies() {
     println!("  symmetric      1-5-10-5-1, uniform and unmeshed (Sec. 2.4.1)");
     println!("  asymmetric     width asymmetry 17; forces an MDA switch (Sec. 2.4.1)");
     println!("  meshed         five multi-vertex hops, 48 wide, meshed (Sec. 2.4.1)");
+    println!("  shared-prefix  sweep-only family: 20 common hops + a 4-hop private");
+    println!("                 suffix per destination (Doubletree stop-set workload)");
     println!("\nsynthetic scenarios: any index, e.g. `mlpt trace --scenario 7`");
 }
 
@@ -527,11 +593,20 @@ fn cmd_sweep(args: &[String]) {
     };
 
     // One lane per destination: the topology shifted into its own /8-ish
-    // block, simulated with its own seed, clock and RNG streams.
+    // block, simulated with its own seed, clock and RNG streams. The
+    // `shared-prefix` family is the exception: its lanes deliberately
+    // share a near-source prefix of interface addresses (the Doubletree
+    // stop-set workload), so it stays untranslated.
     let topologies: Vec<mlpt::topo::MultipathTopology> = names
         .iter()
         .enumerate()
-        .map(|(i, name)| canonical_topology(name).translated(0x0100_0000 * (i as u32 + 1)))
+        .map(|(i, name)| {
+            if name == "shared-prefix" {
+                canonical::shared_prefix_lane(20, 4, i)
+            } else {
+                canonical_topology(name).translated(0x0100_0000 * (i as u32 + 1))
+            }
+        })
         .collect();
     let lanes: Vec<SimNetwork> = topologies
         .iter()
@@ -568,6 +643,7 @@ fn cmd_sweep(args: &[String]) {
         // stall watchdog so that lane degrades to a partial trace
         // instead of burning its whole retry budget into the dark.
         stall_rounds: if opts.fault_schedule.is_some() { 8 } else { 0 },
+        stop_set: stop_set_config(opts.stop_set, opts.start_ttl),
         ..SweepConfig::default()
     });
     let algo = opts.algo.clone();
@@ -637,8 +713,11 @@ fn cmd_sweep(args: &[String]) {
                 "final_in_flight_budget": stats.final_in_flight_budget,
                 "probes_timed_out": stats.probes_timed_out,
                 "retries_exhausted": stats.retries_exhausted,
+                "retries_elided": stats.retries_elided,
                 "sessions_partial": stats.sessions_partial,
                 "max_lane_backoff_depth": stats.max_lane_backoff_depth,
+                "probes_elided": stats.probes_elided,
+                "stop_set_hits": stats.stop_set_hits,
             },
         });
         println!(
@@ -714,6 +793,12 @@ fn cmd_sweep(args: &[String]) {
         stats.sessions_partial,
         stats.max_lane_backoff_depth,
     );
+    if opts.stop_set {
+        println!(
+            "stop set: {} probes elided, {} stop-set hits, {} retries elided",
+            stats.probes_elided, stats.stop_set_hits, stats.retries_elided,
+        );
+    }
     if opts.adaptive {
         println!(
             "adaptive budget: {} global backoffs, {} lane backoffs, final budget {}",
@@ -742,6 +827,8 @@ fn cmd_alias(args: &[String]) {
     let mut budget = 1024usize;
     let mut adaptive = false;
     let mut admission = Admission::Streaming;
+    let mut stop_set = false;
+    let mut start_ttl: Option<u8> = None;
     let mut fanout = false;
     let mut rate_limit: Option<(u32, u64)> = None;
     let mut fault_schedule: Option<FaultSchedule> = None;
@@ -783,16 +870,17 @@ fn cmd_alias(args: &[String]) {
                 i += 1;
                 continue;
             }
-            "--admission" => {
-                admission = match need(i).as_str() {
-                    "streaming" => Admission::Streaming,
-                    "eager" => Admission::Eager,
-                    "cost-aware" => Admission::CostAware,
-                    other => {
-                        eprintln!("unknown admission mode {other} (streaming|eager|cost-aware)");
-                        exit(2);
-                    }
-                }
+            "--admission" => admission = parse_admission(need(i)),
+            "--stop-set" => {
+                stop_set = true;
+                i += 1;
+                continue;
+            }
+            "--start-ttl" => {
+                start_ttl = Some(need(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--start-ttl needs a TTL (1..=255)");
+                    exit(2);
+                }))
             }
             "--fanout" => {
                 fanout = true;
@@ -940,6 +1028,7 @@ fn cmd_alias(args: &[String]) {
                 ..RetryPolicy::default()
             },
             stall_rounds: if fault_schedule.is_some() { 8 } else { 0 },
+            stop_set: stop_set_config(stop_set, start_ttl),
             ..SweepConfig::default()
         });
         let sessions = group.iter().map(|&i| {
@@ -1029,8 +1118,11 @@ fn cmd_alias(args: &[String]) {
                 "final_in_flight_budget": stats.final_in_flight_budget,
                 "probes_timed_out": stats.probes_timed_out,
                 "retries_exhausted": stats.retries_exhausted,
+                "retries_elided": stats.retries_elided,
                 "sessions_partial": stats.sessions_partial,
                 "max_lane_backoff_depth": stats.max_lane_backoff_depth,
+                "probes_elided": stats.probes_elided,
+                "stop_set_hits": stats.stop_set_hits,
             },
         });
         println!(
@@ -1114,6 +1206,12 @@ fn cmd_alias(args: &[String]) {
         stats.sessions_partial,
         stats.max_lane_backoff_depth,
     );
+    if stop_set {
+        println!(
+            "stop set: {} probes elided, {} stop-set hits, {} retries elided",
+            stats.probes_elided, stats.stop_set_hits, stats.retries_elided,
+        );
+    }
     if adaptive {
         println!(
             "adaptive budget: {} global backoffs, {} lane backoffs, final budget {}",

@@ -388,3 +388,339 @@ proptest! {
         prop_assert_eq!(eager_stats.sessions_partial, cost_stats.sessions_partial);
     }
 }
+
+// ---------------------------------------------------------------------
+// Shared stop sets (Doubletree): cross-destination redundancy
+// elimination must be pure *protocol* — the union topology a sweep
+// discovers (probed hops plus the prefix reconstructable from the
+// shared set) is exactly what probing every destination in full would
+// have found, bit-identical across every admission mode, and
+// replayable from the seeds.
+// ---------------------------------------------------------------------
+
+use mlpt::core::engine::SweepStats;
+use mlpt::core::StopSnapshot;
+use mlpt::topo::graph::addr;
+
+/// The per-destination path as `(TTL, interface)` pairs, canonically
+/// ordered (discovery order within a hop is presentation, not topology).
+fn path_of(trace: &Trace) -> Vec<(u8, Ipv4Addr)> {
+    let mut pairs: Vec<(u8, Ipv4Addr)> = (1..=trace.discovery.max_observed_ttl())
+        .flat_map(|ttl| {
+            trace
+                .discovery
+                .vertices_at(ttl)
+                .iter()
+                .map(move |v| (ttl, *v))
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// The classic path a stop-set trace testifies to: its probed hops plus
+/// the elided prefix reconstructed from the final shared set.
+fn reconstructed_path(trace: &Trace, snapshot: &StopSnapshot) -> Vec<(u8, Ipv4Addr)> {
+    let probed = path_of(trace);
+    let Some(&(first_ttl, first_iface)) = probed.first() else {
+        return probed;
+    };
+    let mut full: Vec<(u8, Ipv4Addr)> = snapshot
+        .reconstruct_prefix(first_ttl, first_iface)
+        .into_iter()
+        .chain(probed)
+        .collect();
+    full.sort_unstable();
+    full.dedup();
+    full
+}
+
+/// Runs a Doubletree-family sweep: one session per lane in lane order,
+/// over per-lane networks built by `net_of`.
+fn stop_sweep(
+    topologies: &[MultipathTopology],
+    net_of: &dyn Fn(usize) -> SimNetwork,
+    trace_seed_of: &dyn Fn(usize) -> u64,
+    algo: u8,
+    admission: Admission,
+    max_in_flight: usize,
+    stop_set: Option<StopSetConfig>,
+) -> (Vec<Trace>, SweepStats, Option<StopSnapshot>) {
+    let net = MultiNetwork::new((0..topologies.len()).map(net_of).collect())
+        .expect("per-lane destinations are unique");
+    let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+        max_in_flight,
+        admission,
+        stop_set,
+        ..SweepConfig::default()
+    });
+    let sessions: Vec<Box<dyn TraceSession>> = topologies
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let config = TraceConfig::new(trace_seed_of(i));
+            match algo % 2 {
+                0 => Box::new(SingleFlowSession::new(t.destination(), config, FlowId(7)))
+                    as Box<dyn TraceSession>,
+                _ => Box::new(MdaLiteSession::new(t.destination(), config)),
+            }
+        })
+        .collect();
+    let traces = engine.run_stream(sessions);
+    (traces, *engine.stats(), engine.stop_snapshot().cloned())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A stop-set sweep over a shared-prefix family discovers the same
+    /// union topology as the sequential-shaped baseline (each
+    /// destination's prefix is reconstructable from the shared set),
+    /// stays bit-identical across all four admission modes, and
+    /// replays exactly from the seeds. For the single-flow tracer the
+    /// probe ledger is exact: sent + elided equals the classic sweep's
+    /// wire count.
+    #[test]
+    fn stop_set_sweep_preserves_union_topology(
+        prefix_len in 4usize..16,
+        suffix_len in 0usize..4,
+        lane_count in 2usize..10,
+        commit_width in 1usize..6,
+        algo in 0u8..2,
+        fixed_start_raw in 0u8..12,
+        budget_kind in 0u8..3,
+        window in 1usize..5,
+        base_seed in any::<u64>(),
+    ) {
+        let topologies: Vec<MultipathTopology> = (0..lane_count)
+            .map(|i| canonical::shared_prefix_lane(prefix_len, suffix_len, i))
+            .collect();
+        let net_of = |i: usize| -> SimNetwork {
+            SimNetwork::new(
+                topologies[i].clone(),
+                base_seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+            )
+        };
+        let trace_seed_of = |i: usize| base_seed ^ ((i as u64) << 7);
+        let max_in_flight = match budget_kind % 3 {
+            0 => 3usize,
+            1 => 64,
+            _ => 2048,
+        };
+        // Raw values below 2 mean "adaptive start"; the rest pin the
+        // start TTL (possibly past the prefix, exercising backward
+        // probing through unshared suffix hops).
+        let fixed_start = (fixed_start_raw >= 2).then_some(fixed_start_raw);
+        let stop_cfg = StopSetConfig {
+            commit_width,
+            adaptive_start: fixed_start.is_none(),
+            start_ttl: fixed_start.unwrap_or(8),
+        };
+
+        let (classic, classic_stats, no_snap) = stop_sweep(
+            &topologies, &net_of, &trace_seed_of, algo,
+            Admission::Streaming, max_in_flight, None,
+        );
+        prop_assert!(no_snap.is_none());
+
+        let (stopped, stats, snap) = stop_sweep(
+            &topologies, &net_of, &trace_seed_of, algo,
+            Admission::Streaming, max_in_flight, Some(stop_cfg),
+        );
+        let snap = snap.expect("stop-set run publishes a snapshot");
+
+        // Determinism rule 5: stop-set contents are protocol state, so
+        // every admission mode replays the identical sweep.
+        for admission in [
+            Admission::Eager,
+            Admission::CostAware,
+            Admission::CostAwareWindowed(window),
+            Admission::Streaming, // the replay-from-seed case
+        ] {
+            let (again, again_stats, again_snap) = stop_sweep(
+                &topologies, &net_of, &trace_seed_of, algo,
+                admission, max_in_flight, Some(stop_cfg),
+            );
+            prop_assert_eq!(&again, &stopped, "admission {:?} diverged", admission);
+            prop_assert_eq!(again_stats.probes_sent, stats.probes_sent);
+            prop_assert_eq!(again_stats.probes_elided, stats.probes_elided);
+            prop_assert_eq!(again_stats.stop_set_hits, stats.stop_set_hits);
+            let again_snap = again_snap.expect("snapshot present");
+            prop_assert_eq!(again_snap.len(), snap.len());
+            prop_assert_eq!(again_snap.start_ttl(), snap.start_ttl());
+        }
+
+        // Union-topology equivalence: probed hops + reconstructed
+        // prefix per destination equal the classic per-destination path.
+        for (classic_trace, stopped_trace) in classic.iter().zip(&stopped) {
+            prop_assert!(stopped_trace.reached_destination);
+            prop_assert_eq!(
+                reconstructed_path(stopped_trace, &snap),
+                path_of(classic_trace),
+                "destination {} lost or gained topology under the stop set",
+                classic_trace.destination
+            );
+        }
+
+        // The single-flow probe ledger is exact on a lossless network.
+        if algo % 2 == 0 {
+            prop_assert_eq!(
+                stats.probes_sent + stats.probes_elided,
+                classic_stats.probes_sent
+            );
+            if lane_count > commit_width {
+                prop_assert!(stats.stop_set_hits > 0, "later generations must stop early");
+            }
+        }
+    }
+
+    /// Fault injection: a lane blackholed from some TTL onward (its
+    /// session never reaches the destination) cannot poison the shared
+    /// set — every clean lane still reconstructs exactly the path it
+    /// would have probed in full, because contributions only ever carry
+    /// firsthand observations.
+    #[test]
+    fn blackholed_lane_cannot_poison_stop_set(
+        prefix_len in 6usize..16,
+        lane_count in 3usize..8,
+        blackhole_ttl in 2u8..8,
+        commit_width in 1usize..3,
+        base_seed in any::<u64>(),
+    ) {
+        let topologies: Vec<MultipathTopology> = (0..lane_count)
+            .map(|i| canonical::shared_prefix_lane(prefix_len, 2, i))
+            .collect();
+        let net_of = |i: usize| -> SimNetwork {
+            let mut builder = SimNetwork::builder(topologies[i].clone())
+                .seed(base_seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
+            if i == 0 {
+                builder = builder.fault_schedule(FaultSchedule::constant(
+                    FaultSpec::none().with_blackhole(blackhole_ttl),
+                ));
+            }
+            builder.build()
+        };
+        let trace_seed_of = |i: usize| base_seed ^ ((i as u64) << 9);
+        let stop_cfg = StopSetConfig { commit_width, ..StopSetConfig::default() };
+
+        let (classic, _, _) = stop_sweep(
+            &topologies, &net_of, &trace_seed_of, 0,
+            Admission::Streaming, 64, None,
+        );
+        let (stopped, stats, snap) = stop_sweep(
+            &topologies, &net_of, &trace_seed_of, 0,
+            Admission::Streaming, 64, Some(stop_cfg),
+        );
+        let snap = snap.expect("snapshot present");
+
+        // The blackholed lane fails the same way with or without the
+        // set: probes from `blackhole_ttl` on go dark.
+        prop_assert!(!stopped[0].reached_destination);
+        // Every clean lane still reaches and still testifies to its
+        // full classic path.
+        for (i, (classic_trace, stopped_trace)) in
+            classic.iter().zip(&stopped).enumerate().skip(1)
+        {
+            prop_assert!(stopped_trace.reached_destination, "clean lane {i} must finish");
+            prop_assert_eq!(
+                reconstructed_path(stopped_trace, &snap),
+                path_of(classic_trace),
+                "clean lane {} was poisoned by the blackholed contributor",
+                i
+            );
+        }
+        // Honesty invariant: the stop-set sweep may know *less* than the
+        // classic union (the blackholed lane reaches fewer hops), never
+        // more — no observation exists that a classic trace wouldn't see.
+        let legit: std::collections::BTreeSet<(u8, Ipv4Addr)> =
+            classic.iter().flat_map(path_of).collect();
+        for (ttl, iface) in stopped.iter().flat_map(path_of) {
+            prop_assert!(
+                legit.contains(&(ttl, iface)),
+                "stop-set sweep observed ({ttl}, {iface}) that no classic trace saw"
+            );
+        }
+        // Retry accounting still partitions exactly under faults.
+        prop_assert_eq!(
+            stats.probes_timed_out
+                + stats.replies_delivered
+                + stats.malformed_replies
+                + stats.mismatched_replies,
+            stats.probes_sent
+        );
+    }
+}
+
+/// MDA-Lite diamond soundness under the stop set, on a fixed seed: a
+/// load-balanced diamond in the *suffix* (past the shared prefix) must
+/// be discovered with full per-hop flow evidence even by sessions that
+/// short-circuit the prefix — the stopping rule falls back to real
+/// probing wherever the set cannot supply flow-level evidence.
+#[test]
+fn stop_set_keeps_mda_lite_diamonds_sound() {
+    let prefix_len = 12usize;
+    let lane = |i: usize| -> MultipathTopology {
+        let mut b = MultipathTopology::builder();
+        for h in 0..prefix_len {
+            b.add_hop([addr(h, 0)]);
+        }
+        // A two-wide diamond unique to this lane, then the destination.
+        b.add_hop([
+            addr(prefix_len, 1000 + 2 * i),
+            addr(prefix_len, 1001 + 2 * i),
+        ]);
+        b.add_hop([addr(prefix_len + 1, i + 1)]);
+        for h in 0..prefix_len - 1 {
+            b.connect_unmeshed(h);
+        }
+        b.connect_full(prefix_len - 1);
+        b.connect_full(prefix_len);
+        b.build().expect("static topology")
+    };
+    let topologies: Vec<MultipathTopology> = (0..8).map(lane).collect();
+    let net_of = |i: usize| SimNetwork::new(topologies[i].clone(), 41 + i as u64);
+    let trace_seed_of = |i: usize| 7 + i as u64;
+    let (classic, _, _) = stop_sweep(
+        &topologies,
+        &net_of,
+        &trace_seed_of,
+        1,
+        Admission::Streaming,
+        64,
+        None,
+    );
+    let (stopped, stats, snap) = stop_sweep(
+        &topologies,
+        &net_of,
+        &trace_seed_of,
+        1,
+        Admission::Streaming,
+        64,
+        Some(StopSetConfig {
+            commit_width: 2,
+            ..StopSetConfig::default()
+        }),
+    );
+    let snap = snap.expect("snapshot present");
+    for (i, (classic_trace, stopped_trace)) in classic.iter().zip(&stopped).enumerate() {
+        assert!(stopped_trace.reached_destination);
+        // Both diamond interfaces observed, with the same evidence a
+        // full trace gathers (the diamond is past every stop hit, so
+        // its discovery must be entirely firsthand).
+        let diamond_ttl = (prefix_len + 1) as u8;
+        let mut stopped_diamond = stopped_trace.discovery.vertices_at(diamond_ttl).to_vec();
+        let mut classic_diamond = classic_trace.discovery.vertices_at(diamond_ttl).to_vec();
+        stopped_diamond.sort_unstable();
+        classic_diamond.sort_unstable();
+        assert_eq!(
+            stopped_diamond, classic_diamond,
+            "lane {i} lost diamond interfaces under the stop set"
+        );
+        assert_eq!(
+            reconstructed_path(stopped_trace, &snap),
+            path_of(classic_trace),
+            "lane {i} path diverged"
+        );
+    }
+    assert!(stats.probes_elided > 0, "the shared prefix must be elided");
+}
