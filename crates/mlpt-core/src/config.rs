@@ -1,5 +1,6 @@
 //! Shared trace configuration.
 
+use crate::artifact::ReprobeBudget;
 use crate::stopping::StoppingPoints;
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +24,10 @@ pub struct TraceConfig {
     pub phi: u32,
     /// Seed for the trace's own randomness (flow ID draws).
     pub seed: u64,
+    /// Route-change audit budget. `Some` arms the post-stopping-rule
+    /// audit/recovery protocol ([`crate::artifact::RouteAudit`]); `None`
+    /// (the default) keeps the classic trust-the-evidence behaviour.
+    pub reprobe: Option<ReprobeBudget>,
 }
 
 impl TraceConfig {
@@ -35,7 +40,14 @@ impl TraceConfig {
             node_control_attempts: 50_000,
             phi: 2,
             seed,
+            reprobe: None,
         }
+    }
+
+    /// Arms the route-change audit with `budget`.
+    pub fn with_reprobe(mut self, budget: ReprobeBudget) -> Self {
+        self.reprobe = Some(budget);
+        self
     }
 
     /// Replaces the stopping points.

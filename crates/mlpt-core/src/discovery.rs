@@ -104,6 +104,75 @@ impl Discovery {
         }
     }
 
+    /// Route-change recovery: wipes every committed fact at or beyond
+    /// `ttl` — vertices, flow bindings, probe accounting and (if it fell
+    /// in the wiped suffix) the destination TTL — so the stopping rules
+    /// see the suffix as virgin territory and re-probe it from scratch.
+    /// `used_flows` survives: the flow allocator must never re-issue an
+    /// identifier just because its evidence was invalidated. Returns the
+    /// wiped `(ttl, vertex)` pairs in hop/discovery order, for
+    /// vanished-branch accounting.
+    pub fn invalidate_from(&mut self, ttl: u8) -> Vec<(u8, Ipv4Addr)> {
+        assert!(ttl >= 1);
+        let h = usize::from(ttl - 1);
+        let mut wiped = Vec::new();
+        for (idx, order) in self.hop_order.iter().enumerate().skip(h) {
+            for &vertex in order {
+                wiped.push(((idx + 1) as u8, vertex));
+            }
+        }
+        for idx in h..self.hops.len() {
+            self.hops[idx].clear();
+            self.hop_order[idx].clear();
+            self.probes_per_hop[idx] = 0;
+        }
+        for path in self.flow_paths.values_mut() {
+            let _ = path.split_off(&ttl);
+        }
+        self.flow_paths.retain(|_, path| !path.is_empty());
+        self.probed_at.retain(|&t, _| t < ttl);
+        self.invalidate_destination_ttl(ttl);
+        wiped
+    }
+
+    /// Removes one committed `(flow, ttl)` binding, dropping the vertex
+    /// entirely if no other flow witnesses it. Returns the interface the
+    /// binding pointed at. Used to repair stale stop-set adoptions in
+    /// place without invalidating the whole suffix.
+    pub fn remove_record(&mut self, flow: FlowId, ttl: u8) -> Option<Ipv4Addr> {
+        let h = usize::from(ttl.saturating_sub(1));
+        let addr = self
+            .flow_paths
+            .get_mut(&flow)
+            .and_then(|p| p.remove(&ttl))?;
+        self.flow_paths.retain(|_, path| !path.is_empty());
+        if let Some(map) = self.hops.get_mut(h) {
+            if let Some(flows) = map.get_mut(&addr) {
+                flows.remove(&flow);
+                if flows.is_empty() {
+                    map.remove(&addr);
+                    if let Some(order) = self.hop_order.get_mut(h) {
+                        order.retain(|&v| v != addr);
+                    }
+                }
+            }
+        }
+        Some(addr)
+    }
+
+    /// Forgets the destination TTL if it lies at or beyond `ttl` (the
+    /// evidence that placed it there was invalidated).
+    pub fn invalidate_destination_ttl(&mut self, ttl: u8) {
+        if self.destination_ttl.is_some_and(|t| t >= ttl) {
+            self.destination_ttl = None;
+        }
+    }
+
+    /// True if `addr` is currently recorded as a vertex at any hop.
+    pub fn has_vertex(&self, addr: Ipv4Addr) -> bool {
+        self.hops.iter().any(|m| m.contains_key(&addr))
+    }
+
     /// Number of hops with any recorded state.
     pub fn num_hops(&self) -> usize {
         self.hops.len()
@@ -290,14 +359,21 @@ impl FlowAllocator {
     /// Panics if the 16-bit flow space is exhausted (65 536 flows —
     /// far beyond any trace's needs; a trace that hungry is a bug).
     pub fn fresh(&mut self) -> FlowId {
-        assert!(
-            self.handed_out.len() < usize::from(u16::MAX),
-            "flow space exhausted"
-        );
+        self.try_fresh().expect("flow space exhausted")
+    }
+
+    /// Draws a fresh flow ID, or `None` once the 16-bit flow space is
+    /// exhausted. Sessions whose flow hunts can run long (node control
+    /// against a route that keeps changing) use this to give up on the
+    /// hunt honestly instead of panicking mid-sweep.
+    pub fn try_fresh(&mut self) -> Option<FlowId> {
+        if self.handed_out.len() >= usize::from(u16::MAX) {
+            return None;
+        }
         loop {
             let candidate = FlowId(self.rng.gen());
             if self.handed_out.insert(candidate) {
-                return candidate;
+                return Some(candidate);
             }
         }
     }
@@ -389,6 +465,50 @@ mod tests {
         for _ in 0..1000 {
             assert_ne!(a.fresh(), f);
         }
+    }
+
+    #[test]
+    fn invalidate_from_wipes_the_suffix_only() {
+        let mut d = Discovery::new();
+        for ttl in 1..=4u8 {
+            d.note_probe_sent(FlowId(1), ttl);
+            d.record(FlowId(1), ttl, addr(ttl.into(), 0), ttl == 4);
+        }
+        d.note_probe_sent(FlowId(2), 3);
+        d.record(FlowId(2), 3, addr(3, 1), false);
+        let wiped = d.invalidate_from(3);
+        assert_eq!(
+            wiped,
+            vec![(3, addr(3, 0)), (3, addr(3, 1)), (4, addr(4, 0))]
+        );
+        // The prefix survives intact.
+        assert_eq!(d.flow_vertex(2, FlowId(1)), Some(addr(2, 0)));
+        assert_eq!(d.probes_at(2), 1);
+        assert!(d.flow_probed_at(2, FlowId(1)));
+        // The suffix is virgin again: no vertices, no probe accounting,
+        // no probed-flow memory, no destination TTL.
+        assert!(d.vertices_at(3).is_empty());
+        assert!(d.vertices_at(4).is_empty());
+        assert_eq!(d.probes_at(3), 0);
+        assert!(!d.flow_probed_at(3, FlowId(1)));
+        assert_eq!(d.destination_ttl(), None);
+        assert_eq!(d.max_observed_ttl(), 2);
+        // The flow allocator's exclusion set survives invalidation.
+        assert!(d.used_flows().contains(&FlowId(2)));
+    }
+
+    #[test]
+    fn remove_record_drops_unwitnessed_vertices() {
+        let mut d = Discovery::new();
+        d.record(FlowId(1), 2, addr(1, 0), false);
+        d.record(FlowId(2), 2, addr(1, 0), false);
+        assert_eq!(d.remove_record(FlowId(1), 2), Some(addr(1, 0)));
+        // Another flow still witnesses the vertex: it survives.
+        assert_eq!(d.vertices_at(2), &[addr(1, 0)]);
+        assert_eq!(d.remove_record(FlowId(2), 2), Some(addr(1, 0)));
+        assert!(d.vertices_at(2).is_empty());
+        assert!(!d.has_vertex(addr(1, 0)));
+        assert_eq!(d.remove_record(FlowId(2), 2), None);
     }
 
     #[test]

@@ -355,10 +355,11 @@ pub struct SweepStats {
     /// wave resolved: the retry budget ran out and the session was
     /// handed an honest `None` for each.
     pub retries_exhausted: u64,
-    /// Sessions the stall watchdog aborted
-    /// ([`SweepConfig::stall_rounds`]); each reports a
-    /// [`TraceOutcome::Partial`](crate::trace::TraceOutcome::Partial)
-    /// result instead of hanging the sweep.
+    /// Sessions whose result carried a
+    /// [`TraceOutcome::Partial`](crate::trace::TraceOutcome::Partial):
+    /// watchdog aborts ([`SweepConfig::stall_rounds`]) plus sessions
+    /// that finalized honestly after exhausting a route-change recovery
+    /// budget. Each session counts once, whichever verdict fires first.
     pub sessions_partial: u64,
     /// Deepest per-lane deadline-backoff exponent reached by any lane
     /// (consecutive lossy retry waves; see the module docs).
@@ -379,6 +380,28 @@ pub struct SweepStats {
     /// `(TTL, interface)` pair is redundant, so the probe resolves as
     /// an elision instead of burning a retry.
     pub retries_elided: u64,
+    /// Route-change artifacts detected by session audits (flow/hop
+    /// mismatches, TTL loops and vanished branches per the Viger et al.
+    /// taxonomy), summed from [`crate::artifact::RouteHealth`].
+    pub artifacts_detected: u64,
+    /// Bounded suffix re-traces the audits triggered: each one
+    /// invalidated the contradicted suffix and re-entered discovery
+    /// rounds from the contradicted hop.
+    pub route_recoveries: u64,
+    /// Audit probes charged to [`crate::artifact::ReprobeBudget`]s
+    /// (a subset of `probes_sent`; audits share the wire accounting).
+    pub reprobes_sent: u64,
+    /// Sessions whose recovery budget ran out mid-route-change: they
+    /// finalized honestly as
+    /// [`PartialReason::RouteChanged`](crate::trace::PartialReason::RouteChanged).
+    pub route_changed_partials: u64,
+    /// Adopted stop-set predictions contradicted by later firsthand
+    /// replies. Each one was repaired in place (the firsthand record
+    /// replaced the adopted one) and never reached a final trace.
+    pub stop_set_stale_hits: u64,
+    /// Stop-set entries evicted because a contributing session's
+    /// firsthand evidence contradicted or invalidated them.
+    pub stop_set_evictions: u64,
 }
 
 impl SweepStats {
@@ -422,6 +445,12 @@ impl SweepStats {
             probes_elided,
             stop_set_hits,
             retries_elided,
+            artifacts_detected,
+            route_recoveries,
+            reprobes_sent,
+            route_changed_partials,
+            stop_set_stale_hits,
+            stop_set_evictions,
         } = *other;
         self.dispatch_cycles += dispatch_cycles;
         self.probes_sent += probes_sent;
@@ -444,6 +473,12 @@ impl SweepStats {
         self.probes_elided += probes_elided;
         self.stop_set_hits += stop_set_hits;
         self.retries_elided += retries_elided;
+        self.artifacts_detected += artifacts_detected;
+        self.route_recoveries += route_recoveries;
+        self.reprobes_sent += reprobes_sent;
+        self.route_changed_partials += route_changed_partials;
+        self.stop_set_stale_hits += stop_set_stale_hits;
+        self.stop_set_evictions += stop_set_evictions;
     }
 }
 
@@ -910,7 +945,12 @@ impl<T: SplitTransport> SweepEngine<T> {
         self.run_sessions_with(adapted, |index, mut session, probes_sent| {
             let outcome = session.outcome();
             let mut trace = session.inner_mut().take_trace(probes_sent);
-            trace.outcome = outcome;
+            // The engine-side verdict (watchdog aborts) wins over a
+            // clean session outcome, but a session that already declared
+            // itself partial (e.g. `RouteChanged`) keeps its own verdict.
+            if outcome.is_partial() {
+                trace.outcome = outcome;
+            }
             sink(index, trace);
         });
     }
@@ -1010,6 +1050,7 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
         while let Some(mut slot) = self.slots.pop() {
             self.live_dests.remove(&u32::from(slot.destination));
             self.eng.stats.sessions_completed += 1;
+            self.collect_route_health(&slot);
             self.harvest_contribution(&mut slot);
             sink(slot.out_index, slot.session, slot.probes_sent);
         }
@@ -1026,6 +1067,27 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
     /// Whether this run's deferred store orders freed sessions by cost.
     fn cost_aware(&self) -> bool {
         self.eng.config.admission.is_cost_aware()
+    }
+
+    /// Folds a finishing session's route-audit health into the sweep
+    /// counters. No-op for sessions that never armed an audit.
+    fn collect_route_health(&mut self, slot: &SessionSlot<S>) {
+        let Some(health) = slot.session.route_health() else {
+            return;
+        };
+        let stats = &mut self.eng.stats;
+        stats.artifacts_detected += health.artifacts();
+        stats.route_recoveries += u64::from(health.recoveries);
+        stats.reprobes_sent += health.reprobes_sent;
+        stats.stop_set_stale_hits += health.stale_stop_hits;
+        if health.route_changed_partial {
+            stats.route_changed_partials += 1;
+            // The watchdog already counted sessions it aborted; only
+            // self-declared partials add to the partial-session total.
+            if slot.partial.is_none() {
+                stats.sessions_partial += 1;
+            }
+        }
     }
 
     /// Collects a finished session's firsthand stop-set contribution
@@ -1067,9 +1129,11 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
         stops
             .staged_contribs
             .sort_unstable_by_key(|&(index, _)| index);
+        let evictions_before = stops.set.evictions();
         for (index, contribution) in std::mem::take(&mut stops.staged_contribs) {
             stops.set.commit(index, &contribution);
         }
+        self.eng.stats.stop_set_evictions += stops.set.evictions() - evictions_before;
         stops.snapshot = stops.set.snapshot(&stops.cfg);
         stops.open_gen = stops.pulled.div_ceil(width);
     }
@@ -1169,6 +1233,7 @@ impl<T: SplitTransport, S: ProbeSession> SweepRun<'_, T, S> {
                 // (if any) towards admission.
                 self.deferred.on_destination_freed(dest, cost_aware);
                 self.eng.stats.sessions_completed += 1;
+                self.collect_route_health(&slot);
                 self.harvest_contribution(&mut slot);
                 sink(slot.out_index, slot.session, slot.probes_sent);
                 Pumped::Finished

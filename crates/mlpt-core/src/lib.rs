@@ -36,6 +36,9 @@
 //!   `(TTL, interface)` pairs confirmed by earlier sessions let later
 //!   sessions start mid-path, probe backward to a shared-stop hit, and
 //!   elide the redundant near-source prefix.
+//! * [`artifact`] — route-change artifact detection (Viger et al.
+//!   taxonomy) and the bounded audit/recovery protocol sessions run
+//!   after their stopping rule fires, under a [`ReprobeBudget`].
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,7 @@
 //! assert_eq!(trace.vertices_at(2).len(), 4); // the four load-balanced interfaces
 //! ```
 
+pub mod artifact;
 pub mod config;
 pub mod detect;
 pub mod discovery;
@@ -68,6 +72,7 @@ pub mod stopping;
 pub mod stopset;
 pub mod trace;
 
+pub use artifact::{ArtifactKind, AuditVerdict, ReprobeBudget, RouteAudit, RouteHealth};
 pub use config::TraceConfig;
 pub use discovery::{Discovery, FlowAllocator};
 pub use engine::{AdaptiveBudget, Admission, EngineError, SweepConfig, SweepEngine, SweepStats};
@@ -90,6 +95,7 @@ pub use trace::{Algorithm, PartialReason, SwitchReason, Trace, TraceOutcome};
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
+    pub use crate::artifact::{ReprobeBudget, RouteHealth};
     pub use crate::config::TraceConfig;
     pub use crate::engine::{AdaptiveBudget, Admission, SweepConfig, SweepEngine};
     pub use crate::mda::trace_mda;

@@ -43,6 +43,7 @@
 //! [`trace_mda_lite`]: crate::mda_lite::trace_mda_lite
 //! [`trace_single_flow`]: crate::single_flow::trace_single_flow
 
+use crate::artifact::{AuditVerdict, RouteAudit, RouteHealth};
 use crate::config::TraceConfig;
 use crate::discovery::{Discovery, FlowAllocator};
 use crate::prober::{DirectObservation, ProbeObservation, ProbeSpec, Prober};
@@ -186,6 +187,13 @@ pub trait ProbeSession {
         let _ = request;
         true
     }
+
+    /// Route-change health counters, collected by the engine when the
+    /// session finalizes. `None` (the default) means the session ran no
+    /// route-change audit.
+    fn route_health(&self) -> Option<RouteHealth> {
+        None
+    }
 }
 
 /// Adapts any [`TraceSession`] to the [`ProbeSession`] contract: every
@@ -287,6 +295,10 @@ impl<S: TraceSession> ProbeSession for TraceProbeSession<S> {
             ProbeRequest::Udp(spec) => self.inner.should_retry(spec),
             ProbeRequest::Echo { .. } => true,
         }
+    }
+
+    fn route_health(&self) -> Option<RouteHealth> {
+        self.inner.route_health()
     }
 }
 
@@ -390,6 +402,12 @@ pub trait TraceSession {
         let _ = spec;
         true
     }
+
+    /// Route-change health counters (see [`ProbeSession::route_health`]);
+    /// the adapter forwards it.
+    fn route_health(&self) -> Option<RouteHealth> {
+        None
+    }
 }
 
 impl<S: TraceSession + ?Sized> TraceSession for Box<S> {
@@ -427,6 +445,10 @@ impl<S: TraceSession + ?Sized> TraceSession for Box<S> {
 
     fn should_retry(&self, spec: &ProbeSpec) -> bool {
         (**self).should_retry(spec)
+    }
+
+    fn route_health(&self) -> Option<RouteHealth> {
+        (**self).route_health()
     }
 }
 
@@ -591,8 +613,19 @@ impl UniformState {
                     break;
                 }
             }
-            let flow = reused.unwrap_or_else(|| core.flows.fresh());
+            let flow = match reused {
+                Some(f) => f,
+                // Flow space exhausted: probe with what we have (an
+                // empty round reads as the rule having fired).
+                None => match core.flows.try_fresh() {
+                    Some(f) => f,
+                    None => break,
+                },
+            };
             specs.push(ProbeSpec::new(flow, ttl));
+        }
+        if specs.is_empty() {
+            return None;
         }
         Some(specs)
     }
@@ -662,8 +695,16 @@ struct MdaMachine {
 
 impl MdaMachine {
     fn new() -> Self {
+        Self::at(1)
+    }
+
+    /// A machine entering the hop loop at `ttl` — the full restart
+    /// (`ttl == 1`) and route-change recovery (`ttl ==` the first
+    /// invalidated hop) are the same state, since `HopStart` re-derives
+    /// everything from the evidence base.
+    fn at(ttl: u8) -> Self {
         Self {
-            ttl: 1,
+            ttl: ttl.max(1),
             phase: MdaPhase::HopStart,
         }
     }
@@ -784,8 +825,12 @@ impl MdaMachine {
                         }
                         // The blocking hunt draws the flow before the
                         // budget check — preserved for identical
-                        // allocator streams.
-                        let flow = core.flows.fresh();
+                        // allocator streams. A dry flow space ends the
+                        // hunt like attempts exhaustion would.
+                        let Some(flow) = core.flows.try_fresh() else {
+                            parents.finish_parent();
+                            continue;
+                        };
                         let mut specs = core.specs_buffer();
                         specs.push(ProbeSpec::new(flow, self.ttl - 1));
                         match core.emit(specs) {
@@ -863,17 +908,22 @@ pub struct MdaSession {
     core: SessionCore,
     machine: MdaMachine,
     finished: bool,
+    audit: Option<RouteAudit>,
+    auditing: bool,
 }
 
 impl MdaSession {
     /// Creates a session tracing towards `destination`.
     pub fn new(destination: Ipv4Addr, config: TraceConfig) -> Self {
+        let audit = config.reprobe.map(RouteAudit::new);
         let mut core = SessionCore::new(destination, config);
         core.reserve_used_flows();
         Self {
             core,
             machine: MdaMachine::new(),
             finished: false,
+            audit,
+            auditing: false,
         }
     }
 }
@@ -887,11 +937,21 @@ impl TraceSession for MdaSession {
             return SessionState::Probing;
         }
         if self.machine.advance(&mut self.core) {
-            SessionState::Probing
-        } else {
-            self.finished = true;
-            SessionState::Finished
+            return SessionState::Probing;
         }
+        // The stopping rule fired: audit the committed evidence before
+        // trusting it (audit probes are bounded separately and never
+        // charged to the stopping rule's per-hop accounting).
+        if let Some(audit) = self.audit.as_mut() {
+            if let Some(specs) = audit.start(&self.core.state) {
+                self.core.round = specs;
+                self.auditing = true;
+                return SessionState::Probing;
+            }
+            audit.finalize(&self.core.state);
+        }
+        self.finished = true;
+        SessionState::Finished
     }
 
     fn next_rounds(&self) -> &[ProbeSpec] {
@@ -900,6 +960,23 @@ impl TraceSession for MdaSession {
 
     fn on_replies(&mut self, results: &[Option<ProbeObservation>]) {
         if self.core.round.is_empty() {
+            return;
+        }
+        if self.auditing {
+            self.auditing = false;
+            let round = std::mem::take(&mut self.core.round);
+            let audit = self.audit.as_mut().expect("auditing without an audit");
+            let verdict = audit.absorb(
+                &round,
+                results,
+                &mut self.core.state,
+                self.core.destination,
+                &BTreeMap::new(),
+            );
+            self.core.recycle(round);
+            if let AuditVerdict::Recover { at_ttl } = verdict {
+                self.machine = MdaMachine::at(at_ttl);
+            }
             return;
         }
         self.core.absorb(results);
@@ -916,6 +993,10 @@ impl TraceSession for MdaSession {
         self.core.config.probe_budget.saturating_sub(self.core.used)
     }
 
+    fn route_health(&self) -> Option<RouteHealth> {
+        self.audit.as_ref().map(RouteAudit::health)
+    }
+
     fn take_trace(&mut self, probes_sent: u64) -> Trace {
         Trace {
             algorithm: Algorithm::Mda,
@@ -925,9 +1006,18 @@ impl TraceSession for MdaSession {
             probes_elided: 0,
             switched: None,
             budget_exhausted: self.core.exhausted(),
-            outcome: TraceOutcome::Complete,
+            outcome: audit_outcome(self.audit.as_ref()),
             discovery: std::mem::take(&mut self.core.state),
         }
+    }
+}
+
+/// The trace outcome a session's audit dictates: `Partial { RouteChanged }`
+/// on recovery exhaustion, `Complete` otherwise (including no audit).
+fn audit_outcome(audit: Option<&RouteAudit>) -> TraceOutcome {
+    match audit.and_then(RouteAudit::partial) {
+        Some(reason) => TraceOutcome::Partial { reason },
+        None => TraceOutcome::Complete,
     }
 }
 
@@ -1001,11 +1091,14 @@ pub struct MdaLiteSession {
     switched: Option<SwitchReason>,
     finished: bool,
     stops: Option<LiteStops>,
+    audit: Option<RouteAudit>,
+    auditing: bool,
 }
 
 impl MdaLiteSession {
     /// Creates a session tracing towards `destination`.
     pub fn new(destination: Ipv4Addr, config: TraceConfig) -> Self {
+        let audit = config.reprobe.map(RouteAudit::new);
         Self {
             core: SessionCore::new(destination, config),
             ttl: 1,
@@ -1013,6 +1106,8 @@ impl MdaLiteSession {
             switched: None,
             finished: false,
             stops: None,
+            audit,
+            auditing: false,
         }
     }
 
@@ -1185,9 +1280,17 @@ impl MdaLiteSession {
                     mesh.attempts += round;
                     let from_ttl = mesh.from_ttl;
                     let mut specs = self.core.specs_buffer();
-                    specs.extend(
-                        (0..round).map(|_| ProbeSpec::new(self.core.flows.fresh(), from_ttl)),
-                    );
+                    for _ in 0..round {
+                        // A dry flow space truncates the gather round.
+                        let Some(flow) = self.core.flows.try_fresh() else {
+                            break;
+                        };
+                        specs.push(ProbeSpec::new(flow, from_ttl));
+                    }
+                    if specs.is_empty() {
+                        self.phase = LitePhase::MeshTrace(mesh);
+                        continue;
+                    }
                     match self.core.emit(specs) {
                         Emit::Yield => {
                             self.phase = LitePhase::MeshGatherWait(mesh);
@@ -1275,11 +1378,20 @@ impl TraceSession for MdaLiteSession {
             return SessionState::Probing;
         }
         if self.advance() {
-            SessionState::Probing
-        } else {
-            self.finished = true;
-            SessionState::Finished
+            return SessionState::Probing;
         }
+        // Stopping rules (or the escalated MDA) are done: audit the
+        // committed evidence before trusting it.
+        if let Some(audit) = self.audit.as_mut() {
+            if let Some(specs) = audit.start(&self.core.state) {
+                self.core.round = specs;
+                self.auditing = true;
+                return SessionState::Probing;
+            }
+            audit.finalize(&self.core.state);
+        }
+        self.finished = true;
+        SessionState::Finished
     }
 
     fn next_rounds(&self) -> &[ProbeSpec] {
@@ -1288,6 +1400,32 @@ impl TraceSession for MdaLiteSession {
 
     fn on_replies(&mut self, results: &[Option<ProbeObservation>]) {
         if self.core.round.is_empty() {
+            return;
+        }
+        if self.auditing {
+            self.auditing = false;
+            let round = std::mem::take(&mut self.core.round);
+            let audit = self.audit.as_mut().expect("auditing without an audit");
+            let verdict = audit.absorb(
+                &round,
+                results,
+                &mut self.core.state,
+                self.core.destination,
+                &BTreeMap::new(),
+            );
+            self.core.recycle(round);
+            if let AuditVerdict::Recover { at_ttl } = verdict {
+                if self.switched.is_some() {
+                    // The trace ended escalated: recovery re-enters the
+                    // full MDA at the invalidated hop (Lite's hop loop
+                    // must not resume over switched evidence).
+                    self.core.reserve_used_flows();
+                    self.phase = LitePhase::Escalate(MdaMachine::at(at_ttl));
+                } else {
+                    self.ttl = at_ttl;
+                    self.phase = LitePhase::HopStart;
+                }
+            }
             return;
         }
         self.core.absorb(results);
@@ -1401,13 +1539,21 @@ impl TraceSession for MdaLiteSession {
         // adopts foreign observations (scan hits only short-circuit
         // probing, they never inject records).
         let stops = self.stops.as_ref()?;
-        Some(contribution_from_discovery(
+        let mut contribution = contribution_from_discovery(
             &self.core.state,
             self.core.destination,
             None,
             stops.probes_elided,
             stops.stop_hits,
-        ))
+        );
+        if let Some(audit) = self.audit.as_ref() {
+            contribution.evict.extend_from_slice(audit.evictions());
+        }
+        Some(contribution)
+    }
+
+    fn route_health(&self) -> Option<RouteHealth> {
+        self.audit.as_ref().map(RouteAudit::health)
     }
 
     fn take_trace(&mut self, probes_sent: u64) -> Trace {
@@ -1419,7 +1565,7 @@ impl TraceSession for MdaLiteSession {
             probes_elided: self.stops.as_ref().map_or(0, |s| s.probes_elided),
             switched: self.switched,
             budget_exhausted: self.core.exhausted(),
-            outcome: TraceOutcome::Complete,
+            outcome: audit_outcome(self.audit.as_ref()),
             discovery: std::mem::take(&mut self.core.state),
         }
     }
@@ -1526,11 +1672,15 @@ pub struct SingleFlowSession {
     round: Vec<ProbeSpec>,
     done: bool,
     stops: Option<SfStops>,
+    audit: Option<RouteAudit>,
+    auditing: bool,
+    finished: bool,
 }
 
 impl SingleFlowSession {
     /// Creates a session tracing towards `destination` with `flow`.
     pub fn new(destination: Ipv4Addr, config: TraceConfig, flow: FlowId) -> Self {
+        let audit = config.reprobe.map(RouteAudit::new);
         Self {
             destination,
             config,
@@ -1540,6 +1690,9 @@ impl SingleFlowSession {
             round: Vec::new(),
             done: false,
             stops: None,
+            audit,
+            auditing: false,
+            finished: false,
         }
     }
 
@@ -1554,23 +1707,53 @@ impl SingleFlowSession {
             _ => self.done = true,
         }
     }
+
+    /// TTL → interface for every committed record that did *not* come
+    /// from a firsthand reply — i.e. responders adopted from stop-set
+    /// predictions. This is the audit's stale-versus-route-change
+    /// discriminator.
+    fn adopted_map(&self) -> BTreeMap<u8, Ipv4Addr> {
+        let mut adopted = BTreeMap::new();
+        let Some(stops) = self.stops.as_ref() else {
+            return adopted;
+        };
+        for ttl in 1..=self.state.max_observed_ttl() {
+            if let Some(vertex) = self.state.flow_vertex(ttl, self.flow) {
+                if stops.seen.get(&ttl) != Some(&vertex) {
+                    adopted.insert(ttl, vertex);
+                }
+            }
+        }
+        adopted
+    }
 }
 
 impl TraceSession for SingleFlowSession {
     fn poll(&mut self) -> SessionState {
-        if self.done {
+        if self.finished {
             return SessionState::Finished;
         }
         if !self.round.is_empty() {
             return SessionState::Probing;
         }
-        if self.ttl > self.config.max_ttl {
+        if !self.done && self.ttl > self.config.max_ttl {
             // The forward leg ran out of TTL horizon; in stop-set mode
             // the backward leg below the start TTL is still owed.
             self.end_forward();
-            if self.done {
-                return SessionState::Finished;
+        }
+        if self.done {
+            // Both legs are done: audit the committed evidence before
+            // trusting it.
+            if let Some(audit) = self.audit.as_mut() {
+                if let Some(specs) = audit.start(&self.state) {
+                    self.round = specs;
+                    self.auditing = true;
+                    return SessionState::Probing;
+                }
+                audit.finalize(&self.state);
             }
+            self.finished = true;
+            return SessionState::Finished;
         }
         self.round.clear();
         self.round.push(ProbeSpec::new(self.flow, self.ttl));
@@ -1584,6 +1767,61 @@ impl TraceSession for SingleFlowSession {
 
     fn on_replies(&mut self, results: &[Option<ProbeObservation>]) {
         if self.round.is_empty() {
+            return;
+        }
+        if self.auditing {
+            self.auditing = false;
+            let round = std::mem::take(&mut self.round);
+            let adopted = self.adopted_map();
+            let audit = self.audit.as_mut().expect("auditing without an audit");
+            let verdict =
+                audit.absorb(&round, results, &mut self.state, self.destination, &adopted);
+            let invalidated = match verdict {
+                AuditVerdict::Recover { at_ttl } => {
+                    // Re-trace the invalidated suffix forward from the
+                    // contradicted hop; the backward leg's surviving
+                    // prefix is not owed again (start clamps to 1).
+                    self.done = false;
+                    self.ttl = at_ttl;
+                    if let Some(stops) = self.stops.as_mut() {
+                        stops.dir = SfDir::Forward;
+                        stops.start = 1;
+                    }
+                    Some(at_ttl)
+                }
+                AuditVerdict::Exhausted { at_ttl } => Some(at_ttl),
+                AuditVerdict::Clean => None,
+            };
+            if let Some(at_ttl) = invalidated {
+                // Firsthand observations at and beyond the contradicted
+                // hop describe the pre-change world: they leave the
+                // contribution too.
+                if let Some(stops) = self.stops.as_mut() {
+                    let _ = stops.seen.split_off(&at_ttl);
+                    if stops.seen_dest_ttl.is_some_and(|t| t >= at_ttl) {
+                        stops.seen_dest_ttl = None;
+                    }
+                }
+            }
+            // Audit replies are firsthand evidence: every observation the
+            // surviving state agrees with (matches, repaired stale
+            // adoptions, the fresh post-change record at the contradicted
+            // hop) joins the contribution basis.
+            if let Some(stops) = self.stops.as_mut() {
+                for (spec, result) in round.iter().zip(results) {
+                    let Some(obs) = result.as_ref() else { continue };
+                    if self.state.flow_vertex(spec.ttl, spec.flow) != Some(obs.responder) {
+                        continue;
+                    }
+                    stops.seen.insert(spec.ttl, obs.responder);
+                    if obs.at_destination {
+                        stops.seen_dest_ttl = Some(match stops.seen_dest_ttl {
+                            Some(t) => t.min(spec.ttl),
+                            None => spec.ttl,
+                        });
+                    }
+                }
+            }
             return;
         }
         let spec = self.round[0];
@@ -1730,7 +1968,16 @@ impl TraceSession for SingleFlowSession {
             reached: stops.seen_dest_ttl.is_some(),
             probes_elided: stops.probes_elided,
             stop_hits: stops.stop_hits,
+            evict: self
+                .audit
+                .as_ref()
+                .map(|audit| audit.evictions().to_vec())
+                .unwrap_or_default(),
         })
+    }
+
+    fn route_health(&self) -> Option<RouteHealth> {
+        self.audit.as_ref().map(RouteAudit::health)
     }
 
     fn should_retry(&self, spec: &ProbeSpec) -> bool {
@@ -1751,7 +1998,7 @@ impl TraceSession for SingleFlowSession {
             probes_elided: self.stops.as_ref().map_or(0, |s| s.probes_elided),
             switched: None,
             budget_exhausted: false,
-            outcome: TraceOutcome::Complete,
+            outcome: audit_outcome(self.audit.as_ref()),
             discovery: std::mem::take(&mut self.state),
         }
     }

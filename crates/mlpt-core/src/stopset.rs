@@ -129,6 +129,11 @@ pub struct StopContribution {
     pub probes_elided: u64,
     /// Stop-set membership hits that short-circuited probing.
     pub stop_hits: u64,
+    /// `(TTL, interface)` pairs this session contradicted with firsthand
+    /// evidence (stale predictions, vanished branches): the shared set
+    /// must drop them so a flapped prefix cannot keep serving stale
+    /// predictions. Processed *before* this contribution's insertions.
+    pub evict: Vec<(u8, Ipv4Addr)>,
 }
 
 /// The immutable stop-set view one generation's sessions adopt.
@@ -220,6 +225,7 @@ impl StopSnapshot {
 pub struct SharedStopSet {
     entries: BTreeMap<(u8, u32), StopMeta>,
     dest_ttls: Vec<u8>,
+    evictions: u64,
 }
 
 impl SharedStopSet {
@@ -243,6 +249,14 @@ impl SharedStopSet {
     /// within each generation; the first writer of a key wins, so that
     /// order is what makes the merged contents deterministic.
     pub fn commit(&mut self, contributor: usize, contribution: &StopContribution) {
+        // Firsthand contradictions first: an evicted key freed here may
+        // legitimately be re-claimed by this same contribution's fresh
+        // post-change evidence below.
+        for &(ttl, interface) in &contribution.evict {
+            if self.entries.remove(&(ttl, u32::from(interface))).is_some() {
+                self.evictions += 1;
+            }
+        }
         for seen in &contribution.entries {
             self.entries
                 .entry((seen.ttl, u32::from(seen.interface)))
@@ -260,6 +274,11 @@ impl SharedStopSet {
                 self.dest_ttls.push(dt);
             }
         }
+    }
+
+    /// Total committed entries dropped by contribution evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Builds the immutable snapshot the next generation adopts,
@@ -323,6 +342,7 @@ pub fn contribution_from_discovery(
         reached: dest_ttl.is_some(),
         probes_elided,
         stop_hits,
+        evict: Vec::new(),
     }
 }
 
@@ -349,6 +369,7 @@ mod tests {
             reached: true,
             probes_elided: 0,
             stop_hits: 0,
+            evict: Vec::new(),
         }
     }
 
@@ -438,6 +459,34 @@ mod tests {
             vec![(1, addr(1, 0)), (2, addr(2, 0)), (3, addr(3, 0))]
         );
         assert!(snap.reconstruct_prefix(3, addr(5, 5)).is_empty());
+    }
+
+    #[test]
+    fn evictions_drop_contradicted_entries_before_insertions() {
+        let dest_a = addr(9, 1);
+        let dest_b = addr(9, 2);
+        let stale = addr(2, 0);
+        let fresh = addr(2, 7);
+        let mut set = SharedStopSet::new();
+        set.commit(
+            0,
+            &contribution(dest_a, &[addr(1, 0), stale], Some(FlowId(1))),
+        );
+        assert!(set.snapshot(&StopSetConfig::default()).contains(2, stale));
+        // A later source contradicts (2, stale) firsthand and re-claims
+        // the TTL with its post-change observation.
+        let mut c = contribution(dest_b, &[addr(1, 0), fresh], Some(FlowId(2)));
+        c.evict.push((2, stale));
+        set.commit(1, &c);
+        assert_eq!(set.evictions(), 1);
+        let snap = set.snapshot(&StopSetConfig::default());
+        assert!(!snap.contains(2, stale), "stale entry must be gone");
+        assert!(snap.contains(2, fresh), "fresh evidence takes the slot");
+        // Evicting a key nobody holds is a no-op, not a count.
+        let mut noop = contribution(dest_b, &[addr(1, 0), fresh], None);
+        noop.evict.push((5, addr(5, 5)));
+        set.commit(2, &noop);
+        assert_eq!(set.evictions(), 1);
     }
 
     #[test]

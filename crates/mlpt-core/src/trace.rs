@@ -47,6 +47,14 @@ pub enum PartialReason {
         /// Consecutive all-silent rounds observed before finalizing.
         silent_rounds: u32,
     },
+    /// The route-change audit confirmed a contradiction of committed
+    /// evidence but the `ReprobeBudget`'s recovery allowance was spent:
+    /// the trace is honest about everything up to `at_ttl` and makes no
+    /// claim beyond it.
+    RouteChanged {
+        /// First TTL whose committed evidence was contradicted.
+        at_ttl: u8,
+    },
 }
 
 impl std::fmt::Display for PartialReason {
@@ -54,6 +62,9 @@ impl std::fmt::Display for PartialReason {
         match self {
             PartialReason::Stalled { silent_rounds } => {
                 write!(f, "stalled for {silent_rounds} silent rounds")
+            }
+            PartialReason::RouteChanged { at_ttl } => {
+                write!(f, "route changed at ttl {at_ttl}, recovery budget spent")
             }
         }
     }

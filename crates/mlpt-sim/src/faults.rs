@@ -115,6 +115,12 @@ pub struct FaultSpec {
     /// `latency_ticks <= timeout`; the synchronous prober (which cannot
     /// express deadlines) still sees the reply, just later-stamped.
     pub latency_ticks: u64,
+    /// Seeded per-probe latency spread: each reply's delivery time gains
+    /// a uniform draw from `0..=jitter_ticks` on top of `latency_ticks`.
+    /// Zero (the default) means perfectly flat latency — and draws
+    /// nothing from the jitter stream, so jitter-free schedules stay
+    /// bit-identical to builds that predate the knob.
+    pub jitter_ticks: u64,
     /// Blackhole threshold: probes addressed to hops at or beyond this
     /// TTL silently vanish (no reply, ever). `Some(1)` darkens the whole
     /// path; `Some(k)` models a failure after hop `k - 1`.
@@ -145,12 +151,20 @@ impl FaultSpec {
         self
     }
 
+    /// Spec with a per-probe latency spread of `0..=ticks` added on top
+    /// of the fixed reply latency.
+    pub fn with_jitter(mut self, ticks: u64) -> Self {
+        self.jitter_ticks = ticks;
+        self
+    }
+
     /// True if this spec can suppress or delay packets at all.
     pub fn is_lossy(&self) -> bool {
         self.probe_loss > 0.0
             || self.reply_loss > 0.0
             || self.icmp_bucket_capacity.is_some()
             || self.latency_ticks > 0
+            || self.jitter_ticks > 0
             || self.blackhole_min_ttl.is_some()
     }
 }
@@ -167,6 +181,7 @@ impl From<FaultPlan> for FaultSpec {
             probe_loss: plan.probe_loss,
             reply_loss: plan.reply_loss,
             latency_ticks: 0,
+            jitter_ticks: 0,
             blackhole_min_ttl: None,
             icmp_bucket_capacity: plan.icmp_bucket_capacity,
             icmp_tokens_per_tick: plan.icmp_tokens_per_tick,
@@ -242,6 +257,7 @@ impl FaultSchedule {
             "flap",
             "congestion-ramp",
             "rate-limit-burst",
+            "jitter-spread",
         ]
     }
 
@@ -256,6 +272,10 @@ impl FaultSchedule {
     ///   three steps, the queue-buildup profile.
     /// * `rate-limit-burst` — routers clamp to a tight ICMP token
     ///   bucket between ticks 16 and 96, then recover.
+    /// * `jitter-spread` — from tick 32 every reply gains a seeded
+    ///   uniform 0..=12-tick spread on top of a 1-tick base latency,
+    ///   then settles at tick 96: the bufferbloat profile where some
+    ///   replies straggle past their deadline and some squeak in.
     pub fn preset(name: &str) -> Option<Self> {
         let schedule = match name {
             "midtrace-blackhole" => {
@@ -284,6 +304,9 @@ impl FaultSchedule {
                 ),
             "rate-limit-burst" => FaultSchedule::none()
                 .step(16, FaultPlan::with_rate_limit(2, 0.05).into())
+                .step(96, FaultSpec::none()),
+            "jitter-spread" => FaultSchedule::none()
+                .step(32, FaultSpec::none().with_latency(1).with_jitter(12))
                 .step(96, FaultSpec::none()),
             _ => return None,
         };
@@ -340,6 +363,18 @@ impl FaultState {
     /// True if the blackhole swallows a probe addressed to hop `ttl`.
     pub fn blackholed(&self, spec: &FaultSpec, ttl: u8) -> bool {
         spec.blackhole_min_ttl.is_some_and(|min| ttl >= min)
+    }
+
+    /// Samples one reply's delivery latency: the fixed base plus a
+    /// uniform jitter draw. A jitter-free spec consumes nothing from
+    /// `rng`, so schedules without jitter keep their historical RNG
+    /// streams intact.
+    pub fn sample_latency<R: Rng>(&self, spec: &FaultSpec, rng: &mut R) -> u64 {
+        if spec.jitter_ticks == 0 {
+            spec.latency_ticks
+        } else {
+            spec.latency_ticks + rng.gen_range(0..=spec.jitter_ticks)
+        }
     }
 
     /// Asks the router's ICMP token bucket for permission to reply.
@@ -523,5 +558,42 @@ mod tests {
         let schedule = FaultSchedule::preset("midtrace-blackhole").unwrap();
         assert_eq!(schedule.spec_at(47).blackhole_min_ttl, None);
         assert_eq!(schedule.spec_at(48).blackhole_min_ttl, Some(1));
+    }
+
+    #[test]
+    fn jitter_sampling_spreads_within_bounds() {
+        let spec = FaultSpec::none().with_latency(3).with_jitter(5);
+        assert!(spec.is_lossy());
+        let state = FaultState::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let lat = state.sample_latency(&spec, &mut rng);
+            assert!((3..=8).contains(&lat), "latency {lat} out of bounds");
+            seen.insert(lat);
+        }
+        assert!(seen.len() > 3, "jitter must actually spread: {seen:?}");
+    }
+
+    #[test]
+    fn zero_jitter_consumes_no_randomness() {
+        let spec = FaultSpec::none().with_latency(4);
+        let state = FaultState::new();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(state.sample_latency(&spec, &mut a), 4);
+        }
+        // The stream is untouched: both rngs still agree.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn jitter_spread_preset_windows() {
+        let schedule = FaultSchedule::preset("jitter-spread").unwrap();
+        assert_eq!(schedule.spec_at(31).jitter_ticks, 0);
+        assert_eq!(schedule.spec_at(32).jitter_ticks, 12);
+        assert_eq!(schedule.spec_at(32).latency_ticks, 1);
+        assert_eq!(schedule.spec_at(96).jitter_ticks, 0);
     }
 }

@@ -22,6 +22,10 @@
 //!   weights (the paper's future-work item 1).
 //! * [`faults`] — fault injection: probe/reply loss and per-router ICMP
 //!   rate limiting (the paper's future-work item 2).
+//! * [`schedule`] — scheduled topology mutations: routes flap, load
+//!   balancers reconfigure and MPLS tunnels reveal themselves at named
+//!   virtual-clock ticks, violating MDA assumption (1) the way real
+//!   networks do.
 //! * [`analytic`] — the exact MDA failure probability of a topology under
 //!   a given stopping-point table (the number Fakeroute validates tools
 //!   against).
@@ -40,6 +44,7 @@ pub mod faults;
 pub mod multi;
 pub mod network;
 pub mod router;
+pub mod schedule;
 pub mod validation;
 
 pub use analytic::{mda_failure_probability, vertex_failure_probability};
@@ -51,4 +56,5 @@ pub use network::{PacketTransport, SimNetwork, SimNetworkBuilder, TrafficCounter
 pub use router::{
     CounterBehavior, IpIdEngine, IpIdProfile, MplsProfile, ReplyClass, RouterProfile,
 };
+pub use schedule::{TopoMutation, TopologySchedule};
 pub use validation::{validate_tool, ValidationReport};

@@ -152,6 +152,8 @@ impl MultiNetwork {
             total.replies_rate_limited += c.replies_rate_limited;
             total.replies_lost += c.replies_lost;
             total.probes_blackholed += c.probes_blackholed;
+            total.mutations_applied += c.mutations_applied;
+            total.mutations_rejected += c.mutations_rejected;
         }
         total
     }
@@ -326,8 +328,11 @@ impl SplitTransport for MultiNetwork {
             let latency = match self.lane_for(packet) {
                 // The slot's timestamp is its lane-local processing tick
                 // (stamped by send_batch); the schedule step in force at
-                // that tick dictates the reply's lateness.
-                Some(lane) => self.lanes[lane].latency_at(pending.replies.timestamp(slot)),
+                // that tick dictates the reply's lateness, spread by the
+                // lane's own jitter stream. Slots visit each lane in its
+                // own dispatch order, so the draws a lane consumes are a
+                // pure function of its probe sequence.
+                Some(lane) => self.lanes[lane].sample_latency_at(pending.replies.timestamp(slot)),
                 None => 0,
             };
             pending.latencies.push(latency);

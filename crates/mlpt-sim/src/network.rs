@@ -26,6 +26,7 @@
 use crate::balance::{BalanceMode, FlowHasher};
 use crate::faults::{FaultPlan, FaultSchedule, FaultSpec, FaultState};
 use crate::router::{IpIdEngine, ReplyClass, RouterProfile};
+use crate::schedule::TopologySchedule;
 use mlpt_topo::{MultipathTopology, RouterId, RouterMap};
 use mlpt_wire::icmp::{
     emit_echo_into, emit_error_into, IcmpMessage, IcmpType, MplsLabelStackEntry,
@@ -58,6 +59,10 @@ pub struct TrafficCounters {
     pub replies_lost: u64,
     /// Probes swallowed by a scheduled blackhole.
     pub probes_blackholed: u64,
+    /// Scheduled topology mutations applied so far.
+    pub mutations_applied: u64,
+    /// Scheduled mutations the current topology shape could not honour.
+    pub mutations_rejected: u64,
 }
 
 /// Interning table: every interface address of the topology mapped to a
@@ -93,7 +98,11 @@ impl AddrTable {
 
         let mut router_of = vec![RouterId(0); sorted.len()];
         for (&addr, &router) in assignment {
-            router_of[lookup(addr)] = router;
+            // The assignment may cover interfaces a topology mutation has
+            // since removed; only map the ones still present.
+            if let Ok(i) = sorted.binary_search(&u32::from(addr)) {
+                router_of[i] = router;
+            }
         }
 
         let mut distance = vec![0u8; sorted.len()];
@@ -222,6 +231,7 @@ pub struct SimNetworkBuilder {
     default_profile: RouterProfile,
     mode: BalanceMode,
     schedule: FaultSchedule,
+    topo_schedule: TopologySchedule,
     weights: HashMap<(usize, Ipv4Addr), Vec<u32>>,
     seed: u64,
 }
@@ -237,6 +247,7 @@ impl SimNetworkBuilder {
             default_profile: RouterProfile::well_behaved(),
             mode: BalanceMode::PerFlow,
             schedule: FaultSchedule::none(),
+            topo_schedule: TopologySchedule::none(),
             weights: HashMap::new(),
             seed: 0,
         }
@@ -276,6 +287,14 @@ impl SimNetworkBuilder {
     /// follow the schedule's steps as the virtual clock advances.
     pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Sets a time-scheduled route-change scenario: each mutation is
+    /// applied to the live topology the moment the virtual clock first
+    /// reaches its tick, and the routing tables are rebuilt in place.
+    pub fn topology_schedule(mut self, schedule: TopologySchedule) -> Self {
+        self.topo_schedule = schedule;
         self
     }
 
@@ -345,15 +364,21 @@ impl SimNetworkBuilder {
         SimNetwork {
             hasher: FlowHasher::new(self.seed),
             rng: ChaCha8Rng::seed_from_u64(self.seed ^ 0xF1E2_D3C4_B5A6_9788),
+            jitter_rng: ChaCha8Rng::seed_from_u64(self.seed ^ 0x4A17_7E12_B0B5_1DE5),
             topology: self.topology,
             addrs,
             routes,
             ground_truth: full_map,
+            assignment,
+            next_router_id: next_id,
+            weight_map: self.weights,
             profile_table,
             profile_overflow,
             default_profile: self.default_profile,
             mode: self.mode,
             schedule: self.schedule,
+            topo_schedule: self.topo_schedule,
+            next_mutation: 0,
             fault_state: FaultState::new(),
             ipid: IpIdEngine::new(),
             clock: 0,
@@ -423,6 +448,13 @@ pub struct SimNetwork {
     addrs: AddrTable,
     routes: RouteTable,
     ground_truth: RouterMap,
+    /// Interface → router assignment, kept so mutated topologies can
+    /// rebuild the routing tables (fresh interfaces are assigned here).
+    assignment: HashMap<Ipv4Addr, RouterId>,
+    /// Next unassigned router id for freshly minted interfaces.
+    next_router_id: u32,
+    /// Non-uniform balancing weights, revalidated after each mutation.
+    weight_map: HashMap<(usize, Ipv4Addr), Vec<u32>>,
     profile_table: Vec<RouterProfile>,
     /// Profiles for router ids beyond the dense table (rare: only when a
     /// caller constructs sparse large RouterIds by hand).
@@ -431,9 +463,16 @@ pub struct SimNetwork {
     hasher: FlowHasher,
     mode: BalanceMode,
     schedule: FaultSchedule,
+    topo_schedule: TopologySchedule,
+    /// Index of the next unapplied topology-schedule step.
+    next_mutation: usize,
     fault_state: FaultState,
     ipid: IpIdEngine,
     rng: ChaCha8Rng,
+    /// Dedicated stream for per-probe latency jitter — separate from the
+    /// main RNG so jitter-free schedules leave every other stochastic
+    /// stream untouched.
+    jitter_rng: ChaCha8Rng,
     clock: u64,
     packet_counter: u64,
     counters: TrafficCounters,
@@ -480,6 +519,7 @@ impl SimNetwork {
     /// counters drift, as in the gaps between MBT rounds.
     pub fn advance_clock(&mut self, ticks: u64) {
         self.clock += ticks;
+        self.apply_due_mutations();
     }
 
     /// The fault schedule in force.
@@ -487,9 +527,69 @@ impl SimNetwork {
         &self.schedule
     }
 
-    /// Reply latency (ticks) the schedule imposes at clock tick `tick`.
+    /// The topology-mutation schedule in force.
+    pub fn topology_schedule(&self) -> &TopologySchedule {
+        &self.topo_schedule
+    }
+
+    /// Reply latency (ticks) the schedule imposes at clock tick `tick`,
+    /// before any jitter spread.
     pub fn latency_at(&self, tick: u64) -> u64 {
         self.schedule.spec_at(tick).latency_ticks
+    }
+
+    /// Samples one reply's delivery latency at clock tick `tick`: the
+    /// scheduled base latency plus a draw from the dedicated jitter
+    /// stream. Jitter-free specs draw nothing, so schedules without
+    /// jitter keep their historical reply timing bit-for-bit.
+    pub fn sample_latency_at(&mut self, tick: u64) -> u64 {
+        let spec = *self.schedule.spec_at(tick);
+        self.fault_state.sample_latency(&spec, &mut self.jitter_rng)
+    }
+
+    /// Applies every topology-schedule step whose tick the clock has
+    /// reached, rebuilding the routing tables after each. Steps the
+    /// current shape cannot honour are counted and skipped rather than
+    /// wedging the simulation.
+    fn apply_due_mutations(&mut self) {
+        while let Some(&(tick, mutation)) = self.topo_schedule.steps().get(self.next_mutation) {
+            if tick > self.clock {
+                break;
+            }
+            self.next_mutation += 1;
+            match mutation.apply(&self.topology) {
+                Ok(mutated) => {
+                    self.install_topology(mutated);
+                    self.counters.mutations_applied += 1;
+                }
+                Err(_) => self.counters.mutations_rejected += 1,
+            }
+        }
+    }
+
+    /// Swaps in a mutated topology: freshly minted interfaces get their
+    /// own router ids (in address order, deterministically), balancing
+    /// weights the new shape invalidates are dropped, and the interned
+    /// address/route tables are rebuilt.
+    fn install_topology(&mut self, topology: MultipathTopology) {
+        let mut fresh: Vec<Ipv4Addr> = topology
+            .all_addresses()
+            .into_iter()
+            .filter(|a| !self.assignment.contains_key(a))
+            .collect();
+        fresh.sort_unstable();
+        for addr in fresh {
+            let id = RouterId(self.next_router_id);
+            self.next_router_id += 1;
+            self.assignment.insert(addr, id);
+            self.ground_truth.assign(addr, id);
+        }
+        self.weight_map.retain(|&(hop, vertex), w| {
+            topology.contains(hop, vertex) && topology.successors(hop, vertex).len() == w.len()
+        });
+        self.addrs = AddrTable::build(&topology, &self.assignment);
+        self.routes = RouteTable::build(&topology, &self.addrs, &self.weight_map);
+        self.topology = topology;
     }
 
     /// Profile of a router: dense table on the fast path, sparse
@@ -734,6 +834,11 @@ impl PacketTransport for SimNetwork {
         self.clock += 1;
         self.packet_counter += 1;
         self.counters.probes_received += 1;
+        // Route changes scheduled at or before this packet's processing
+        // tick land before the packet is routed.
+        if !self.topo_schedule.is_empty() {
+            self.apply_due_mutations();
+        }
 
         // The impairments in force at this packet's processing tick.
         let spec = *self.schedule.spec_at(self.clock);
@@ -790,7 +895,8 @@ impl SplitTransport for SimNetwork {
                 .replies
                 .push_with(0, |buf| self.send_packet_into(packet, buf));
             pending.replies.set_last_timestamp(self.clock);
-            pending.latencies.push(self.latency_at(self.clock));
+            let latency = self.sample_latency_at(self.clock);
+            pending.latencies.push(latency);
         }
         self.pending = pending;
     }
@@ -1229,6 +1335,148 @@ mod tests {
         assert!((0..4).all(|i| replies.get(i).is_some()));
         // Late replies carry their true arrival tick.
         assert_eq!(replies.timestamp(3), 4 + 10);
+    }
+
+    #[test]
+    fn scheduled_route_flap_reroutes_flows() {
+        use crate::schedule::{TopoMutation, TopologySchedule};
+        let topo = canonical::fig1_unmeshed();
+        let dst = topo.destination();
+        // Swap the hop-1 successor sets at tick 20: vertices 1 and 2 of
+        // fig1_unmeshed feed different hop-2 interfaces, so the swap
+        // reroutes every flow transiting either.
+        let schedule =
+            TopologySchedule::none().step(20, TopoMutation::SwapSuccessors { hop: 1, a: 1, b: 2 });
+        let mut net = SimNetwork::builder(topo.clone())
+            .topology_schedule(schedule)
+            .seed(5)
+            .build();
+        // Pre-flap: record where each flow resolves at TTL 3.
+        let mut before = Vec::new();
+        for flow in 0..8u16 {
+            let reply = net.send_packet(&probe(flow, 3, dst)).unwrap();
+            before.push(parse_reply(&reply).unwrap().responder);
+        }
+        // Burn clock to tick 19 with TTL-1 probes (unaffected by hop 1).
+        for flow in 0..11u16 {
+            let _ = net.send_packet(&probe(flow, 1, dst));
+        }
+        assert_eq!(net.counters().mutations_applied, 0);
+        // Tick 20: the flap lands before this packet routes.
+        let mut after = Vec::new();
+        for flow in 0..8u16 {
+            let reply = net.send_packet(&probe(flow, 3, dst)).unwrap();
+            after.push(parse_reply(&reply).unwrap().responder);
+        }
+        assert_eq!(net.counters().mutations_applied, 1);
+        assert_ne!(before, after, "the flap must reroute some flow");
+        // Same (flow, TTL) resolving differently is exactly the artifact
+        // a route-change detector keys on.
+        let changed = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        assert!(changed > 0);
+    }
+
+    #[test]
+    fn tunnel_reveal_shifts_destination_deeper() {
+        use crate::schedule::{TopoMutation, TopologySchedule};
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        let old_depth = topo.num_hops() as u8;
+        let schedule = TopologySchedule::none().step(4, TopoMutation::InsertHop { at: 1 });
+        let mut net = SimNetwork::builder(topo)
+            .topology_schedule(schedule)
+            .seed(2)
+            .build();
+        // Pre-reveal: the destination answers at its original depth.
+        let r = parse_reply(&net.send_packet(&probe(0, old_depth, dst)).unwrap()).unwrap();
+        assert_eq!(r.kind, ReplyKind::PortUnreachable);
+        let _ = net.send_packet(&probe(0, 1, dst));
+        let _ = net.send_packet(&probe(1, 1, dst));
+        // Post-reveal: the same TTL now hits an intermediate hop ...
+        let r = parse_reply(&net.send_packet(&probe(0, old_depth, dst)).unwrap()).unwrap();
+        assert_eq!(r.kind, ReplyKind::TimeExceeded);
+        // ... and the destination sits one hop deeper.
+        let r = parse_reply(&net.send_packet(&probe(0, old_depth + 1, dst)).unwrap()).unwrap();
+        assert_eq!(r.kind, ReplyKind::PortUnreachable);
+        assert_eq!(r.responder, dst);
+        assert_eq!(net.counters().mutations_applied, 1);
+    }
+
+    #[test]
+    fn impossible_mutation_counted_not_fatal() {
+        use crate::schedule::{TopoMutation, TopologySchedule};
+        let topo = canonical::simplest_diamond();
+        let dst = topo.destination();
+        // Hop 0 has one vertex: removing a branch from it is impossible.
+        let schedule =
+            TopologySchedule::none().step(2, TopoMutation::RemoveBranch { hop: 0, index: 0 });
+        let mut net = SimNetwork::builder(topo)
+            .topology_schedule(schedule)
+            .seed(2)
+            .build();
+        assert!(net.send_packet(&probe(0, 1, dst)).is_some());
+        assert!(net.send_packet(&probe(1, 1, dst)).is_some());
+        assert!(net.send_packet(&probe(2, 1, dst)).is_some());
+        assert_eq!(net.counters().mutations_applied, 0);
+        assert_eq!(net.counters().mutations_rejected, 1);
+    }
+
+    #[test]
+    fn mutation_free_network_unchanged_by_schedule_plumbing() {
+        use crate::schedule::TopologySchedule;
+        let topo = canonical::fig1_meshed();
+        let dst = topo.destination();
+        let mut plain = SimNetwork::new(topo.clone(), 77);
+        let mut scheduled = SimNetwork::builder(topo)
+            .topology_schedule(TopologySchedule::none())
+            .seed(77)
+            .build();
+        for flow in 0..64u16 {
+            for ttl in 1..=4u8 {
+                assert_eq!(
+                    plain.send_packet(&probe(flow, ttl, dst)),
+                    scheduled.send_packet(&probe(flow, ttl, dst))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_spreads_reply_latencies_deterministically() {
+        use crate::faults::{FaultSchedule, FaultSpec};
+        use mlpt_wire::transport::SplitTransport;
+        let dst = canonical::simplest_diamond().destination();
+        let build = |seed| {
+            SimNetwork::builder(canonical::simplest_diamond())
+                .fault_schedule(FaultSchedule::constant(
+                    FaultSpec::none().with_latency(1).with_jitter(6),
+                ))
+                .seed(seed)
+                .build()
+        };
+        let mut batch = PacketBatch::new();
+        for flow in 0..32u16 {
+            batch.push(&probe(flow, 1, dst));
+        }
+        let timeouts = vec![4u64; batch.len()];
+        let mut a = build(11);
+        a.send_probes(&batch, &timeouts);
+        let mut ra = ReplyBatch::new();
+        a.recv_replies(&mut ra);
+        // With latency 1..=7 against deadline 4, some replies squeak in
+        // and some straggle past: the spread is visible.
+        let on_time = (0..ra.len()).filter(|&i| ra.get(i).is_some()).count();
+        assert!(on_time > 0, "some replies must make the deadline");
+        assert!(on_time < ra.len(), "some replies must miss the deadline");
+        // Same seed → identical outcome; the spread is protocol, not luck.
+        let mut b = build(11);
+        b.send_probes(&batch, &timeouts);
+        let mut rb = ReplyBatch::new();
+        b.recv_replies(&mut rb);
+        for i in 0..ra.len() {
+            assert_eq!(ra.get(i), rb.get(i), "slot {i}");
+            assert_eq!(ra.timestamp(i), rb.timestamp(i), "slot {i} timestamp");
+        }
     }
 
     #[test]

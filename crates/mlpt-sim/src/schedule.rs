@@ -1,0 +1,233 @@
+//! Scheduled topology mutations: the network's *routes* change at named
+//! virtual-clock ticks.
+//!
+//! The fault layer ([`crate::faults`]) can vary loss, latency and
+//! rate limiting over time, but it can never violate MDA assumption (1)
+//! — "no routing changes during measurement". Real routes flap, load
+//! balancers are reconfigured, and MPLS tunnels appear or vanish
+//! mid-measurement, producing the loop/cycle/diamond artifacts
+//! taxonomized by Viger et al. [`TopologySchedule`] is the missing
+//! impairment: a stepped timeline of [`TopoMutation`]s applied to the
+//! simulated [`MultipathTopology`] the moment the owning lane's virtual
+//! clock crosses each step's tick.
+//!
+//! Mutations are *positional* (hop index plus vertex index within the
+//! hop), never address-literal, so one schedule applies unchanged to
+//! every translated per-lane copy of a canonical topology. Freshly
+//! minted interfaces come from
+//! [`MultipathTopology::next_free_address`], which stays inside the
+//! lane's own address block.
+//!
+//! Determinism: a lane's clock advances only on its own packets, so the
+//! tick at which a mutation lands — and therefore everything a prober
+//! observes — is a pure function of the lane's own probe sequence. A
+//! sweep scheduler may interleave lanes however it likes; the mutation
+//! schedule is invisible to that choice, exactly like the fault
+//! schedule.
+
+use mlpt_topo::{MultipathTopology, TopologyError};
+use serde::{Deserialize, Serialize};
+
+/// One route change, expressed positionally so it applies to any
+/// (translated) topology with compatible shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopoMutation {
+    /// Route flap: exchange the successor sets of the vertices at
+    /// positions `a` and `b` of hop `hop`
+    /// ([`MultipathTopology::with_swapped_successors`]).
+    SwapSuccessors {
+        /// Hop whose vertices swap next-hop sets.
+        hop: usize,
+        /// First vertex position.
+        a: usize,
+        /// Second vertex position.
+        b: usize,
+    },
+    /// Load-balancer regrow: a freshly minted branch appears at `hop`,
+    /// parallel to its first vertex
+    /// ([`MultipathTopology::with_added_branch`]).
+    AddBranch {
+        /// Hop that grows a branch.
+        hop: usize,
+    },
+    /// Load-balancer shrink: the vertex at position `index` of `hop`
+    /// disappears ([`MultipathTopology::with_removed_branch`]).
+    RemoveBranch {
+        /// Hop that loses a branch.
+        hop: usize,
+        /// Vertex position removed.
+        index: usize,
+    },
+    /// MPLS tunnel reveal: a hidden router becomes visible as a new
+    /// hop before index `at` ([`MultipathTopology::with_inserted_hop`]).
+    InsertHop {
+        /// Insertion point; everything from here shifts one TTL deeper.
+        at: usize,
+    },
+    /// Tunnel hide: the hop at index `at` vanishes and its neighbours
+    /// splice together ([`MultipathTopology::with_removed_hop`]).
+    RemoveHop {
+        /// Removed hop index; later hops shift one TTL up.
+        at: usize,
+    },
+}
+
+impl TopoMutation {
+    /// Applies the mutation, returning the revalidated topology or the
+    /// reason the current shape cannot honour it.
+    pub fn apply(&self, topo: &MultipathTopology) -> Result<MultipathTopology, TopologyError> {
+        match *self {
+            TopoMutation::SwapSuccessors { hop, a, b } => topo.with_swapped_successors(hop, a, b),
+            TopoMutation::AddBranch { hop } => topo.with_added_branch(hop),
+            TopoMutation::RemoveBranch { hop, index } => topo.with_removed_branch(hop, index),
+            TopoMutation::InsertHop { at } => topo.with_inserted_hop(at),
+            TopoMutation::RemoveHop { at } => topo.with_removed_hop(at),
+        }
+    }
+}
+
+/// A time-scheduled sequence of topology mutations, mirroring
+/// [`crate::faults::FaultSchedule`]'s shape: `(tick, mutation)` steps in
+/// strictly increasing tick order, each applied once when the owning
+/// simulator's virtual clock first reaches its tick.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologySchedule {
+    steps: Vec<(u64, TopoMutation)>,
+}
+
+impl TopologySchedule {
+    /// No mutations, ever: the static-topology world every pre-existing
+    /// scenario lives in.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step: at the first packet at or after `tick`, `mutation`
+    /// fires. Ticks must be appended in strictly increasing order and be
+    /// positive (the topology at tick 0 is the constructed one).
+    pub fn step(mut self, tick: u64, mutation: TopoMutation) -> Self {
+        assert!(tick > 0, "tick 0 is the constructed topology");
+        if let Some(&(last, _)) = self.steps.last() {
+            assert!(
+                tick > last,
+                "schedule steps must be appended in increasing tick order \
+                 ({tick} after {last})"
+            );
+        }
+        self.steps.push((tick, mutation));
+        self
+    }
+
+    /// The steps, in tick order.
+    pub fn steps(&self) -> &[(u64, TopoMutation)] {
+        &self.steps
+    }
+
+    /// True if the schedule never mutates anything.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Names of the built-in route-change presets, in
+    /// [`preset`](Self::preset) order.
+    pub fn preset_names() -> &'static [&'static str] {
+        &["route-flap", "lb-regrow", "lb-shrink", "tunnel-reveal"]
+    }
+
+    /// A named route-change preset, or `None` for an unknown name. All
+    /// presets target hop 1 (the first diamond of the canonical
+    /// topologies) and fire at tick 40 — mid-trace for any session that
+    /// probes more than a few dozen packets.
+    ///
+    /// * `route-flap` — the hop-1 vertices exchange next-hop sets at
+    ///   tick 40 and flap back at tick 120: committed (flow, TTL)
+    ///   evidence downstream of hop 1 goes stale twice.
+    /// * `lb-regrow` — a new parallel branch appears at hop 1: the
+    ///   diamond gains a vertex the stopping rules never saw.
+    /// * `lb-shrink` — the second hop-1 branch vanishes and its flows
+    ///   re-home: a committed diamond branch no longer answers.
+    /// * `tunnel-reveal` — a hidden MPLS router surfaces as a new hop 2:
+    ///   every interface at and beyond the old hop 2 shifts one TTL
+    ///   deeper.
+    pub fn preset(name: &str) -> Option<Self> {
+        let schedule = match name {
+            "route-flap" => TopologySchedule::none()
+                .step(40, TopoMutation::SwapSuccessors { hop: 1, a: 1, b: 2 })
+                .step(120, TopoMutation::SwapSuccessors { hop: 1, a: 1, b: 2 }),
+            "lb-regrow" => TopologySchedule::none().step(40, TopoMutation::AddBranch { hop: 1 }),
+            "lb-shrink" => {
+                TopologySchedule::none().step(40, TopoMutation::RemoveBranch { hop: 1, index: 1 })
+            }
+            "tunnel-reveal" => TopologySchedule::none().step(40, TopoMutation::InsertHop { at: 2 }),
+            _ => return None,
+        };
+        Some(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpt_topo::canonical;
+
+    #[test]
+    fn steps_apply_in_order() {
+        let topo = canonical::fig1_unmeshed();
+        let schedule = TopologySchedule::none()
+            .step(10, TopoMutation::AddBranch { hop: 1 })
+            .step(20, TopoMutation::InsertHop { at: 2 });
+        assert_eq!(schedule.steps().len(), 2);
+        let mut t = topo;
+        for &(_, m) in schedule.steps() {
+            t = m.apply(&t).expect("preset-shaped mutation applies");
+        }
+        assert_eq!(t.num_hops(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_steps_rejected() {
+        let _ = TopologySchedule::none()
+            .step(20, TopoMutation::AddBranch { hop: 1 })
+            .step(10, TopoMutation::AddBranch { hop: 1 });
+    }
+
+    #[test]
+    fn every_preset_applies_to_canonical_topologies() {
+        for name in TopologySchedule::preset_names() {
+            let schedule = TopologySchedule::preset(name)
+                .unwrap_or_else(|| panic!("preset {name} must exist"));
+            assert!(!schedule.is_empty(), "{name} must mutate something");
+            for topo in [canonical::fig1_unmeshed(), canonical::fig1_meshed()] {
+                let dest = topo.destination();
+                let mut t = topo;
+                for &(_, m) in schedule.steps() {
+                    t = m
+                        .apply(&t)
+                        .unwrap_or_else(|e| panic!("{name} must apply: {e}"));
+                }
+                assert_eq!(
+                    t.destination(),
+                    dest,
+                    "{name} must preserve the traced destination"
+                );
+            }
+            let json = serde_json::to_string(&schedule).unwrap();
+            let back: TopologySchedule = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, schedule, "{name} must round-trip through serde");
+        }
+        assert!(TopologySchedule::preset("no-such-preset").is_none());
+    }
+
+    #[test]
+    fn route_flap_round_trips_topology() {
+        let topo = canonical::fig1_unmeshed();
+        let schedule = TopologySchedule::preset("route-flap").unwrap();
+        let mut t = topo.clone();
+        for &(_, m) in schedule.steps() {
+            t = m.apply(&t).unwrap();
+        }
+        // Two swaps of the same pair restore the original wiring.
+        assert_eq!(t, topo);
+    }
+}

@@ -62,6 +62,13 @@ pub enum TopologyError {
         /// The vertex.
         addr: Ipv4Addr,
     },
+    /// A mutation request that the topology cannot honour (hop or vertex
+    /// out of range, removing the last branch of a hop, touching the
+    /// destination hop, ...).
+    BadMutation {
+        /// Human-readable rejection reason.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for TopologyError {
@@ -81,6 +88,9 @@ impl std::fmt::Display for TopologyError {
             }
             TopologyError::DuplicateVertex { hop, addr } => {
                 write!(f, "vertex {addr} duplicated at hop {hop}")
+            }
+            TopologyError::BadMutation { reason } => {
+                write!(f, "mutation rejected: {reason}")
             }
         }
     }
@@ -256,6 +266,208 @@ impl MultipathTopology {
         }
         b.build()
             .expect("translation preserves topology invariants")
+    }
+
+    /// Re-validates a mutated copy through the builder, so every mutation
+    /// below returns a topology satisfying the full invariant set.
+    fn rebuilt(
+        hops: Vec<Vec<Ipv4Addr>>,
+        edges: Vec<BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>>>,
+    ) -> Result<MultipathTopology, TopologyError> {
+        let mut b = TopologyBuilder::default();
+        for hop in &hops {
+            b.add_hop(hop.iter().copied());
+        }
+        for (i, m) in edges.iter().enumerate() {
+            for (&from, tos) in m {
+                for &to in tos {
+                    b.add_edge(i, from, to);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// The numerically smallest address not yet used anywhere in the
+    /// topology and above every existing address — mutations that grow the
+    /// graph mint interfaces here, so translated per-lane copies mint into
+    /// their own disjoint blocks.
+    pub fn next_free_address(&self) -> Ipv4Addr {
+        let max = self
+            .hops
+            .iter()
+            .flatten()
+            .map(|&a| u32::from(a))
+            .max()
+            .expect("validated: >= 2 hops");
+        Ipv4Addr::from(max.wrapping_add(1))
+    }
+
+    /// Route flap: exchanges the successor sets of the vertices at
+    /// positions `a` and `b` of hop `hop`. The union of next-hops is
+    /// preserved, so the result is always a valid topology — but every
+    /// flow transiting either vertex is rerouted.
+    pub fn with_swapped_successors(
+        &self,
+        hop: usize,
+        a: usize,
+        b: usize,
+    ) -> Result<MultipathTopology, TopologyError> {
+        if hop + 1 >= self.hops.len() {
+            return Err(TopologyError::BadMutation {
+                reason: "swap hop out of range (destination hop has no successors)",
+            });
+        }
+        let vertices = &self.hops[hop];
+        if a == b || a >= vertices.len() || b >= vertices.len() {
+            return Err(TopologyError::BadMutation {
+                reason: "swap needs two distinct in-range vertex indices",
+            });
+        }
+        let (va, vb) = (vertices[a], vertices[b]);
+        let mut edges = self.edges.clone();
+        let sa = edges[hop].remove(&va).unwrap_or_default();
+        let sb = edges[hop].remove(&vb).unwrap_or_default();
+        edges[hop].insert(va, sb);
+        edges[hop].insert(vb, sa);
+        Self::rebuilt(self.hops.clone(), edges)
+    }
+
+    /// Load-balancer regrow: adds one freshly minted vertex at hop `hop`,
+    /// wired in parallel with that hop's first vertex (same predecessors,
+    /// same successors) — a new branch appearing in an existing diamond.
+    pub fn with_added_branch(&self, hop: usize) -> Result<MultipathTopology, TopologyError> {
+        if hop + 1 >= self.hops.len() {
+            return Err(TopologyError::BadMutation {
+                reason: "cannot grow the destination hop",
+            });
+        }
+        let template = self.hops[hop][0];
+        let fresh = self.next_free_address();
+        let mut hops = self.hops.clone();
+        hops[hop].push(fresh);
+        let mut edges = self.edges.clone();
+        let succs = self.successors(hop, template).clone();
+        edges[hop].insert(fresh, succs);
+        if hop > 0 {
+            for &p in self.predecessors(hop, template).clone().iter() {
+                edges[hop - 1].entry(p).or_default().insert(fresh);
+            }
+        }
+        Self::rebuilt(hops, edges)
+    }
+
+    /// Load-balancer shrink: removes the vertex at position `index` of hop
+    /// `hop`. Predecessors left with no successor are rewired to the
+    /// hop's first remaining vertex, and orphaned successors gain an edge
+    /// from it, so all flows still reach the destination.
+    pub fn with_removed_branch(
+        &self,
+        hop: usize,
+        index: usize,
+    ) -> Result<MultipathTopology, TopologyError> {
+        if hop + 1 >= self.hops.len() {
+            return Err(TopologyError::BadMutation {
+                reason: "cannot shrink the destination hop",
+            });
+        }
+        let vertices = &self.hops[hop];
+        if index >= vertices.len() {
+            return Err(TopologyError::BadMutation {
+                reason: "shrink vertex index out of range",
+            });
+        }
+        if vertices.len() < 2 {
+            return Err(TopologyError::BadMutation {
+                reason: "cannot remove the last branch of a hop",
+            });
+        }
+        let removed = vertices[index];
+        let mut hops = self.hops.clone();
+        hops[hop].remove(index);
+        let fallback = hops[hop][0];
+        let mut edges = self.edges.clone();
+        let orphaned_succs = edges[hop].remove(&removed).unwrap_or_default();
+        if hop > 0 {
+            for set in edges[hop - 1].values_mut() {
+                set.remove(&removed);
+            }
+        }
+        // Re-home flows: predecessors that only fed the removed branch
+        // fall back to the first surviving sibling ...
+        if hop > 0 {
+            let starved: Vec<Ipv4Addr> = self.hops[hop - 1]
+                .iter()
+                .copied()
+                .filter(|p| edges[hop - 1].get(p).is_none_or(BTreeSet::is_empty))
+                .collect();
+            for p in starved {
+                edges[hop - 1].entry(p).or_default().insert(fallback);
+            }
+        }
+        // ... and successors only the removed branch fed are adopted by it.
+        for s in orphaned_succs {
+            let reachable = edges[hop].values().any(|set| set.contains(&s));
+            if !reachable {
+                edges[hop].entry(fallback).or_default().insert(s);
+            }
+        }
+        Self::rebuilt(hops, edges)
+    }
+
+    /// MPLS tunnel reveal: interposes a single freshly minted vertex as a
+    /// new hop before index `at`, carrying all traffic between the two
+    /// neighbouring hops (the hidden label-switching router becoming
+    /// visible). Everything from hop `at` on shifts one TTL deeper.
+    pub fn with_inserted_hop(&self, at: usize) -> Result<MultipathTopology, TopologyError> {
+        if at == 0 || at >= self.hops.len() {
+            return Err(TopologyError::BadMutation {
+                reason: "hop insertion point must be between two existing hops",
+            });
+        }
+        let fresh = self.next_free_address();
+        let mut hops = self.hops.clone();
+        hops.insert(at, vec![fresh]);
+        let mut edges = self.edges.clone();
+        // The interposed router absorbs the old at-1 -> at wiring: every
+        // upstream vertex feeds it, and it fans out to the whole old hop.
+        edges[at - 1] = self.hops[at - 1]
+            .iter()
+            .map(|&p| (p, BTreeSet::from([fresh])))
+            .collect();
+        edges.insert(
+            at,
+            std::iter::once((fresh, self.hops[at].iter().copied().collect())).collect(),
+        );
+        Self::rebuilt(hops, edges)
+    }
+
+    /// Tunnel hide: removes the hop at index `at`, splicing its
+    /// neighbours together (predecessor -> removed -> successor paths
+    /// become direct edges). Everything after `at` shifts one TTL up.
+    pub fn with_removed_hop(&self, at: usize) -> Result<MultipathTopology, TopologyError> {
+        if at == 0 || at + 1 >= self.hops.len() {
+            return Err(TopologyError::BadMutation {
+                reason: "only interior hops can be removed",
+            });
+        }
+        let mut hops = self.hops.clone();
+        hops.remove(at);
+        let mut edges = self.edges.clone();
+        let spliced: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Addr>> = self.hops[at - 1]
+            .iter()
+            .map(|&p| {
+                let through: BTreeSet<Ipv4Addr> = self
+                    .successors(at - 1, p)
+                    .iter()
+                    .flat_map(|&v| self.successors(at, v).iter().copied())
+                    .collect();
+                (p, through)
+            })
+            .collect();
+        edges[at - 1] = spliced;
+        edges.remove(at);
+        Self::rebuilt(hops, edges)
     }
 }
 
@@ -602,5 +814,137 @@ mod tests {
         let u = t.clone();
         assert_eq!(t, u);
         assert_eq!(u.total_edges(), 4);
+    }
+
+    /// 1-2-2-1 unmeshed: hop-1 vertices have distinct single successors,
+    /// so a successor swap reroutes every flow through them.
+    fn unmeshed() -> MultipathTopology {
+        let mut b = MultipathTopology::builder();
+        b.add_hop([addr(0, 0)]);
+        b.add_hop([addr(1, 0), addr(1, 1)]);
+        b.add_hop([addr(2, 0), addr(2, 1)]);
+        b.add_hop([addr(3, 0)]);
+        b.connect_unmeshed(0);
+        b.connect_unmeshed(1);
+        b.connect_unmeshed(2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn swap_successors_reroutes_and_validates() {
+        let t = unmeshed();
+        let old_succ_0: Vec<_> = t.successors(1, addr(1, 0)).iter().copied().collect();
+        let old_succ_1: Vec<_> = t.successors(1, addr(1, 1)).iter().copied().collect();
+        assert_ne!(old_succ_0, old_succ_1);
+        let m = t.with_swapped_successors(1, 0, 1).unwrap();
+        assert_eq!(
+            m.successors(1, addr(1, 0))
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
+            old_succ_1
+        );
+        assert_eq!(
+            m.successors(1, addr(1, 1))
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
+            old_succ_0
+        );
+        // Swapping back restores the original topology exactly.
+        assert_eq!(m.with_swapped_successors(1, 0, 1).unwrap(), t);
+        assert!(matches!(
+            t.with_swapped_successors(1, 0, 0),
+            Err(TopologyError::BadMutation { .. })
+        ));
+        assert!(matches!(
+            t.with_swapped_successors(3, 0, 1),
+            Err(TopologyError::BadMutation { .. })
+        ));
+    }
+
+    #[test]
+    fn added_branch_parallels_first_vertex() {
+        let t = unmeshed();
+        let m = t.with_added_branch(1).unwrap();
+        assert_eq!(m.hop(1).len(), 3);
+        let fresh = t.next_free_address();
+        assert!(m.contains(1, fresh));
+        assert_eq!(m.successors(1, fresh), m.successors(1, addr(1, 0)));
+        assert_eq!(m.predecessors(1, fresh), m.predecessors(1, addr(1, 0)));
+        assert!(matches!(
+            t.with_added_branch(3),
+            Err(TopologyError::BadMutation { .. })
+        ));
+    }
+
+    #[test]
+    fn removed_branch_rewires_orphans() {
+        let t = unmeshed();
+        let m = t.with_removed_branch(1, 1).unwrap();
+        assert_eq!(m.hop(1), &[addr(1, 0)]);
+        // addr(2,1) was fed only by the removed vertex: adopted by the
+        // surviving sibling so it stays reachable.
+        assert!(m.successors(1, addr(1, 0)).contains(&addr(2, 1)));
+        assert_eq!(m.num_hops(), 4);
+        // A single-vertex hop cannot shrink further.
+        assert!(matches!(
+            m.with_removed_branch(1, 0),
+            Err(TopologyError::BadMutation { .. })
+        ));
+    }
+
+    #[test]
+    fn inserted_hop_interposes_single_router() {
+        let t = unmeshed();
+        let m = t.with_inserted_hop(2).unwrap();
+        assert_eq!(m.num_hops(), 5);
+        let fresh = t.next_free_address();
+        assert_eq!(m.hop(2), &[fresh]);
+        for &p in m.hop(1) {
+            assert_eq!(
+                m.successors(1, p).iter().copied().collect::<Vec<_>>(),
+                vec![fresh]
+            );
+        }
+        assert_eq!(m.successors(2, fresh).len(), t.hop(2).len());
+        assert_eq!(m.destination(), t.destination());
+        assert!(matches!(
+            t.with_inserted_hop(0),
+            Err(TopologyError::BadMutation { .. })
+        ));
+    }
+
+    #[test]
+    fn removed_hop_splices_neighbours() {
+        let t = unmeshed();
+        let grown = t.with_inserted_hop(2).unwrap();
+        let back = grown.with_removed_hop(2).unwrap();
+        // Insert-then-remove composes the bipartite wiring, so every
+        // hop-1 vertex now reaches everything the interposed router fed.
+        assert_eq!(back.num_hops(), 4);
+        for &p in back.hop(1) {
+            assert_eq!(back.successors(1, p).len(), t.hop(2).len());
+        }
+        assert_eq!(back.destination(), t.destination());
+        assert!(matches!(
+            t.with_removed_hop(3),
+            Err(TopologyError::BadMutation { .. })
+        ));
+    }
+
+    #[test]
+    fn mutations_preserve_invariants_under_composition() {
+        let mut t = unmeshed();
+        t = t.with_added_branch(1).unwrap();
+        t = t.with_inserted_hop(3).unwrap();
+        t = t.with_swapped_successors(1, 0, 2).unwrap();
+        t = t.with_removed_branch(2, 0).unwrap();
+        t = t.with_removed_hop(1).unwrap();
+        // Every surviving vertex still reaches the destination: rebuilt()
+        // validated connectivity, so reach probabilities sum to 1.
+        let probs = t.reach_probabilities();
+        let total: f64 = probs.last().unwrap().values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
     }
 }

@@ -15,7 +15,7 @@
 
 use mlpt::alias::rounds::RoundsConfig;
 use mlpt::prelude::*;
-use mlpt::sim::{FaultPlan, FaultSchedule};
+use mlpt::sim::{FaultPlan, FaultSchedule, TopologySchedule};
 use mlpt::survey::{InternetConfig, SyntheticInternet};
 use mlpt::topo::{canonical, is_star};
 use std::collections::BTreeMap;
@@ -103,6 +103,16 @@ commands:
                                  congestion-ramp | rate-limit-burst);
                                  overrides --loss/--rate-limit and arms
                                  the stall watchdog
+               --topology-schedule NAME
+                                 time-scheduled route changes per lane
+                                 (route-flap | lb-regrow | lb-shrink |
+                                 tunnel-reveal); arms the route audit
+                                 (detection + bounded recovery) and the
+                                 stall watchdog
+               --reprobe-budget N
+                                 audit probes per session for the route
+                                 audit (default 256 when armed); arms
+                                 the audit even without a schedule
                --probe-timeout T base probe deadline in virtual ticks
                                  (default 4096; exponential backoff on
                                  lossy retry waves)
@@ -182,6 +192,8 @@ struct Options {
     cycle_gap: u64,
     rate_limit: Option<(u32, u64)>,
     fault_schedule: Option<FaultSchedule>,
+    topology_schedule: Option<TopologySchedule>,
+    reprobe_budget: Option<u64>,
     probe_timeout: u64,
     max_retries: u8,
     workers: usize,
@@ -197,6 +209,18 @@ fn fault_schedule_preset(name: &str) -> FaultSchedule {
         eprintln!(
             "unknown fault schedule {name} (one of: {})",
             FaultSchedule::preset_names().join(" | ")
+        );
+        exit(2);
+    })
+}
+
+/// Resolves a `--topology-schedule` preset name, exiting with the list
+/// of known presets on an unknown name.
+fn topology_schedule_preset(name: &str) -> TopologySchedule {
+    TopologySchedule::preset(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown topology schedule {name} (one of: {})",
+            TopologySchedule::preset_names().join(" | ")
         );
         exit(2);
     })
@@ -222,6 +246,8 @@ fn parse_options(args: &[String]) -> Options {
         cycle_gap: 0,
         rate_limit: None,
         fault_schedule: None,
+        topology_schedule: None,
+        reprobe_budget: None,
         probe_timeout: RetryPolicy::default().base_timeout,
         max_retries: 0,
         workers: 1,
@@ -280,6 +306,15 @@ fn parse_options(args: &[String]) -> Options {
                 }
             }
             "--fault-schedule" => opts.fault_schedule = Some(fault_schedule_preset(need(i))),
+            "--topology-schedule" => {
+                opts.topology_schedule = Some(topology_schedule_preset(need(i)))
+            }
+            "--reprobe-budget" => {
+                opts.reprobe_budget = Some(need(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--reprobe-budget needs a probe count");
+                    exit(2);
+                }))
+            }
             "--probe-timeout" => {
                 opts.probe_timeout = need(i).parse().unwrap_or_else(|_| {
                     eprintln!("--probe-timeout needs a tick count");
@@ -575,9 +610,25 @@ fn cmd_sweep(args: &[String]) {
         exit(2);
     }
     let source: Ipv4Addr = "192.0.2.1".parse().expect("static");
-    let config = TraceConfig::new(opts.seed)
+    let mut config = TraceConfig::new(opts.seed)
         .with_stopping(stopping_points(&opts.stopping))
         .with_phi(opts.phi);
+    // A mutation schedule (or an explicit budget) arms the route audit:
+    // sessions re-verify committed evidence after their stopping rule
+    // fires and re-trace contradicted suffixes under the bounded budget.
+    if opts.topology_schedule.is_some() || opts.reprobe_budget.is_some() {
+        config = config.with_reprobe(ReprobeBudget {
+            max_reprobes: opts.reprobe_budget.unwrap_or(256),
+            ..ReprobeBudget::default()
+        });
+    }
+    // Under a mutation schedule, node-control hunts against branches
+    // that no longer exist can otherwise grind through the whole u16
+    // flow space before the exhaustion guard stops them; a tight
+    // allowance keeps the sweep fast without affecting detection.
+    if opts.topology_schedule.is_some() {
+        config.node_control_attempts = 500;
+    }
     let faults = {
         let mut plan = if opts.loss > 0.0 {
             FaultPlan::with_loss(0.0, opts.loss)
@@ -612,12 +663,16 @@ fn cmd_sweep(args: &[String]) {
         .iter()
         .enumerate()
         .map(|(i, topo)| {
-            let builder = SimNetwork::builder(topo.clone()).seed(opts.seed.wrapping_add(i as u64));
-            match &opts.fault_schedule {
+            let mut builder =
+                SimNetwork::builder(topo.clone()).seed(opts.seed.wrapping_add(i as u64));
+            builder = match &opts.fault_schedule {
                 Some(schedule) => builder.fault_schedule(schedule.clone()),
                 None => builder.faults(faults),
+            };
+            if let Some(schedule) = &opts.topology_schedule {
+                builder = builder.topology_schedule(schedule.clone());
             }
-            .build()
+            builder.build()
         })
         .collect();
     let net = match mlpt::sim::MultiNetwork::new(lanes) {
@@ -642,7 +697,14 @@ fn cmd_sweep(args: &[String]) {
         // A hostile schedule can black-hole a lane mid-trace; arm the
         // stall watchdog so that lane degrades to a partial trace
         // instead of burning its whole retry budget into the dark.
-        stall_rounds: if opts.fault_schedule.is_some() { 8 } else { 0 },
+        stall_rounds: if opts.fault_schedule.is_some()
+            || opts.topology_schedule.is_some()
+            || opts.reprobe_budget.is_some()
+        {
+            8
+        } else {
+            0
+        },
         stop_set: stop_set_config(opts.stop_set, opts.start_ttl),
         ..SweepConfig::default()
     });
@@ -718,6 +780,12 @@ fn cmd_sweep(args: &[String]) {
                 "max_lane_backoff_depth": stats.max_lane_backoff_depth,
                 "probes_elided": stats.probes_elided,
                 "stop_set_hits": stats.stop_set_hits,
+                "artifacts_detected": stats.artifacts_detected,
+                "route_recoveries": stats.route_recoveries,
+                "reprobes_sent": stats.reprobes_sent,
+                "route_changed_partials": stats.route_changed_partials,
+                "stop_set_stale_hits": stats.stop_set_stale_hits,
+                "stop_set_evictions": stats.stop_set_evictions,
             },
         });
         println!(
@@ -787,11 +855,17 @@ fn cmd_sweep(args: &[String]) {
     );
     println!(
         "robustness: {} probes timed out, {} retries exhausted, {} partial sessions, \
-         max lane backoff depth {}",
+         max lane backoff depth {}, {} artifacts detected, {} route recoveries, \
+         {} reprobes, {} route-changed partials, {} stale stop hits",
         stats.probes_timed_out,
         stats.retries_exhausted,
         stats.sessions_partial,
         stats.max_lane_backoff_depth,
+        stats.artifacts_detected,
+        stats.route_recoveries,
+        stats.reprobes_sent,
+        stats.route_changed_partials,
+        stats.stop_set_stale_hits,
     );
     if opts.stop_set {
         println!(
@@ -1123,6 +1197,12 @@ fn cmd_alias(args: &[String]) {
                 "max_lane_backoff_depth": stats.max_lane_backoff_depth,
                 "probes_elided": stats.probes_elided,
                 "stop_set_hits": stats.stop_set_hits,
+                "artifacts_detected": stats.artifacts_detected,
+                "route_recoveries": stats.route_recoveries,
+                "reprobes_sent": stats.reprobes_sent,
+                "route_changed_partials": stats.route_changed_partials,
+                "stop_set_stale_hits": stats.stop_set_stale_hits,
+                "stop_set_evictions": stats.stop_set_evictions,
             },
         });
         println!(
@@ -1200,11 +1280,17 @@ fn cmd_alias(args: &[String]) {
     );
     println!(
         "robustness: {} probes timed out, {} retries exhausted, {} partial sessions, \
-         max lane backoff depth {}",
+         max lane backoff depth {}, {} artifacts detected, {} route recoveries, \
+         {} reprobes, {} route-changed partials, {} stale stop hits",
         stats.probes_timed_out,
         stats.retries_exhausted,
         stats.sessions_partial,
         stats.max_lane_backoff_depth,
+        stats.artifacts_detected,
+        stats.route_recoveries,
+        stats.reprobes_sent,
+        stats.route_changed_partials,
+        stats.stop_set_stale_hits,
     );
     if stop_set {
         println!(

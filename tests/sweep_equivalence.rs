@@ -390,6 +390,170 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Route changes mid-sweep: the topology itself mutates while sessions
+// are probing. The audit/recovery protocol is session-local state, so
+// detection, classification, suffix re-traces and budget-exhaustion
+// partials must all be pure protocol — identical across every admission
+// mode and replayable from the seeds.
+// ---------------------------------------------------------------------
+
+use mlpt::sim::{TopoMutation, TopologySchedule};
+
+/// One route mutation drawn from the property inputs. Positions are
+/// drawn small so most mutations land on real hops; ones the current
+/// shape cannot honour are rejected by the simulator (counted, not
+/// applied), which is itself part of the property.
+fn arbitrary_mutation(kind: u8, x: u8, y: u8) -> TopoMutation {
+    let hop = usize::from(x % 4);
+    match kind % 5 {
+        0 => TopoMutation::SwapSuccessors {
+            hop,
+            a: usize::from(y % 3),
+            b: usize::from(y % 3) + 1,
+        },
+        1 => TopoMutation::AddBranch { hop },
+        2 => TopoMutation::RemoveBranch {
+            hop,
+            index: usize::from(y % 4),
+        },
+        3 => TopoMutation::InsertHop { at: hop + 1 },
+        _ => TopoMutation::RemoveHop { at: hop + 1 },
+    }
+}
+
+/// An arbitrary mutation timeline at strictly increasing positive ticks.
+fn arbitrary_topology_schedule(steps: &[(u8, u8, u8, u8)]) -> TopologySchedule {
+    let mut schedule = TopologySchedule::none();
+    let mut tick = 0u64;
+    for &(delta, kind, x, y) in steps {
+        tick += u64::from(delta) + 1;
+        schedule = schedule.step(tick, arbitrary_mutation(kind, x, y));
+    }
+    schedule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Under *any* generated mutation timeline — branches appearing and
+    /// vanishing, hops inserted and spliced out, successor sets flapping
+    /// — every admission mode terminates, all four modes' traces and
+    /// robustness counters agree bit for bit, a rerun from the same
+    /// seeds replays exactly, and the retry-wave accounting still
+    /// partitions `probes_sent`. Route-change recovery is protocol,
+    /// never scheduling.
+    #[test]
+    fn route_changed_sweeps_terminate_and_agree(
+        topo_indices in proptest::collection::vec(0u8..5, 1..5),
+        steps in proptest::collection::vec(
+            (0u8..80, 0u8..5, any::<u8>(), any::<u8>()), 0..4),
+        algo in 0u8..3,
+        base_seed in any::<u64>(),
+        stall_rounds in 2u32..6,
+        budget_kind in 0u8..3,
+    ) {
+        let schedule = arbitrary_topology_schedule(&steps);
+        let lanes = lanes_for(&topo_indices, base_seed);
+        let max_in_flight = match budget_kind % 3 {
+            0 => 3usize,
+            1 => 64,
+            _ => 2048,
+        };
+        let run = |admission: Admission| -> (Vec<Trace>, SweepStats) {
+            let net = MultiNetwork::new(
+                lanes
+                    .iter()
+                    .map(|l| {
+                        SimNetwork::builder(l.topology.clone())
+                            .topology_schedule(schedule.clone())
+                            .seed(l.sim_seed)
+                            .build()
+                    })
+                    .collect(),
+            )
+            .expect("translated lanes have unique destinations");
+            let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+                max_in_flight,
+                stall_rounds,
+                admission,
+                ..SweepConfig::default()
+            });
+            let sessions: Vec<Box<dyn TraceSession>> = lanes
+                .iter()
+                .map(|l| {
+                    // Tight hunts keep post-mutation flow searches (for
+                    // branches that no longer exist) from dominating the
+                    // runtime; the audit is armed with the default budget.
+                    let config = TraceConfig {
+                        node_control_attempts: 300,
+                        ..TraceConfig::new(l.trace_seed)
+                            .with_reprobe(ReprobeBudget::default())
+                    };
+                    make_session(algo, l.topology.destination(), config)
+                })
+                .collect();
+            let traces = engine.run_stream(sessions);
+            (traces, *engine.stats())
+        };
+
+        // Terminates under every admission mode (reaching this line is
+        // the liveness claim: bounded audits, bounded recoveries, and
+        // flow hunts that survive a route that keeps changing).
+        let (eager, eager_stats) = run(Admission::Eager);
+        let (streaming, streaming_stats) = run(Admission::Streaming);
+        let (cost_aware, cost_stats) = run(Admission::CostAware);
+        let (windowed, windowed_stats) = run(Admission::CostAwareWindowed(2));
+
+        // Bit-for-bit agreement across all four admission modes.
+        prop_assert_eq!(&eager, &streaming);
+        prop_assert_eq!(&eager, &cost_aware);
+        prop_assert_eq!(&eager, &windowed);
+
+        // Replay from the seeds is exact, counters included.
+        let (replay, replay_stats) = run(Admission::Streaming);
+        prop_assert_eq!(&streaming, &replay);
+        prop_assert_eq!(streaming_stats, replay_stats);
+
+        for stats in [&eager_stats, &streaming_stats, &cost_stats, &windowed_stats] {
+            // Recovery decisions are protocol state: every mode sees the
+            // same artifacts, recoveries and honest partials.
+            prop_assert_eq!(stats.artifacts_detected, eager_stats.artifacts_detected);
+            prop_assert_eq!(stats.route_recoveries, eager_stats.route_recoveries);
+            prop_assert_eq!(stats.reprobes_sent, eager_stats.reprobes_sent);
+            prop_assert_eq!(
+                stats.route_changed_partials,
+                eager_stats.route_changed_partials
+            );
+            prop_assert_eq!(stats.sessions_admitted, lanes.len() as u64);
+            prop_assert_eq!(stats.sessions_completed, lanes.len() as u64);
+            // The retry-wave accounting invariant survives mutation.
+            prop_assert_eq!(
+                stats.probes_timed_out
+                    + stats.replies_delivered
+                    + stats.malformed_replies
+                    + stats.mismatched_replies,
+                stats.probes_sent
+            );
+        }
+
+        // Every session that spent its recovery budget owns an honest
+        // RouteChanged partial in its trace, and vice versa.
+        let route_changed_traces = streaming
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t.outcome,
+                    TraceOutcome::Partial {
+                        reason: PartialReason::RouteChanged { .. }
+                    }
+                )
+            })
+            .count() as u64;
+        prop_assert_eq!(route_changed_traces, streaming_stats.route_changed_partials);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Shared stop sets (Doubletree): cross-destination redundancy
 // elimination must be pure *protocol* — the union topology a sweep
 // discovers (probed hops plus the prefix reconstructable from the
