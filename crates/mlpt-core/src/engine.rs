@@ -402,6 +402,14 @@ pub struct SweepStats {
     /// Stop-set entries evicted because a contributing session's
     /// firsthand evidence contradicted or invalidated them.
     pub stop_set_evictions: u64,
+    /// Generation-barrier stalls in a sharded sweep
+    /// ([`crate::shard::ShardedSweepEngine`]): shard-generations that
+    /// finished their slice of a generation early and parked at the
+    /// barrier while the slowest shard kept dispatching. Counted by
+    /// comparing per-shard dispatch-cycle deltas across the generation
+    /// — virtual work, not wall clock — so the counter is deterministic
+    /// and replayable. `0` for unsharded sweeps.
+    pub generation_barrier_stalls: u64,
 }
 
 impl SweepStats {
@@ -418,10 +426,17 @@ impl SweepStats {
 
     /// Folds another engine's counters into this aggregate (callers
     /// running several sub-sweeps back to back, e.g. address-disjoint
-    /// groups). Sums every counter, takes the max of `max_batch`, and
-    /// keeps the most recent `final_in_flight_budget` — living here so
-    /// a counter added to the struct cannot be silently dropped from
-    /// aggregates.
+    /// groups, or a sharded engine combining per-shard counters).
+    /// Sums every counter **saturating** (a merge of per-shard totals
+    /// must clamp at the rail, never wrap back to small numbers),
+    /// takes the max of the two high-water marks (`max_batch`,
+    /// `max_lane_backoff_depth` — a depth is an exponent, so summing
+    /// shard depths would fabricate backoff that never happened), and
+    /// keeps the most recent **nonzero** `final_in_flight_budget` (a
+    /// finished run always reports at least 1; 0 means the other engine
+    /// never ran, e.g. an empty shard, and must not clobber a real
+    /// value) — living here so a counter added to the struct cannot be
+    /// silently dropped from aggregates.
     pub fn merge(&mut self, other: &SweepStats) {
         let SweepStats {
             dispatch_cycles,
@@ -451,34 +466,42 @@ impl SweepStats {
             route_changed_partials,
             stop_set_stale_hits,
             stop_set_evictions,
+            generation_barrier_stalls,
         } = *other;
-        self.dispatch_cycles += dispatch_cycles;
-        self.probes_sent += probes_sent;
-        self.replies_delivered += replies_delivered;
-        self.malformed_replies += malformed_replies;
-        self.mismatched_replies += mismatched_replies;
+        self.dispatch_cycles = self.dispatch_cycles.saturating_add(dispatch_cycles);
+        self.probes_sent = self.probes_sent.saturating_add(probes_sent);
+        self.replies_delivered = self.replies_delivered.saturating_add(replies_delivered);
+        self.malformed_replies = self.malformed_replies.saturating_add(malformed_replies);
+        self.mismatched_replies = self.mismatched_replies.saturating_add(mismatched_replies);
         self.max_batch = self.max_batch.max(max_batch);
-        self.sessions_admitted += sessions_admitted;
-        self.sessions_completed += sessions_completed;
-        self.sessions_deferred += sessions_deferred;
-        self.clean_cycles += clean_cycles;
-        self.lossy_cycles += lossy_cycles;
-        self.budget_backoffs += budget_backoffs;
-        self.lane_backoffs += lane_backoffs;
-        self.final_in_flight_budget = final_in_flight_budget;
-        self.probes_timed_out += probes_timed_out;
-        self.retries_exhausted += retries_exhausted;
-        self.sessions_partial += sessions_partial;
+        self.sessions_admitted = self.sessions_admitted.saturating_add(sessions_admitted);
+        self.sessions_completed = self.sessions_completed.saturating_add(sessions_completed);
+        self.sessions_deferred = self.sessions_deferred.saturating_add(sessions_deferred);
+        self.clean_cycles = self.clean_cycles.saturating_add(clean_cycles);
+        self.lossy_cycles = self.lossy_cycles.saturating_add(lossy_cycles);
+        self.budget_backoffs = self.budget_backoffs.saturating_add(budget_backoffs);
+        self.lane_backoffs = self.lane_backoffs.saturating_add(lane_backoffs);
+        if final_in_flight_budget != 0 {
+            self.final_in_flight_budget = final_in_flight_budget;
+        }
+        self.probes_timed_out = self.probes_timed_out.saturating_add(probes_timed_out);
+        self.retries_exhausted = self.retries_exhausted.saturating_add(retries_exhausted);
+        self.sessions_partial = self.sessions_partial.saturating_add(sessions_partial);
         self.max_lane_backoff_depth = self.max_lane_backoff_depth.max(max_lane_backoff_depth);
-        self.probes_elided += probes_elided;
-        self.stop_set_hits += stop_set_hits;
-        self.retries_elided += retries_elided;
-        self.artifacts_detected += artifacts_detected;
-        self.route_recoveries += route_recoveries;
-        self.reprobes_sent += reprobes_sent;
-        self.route_changed_partials += route_changed_partials;
-        self.stop_set_stale_hits += stop_set_stale_hits;
-        self.stop_set_evictions += stop_set_evictions;
+        self.probes_elided = self.probes_elided.saturating_add(probes_elided);
+        self.stop_set_hits = self.stop_set_hits.saturating_add(stop_set_hits);
+        self.retries_elided = self.retries_elided.saturating_add(retries_elided);
+        self.artifacts_detected = self.artifacts_detected.saturating_add(artifacts_detected);
+        self.route_recoveries = self.route_recoveries.saturating_add(route_recoveries);
+        self.reprobes_sent = self.reprobes_sent.saturating_add(reprobes_sent);
+        self.route_changed_partials = self
+            .route_changed_partials
+            .saturating_add(route_changed_partials);
+        self.stop_set_stale_hits = self.stop_set_stale_hits.saturating_add(stop_set_stale_hits);
+        self.stop_set_evictions = self.stop_set_evictions.saturating_add(stop_set_evictions);
+        self.generation_barrier_stalls = self
+            .generation_barrier_stalls
+            .saturating_add(generation_barrier_stalls);
     }
 }
 
@@ -1817,6 +1840,62 @@ mod tests {
         assert!(demux.register(TagKind::Echo, dest(1), 1, 9));
         assert_eq!(demux.claim(TagKind::Echo, dest(1), 1), Some(9));
         assert_eq!(demux.claim(TagKind::Udp, dest(1), 1), Some(0));
+    }
+
+    /// The merge audit behind sharded-sweep aggregation: summed
+    /// counters saturate at the rail instead of wrapping, high-water
+    /// marks (`max_batch`, `max_lane_backoff_depth`) merge as max —
+    /// never as sums — and `final_in_flight_budget` keeps the most
+    /// recent value.
+    #[test]
+    fn stats_merge_saturates_and_maxes() {
+        let mut total = SweepStats {
+            probes_sent: u64::MAX - 3,
+            probes_timed_out: u64::MAX,
+            max_batch: 12,
+            max_lane_backoff_depth: 5,
+            final_in_flight_budget: 64,
+            generation_barrier_stalls: u64::MAX - 1,
+            ..SweepStats::default()
+        };
+        let shard = SweepStats {
+            probes_sent: 10,
+            probes_timed_out: 1,
+            max_batch: 7,
+            max_lane_backoff_depth: 3,
+            final_in_flight_budget: 8,
+            generation_barrier_stalls: 9,
+            dispatch_cycles: 4,
+            ..SweepStats::default()
+        };
+        total.merge(&shard);
+        // Near-rail sums clamp instead of wrapping back to tiny values.
+        assert_eq!(total.probes_sent, u64::MAX);
+        assert_eq!(total.probes_timed_out, u64::MAX);
+        assert_eq!(total.generation_barrier_stalls, u64::MAX);
+        // High-water marks merge as max, not sum: a backoff *depth* is
+        // an exponent, so 5 + 3 would fabricate backoff that never ran.
+        assert_eq!(total.max_batch, 12);
+        assert_eq!(total.max_lane_backoff_depth, 5);
+        // Ordinary counters still sum; the budget keeps the newest value.
+        assert_eq!(total.dispatch_cycles, 4);
+        assert_eq!(total.final_in_flight_budget, 8);
+
+        // Max semantics hold in the other direction too.
+        let mut low = SweepStats {
+            max_lane_backoff_depth: 2,
+            max_batch: 3,
+            ..SweepStats::default()
+        };
+        low.merge(&shard);
+        assert_eq!(low.max_lane_backoff_depth, 3);
+        assert_eq!(low.max_batch, 7);
+        assert_eq!(low.probes_sent, 10);
+
+        // An engine that never ran (all-zero stats, e.g. an empty
+        // shard) must not clobber the aggregate's final budget.
+        total.merge(&SweepStats::default());
+        assert_eq!(total.final_in_flight_budget, 8);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   destination) interleaved over one shared [`mlpt_wire`] transport,
 //!   with cross-destination batch merging, kind-tagged reply
 //!   demultiplexing and an in-flight token budget.
+//! * [`shard`] — the [`ShardedSweepEngine`]: the destination space
+//!   partitioned deterministically across N engine shards driven on
+//!   scoped worker threads, with the shared stop set committed across
+//!   shards at source-order generation barriers (bit-identical to the
+//!   single engine for any shard count).
 //! * [`mda`] — the classic Multipath Detection Algorithm with node
 //!   control (thin blocking driver over its session).
 //! * [`mda_lite`] — MDA-Lite: hop-by-hop discovery, deterministic edge
@@ -67,6 +72,7 @@ pub mod pending;
 pub mod prober;
 pub mod report;
 pub mod session;
+pub mod shard;
 pub mod single_flow;
 pub mod stopping;
 pub mod stopset;
@@ -85,6 +91,7 @@ pub use session::{
     drive_probes, MdaLiteSession, MdaSession, ProbeOutcome, ProbeRequest, ProbeSession,
     SessionState, SingleFlowSession, TraceProbeSession, TraceSession,
 };
+pub use shard::{shard_of, ShardedSweepEngine};
 pub use single_flow::trace_single_flow;
 pub use stopping::StoppingPoints;
 pub use stopset::{
@@ -97,7 +104,7 @@ pub use trace::{Algorithm, PartialReason, SwitchReason, Trace, TraceOutcome};
 pub mod prelude {
     pub use crate::artifact::{ReprobeBudget, RouteHealth};
     pub use crate::config::TraceConfig;
-    pub use crate::engine::{AdaptiveBudget, Admission, SweepConfig, SweepEngine};
+    pub use crate::engine::{AdaptiveBudget, Admission, SweepConfig, SweepEngine, SweepStats};
     pub use crate::mda::trace_mda;
     pub use crate::mda_lite::trace_mda_lite;
     pub use crate::pending::RetryPolicy;
@@ -106,6 +113,7 @@ pub mod prelude {
         MdaLiteSession, MdaSession, ProbeOutcome, ProbeRequest, ProbeSession, SessionState,
         SingleFlowSession, TraceSession,
     };
+    pub use crate::shard::{shard_of, ShardedSweepEngine};
     pub use crate::single_flow::trace_single_flow;
     pub use crate::stopping::StoppingPoints;
     pub use crate::stopset::{StopContribution, StopSetConfig, StopSnapshot};

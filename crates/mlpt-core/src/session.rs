@@ -356,7 +356,12 @@ pub fn drive_probes<S: ProbeSession + ?Sized, P: Prober>(session: &mut S, prober
 /// result with [`take_trace`](TraceSession::take_trace), passing the
 /// number of probe packets actually put on the wire (retries included) so
 /// the trace reports the paper's cost metric faithfully.
-pub trait TraceSession {
+///
+/// Trace sessions are `Send`: they are pure owned data (evidence base,
+/// flow allocator, pending round), which is what lets a sharded sweep
+/// ([`crate::shard::ShardedSweepEngine`]) drive disjoint shards on
+/// worker threads while each session still runs strictly sequentially.
+pub trait TraceSession: Send {
     /// Advances the machine; returns whether probes are ready or the
     /// session is done.
     fn poll(&mut self) -> SessionState;

@@ -1,0 +1,627 @@
+//! Sharded sweep engine: multicore scale-out of [`SweepEngine`].
+//!
+//! A single [`SweepEngine`] drives every session on one thread; the
+//! transport parallelises *within* a crossing (the simulator's lane
+//! worker pool, a real backend's `sendmmsg`), but session bookkeeping —
+//! demux, pending table, retry waves, AIMD — is serial. For
+//! million-destination sweeps that serial section dominates. The
+//! [`ShardedSweepEngine`] splits the destination space across N
+//! independent engine **shards**, each owning its own transport,
+//! pending table, retry waves and AIMD budget, and drives disjoint
+//! shards on scoped worker threads.
+//!
+//! # Partition function
+//!
+//! [`shard_of`] maps a destination to its shard by a fixed
+//! multiplicative hash of the address — **by destination, never by
+//! source index** — so every session towards one destination lands on
+//! the same shard (reply tags stay unambiguous, per-destination FIFO
+//! order survives) and the assignment is reproducible from the
+//! destination alone. The same function must partition the transport:
+//! `MultiNetwork::split_by` in `mlpt-sim` takes it as the assignment
+//! closure, so a shard's lanes are exactly its sessions' lanes.
+//!
+//! # Generation-barrier stop-set commit
+//!
+//! The PR 7 shared stop set is **protocol state** (determinism rule 5):
+//! its contents must be decided by source order, never by scheduling.
+//! Sharding threatens that — two shards racing to commit would make the
+//! set depend on thread timing. The sharded engine therefore keeps the
+//! set **outside** the shards and commits at generation barriers:
+//!
+//! 1. Sessions are pulled from the source in generations of
+//!    [`StopSetConfig::commit_width`] consecutive source indices; every
+//!    session of generation *g* adopts the identical snapshot closed
+//!    over generations `< g` (generation 0 adopts the empty snapshot).
+//! 2. The generation's sessions are partitioned by [`shard_of`] and
+//!    each shard runs its slice to completion — a **barrier**: no shard
+//!    starts generation *g+1* until every shard finished *g*.
+//! 3. The shards' contributions merge in **source-index order**
+//!    (first-writer-wins per `(TTL, interface)`, evictions first), the
+//!    snapshot is rebuilt once, and the identical snapshot fans out to
+//!    every shard's generation *g+1*.
+//!
+//! This is exactly the unsharded engine's commit schedule — same
+//! generation boundaries, same commit order, same snapshots — so every
+//! per-destination outcome is bit-identical for any shard count, any
+//! admission mode and any budget, and replays exactly from seed.
+//! Without a stop set the whole source is one generation and shards
+//! never synchronise mid-sweep.
+//!
+//! # Accounting
+//!
+//! Each shard's engine keeps its own [`SweepStats`] (exposed via
+//! [`ShardedSweepEngine::shard_stats`]); [`ShardedSweepEngine::stats`]
+//! merges them through the audited [`SweepStats::merge`] (sums
+//! saturate; high-water marks take the max) plus the shard layer's own
+//! counters: stop-set elisions/hits/evictions (harvested at the
+//! barrier, since the inner engines run stop-set-less) and
+//! [`SweepStats::generation_barrier_stalls`]. A stall is a
+//! shard-generation that finished its slice early and parked at the
+//! barrier while the slowest shard kept dispatching — counted by
+//! comparing per-shard *dispatch-cycle deltas* across the generation
+//! (virtual work, not wall clock), so the counter is deterministic and
+//! replayable like everything else.
+//!
+//! All accounting invariants hold per shard **and** merged: the
+//! 4-bucket partition (`probes_timed_out + replies_delivered +
+//! malformed_replies + mismatched_replies == probes_sent`) and the
+//! stop-set ledger (`probes_sent + probes_elided == classic
+//! probes_sent` under single-flow/lossless conditions) — see
+//! `tests/sweep_equivalence.rs`.
+//!
+//! # Caveat
+//!
+//! Sharding assumes per-destination transport isolation: a shard's
+//! transport must own every interface its sessions can elicit replies
+//! from. The simulator's per-destination lanes satisfy this by
+//! construction ([`MultiNetwork::split_by`] keeps each destination's
+//! lane whole); a raw-socket backend trivially satisfies it (the kernel
+//! routes replies by the probe's tag, not by shard).
+//!
+//! [`MultiNetwork::split_by`]: ../../mlpt_sim/struct.MultiNetwork.html
+
+use crate::engine::{SweepConfig, SweepEngine, SweepStats};
+use crate::session::{ProbeSession, TraceProbeSession, TraceSession};
+use crate::stopset::{SharedStopSet, StopContribution, StopSetConfig, StopSnapshot};
+use crate::trace::Trace;
+use mlpt_wire::transport::SplitTransport;
+use std::net::Ipv4Addr;
+
+/// The deterministic destination→shard partition function.
+///
+/// A fixed multiplicative hash (Knuth's 2^32/φ constant) scrambles the
+/// address so adjacent prefixes spread across shards, then reduces mod
+/// `shards`. `shards <= 1` always maps to shard 0. The function is
+/// pure: the same `(destination, shards)` pair maps identically
+/// forever, on every platform — replays and transport splits agree by
+/// construction.
+pub fn shard_of(destination: Ipv4Addr, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (u32::from(destination).wrapping_mul(0x9E37_79B1) as usize) % shards
+}
+
+/// N independent [`SweepEngine`] shards behind one engine-shaped
+/// surface (see module docs).
+pub struct ShardedSweepEngine<T: SplitTransport> {
+    engines: Vec<SweepEngine<T>>,
+    /// The sweep-level config; shards run with `stop_set: None` (the
+    /// set lives here, committed at generation barriers).
+    config: SweepConfig,
+    /// Shard-layer counters the inner engines cannot see: stop-set
+    /// elisions/hits/evictions and generation-barrier stalls.
+    extra: SweepStats,
+    /// `extra` merged with every shard's stats, rebuilt after each run.
+    merged: SweepStats,
+    /// Final stop-set snapshot of the last run with an active stop set.
+    last_stop_snapshot: Option<StopSnapshot>,
+}
+
+impl<T: SplitTransport> ShardedSweepEngine<T> {
+    /// Creates a sharded engine over `transports` (one shard per
+    /// transport, at least one), probing from `source`. The caller must
+    /// have partitioned the transports with the same [`shard_of`]
+    /// assignment this engine applies to sessions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transports` is empty.
+    pub fn new(transports: Vec<T>, source: Ipv4Addr) -> Self {
+        assert!(
+            !transports.is_empty(),
+            "a sharded engine needs at least one shard transport"
+        );
+        let engines = transports
+            .into_iter()
+            .map(|t| SweepEngine::new(t, source))
+            .collect();
+        let mut this = Self {
+            engines,
+            config: SweepConfig::default(),
+            extra: SweepStats::default(),
+            merged: SweepStats::default(),
+            last_stop_snapshot: None,
+        };
+        this.apply_config();
+        this
+    }
+
+    /// Replaces the tuning knobs. Every shard gets the same config with
+    /// [`SweepConfig::stop_set`] stripped — the shared set is
+    /// coordinated here, at generation barriers, not inside a shard.
+    pub fn with_config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        if let Some(stop) = &mut self.config.stop_set {
+            stop.commit_width = stop.commit_width.max(1);
+            stop.start_ttl = stop.start_ttl.max(1);
+        }
+        self.apply_config();
+        self
+    }
+
+    /// Pushes the current config (stop set stripped) into every shard.
+    fn apply_config(&mut self) {
+        let shard_config = SweepConfig {
+            stop_set: None,
+            ..self.config
+        };
+        for engine in std::mem::take(&mut self.engines) {
+            self.engines.push(engine.with_config(shard_config));
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Per-shard dispatch statistics, in shard order. Protocol-level
+    /// counters sum to the unsharded equivalents; scheduling counters
+    /// (dispatch cycles, batch sizes, backoffs) are per-shard facts.
+    pub fn shard_stats(&self) -> Vec<&SweepStats> {
+        self.engines.iter().map(|e| e.stats()).collect()
+    }
+
+    /// Merged sweep statistics: every shard's counters combined through
+    /// [`SweepStats::merge`], plus the shard-layer stop-set and
+    /// barrier-stall counters.
+    pub fn stats(&self) -> &SweepStats {
+        &self.merged
+    }
+
+    /// The shared stop set's final snapshot from the last run with
+    /// [`SweepConfig::stop_set`] active (`None` otherwise) — same
+    /// contract as [`SweepEngine::stop_snapshot`].
+    pub fn stop_snapshot(&self) -> Option<&StopSnapshot> {
+        self.last_stop_snapshot.as_ref()
+    }
+
+    /// Consumes the engine, returning the shard transports in shard
+    /// order.
+    pub fn into_transports(self) -> Vec<T> {
+        self.engines
+            .into_iter()
+            .map(|e| e.into_transport())
+            .collect()
+    }
+
+    /// Rebuilds the merged stats from the shard engines and the layer
+    /// counters.
+    fn remerge(&mut self) {
+        let mut merged = self.extra;
+        for engine in &self.engines {
+            merged.merge(engine.stats());
+        }
+        self.merged = merged;
+    }
+}
+
+impl<T: SplitTransport + Send> ShardedSweepEngine<T> {
+    /// Streams trace sessions through the sharded engine, returning
+    /// their traces in source order — the sharded analogue of
+    /// [`SweepEngine::run_stream`].
+    pub fn run_stream<I>(&mut self, sessions: I) -> Vec<Trace>
+    where
+        I: IntoIterator<Item = Box<dyn TraceSession>>,
+    {
+        let mut out: Vec<Option<Trace>> = Vec::new();
+        self.run_stream_with(sessions, |index, trace| {
+            if out.len() <= index {
+                out.resize_with(index + 1, || None);
+            }
+            out[index] = Some(trace);
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    /// Streams trace sessions through the sharded engine, handing each
+    /// finished trace to `sink` with its source index — the sharded
+    /// analogue of [`SweepEngine::run_stream_with`]. Traces are emitted
+    /// in source order within each generation.
+    pub fn run_stream_with<I, F>(&mut self, sessions: I, mut sink: F)
+    where
+        I: IntoIterator<Item = Box<dyn TraceSession>>,
+        F: FnMut(usize, Trace),
+    {
+        let adapted = sessions.into_iter().map(TraceProbeSession::new);
+        self.run_sessions_with(adapted, |index, mut session, probes_sent| {
+            let outcome = session.outcome();
+            let mut trace = session.inner_mut().take_trace(probes_sent);
+            // Engine-side verdict (watchdog aborts) wins over a clean
+            // session outcome; a self-declared partial keeps its
+            // verdict — same rule as the unsharded engine.
+            if outcome.is_partial() {
+                trace.outcome = outcome;
+            }
+            sink(index, trace);
+        });
+    }
+
+    /// The generalised entry point — the sharded analogue of
+    /// [`SweepEngine::run_sessions_with`]: streams any `Send` probe
+    /// session type through the shards, handing each finished session
+    /// back with its source index and wire-level probe count. Sessions
+    /// are emitted in source order within each generation.
+    pub fn run_sessions_with<S, I, F>(&mut self, sessions: I, mut sink: F)
+    where
+        S: ProbeSession + Send,
+        I: IntoIterator<Item = S>,
+        F: FnMut(usize, S, u64),
+    {
+        self.last_stop_snapshot = None;
+        let stop_cfg: Option<StopSetConfig> = self.config.stop_set;
+        // Without a stop set there is nothing to synchronise on: the
+        // whole source is one generation and shards run free.
+        let width = match &stop_cfg {
+            Some(cfg) => cfg.commit_width.max(1),
+            None => usize::MAX,
+        };
+        let mut set = SharedStopSet::default();
+        let mut snapshot = StopSnapshot::empty();
+        let mut iter = sessions.into_iter();
+        let mut next_index = 0usize;
+
+        loop {
+            // Pull one generation in source order; every session adopts
+            // the snapshot closed over earlier generations (empty for
+            // generation 0) at pull time, exactly like the unsharded
+            // engine.
+            let mut generation: Vec<(usize, S)> = Vec::new();
+            while generation.len() < width {
+                let Some(mut session) = iter.next() else {
+                    break;
+                };
+                if stop_cfg.is_some() {
+                    session.adopt_stop_set(&snapshot);
+                }
+                generation.push((next_index, session));
+                next_index += 1;
+            }
+            if generation.is_empty() {
+                break;
+            }
+
+            // Partition by destination; same-destination sessions land
+            // on the same shard, so reply tags stay unambiguous.
+            let shards = self.engines.len();
+            let mut batches: Vec<Vec<(usize, S)>> = (0..shards).map(|_| Vec::new()).collect();
+            for (index, session) in generation {
+                batches[shard_of(session.destination(), shards)].push((index, session));
+            }
+
+            // Barrier-stall accounting baseline: dispatch cycles before
+            // this generation, per participating shard.
+            let cycles_before: Vec<u64> = self
+                .engines
+                .iter()
+                .map(|e| e.stats().dispatch_cycles)
+                .collect();
+            let participating: Vec<usize> = batches
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| !b.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+
+            let harvest = stop_cfg.is_some();
+            let mut results: Vec<(usize, S, u64, Option<StopContribution>)> =
+                if participating.len() <= 1 {
+                    // One busy shard (or none): no parallelism to buy,
+                    // run inline and skip the scope entirely.
+                    match participating.first() {
+                        Some(&shard) => run_shard(
+                            &mut self.engines[shard],
+                            std::mem::take(&mut batches[shard]),
+                            harvest,
+                        ),
+                        None => Vec::new(),
+                    }
+                } else {
+                    // Disjoint shards on scoped worker threads. Shard
+                    // state is engine state: budgets, stats and demux
+                    // tables persist across generations on their own
+                    // shard, untouched by the others.
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = self
+                            .engines
+                            .iter_mut()
+                            .zip(batches)
+                            .filter(|(_, batch)| !batch.is_empty())
+                            .map(|(engine, batch)| {
+                                scope.spawn(move || run_shard(engine, batch, harvest))
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("a sweep shard panicked"))
+                            .collect()
+                    })
+                };
+
+            // Barrier stalls: shards that finished the generation in
+            // fewer dispatch cycles than the slowest one idled at the
+            // barrier for the difference. Only meaningful when two or
+            // more shards actually ran.
+            if participating.len() > 1 {
+                let deltas: Vec<u64> = participating
+                    .iter()
+                    .map(|&i| self.engines[i].stats().dispatch_cycles - cycles_before[i])
+                    .collect();
+                let slowest = deltas.iter().copied().max().unwrap_or(0);
+                self.extra.generation_barrier_stalls +=
+                    deltas.iter().filter(|&&d| d < slowest).count() as u64;
+            }
+
+            // Emit in source order within the generation (determinism
+            // of the emission sequence, not just of its contents), then
+            // commit contributions in the same order — first-writer-
+            // wins resolves exactly as in the unsharded engine.
+            results.sort_by_key(|&(index, _, _, _)| index);
+            let mut staged: Vec<(usize, StopContribution)> = Vec::new();
+            for (index, session, probes_sent, contribution) in results {
+                if let Some(contribution) = contribution {
+                    self.extra.probes_elided += contribution.probes_elided;
+                    self.extra.stop_set_hits += contribution.stop_hits;
+                    staged.push((index, contribution));
+                }
+                sink(index, session, probes_sent);
+            }
+            if let Some(cfg) = &stop_cfg {
+                let evictions_before = set.evictions();
+                for (index, contribution) in staged {
+                    set.commit(index, &contribution);
+                }
+                self.extra.stop_set_evictions += set.evictions() - evictions_before;
+                snapshot = set.snapshot(cfg);
+            }
+        }
+
+        if let Some(cfg) = &stop_cfg {
+            self.last_stop_snapshot = Some(set.snapshot(cfg));
+        }
+        self.remerge();
+    }
+}
+
+/// Runs one shard's slice of a generation to completion on its own
+/// engine, returning `(source index, session, probes sent, stop
+/// contribution)` per session. Contributions are harvested here, at
+/// finish time (the shard engines run stop-set-less; the shared set is
+/// committed at the barrier), before the session reaches the caller's
+/// sink — same order as the unsharded engine's harvest.
+fn run_shard<T: SplitTransport, S: ProbeSession>(
+    engine: &mut SweepEngine<T>,
+    batch: Vec<(usize, S)>,
+    harvest: bool,
+) -> Vec<(usize, S, u64, Option<StopContribution>)> {
+    let mut globals = Vec::with_capacity(batch.len());
+    let sessions: Vec<S> = batch
+        .into_iter()
+        .map(|(index, session)| {
+            globals.push(index);
+            session
+        })
+        .collect();
+    let mut out = Vec::with_capacity(globals.len());
+    engine.run_sessions_with(sessions, |local, mut session, probes_sent| {
+        let contribution = if harvest {
+            session.stop_contribution()
+        } else {
+            None
+        };
+        out.push((globals[local], session, probes_sent, contribution));
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TraceConfig;
+    use crate::engine::{AdaptiveBudget, Admission};
+    use crate::session::MdaLiteSession;
+    use mlpt_sim::SimNetwork;
+    use mlpt_topo::canonical;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        let dests = [
+            Ipv4Addr::new(198, 51, 100, 1),
+            Ipv4Addr::new(198, 51, 100, 2),
+            Ipv4Addr::new(203, 0, 113, 7),
+            Ipv4Addr::new(10, 0, 0, 1),
+        ];
+        for shards in 1..=8 {
+            for d in dests {
+                let s = shard_of(d, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(d, shards), "pure function");
+            }
+        }
+        for d in dests {
+            assert_eq!(shard_of(d, 0), 0);
+            assert_eq!(shard_of(d, 1), 0);
+        }
+        // The hash actually spreads adjacent addresses (not a fixed
+        // value): over a /24 of destinations every shard of 4 is hit.
+        let mut hit = [false; 4];
+        for host in 0..=255u8 {
+            hit[shard_of(Ipv4Addr::new(198, 51, 100, host), 4)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "all shards reachable: {hit:?}");
+    }
+
+    fn lane_topos(n: u32) -> Vec<mlpt_topo::MultipathTopology> {
+        (0..n)
+            .map(|i| canonical::fig1_meshed().translated(0x0100_0000 * (i + 1)))
+            .collect()
+    }
+
+    fn nets_for(
+        topos: &[mlpt_topo::MultipathTopology],
+        pred: impl Fn(Ipv4Addr) -> bool,
+    ) -> Vec<SimNetwork> {
+        topos
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| pred(t.destination()))
+            .map(|(i, t)| SimNetwork::new(t.clone(), 7 + i as u64))
+            .collect()
+    }
+
+    fn sessions_for(topos: &[mlpt_topo::MultipathTopology]) -> Vec<Box<dyn TraceSession>> {
+        topos
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                Box::new(MdaLiteSession::new(
+                    t.destination(),
+                    TraceConfig::new(i as u64),
+                )) as Box<dyn TraceSession>
+            })
+            .collect()
+    }
+
+    fn config(admission: Admission, stop: Option<StopSetConfig>) -> SweepConfig {
+        SweepConfig {
+            max_in_flight: 16,
+            retries: 1,
+            admission,
+            adaptive: Some(AdaptiveBudget {
+                min_in_flight: 2,
+                ..AdaptiveBudget::default()
+            }),
+            stop_set: stop,
+            ..SweepConfig::default()
+        }
+    }
+
+    /// The heart of the tentpole: N-shard runs are bit-identical to the
+    /// unsharded engine — traces, protocol stats, stop-set snapshot —
+    /// across admission modes, with and without the shared stop set.
+    #[test]
+    fn sharded_matches_unsharded_bit_identical() {
+        let topos = lane_topos(13);
+        let stop = Some(StopSetConfig {
+            commit_width: 4,
+            ..StopSetConfig::default()
+        });
+        for admission in [Admission::Eager, Admission::Streaming, Admission::CostAware] {
+            for stop_cfg in [None, stop] {
+                let cfg = config(admission, stop_cfg);
+                // Unsharded reference.
+                let net = mlpt_sim::MultiNetwork::new(nets_for(&topos, |_| true))
+                    .expect("unique destinations");
+                let mut plain = SweepEngine::new(net, SRC).with_config(cfg);
+                let want = plain.run_stream(sessions_for(&topos));
+                let want_stats = *plain.stats();
+
+                for shards in [1usize, 2, 3, 4] {
+                    let transports: Vec<_> = (0..shards)
+                        .map(|s| {
+                            mlpt_sim::MultiNetwork::new(nets_for(&topos, |d| {
+                                shard_of(d, shards) == s
+                            }))
+                            .expect("unique destinations")
+                        })
+                        .collect();
+                    let mut sharded = ShardedSweepEngine::new(transports, SRC).with_config(cfg);
+                    let got = sharded.run_stream(sessions_for(&topos));
+                    assert_eq!(want, got, "{admission:?} stop={stop_cfg:?} shards={shards}");
+                    let got_stats = *sharded.stats();
+                    // Protocol-level stats are scheduling-independent.
+                    assert_eq!(want_stats.probes_sent, got_stats.probes_sent);
+                    assert_eq!(want_stats.replies_delivered, got_stats.replies_delivered);
+                    assert_eq!(want_stats.probes_timed_out, got_stats.probes_timed_out);
+                    assert_eq!(want_stats.probes_elided, got_stats.probes_elided);
+                    assert_eq!(want_stats.stop_set_hits, got_stats.stop_set_hits);
+                    assert_eq!(want_stats.retries_elided, got_stats.retries_elided);
+                    assert_eq!(want_stats.stop_set_evictions, got_stats.stop_set_evictions);
+                    assert_eq!(want_stats.sessions_admitted, got_stats.sessions_admitted);
+                    assert_eq!(want_stats.sessions_completed, got_stats.sessions_completed);
+                    // 4-bucket partition holds per shard and merged.
+                    for stats in sharded
+                        .shard_stats()
+                        .into_iter()
+                        .copied()
+                        .chain([got_stats])
+                    {
+                        assert_eq!(
+                            stats.probes_timed_out
+                                + stats.replies_delivered
+                                + stats.malformed_replies
+                                + stats.mismatched_replies,
+                            stats.probes_sent
+                        );
+                    }
+                    // Same final snapshot (the set is protocol state).
+                    match (plain.stop_snapshot(), sharded.stop_snapshot()) {
+                        (None, None) => assert!(stop_cfg.is_none()),
+                        (Some(a), Some(b)) => assert_eq!(a.len(), b.len()),
+                        (a, b) => panic!("snapshot presence diverged: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replays are exact: the same seeds and shard count reproduce the
+    /// same traces and merged stats, including the barrier-stall
+    /// counter (virtual work, not wall clock).
+    #[test]
+    fn sharded_replay_is_exact() {
+        let topos = lane_topos(9);
+        let cfg = config(
+            Admission::Streaming,
+            Some(StopSetConfig {
+                commit_width: 3,
+                ..StopSetConfig::default()
+            }),
+        );
+        let run = || {
+            let transports: Vec<_> = (0..3usize)
+                .map(|s| {
+                    mlpt_sim::MultiNetwork::new(nets_for(&topos, |d| shard_of(d, 3) == s))
+                        .expect("unique destinations")
+                })
+                .collect();
+            let mut engine = ShardedSweepEngine::new(transports, SRC).with_config(cfg);
+            let traces = engine.run_stream(sessions_for(&topos));
+            (traces, *engine.stats())
+        };
+        let (traces_a, stats_a) = run();
+        let (traces_b, stats_b) = run();
+        assert_eq!(traces_a, traces_b);
+        assert_eq!(stats_a, stats_b, "replay must reproduce every counter");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard transport")]
+    fn empty_transport_vector_rejected() {
+        let _ = ShardedSweepEngine::<mlpt_sim::SimNetwork>::new(Vec::new(), SRC);
+    }
+}

@@ -24,14 +24,42 @@
 //! process lanes on worker threads ([`MultiNetwork::with_workers`]):
 //! because lanes are disjoint, the merged reply batch is identical
 //! regardless of thread timing, so parallelism is invisible except in
-//! wall-clock time.
+//! wall-clock time. The threads are a **persistent pool**
+//! ([`crate::pool`]) — long-lived workers parked between crossings —
+//! so the parallel path engages at any batch size instead of only
+//! above a spawn-amortization threshold.
 
 use crate::network::{PendingBatch, SimNetwork, TrafficCounters};
+use crate::pool::WorkerPool;
 use mlpt_wire::ipv4::{Ipv4Header, PROTO_ICMP, PROTO_UDP};
 use mlpt_wire::transport::{
     BatchTransport, PacketBatch, PacketTransport, ReplyBatch, SplitTransport,
 };
 use std::net::Ipv4Addr;
+use std::sync::{Arc, Mutex};
+
+/// Minimum routed probes in a batch before the worker pool engages.
+///
+/// The old per-crossing `thread::scope` spawn only amortized above ~64
+/// probes *per worker* (a spawn/join costs ~10–30 µs); the persistent
+/// pool's per-crossing cost is two channel hops per worker (~1 µs), so
+/// the measured crossover drops to single-digit batches: any crossing
+/// with at least two probes to split between lanes is worth handing to
+/// the pool. Batches of one probe (and single-lane networks) keep the
+/// serial path — there is nothing to parallelize.
+const POOL_MIN_PROBES: usize = 2;
+
+/// The default simulator worker count: the `MLPT_SIM_WORKERS`
+/// environment variable when set (CI exercises the pool suite-wide
+/// with `MLPT_SIM_WORKERS=2`), else 1 (fully sequential). Worker count
+/// is purely a wall-clock knob — replies are bit-identical for any
+/// value — which is what makes an environment override safe.
+pub fn env_default_workers() -> usize {
+    std::env::var("MLPT_SIM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |w| w.max(1))
+}
 
 /// Errors detected while assembling a [`MultiNetwork`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,17 +83,32 @@ impl std::error::Error for MultiNetworkError {}
 
 /// One shared transport over per-destination [`SimNetwork`] lanes.
 pub struct MultiNetwork {
-    lanes: Vec<SimNetwork>,
+    /// The lanes, shared with pool workers **only while a crossing is
+    /// in flight**: workers drop their `Arc` clone before acking, so
+    /// between crossings this is the unique reference and every `&mut
+    /// self` accessor recovers lock-free `&mut SimNetwork` access via
+    /// [`Arc::get_mut`].
+    lanes: Arc<Vec<Mutex<SimNetwork>>>,
     /// Sorted (destination, lane) pairs for UDP routing.
     dests: Vec<(u32, usize)>,
     /// Sorted (interface, lane) pairs for echo routing; an interface
     /// shared by several lanes (e.g. a common core) routes to the first.
     interfaces: Vec<(u32, usize)>,
     workers: usize,
+    /// The persistent worker pool, spawned lazily on the first parallel
+    /// crossing (serial-only networks never pay for threads).
+    pool: Option<WorkerPool>,
     /// Virtual ticks every lane's clock advances after each `send_batch`.
     cycle_gap: u64,
     /// In-flight batch of the split (send/recv) transport exchange.
     pending: PendingBatch,
+}
+
+/// Unwraps a lane's mutex under the exclusive-between-crossings
+/// invariant (poisoning would mean a pool worker panicked mid-job,
+/// which already aborted the crossing).
+fn unpoisoned(lane: &mut Mutex<SimNetwork>) -> &mut SimNetwork {
+    lane.get_mut().expect("lane mutex poisoned")
 }
 
 impl MultiNetwork {
@@ -92,21 +135,74 @@ impl MultiNetwork {
         interfaces.sort_unstable();
         interfaces.dedup_by_key(|&mut (addr, _)| addr);
         Ok(Self {
-            lanes,
+            lanes: Arc::new(lanes.into_iter().map(Mutex::new).collect()),
             dests,
             interfaces,
-            workers: 1,
+            workers: env_default_workers(),
+            pool: None,
             cycle_gap: 0,
             pending: PendingBatch::default(),
         })
     }
 
     /// Sets how many worker threads `send_batch` may spread lanes over
-    /// (default 1 = fully sequential). Purely a wall-clock knob: the
-    /// replies are identical for any worker count.
+    /// (default: [`env_default_workers`] — 1 unless `MLPT_SIM_WORKERS`
+    /// overrides it). Purely a wall-clock knob: the replies are
+    /// identical for any worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+        let workers = workers.max(1);
+        if workers != self.workers {
+            self.workers = workers;
+            // Resized pools respawn lazily on the next parallel crossing.
+            self.pool = None;
+        }
         self
+    }
+
+    /// Splits this transport into `shards` independent transports, each
+    /// owning the lanes `assign` maps to it (by the lane's traced
+    /// destination, so a sharded sweep's sessions and their lanes land
+    /// on the same shard). The handoff for
+    /// `mlpt_core::shard::ShardedSweepEngine`: lane state, worker count
+    /// and cycle gap carry over verbatim; shards the assignment leaves
+    /// empty are valid (they simply answer nothing). Lane order within
+    /// a shard preserves this network's lane order.
+    ///
+    /// Sharding assumes the standard per-destination lane construction
+    /// (disjoint address blocks): an interface shared by lanes on
+    /// *different* shards would be answered by each shard's own first
+    /// owning lane, where the unsharded network routes all echoes to
+    /// the global first.
+    pub fn split_by<F>(self, shards: usize, assign: F) -> Vec<MultiNetwork>
+    where
+        F: Fn(Ipv4Addr) -> usize,
+    {
+        let shards = shards.max(1);
+        let MultiNetwork {
+            lanes,
+            workers,
+            cycle_gap,
+            ..
+        } = self;
+        let lanes = Arc::try_unwrap(lanes)
+            .map_err(|_| ())
+            .expect("a crossing is still in flight")
+            .into_iter()
+            .map(|m| m.into_inner().expect("lane mutex poisoned"));
+        let mut per_shard: Vec<Vec<SimNetwork>> = (0..shards).map(|_| Vec::new()).collect();
+        for lane in lanes {
+            let shard = assign(lane.topology().destination()) % shards;
+            per_shard[shard].push(lane);
+        }
+        per_shard
+            .into_iter()
+            .map(|sub| {
+                MultiNetwork::new(sub)
+                    .expect("a subset of unique destinations stays unique")
+                    .with_workers(workers)
+                    .with_cycle_gap(cycle_gap)
+            })
+            .collect()
     }
 
     /// Advances every lane's virtual clock by `ticks` after each
@@ -131,20 +227,24 @@ impl MultiNetwork {
         self.lanes.len()
     }
 
-    /// A lane's simulator.
-    pub fn lane(&self, index: usize) -> &SimNetwork {
-        &self.lanes[index]
+    /// A lane's simulator. (`&mut self` because lane access recovers
+    /// exclusive ownership from the pool-shared storage; no lock is
+    /// taken.)
+    pub fn lane(&mut self, index: usize) -> &SimNetwork {
+        self.lane_mut(index)
     }
 
     /// Mutable access to a lane's simulator.
     pub fn lane_mut(&mut self, index: usize) -> &mut SimNetwork {
-        &mut self.lanes[index]
+        let lanes = Arc::get_mut(&mut self.lanes).expect("a crossing is still in flight");
+        unpoisoned(&mut lanes[index])
     }
 
     /// Aggregated traffic counters across all lanes.
     pub fn counters(&self) -> TrafficCounters {
         let mut total = TrafficCounters::default();
-        for lane in &self.lanes {
+        for lane in self.lanes.iter() {
+            let lane = lane.lock().expect("lane mutex poisoned");
             let c = lane.counters();
             total.probes_received += c.probes_received;
             total.probes_lost += c.probes_lost;
@@ -162,8 +262,10 @@ impl MultiNetwork {
     /// (no-op at the default gap of 0).
     fn apply_cycle_gap(&mut self) {
         if self.cycle_gap > 0 {
-            for lane in &mut self.lanes {
-                lane.advance_clock(self.cycle_gap);
+            let gap = self.cycle_gap;
+            let lanes = Arc::get_mut(&mut self.lanes).expect("a crossing is still in flight");
+            for lane in lanes.iter_mut() {
+                unpoisoned(lane).advance_clock(gap);
             }
         }
     }
@@ -193,12 +295,12 @@ impl MultiNetwork {
 impl PacketTransport for MultiNetwork {
     fn send_packet(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
         let lane = self.lane_for(packet)?;
-        self.lanes[lane].send_packet(packet)
+        self.lane_mut(lane).send_packet(packet)
     }
 
     fn send_packet_into(&mut self, packet: &[u8], reply: &mut Vec<u8>) -> bool {
         match self.lane_for(packet) {
-            Some(lane) => self.lanes[lane].send_packet_into(packet, reply),
+            Some(lane) => self.lane_mut(lane).send_packet_into(packet, reply),
             None => false,
         }
     }
@@ -207,7 +309,10 @@ impl PacketTransport for MultiNetwork {
     /// its own packets). Per-probe timestamps — the values observations
     /// carry — come from the owning lane via `send_batch`.
     fn now(&self) -> u64 {
-        self.lanes.iter().map(SimNetwork::clock).sum()
+        self.lanes
+            .iter()
+            .map(|l| l.lock().expect("lane mutex poisoned").clock())
+            .sum()
     }
 }
 
@@ -221,21 +326,21 @@ impl BatchTransport for MultiNetwork {
         replies.clear();
         let lane_of: Vec<Option<usize>> = probes.iter().map(|p| self.lane_for(p)).collect();
 
-        // Worker threads are spawned per crossing, so only engage them
-        // when the batch carries enough lane work to amortize the spawn
-        // (~64 probes per worker); small batches run the sequential path.
-        let parallel_worthwhile = probes.len() >= self.workers * 64;
-        if self.workers <= 1 || self.lanes.len() <= 1 || !parallel_worthwhile {
+        // The persistent pool engages at any batch worth splitting (see
+        // [`POOL_MIN_PROBES`]); one worker, one lane or a single probe
+        // keeps the lock-free sequential path.
+        if self.workers <= 1 || self.lanes.len() <= 1 || probes.len() < POOL_MIN_PROBES {
+            let lanes = Arc::get_mut(&mut self.lanes).expect("a crossing is still in flight");
             for (slot, packet) in probes.iter().enumerate() {
                 match lane_of[slot] {
                     Some(l) => {
-                        let lane = &mut self.lanes[l];
+                        let lane = unpoisoned(&mut lanes[l]);
                         let mut answered = false;
                         replies.push_with(0, |buf| {
                             answered = lane.send_packet_into(packet, buf);
                             answered
                         });
-                        let t = self.lanes[l].clock();
+                        let t = unpoisoned(&mut lanes[l]).clock();
                         replies.set_last_timestamp(t);
                     }
                     None => replies.push_with(0, |_| false),
@@ -245,9 +350,10 @@ impl BatchTransport for MultiNetwork {
             return;
         }
 
-        // Parallel path: per-lane slot lists, lanes spread over worker
-        // threads, outputs merged in slot order. Lane state is disjoint,
-        // so the result is identical to the sequential path.
+        // Parallel path: per-lane slot lists, disjoint lane sets handed
+        // to the persistent workers, outputs merged in slot order. Lane
+        // state is disjoint, so the result is identical to the
+        // sequential path whatever the thread timing.
         let num_lanes = self.lanes.len();
         let mut slots_of: Vec<Vec<usize>> = vec![Vec::new(); num_lanes];
         for (slot, lane) in lane_of.iter().enumerate() {
@@ -255,37 +361,37 @@ impl BatchTransport for MultiNetwork {
                 slots_of[*l].push(slot);
             }
         }
-        // Workers produce (slot, reply, lane clock) records merged after
-        // the join — safe Rust, deterministic merge in slot order.
-        let mut outputs: Vec<Option<(Option<Vec<u8>>, u64)>> = vec![None; probes.len()];
-        let chunk = num_lanes.div_ceil(self.workers);
-        let mut lane_work: Vec<(&mut SimNetwork, &[usize])> = self
-            .lanes
-            .iter_mut()
-            .zip(slots_of.iter().map(Vec::as_slice))
+        // Only lanes with routed probes are assigned; contiguous chunks
+        // of them spread across the workers (deterministic assignment,
+        // though any assignment would merge identically).
+        let busy: Vec<(usize, Vec<usize>)> = slots_of
+            .into_iter()
+            .enumerate()
+            .filter(|(_, slots)| !slots.is_empty())
             .collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            while !lane_work.is_empty() {
-                let take = chunk.min(lane_work.len());
-                let batch: Vec<(&mut SimNetwork, &[usize])> = lane_work.drain(..take).collect();
-                handles.push(scope.spawn(move || {
-                    let mut produced: Vec<(usize, Option<Vec<u8>>, u64)> = Vec::new();
-                    for (lane, slots) in batch {
-                        for &slot in slots {
-                            let reply = lane.send_packet(probes.get(slot));
-                            produced.push((slot, reply, lane.clock()));
-                        }
-                    }
-                    produced
-                }));
+        let workers = self.workers;
+        let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
+        let chunk = busy.len().div_ceil(pool.len()).max(1);
+        let mut per_worker: Vec<Vec<(usize, Vec<usize>)>> = Vec::with_capacity(pool.len());
+        let mut busy = busy.into_iter();
+        loop {
+            let assignments: Vec<(usize, Vec<usize>)> = busy.by_ref().take(chunk).collect();
+            if assignments.is_empty() {
+                break;
             }
-            for handle in handles {
-                for (slot, reply, clock) in handle.join().expect("lane worker panicked") {
+            per_worker.push(assignments);
+        }
+        let mut outputs: Vec<Option<(Option<Vec<u8>>, u64)>> = vec![None; probes.len()];
+        pool.dispatch(
+            &self.lanes,
+            Arc::new(probes.clone()),
+            per_worker,
+            |records| {
+                for (slot, reply, clock) in records {
                     outputs[slot] = Some((reply, clock));
                 }
-            }
-        });
+            },
+        );
         for (slot, out) in outputs.into_iter().enumerate() {
             match out {
                 Some((Some(bytes), t)) => {
@@ -332,7 +438,10 @@ impl SplitTransport for MultiNetwork {
                 // lane's own jitter stream. Slots visit each lane in its
                 // own dispatch order, so the draws a lane consumes are a
                 // pure function of its probe sequence.
-                Some(lane) => self.lanes[lane].sample_latency_at(pending.replies.timestamp(slot)),
+                Some(lane) => {
+                    let at = pending.replies.timestamp(slot);
+                    self.lane_mut(lane).sample_latency_at(at)
+                }
                 None => 0,
             };
             pending.latencies.push(latency);
@@ -490,8 +599,7 @@ mod tests {
             .map(|l| l.topology().destination())
             .collect();
         let mut batch = PacketBatch::new();
-        // Enough probes (> 3 workers x 64) that the parallel path is
-        // actually engaged, not bypassed by the amortization threshold.
+        // A large batch: plenty of lane work to spread over the pool.
         for round in 0..64u16 {
             for (i, &dst) in dests.iter().enumerate() {
                 batch.push(&probe_bytes(
@@ -528,6 +636,104 @@ mod tests {
                 par_replies.timestamp(slot),
                 "slot {slot} timestamp"
             );
+        }
+    }
+
+    /// Satellite regression for the persistent pool: with spawn
+    /// amortization gone, the parallel path engages at any batch size —
+    /// so 1-worker and N-worker crossings must stay bit-identical at
+    /// *every* batch size, including a single probe, and across
+    /// repeated crossings of one long-lived pool.
+    #[test]
+    fn worker_counts_bit_identical_at_every_batch_size() {
+        let dests: Vec<Ipv4Addr> = lanes(4, 33)
+            .iter()
+            .map(|l| l.topology().destination())
+            .collect();
+        for batch_size in [1usize, 2, 3, 5, 9, 17, 64] {
+            let batches: Vec<PacketBatch> = (0..3u16)
+                .map(|crossing| {
+                    let mut batch = PacketBatch::new();
+                    for i in 0..batch_size {
+                        let seq = crossing * 100 + i as u16;
+                        batch.push(&probe_bytes(
+                            dests[i % dests.len()],
+                            seq,
+                            (i % 4 + 1) as u8,
+                            seq,
+                        ));
+                    }
+                    batch
+                })
+                .collect();
+            let run = |workers: usize| -> Vec<ReplyBatch> {
+                let mut net = MultiNetwork::new(lanes(4, 33))
+                    .expect("unique")
+                    .with_workers(workers);
+                batches
+                    .iter()
+                    .map(|batch| {
+                        let mut replies = ReplyBatch::new();
+                        net.send_batch(batch, &mut replies);
+                        replies
+                    })
+                    .collect()
+            };
+            let baseline = run(1);
+            for workers in [2usize, 3, 8] {
+                let parallel = run(workers);
+                for (crossing, (want, got)) in baseline.iter().zip(&parallel).enumerate() {
+                    assert_eq!(want.len(), got.len());
+                    for slot in 0..want.len() {
+                        assert_eq!(
+                            want.get(slot),
+                            got.get(slot),
+                            "workers {workers} batch {batch_size} crossing {crossing} slot {slot} reply"
+                        );
+                        assert_eq!(
+                            want.timestamp(slot),
+                            got.timestamp(slot),
+                            "workers {workers} batch {batch_size} crossing {crossing} slot {slot} timestamp"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `split_by` hands each lane (with its full state) to the shard its
+    /// destination maps to: every shard answers exactly its own
+    /// destinations, empty shards are valid, and the shards' replies are
+    /// bit-identical to the unsharded network's.
+    #[test]
+    fn split_by_partitions_lanes_and_preserves_state() {
+        let all = lanes(4, 55);
+        let dests: Vec<Ipv4Addr> = all.iter().map(|l| l.topology().destination()).collect();
+        let assign = |d: Ipv4Addr| usize::from(u32::from(d) % 2 == 0);
+        // Shard 2 stays empty on purpose.
+        let mut shards = MultiNetwork::new(all)
+            .expect("unique")
+            .with_cycle_gap(3)
+            .split_by(3, assign);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(
+            shards.iter().map(MultiNetwork::num_lanes).sum::<usize>(),
+            dests.len()
+        );
+        assert_eq!(shards[2].num_lanes(), 0);
+        let mut unsharded = MultiNetwork::new(lanes(4, 55)).expect("unique");
+        for (i, &dst) in dests.iter().enumerate() {
+            let probe = probe_bytes(dst, i as u16, 2, i as u16);
+            let expected = unsharded.send_packet(&probe);
+            assert!(expected.is_some(), "destination {dst} must answer");
+            for (s, shard) in shards.iter_mut().enumerate() {
+                let reply = shard.send_packet(&probe);
+                if s == assign(dst) {
+                    assert_eq!(reply, expected, "owning shard {s} must answer {dst}");
+                } else {
+                    assert!(reply.is_none(), "shard {s} must not own {dst}");
+                }
+            }
         }
     }
 

@@ -1,0 +1,166 @@
+//! Persistent lane worker pool for [`crate::MultiNetwork`].
+//!
+//! PR 2's parallel `send_batch` path spawned a fresh `thread::scope`
+//! per transport crossing, which only amortized above ~64 probes per
+//! worker — so the very dispatch sizes an adaptive budget backs off to
+//! (single-digit batches) always ran serially. This pool replaces the
+//! per-crossing spawn with **long-lived workers**: each worker owns an
+//! input queue and parks in `recv` between crossings (`mpsc` blocks by
+//! parking the thread; enqueueing a job unparks it), so the per-crossing
+//! cost drops from a thread spawn/join (~10–30 µs each on this class of
+//! hardware) to two channel hops (~1 µs), and the parallel path engages
+//! at any batch size.
+//!
+//! Determinism: a job hands every worker a *disjoint* set of lanes, each
+//! worker processes its lanes' slots in slot order, and the caller
+//! merges the produced `(slot, reply, lane clock)` records back in slot
+//! order — exactly the contract the scoped-spawn path had, so replies
+//! are bit-identical for any worker count and any thread timing.
+//!
+//! Ownership: lanes live in an `Arc<Vec<Mutex<SimNetwork>>>`. Workers
+//! clone the `Arc` only for the duration of one job and drop it
+//! **before** acking, so between crossings the `MultiNetwork` holds the
+//! only reference and recovers plain `&mut SimNetwork` access (no lock
+//! traffic on the serial path). The per-lane mutexes are uncontended by
+//! construction — a job never assigns one lane to two workers.
+
+use crate::network::SimNetwork;
+use mlpt_wire::transport::{PacketBatch, PacketTransport};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One crossing's worth of work for one worker: a disjoint set of lanes
+/// and, per lane, the probe slots routed to it (in slot order).
+struct Job {
+    lanes: Arc<Vec<Mutex<SimNetwork>>>,
+    probes: Arc<PacketBatch>,
+    /// `(lane index, slots routed to that lane)` — lanes disjoint
+    /// across the workers of one crossing.
+    assignments: Vec<(usize, Vec<usize>)>,
+    reply_to: Sender<JobOutput>,
+}
+
+/// `(slot, reply bytes if answered, owning lane's clock after the
+/// packet)` records, produced per worker and merged by the caller.
+type JobOutput = Vec<(usize, Option<Vec<u8>>, u64)>;
+
+struct Worker {
+    queue: Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The persistent pool: `len()` long-lived workers, each parked on its
+/// own queue until a crossing assigns it lanes.
+pub(crate) struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` lane workers (at least one).
+    pub(crate) fn new(workers: usize) -> Self {
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let (queue, jobs) = channel::<Job>();
+                let handle = std::thread::spawn(move || {
+                    // Parked in `recv` between crossings; wakes when a
+                    // job lands, exits when the pool drops the sender.
+                    while let Ok(job) = jobs.recv() {
+                        let Job {
+                            lanes,
+                            probes,
+                            assignments,
+                            reply_to,
+                        } = job;
+                        let mut out: JobOutput = Vec::new();
+                        for (lane_index, slots) in assignments {
+                            let mut lane = lanes[lane_index]
+                                .lock()
+                                .expect("lane mutex poisoned by a sibling worker");
+                            for slot in slots {
+                                let reply = lane.send_packet(probes.get(slot));
+                                out.push((slot, reply, lane.clock()));
+                            }
+                        }
+                        // Drop the shared handles *before* acking so the
+                        // caller's post-crossing `Arc::get_mut` (the
+                        // lock-free serial/accessor path) always succeeds.
+                        drop(lanes);
+                        drop(probes);
+                        let _ = reply_to.send(out);
+                    }
+                });
+                Worker {
+                    queue,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Self { workers }
+    }
+
+    /// Number of workers.
+    pub(crate) fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs one crossing: distributes `per_worker` assignment sets over
+    /// the workers and blocks until every dispatched job has acked,
+    /// invoking `merge` with each worker's output records. Entries of
+    /// `per_worker` beyond the worker count are rejected by debug
+    /// assertion (callers chunk to `len()`).
+    pub(crate) fn dispatch(
+        &self,
+        lanes: &Arc<Vec<Mutex<SimNetwork>>>,
+        probes: Arc<PacketBatch>,
+        per_worker: Vec<Vec<(usize, Vec<usize>)>>,
+        mut merge: impl FnMut(JobOutput),
+    ) {
+        debug_assert!(per_worker.len() <= self.workers.len());
+        // A fresh result channel per crossing: once every job's sender
+        // is consumed, `recv` erroring (instead of parking forever)
+        // is what surfaces a worker that died mid-job.
+        let (reply_to, results) = channel::<JobOutput>();
+        let mut outstanding = 0usize;
+        for (worker, assignments) in self.workers.iter().zip(per_worker) {
+            if assignments.is_empty() {
+                continue;
+            }
+            let job = Job {
+                lanes: Arc::clone(lanes),
+                probes: Arc::clone(&probes),
+                assignments,
+                reply_to: reply_to.clone(),
+            };
+            worker
+                .queue
+                .send(job)
+                .expect("pool worker exited while the pool is live");
+            outstanding += 1;
+        }
+        drop(reply_to);
+        drop(probes);
+        for _ in 0..outstanding {
+            merge(
+                results
+                    .recv()
+                    .expect("lane worker panicked during a crossing"),
+            );
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the queues unparks every worker out of `recv`.
+        for worker in &mut self.workers {
+            let (closed, _) = channel::<Job>();
+            worker.queue = closed;
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}

@@ -63,6 +63,12 @@ pub struct IpSurveyConfig {
     /// address blocks, so cross-destination hits are rare; the knob is
     /// here for generators that share near-source infrastructure.
     pub sweep_stop_set: Option<StopSetConfig>,
+    /// Engine shards per sweep chunk (`1` = the single engine). With
+    /// more, each chunk's lanes and sessions are partitioned by
+    /// [`mlpt_core::shard_of`] across a
+    /// [`mlpt_core::ShardedSweepEngine`] — scheduling only, the report
+    /// is bit-identical for any shard count.
+    pub sweep_shards: usize,
 }
 
 impl Default for IpSurveyConfig {
@@ -78,6 +84,7 @@ impl Default for IpSurveyConfig {
             sweep_retry: RetryPolicy::default(),
             sweep_stall_rounds: 0,
             sweep_stop_set: None,
+            sweep_shards: 1,
         }
     }
 }
@@ -288,14 +295,14 @@ pub fn run_ip_survey(internet: &SyntheticInternet, config: &IpSurveyConfig) -> I
                 scenarios.iter().all(|s| s.source == source),
                 "sweep chunks assume a single vantage point"
             );
-            let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+            let sweep_config = SweepConfig {
                 max_in_flight: config.sweep_in_flight.max(1),
                 admission: Admission::Streaming,
                 retry: config.sweep_retry,
                 stall_rounds: config.sweep_stall_rounds,
                 stop_set: config.sweep_stop_set,
                 ..SweepConfig::default()
-            });
+            };
             let sessions = scenarios.iter().map(|scenario| {
                 Box::new(MdaSession::new(
                     scenario.topology.destination(),
@@ -305,9 +312,22 @@ pub fn run_ip_survey(internet: &SyntheticInternet, config: &IpSurveyConfig) -> I
             // Analyse each trace as it completes; indices pin results to
             // stream order, independent of completion order.
             let mut per: Vec<Option<PerTrace>> = (0..scenarios.len()).map(|_| None).collect();
-            engine.run_stream_with(sessions, |index, trace| {
-                per[index] = Some(analyse(&trace, config.phi));
-            });
+            let shards = config.sweep_shards.max(1);
+            if shards > 1 {
+                // Sharded engine: the chunk's lanes split by the same
+                // destination hash that partitions its sessions.
+                let mut engine =
+                    ShardedSweepEngine::new(net.split_by(shards, |d| shard_of(d, shards)), source)
+                        .with_config(sweep_config);
+                engine.run_stream_with(sessions, |index, trace| {
+                    per[index] = Some(analyse(&trace, config.phi));
+                });
+            } else {
+                let mut engine = SweepEngine::new(net, source).with_config(sweep_config);
+                engine.run_stream_with(sessions, |index, trace| {
+                    per[index] = Some(analyse(&trace, config.phi));
+                });
+            }
             per.into_iter()
                 .map(|p| p.expect("every streamed session reports a trace"))
                 .collect()
@@ -434,6 +454,44 @@ mod tests {
         assert_eq!(a.diamonds.measured_count(), b.diamonds.measured_count());
         assert_eq!(a.meshing_miss_measured, b.meshing_miss_measured);
         assert_eq!(a.meshing_miss_distinct, b.meshing_miss_distinct);
+    }
+
+    /// Engine sharding is pure scheduling too: the report is identical
+    /// for any shard count, with and without the shared stop set.
+    #[test]
+    fn report_independent_of_shard_count() {
+        let internet = SyntheticInternet::new(InternetConfig::with_seed(21));
+        let run = |sweep_shards: usize, stop: bool| {
+            run_ip_survey(
+                &internet,
+                &IpSurveyConfig {
+                    scenarios: 24,
+                    workers: 2,
+                    trace_seed: 3,
+                    phi: 2,
+                    dispatch: DispatchMode::Batched,
+                    sweep_batch: 12,
+                    sweep_in_flight: 32,
+                    sweep_stop_set: stop.then(StopSetConfig::default),
+                    sweep_shards,
+                    ..IpSurveyConfig::default()
+                },
+            )
+        };
+        for stop in [false, true] {
+            let one = run(1, stop);
+            for shards in [2usize, 3] {
+                let many = run(shards, stop);
+                assert_eq!(one.exploitable, many.exploitable, "stop={stop}");
+                assert_eq!(one.load_balanced, many.load_balanced);
+                assert_eq!(
+                    one.diamonds.measured_count(),
+                    many.diamonds.measured_count()
+                );
+                assert_eq!(one.meshing_miss_measured, many.meshing_miss_measured);
+                assert_eq!(one.meshing_miss_distinct, many.meshing_miss_distinct);
+            }
+        }
     }
 
     #[test]

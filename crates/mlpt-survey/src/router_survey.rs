@@ -222,6 +222,12 @@ pub struct RouterSurveyConfig {
     /// so this mainly exercises the mid-path start + backward probing
     /// order; it never changes discovered topology (rule 5).
     pub sweep_stop_set: Option<StopSetConfig>,
+    /// Engine shards per sub-sweep (`1` = the single engine). With
+    /// more, each sub-sweep's lanes and sessions are partitioned by
+    /// [`mlpt_core::shard_of`] across a
+    /// [`mlpt_core::ShardedSweepEngine`] — scheduling only, the report
+    /// is bit-identical for any shard count.
+    pub sweep_shards: usize,
 }
 
 impl Default for RouterSurveyConfig {
@@ -240,6 +246,7 @@ impl Default for RouterSurveyConfig {
             sweep_retry: RetryPolicy::default(),
             sweep_stall_rounds: 0,
             sweep_stop_set: None,
+            sweep_shards: 1,
         }
     }
 }
@@ -534,14 +541,14 @@ fn sweep_chunk(
             members.iter().all(|&i| scenarios[i].source == source),
             "sweep chunks assume a single vantage point"
         );
-        let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+        let sweep_config = SweepConfig {
             max_in_flight: config.sweep_in_flight.max(1),
             admission: config.admission,
             retry: config.sweep_retry,
             stall_rounds: config.sweep_stall_rounds,
             stop_set: config.sweep_stop_set,
             ..SweepConfig::default()
-        });
+        };
         let sessions = members.iter().map(|&i| {
             let seed = trace_seed_of(config, ids[i]);
             let mut session = MultilevelSession::new(
@@ -565,9 +572,22 @@ fn sweep_chunk(
             }
             session
         });
-        engine.run_sessions_with(sessions, |index, session, _wire_probes| {
-            rows[members[index]] = Some(streamed_scenario(session.finish(), config));
-        });
+        let shards = config.sweep_shards.max(1);
+        if shards > 1 {
+            // Sharded engine: the sub-sweep's lanes split by the same
+            // destination hash that partitions its sessions.
+            let mut engine =
+                ShardedSweepEngine::new(net.split_by(shards, |d| shard_of(d, shards)), source)
+                    .with_config(sweep_config);
+            engine.run_sessions_with(sessions, |index, session, _wire_probes| {
+                rows[members[index]] = Some(streamed_scenario(session.finish(), config));
+            });
+        } else {
+            let mut engine = SweepEngine::new(net, source).with_config(sweep_config);
+            engine.run_sessions_with(sessions, |index, session, _wire_probes| {
+                rows[members[index]] = Some(streamed_scenario(session.finish(), config));
+            });
+        }
     }
     rows
 }
@@ -873,6 +893,43 @@ mod tests {
         assert_eq!(a.round_metrics, b.round_metrics);
         assert_eq!(a.router_sizes_distinct, b.router_sizes_distinct);
         assert_eq!(a.resolution_counts, b.resolution_counts);
+    }
+
+    /// Engine sharding is pure scheduling on the survey too: every
+    /// aggregate matches the single-engine run bit for bit.
+    #[test]
+    fn sharded_survey_matches_single_engine() {
+        let internet = SyntheticInternet::new(InternetConfig::with_seed(9));
+        let run = |sweep_shards: usize| {
+            run_router_survey(
+                &internet,
+                &RouterSurveyConfig {
+                    scenarios: 14,
+                    workers: 2,
+                    trace_seed: 31,
+                    rounds: RoundsConfig {
+                        rounds: 2,
+                        replies_per_round: 6,
+                        ..RoundsConfig::default()
+                    },
+                    with_direct_comparison: false,
+                    sweep_batch: 7,
+                    sweep_in_flight: 48,
+                    sweep_shards,
+                    ..RouterSurveyConfig::default()
+                },
+            )
+        };
+        let one = run(1);
+        for shards in [2usize, 3] {
+            let many = run(shards);
+            assert_eq!(one.scenario_ids, many.scenario_ids, "shards={shards}");
+            assert_eq!(one.round_metrics, many.round_metrics);
+            assert_eq!(one.router_sizes_distinct, many.router_sizes_distinct);
+            assert_eq!(one.router_sizes_aggregated, many.router_sizes_aggregated);
+            assert_eq!(one.resolution_counts, many.resolution_counts);
+            assert_eq!(one.verdicts, many.verdicts);
+        }
     }
 
     /// Scenarios that traverse the shared core structures overlap in

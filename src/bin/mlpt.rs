@@ -91,6 +91,11 @@ commands:
                                  (default: adapt from committed
                                  destination TTLs)
                --workers W       simulator worker threads (default 1)
+               --shards N        engine shards: destinations partition
+                                 deterministically across N independent
+                                 sweep engines driven on worker threads
+                                 (default 1; results are bit-identical
+                                 for any shard count)
                --cycle-gap T     virtual ticks between dispatch cycles
                                  (lets rate-limited routers refill;
                                  default 0)
@@ -163,6 +168,8 @@ commands:
                --probe-timeout T base probe deadline in virtual ticks
                                  (default 4096)
                --max-retries R   retry waves per round (default 0)
+               --shards N        engine shards per sub-sweep (default 1;
+                                 bit-identical for any shard count)
                --cycle-gap T     virtual ticks between dispatch cycles
                --seed S          base seed (default 1)
                --json            emit a machine-readable report
@@ -197,6 +204,7 @@ struct Options {
     probe_timeout: u64,
     max_retries: u8,
     workers: usize,
+    shards: usize,
     json: bool,
     pcap: Option<String>,
     draw: bool,
@@ -251,6 +259,7 @@ fn parse_options(args: &[String]) -> Options {
         probe_timeout: RetryPolicy::default().base_timeout,
         max_retries: 0,
         workers: 1,
+        shards: 1,
         json: false,
         pcap: None,
         draw: false,
@@ -338,6 +347,7 @@ fn parse_options(args: &[String]) -> Options {
                 continue;
             }
             "--workers" => opts.workers = need(i).parse().unwrap_or(1),
+            "--shards" => opts.shards = need(i).parse::<usize>().unwrap_or(1).max(1),
             "--json" => {
                 opts.json = true;
                 i += 1;
@@ -685,7 +695,7 @@ fn cmd_sweep(args: &[String]) {
         }
     };
 
-    let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+    let sweep_config = SweepConfig {
         max_in_flight: opts.budget,
         admission: opts.admission,
         adaptive: opts.adaptive.then(AdaptiveBudget::default),
@@ -707,7 +717,7 @@ fn cmd_sweep(args: &[String]) {
         },
         stop_set: stop_set_config(opts.stop_set, opts.start_ttl),
         ..SweepConfig::default()
-    });
+    };
     let algo = opts.algo.clone();
     if !matches!(algo.as_str(), "mda" | "lite" | "single") {
         eprintln!("unknown algorithm {algo} (mda|lite|single)");
@@ -732,8 +742,20 @@ fn cmd_sweep(args: &[String]) {
         }
     });
 
-    let traces = engine.run_stream(sessions);
-    let stats = *engine.stats();
+    // Sharded or single engine: sharding is pure scheduling, so the
+    // traces and every protocol-level counter are identical either way.
+    let (traces, stats, per_shard): (Vec<_>, SweepStats, Option<Vec<SweepStats>>) =
+        if opts.shards > 1 {
+            let parts = net.split_by(opts.shards, |d| shard_of(d, opts.shards));
+            let mut engine = ShardedSweepEngine::new(parts, source).with_config(sweep_config);
+            let traces = engine.run_stream(sessions);
+            let per = engine.shard_stats().into_iter().copied().collect();
+            (traces, *engine.stats(), Some(per))
+        } else {
+            let mut engine = SweepEngine::new(net, source).with_config(sweep_config);
+            let traces = engine.run_stream(sessions);
+            (traces, *engine.stats(), None)
+        };
 
     if opts.json {
         let destinations: Vec<serde_json::Value> = traces
@@ -756,6 +778,22 @@ fn cmd_sweep(args: &[String]) {
             "admission": admission_name(opts.admission),
             "adaptive_budget": opts.adaptive,
             "max_in_flight": opts.budget,
+            "shards": opts.shards,
+            "per_shard": per_shard.as_ref().map(|shards| {
+                shards
+                    .iter()
+                    .map(|s| {
+                        serde_json::json!({
+                            "dispatch_cycles": s.dispatch_cycles,
+                            "probes_sent": s.probes_sent,
+                            "probes_timed_out": s.probes_timed_out,
+                            "retries_exhausted": s.retries_exhausted,
+                            "budget_backoffs": s.budget_backoffs,
+                            "lane_backoffs": s.lane_backoffs,
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            }),
             "destinations": destinations,
             "stats": {
                 "dispatch_cycles": stats.dispatch_cycles,
@@ -786,6 +824,7 @@ fn cmd_sweep(args: &[String]) {
                 "route_changed_partials": stats.route_changed_partials,
                 "stop_set_stale_hits": stats.stop_set_stale_hits,
                 "stop_set_evictions": stats.stop_set_evictions,
+                "generation_barrier_stalls": stats.generation_barrier_stalls,
             },
         });
         println!(
@@ -873,6 +912,15 @@ fn cmd_sweep(args: &[String]) {
             stats.probes_elided, stats.stop_set_hits, stats.retries_elided,
         );
     }
+    if let Some(per) = &per_shard {
+        let probes: Vec<String> = per.iter().map(|s| s.probes_sent.to_string()).collect();
+        println!(
+            "sharding: {} engine shards, {} generation-barrier stalls; per-shard probes {}",
+            per.len(),
+            stats.generation_barrier_stalls,
+            probes.join("/"),
+        );
+    }
     if opts.adaptive {
         println!(
             "adaptive budget: {} global backoffs, {} lane backoffs, final budget {}",
@@ -908,6 +956,7 @@ fn cmd_alias(args: &[String]) {
     let mut fault_schedule: Option<FaultSchedule> = None;
     let mut probe_timeout = RetryPolicy::default().base_timeout;
     let mut max_retries = 0u8;
+    let mut shards = 1usize;
     let mut cycle_gap = 0u64;
     let mut seed = 1u64;
     let mut json = false;
@@ -987,6 +1036,7 @@ fn cmd_alias(args: &[String]) {
                     exit(2);
                 })
             }
+            "--shards" => shards = need(i).parse::<usize>().unwrap_or(1).max(1),
             "--cycle-gap" => cycle_gap = need(i).parse().unwrap_or(0),
             "--seed" => seed = need(i).parse().unwrap_or(1),
             "--json" => {
@@ -1061,6 +1111,9 @@ fn cmd_alias(args: &[String]) {
     let mut outcomes: Vec<Option<MultilevelOutcome>> = Vec::new();
     outcomes.resize_with(scenarios.len(), || None);
     let mut stats = SweepStats::default();
+    // Per-shard counters accumulated across sub-sweeps (shard i of every
+    // sub-sweep merges into slot i).
+    let mut per_shard: Vec<SweepStats> = vec![SweepStats::default(); shards];
     let mut sub_sweeps = 0usize;
     for group in disjoint_scenario_groups(&refs) {
         sub_sweeps += 1;
@@ -1092,7 +1145,7 @@ fn cmd_alias(args: &[String]) {
             group.iter().all(|&i| scenarios[i].source == source),
             "alias sweeps assume a single vantage point"
         );
-        let mut engine = SweepEngine::new(net, source).with_config(SweepConfig {
+        let sweep_config = SweepConfig {
             max_in_flight: budget,
             admission,
             adaptive: adaptive.then(AdaptiveBudget::default),
@@ -1104,7 +1157,7 @@ fn cmd_alias(args: &[String]) {
             stall_rounds: if fault_schedule.is_some() { 8 } else { 0 },
             stop_set: stop_set_config(stop_set, start_ttl),
             ..SweepConfig::default()
-        });
+        };
         let sessions = group.iter().map(|&i| {
             MultilevelSession::new(
                 scenarios[i].topology.destination(),
@@ -1120,10 +1173,26 @@ fn cmd_alias(args: &[String]) {
                 false,
             ))
         });
-        engine.run_sessions_with(sessions, |idx, session, _wire| {
-            outcomes[group[idx]] = Some(session.finish());
-        });
-        stats.merge(engine.stats());
+        if shards > 1 {
+            // Sharded sub-sweep: lanes split by the same destination
+            // hash that partitions the sessions — pure scheduling, the
+            // outcomes are bit-identical to the single engine.
+            let parts = net.split_by(shards, |d| shard_of(d, shards));
+            let mut engine = ShardedSweepEngine::new(parts, source).with_config(sweep_config);
+            engine.run_sessions_with(sessions, |idx, session, _wire| {
+                outcomes[group[idx]] = Some(session.finish());
+            });
+            stats.merge(engine.stats());
+            for (slot, shard) in per_shard.iter_mut().zip(engine.shard_stats()) {
+                slot.merge(shard);
+            }
+        } else {
+            let mut engine = SweepEngine::new(net, source).with_config(sweep_config);
+            engine.run_sessions_with(sessions, |idx, session, _wire| {
+                outcomes[group[idx]] = Some(session.finish());
+            });
+            stats.merge(engine.stats());
+        }
     }
 
     let outcomes: Vec<MultilevelOutcome> = outcomes
@@ -1175,6 +1244,22 @@ fn cmd_alias(args: &[String]) {
             "admission": admission_name(admission),
             "hop_fanout": fanout,
             "sub_sweeps": sub_sweeps,
+            "shards": shards,
+            "per_shard": (shards > 1).then(|| {
+                per_shard
+                    .iter()
+                    .map(|s| {
+                        serde_json::json!({
+                            "dispatch_cycles": s.dispatch_cycles,
+                            "probes_sent": s.probes_sent,
+                            "probes_timed_out": s.probes_timed_out,
+                            "retries_exhausted": s.retries_exhausted,
+                            "budget_backoffs": s.budget_backoffs,
+                            "lane_backoffs": s.lane_backoffs,
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            }),
             "scenarios": per_scenario,
             "stats": {
                 "dispatch_cycles": stats.dispatch_cycles,
@@ -1203,6 +1288,7 @@ fn cmd_alias(args: &[String]) {
                 "route_changed_partials": stats.route_changed_partials,
                 "stop_set_stale_hits": stats.stop_set_stale_hits,
                 "stop_set_evictions": stats.stop_set_evictions,
+                "generation_barrier_stalls": stats.generation_barrier_stalls,
             },
         });
         println!(
@@ -1296,6 +1382,18 @@ fn cmd_alias(args: &[String]) {
         println!(
             "stop set: {} probes elided, {} stop-set hits, {} retries elided",
             stats.probes_elided, stats.stop_set_hits, stats.retries_elided,
+        );
+    }
+    if shards > 1 {
+        let probes: Vec<String> = per_shard
+            .iter()
+            .map(|s| s.probes_sent.to_string())
+            .collect();
+        println!(
+            "sharding: {} engine shards, {} generation-barrier stalls; per-shard probes {}",
+            shards,
+            stats.generation_barrier_stalls,
+            probes.join("/"),
         );
     }
     if adaptive {

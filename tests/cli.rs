@@ -223,6 +223,66 @@ fn sweep_reads_destination_list_from_stdin() {
     assert_eq!(report["stats"]["sessions_completed"].as_u64(), Some(3));
 }
 
+/// `--shards N` partitions the sweep across N engine shards; the
+/// per-destination results and every protocol-level counter must be
+/// bit-identical to the unsharded run — sharding is pure scheduling.
+#[test]
+fn sweep_sharded_output_matches_unsharded() {
+    let base = [
+        "sweep",
+        "--topology",
+        "fig1-meshed",
+        "--destinations",
+        "9",
+        "--stop-set",
+        "--seed",
+        "5",
+        "--json",
+    ];
+    let run = |extra: &[&str]| -> serde_json::Value {
+        let out = mlpt()
+            .args(base.iter().copied().chain(extra.iter().copied()))
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        serde_json::from_slice(&out.stdout).expect("valid JSON")
+    };
+    let plain = run(&[]);
+    let sharded = run(&["--shards", "2"]);
+
+    assert_eq!(plain["shards"].as_u64(), Some(1));
+    assert_eq!(sharded["shards"].as_u64(), Some(2));
+    assert_eq!(
+        sharded["per_shard"]
+            .as_array()
+            .expect("per-shard array")
+            .len(),
+        2
+    );
+    // Per-destination outcomes are identical, in order.
+    assert_eq!(plain["destinations"], sharded["destinations"]);
+    // Protocol-level counters are shard-invariant; scheduling ones
+    // (dispatch cycles, batch sizes, barrier stalls) may differ.
+    for key in [
+        "probes_sent",
+        "replies_delivered",
+        "probes_timed_out",
+        "probes_elided",
+        "stop_set_hits",
+        "sessions_admitted",
+        "sessions_completed",
+        "sessions_partial",
+    ] {
+        assert_eq!(
+            plain["stats"][key], sharded["stats"][key],
+            "protocol counter {key} diverged under --shards 2"
+        );
+    }
+    assert!(sharded["stats"]["generation_barrier_stalls"]
+        .as_u64()
+        .is_some());
+}
+
 /// The adaptive budget demonstrably backs off on a rate-limited sweep:
 /// lossy cycles are detected, the budget drops below the ceiling, and
 /// the summary reports the controller's counters.

@@ -815,6 +815,358 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sharded engine: the destination space partitioned across N engine
+// shards on worker threads must stay pure *scheduling* — bit-identical
+// to the single engine for any shard count, any admission mode, any
+// fault or route-mutation schedule, with the stop-set ledger and the
+// 4-bucket retry accounting exact per shard and merged, and replay
+// from the seeds exact down to every counter.
+// ---------------------------------------------------------------------
+
+/// Runs one sweep over per-lane networks under both schedules, through
+/// a [`ShardedSweepEngine`] with `shards` partitions.
+fn sharded_run(
+    lanes: &[Lane],
+    faults: &FaultSchedule,
+    topo: &TopologySchedule,
+    algo: u8,
+    admission: Admission,
+    shards: usize,
+    stop_set: Option<StopSetConfig>,
+) -> (
+    Vec<Trace>,
+    SweepStats,
+    Vec<SweepStats>,
+    Option<StopSnapshot>,
+) {
+    let net = MultiNetwork::new(
+        lanes
+            .iter()
+            .map(|l| {
+                SimNetwork::builder(l.topology.clone())
+                    .fault_schedule(faults.clone())
+                    .topology_schedule(topo.clone())
+                    .seed(l.sim_seed)
+                    .build()
+            })
+            .collect(),
+    )
+    .expect("translated lanes have unique destinations");
+    let parts = net.split_by(shards, |d| shard_of(d, shards));
+    let mut engine = ShardedSweepEngine::new(parts, SRC).with_config(SweepConfig {
+        max_in_flight: 16,
+        stall_rounds: 3,
+        admission,
+        stop_set,
+        ..SweepConfig::default()
+    });
+    let sessions: Vec<Box<dyn TraceSession>> = lanes
+        .iter()
+        .map(|l| {
+            // Same tight hunts as the route-change property: mutations
+            // can orphan flow searches, the audit runs on the default
+            // budget.
+            let config = TraceConfig {
+                node_control_attempts: 300,
+                ..TraceConfig::new(l.trace_seed).with_reprobe(ReprobeBudget::default())
+            };
+            make_session(algo, l.topology.destination(), config)
+        })
+        .collect();
+    let traces = engine.run_stream(sessions);
+    let per_shard: Vec<SweepStats> = engine.shard_stats().into_iter().copied().collect();
+    let snapshot = engine.stop_snapshot().cloned();
+    (traces, *engine.stats(), per_shard, snapshot)
+}
+
+/// Same sweep on the plain single [`SweepEngine`] — the baseline every
+/// shard count must reproduce bit for bit.
+fn plain_run(
+    lanes: &[Lane],
+    faults: &FaultSchedule,
+    topo: &TopologySchedule,
+    algo: u8,
+    stop_set: Option<StopSetConfig>,
+) -> (Vec<Trace>, SweepStats, Option<StopSnapshot>) {
+    let net = MultiNetwork::new(
+        lanes
+            .iter()
+            .map(|l| {
+                SimNetwork::builder(l.topology.clone())
+                    .fault_schedule(faults.clone())
+                    .topology_schedule(topo.clone())
+                    .seed(l.sim_seed)
+                    .build()
+            })
+            .collect(),
+    )
+    .expect("translated lanes have unique destinations");
+    let mut engine = SweepEngine::new(net, SRC).with_config(SweepConfig {
+        max_in_flight: 16,
+        stall_rounds: 3,
+        admission: Admission::Streaming,
+        stop_set,
+        ..SweepConfig::default()
+    });
+    let sessions: Vec<Box<dyn TraceSession>> = lanes
+        .iter()
+        .map(|l| {
+            let config = TraceConfig {
+                node_control_attempts: 300,
+                ..TraceConfig::new(l.trace_seed).with_reprobe(ReprobeBudget::default())
+            };
+            make_session(algo, l.topology.destination(), config)
+        })
+        .collect();
+    let traces = engine.run_stream(sessions);
+    let snapshot = engine.stop_snapshot().cloned();
+    (traces, *engine.stats(), snapshot)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sharding is pure scheduling under *any* generated fault schedule
+    /// and route-mutation timeline: every shard count and every
+    /// admission mode reproduces the plain engine's traces bit for bit,
+    /// protocol-level counters (probes, replies, timeouts, elisions,
+    /// sessions) are identical, the 4-bucket retry accounting
+    /// partitions `probes_sent` exactly per shard *and* merged, and a
+    /// replay from the seeds matches down to every counter — including
+    /// the scheduling-only ones.
+    #[test]
+    fn sharded_sweeps_match_single_engine_under_schedules(
+        topo_indices in proptest::collection::vec(0u8..5, 2..6),
+        fault_steps in proptest::collection::vec((0u8..40, 0u8..6, any::<u8>()), 0..4),
+        topo_steps in proptest::collection::vec(
+            (0u8..80, 0u8..5, any::<u8>(), any::<u8>()), 0..3),
+        algo in 0u8..3,
+        base_seed in any::<u64>(),
+        shards in 2usize..5,
+        use_stop in any::<bool>(),
+        commit_width in 1usize..5,
+    ) {
+        let faults = arbitrary_schedule(&fault_steps);
+        let topo = arbitrary_topology_schedule(&topo_steps);
+        let lanes = lanes_for(&topo_indices, base_seed);
+        let stop_cfg = use_stop.then_some(StopSetConfig {
+            commit_width,
+            ..StopSetConfig::default()
+        });
+
+        let (baseline, baseline_stats, baseline_snap) =
+            plain_run(&lanes, &faults, &topo, algo, stop_cfg);
+
+        for admission in [
+            Admission::Eager,
+            Admission::Streaming,
+            Admission::CostAware,
+            Admission::CostAwareWindowed(2),
+        ] {
+            // A 1-shard engine and the drawn N-shard split must both
+            // reproduce the baseline.
+            for shard_count in [1usize, shards] {
+                let (traces, stats, per_shard, snap) = sharded_run(
+                    &lanes, &faults, &topo, algo, admission, shard_count, stop_cfg,
+                );
+                prop_assert_eq!(
+                    &traces, &baseline,
+                    "{:?} at {} shards diverged from the plain engine",
+                    admission, shard_count
+                );
+                prop_assert_eq!(per_shard.len(), shard_count);
+
+                // Protocol-level counters are shard-invariant.
+                prop_assert_eq!(stats.probes_sent, baseline_stats.probes_sent);
+                prop_assert_eq!(stats.replies_delivered, baseline_stats.replies_delivered);
+                prop_assert_eq!(stats.probes_timed_out, baseline_stats.probes_timed_out);
+                prop_assert_eq!(stats.probes_elided, baseline_stats.probes_elided);
+                prop_assert_eq!(stats.stop_set_hits, baseline_stats.stop_set_hits);
+                prop_assert_eq!(stats.retries_elided, baseline_stats.retries_elided);
+                prop_assert_eq!(stats.sessions_admitted, baseline_stats.sessions_admitted);
+                prop_assert_eq!(stats.sessions_completed, baseline_stats.sessions_completed);
+                prop_assert_eq!(stats.sessions_partial, baseline_stats.sessions_partial);
+                prop_assert_eq!(stats.artifacts_detected, baseline_stats.artifacts_detected);
+                prop_assert_eq!(stats.route_recoveries, baseline_stats.route_recoveries);
+
+                // The shared set converges to the same contents.
+                match (&snap, &baseline_snap) {
+                    (Some(s), Some(b)) => {
+                        prop_assert_eq!(s.len(), b.len());
+                        prop_assert_eq!(s.start_ttl(), b.start_ttl());
+                    }
+                    (None, None) => {}
+                    _ => prop_assert!(false, "snapshot presence diverged"),
+                }
+
+                // The 4-bucket accounting partitions probes_sent per
+                // shard and merged, and the shards sum to the merge.
+                let mut summed = 0u64;
+                for shard in &per_shard {
+                    prop_assert_eq!(
+                        shard.probes_timed_out
+                            + shard.replies_delivered
+                            + shard.malformed_replies
+                            + shard.mismatched_replies,
+                        shard.probes_sent
+                    );
+                    summed += shard.probes_sent;
+                }
+                prop_assert_eq!(summed, stats.probes_sent);
+                prop_assert_eq!(
+                    stats.probes_timed_out
+                        + stats.replies_delivered
+                        + stats.malformed_replies
+                        + stats.mismatched_replies,
+                    stats.probes_sent
+                );
+            }
+        }
+
+        // Replay from the seeds is exact down to every counter —
+        // scheduling ones (dispatch cycles, barrier stalls) included.
+        let (first, first_stats, first_shards, _) = sharded_run(
+            &lanes, &faults, &topo, algo, Admission::Streaming, shards, stop_cfg,
+        );
+        let (again, again_stats, again_shards, _) = sharded_run(
+            &lanes, &faults, &topo, algo, Admission::Streaming, shards, stop_cfg,
+        );
+        prop_assert_eq!(&first, &again);
+        prop_assert_eq!(first_stats, again_stats);
+        prop_assert_eq!(first_shards, again_shards);
+    }
+}
+
+/// Runs a Doubletree-family sweep through a [`ShardedSweepEngine`]:
+/// the sharded analogue of [`stop_sweep`].
+fn sharded_stop_sweep(
+    topologies: &[MultipathTopology],
+    net_of: &dyn Fn(usize) -> SimNetwork,
+    trace_seed_of: &dyn Fn(usize) -> u64,
+    shards: usize,
+    stop_set: Option<StopSetConfig>,
+) -> (
+    Vec<Trace>,
+    SweepStats,
+    Vec<SweepStats>,
+    Option<StopSnapshot>,
+) {
+    let net = MultiNetwork::new((0..topologies.len()).map(net_of).collect())
+        .expect("per-lane destinations are unique");
+    let parts = net.split_by(shards, |d| shard_of(d, shards));
+    let mut engine = ShardedSweepEngine::new(parts, SRC).with_config(SweepConfig {
+        max_in_flight: 64,
+        admission: Admission::Streaming,
+        stop_set,
+        ..SweepConfig::default()
+    });
+    let sessions: Vec<Box<dyn TraceSession>> = topologies
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            Box::new(SingleFlowSession::new(
+                t.destination(),
+                TraceConfig::new(trace_seed_of(i)),
+                FlowId(7),
+            )) as Box<dyn TraceSession>
+        })
+        .collect();
+    let traces = engine.run_stream(sessions);
+    let per_shard: Vec<SweepStats> = engine.shard_stats().into_iter().copied().collect();
+    let snapshot = engine.stop_snapshot().cloned();
+    (traces, *engine.stats(), per_shard, snapshot)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The stop-set probe ledger survives sharding exactly: for the
+    /// single-flow tracer over a lossless shared-prefix family, a
+    /// sharded stop-set sweep sends and elides *exactly* the probes the
+    /// unsharded one does — `probes_sent + probes_elided` equals the
+    /// classic (no stop set) wire count for every shard count — and the
+    /// published snapshot is the same set.
+    #[test]
+    fn sharded_stop_set_ledger_is_exact(
+        prefix_len in 4usize..14,
+        suffix_len in 0usize..4,
+        lane_count in 2usize..10,
+        commit_width in 1usize..6,
+        shards in 1usize..5,
+        base_seed in any::<u64>(),
+    ) {
+        let topologies: Vec<MultipathTopology> = (0..lane_count)
+            .map(|i| canonical::shared_prefix_lane(prefix_len, suffix_len, i))
+            .collect();
+        let net_of = |i: usize| -> SimNetwork {
+            SimNetwork::new(
+                topologies[i].clone(),
+                base_seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+            )
+        };
+        let trace_seed_of = |i: usize| base_seed ^ ((i as u64) << 7);
+        let stop_cfg = StopSetConfig { commit_width, ..StopSetConfig::default() };
+
+        // Unsharded references: classic (no stop set) and stopped.
+        let (classic, classic_stats, _) = stop_sweep(
+            &topologies, &net_of, &trace_seed_of, 0,
+            Admission::Streaming, 64, None,
+        );
+        let (stopped, stats, snap) = stop_sweep(
+            &topologies, &net_of, &trace_seed_of, 0,
+            Admission::Streaming, 64, Some(stop_cfg),
+        );
+        let snap = snap.expect("stop-set run publishes a snapshot");
+        prop_assert_eq!(
+            stats.probes_sent + stats.probes_elided,
+            classic_stats.probes_sent
+        );
+
+        // Every shard count reproduces the unsharded sweep and its
+        // ledger bit for bit.
+        for shard_count in [shards, shards % 4 + 1] {
+            let (sharded, sharded_stats, per_shard, sharded_snap) = sharded_stop_sweep(
+                &topologies, &net_of, &trace_seed_of, shard_count, Some(stop_cfg),
+            );
+            prop_assert_eq!(
+                &sharded, &stopped,
+                "{} shards diverged from the unsharded stop-set sweep",
+                shard_count
+            );
+            prop_assert_eq!(sharded_stats.probes_sent, stats.probes_sent);
+            prop_assert_eq!(sharded_stats.probes_elided, stats.probes_elided);
+            prop_assert_eq!(sharded_stats.stop_set_hits, stats.stop_set_hits);
+            prop_assert_eq!(
+                sharded_stats.probes_sent + sharded_stats.probes_elided,
+                classic_stats.probes_sent
+            );
+            let sharded_snap = sharded_snap.expect("snapshot present");
+            prop_assert_eq!(sharded_snap.len(), snap.len());
+            prop_assert_eq!(sharded_snap.start_ttl(), snap.start_ttl());
+
+            // Per-shard 4-bucket accounting and classic reconstruction.
+            for shard in &per_shard {
+                prop_assert_eq!(
+                    shard.probes_timed_out
+                        + shard.replies_delivered
+                        + shard.malformed_replies
+                        + shard.mismatched_replies,
+                    shard.probes_sent
+                );
+            }
+            for (classic_trace, sharded_trace) in classic.iter().zip(&sharded) {
+                prop_assert_eq!(
+                    reconstructed_path(sharded_trace, &sharded_snap),
+                    path_of(classic_trace),
+                    "destination {} lost or gained topology under sharding",
+                    classic_trace.destination
+                );
+            }
+        }
+    }
+}
+
 /// MDA-Lite diamond soundness under the stop set, on a fixed seed: a
 /// load-balanced diamond in the *suffix* (past the shared prefix) must
 /// be discovered with full per-hop flow evidence even by sessions that
