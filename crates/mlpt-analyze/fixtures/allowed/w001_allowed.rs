@@ -1,0 +1,15 @@
+//! The W001 violations again, each suppressed by a justified pragma —
+//! one standalone, one trailing-comment form. Expected: zero findings,
+//! two suppressions.
+
+pub fn elapsed_budget() -> u64 {
+    // mlpt: allow(MLPT-W001, reason = "fixture: standalone pragma form")
+    let started = std::time::Instant::now();
+    let _ = started;
+    0
+}
+
+pub fn stamp_secs() -> u64 {
+    let _t = std::time::Instant::now(); // mlpt: allow(MLPT-W001, reason = "fixture: trailing-comment form")
+    0
+}

@@ -1,0 +1,12 @@
+//! The W004 violations again, suppressed with recorded invariants.
+//! Expected: zero findings, two suppressions.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // mlpt: allow(MLPT-W004, reason = "fixture: caller guarantees a non-empty slice")
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    // mlpt: allow(MLPT-W004, reason = "fixture: length checked by the caller")
+    *xs.get(1).expect("two elements")
+}

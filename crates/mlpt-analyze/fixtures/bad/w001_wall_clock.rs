@@ -1,0 +1,12 @@
+//! MLPT-W001 fixture: wall-clock reads in protocol code.
+//! Expected findings: W001 at lines 5, 10 and 11.
+
+pub fn elapsed_budget() -> u64 {
+    let started = std::time::Instant::now();
+    let _ = started;
+    0
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

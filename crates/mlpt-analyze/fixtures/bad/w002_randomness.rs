@@ -1,0 +1,16 @@
+//! MLPT-W002 fixture: ambient randomness instead of seeded streams.
+//! Expected findings: W002 at lines 5, 7, 11 and 15.
+
+pub fn draw() -> u32 {
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    rand::random()
+}
+
+pub fn reseed() {
+    let _rng = rand_chacha::ChaCha8Rng::from_entropy();
+}
+
+pub fn os_backed() {
+    let _source = rand::rngs::OsRng;
+}

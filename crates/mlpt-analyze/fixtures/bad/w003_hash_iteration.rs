@@ -1,0 +1,32 @@
+//! MLPT-W003 fixture: hash-order iteration in protocol paths.
+//! Expected findings: W003 at lines 12, 16, 22 and 31.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    pub routes: HashMap<u32, u32>,
+}
+
+impl Table {
+    pub fn emit_all(&self) -> Vec<u32> {
+        self.routes.values().copied().collect()
+    }
+
+    pub fn prune(&mut self) {
+        self.routes.retain(|_, v| *v != 0);
+    }
+}
+
+pub fn scan(seen: HashSet<u32>) -> u64 {
+    let mut total = 0u64;
+    for v in seen {
+        total += u64::from(v);
+    }
+    total
+}
+
+pub fn local() -> Vec<u32> {
+    let mut order = HashMap::new();
+    order.insert(1u32, 2u32);
+    order.keys().copied().collect()
+}

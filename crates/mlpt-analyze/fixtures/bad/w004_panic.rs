@@ -1,0 +1,26 @@
+//! MLPT-W004 fixture: panic-class calls where typed errors exist.
+//! Expected findings: W004 at lines 6, 10, 14 and 20. The
+//! `unwrap_or` at line 25 must NOT fire.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).expect("two elements")
+}
+
+pub fn boom() {
+    panic!("protocol violation");
+}
+
+pub fn unfinished(x: u32) -> u32 {
+    match x {
+        0 => 0,
+        _ => unreachable!(),
+    }
+}
+
+pub fn guarded(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

@@ -1,0 +1,16 @@
+//! MLPT-W005 fixture: a stats merge that forgot a field.
+//! Expected finding: W005 at line 8 (`retries` is never merged).
+
+#[derive(Default)]
+pub struct SweepStats {
+    pub probes_sent: u64,
+    pub replies_received: u64,
+    pub retries: u64,
+}
+
+impl SweepStats {
+    pub fn merge(&mut self, other: &SweepStats) {
+        self.probes_sent += other.probes_sent;
+        self.replies_received += other.replies_received;
+    }
+}

@@ -1,0 +1,8 @@
+//! MLPT-W005 fixture: a checked stats struct with no merge at all.
+//! Expected finding: W005 at line 5 (the struct definition).
+
+#[derive(Default)]
+pub struct SweepStats {
+    pub probes_sent: u64,
+    pub replies_received: u64,
+}

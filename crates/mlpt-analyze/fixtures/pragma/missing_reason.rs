@@ -1,0 +1,8 @@
+//! Pragma-health fixture: a suppression without a reason suppresses
+//! nothing. Expected: E100 at line 6 AND the W004 at line 7 stays
+//! live.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // mlpt: allow(MLPT-W004)
+    *xs.first().unwrap()
+}

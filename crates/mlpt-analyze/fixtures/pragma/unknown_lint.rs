@@ -1,0 +1,7 @@
+//! Pragma-health fixture: naming a lint that does not exist is a
+//! diagnostic, not a silent no-op. Expected: E101 at line 5.
+
+pub fn noop() {
+    // mlpt: allow(MLPT-W999, reason = "no such lint")
+    let _ = 0;
+}

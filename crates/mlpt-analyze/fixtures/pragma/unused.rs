@@ -1,0 +1,7 @@
+//! Pragma-health fixture: a well-formed pragma that suppresses nothing
+//! is stale and must be deleted. Expected: E102 at line 5.
+
+pub fn clean() {
+    // mlpt: allow(MLPT-W004, reason = "nothing here panics any more")
+    let _ = 0;
+}

@@ -1,0 +1,10 @@
+//! Scoping-precision pair, bench half: this wall-clock read is
+//! IDENTICAL to the mlpt-core half, but the fixture scope exempts
+//! `scope/crates/mlpt-bench/` from MLPT-W001 — benches measure the
+//! host. Expected: zero findings.
+
+pub fn measure() -> u64 {
+    let started = std::time::Instant::now();
+    let _ = started;
+    0
+}

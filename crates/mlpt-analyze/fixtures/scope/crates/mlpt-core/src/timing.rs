@@ -1,0 +1,9 @@
+//! Scoping-precision pair, protocol half: the same wall-clock read as
+//! the bench half, but here it is a determinism violation. Expected:
+//! W001 at line 6.
+
+pub fn measure() -> u64 {
+    let started = std::time::Instant::now();
+    let _ = started;
+    0
+}

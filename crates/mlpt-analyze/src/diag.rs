@@ -1,0 +1,224 @@
+//! Diagnostics: stable lint IDs, findings, and the human/JSON renderers.
+
+/// Stable lint identifiers. `W` lints are determinism-rule violations;
+/// `E` diagnostics are problems with the suppression pragmas themselves
+/// (a pragma that cannot be trusted must never silently suppress).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintId {
+    /// Wall-clock APIs (`Instant::now`, `SystemTime`) in protocol code.
+    W001,
+    /// Ambient randomness (`thread_rng`, `from_entropy`, OS entropy).
+    W002,
+    /// Iteration over unordered `HashMap`/`HashSet` in protocol paths.
+    W003,
+    /// `unwrap`/`expect`/`panic!`/`unreachable!` in engine non-test code.
+    W004,
+    /// Stats-merge exhaustiveness: a `SweepStats` field missing from
+    /// `merge()`.
+    W005,
+    /// Malformed pragma: unparseable `allow(...)` or missing/empty
+    /// `reason`.
+    E100,
+    /// Pragma names an unknown lint ID.
+    E101,
+    /// Pragma suppressed nothing (stale after a fix — delete it).
+    E102,
+}
+
+impl LintId {
+    pub const ALL: [LintId; 8] = [
+        LintId::W001,
+        LintId::W002,
+        LintId::W003,
+        LintId::W004,
+        LintId::W005,
+        LintId::E100,
+        LintId::E101,
+        LintId::E102,
+    ];
+
+    /// The stable code printed in diagnostics and accepted by pragmas
+    /// and `--deny`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintId::W001 => "MLPT-W001",
+            LintId::W002 => "MLPT-W002",
+            LintId::W003 => "MLPT-W003",
+            LintId::W004 => "MLPT-W004",
+            LintId::W005 => "MLPT-W005",
+            LintId::E100 => "MLPT-E100",
+            LintId::E101 => "MLPT-E101",
+            LintId::E102 => "MLPT-E102",
+        }
+    }
+
+    /// One-line summary shown by `--list-lints`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintId::W001 => {
+                "wall-clock API in protocol code (probes must be a pure function of the virtual clock)"
+            }
+            LintId::W002 => {
+                "ambient randomness (all randomness must be seeded ChaCha8, replayable from the seed)"
+            }
+            LintId::W003 => {
+                "iteration over unordered HashMap/HashSet in protocol paths (hash order leaks into probe order)"
+            }
+            LintId::W004 => {
+                "panic-class call (unwrap/expect/panic!/unreachable!) in engine non-test code (typed errors exist)"
+            }
+            LintId::W005 => "stats-merge exhaustiveness: struct field never mentioned in merge()",
+            LintId::E100 => "malformed mlpt pragma (unparseable, or missing the required reason)",
+            LintId::E101 => "mlpt pragma names an unknown lint ID",
+            LintId::E102 => "mlpt pragma suppressed nothing (stale — delete it)",
+        }
+    }
+
+    /// Parses a stable code (`MLPT-W001`) back to the lint.
+    pub fn parse(code: &str) -> Option<LintId> {
+        LintId::ALL.into_iter().find(|l| l.code() == code)
+    }
+}
+
+/// One diagnostic at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub lint: LintId,
+    /// Path relative to the analysis root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.col,
+            self.lint.code(),
+            self.message
+        )
+    }
+}
+
+/// A finding that a pragma suppressed, with the pragma's reason —
+/// reported (not denied) so suppressions stay auditable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+/// Escapes a string for inclusion in JSON output. Hand-rolled so the
+/// analyzer stays dependency-free.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"lint\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+        f.lint.code(),
+        json_escape(&f.file),
+        f.line,
+        f.col,
+        json_escape(&f.message)
+    )
+}
+
+/// Renders a full report as JSON: findings, suppressions (with
+/// reasons), and a summary block.
+pub fn report_json(
+    findings: &[Finding],
+    suppressed: &[Suppressed],
+    files_scanned: usize,
+) -> String {
+    let findings_json: Vec<String> = findings.iter().map(finding_json).collect();
+    let suppressed_json: Vec<String> = suppressed
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"finding\":{},\"reason\":\"{}\"}}",
+                finding_json(&s.finding),
+                json_escape(&s.reason)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"findings\":[{}],\"suppressed\":[{}],\"summary\":{{\"files_scanned\":{},\"findings\":{},\"suppressed\":{}}}}}",
+        findings_json.join(","),
+        suppressed_json.join(","),
+        files_scanned,
+        findings.len(),
+        suppressed.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for lint in LintId::ALL {
+            assert_eq!(LintId::parse(lint.code()), Some(lint));
+        }
+        assert_eq!(LintId::parse("MLPT-W999"), None);
+    }
+
+    #[test]
+    fn render_is_clickable() {
+        let f = Finding {
+            lint: LintId::W001,
+            file: "crates/mlpt-core/src/engine.rs".into(),
+            line: 12,
+            col: 9,
+            message: "wall clock".into(),
+        };
+        assert_eq!(
+            f.render(),
+            "crates/mlpt-core/src/engine.rs:12:9: MLPT-W001: wall clock"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let f = Finding {
+            lint: LintId::W002,
+            file: "x.rs".into(),
+            line: 1,
+            col: 1,
+            message: "m".into(),
+        };
+        let s = Suppressed {
+            finding: f.clone(),
+            reason: "r".into(),
+        };
+        let json = report_json(&[f], &[s], 3);
+        assert!(json.contains("\"lint\":\"MLPT-W002\""));
+        assert!(json.contains("\"files_scanned\":3"));
+        assert!(json.contains("\"reason\":\"r\""));
+    }
+}

@@ -1,0 +1,480 @@
+//! A hand-rolled Rust lexer — just enough of the language to scan for
+//! determinism-lint patterns without ever mistaking the inside of a
+//! string literal or a comment for code.
+//!
+//! The token stream keeps comments (the pragma parser reads them) and
+//! records a 1-based `line:col` for every token so diagnostics point at
+//! the exact source position. It is *not* a full Rust lexer: it does
+//! not classify keywords, parse float suffixes precisely, or validate
+//! escapes — none of which the lints need. What it does get right are
+//! the classically tricky boundaries that would otherwise cause false
+//! positives: nested block comments, raw strings with arbitrary `#`
+//! fences, byte/char literals, and lifetimes (`'a`) versus char
+//! literals (`'a'`).
+
+/// What a token is, at the granularity the lints care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// A single punctuation character (`:`, `.`, `{`, ...). Multi-char
+    /// operators arrive as consecutive tokens; lints match sequences.
+    Punct,
+    /// `// ...` comment. `text` includes the leading slashes.
+    LineComment,
+    /// `/* ... */` comment (nesting handled). `text` includes fences.
+    BlockComment,
+    /// String literal of any flavour: `"..."`, `b"..."`, `r#"..."#`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Lifetime: `'a` (no closing quote).
+    Lifetime,
+    /// Numeric literal (integers, floats, hex/oct/bin, suffixes).
+    Number,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(ch)
+    }
+
+    /// True for tokens the grammar-level scans should skip entirely.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    src: std::marker::PhantomData<&'a str>,
+}
+
+impl Cursor<'_> {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            src: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals
+/// and comments simply run to end of file (the lints prefer a sloppy
+/// token over a panic — rustc rejects such files anyway).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let token = if c == '/' && cur.peek_at(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek_at(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if is_raw_string_start(&cur) {
+            lex_raw_string(&mut cur)
+        } else if c == '"' || (c == 'b' && cur.peek_at(1) == Some('"')) {
+            lex_string(&mut cur)
+        } else if c == '\'' || (c == 'b' && cur.peek_at(1) == Some('\'')) {
+            lex_quote(&mut cur)
+        } else if c == 'r'
+            && cur.peek_at(1) == Some('#')
+            && cur.peek_at(2).is_some_and(is_ident_start)
+        {
+            lex_raw_ident(&mut cur)
+        } else if is_ident_start(c) {
+            lex_ident(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else {
+            cur.bump();
+            (TokenKind::Punct, c.to_string())
+        };
+        out.push(Token {
+            kind: token.0,
+            text: token.1,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    (TokenKind::LineComment, text)
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek() {
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            depth += 1;
+            text.push('/');
+            text.push('*');
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek_at(1) == Some('/') {
+            depth -= 1;
+            text.push('*');
+            text.push('/');
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    (TokenKind::BlockComment, text)
+}
+
+/// `r"..."`, `r#"..."#`, `br##"..."##` — a raw string starts with an
+/// optional `b`, an `r`, zero or more `#`, then `"`.
+fn is_raw_string_start(cur: &Cursor) -> bool {
+    let mut i = 0;
+    if cur.peek_at(i) == Some('b') {
+        i += 1;
+    }
+    if cur.peek_at(i) != Some('r') {
+        return false;
+    }
+    i += 1;
+    while cur.peek_at(i) == Some('#') {
+        i += 1;
+    }
+    cur.peek_at(i) == Some('"')
+}
+
+fn lex_raw_string(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    if cur.peek() == Some('b') {
+        text.push(cur.bump().unwrap_or('b'));
+    }
+    text.push(cur.bump().unwrap_or('r')); // 'r'
+    let mut fence = 0usize;
+    while cur.peek() == Some('#') {
+        fence += 1;
+        text.push('#');
+        cur.bump();
+    }
+    text.push(cur.bump().unwrap_or('"')); // opening quote
+    while let Some(c) = cur.peek() {
+        if c == '"' {
+            // Candidate close: needs `fence` trailing hashes.
+            let mut ok = true;
+            for k in 0..fence {
+                if cur.peek_at(1 + k) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            text.push(c);
+            cur.bump();
+            if ok {
+                for _ in 0..fence {
+                    text.push('#');
+                    cur.bump();
+                }
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    (TokenKind::Str, text)
+}
+
+fn lex_string(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    if cur.peek() == Some('b') {
+        text.push(cur.bump().unwrap_or('b'));
+    }
+    text.push(cur.bump().unwrap_or('"')); // opening quote
+    while let Some(c) = cur.peek() {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+        } else if c == '"' {
+            text.push(c);
+            cur.bump();
+            break;
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    (TokenKind::Str, text)
+}
+
+/// Disambiguates `'a'` / `b'\n'` (char literals) from `'a` (lifetime).
+/// A quote starts a char literal iff it closes: `'<escape or one
+/// char>'`. Otherwise it is a lifetime (or a stray quote, lexed the
+/// same way — close enough for linting).
+fn lex_quote(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    if cur.peek() == Some('b') {
+        // `b'x'` is always a byte literal, never a lifetime.
+        text.push(cur.bump().unwrap_or('b'));
+        text.push(cur.bump().unwrap_or('\'')); // the quote
+        if cur.peek() == Some('\\') {
+            text.push(cur.bump().unwrap_or('\\'));
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+        } else if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+        if cur.peek() == Some('\'') {
+            text.push(cur.bump().unwrap_or('\''));
+        }
+        return (TokenKind::Char, text);
+    }
+    text.push(cur.bump().unwrap_or('\'')); // the quote
+    if cur.peek() == Some('\\') {
+        // Escape: definitely a char literal.
+        text.push(cur.bump().unwrap_or('\\'));
+        if let Some(escaped) = cur.bump() {
+            text.push(escaped);
+        }
+        if cur.peek() == Some('\'') {
+            text.push(cur.bump().unwrap_or('\''));
+        }
+        return (TokenKind::Char, text);
+    }
+    // `'x'` is a char literal for ANY single character x — including
+    // punctuation like `'"'` or `'.'`, which would otherwise leave a
+    // stray quote that opens a runaway string. A quote not closed one
+    // character later is a lifetime; `'ident` consumes the identifier.
+    if cur.peek() != Some('\'') && cur.peek_at(1) == Some('\'') {
+        text.push(cur.bump().unwrap_or(' '));
+        text.push(cur.bump().unwrap_or('\''));
+        return (TokenKind::Char, text);
+    }
+    while cur.peek().is_some_and(is_ident_continue) {
+        text.push(cur.bump().unwrap_or(' '));
+    }
+    (TokenKind::Lifetime, text)
+}
+
+fn lex_raw_ident(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('r')); // r
+    text.push(cur.bump().unwrap_or('#')); // #
+    while cur.peek().is_some_and(is_ident_continue) {
+        text.push(cur.bump().unwrap_or(' '));
+    }
+    (TokenKind::Ident, text)
+}
+
+fn lex_ident(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    while cur.peek().is_some_and(is_ident_continue) {
+        text.push(cur.bump().unwrap_or(' '));
+    }
+    (TokenKind::Ident, text)
+}
+
+/// Numbers swallow alphanumerics and underscores (covering `0xff`,
+/// `1_000`, `3u64`) plus a `.` only when a digit follows — so `1..10`
+/// lexes as `1`, `.`, `.`, `10` and `tuple.0.iter()` keeps its `.`
+/// separators (a greedy float rule would hide the `.iter()` call from
+/// the lints).
+fn lex_number(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        let float_dot = c == '.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit());
+        if is_ident_continue(c) || float_dot {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    (TokenKind::Number, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_with_positions() {
+        let toks = lex("let x = a.iter();");
+        assert!(toks[0].is_ident("let"));
+        assert!(toks[3].is_ident("a"));
+        assert!(toks[4].is_punct('.'));
+        assert!(toks[5].is_ident("iter"));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[3].col, 9);
+    }
+
+    #[test]
+    fn strings_hide_code_looking_text() {
+        let toks = kinds(r#"let s = "Instant::now() // not code";"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        // No Ident token for the text inside the string.
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "Instant"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"let s = r#"thread_rng() "quoted" inside"#; x"###);
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Str));
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "thread_rng"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "x"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "code");
+    }
+
+    #[test]
+    fn line_comments_end_at_newline() {
+        let toks = kinds("// SystemTime here\nreal");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert!(toks[1].1 == "real");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'y'; let esc = '\\n'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn punctuation_char_literals_do_not_open_strings() {
+        // `'"'` must lex as a Char: a stray quote here would start a
+        // runaway string swallowing the real code that follows.
+        let toks = kinds("if c == '\"' { x(); } let d = '.'; let p = '('; y");
+        assert_eq!(
+            toks.iter().filter(|t| t.0 == TokenKind::Char).count(),
+            3,
+            "{toks:?}"
+        );
+        assert!(!toks.iter().any(|t| t.0 == TokenKind::Str), "{toks:?}");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "y"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"let a = b'x'; let b = b'\n'; let s = b"bytes";"#);
+        assert_eq!(
+            toks.iter().filter(|t| t.0 == TokenKind::Char).count(),
+            2,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_tuple_fields() {
+        let toks = kinds("for i in 1..10 { t.0.iter(); }");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Number && t.1 == "1"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Number && t.1 == "10"));
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "iter"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Number && t.1 == "0"));
+    }
+
+    #[test]
+    fn floats_and_hex_stay_single_tokens() {
+        let toks = kinds("let a = 1.5; let b = 0xff_u32; let c = 1_000;");
+        assert!(toks.iter().any(|t| t.1 == "1.5"));
+        assert!(toks.iter().any(|t| t.1 == "0xff_u32"));
+        assert!(toks.iter().any(|t| t.1 == "1_000"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 3;");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "r#type"));
+    }
+}

@@ -1,0 +1,234 @@
+//! `mlpt-analyze` — the determinism lint pass.
+//!
+//! The engine's correctness story rests on eight determinism rules
+//! (README, "Static analysis" section): protocol state decides *what*
+//! is probed, scheduling state only *when*. This crate mechanizes the
+//! rules as a static pass with stable lint IDs:
+//!
+//! | lint | rule it polices |
+//! |-----------|---------------------------------------------------|
+//! | MLPT-W001 | wall-clock APIs in protocol code (virtual clock)  |
+//! | MLPT-W002 | ambient randomness (seeded ChaCha8 only)          |
+//! | MLPT-W003 | unordered hash iteration in protocol paths        |
+//! | MLPT-W004 | panic-class calls where typed errors exist        |
+//! | MLPT-W005 | stats-merge exhaustiveness (`SweepStats::merge`)  |
+//!
+//! The pass is a hand-rolled lexer + scanner over every workspace
+//! `.rs` file — no external parser dependencies, consistent with the
+//! offline vendored build it polices. Suppressions are inline pragmas
+//! that *must* carry a reason:
+//!
+//! ```text
+//! // mlpt: allow(MLPT-W004, reason = "invariant: queue built from the same sessions two lines up")
+//! ```
+//!
+//! and pragma health is itself linted (`MLPT-E100` missing reason,
+//! `MLPT-E101` unknown lint, `MLPT-E102` stale suppression).
+
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod pragma;
+pub mod scope;
+
+pub use diag::{Finding, LintId, Suppressed};
+pub use scope::{PathPolicy, ScopeConfig};
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// The outcome of an analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Live findings, sorted by `(file, line, col, lint)`.
+    pub findings: Vec<Finding>,
+    /// Pragma-suppressed findings with their recorded reasons.
+    pub suppressed: Vec<Suppressed>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings matching the given deny set.
+    pub fn denied<'a>(&'a self, deny: &'a [LintId]) -> impl Iterator<Item = &'a Finding> {
+        self.findings.iter().filter(|f| deny.contains(&f.lint))
+    }
+}
+
+/// Analyzes in-memory sources: `(relative path, contents)` pairs. The
+/// core entry point — `analyze_workspace` is a thin filesystem walk on
+/// top, and tests feed fixtures through here directly.
+pub fn analyze_files(files: &[(String, String)], config: &ScopeConfig) -> Report {
+    let mut per_file_raw: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    let mut per_file_pragmas: BTreeMap<String, Vec<pragma::Pragma>> = BTreeMap::new();
+    let mut structs = Vec::new();
+    let mut merges = Vec::new();
+    let mut files_scanned = 0usize;
+
+    for (path, src) in files {
+        if !config.scanned(path) {
+            continue;
+        }
+        files_scanned += 1;
+        let tokens = lexer::lex(src);
+        let regions = lints::test_regions(&tokens);
+        let mut raw = Vec::new();
+        if config.lint_applies(LintId::W001, path) {
+            raw.extend(lints::w001_wall_clock(path, &tokens, &regions));
+        }
+        if config.lint_applies(LintId::W002, path) {
+            raw.extend(lints::w002_ambient_randomness(path, &tokens, &regions));
+        }
+        if config.lint_applies(LintId::W003, path) {
+            raw.extend(lints::w003_hash_iteration(path, &tokens, &regions));
+        }
+        if config.lint_applies(LintId::W004, path) {
+            raw.extend(lints::w004_panic_class(path, &tokens, &regions));
+        }
+        if config.lint_applies(LintId::W005, path) {
+            let (s, m) = lints::w005_extract(path, &tokens, &regions, &config.merge_checks);
+            structs.extend(s);
+            merges.extend(m);
+        }
+        per_file_raw.insert(path.clone(), raw);
+        per_file_pragmas.insert(path.clone(), pragma::collect(&tokens));
+    }
+
+    // Merge-exhaustiveness is a whole-scan check (the cross-file
+    // backstop); its findings land on the struct's file so the
+    // pragmas there can see them.
+    for finding in lints::w005_check(&structs, &merges, &config.merge_checks) {
+        per_file_raw
+            .entry(finding.file.clone())
+            .or_default()
+            .push(finding);
+    }
+
+    let mut report = Report {
+        files_scanned,
+        ..Report::default()
+    };
+    for (path, raw) in per_file_raw {
+        let pragmas = per_file_pragmas.remove(&path).unwrap_or_default();
+        let (findings, suppressed) = pragma::apply(&path, &pragmas, raw);
+        report.findings.extend(findings);
+        report.suppressed.extend(suppressed);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.finding.file, a.finding.line).cmp(&(&b.finding.file, b.finding.line)));
+    report
+}
+
+/// Recursively collects `.rs` files under `root` (sorted, so runs are
+/// deterministic), skipping the config's global excludes, and analyzes
+/// them. Paths in the report are relative to `root`, `/`-separated.
+pub fn analyze_workspace(root: &Path, config: &ScopeConfig) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(analyze_files(&files, config))
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &ScopeConfig,
+    out: &mut Vec<(String, String)>,
+) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if path.is_dir() {
+            if config.scanned(&format!("{rel}/")) {
+                collect_rs_files(root, &path, config, out)?;
+            }
+        } else if rel.ends_with(".rs") && config.scanned(&rel) {
+            let src = std::fs::read_to_string(&path)?;
+            out.push((rel, src));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> (String, String) {
+        (path.to_string(), src.to_string())
+    }
+
+    #[test]
+    fn end_to_end_pragma_suppression() {
+        let src = "fn f(x: Option<u32>) {\n    // mlpt: allow(MLPT-W004, reason = \"proven above\")\n    x.unwrap();\n}";
+        let files = vec![file("crates/mlpt-core/src/engine.rs", src)];
+        let report = analyze_files(&files, &ScopeConfig::workspace_default());
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].reason, "proven above");
+    }
+
+    #[test]
+    fn scoping_keeps_out_of_scope_files_silent() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }";
+        let files = vec![file("crates/mlpt-core/src/mda.rs", src)];
+        let report = analyze_files(&files, &ScopeConfig::workspace_default());
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn cross_file_merge_backstop() {
+        let def = "pub struct SweepStats { pub a: u64, pub b: u64 }";
+        let merge =
+            "use super::SweepStats;\nimpl SweepStats {\n    pub fn merge(&mut self, other: &SweepStats) { self.a += other.a; }\n}";
+        let files = vec![
+            file("crates/mlpt-core/src/stats.rs", def),
+            file("crates/mlpt-core/src/merge.rs", merge),
+        ];
+        let report = analyze_files(&files, &ScopeConfig::workspace_default());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].lint, LintId::W005);
+        assert_eq!(report.findings[0].file, "crates/mlpt-core/src/stats.rs");
+        assert!(report.findings[0].message.contains('b'));
+    }
+
+    #[test]
+    fn same_file_pairs_are_isolated_from_other_files() {
+        // A complete merge in one file must not satisfy a different
+        // file's incomplete pair (fixture isolation).
+        let complete = "pub struct SweepStats { pub a: u64, pub b: u64 }\nimpl SweepStats {\n    pub fn merge(&mut self, o: &SweepStats) { self.a += o.a; self.b += o.b; }\n}";
+        let incomplete = "pub struct SweepStats { pub a: u64, pub b: u64 }\nimpl SweepStats {\n    pub fn merge(&mut self, o: &SweepStats) { self.a += o.a; }\n}";
+        let files = vec![file("good.rs", complete), file("bad.rs", incomplete)];
+        let report = analyze_files(&files, &ScopeConfig::fixture());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].file, "bad.rs");
+    }
+
+    #[test]
+    fn findings_sorted_and_files_counted() {
+        let files = vec![
+            file(
+                "crates/mlpt-core/src/engine.rs",
+                "fn f(x: Option<u32>) {\n    x.unwrap();\n    panic!(\"boom\");\n}",
+            ),
+            file("crates/mlpt-core/src/clean.rs", "fn g() {}"),
+        ];
+        let report = analyze_files(&files, &ScopeConfig::workspace_default());
+        assert_eq!(report.files_scanned, 2);
+        assert_eq!(report.findings.len(), 2);
+        assert!(report.findings[0].line < report.findings[1].line);
+    }
+}

@@ -1,0 +1,118 @@
+//! CLI front-end: `cargo run -p mlpt-analyze -- [--root DIR] [--json]
+//! [--deny all|MLPT-Wxxx,...] [--list-lints]`.
+//!
+//! Exit codes: `0` clean (or no denied findings), `1` at least one
+//! denied finding, `2` usage or I/O error.
+
+use mlpt_analyze::{analyze_workspace, diag, LintId, ScopeConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny: Vec<LintId>,
+    list_lints: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        deny: Vec::new(),
+        list_lints: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = argv.next().ok_or("--root needs a directory")?;
+                args.root = PathBuf::from(value);
+            }
+            "--json" => args.json = true,
+            "--deny" => {
+                let value = argv.next().ok_or("--deny needs `all` or a lint list")?;
+                if value == "all" {
+                    args.deny = LintId::ALL.to_vec();
+                } else {
+                    for code in value.split(',') {
+                        let lint = LintId::parse(code.trim())
+                            .ok_or_else(|| format!("unknown lint `{code}` in --deny"))?;
+                        args.deny.push(lint);
+                    }
+                }
+            }
+            "--list-lints" => args.list_lints = true,
+            "--help" | "-h" => {
+                return Err(String::new()); // triggers usage, exit 2
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str =
+    "usage: mlpt-analyze [--root DIR] [--json] [--deny all|MLPT-Wxxx,...] [--list-lints]
+
+Determinism lint pass over the workspace's .rs files. Suppress a
+finding inline with a justified pragma:
+
+    // mlpt: allow(MLPT-W004, reason = \"invariant: ...\")
+";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_lints {
+        for lint in LintId::ALL {
+            println!("{}  {}", lint.code(), lint.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config = ScopeConfig::workspace_default();
+    let report = match analyze_workspace(&args.root, &config) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("error: cannot walk {}: {error}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        println!(
+            "{}",
+            diag::report_json(&report.findings, &report.suppressed, report.files_scanned)
+        );
+    } else {
+        for finding in &report.findings {
+            println!("{}", finding.render());
+        }
+        println!(
+            "mlpt-analyze: {} file(s) scanned, {} finding(s), {} suppressed by pragma",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed.len()
+        );
+    }
+
+    let denied = report.denied(&args.deny).count();
+    if denied > 0 {
+        if !args.json {
+            println!("mlpt-analyze: {denied} finding(s) denied (--deny)");
+        }
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

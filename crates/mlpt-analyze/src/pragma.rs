@@ -1,0 +1,325 @@
+//! Inline suppression pragmas.
+//!
+//! Grammar (inside a line comment):
+//!
+//! ```text
+//! // mlpt: allow(MLPT-W003, reason = "order absorbed into a BTreeMap")
+//! // mlpt: allow(MLPT-W001, MLPT-W002, reason = "...")
+//! ```
+//!
+//! The `reason` string is **required and must be non-empty** — a
+//! suppression without a recorded justification is itself a diagnostic
+//! (`MLPT-E100`) and suppresses nothing. A pragma suppresses matching
+//! findings on its own line (trailing-comment style) or, when it
+//! stands alone on a line, on the next line that carries code. A
+//! pragma that ends a run suppressing nothing is stale (`MLPT-E102`).
+
+use crate::diag::{Finding, LintId};
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed (or malformed) pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Lints this pragma suppresses. Empty if malformed.
+    pub lints: Vec<LintId>,
+    /// The required justification.
+    pub reason: String,
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+    /// The line whose findings this pragma covers (its own line, plus
+    /// the next code line when the comment stands alone).
+    pub target_line: u32,
+    /// Parse problem, if any — surfaces as E100/E101.
+    pub error: Option<PragmaError>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PragmaError {
+    /// Not `allow(...)`, or unbalanced/garbled argument list.
+    Malformed(String),
+    /// `reason = "..."` missing or empty.
+    MissingReason,
+    /// A listed lint code is unknown.
+    UnknownLint(String),
+}
+
+/// Extracts pragmas from a token stream. `comment` tokens carry their
+/// full text; anything whose body starts with `mlpt:` is treated as an
+/// attempted pragma — a well-formed `mlpt:` prefix with a bad tail is
+/// reported rather than ignored, so a typo cannot silently disable a
+/// lint.
+pub fn collect(tokens: &[Token]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = token.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("mlpt:") else {
+            continue;
+        };
+        let mut pragma = parse_body(rest.trim());
+        pragma.line = token.line;
+        pragma.col = token.col;
+        pragma.target_line = target_line(tokens, i);
+        out.push(pragma);
+    }
+    out
+}
+
+/// The line this pragma covers: its own line if code shares it
+/// (trailing comment), otherwise the next line holding a code token.
+fn target_line(tokens: &[Token], comment_index: usize) -> u32 {
+    let comment = &tokens[comment_index];
+    let code_on_own_line = tokens
+        .iter()
+        .any(|t| t.line == comment.line && !t.is_comment());
+    if code_on_own_line {
+        return comment.line;
+    }
+    tokens[comment_index + 1..]
+        .iter()
+        .find(|t| !t.is_comment())
+        .map(|t| t.line)
+        .unwrap_or(comment.line)
+}
+
+fn parse_body(body: &str) -> Pragma {
+    let mut pragma = Pragma {
+        lints: Vec::new(),
+        reason: String::new(),
+        line: 0,
+        col: 0,
+        target_line: 0,
+        error: None,
+    };
+    let Some(args) = body
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('('))
+        .and_then(|s| s.strip_suffix(')'))
+    else {
+        pragma.error = Some(PragmaError::Malformed(format!(
+            "expected `allow(MLPT-Wxxx, reason = \"...\")`, got `{body}`"
+        )));
+        return pragma;
+    };
+    // Split on commas that are outside the reason string.
+    let mut parts = Vec::new();
+    let mut depth_in_string = false;
+    let mut current = String::new();
+    for c in args.chars() {
+        match c {
+            '"' => {
+                depth_in_string = !depth_in_string;
+                current.push(c);
+            }
+            ',' if !depth_in_string => {
+                parts.push(current.trim().to_string());
+                current = String::new();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current.trim().to_string());
+    }
+    for part in parts {
+        if let Some(value) = part.strip_prefix("reason") {
+            let value = value.trim_start();
+            let Some(quoted) = value
+                .strip_prefix('=')
+                .map(str::trim)
+                .and_then(|v| v.strip_prefix('"'))
+                .and_then(|v| v.strip_suffix('"'))
+            else {
+                pragma.error = Some(PragmaError::MissingReason);
+                continue;
+            };
+            pragma.reason = quoted.to_string();
+        } else {
+            match LintId::parse(&part) {
+                Some(lint) => pragma.lints.push(lint),
+                None => {
+                    pragma.error = Some(PragmaError::UnknownLint(part));
+                }
+            }
+        }
+    }
+    if pragma.error.is_none() && pragma.reason.trim().is_empty() {
+        pragma.error = Some(PragmaError::MissingReason);
+    }
+    if pragma.error.is_none() && pragma.lints.is_empty() {
+        pragma.error = Some(PragmaError::Malformed(
+            "pragma lists no lint IDs".to_string(),
+        ));
+    }
+    pragma
+}
+
+/// Applies pragmas to raw findings: matching findings move to the
+/// suppressed list, pragma problems become E100/E101 findings, and
+/// pragmas that suppressed nothing become E102.
+pub fn apply(
+    file: &str,
+    pragmas: &[Pragma],
+    raw: Vec<Finding>,
+) -> (Vec<Finding>, Vec<crate::diag::Suppressed>) {
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used = vec![false; pragmas.len()];
+
+    'findings: for finding in raw {
+        for (i, pragma) in pragmas.iter().enumerate() {
+            let healthy = pragma.error.is_none();
+            let covers = finding.line == pragma.target_line || finding.line == pragma.line;
+            if healthy && covers && pragma.lints.contains(&finding.lint) {
+                used[i] = true;
+                suppressed.push(crate::diag::Suppressed {
+                    finding,
+                    reason: pragma.reason.clone(),
+                });
+                continue 'findings;
+            }
+        }
+        findings.push(finding);
+    }
+
+    for (i, pragma) in pragmas.iter().enumerate() {
+        match &pragma.error {
+            Some(PragmaError::UnknownLint(code)) => findings.push(Finding {
+                lint: LintId::E101,
+                file: file.to_string(),
+                line: pragma.line,
+                col: pragma.col,
+                message: format!("pragma names unknown lint `{code}` — it suppresses nothing"),
+            }),
+            Some(PragmaError::MissingReason) => findings.push(Finding {
+                lint: LintId::E100,
+                file: file.to_string(),
+                line: pragma.line,
+                col: pragma.col,
+                message: "pragma is missing the required `reason = \"...\"` — \
+                          a suppression without a recorded justification suppresses nothing"
+                    .to_string(),
+            }),
+            Some(PragmaError::Malformed(detail)) => findings.push(Finding {
+                lint: LintId::E100,
+                file: file.to_string(),
+                line: pragma.line,
+                col: pragma.col,
+                message: format!("malformed pragma: {detail}"),
+            }),
+            None => {
+                if !used[i] {
+                    findings.push(Finding {
+                        lint: LintId::E102,
+                        file: file.to_string(),
+                        line: pragma.line,
+                        col: pragma.col,
+                        message: format!(
+                            "pragma for {} suppressed nothing — stale after a fix; delete it",
+                            pragma
+                                .lints
+                                .iter()
+                                .map(|l| l.code())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    (findings, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn pragma_of(src: &str) -> Pragma {
+        let tokens = lex(src);
+        let mut pragmas = collect(&tokens);
+        assert_eq!(pragmas.len(), 1, "{src}");
+        pragmas.remove(0)
+    }
+
+    #[test]
+    fn well_formed_single_lint() {
+        let p = pragma_of("// mlpt: allow(MLPT-W004, reason = \"invariant: built above\")\nx();");
+        assert_eq!(p.lints, vec![LintId::W004]);
+        assert_eq!(p.reason, "invariant: built above");
+        assert!(p.error.is_none());
+        assert_eq!(p.target_line, 2, "standalone comment covers next code line");
+    }
+
+    #[test]
+    fn trailing_comment_covers_its_own_line() {
+        let p = pragma_of("x(); // mlpt: allow(MLPT-W001, reason = \"bench timing\")");
+        assert_eq!(p.target_line, 1);
+    }
+
+    #[test]
+    fn multiple_lints() {
+        let p = pragma_of("// mlpt: allow(MLPT-W001, MLPT-W002, reason = \"both\")\ny();");
+        assert_eq!(p.lints, vec![LintId::W001, LintId::W002]);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let p = pragma_of("// mlpt: allow(MLPT-W004)\nx();");
+        assert_eq!(p.error, Some(PragmaError::MissingReason));
+        let p = pragma_of("// mlpt: allow(MLPT-W004, reason = \"\")\nx();");
+        assert_eq!(p.error, Some(PragmaError::MissingReason));
+    }
+
+    #[test]
+    fn unknown_lint_is_an_error() {
+        let p = pragma_of("// mlpt: allow(MLPT-W999, reason = \"nope\")\nx();");
+        assert!(matches!(p.error, Some(PragmaError::UnknownLint(_))));
+    }
+
+    #[test]
+    fn garbled_pragma_is_reported_not_ignored() {
+        let p = pragma_of("// mlpt: alow(MLPT-W004, reason = \"typo\")\nx();");
+        assert!(matches!(p.error, Some(PragmaError::Malformed(_))));
+    }
+
+    #[test]
+    fn reason_may_contain_commas() {
+        let p = pragma_of("// mlpt: allow(MLPT-W004, reason = \"a, b, and c\")\nx();");
+        assert_eq!(p.reason, "a, b, and c");
+        assert!(p.error.is_none());
+    }
+
+    #[test]
+    fn pragma_skips_interleaved_comment_lines() {
+        let src = "// mlpt: allow(MLPT-W004, reason = \"r\")\n// another comment\nx();";
+        let p = pragma_of(src);
+        assert_eq!(p.target_line, 3);
+    }
+
+    #[test]
+    fn apply_suppresses_and_flags_stale() {
+        let src = "// mlpt: allow(MLPT-W004, reason = \"covered\")\nfoo();\n\
+                   // mlpt: allow(MLPT-W001, reason = \"stale\")\nbar();";
+        let tokens = lex(src);
+        let pragmas = collect(&tokens);
+        let raw = vec![Finding {
+            lint: LintId::W004,
+            file: "f.rs".into(),
+            line: 2,
+            col: 1,
+            message: "m".into(),
+        }];
+        let (findings, suppressed) = apply("f.rs", &pragmas, raw);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed[0].reason, "covered");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, LintId::E102);
+    }
+}

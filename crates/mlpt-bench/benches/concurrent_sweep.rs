@@ -865,6 +865,9 @@ fn sharded_stage(
         let mut probes = 0u64;
         let mut stalls = 0u64;
         for _ in 0..samples.max(1) {
+            // Wall-clock timing is the whole point of a bench harness:
+            // MLPT-W001 exempts crates/mlpt-bench/ by scoping config
+            // (protocol code must use the virtual clock instead).
             let started = std::time::Instant::now();
             let (_, stats, _) = run_sharded_sweep(internet, destinations, shards, max_in_flight);
             let wall = started.elapsed().as_secs_f64();
@@ -963,6 +966,9 @@ fn chaos_stage(lanes: usize) -> serde_json::Value {
                     TraceConfig::new(i as u64),
                 )) as Box<dyn TraceSession>
             });
+            // Wall-clock timing is the whole point of a bench harness:
+            // MLPT-W001 exempts crates/mlpt-bench/ by scoping config
+            // (protocol code must use the virtual clock instead).
             let started = std::time::Instant::now();
             let traces = engine.run_stream(sessions);
             let wall = started.elapsed();

@@ -12,7 +12,7 @@ use mlpt_wire::FlowId;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// Evidence accumulated by a trace in progress.
@@ -23,10 +23,13 @@ pub struct Discovery {
     /// Discovery order of vertices per hop (stable iteration for
     /// deterministic algorithms).
     hop_order: Vec<Vec<Ipv4Addr>>,
-    /// Flow → (ttl → responder): each flow's observed path.
-    flow_paths: HashMap<FlowId, BTreeMap<u8, Ipv4Addr>>,
-    /// Flows probed at each ttl (whether or not answered).
-    probed_at: HashMap<u8, BTreeSet<FlowId>>,
+    /// Flow → (ttl → responder): each flow's observed path. Ordered so
+    /// that iteration (edge derivation, suffix invalidation) visits
+    /// flows in a stable order — determinism rules 3 and 5 (MLPT-W003).
+    flow_paths: BTreeMap<FlowId, BTreeMap<u8, Ipv4Addr>>,
+    /// Flows probed at each ttl (whether or not answered). Ordered for
+    /// the same reason as `flow_paths`.
+    probed_at: BTreeMap<u8, BTreeSet<FlowId>>,
     /// Probes sent per hop index (for the paper's per-hop accounting).
     probes_per_hop: Vec<u64>,
     /// Every flow ID ever used.

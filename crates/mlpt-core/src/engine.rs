@@ -758,7 +758,9 @@ fn reorder_by_cost<S: ProbeSession>(sessions: Vec<S>, base: usize) -> VecDeque<(
             let source_index = per_dest
                 .get_mut(&dests[position])
                 .and_then(VecDeque::pop_front)
+                // mlpt: allow(MLPT-W004, reason = "invariant: per_dest holds one queue entry per session and each position is visited once")
                 .expect("one queue entry per session");
+            // mlpt: allow(MLPT-W004, reason = "invariant: source_index values are distinct, so each slot is taken exactly once")
             let session = slots[source_index].take().expect("each session taken once");
             (base + source_index, session)
         })
@@ -1896,6 +1898,138 @@ mod tests {
         // shard) must not clobber the aggregate's final budget.
         total.merge(&SweepStats::default());
         assert_eq!(total.final_in_flight_budget, 8);
+    }
+
+    #[test]
+    fn stats_merge_covers_every_field() {
+        // Every field distinct and nonzero on both sides, so a counter
+        // the merge drops or mis-routes shows up as a wrong value. The
+        // result is destructured with NO `..`: adding a field to
+        // `SweepStats` breaks this test at compile time until its merge
+        // semantics are asserted here. This is the compile-time twin of
+        // the MLPT-W005 analyzer lint.
+        let mut merged = SweepStats {
+            dispatch_cycles: 1,
+            probes_sent: 2,
+            replies_delivered: 3,
+            malformed_replies: 4,
+            mismatched_replies: 5,
+            max_batch: 6,
+            sessions_admitted: 7,
+            sessions_completed: 8,
+            sessions_deferred: 9,
+            clean_cycles: 10,
+            lossy_cycles: 11,
+            budget_backoffs: 12,
+            lane_backoffs: 13,
+            final_in_flight_budget: 14,
+            probes_timed_out: 15,
+            retries_exhausted: 16,
+            sessions_partial: 17,
+            max_lane_backoff_depth: 18,
+            probes_elided: 19,
+            stop_set_hits: 20,
+            retries_elided: 21,
+            artifacts_detected: 22,
+            route_recoveries: 23,
+            reprobes_sent: 24,
+            route_changed_partials: 25,
+            stop_set_stale_hits: 26,
+            stop_set_evictions: 27,
+            generation_barrier_stalls: 28,
+        };
+        let other = SweepStats {
+            dispatch_cycles: 101,
+            probes_sent: 102,
+            replies_delivered: 103,
+            malformed_replies: 104,
+            mismatched_replies: 105,
+            max_batch: 106,
+            sessions_admitted: 107,
+            sessions_completed: 108,
+            sessions_deferred: 109,
+            clean_cycles: 110,
+            lossy_cycles: 111,
+            budget_backoffs: 112,
+            lane_backoffs: 113,
+            final_in_flight_budget: 114,
+            probes_timed_out: 115,
+            retries_exhausted: 116,
+            sessions_partial: 117,
+            max_lane_backoff_depth: 118,
+            probes_elided: 119,
+            stop_set_hits: 120,
+            retries_elided: 121,
+            artifacts_detected: 122,
+            route_recoveries: 123,
+            reprobes_sent: 124,
+            route_changed_partials: 125,
+            stop_set_stale_hits: 126,
+            stop_set_evictions: 127,
+            generation_barrier_stalls: 128,
+        };
+        merged.merge(&other);
+        let SweepStats {
+            dispatch_cycles,
+            probes_sent,
+            replies_delivered,
+            malformed_replies,
+            mismatched_replies,
+            max_batch,
+            sessions_admitted,
+            sessions_completed,
+            sessions_deferred,
+            clean_cycles,
+            lossy_cycles,
+            budget_backoffs,
+            lane_backoffs,
+            final_in_flight_budget,
+            probes_timed_out,
+            retries_exhausted,
+            sessions_partial,
+            max_lane_backoff_depth,
+            probes_elided,
+            stop_set_hits,
+            retries_elided,
+            artifacts_detected,
+            route_recoveries,
+            reprobes_sent,
+            route_changed_partials,
+            stop_set_stale_hits,
+            stop_set_evictions,
+            generation_barrier_stalls,
+        } = merged;
+        // Counters sum.
+        assert_eq!(dispatch_cycles, 102);
+        assert_eq!(probes_sent, 104);
+        assert_eq!(replies_delivered, 106);
+        assert_eq!(malformed_replies, 108);
+        assert_eq!(mismatched_replies, 110);
+        assert_eq!(sessions_admitted, 114);
+        assert_eq!(sessions_completed, 116);
+        assert_eq!(sessions_deferred, 118);
+        assert_eq!(clean_cycles, 120);
+        assert_eq!(lossy_cycles, 122);
+        assert_eq!(budget_backoffs, 124);
+        assert_eq!(lane_backoffs, 126);
+        assert_eq!(probes_timed_out, 130);
+        assert_eq!(retries_exhausted, 132);
+        assert_eq!(sessions_partial, 134);
+        assert_eq!(probes_elided, 138);
+        assert_eq!(stop_set_hits, 140);
+        assert_eq!(retries_elided, 142);
+        assert_eq!(artifacts_detected, 144);
+        assert_eq!(route_recoveries, 146);
+        assert_eq!(reprobes_sent, 148);
+        assert_eq!(route_changed_partials, 150);
+        assert_eq!(stop_set_stale_hits, 152);
+        assert_eq!(stop_set_evictions, 154);
+        assert_eq!(generation_barrier_stalls, 156);
+        // High-water marks take the max.
+        assert_eq!(max_batch, 106);
+        assert_eq!(max_lane_backoff_depth, 118);
+        // The budget keeps the newest nonzero value.
+        assert_eq!(final_in_flight_budget, 114);
     }
 
     #[test]

@@ -970,6 +970,7 @@ impl TraceSession for MdaSession {
         if self.auditing {
             self.auditing = false;
             let round = std::mem::take(&mut self.core.round);
+            // mlpt: allow(MLPT-W004, reason = "invariant: `auditing` is only set true in the branch that saw `audit` as Some, and `audit` is never cleared")
             let audit = self.audit.as_mut().expect("auditing without an audit");
             let verdict = audit.absorb(
                 &round,
@@ -1193,11 +1194,15 @@ impl MdaLiteSession {
             match std::mem::replace(&mut self.phase, LitePhase::Done) {
                 LitePhase::Done => return false,
                 LitePhase::Scan { ttl } => {
-                    let scout = self
-                        .stops
-                        .as_ref()
-                        .and_then(|s| s.scout)
-                        .expect("scan phase without a scout flow");
+                    // A scan phase is only entered by `adopt_stop_set`
+                    // after it installed stop state with a scout flow;
+                    // if either is gone, degrade to classic probing
+                    // from TTL 1 rather than panic mid-sweep.
+                    let Some(scout) = self.stops.as_ref().and_then(|s| s.scout) else {
+                        self.ttl = 1;
+                        self.phase = LitePhase::HopStart;
+                        continue;
+                    };
                     let mut specs = self.core.specs_buffer();
                     specs.push(ProbeSpec::new(scout, ttl));
                     match self.core.emit(specs) {
@@ -1410,6 +1415,7 @@ impl TraceSession for MdaLiteSession {
         if self.auditing {
             self.auditing = false;
             let round = std::mem::take(&mut self.core.round);
+            // mlpt: allow(MLPT-W004, reason = "invariant: `auditing` is only set true in the branch that saw `audit` as Some, and `audit` is never cleared")
             let audit = self.audit.as_mut().expect("auditing without an audit");
             let verdict = audit.absorb(
                 &round,
@@ -1437,8 +1443,17 @@ impl TraceSession for MdaLiteSession {
         let cut = self.core.round_cut;
         match std::mem::replace(&mut self.phase, LitePhase::Done) {
             LitePhase::ScanWait { ttl } => {
-                let stops = self.stops.as_mut().expect("scan without stop state");
-                let scout = stops.scout.expect("scan without a scout flow");
+                // Mirrors the `Scan` arm: stop state with a scout flow
+                // is installed before any scan round can be in flight,
+                // but if either is gone, degrade to classic probing
+                // from TTL 1 rather than panic mid-sweep.
+                let stops = self.stops.as_mut();
+                let scout = stops.as_ref().and_then(|s| s.scout);
+                let (Some(stops), Some(scout)) = (stops, scout) else {
+                    self.ttl = 1;
+                    self.phase = LitePhase::HopStart;
+                    return;
+                };
                 let hit = self
                     .core
                     .state
@@ -1778,6 +1793,7 @@ impl TraceSession for SingleFlowSession {
             self.auditing = false;
             let round = std::mem::take(&mut self.round);
             let adopted = self.adopted_map();
+            // mlpt: allow(MLPT-W004, reason = "invariant: `auditing` is only set true in the branch that saw `audit` as Some, and `audit` is never cleared")
             let audit = self.audit.as_mut().expect("auditing without an audit");
             let verdict =
                 audit.absorb(&round, results, &mut self.state, self.destination, &adopted);
@@ -1863,20 +1879,16 @@ impl TraceSession for SingleFlowSession {
                 }
             }
         }
-        let backward = self
+        if let Some(stops) = self
             .stops
-            .as_ref()
-            .is_some_and(|s| matches!(s.dir, SfDir::Backward));
-        if backward {
+            .as_mut()
+            .filter(|s| matches!(s.dir, SfDir::Backward))
+        {
             // Backward leg: a shared-stop hit means the set already
             // knows this interface at this TTL, so the prefix below is
             // reconstructable and probing it again is pure redundancy.
-            let hit = observed.is_some_and(|(responder, _)| {
-                self.stops
-                    .as_ref()
-                    .is_some_and(|s| s.snap.contains(spec.ttl, responder))
-            });
-            let stops = self.stops.as_mut().expect("backward leg without stops");
+            let hit =
+                observed.is_some_and(|(responder, _)| stops.snap.contains(spec.ttl, responder));
             if hit {
                 stops.stop_hits += 1;
                 // One probe per remaining TTL is exactly what the
@@ -1910,9 +1922,12 @@ impl TraceSession for SingleFlowSession {
         if let Some(dest_ttl) = global {
             self.state
                 .record(self.flow, dest_ttl, self.destination, true);
-            let stops = self.stops.as_mut().expect("global stop without stops");
-            stops.stop_hits += 1;
-            stops.probes_elided += u64::from(dest_ttl - spec.ttl);
+            // `global` is derived from `self.stops` above, so the stop
+            // state is present whenever this branch runs.
+            if let Some(stops) = self.stops.as_mut() {
+                stops.stop_hits += 1;
+                stops.probes_elided += u64::from(dest_ttl - spec.ttl);
+            }
             self.end_forward();
         } else {
             self.ttl += 1;

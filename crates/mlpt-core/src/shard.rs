@@ -355,6 +355,7 @@ impl<T: SplitTransport + Send> ShardedSweepEngine<T> {
                             .collect();
                         handles
                             .into_iter()
+                            // mlpt: allow(MLPT-W004, reason = "join() only fails if a worker panicked; re-raising that panic on the coordinator is the correct propagation")
                             .flat_map(|h| h.join().expect("a sweep shard panicked"))
                             .collect()
                     })

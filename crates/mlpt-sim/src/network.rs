@@ -37,7 +37,7 @@ use mlpt_wire::probe::parse_udp_probe;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 pub use mlpt_wire::transport::{
@@ -67,10 +67,11 @@ pub struct TrafficCounters {
 
 /// Interning table: every interface address of the topology mapped to a
 /// dense `u32` id, with `Vec`-indexed side tables replacing per-packet
-/// `HashMap` lookups.
+/// map lookups.
 ///
 /// Lookup is a binary search over a sorted `u32` array — cache-friendly
-/// and branch-predictable, with no hashing on the packet path.
+/// and branch-predictable, with no hashing or pointer-chasing on the
+/// packet path.
 #[derive(Debug, Clone)]
 struct AddrTable {
     /// Sorted address values; the index of an address is its id.
@@ -84,7 +85,7 @@ struct AddrTable {
 }
 
 impl AddrTable {
-    fn build(topology: &MultipathTopology, assignment: &HashMap<Ipv4Addr, RouterId>) -> Self {
+    fn build(topology: &MultipathTopology, assignment: &BTreeMap<Ipv4Addr, RouterId>) -> Self {
         let mut sorted: Vec<u32> = topology.all_addresses().iter().map(|&a| a.into()).collect();
         sorted.sort_unstable();
         sorted.dedup();
@@ -161,7 +162,7 @@ impl RouteTable {
     fn build(
         topology: &MultipathTopology,
         addrs: &AddrTable,
-        weight_map: &HashMap<(usize, Ipv4Addr), Vec<u32>>,
+        weight_map: &BTreeMap<(usize, Ipv4Addr), Vec<u32>>,
     ) -> Self {
         let num_addrs = addrs.len();
         let slots = topology.num_hops() * num_addrs;
@@ -227,12 +228,12 @@ impl RouteTable {
 pub struct SimNetworkBuilder {
     topology: MultipathTopology,
     routers: RouterMap,
-    profiles: HashMap<RouterId, RouterProfile>,
+    profiles: BTreeMap<RouterId, RouterProfile>,
     default_profile: RouterProfile,
     mode: BalanceMode,
     schedule: FaultSchedule,
     topo_schedule: TopologySchedule,
-    weights: HashMap<(usize, Ipv4Addr), Vec<u32>>,
+    weights: BTreeMap<(usize, Ipv4Addr), Vec<u32>>,
     seed: u64,
 }
 
@@ -243,12 +244,12 @@ impl SimNetworkBuilder {
         Self {
             topology,
             routers: RouterMap::new(),
-            profiles: HashMap::new(),
+            profiles: BTreeMap::new(),
             default_profile: RouterProfile::well_behaved(),
             mode: BalanceMode::PerFlow,
             schedule: FaultSchedule::none(),
             topo_schedule: TopologySchedule::none(),
-            weights: HashMap::new(),
+            weights: BTreeMap::new(),
             seed: 0,
         }
     }
@@ -326,7 +327,7 @@ impl SimNetworkBuilder {
             .map(|r| r.0 + 1)
             .max()
             .unwrap_or(0);
-        let mut assignment: HashMap<Ipv4Addr, RouterId> = HashMap::new();
+        let mut assignment: BTreeMap<Ipv4Addr, RouterId> = BTreeMap::new();
         let mut full_map = self.routers.clone();
         for addr in self.topology.all_addresses() {
             let id = match self.routers.router_of(addr) {
@@ -348,7 +349,7 @@ impl SimNetworkBuilder {
         // the sparse overflow map rather than sizing the Vec by the id.
         let dense_len = assignment.len() + self.profiles.len() + 1;
         let mut profile_table = vec![self.default_profile; dense_len];
-        let mut profile_overflow: HashMap<u32, RouterProfile> = HashMap::new();
+        let mut profile_overflow: BTreeMap<u32, RouterProfile> = BTreeMap::new();
         for (router, profile) in &self.profiles {
             match profile_table.get_mut(router.0 as usize) {
                 Some(slot) => *slot = *profile,
@@ -450,15 +451,15 @@ pub struct SimNetwork {
     ground_truth: RouterMap,
     /// Interface → router assignment, kept so mutated topologies can
     /// rebuild the routing tables (fresh interfaces are assigned here).
-    assignment: HashMap<Ipv4Addr, RouterId>,
+    assignment: BTreeMap<Ipv4Addr, RouterId>,
     /// Next unassigned router id for freshly minted interfaces.
     next_router_id: u32,
     /// Non-uniform balancing weights, revalidated after each mutation.
-    weight_map: HashMap<(usize, Ipv4Addr), Vec<u32>>,
+    weight_map: BTreeMap<(usize, Ipv4Addr), Vec<u32>>,
     profile_table: Vec<RouterProfile>,
     /// Profiles for router ids beyond the dense table (rare: only when a
     /// caller constructs sparse large RouterIds by hand).
-    profile_overflow: HashMap<u32, RouterProfile>,
+    profile_overflow: BTreeMap<u32, RouterProfile>,
     default_profile: RouterProfile,
     hasher: FlowHasher,
     mode: BalanceMode,

@@ -438,6 +438,7 @@ fn canonical_topology(name: &str) -> mlpt::topo::MultipathTopology {
 
 /// Resolves the target: a canonical topology or a synthetic scenario.
 fn build_network(opts: &Options) -> (SimNetwork, Ipv4Addr, Ipv4Addr, Option<RouterMap>) {
+    // mlpt: allow(MLPT-W004, reason = "parsing a static dotted-quad literal cannot fail")
     let source: Ipv4Addr = "192.0.2.1".parse().expect("static");
     if let Some(n) = opts.scenario {
         let internet = SyntheticInternet::new(InternetConfig::default());
@@ -547,6 +548,7 @@ fn cmd_trace(args: &[String]) {
         let report = mlpt::core::TraceReport::from_trace(&trace);
         println!(
             "{}",
+            // mlpt: allow(MLPT-W004, reason = "report types serialize infallibly (no maps with non-string keys, no custom Serialize)")
             serde_json::to_string_pretty(&report).expect("serializable")
         );
         return;
@@ -619,6 +621,7 @@ fn cmd_sweep(args: &[String]) {
         eprintln!("destination list is capped at 200 (address-block replication)");
         exit(2);
     }
+    // mlpt: allow(MLPT-W004, reason = "parsing a static dotted-quad literal cannot fail")
     let source: Ipv4Addr = "192.0.2.1".parse().expect("static");
     let mut config = TraceConfig::new(opts.seed)
         .with_stopping(stopping_points(&opts.stopping))
@@ -829,6 +832,7 @@ fn cmd_sweep(args: &[String]) {
         });
         println!(
             "{}",
+            // mlpt: allow(MLPT-W004, reason = "report types serialize infallibly (no maps with non-string keys, no custom Serialize)")
             serde_json::to_string_pretty(&report).expect("serializable")
         );
         return;
@@ -1197,6 +1201,7 @@ fn cmd_alias(args: &[String]) {
 
     let outcomes: Vec<MultilevelOutcome> = outcomes
         .into_iter()
+        // mlpt: allow(MLPT-W004, reason = "invariant: run_sessions_with invokes the completion callback for every session, filling each slot")
         .map(|o| o.expect("every session reports"))
         .collect();
 
@@ -1293,6 +1298,7 @@ fn cmd_alias(args: &[String]) {
         });
         println!(
             "{}",
+            // mlpt: allow(MLPT-W004, reason = "report types serialize infallibly (no maps with non-string keys, no custom Serialize)")
             serde_json::to_string_pretty(&report).expect("serializable")
         );
         return;
